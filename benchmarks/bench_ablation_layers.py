@@ -1,0 +1,109 @@
+"""Ablation: what each toolkit layer costs, in code and in time.
+
+Two design questions DESIGN.md calls out:
+
+1. **Layer depth vs. per-call overhead.**  A pass-through agent at each
+   layer (numeric; symbolic; pathname+descriptor) shows what the
+   successive abstraction layers add to the cost of one intercepted
+   call.  The paper's symbolic-level overheads (Table 3-5: 140-210 usec)
+   and union's extra layers (Table 3-2/3-3) are the two points it
+   reports; this bench fills in the curve.
+
+2. **Tracing at the numeric vs. symbolic layer.**  ntrace (layer 0)
+   needs a fraction of trace's code — formatting per call is exactly
+   what makes trace's size proportional to the interface — but produces
+   raw output.  Both sizes and speeds are reported.
+"""
+
+from repro.agents.ntrace import NumericTraceAgent
+from repro.agents.time_symbolic import TimeSymbolic
+from repro.agents.trace import TraceSymbolicSyscall
+from repro.bench.loc import module_statements
+from repro.bench.timing import usec_per_call
+from repro.kernel.sysent import bsd_numbers, number_of
+from repro.kernel.trap import UserContext
+from repro.toolkit.numeric import NumericSyscall
+from repro.toolkit.pathnames import PathSymbolicSyscall
+from repro.workloads import boot_world
+
+NR_GETPID = number_of("getpid")
+NR_STAT = number_of("stat")
+
+
+class _NumericPassthrough(NumericSyscall):
+    def init(self, agentargv):
+        self.register_interest_many(bsd_numbers())
+
+
+class _PathPassthrough(PathSymbolicSyscall):
+    pass
+
+
+def _context(agent_factory):
+    kernel = boot_world()
+    proc = kernel._create_initial_process()
+    ctx = UserContext(kernel, proc)
+    if agent_factory is not None:
+        agent_factory().attach(ctx)
+    return ctx
+
+
+def layer_cost_rows(calls=1500):
+    """(layer, getpid usec, stat usec) for deepening interposition."""
+    rows = []
+    for label, factory in (
+        ("no agent", None),
+        ("layer 0: numeric", _NumericPassthrough),
+        ("layer 1: symbolic", TimeSymbolic),
+        ("layer 2: pathname+descriptor", _PathPassthrough),
+    ):
+        ctx = _context(factory)
+        getpid_usec = usec_per_call(lambda: ctx.trap(NR_GETPID), calls)
+        stat_usec = usec_per_call(lambda: ctx.trap(NR_STAT, "/etc/passwd"), calls)
+        rows.append((label, getpid_usec, stat_usec))
+    return rows
+
+
+def tracer_rows():
+    """(tracer, statements) for the two tracer implementations."""
+    import repro.agents.ntrace as ntrace_mod
+    import repro.agents.trace as trace_mod
+
+    return [
+        ("ntrace (numeric layer)", module_statements(ntrace_mod)),
+        ("trace (symbolic layer)", module_statements(trace_mod)),
+    ]
+
+
+def print_tables():
+    print("Ablation A: per-call cost by interposition depth")
+    print("%-30s %12s %12s" % ("configuration", "getpid usec", "stat usec"))
+    for label, g, s in layer_cost_rows():
+        print("%-30s %12.2f %12.2f" % (label, g, s))
+    print()
+    print("Ablation B: tracer code size by layer")
+    for label, statements in tracer_rows():
+        print("%-26s %5d statements" % (label, statements))
+
+
+def test_layer_costs_monotonic(benchmark):
+    rows = benchmark.pedantic(layer_cost_rows, rounds=1, iterations=1)
+    getpid_costs = [g for _, g, _ in rows]
+    # Each added layer costs something for an intercepted getpid; allow
+    # small non-monotonic jitter between adjacent deep layers but require
+    # the ends to order strictly.
+    assert getpid_costs[0] < getpid_costs[1] < getpid_costs[3] * 1.2
+    assert getpid_costs[0] < getpid_costs[2]
+    for label, g, s in rows:
+        benchmark.extra_info[label] = {"getpid": round(g, 3),
+                                       "stat": round(s, 3)}
+
+
+def test_numeric_tracer_is_much_smaller(benchmark):
+    rows = benchmark(tracer_rows)
+    sizes = dict(rows)
+    assert sizes["ntrace (numeric layer)"] * 3 < sizes["trace (symbolic layer)"]
+
+
+if __name__ == "__main__":
+    print_tables()

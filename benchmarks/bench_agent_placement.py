@@ -1,0 +1,68 @@
+"""Ablation: agent placement — same vs. separate address space.
+
+Paper Section 3.5.1: "it should be stressed that these performance
+numbers are highly dependent upon the specific interposition mechanism
+used.  In particular, they are strongly shaped by agents residing in
+the address spaces of their clients."
+
+This bench quantifies that: the same pass-through agent interposed
+in-space (the Mach 2.5 placement the paper measures) and in a separate
+agent task reached by message-passing IPC (the placement a ptrace- or
+server-based mechanism forces).  Per-intercepted-call cost and the
+Table 3-2-style formatting workload are both reported.
+"""
+
+from repro.agents.time_symbolic import TimeSymbolic
+from repro.bench.timing import usec_per_call
+from repro.kernel.sysent import number_of
+from repro.kernel.trap import UserContext
+from repro.toolkit.remote import SeparateSpaceAgent
+from repro.workloads import boot_world
+
+NR_GETPID = number_of("getpid")
+
+
+def _context(placement):
+    kernel = boot_world()
+    proc = kernel._create_initial_process()
+    ctx = UserContext(kernel, proc)
+    agent = None
+    if placement == "in-space":
+        agent = TimeSymbolic()
+        agent.attach(ctx)
+    elif placement == "separate-space":
+        agent = SeparateSpaceAgent(TimeSymbolic())
+        agent.attach(ctx)
+    return ctx, agent
+
+
+def placement_rows(calls=1200):
+    """(placement, getpid usec) for each agent placement."""
+    rows = []
+    for placement in ("no agent", "in-space", "separate-space"):
+        ctx, agent = _context(placement)
+        rows.append((placement, usec_per_call(lambda: ctx.trap(NR_GETPID), calls)))
+        if hasattr(agent, "shutdown"):
+            agent.shutdown()
+    return rows
+
+
+def print_table():
+    print("Agent placement: per-intercepted-call cost")
+    print("%-18s %12s" % ("placement", "getpid usec"))
+    for placement, usec in placement_rows():
+        print("%-18s %12.2f" % (placement, usec))
+
+
+def test_separate_space_costs_more(benchmark):
+    rows = benchmark.pedantic(placement_rows, rounds=1, iterations=1)
+    costs = dict(rows)
+    assert costs["no agent"] < costs["in-space"] < costs["separate-space"]
+    # The IPC hops dominate: separate-space is several times in-space.
+    assert costs["separate-space"] > 2 * costs["in-space"]
+    for placement, usec in rows:
+        benchmark.extra_info[placement] = round(usec, 3)
+
+
+if __name__ == "__main__":
+    print_table()

@@ -1,0 +1,83 @@
+"""Shared machinery for the application-workload benchmarks.
+
+One run = boot a fresh world, set up the workload, run it either bare
+or under an agent via the agent loader path.  Booting and setup are
+excluded from timing (the paper times the application run itself).
+"""
+
+from repro.kernel.proc import WEXITSTATUS
+from repro.toolkit import run_under_agent
+from repro.workloads import boot_world
+
+
+def make_agent(name, workload=None):
+    """A fresh agent instance for one run, by loader name (or None)."""
+    from repro.agents import AGENTS, load_all
+
+    load_all()
+    if name is None:
+        return None
+    if name == "union":
+        # The paper's motivating configuration: the union covers the
+        # directory the workload actually runs in (source and object
+        # directories appearing as one), so pathname resolution really
+        # goes through the union machinery.
+        agent = AGENTS["union"]()
+        agent.pset.add_union(
+            _workload_dir(workload), [_workload_dir(workload), "/usr/tmp"]
+        )
+        return agent
+    if name == "trace":
+        return AGENTS["trace"]("/tmp/trace.out")
+    if name == "timex":
+        agent = AGENTS["timex"]()
+        agent.offset = 3600
+        return agent
+    return AGENTS[name]()
+
+
+def _workload_dir(workload):
+    import repro.workloads.afs_bench as afs
+    import repro.workloads.format_dissertation as fmt
+    import repro.workloads.make_programs as mk
+
+    if workload is fmt:
+        return "/home/mbj/diss"
+    if workload is mk:
+        return mk.SRC_DIR
+    if workload is afs:
+        return afs.BASE
+    return "/view"
+
+
+def prepare_workload(workload, agent_name):
+    """Boot + set up; return a zero-argument callable performing one run."""
+    kernel = boot_world()
+    workload.setup(kernel)
+
+    def run():
+        if agent_name is None:
+            status = workload.run(kernel)
+        else:
+            agent = make_agent(agent_name, workload)
+            path, argv = workload_command(workload)
+            status = run_under_agent(kernel, agent, path, argv)
+        assert WEXITSTATUS(status) == 0, "workload failed (%r)" % status
+        return kernel
+
+    return run
+
+
+def workload_command(workload):
+    """The (path, argv) a workload's run() executes, for agent runs."""
+    import repro.workloads.afs_bench as afs
+    import repro.workloads.format_dissertation as fmt
+    import repro.workloads.make_programs as mk
+
+    if workload is fmt:
+        return "/usr/bin/scribe", ["scribe", fmt.MANUSCRIPT, fmt.OUTPUT]
+    if workload is mk:
+        return "/bin/sh", ["sh", "-c", "cd %s; make" % mk.SRC_DIR]
+    if workload is afs:
+        return "/bin/sh", ["sh", afs.BASE + "/run_andrew.sh"]
+    raise ValueError("unknown workload %r" % (workload,))

@@ -1,0 +1,49 @@
+"""Table 3-1: sizes of agents, measured in statements.
+
+Paper (statements counted as semicolons of C/C++):
+
+    agent    toolkit  agent  total
+    timex       2467     35   2502
+    trace       2467   1348   3815
+    union       3977    166   4143
+
+Shape targets: toolkit code dominates simple agents; trace's
+agent-specific code is an order of magnitude larger than timex's
+(proportional to the size of the system interface); union's
+agent-specific code stays small despite changing the behaviour of ~70
+calls, because it is written against the object layers.
+"""
+
+from repro.bench.loc import agent_size_report
+
+
+def rows():
+    return agent_size_report()
+
+
+def print_table():
+    print("Table 3-1: sizes of agents (Python AST statements)")
+    print("%-10s %8s %8s %8s" % ("agent", "toolkit", "agent", "total"))
+    for name, toolkit, agent, total in rows():
+        print("%-10s %8d %8d %8d" % (name, toolkit, agent, total))
+
+
+def test_agent_sizes(benchmark):
+    table = benchmark(agent_size_report)
+    by_name = {row[0]: row for row in table}
+    # toolkit dominates the simple agents
+    assert by_name["timex"][1] > 10 * by_name["timex"][2]
+    # trace's agent code is proportional to the interface, >> timex's
+    assert by_name["trace"][2] > 8 * by_name["timex"][2]
+    # union changes ~70 calls but stays compact thanks to the object layers
+    assert by_name["union"][2] < by_name["trace"][2]
+    # the object-layer toolkit is bigger than the symbolic-only toolkit
+    assert by_name["union"][1] > by_name["timex"][1]
+    for row in table:
+        benchmark.extra_info[row[0]] = {
+            "toolkit": row[1], "agent": row[2], "total": row[3]
+        }
+
+
+if __name__ == "__main__":
+    print_table()

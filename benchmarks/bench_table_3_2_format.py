@@ -1,0 +1,76 @@
+"""Table 3-2: time to format a dissertation under agents.
+
+Paper (VAX 6250, 716 system calls, 81.3 s base):
+
+    agent    seconds  slowdown
+    none        81.3
+    timex       81.7      0.5%
+    trace       84.8      2.5%
+    union       86.3      3.5%
+
+Shape targets: slowdown ordering none < timex < trace ~ union, all
+small relative to the make workload (Table 3-3), because this workload
+is dominated by formatting CPU rather than system calls.
+"""
+
+import pytest
+
+from benchmarks.bench_support import prepare_workload
+from repro.workloads import format_dissertation
+
+AGENT_NAMES = [None, "timex", "trace", "union"]
+
+
+def _bench(benchmark, agent_name):
+    benchmark.pedantic(
+        lambda run: run(),
+        setup=lambda: ((prepare_workload(format_dissertation, agent_name),), {}),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_format_none(benchmark):
+    _bench(benchmark, None)
+
+
+def test_format_timex(benchmark):
+    _bench(benchmark, "timex")
+
+
+def test_format_trace(benchmark):
+    _bench(benchmark, "trace")
+
+
+def test_format_union(benchmark):
+    _bench(benchmark, "union")
+
+
+def rows(runs=9):
+    """(agent, seconds, slowdown%) rows.
+
+    Times come from interleaved rounds; the slowdown estimate is the
+    median of per-round paired ratios against the no-agent run, which
+    cancels the slow host drift that dominates these small percentages.
+    """
+    from repro.bench.timing import paired_slowdowns, time_matrix
+
+    prepares = {
+        name or "none": (
+            lambda name=name: prepare_workload(format_dissertation, name)
+        )
+        for name in AGENT_NAMES
+    }
+    results = time_matrix(prepares, runs=runs)
+    slowdowns = paired_slowdowns(results)
+    return [
+        (name, results[name][0], slowdowns[name])
+        for name in results
+    ]
+
+
+if __name__ == "__main__":
+    print("Table 3-2: time to format the dissertation")
+    print("%-8s %10s %10s" % ("agent", "seconds", "slowdown"))
+    for name, seconds, pct in rows():
+        print("%-8s %10.3f %9.1f%%" % (name, seconds, pct))

@@ -1,0 +1,69 @@
+"""Table 3-3: time to make 8 programs under agents.
+
+Paper (25 MHz i486, 64 fork/execve pairs, 16.0 s base):
+
+    agent    seconds  slowdown
+    none        16.0
+    timex       19.0       19%
+    union       29.0       82%
+    trace       33.0      107%
+
+Shape targets: slowdowns are large (heavy system call use), timex is
+the least, trace is the worst (two trace-log writes per traced call),
+union falls between, and every slowdown here dwarfs its Table 3-2
+counterpart.
+"""
+
+from benchmarks.bench_support import prepare_workload
+from repro.workloads import make_programs
+
+AGENT_NAMES = [None, "timex", "trace", "union"]
+
+
+def _bench(benchmark, agent_name):
+    benchmark.pedantic(
+        lambda run: run(),
+        setup=lambda: ((prepare_workload(make_programs, agent_name),), {}),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_make_none(benchmark):
+    _bench(benchmark, None)
+
+
+def test_make_timex(benchmark):
+    _bench(benchmark, "timex")
+
+
+def test_make_trace(benchmark):
+    _bench(benchmark, "trace")
+
+
+def test_make_union(benchmark):
+    _bench(benchmark, "union")
+
+
+def rows(runs=9):
+    from repro.bench.timing import paired_slowdowns, time_matrix
+
+    prepares = {
+        name or "none": (
+            lambda name=name: prepare_workload(make_programs, name)
+        )
+        for name in AGENT_NAMES
+    }
+    results = time_matrix(prepares, runs=runs)
+    slowdowns = paired_slowdowns(results)
+    return [
+        (name, results[name][0], slowdowns[name])
+        for name in results
+    ]
+
+
+if __name__ == "__main__":
+    print("Table 3-3: time to make 8 programs")
+    print("%-8s %10s %10s" % ("agent", "seconds", "slowdown"))
+    for name, seconds, pct in rows():
+        print("%-8s %10.3f %9.1f%%" % (name, seconds, pct))

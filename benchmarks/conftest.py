@@ -1,0 +1,10 @@
+"""Shared fixtures for the paper-table benchmarks."""
+
+import pytest
+
+from repro.agents import load_all
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _agents_loaded():
+    load_all()

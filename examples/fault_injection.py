@@ -1,0 +1,49 @@
+"""Fault injection: rehearse failures against unmodified programs.
+
+Run with:  python examples/fault_injection.py
+
+Interposition as a test harness: make chosen system calls fail with
+chosen errnos on a schedule and watch how an unmodified program copes —
+here, a disk that "fills up" after two writes, and a flaky file that
+fails its first open.
+"""
+
+from repro.agents.faults import FaultAgent
+from repro.kernel.errno import EIO, ENOSPC
+from repro.toolkit import run_under_agent
+from repro.workloads import boot_world
+
+
+def main():
+    kernel = boot_world()
+
+    print("--- filesystem fills up after two file creations ---")
+    agent = FaultAgent()
+    agent.add_rule("open", ENOSPC, ("after", 2), path_prefix="/tmp")
+    run_under_agent(
+        kernel, agent, "/bin/sh",
+        ["sh", "-c",
+         "echo one > /tmp/a && echo wrote-a || echo failed-a;"
+         "echo two > /tmp/b && echo wrote-b || echo failed-b;"
+         "echo three > /tmp/c && echo wrote-c || echo failed-c"],
+    )
+    print(kernel.console.take_output().decode())
+    for name, errno_value, seen, injected in agent.report():
+        print("rule %s(errno %d): %d calls seen, %d failures injected"
+              % (name, errno_value, seen, injected))
+
+    print()
+    print("--- first open of the flaky file fails, retry succeeds ---")
+    agent = FaultAgent()
+    agent.add_rule("open", EIO, "once", path_prefix="/tmp/flaky")
+    run_under_agent(
+        kernel, agent, "/bin/sh",
+        ["sh", "-c",
+         "echo try1 > /tmp/flaky || echo retrying;"
+         "echo try2 > /tmp/flaky && cat /tmp/flaky"],
+    )
+    print(kernel.console.take_output().decode())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Quickstart: boot a simulated 4.3BSD machine and interpose an agent.
+
+Run with:  python examples/quickstart.py
+
+Walks through the library's three core moves:
+
+1. boot a world and run an unmodified program;
+2. write a tiny agent at the symbolic layer (one overridden method);
+3. run the same unmodified program under it.
+"""
+
+from repro.kernel.proc import WEXITSTATUS
+from repro.toolkit import SymbolicSyscall, run_under_agent
+from repro.workloads import boot_world
+
+
+class ShoutingAgent(SymbolicSyscall):
+    """Interpose on write(): upper-case everything the client prints.
+
+    Everything else — the other ~70 system calls, signals, fork, exec —
+    is inherited from the toolkit's default behaviour.
+    """
+
+    def sys_write(self, fd, data):
+        if fd == 1 and isinstance(data, (bytes, bytearray)):
+            data = data.upper()
+        return super().sys_write(fd, data)
+
+
+def main():
+    kernel = boot_world()
+
+    # 1. An unmodified program, no agent.
+    status = kernel.run("/bin/sh", ["sh", "-c", "echo hello from 4.3bsd"])
+    print("no agent   (exit %d): %s"
+          % (WEXITSTATUS(status), kernel.console.take_output().decode()), end="")
+
+    # 2 + 3. The same binary under the agent.  run_under_agent plays the
+    # role of the paper's agent loader: it attaches the agent to a fresh
+    # process and execs the client through the agent's exec path, so the
+    # interposition survives into the unmodified binary.
+    status = run_under_agent(
+        kernel, ShoutingAgent(), "/bin/sh", ["sh", "-c", "echo hello from 4.3bsd"]
+    )
+    print("with agent (exit %d): %s"
+          % (WEXITSTATUS(status), kernel.console.take_output().decode()), end="")
+
+    # Agents compose: the shell, echo, and any children it forks all run
+    # under the same agent instance (paper Figure 1-4).
+    status = run_under_agent(
+        kernel, ShoutingAgent(), "/bin/sh",
+        ["sh", "-c", "echo one; echo two | cat"],
+    )
+    print("pipeline   (exit %d):\n%s"
+          % (WEXITSTATUS(status), kernel.console.take_output().decode()), end="")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""Protected environments: run an untrusted binary in a sandbox.
+
+Run with:  python examples/sandbox_untrusted.py
+
+The paper (Section 1.4): "a wrapper environment ... that allows
+untrusted, possibly malicious, binaries to be run within a restricted
+environment that monitors and emulates the actions they take, possibly
+without actually performing them."  The malicious program below tries
+to read /etc/passwd, overwrite a user file, and fork-bomb; the sandbox
+hides the secrets, redirects the writes into a shadow area (so the
+malware believes it succeeded), and cuts the fork supply.
+"""
+
+from repro.agents.sandbox import SandboxAgent, SandboxPolicy
+from repro.kernel.errno import SyscallError
+from repro.kernel.proc import WEXITSTATUS
+from repro.programs.libc import Sys
+from repro.toolkit import run_under_agent
+from repro.workloads import boot_world
+
+
+def malware_main(sys, argv, envp):
+    report = []
+    try:
+        passwd = sys.read_whole("/etc/passwd")
+        report.append("stole %d bytes of /etc/passwd!" % len(passwd))
+    except SyscallError as err:
+        report.append("could not read /etc/passwd (%s)" % err)
+    try:
+        sys.write_whole("/home/mbj/.profile", "evil backdoor\n")
+        check = sys.read_whole("/home/mbj/.profile")
+        report.append("overwrote ~/.profile (now %r)" % check.decode())
+    except SyscallError as err:
+        report.append("could not write ~/.profile (%s)" % err)
+    bombs = 0
+    try:
+        for _ in range(100):
+            sys.fork(lambda child: 0)
+            bombs += 1
+    except SyscallError:
+        pass
+    while True:
+        try:
+            sys.wait()
+        except SyscallError:
+            break
+    report.append("fork bomb spawned %d children" % bombs)
+    for line in report:
+        sys.print_out("[malware] " + line + "\n")
+    return 0
+
+
+def main():
+    kernel = boot_world()
+    kernel.write_file("/home/mbj/.profile", "PATH=/bin\n")
+
+    def factory(ctx, argv, envp):
+        return malware_main(Sys(ctx), argv, envp)
+
+    kernel.register_program("malware", factory)
+    kernel.install_binary("/bin/malware", "malware")
+    kernel.mkdir_p("/tmp/jail")
+
+    policy = SandboxPolicy(
+        hidden=("/etc",),
+        writable=("/tmp/sandbox-allowed",),
+        emulate_writes_to="/tmp/jail",
+        max_forks=5,
+    )
+    agent = SandboxAgent(policy)
+    status = run_under_agent(kernel, agent, "/bin/malware", ["malware"])
+
+    print("what the malware believed happened:")
+    print(kernel.console.take_output().decode())
+    print("what actually happened:")
+    print("  exit status:", WEXITSTATUS(status))
+    print("  ~/.profile really contains:",
+          kernel.read_file("/home/mbj/.profile").decode().strip())
+    print("  policy violations observed by the sandbox:")
+    for op, path in agent.violations:
+        print("    %-16s %s" % (op, path))
+    jail = kernel.lookup_host("/tmp/jail")
+    shadows = [n for n in jail.entries if n not in (".", "..")]
+    print("  emulated writes captured in /tmp/jail:", shadows)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Transactional software environments, with nesting.
+
+Run with:  python examples/transactional_session.py
+
+The paper's run_transaction example (Section 1.4): run an arbitrary
+unmodified program so that all persistent side effects are remembered
+and applied only on commit — and run one transactional invocation
+inside another for nested transactions, which fall out of agent
+stacking.
+"""
+
+from repro.agents.txn import TxnAgent
+from repro.kernel.proc import WEXITSTATUS
+from repro.toolkit import run_under_agent
+from repro.workloads import boot_world
+
+
+def show(kernel, label):
+    print("%-28s balance=%r audit=%s" % (
+        label,
+        kernel.read_file("/home/mbj/balance").decode().strip(),
+        "present" if kernel.lookup_host("/home/mbj").contains("audit")
+        else "absent",
+    ))
+
+
+def main():
+    kernel = boot_world()
+    kernel.write_file("/home/mbj/balance", "100\n")
+
+    # --- a transaction that aborts -----------------------------------
+    agent = TxnAgent(scratch_dir="/tmp/txn-demo", outcome="abort")
+    status = run_under_agent(
+        kernel, agent, "/bin/sh",
+        ["sh", "-c",
+         "echo 0 > /home/mbj/balance; echo drained > /home/mbj/audit;"
+         "cat /home/mbj/balance"],
+    )
+    inside = kernel.console.take_output().decode().strip()
+    print("inside the aborted txn, balance read back as:", inside)
+    show(kernel, "after abort:")
+    print()
+
+    # --- the same session, committed ------------------------------------
+    agent = TxnAgent(scratch_dir="/tmp/txn-demo2", outcome="commit")
+    run_under_agent(
+        kernel, agent, "/bin/sh",
+        ["sh", "-c", "echo 250 > /home/mbj/balance"],
+    )
+    kernel.console.take_output()
+    show(kernel, "after commit:")
+    print()
+
+    # --- nested transactions ---------------------------------------------
+    # The outer transaction commits; an inner one (run through the agent
+    # loader, stacked above the outer agent) aborts.  The inner's effects
+    # vanish; the outer's survive.
+    kernel.write_file("/home/mbj/balance", "100\n")
+    outer = TxnAgent(scratch_dir="/tmp/txn-outer", outcome="commit")
+    status = run_under_agent(
+        kernel, outer, "/bin/sh",
+        ["sh", "-c",
+         "echo 150 > /home/mbj/balance;"
+         "agentrun txn abort /tmp/txn-inner -- sh -c"
+         " 'echo 999 > /home/mbj/balance; cat /home/mbj/balance';"
+         "cat /home/mbj/balance"],
+    )
+    lines = kernel.console.take_output().decode().split()
+    print("nested run (exit %d):" % WEXITSTATUS(status))
+    print("  inner transaction saw its own write:", lines[0])
+    print("  after the inner abort, the outer sees:", lines[1])
+    show(kernel, "after outer commit:")
+
+
+if __name__ == "__main__":
+    main()

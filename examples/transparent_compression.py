@@ -1,0 +1,61 @@
+"""Transparent data compression and encryption agents.
+
+Run with:  python examples/transparent_compression.py
+
+The paper (Section 1.4): "transparent data compression and/or
+encryption agents."  Files under a subtree are stored compressed (or
+enciphered) but unmodified programs read and write them as plain text.
+"""
+
+from repro.agents.transform import CompressAgent, CryptAgent
+from repro.toolkit import run_under_agent
+from repro.workloads import boot_world
+
+TEXT = ("The interposition toolkit presents the system interface as "
+        "objects at several layers of abstraction. ") * 40
+
+
+def main():
+    kernel = boot_world()
+    kernel.mkdir_p("/home/mbj/compressed")
+
+    run_under_agent(
+        kernel, CompressAgent("/home/mbj/compressed"), "/bin/sh",
+        ["sh", "-c", "echo %s > /home/mbj/compressed/paper.txt; "
+                     "wc /home/mbj/compressed/paper.txt" % TEXT.strip()],
+    )
+    print("what the client saw (wc of the plain text):")
+    print(" ", kernel.console.take_output().decode().strip())
+    stored = kernel.read_file("/home/mbj/compressed/paper.txt")
+    print("bytes actually stored on disk: %d (plain text was %d)"
+          % (len(stored), len(TEXT)))
+    print("stored prefix:", stored[:24])
+    print()
+
+    # Encryption: same structure, different transform.
+    kernel.mkdir_p("/home/mbj/vault")
+    run_under_agent(
+        kernel, CryptAgent("/home/mbj/vault", key="lovelace"), "/bin/sh",
+        ["sh", "-c", "echo the combination is 12345 > /home/mbj/vault/safe"],
+    )
+    kernel.console.take_output()
+    stored = kernel.read_file("/home/mbj/vault/safe")
+    print("ciphertext on disk:", stored[:32], "...")
+
+    run_under_agent(
+        kernel, CryptAgent("/home/mbj/vault", key="lovelace"), "/bin/sh",
+        ["sh", "-c", "cat /home/mbj/vault/safe"],
+    )
+    print("read back with the right key:",
+          kernel.console.take_output().decode().strip())
+
+    run_under_agent(
+        kernel, CryptAgent("/home/mbj/vault", key="wrong"), "/bin/sh",
+        ["sh", "-c", "cat /home/mbj/vault/safe"],
+    )
+    garbled = kernel.console.take_output().decode(errors="replace")
+    print("read back with the wrong key:", repr(garbled[:40]))
+
+
+if __name__ == "__main__":
+    main()

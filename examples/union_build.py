@@ -1,0 +1,57 @@
+"""Union directories: make over merged source and object directories.
+
+Run with:  python examples/union_build.py
+
+The paper's motivating enhancement (Sections 1.4 and 3.3.3): "mount a
+search list of directories in the filesystem name space such that the
+union of their contents appears to reside in a single directory ...
+to allow distinct source and object directories to appear as a single
+directory when running make."
+"""
+
+from repro.agents.union_dirs import UnionAgent
+from repro.kernel.proc import WEXITSTATUS
+from repro.toolkit import run_under_agent
+from repro.workloads import boot_world
+
+
+def main():
+    kernel = boot_world()
+
+    # A read-only source directory and a separate build directory.
+    kernel.mkdir_p("/usr/src/hello")
+    kernel.write_file(
+        "/usr/src/hello/hello.c",
+        '#include "stdio.h"\nint main() { call printf(1); return 0; }\n',
+    )
+    kernel.write_file(
+        "/usr/src/hello/Makefile",
+        "hello: hello.c\n\tcc -o hello hello.c\n",
+    )
+    kernel.mkdir_p("/usr/obj/hello")
+    kernel.mkdir_p("/work")
+
+    # /work = union(/usr/obj/hello, /usr/src/hello): lookups fall through
+    # to the sources; everything created lands in the object directory.
+    agent = UnionAgent()
+    agent.pset.add_union("/work", ["/usr/obj/hello", "/usr/src/hello"])
+
+    status = run_under_agent(
+        kernel, agent, "/bin/sh",
+        ["sh", "-c", "cd /work; ls; make; ls"],
+    )
+    print("exit status:", WEXITSTATUS(status))
+    print(kernel.console.take_output().decode())
+
+    print("object directory after the build:")
+    for name in sorted(kernel.lookup_host("/usr/obj/hello").entries):
+        if name not in (".", ".."):
+            print("  /usr/obj/hello/" + name)
+    print("source directory untouched:")
+    for name in sorted(kernel.lookup_host("/usr/src/hello").entries):
+        if name not in (".", ".."):
+            print("  /usr/src/hello/" + name)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+"""Packaging metadata.
+
+Kept in setup.py (rather than PEP 621 pyproject metadata) so that
+``pip install -e .`` works in offline environments without the ``wheel``
+package: pip then uses the legacy ``setup.py develop`` path.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Interposition Agents: an object-oriented toolkit for transparently "
+        "interposing user code at the system interface (SOSP '93 reproduction)"
+    ),
+    long_description=open("README.md").read() if __import__("os").path.exists("README.md") else "",
+    long_description_content_type="text/markdown",
+    python_requires=">=3.9",
+    license="MIT",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    extras_require={"test": ["pytest", "pytest-benchmark", "hypothesis"]},
+    keywords="operating-systems interposition system-calls 4.3BSD mach",
+)

@@ -1,0 +1,38 @@
+"""Interposition Agents — a reproduction of Jones, SOSP '93.
+
+An object-oriented toolkit for transparently interposing user code at
+the (simulated 4.3BSD) system interface, together with the substrate it
+runs on and the agents and workloads its evaluation measures.
+
+Subpackages:
+
+* :mod:`repro.kernel` — the simulated 4.3BSD kernel with Mach-style
+  system call redirection (the substrate).
+* :mod:`repro.toolkit` — the paper's contribution: the layered
+  interposition toolkit (boilerplate, numeric, symbolic, pathname,
+  descriptor, and directory layers; the agent loader; the
+  separate-address-space placement).
+* :mod:`repro.agents` — timex, trace, union, dfs_trace, and the other
+  agents the paper measures or proposes.
+* :mod:`repro.programs` — the simulated userland (sh, coreutils, make,
+  the cc pipeline, the Scribe-like formatter).
+* :mod:`repro.workloads` — the evaluation workloads.
+* :mod:`repro.bench` — statement counting and timing harnesses used by
+  the per-table benchmarks.
+
+Quickstart::
+
+    from repro.workloads import boot_world
+    from repro.toolkit import SymbolicSyscall, run_under_agent
+
+    class Shout(SymbolicSyscall):
+        def sys_write(self, fd, data):
+            return super().sys_write(fd, data.upper() if fd == 1 else data)
+
+    kernel = boot_world()
+    run_under_agent(kernel, Shout(), "/bin/sh", ["sh", "-c", "echo hi"])
+    print(kernel.console.output_text())   # HI
+"""
+
+__version__ = "1.0.0"
+__all__ = ["__version__"]

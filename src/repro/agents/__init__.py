@@ -1,0 +1,56 @@
+"""Interposition agents built with the toolkit.
+
+The four agents measured in the paper:
+
+* :mod:`~repro.agents.timex` — changes the apparent time of day.
+* :mod:`~repro.agents.trace` — prints every system call and signal.
+* :mod:`~repro.agents.union_dirs` — union directories.
+* :mod:`~repro.agents.dfs_trace` — DFSTrace-compatible file reference
+  tracing (the "best available implementation" comparison).
+
+Plus :mod:`~repro.agents.time_symbolic` (the pass-through agent used for
+the Table 3-5 micro-benchmarks) and the agents the paper lists as
+buildable: :mod:`~repro.agents.monitor`, :mod:`~repro.agents.sandbox`,
+:mod:`~repro.agents.txn`, :mod:`~repro.agents.transform` (compression /
+encryption), and :mod:`~repro.agents.emul` (foreign-OS emulation).
+
+``AGENTS`` maps agent names to factories for the generic agent loader.
+"""
+
+AGENTS = {}
+
+
+def agent(name):
+    """Register an agent class under *name* for the agent loader."""
+
+    def register(cls):
+        AGENTS[name] = cls
+        cls.agent_name = name
+        return cls
+
+    return register
+
+
+def create(name, *args, **kwargs):
+    """Instantiate a registered agent by name."""
+    return AGENTS[name](*args, **kwargs)
+
+
+def load_all():
+    """Import every agent module (for registration side effects)."""
+    from repro.agents import (  # noqa: F401
+        dfs_trace,
+        emul,
+        faults,
+        logical_dev,
+        monitor,
+        ntrace,
+        sandbox,
+        time_symbolic,
+        timex,
+        trace,
+        transform,
+        txn,
+        union_dirs,
+    )
+    return AGENTS

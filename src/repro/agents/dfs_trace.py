@@ -1,0 +1,222 @@
+"""The dfs_trace agent: file reference tracing (paper Section 3.5.3).
+
+Implements file reference tracing tools compatible with the existing
+kernel-based DFSTrace tools originally implemented for the Coda
+filesystem project — the paper's "best available implementation"
+comparison.  Records use the same format as the in-kernel collector
+(:mod:`repro.kernel.dfstrace`), so the two traces can be compared
+record for record.
+
+Where the kernel implementation appends to an in-kernel buffer from
+inside the dispatch path, the agent must intercept each relevant call,
+assemble the record in user code, and periodically write the log out
+through the system interface — the source of its higher overhead, and
+of its portability: no kernel files modified, no machine-dependent
+code.
+"""
+
+from repro.agents import agent
+from repro.kernel.dfstrace import DFSRecord, detail_for
+from repro.kernel.errno import SyscallError
+from repro.kernel.ofile import F_DUPFD, O_APPEND, O_CREAT, O_TRUNC, O_WRONLY
+from repro.toolkit.descriptors import OpenObject
+from repro.toolkit.pathnames import Pathname, PathnameSet, PathSymbolicSyscall
+
+#: descriptor the trace log is parked at, above the client's range
+LOG_FD = 46
+#: records buffered before writing the log (DFSTrace used a small
+#: user-level buffer too; trace data must not be lost wholesale)
+FLUSH_EVERY = 32
+
+
+class DfsPathname(Pathname):
+    """A pathname whose operations are recorded as file references."""
+
+    def open(self, flags=0, mode=0o666):
+        try:
+            fd, open_object = super().open(flags, mode)
+        except SyscallError as err:
+            self.pset.log("open", (self.path, flags), None, err)
+            raise
+        self.pset.log("open", (self.path, flags), fd, None)
+        return fd, open_object
+
+    def _record(self, opcode, args, thunk):
+        try:
+            result = thunk()
+        except SyscallError as err:
+            self.pset.log(opcode, args, None, err)
+            raise
+        self.pset.log(opcode, args, result, None)
+        return result
+
+    def stat(self):
+        return self._record("stat", (self.path,), lambda: super(DfsPathname, self).stat())
+
+    def lstat(self):
+        return self._record("lstat", (self.path,), lambda: super(DfsPathname, self).lstat())
+
+    def access(self, mode):
+        return self._record(
+            "access", (self.path,), lambda: super(DfsPathname, self).access(mode)
+        )
+
+    def chdir(self):
+        return self._record("chdir", (self.path,), lambda: super(DfsPathname, self).chdir())
+
+    def chroot(self):
+        return self._record(
+            "chroot", (self.path,), lambda: super(DfsPathname, self).chroot()
+        )
+
+    def unlink(self):
+        return self._record(
+            "unlink", (self.path,), lambda: super(DfsPathname, self).unlink()
+        )
+
+    def link(self, newpn):
+        return self._record(
+            "link", (self.path, newpn.path),
+            lambda: super(DfsPathname, self).link(newpn),
+        )
+
+    def rename(self, newpn):
+        return self._record(
+            "rename", (self.path, newpn.path),
+            lambda: super(DfsPathname, self).rename(newpn),
+        )
+
+    def symlink_to(self, target):
+        return self._record(
+            "symlink", (target, self.path),
+            lambda: super(DfsPathname, self).symlink_to(target),
+        )
+
+    def readlink(self, count=1024):
+        return self._record(
+            "readlink", (self.path,),
+            lambda: super(DfsPathname, self).readlink(count),
+        )
+
+    def mkdir(self, mode=0o777):
+        return self._record(
+            "mkdir", (self.path,), lambda: super(DfsPathname, self).mkdir(mode)
+        )
+
+    def rmdir(self):
+        return self._record("rmdir", (self.path,), lambda: super(DfsPathname, self).rmdir())
+
+    def chmod(self, mode):
+        return self._record(
+            "chmod", (self.path,), lambda: super(DfsPathname, self).chmod(mode)
+        )
+
+    def chown(self, uid, gid):
+        return self._record(
+            "chown", (self.path,), lambda: super(DfsPathname, self).chown(uid, gid)
+        )
+
+    def truncate(self, length):
+        return self._record(
+            "truncate", (self.path,),
+            lambda: super(DfsPathname, self).truncate(length),
+        )
+
+    def utimes(self, atime_usec, mtime_usec):
+        return self._record(
+            "utimes", (self.path,),
+            lambda: super(DfsPathname, self).utimes(atime_usec, mtime_usec),
+        )
+
+    def execve(self, argv=None, envp=None):
+        self.pset.log("execve", (self.path,), 0, None)
+        return super().execve(argv, envp)
+
+
+class DfsOpenObject(OpenObject):
+    """An open object that records closes and seeks."""
+
+    def lseek(self, fd, offset, whence):
+        result = super().lseek(fd, offset, whence)
+        self.dset.log("lseek", (fd, offset, whence), result, None)
+        return result
+
+    def ftruncate(self, fd, length):
+        result = super().ftruncate(fd, length)
+        self.dset.log("ftruncate", (fd, length), result, None)
+        return result
+
+    def close_slot(self, fd):
+        result = super().close_slot(fd)
+        self.dset.log("close", (fd,), result, None)
+        return result
+
+
+class DfsPathnameSet(PathnameSet):
+    """A pathname set whose objects record every file reference."""
+    PATHNAME_CLASS = DfsPathname
+    OPEN_OBJECT_CLASS = DfsOpenObject
+
+    def log(self, opcode, args, result, error):
+        """Forward a record to the owning agent's log."""
+        self.sym.log(opcode, args, result, error)
+
+
+@agent("dfs_trace")
+class DfsTraceAgent(PathSymbolicSyscall):
+    """Collect a DFSTrace-format file reference trace of client processes."""
+
+    DESCRIPTOR_SET_CLASS = DfsPathnameSet
+
+    def __init__(self, log_path="/tmp/dfstrace.log"):
+        super().__init__()
+        self.log_path = log_path
+        self.log_fd = None
+        self.records = []
+        self._unflushed = []
+
+    def init(self, agentargv):
+        if agentargv:
+            self.log_path = agentargv[0]
+        fd = self.syscall_down(
+            "open", self.log_path, O_WRONLY | O_CREAT | O_TRUNC, 0o644
+        )
+        self.log_fd = self.syscall_down("fcntl", fd, F_DUPFD, LOG_FD)
+        self.syscall_down("close", fd)
+        super().init(agentargv)
+
+    # -- record assembly ---------------------------------------------------
+
+    def log(self, opcode, args, result, error):
+        """Assemble one DFSTrace record and buffer it."""
+        record = DFSRecord(
+            self.ctx.kernel.clock.usec(),
+            self.ctx.proc.pid,
+            opcode,
+            error.errno if error is not None else 0,
+            detail_for(opcode, args, result),
+        )
+        self.records.append(record)
+        self._unflushed.append(record)
+        if len(self._unflushed) >= FLUSH_EVERY:
+            self.flush()
+
+    def flush(self):
+        """Write buffered records to the trace log file."""
+        if not self._unflushed or self.log_fd is None:
+            return
+        text = "".join(record.to_line() + "\n" for record in self._unflushed)
+        self._unflushed = []
+        self.syscall_down("write", self.log_fd, text.encode())
+
+    # -- process events recorded at the symbolic level -------------------------
+
+    def sys_fork(self, entry=None):
+        result = super().sys_fork(entry)
+        self.log("fork", (), result, None)
+        return result
+
+    def sys_exit(self, status=0):
+        self.log("exit", (status,), 0, None)
+        self.flush()
+        return super().sys_exit(status)

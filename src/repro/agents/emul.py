@@ -1,0 +1,109 @@
+"""The emulation agent: run "foreign-OS" binaries on the native system.
+
+The paper's operating-system-emulation example (Section 1.4): "alternate
+system call implementations can be used to concurrently run binaries
+from variant operating systems on the same platform — for instance, to
+run ULTRIX, HP-UX, or UNIX System V binaries in a Mach/BSD environment",
+and its numeric-layer example: "one range of system call numbers could
+be remapped to calls on a different range at this level."
+
+Our foreign dialect ("HPX") uses system call numbers offset by 1000 and
+a different errno numbering.  The agent registers interest in the
+foreign range at the numeric layer, remaps each call to its native
+number, forwards it down, and translates native errnos back into the
+foreign convention — the application-visible behaviour of a foreign
+kernel, implemented entirely in user space.
+"""
+
+from repro.agents import agent
+from repro.kernel.errno import SyscallError
+from repro.kernel.sysent import MAX_BSD_SYSCALL, bsd_numbers
+from repro.toolkit.numeric import NumericSyscall, marshal_result
+
+#: the foreign dialect's system call numbers: native + FOREIGN_BASE
+FOREIGN_BASE = 1000
+
+#: the foreign dialect's errno numbering differs for a few values
+#: (native -> foreign), as real variant Unixes did
+NATIVE_TO_FOREIGN_ERRNO = {
+    2: 102,   # ENOENT
+    9: 109,   # EBADF
+    13: 113,  # EACCES
+    17: 117,  # EEXIST
+    22: 122,  # EINVAL
+}
+FOREIGN_TO_NATIVE_ERRNO = {v: k for k, v in NATIVE_TO_FOREIGN_ERRNO.items()}
+
+
+def foreign_number(native):
+    """The foreign dialect's number for a native call."""
+    return native + FOREIGN_BASE
+
+
+def foreign_errno(native_errno):
+    """Translate a native errno into the foreign convention."""
+    return NATIVE_TO_FOREIGN_ERRNO.get(native_errno, native_errno)
+
+
+@agent("emul")
+class EmulAgent(NumericSyscall):
+    """Remap the foreign syscall number range onto the native interface."""
+
+    def __init__(self):
+        super().__init__()
+        self.translated = 0
+
+    def init(self, agentargv):
+        low = foreign_number(1)
+        high = foreign_number(MAX_BSD_SYSCALL)
+        self.register_interest_range(low, high)
+
+    def syscall(self, number, args, rv, regs):
+        native = number - FOREIGN_BASE
+        if native not in set(bsd_numbers()):
+            return foreign_errno(78)  # ENOSYS, in foreign numbering
+        self.translated += 1
+        try:
+            value = self.syscall_down_numeric(native, args)
+        except SyscallError as err:
+            return foreign_errno(err.errno)
+        # marshal under the NATIVE number so two-register calls work
+        marshal_result(native, value, rv)
+        return 0
+
+    def handle_syscall(self, number, args):
+        # Same glue as the base class, but errors surface with foreign
+        # errno values, as a foreign binary expects.
+        from repro.toolkit.numeric import EmulRegs, unmarshal_result
+
+        rv = [0, 0]
+        error = self.syscall(number, list(args), rv, EmulRegs(self.ctx))
+        if error:
+            raise SyscallError(error)
+        return unmarshal_result(number - FOREIGN_BASE, rv)
+
+
+class ForeignContext:
+    """A user context whose trap instruction uses foreign numbering.
+
+    Wrapping a native context with this is our stand-in for loading a
+    foreign binary: the program's "instructions" (trap numbers) follow
+    the foreign ABI, and only the emulation agent makes them runnable.
+    """
+
+    def __init__(self, ctx):
+        self._ctx = ctx
+        self.kernel = ctx.kernel
+        self.proc = ctx.proc
+
+    def trap(self, number, *args):
+        """Issue a *foreign-numbered* system call."""
+        return self._ctx.trap(number + FOREIGN_BASE, *args)
+
+    def htg(self, number, *args):
+        """Native downcall (the emulator's own escape hatch)."""
+        return self._ctx.htg(number, *args)
+
+    def consume_cpu(self, usec):
+        """Burn user CPU time, as the native context does."""
+        self._ctx.consume_cpu(usec)

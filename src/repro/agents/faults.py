@@ -1,0 +1,107 @@
+"""The fault-injection agent: rehearse failures against unmodified programs.
+
+A natural member of the paper's "alternate or enhanced semantics"
+family (Section 1.4): the agent makes chosen system calls fail with
+chosen errnos on a schedule, so error-handling paths that almost never
+run in practice can be driven deterministically — no kernel changes, no
+program changes.
+
+Rules are ``(call_name, errno, schedule)`` where the schedule selects
+which occurrences fail:
+
+* ``"always"`` — every call;
+* ``"once"`` — only the first call;
+* ``("after", n)`` — every call after the first *n* succeed (disk-full
+  style);
+* ``("every", n)`` — every n-th call (flaky-device style).
+
+A path predicate can narrow pathname-taking calls to matching paths.
+"""
+
+from repro.agents import agent
+from repro.kernel.errno import SyscallError
+from repro.kernel.sysent import BY_NAME
+from repro.toolkit.symbolic import SymbolicSyscall
+
+
+class FaultRule:
+    """One injected failure: which call, which errno, on what schedule."""
+
+    def __init__(self, call_name, errno_value, schedule="always",
+                 path_prefix=None):
+        if call_name not in BY_NAME:
+            raise ValueError("unknown system call %r" % call_name)
+        self.call_name = call_name
+        self.number = BY_NAME[call_name].number
+        self.errno_value = errno_value
+        self.schedule = schedule
+        self.path_prefix = path_prefix
+        self.seen = 0
+        self.injected = 0
+
+    def _path_matches(self, args):
+        if self.path_prefix is None:
+            return True
+        return bool(args) and isinstance(args[0], str) and args[0].startswith(
+            self.path_prefix
+        )
+
+    def should_fail(self, args):
+        """Count this occurrence; True when the schedule says fail."""
+        if not self._path_matches(args):
+            return False
+        self.seen += 1
+        schedule = self.schedule
+        if schedule == "always":
+            fail = True
+        elif schedule == "once":
+            fail = self.seen == 1
+        elif isinstance(schedule, tuple) and schedule[0] == "after":
+            fail = self.seen > schedule[1]
+        elif isinstance(schedule, tuple) and schedule[0] == "every":
+            fail = self.seen % schedule[1] == 0
+        else:
+            raise ValueError("bad schedule %r" % (schedule,))
+        if fail:
+            self.injected += 1
+        return fail
+
+
+@agent("faults")
+class FaultAgent(SymbolicSyscall):
+    """Inject failures into chosen system calls of unmodified clients."""
+
+    def __init__(self, rules=()):
+        super().__init__()
+        self.rules = list(rules)
+
+    def add_rule(self, call_name, errno_value, schedule="always",
+                 path_prefix=None):
+        """Add an injection rule; returns it for inspection."""
+        rule = FaultRule(call_name, errno_value, schedule, path_prefix)
+        self.rules.append(rule)
+        return rule
+
+    def init(self, agentargv):
+        # agentargv syntax: call=errno (always-fail), e.g. "open=28"
+        for spec in agentargv:
+            name, _, value = spec.partition("=")
+            if value:
+                self.add_rule(name, int(value))
+        super().init(agentargv)
+
+    def handle_syscall(self, number, args):
+        for rule in self.rules:
+            if rule.number == number and rule.should_fail(args):
+                raise SyscallError(
+                    rule.errno_value,
+                    "injected into %s" % rule.call_name,
+                )
+        return super().handle_syscall(number, args)
+
+    def report(self):
+        """Per-rule ``(call, errno, seen, injected)`` counters."""
+        return [
+            (rule.call_name, rule.errno_value, rule.seen, rule.injected)
+            for rule in self.rules
+        ]

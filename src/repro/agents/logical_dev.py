@@ -1,0 +1,243 @@
+"""Logical devices implemented entirely in user space (paper Section 1.4).
+
+The agent interposes on a set of device pathnames and serves their
+reads, writes, and ioctls from agent code — the kernel never sees a
+device at all.  Built-in logical devices:
+
+* ``/dev/fortune`` — each read returns the next fortune cookie;
+* ``/dev/counter`` — reads return an incrementing decimal counter;
+  writes set it;
+* ``/dev/sink``   — discards writes but counts the bytes (readable as
+  a report).
+
+``add_device`` registers any object with ``read``/``write`` methods, so
+an agent user can put arbitrary logical devices into the name space of
+an unmodified program.
+"""
+
+from repro.agents import agent
+from repro.kernel import stat as st
+from repro.kernel.errno import EINVAL, ENOTTY, SyscallError
+from repro.kernel.stat import Stat
+from repro.agents.union_dirs import normalize
+from repro.toolkit.descriptors import OpenObject
+from repro.toolkit.pathnames import Pathname, PathnameSet, PathSymbolicSyscall
+
+FORTUNES = (
+    "A program is never finished, merely abandoned.\n",
+    "The network is the computer; the computer is down.\n",
+    "Interposition is the sincerest form of flattery.\n",
+    "You are in a maze of twisty little system calls, all alike.\n",
+)
+
+
+class LogicalDevice:
+    """Base logical device: byte-stream semantics in agent memory."""
+
+    def __init__(self, name):
+        self.name = name
+
+    def read(self, count):
+        """Read from the device (EOF unless overridden)."""
+        return b""
+
+    def write(self, data):
+        """Write to the device (discarded unless overridden)."""
+        return len(data)
+
+    def ioctl(self, request, arg):
+        """Device control (ENOTTY unless overridden)."""
+        raise SyscallError(ENOTTY)
+
+    def stat_record(self):
+        """A character-special ``struct stat``."""
+        return Stat(st_mode=st.S_IFCHR | 0o666, st_size=0)
+
+
+class MessageDevice(LogicalDevice):
+    """A device that serves one message per "session": after the message
+    is consumed, one read returns EOF (so ``cat`` terminates), and the
+    next read starts the next message."""
+
+    def __init__(self, name):
+        super().__init__(name)
+        self._pending = b""
+        self._served = False
+
+    def next_message(self):
+        """Produce the next message's bytes."""
+        raise NotImplementedError
+
+    def read(self, count):
+        """Serve the current message, then one EOF, then the next."""
+        if not self._pending:
+            if self._served:
+                self._served = False
+                return b""  # end of this message
+            self._pending = self.next_message()
+            self._served = True
+        chunk, self._pending = self._pending[:count], self._pending[count:]
+        return chunk
+
+
+class FortuneDevice(MessageDevice):
+    """Each session reads the next fortune cookie."""
+    def __init__(self):
+        super().__init__("fortune")
+        self._next = 0
+
+    def next_message(self):
+        """The next fortune in rotation."""
+        fortune = FORTUNES[self._next % len(FORTUNES)]
+        self._next += 1
+        return fortune.encode()
+
+
+class CounterDevice(MessageDevice):
+    """Reads return an incrementing counter; writes set it."""
+    def __init__(self):
+        super().__init__("counter")
+        self.value = 0
+
+    def next_message(self):
+        """The current value (then bump it)."""
+        text = ("%d\n" % self.value).encode()
+        self.value += 1
+        return text
+
+    def write(self, data):
+        """Set the counter from the written decimal string."""
+        try:
+            self.value = int(bytes(data).strip() or b"0")
+        except ValueError:
+            raise SyscallError(EINVAL, "counter wants a number") from None
+        return len(data)
+
+
+class SinkDevice(MessageDevice):
+    """Discards writes but counts the bytes; reads report the total."""
+    def __init__(self):
+        super().__init__("sink")
+        self.bytes_sunk = 0
+
+    def write(self, data):
+        """Swallow and count the bytes."""
+        self.bytes_sunk += len(data)
+        return len(data)
+
+    def next_message(self):
+        """A one-line report of bytes sunk so far."""
+        return ("sunk %d bytes\n" % self.bytes_sunk).encode()
+
+
+class _DeviceOpenObject(OpenObject):
+    """An open logical device: all operations stay in the agent."""
+
+    def __init__(self, pset, device):
+        super().__init__(pset, kind="logical-device")
+        self.pset = pset
+        self.device = device
+
+    def read(self, fd, count):
+        return self.device.read(count)
+
+    def write(self, fd, data):
+        if isinstance(data, str):
+            data = data.encode()
+        return self.device.write(data)
+
+    def lseek(self, fd, offset, whence):
+        return 0  # devices are unseekable; lseek is a no-op, as for ttys
+
+    def fstat(self, fd):
+        return self.device.stat_record()
+
+    def fsync(self, fd):
+        return 0
+
+    def ftruncate(self, fd, length):
+        raise SyscallError(EINVAL)
+
+    def fchmod(self, fd, mode):
+        return 0
+
+    def fchown(self, fd, uid, gid):
+        return 0
+
+    def ioctl(self, fd, request, arg):
+        return self.device.ioctl(request, arg)
+
+    def getdirentries(self, fd, count):
+        raise SyscallError(EINVAL, "not a directory")
+
+    def close_slot(self, fd):
+        return self.pset.syscall_down("close", fd)
+
+
+class DevicePathname(Pathname):
+    """A pathname that names a logical device."""
+    def __init__(self, pset, logical, device):
+        super().__init__(pset, logical)
+        self.device = device
+
+    def open(self, flags=0, mode=0o666):
+        # Reserve a real descriptor slot so the fd number space stays
+        # consistent; /dev/null is a convenient anchor.
+        fd = self.pset.syscall_down("open", "/dev/null", flags & 3, 0)
+        return fd, _DeviceOpenObject(self.pset, self.device)
+
+    def stat(self):
+        return self.device.stat_record()
+
+    def lstat(self):
+        return self.device.stat_record()
+
+    def access(self, mode):
+        return 0
+
+
+class DevicePathnameSet(PathnameSet):
+    """A pathname set that overlays logical devices on the name space."""
+    def __init__(self):
+        super().__init__()
+        self.devices = {}
+        self.cwd = "/"
+
+    def add_device(self, path, device):
+        """Place *device* at *path* in the client's view."""
+        self.devices[normalize(path)] = device
+
+    def getpn(self, path, flags=0):
+        logical = normalize(path, self.cwd)
+        device = self.devices.get(logical)
+        if device is not None:
+            return DevicePathname(self, logical, device)
+        return Pathname(self, path)
+
+    def chdir(self, path):
+        result = super().chdir(path)
+        self.cwd = normalize(path, self.cwd)
+        return result
+
+
+@agent("devices")
+class LogicalDeviceAgent(PathSymbolicSyscall):
+    """Provide logical devices to unmodified programs."""
+
+    DESCRIPTOR_SET_CLASS = DevicePathnameSet
+
+    def init(self, agentargv):
+        # Install the built-in devices at paths not already claimed.
+        defaults = (
+            ("/dev/fortune", FortuneDevice),
+            ("/dev/counter", CounterDevice),
+            ("/dev/sink", SinkDevice),
+        )
+        for path, factory in defaults:
+            if normalize(path) not in self.pset.devices:
+                self.add_device(path, factory())
+        super().init(agentargv)
+
+    def add_device(self, path, device):
+        """Place *device* at *path* for this agent's clients."""
+        self.pset.add_device(path, device)

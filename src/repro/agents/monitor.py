@@ -1,0 +1,109 @@
+"""The monitor agent: system call and resource usage monitoring.
+
+The paper's first demonstration agent (Section 2.4): intercepts the
+full system call interface and accumulates per-call counts, error
+counts, bytes read/written, per-file open counts, and child process
+statistics.  A report is written when the client exits.
+"""
+
+from repro.agents import agent
+from repro.kernel.errno import SyscallError, errno_name
+from repro.kernel.ofile import F_DUPFD, O_CREAT, O_TRUNC, O_WRONLY
+from repro.kernel.sysent import name_of
+from repro.toolkit.symbolic import SymbolicSyscall
+
+LOG_FD = 44
+
+
+@agent("monitor")
+class MonitorAgent(SymbolicSyscall):
+    """Count every system call and summarise resource usage at exit."""
+
+    def __init__(self, report_path="/tmp/monitor.out"):
+        super().__init__()
+        self.report_path = report_path
+        self.report_fd = None
+        self.call_counts = {}
+        self.error_counts = {}
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.opens_by_path = {}
+        self.forks = 0
+        self.signals = {}
+
+    def init(self, agentargv):
+        if agentargv:
+            self.report_path = agentargv[0]
+        fd = self.syscall_down(
+            "open", self.report_path, O_WRONLY | O_CREAT | O_TRUNC, 0o644
+        )
+        self.report_fd = self.syscall_down("fcntl", fd, F_DUPFD, LOG_FD)
+        self.syscall_down("close", fd)
+        super().init(agentargv)
+
+    # -- counting at the dispatch spine ----------------------------------
+
+    def handle_syscall(self, number, args):
+        name = name_of(number)
+        self.call_counts[name] = self.call_counts.get(name, 0) + 1
+        try:
+            return super().handle_syscall(number, args)
+        except SyscallError as err:
+            key = (name, errno_name(err.errno))
+            self.error_counts[key] = self.error_counts.get(key, 0) + 1
+            raise
+
+    # -- detail hooks ---------------------------------------------------------
+
+    def sys_open(self, path, flags=0, mode=0o666):
+        fd = super().sys_open(path, flags, mode)
+        self.opens_by_path[path] = self.opens_by_path.get(path, 0) + 1
+        return fd
+
+    def sys_read(self, fd, count):
+        data = super().sys_read(fd, count)
+        self.bytes_read += len(data)
+        return data
+
+    def sys_write(self, fd, data):
+        written = super().sys_write(fd, data)
+        self.bytes_written += written
+        return written
+
+    def sys_fork(self, entry=None):
+        self.forks += 1
+        return super().sys_fork(entry)
+
+    def signal_handler(self, signum, code, context):
+        self.signals[signum] = self.signals.get(signum, 0) + 1
+        super().signal_handler(signum, code, context)
+
+    # -- reporting ----------------------------------------------------------------
+
+    def report_text(self):
+        """Render the accumulated counters as the exit report."""
+        lines = ["system call usage:"]
+        for name in sorted(self.call_counts, key=lambda n: -self.call_counts[n]):
+            lines.append("  %6d %s" % (self.call_counts[name], name))
+        if self.error_counts:
+            lines.append("errors:")
+            for (name, err), count in sorted(self.error_counts.items()):
+                lines.append("  %6d %s -> %s" % (count, name, err))
+        lines.append("bytes read: %d" % self.bytes_read)
+        lines.append("bytes written: %d" % self.bytes_written)
+        lines.append("forks: %d" % self.forks)
+        if self.opens_by_path:
+            lines.append("most-opened files:")
+            ranked = sorted(self.opens_by_path.items(), key=lambda kv: -kv[1])
+            for path, count in ranked[:10]:
+                lines.append("  %6d %s" % (count, path))
+        return "\n".join(lines) + "\n"
+
+    def sys_exit(self, status=0):
+        if self.report_fd is not None:
+            # Rewrite the cumulative report; the last exiting client wins.
+            self.syscall_down("lseek", self.report_fd, 0, 0)
+            text = self.report_text().encode()
+            self.syscall_down("write", self.report_fd, text)
+            self.syscall_down("ftruncate", self.report_fd, len(text))
+        return super().sys_exit(status)

@@ -1,0 +1,77 @@
+"""ntrace: a system call tracer written at the numeric layer.
+
+The ablation counterpart to :mod:`repro.agents.trace`.  Working at
+layer 0, the agent sees only call numbers and untyped argument vectors
+— so it is a fraction of the size of the symbolic trace agent (whose
+code is proportional to the interface because it formats each call's
+arguments), but its output is correspondingly raw: numbers and reprs,
+no symbolic names for flags, modes, or signals beyond the call name
+itself.
+
+This is the trade the paper's layering argument is about: choose the
+layer whose objects match the functionality, and pay (in code) only for
+what the agent actually interprets.
+"""
+
+from repro.agents import agent
+from repro.kernel.errno import errno_name
+from repro.kernel.ofile import F_DUPFD, O_CREAT, O_TRUNC, O_WRONLY
+from repro.kernel.sysent import bsd_numbers, name_of, number_of
+from repro.toolkit.numeric import NumericSyscall
+
+LOG_FD = 47
+NR_EXECVE = number_of("execve")
+
+
+def _brief(value):
+    text = repr(value)
+    return text if len(text) <= 32 else text[:29] + "..."
+
+
+@agent("ntrace")
+class NumericTraceAgent(NumericSyscall):
+    """Print every call as ``name<number>(raw args) -> rv / errno``."""
+
+    def __init__(self, log_path="/tmp/ntrace.out"):
+        super().__init__()
+        self.log_path = log_path
+        self.log_fd = None
+
+    def init(self, agentargv):
+        if agentargv:
+            self.log_path = agentargv[0]
+        if self.log_path == "-":
+            self.log_fd = 2
+        else:
+            fd = self.syscall_down(
+                "open", self.log_path, O_WRONLY | O_CREAT | O_TRUNC, 0o644
+            )
+            self.log_fd = self.syscall_down("fcntl", fd, F_DUPFD, LOG_FD)
+            self.syscall_down("close", fd)
+        self.register_interest_many(bsd_numbers())
+        self.register_signal_interest()
+
+    def _emit(self, text):
+        self.syscall_down("write", self.log_fd, text.encode())
+
+    def syscall(self, number, args, rv, regs):
+        if number == NR_EXECVE:
+            # The native exec would wipe this agent; even a layer-0 agent
+            # must use the boilerplate's reimplementation to survive it.
+            self._emit("execve<%d>(%s)\n"
+                       % (number, ", ".join(_brief(a) for a in args)))
+            self.reexec(*args)
+        error = self.syscall_down_raw(number, args, rv)
+        shown = ", ".join(_brief(a) for a in args)
+        if error:
+            outcome = errno_name(error)
+        else:
+            outcome = "%s %s" % (_brief(rv[0]), _brief(rv[1]))
+        self._emit(
+            "%s<%d>(%s) -> %s\n" % (name_of(number), number, shown, outcome)
+        )
+        return error
+
+    def signal_handler(self, signum, context):
+        self._emit("signal<%d>\n" % signum)
+        super().signal_handler(signum, context)

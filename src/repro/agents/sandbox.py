@@ -1,0 +1,356 @@
+"""The sandbox agent: a protected environment for untrusted binaries.
+
+One of the paper's motivating examples (Section 1.4): "a wrapper
+environment ... that allows untrusted, possibly malicious, binaries to
+be run within a restricted environment that monitors and emulates the
+actions they take, possibly without actually performing them, and
+limits the resources they can use in such a way that the untrusted
+binaries are unaware of the restrictions."
+
+Policy knobs:
+
+* pathname rules — readable prefixes, writable prefixes, hidden
+  prefixes (which simply appear not to exist);
+* *emulated* writes — writes outside the writable set can be silently
+  redirected into a private shadow area instead of being denied, so the
+  untrusted binary believes its writes succeeded;
+* resource limits — system calls, forks, opens, bytes written;
+* a review hook for interactive decisions during protected execution.
+
+Violations raise the errno a real kernel would have raised (``EACCES``/
+``ENOENT``), or terminate the client when ``kill_on_violation`` is set.
+"""
+
+from repro.agents import agent
+from repro.kernel import signals as sig
+from repro.kernel.errno import EACCES, ENOENT, EPERM, SyscallError
+from repro.kernel.ofile import O_CREAT, O_RDONLY, O_TRUNC, O_WRONLY, open_mode_bits, FWRITE
+from repro.agents.union_dirs import normalize
+from repro.toolkit.pathnames import Pathname, PathnameSet, PathSymbolicSyscall
+
+
+class SandboxViolation(SyscallError):
+    """A policy violation, surfaced to the client as a plain errno."""
+
+    def __init__(self, errno_value, op, path):
+        super().__init__(errno_value, "%s %s" % (op, path))
+        self.op = op
+        self.path = path
+
+
+class SandboxPolicy:
+    """What the untrusted binary is allowed to do."""
+
+    def __init__(
+        self,
+        readable=("/",),
+        writable=("/tmp", "/dev"),
+        hidden=(),
+        emulate_writes_to=None,
+        max_syscalls=None,
+        max_forks=None,
+        max_opens=None,
+        max_bytes_written=None,
+        kill_on_violation=False,
+        reviewer=None,
+    ):
+        self.readable = tuple(normalize(p) for p in readable)
+        self.writable = tuple(normalize(p) for p in writable)
+        self.hidden = tuple(normalize(p) for p in hidden)
+        self.emulate_writes_to = (
+            normalize(emulate_writes_to) if emulate_writes_to else None
+        )
+        self.max_syscalls = max_syscalls
+        self.max_forks = max_forks
+        self.max_opens = max_opens
+        self.max_bytes_written = max_bytes_written
+        self.kill_on_violation = kill_on_violation
+        self.reviewer = reviewer
+
+    @staticmethod
+    def _match(path, prefixes):
+        for prefix in prefixes:
+            if path == prefix or path.startswith(prefix.rstrip("/") + "/"):
+                return True
+        return False
+
+    def is_hidden(self, path):
+        """True when *path* falls under a hidden prefix."""
+        return self._match(path, self.hidden)
+
+    def may_read(self, path):
+        """True when reading *path* is permitted."""
+        return self._match(path, self.readable) and not self.is_hidden(path)
+
+    def may_write(self, path):
+        """True when writing *path* is permitted."""
+        return self._match(path, self.writable) and not self.is_hidden(path)
+
+
+class SandboxPathname(Pathname):
+    """A pathname checked (and possibly redirected) by the policy."""
+
+    def __init__(self, pset, logical, real, writing_redirected):
+        super().__init__(pset, real)
+        self.logical = logical
+        self.redirected = writing_redirected
+
+    def open(self, flags=0, mode=0o666):
+        self.pset.check_open(self.logical, flags)
+        if self.pset.agent_wants_redirect(self.logical, flags):
+            self.path = self.pset.shadow_path(self.logical, populate=True)
+        return super().open(flags, mode)
+
+
+class SandboxPathnameSet(PathnameSet):
+    """A pathname set that enforces the sandbox policy."""
+    PATHNAME_CLASS = SandboxPathname
+
+    def __init__(self, policy):
+        super().__init__()
+        self.policy = policy
+        self.cwd = "/"
+        self.violations = []
+
+    # -- path mapping ------------------------------------------------------
+
+    def getpn(self, path, flags=0):
+        logical = normalize(path, self.cwd)
+        if self.policy.is_hidden(logical):
+            self.note_violation("lookup", logical)
+            raise SandboxViolation(ENOENT, "lookup", logical)
+        real = logical
+        if self._shadowed(logical):
+            real = self.shadow_path(logical, populate=False)
+        return SandboxPathname(self, logical, real, real != logical)
+
+    def chdir(self, path):
+        result = super().chdir(path)
+        self.cwd = normalize(path, self.cwd)
+        return result
+
+    # -- policy checks -----------------------------------------------------------
+
+    def note_violation(self, op, path):
+        """Record a violation (and kill, if the policy says so)."""
+        self.violations.append((op, path))
+        if self.policy.kill_on_violation:
+            self.syscall_down("kill", self.ctx.proc.pid, sig.SIGKILL)
+
+    def review(self, op, path):
+        """Consult the interactive reviewer hook, if any."""
+        reviewer = self.policy.reviewer
+        if reviewer is not None and not reviewer(op, path):
+            self.note_violation(op, path)
+            raise SandboxViolation(EACCES, op, path)
+
+    def check_open(self, logical, flags):
+        """Policy check for an open with the given flags."""
+        wants_write = bool(open_mode_bits(flags) & FWRITE or flags & (O_CREAT | O_TRUNC))
+        if wants_write and not self.policy.may_write(logical):
+            if self.policy.emulate_writes_to is None:
+                self.note_violation("write", logical)
+                raise SandboxViolation(EACCES, "write", logical)
+        if not wants_write and not self.policy.may_read(logical):
+            self.note_violation("read", logical)
+            raise SandboxViolation(EACCES, "read", logical)
+        self.review("open", logical)
+
+    def check_mutate(self, op, logical):
+        """A name-space mutation (unlink, mkdir, rename target, ...)."""
+        if not self.policy.may_write(logical):
+            if self.policy.emulate_writes_to is not None:
+                return  # redirected into the shadow area
+            self.note_violation(op, logical)
+            raise SandboxViolation(EACCES, op, logical)
+        self.review(op, logical)
+
+    # -- write emulation (the shadow area) ------------------------------------------
+
+    def agent_wants_redirect(self, logical, flags):
+        """True when this write should go to the shadow area."""
+        if self.policy.emulate_writes_to is None:
+            return False
+        wants_write = bool(
+            open_mode_bits(flags) & FWRITE or flags & (O_CREAT | O_TRUNC)
+        )
+        return wants_write and not self.policy.may_write(logical)
+
+    def _shadow_name(self, logical):
+        return self.policy.emulate_writes_to.rstrip("/") + "/" + (
+            logical.strip("/").replace("/", "__") or "__root__"
+        )
+
+    def _shadowed(self, logical):
+        if self.policy.emulate_writes_to is None:
+            return False
+        try:
+            self.syscall_down("lstat", self._shadow_name(logical))
+            return True
+        except SyscallError:
+            return False
+
+    def shadow_path(self, logical, populate):
+        """The shadow file backing writes to *logical*."""
+        shadow = self._shadow_name(logical)
+        if populate and not self._shadowed(logical):
+            # First write to this file: seed the shadow with the original
+            # contents so partial overwrites behave as the client expects.
+            try:
+                original = self._slurp(logical)
+            except SyscallError:
+                original = None
+            if original is not None:
+                self._spill(shadow, original)
+        return shadow
+
+    def _slurp(self, path):
+        fd = self.syscall_down("open", path, O_RDONLY, 0)
+        try:
+            chunks = []
+            while True:
+                chunk = self.syscall_down("read", fd, 8192)
+                if not chunk:
+                    return b"".join(chunks)
+                chunks.append(chunk)
+        finally:
+            self.syscall_down("close", fd)
+
+    def _spill(self, path, data):
+        fd = self.syscall_down("open", path, O_WRONLY | O_CREAT | O_TRUNC, 0o600)
+        try:
+            self.syscall_down("write", fd, data)
+        finally:
+            self.syscall_down("close", fd)
+
+    # -- mutating pathname calls get checked --------------------------------------------
+
+    def unlink(self, path):
+        logical = normalize(path, self.cwd)
+        self.check_mutate("unlink", logical)
+        if self.agent_wants_redirect(logical, O_WRONLY) and self._shadowed(logical):
+            return self.syscall_down("unlink", self._shadow_name(logical))
+        return super().unlink(path)
+
+    def mkdir(self, path, mode=0o777):
+        self.check_mutate("mkdir", normalize(path, self.cwd))
+        return super().mkdir(path, mode)
+
+    def rmdir(self, path):
+        self.check_mutate("rmdir", normalize(path, self.cwd))
+        return super().rmdir(path)
+
+    def rename(self, path, newpath):
+        self.check_mutate("rename", normalize(path, self.cwd))
+        self.check_mutate("rename", normalize(newpath, self.cwd))
+        return super().rename(path, newpath)
+
+    def link(self, path, newpath):
+        self.check_mutate("link", normalize(newpath, self.cwd))
+        return super().link(path, newpath)
+
+    def symlink(self, target, path):
+        self.check_mutate("symlink", normalize(path, self.cwd))
+        return super().symlink(target, path)
+
+    def chmod(self, path, mode):
+        self.check_mutate("chmod", normalize(path, self.cwd))
+        return super().chmod(path, mode)
+
+    def truncate(self, path, length):
+        self.check_mutate("truncate", normalize(path, self.cwd))
+        return super().truncate(path, length)
+
+
+@agent("sandbox")
+class SandboxAgent(PathSymbolicSyscall):
+    """Run untrusted binaries in a restricted, monitored environment."""
+
+    DESCRIPTOR_SET_CLASS = SandboxPathnameSet
+
+    def __init__(self, policy=None):
+        self.policy = policy if policy is not None else SandboxPolicy()
+        self._counts = {"syscalls": 0, "forks": 0, "opens": 0, "bytes": 0}
+        super().__init__(pset=SandboxPathnameSet(self.policy))
+
+    def init(self, agentargv):
+        # agentargv syntax: ro=/a:rw=/b:hide=/c (optional; usually the
+        # policy object is passed programmatically)
+        for spec in agentargv:
+            kind, _, value = spec.partition("=")
+            if kind == "rw":
+                self.policy.writable += (normalize(value),)
+            elif kind == "hide":
+                self.policy.hidden += (normalize(value),)
+        super().init(agentargv)
+
+    @property
+    def violations(self):
+        return self.dset.violations
+
+    def _limit(self, name, maximum):
+        self._counts[name] += 1
+        if maximum is not None and self._counts[name] > maximum:
+            self.dset.note_violation("limit:" + name, str(self._counts[name]))
+            raise SandboxViolation(EPERM, "limit:" + name, "")
+
+    def handle_syscall(self, number, args):
+        from repro.kernel.sysent import number_of
+
+        # exit is always allowed: a process over its limits must still be
+        # able to die (and the kernel could not refuse it anyway).
+        if number != number_of("exit"):
+            self._limit("syscalls", self.policy.max_syscalls)
+        return super().handle_syscall(number, args)
+
+    def sys_fork(self, entry=None):
+        self._limit("forks", self.policy.max_forks)
+        return super().sys_fork(entry)
+
+    def sys_open(self, path, flags=0, mode=0o666):
+        self._limit("opens", self.policy.max_opens)
+        return super().sys_open(path, flags, mode)
+
+    def sys_write(self, fd, data):
+        written = super().sys_write(fd, data)
+        self._counts["bytes"] += written
+        if (
+            self.policy.max_bytes_written is not None
+            and self._counts["bytes"] > self.policy.max_bytes_written
+        ):
+            self.dset.note_violation("limit:bytes", str(self._counts["bytes"]))
+            raise SandboxViolation(EPERM, "limit:bytes", "")
+        return written
+
+    def sys_kill(self, pid, signum):
+        # The untrusted binary may signal only itself and its descendants.
+        if pid not in self._descendants():
+            self.dset.note_violation("kill", str(pid))
+            raise SandboxViolation(EPERM, "kill", str(pid))
+        return super().sys_kill(pid, signum)
+
+    def sys_setuid(self, uid):
+        self.dset.note_violation("setuid", str(uid))
+        raise SandboxViolation(EPERM, "setuid", str(uid))
+
+    def sys_chroot(self, path):
+        self.dset.note_violation("chroot", path)
+        raise SandboxViolation(EPERM, "chroot", path)
+
+    def sys_settimeofday(self, sec, usec):
+        self.dset.note_violation("settimeofday", "")
+        raise SandboxViolation(EPERM, "settimeofday", "")
+
+    def _descendants(self):
+        kernel = self.ctx.kernel
+        me = self.ctx.proc.pid
+        family = {me}
+        with kernel._sleepq:
+            grew = True
+            while grew:
+                grew = False
+                for proc in kernel._procs.values():
+                    if proc.ppid in family and proc.pid not in family:
+                        family.add(proc.pid)
+                        grew = True
+        return family

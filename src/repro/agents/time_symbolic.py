@@ -1,0 +1,16 @@
+"""The time_symbolic agent (paper Section 3.5.1).
+
+Intercepts each system call, decodes the call and arguments, and calls
+the virtual method corresponding to the call — which just takes the
+default action, making the same call on the next level of the system
+interface.  This measures the minimum toolkit overhead for each
+intercepted system call (Table 3-5's "with agent" column).
+"""
+
+from repro.agents import agent
+from repro.toolkit.symbolic import SymbolicSyscall
+
+
+@agent("time_symbolic")
+class TimeSymbolic(SymbolicSyscall):
+    """A pure pass-through agent at the symbolic layer."""

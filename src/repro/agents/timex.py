@@ -1,0 +1,30 @@
+"""The timex agent: changes the apparent time of day (paper Section 3.3.1).
+
+The whole agent is an initialization routine that accepts the desired
+offset and one derived system call method; every other behaviour of the
+system interface is inherited from the toolkit.  The paper measures
+this agent at 35 statements of agent-specific code over 2467 statements
+of toolkit code.
+"""
+
+from repro.agents import agent
+from repro.toolkit.symbolic import SymbolicSyscall
+
+
+@agent("timex")
+class TimexSymbolicSyscall(SymbolicSyscall):
+    """Shift gettimeofday()'s result by a fixed number of seconds."""
+
+    def __init__(self, offset=0):
+        super().__init__()
+        self.offset = offset  # difference between real and funky time
+
+    def init(self, agentargv):
+        super().init(agentargv)
+        if agentargv:
+            self.offset = int(agentargv[0])
+
+    def sys_gettimeofday(self):
+        tv = super().sys_gettimeofday()
+        tv.tv_sec += self.offset
+        return tv

@@ -1,0 +1,301 @@
+"""Transparent data-transformation agents: compression and encryption.
+
+Two more of the paper's motivating examples (Section 1.4): "transparent
+data compression and/or encryption agents."  Files under a configured
+subtree are *stored* in transformed form but *observed* by applications
+in plain form: opens slurp and decode the stored bytes into an
+in-memory open object, reads/writes/seeks are served from that buffer,
+and the final close encodes and writes the bytes back.
+
+:class:`CompressAgent` stores zlib-compressed files;
+:class:`CryptAgent` stores files encrypted with a keyed stream cipher.
+Both derive from :class:`TransformAgent`, which holds all of the
+interposition logic — the two agents differ only in their
+``encode``/``decode`` pair, a direct demonstration of toolkit reuse.
+"""
+
+import zlib
+
+from repro.agents import agent
+from repro.kernel.errno import EINVAL, SyscallError
+from repro.kernel.ofile import (
+    FREAD,
+    FWRITE,
+    O_APPEND,
+    O_CREAT,
+    O_RDONLY,
+    O_TRUNC,
+    O_WRONLY,
+    SEEK_CUR,
+    SEEK_END,
+    SEEK_SET,
+    open_mode_bits,
+)
+from repro.agents.union_dirs import normalize
+from repro.toolkit.descriptors import OpenObject
+from repro.toolkit.pathnames import Pathname, PathnameSet, PathSymbolicSyscall
+
+#: stored-form magic so plain files under the subtree stay readable
+MAGIC = b"#xform1\n"
+
+
+class TransformOpenObject(OpenObject):
+    """An open object whose contents live decoded in agent memory.
+
+    Derives from the toolkit's :class:`OpenObject`, overriding the data
+    path (read/write/seek/stat/truncate) while inheriting the reference
+    counting and the vector forms built on read/write.
+    """
+
+    def __init__(self, pset, logical, stored_path, data, writable):
+        super().__init__(pset, kind="file")
+        self.pset = pset
+        self.logical = logical
+        self.stored_path = stored_path
+        self.data = bytearray(data)
+        self.writable = writable
+        self.dirty = False
+        #: one shared offset, as in a kernel open-file entry: descriptors
+        #: created by dup/fork share it
+        self.offset = 0
+
+    def last_close(self):
+        if self.dirty:
+            self.pset.store(self.stored_path, bytes(self.data))
+            self.dirty = False
+
+    # -- descriptor operations served from the buffer --------------------
+
+    def read(self, fd, count):
+        chunk = bytes(self.data[self.offset : self.offset + count])
+        self.offset += len(chunk)
+        return chunk
+
+    def write(self, fd, data):
+        if isinstance(data, str):
+            data = data.encode()
+        end = self.offset + len(data)
+        if self.offset > len(self.data):
+            self.data.extend(b"\0" * (self.offset - len(self.data)))
+        self.data[self.offset:end] = data
+        self.offset = end
+        self.dirty = True
+        return len(data)
+
+    def lseek(self, fd, offset, whence):
+        if whence == SEEK_SET:
+            new = offset
+        elif whence == SEEK_CUR:
+            new = self.offset + offset
+        elif whence == SEEK_END:
+            new = len(self.data) + offset
+        else:
+            raise SyscallError(EINVAL)
+        if new < 0:
+            raise SyscallError(EINVAL)
+        self.offset = new
+        return new
+
+    def fstat(self, fd):
+        record = self.pset.syscall_down("fstat", fd)
+        record.st_size = len(self.data)  # the logical (decoded) size
+        return record
+
+    def ftruncate(self, fd, length):
+        if length < 0:
+            raise SyscallError(EINVAL)
+        if length < len(self.data):
+            del self.data[length:]
+        else:
+            self.data.extend(b"\0" * (length - len(self.data)))
+        self.dirty = True
+        return 0
+
+    def fsync(self, fd):
+        if self.dirty:
+            self.pset.store(self.stored_path, bytes(self.data))
+            self.dirty = False
+        return 0
+
+    def fchmod(self, fd, mode):
+        return self.pset.syscall_down("fchmod", fd, mode)
+
+    def fchown(self, fd, uid, gid):
+        return self.pset.syscall_down("fchown", fd, uid, gid)
+
+    def ioctl(self, fd, request, arg):
+        return self.pset.syscall_down("ioctl", fd, request, arg)
+
+    def getdirentries(self, fd, count):
+        raise SyscallError(EINVAL, "not a directory")
+
+    def close_slot(self, fd):
+        return self.pset.syscall_down("close", fd)
+
+
+class TransformPathname(Pathname):
+    """A pathname whose file contents are transformed at rest."""
+    def open(self, flags=0, mode=0o666):
+        if not self.pset.in_subtree(self.path):
+            return super().open(flags, mode)
+        # Open the stored file to reserve the descriptor slot and check
+        # permissions, then serve contents from the decoded buffer.
+        fd = self.pset.syscall_down("open", self.path, flags & ~O_APPEND, mode)
+        record = self.pset.syscall_down("fstat", fd)
+        from repro.kernel import stat as st
+
+        if st.S_ISDIR(record.st_mode):
+            return fd, self.pset.OPEN_OBJECT_CLASS(self.pset)
+        bits = open_mode_bits(flags)
+        data = b"" if flags & O_TRUNC else self.pset.load(self.path)
+        open_object = TransformOpenObject(
+            self.pset, self.path, self.path, data, writable=bool(bits & FWRITE)
+        )
+        if flags & O_APPEND:
+            open_object.offset = len(open_object.data)
+        if flags & O_TRUNC:
+            open_object.dirty = True
+        return fd, open_object
+
+    def stat(self):
+        record = super().stat()
+        return self.pset.patch_size(self.path, record)
+
+    def lstat(self):
+        record = super().lstat()
+        return self.pset.patch_size(self.path, record)
+
+
+class TransformPathnameSet(PathnameSet):
+    """A pathname set applying an encode/decode pair under a subtree."""
+    PATHNAME_CLASS = TransformPathname
+
+    def __init__(self, subtree, encode, decode):
+        super().__init__()
+        self.subtree = normalize(subtree)
+        self.encode = encode
+        self.decode = decode
+        self.cwd = "/"
+
+    def getpn(self, path, flags=0):
+        return TransformPathname(self, normalize(path, self.cwd))
+
+    def chdir(self, path):
+        result = super().chdir(path)
+        self.cwd = normalize(path, self.cwd)
+        return result
+
+    def in_subtree(self, path):
+        """True when *path* falls under the transformed subtree."""
+        return path == self.subtree or path.startswith(self.subtree + "/")
+
+    # -- stored-form access ---------------------------------------------------
+
+    def load(self, path):
+        """Read a stored file and return its decoded contents."""
+        fd = self.syscall_down("open", path, O_RDONLY, 0)
+        try:
+            chunks = []
+            while True:
+                chunk = self.syscall_down("read", fd, 8192)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+        finally:
+            self.syscall_down("close", fd)
+        raw = b"".join(chunks)
+        if raw.startswith(MAGIC):
+            return self.decode(raw[len(MAGIC):])
+        return raw  # not yet transformed: read it plain
+
+    def store(self, path, data):
+        """Encode *data* and write it as the stored form."""
+        encoded = MAGIC + self.encode(data)
+        fd = self.syscall_down("open", path, O_WRONLY | O_CREAT | O_TRUNC, 0o644)
+        try:
+            offset = 0
+            while offset < len(encoded):
+                offset += self.syscall_down(
+                    "write", fd, encoded[offset : offset + 8192]
+                )
+        finally:
+            self.syscall_down("close", fd)
+
+    def patch_size(self, path, record):
+        """Report the decoded size in stat results."""
+        if self.in_subtree(path):
+            from repro.kernel import stat as st
+
+            if st.S_ISREG(record.st_mode):
+                try:
+                    record.st_size = len(self.load(path))
+                except SyscallError:
+                    pass
+        return record
+
+
+class TransformAgent(PathSymbolicSyscall):
+    """Base for agents that transparently transform file contents."""
+
+    DESCRIPTOR_SET_CLASS = TransformPathnameSet
+
+    def __init__(self, subtree):
+        super().__init__(
+            pset=TransformPathnameSet(subtree, self.encode, self.decode)
+        )
+
+    def encode(self, data):
+        """Plain bytes -> stored bytes (subclasses decide how)."""
+        raise NotImplementedError
+
+    def decode(self, data):
+        """Stored bytes -> plain bytes (inverse of encode)."""
+        raise NotImplementedError
+
+
+@agent("compress")
+class CompressAgent(TransformAgent):
+    """Store files under the subtree zlib-compressed, transparently."""
+
+    def encode(self, data):
+        """zlib-compress the plain bytes."""
+        return zlib.compress(bytes(data), 6)
+
+    def decode(self, data):
+        """zlib-decompress the stored bytes."""
+        return zlib.decompress(bytes(data))
+
+
+def _keystream_xor(data, key):
+    if not key:
+        raise ValueError("empty key")
+    out = bytearray(len(data))
+    state = 0x5DEECE66D
+    key_bytes = key.encode() if isinstance(key, str) else bytes(key)
+    for k in key_bytes:
+        state = (state * 6364136223846793005 + k) & (1 << 64) - 1
+    for i, byte in enumerate(bytes(data)):
+        state = (state * 6364136223846793005 + 1442695040888963407) & (1 << 64) - 1
+        out[i] = byte ^ (state >> 33) & 0xFF
+    return bytes(out)
+
+
+@agent("crypt")
+class CryptAgent(TransformAgent):
+    """Store files under the subtree enciphered with a keyed stream.
+
+    (A toy keystream — the point is the interposition structure, not
+    the cryptography.)
+    """
+
+    def __init__(self, subtree, key="mach2.5"):
+        self.key = key
+        super().__init__(subtree)
+
+    def encode(self, data):
+        """Encipher with the keyed stream (an involution)."""
+        return _keystream_xor(data, self.key)
+
+    def decode(self, data):
+        """Decipher with the keyed stream (same involution)."""
+        return _keystream_xor(data, self.key)

@@ -1,0 +1,429 @@
+"""The transactional agent: run unmodified programs transactionally.
+
+One of the paper's motivating examples (Section 1.4): "a simple
+``run_transaction`` command could be constructed that runs arbitrary
+unmodified programs (e.g., /bin/csh) such that all persistent execution
+side effects (e.g., filesystem writes) are remembered and appear within
+the transactional environment to have been performed normally, but
+where in actuality the user is presented with a commit-or-abort choice
+at the end of such a session.  Indeed, one such transactional program
+invocation could occur within another, transparently providing nested
+transactions."
+
+Mechanism: an overlay.  Writes go to shadow files in a private scratch
+directory; removals become whiteouts; reads and directory listings
+consult the overlay first, so the client observes its own effects.  On
+``commit()`` the overlay is applied to the underlying system interface
+— which, thanks to agent stacking, may itself be another transactional
+agent: nested transactions fall out of the toolkit's downcall chaining.
+"""
+
+from repro.agents import agent
+from repro.kernel.errno import EEXIST, ENOENT, SyscallError
+from repro.kernel.ofile import (
+    FWRITE,
+    O_APPEND,
+    O_CREAT,
+    O_RDONLY,
+    O_TRUNC,
+    O_WRONLY,
+    open_mode_bits,
+)
+from repro.agents.union_dirs import normalize
+from repro.kernel.inode import Dirent
+from repro.toolkit.directory import Directory
+from repro.toolkit.pathnames import Pathname, PathnameSet, PathSymbolicSyscall
+
+
+class TxnPathname(Pathname):
+    """A pathname resolved through the transaction overlay."""
+
+    def __init__(self, pset, logical):
+        super().__init__(pset, pset.backing_path(logical))
+        self.logical = logical
+
+    def _check_visible(self):
+        if self.pset.is_whited_out(self.logical):
+            raise SyscallError(ENOENT, self.logical)
+
+    def open(self, flags=0, mode=0o666):
+        wants_write = bool(
+            open_mode_bits(flags) & FWRITE or flags & (O_CREAT | O_TRUNC)
+        )
+        if self.pset.is_whited_out(self.logical):
+            if not flags & O_CREAT:
+                raise SyscallError(ENOENT, self.logical)
+            # Creating over a whiteout: fresh shadow, no seeding.
+            self.pset.clear_whiteout(self.logical)
+            self.path = self.pset.shadow_for(self.logical, seed=False)
+        elif wants_write:
+            seed = not flags & O_TRUNC
+            self.path = self.pset.shadow_for(self.logical, seed=seed)
+        return super().open(flags, mode)
+
+    def stat(self):
+        self._check_visible()
+        return super().stat()
+
+    def lstat(self):
+        self._check_visible()
+        return super().lstat()
+
+    def access(self, mode):
+        self._check_visible()
+        return super().access(mode)
+
+    def unlink(self):
+        self._check_visible()
+        # Verify the object exists somewhere, then remember the removal.
+        self.pset.syscall_down("lstat", self.path)
+        self.pset.record_unlink(self.logical)
+        return 0
+
+    def mkdir(self, mode=0o777):
+        if self.pset.exists_logically(self.logical):
+            raise SyscallError(EEXIST, self.logical)
+        self.pset.clear_whiteout(self.logical)
+        self.pset.record_mkdir(self.logical)
+        return 0
+
+    def rmdir(self):
+        self._check_visible()
+        self.pset.record_rmdir(self.logical)
+        return 0
+
+    def rename(self, newpn):
+        self._check_visible()
+        data = self.pset.slurp_logical(self.logical)
+        self.pset.spill_logical(newpn.logical, data)
+        self.pset.record_unlink(self.logical)
+        return 0
+
+    def chmod(self, mode):
+        self._check_visible()
+        self.pset.record_chmod(self.logical, mode)
+        return 0
+
+    def truncate(self, length):
+        self._check_visible()
+        data = self.pset.slurp_logical(self.logical)
+        padded = data[:length] + b"\0" * max(0, length - len(data))
+        self.pset.spill_logical(self.logical, padded)
+        return 0
+
+
+class TxnDirectory(Directory):
+    """A directory listing adjusted for the overlay: whiteouts removed,
+    transaction-created names added."""
+
+    def __init__(self, dset, pathname):
+        super().__init__(dset, pathname)
+        self.logical = getattr(pathname, "logical", pathname.path)
+        self._extra = None
+
+    def next_direntry(self, fd):
+        while True:
+            if self._extra is None:
+                self._extra = self.dset.overlay_names_in(self.logical)
+                self._emitted = set()
+            status = super().next_direntry(fd)
+            if not status:
+                # Underlying entries done; emit transaction-created names.
+                while self._extra:
+                    name = self._extra.pop(0)
+                    if name in self._emitted:
+                        continue
+                    self.direntry = Dirent(0, name)
+                    return 1
+                self.direntry = None
+                return 0
+            name = self.direntry.d_name
+            child = self.logical.rstrip("/") + "/" + name
+            if name not in (".", "..") and self.dset.is_whited_out(
+                normalize(child)
+            ):
+                continue
+            self._emitted.add(name)
+            if name in self._extra:
+                self._extra.remove(name)
+            return 1
+
+
+class TxnPathnameSet(PathnameSet):
+    """A pathname set that remembers effects in an overlay."""
+    PATHNAME_CLASS = TxnPathname
+    DIRECTORY_CLASS = TxnDirectory
+
+    def __init__(self, scratch_dir):
+        super().__init__()
+        self.scratch_dir = scratch_dir.rstrip("/")
+        self.cwd = "/"
+        #: logical path -> shadow path, for every file written
+        self.shadows = {}
+        #: logical paths removed within the transaction
+        self.whiteouts = set()
+        #: directories created within the transaction, in order
+        self.made_dirs = []
+        #: logical path -> mode, for chmods within the transaction
+        self.modes = {}
+        #: (logical, SyscallError) pairs from the last commit: effects the
+        #: next-level interface refused (a sandbox below, permissions, ...)
+        self.commit_failures = []
+        self._serial = 0
+        self._scratch_ready = False
+
+    # -- resolution ---------------------------------------------------
+
+    def getpn(self, path, flags=0):
+        return TxnPathname(self, normalize(path, self.cwd))
+
+    def chdir(self, path):
+        result = super().chdir(path)
+        self.cwd = normalize(path, self.cwd)
+        return result
+
+    def backing_path(self, logical):
+        """Where reads of *logical* actually go (shadow or real)."""
+        if logical in self.shadows:
+            return self.shadows[logical]
+        for made in self.made_dirs:
+            if logical == made:
+                # A directory created in the transaction is backed by a
+                # scratch directory so opens and listings work.
+                return self._dir_shadow(made)
+            if logical.startswith(made + "/"):
+                break
+        return logical
+
+    # -- overlay state ------------------------------------------------------
+
+    def _ensure_scratch(self):
+        if not self._scratch_ready:
+            try:
+                self.syscall_down("mkdir", self.scratch_dir, 0o700)
+            except SyscallError as err:
+                if err.errno != EEXIST:
+                    raise
+            self._scratch_ready = True
+
+    def _new_shadow(self):
+        self._ensure_scratch()
+        self._serial += 1
+        return "%s/shadow.%d" % (self.scratch_dir, self._serial)
+
+    def _dir_shadow(self, logical):
+        self._ensure_scratch()
+        shadow = "%s/dir.%s" % (
+            self.scratch_dir,
+            logical.strip("/").replace("/", "__"),
+        )
+        try:
+            self.syscall_down("mkdir", shadow, 0o700)
+        except SyscallError as err:
+            if err.errno != EEXIST:
+                raise
+        return shadow
+
+    def is_whited_out(self, logical):
+        """True when the transaction removed *logical*."""
+        return logical in self.whiteouts
+
+    def clear_whiteout(self, logical):
+        """Forget a removal (the name was recreated)."""
+        self.whiteouts.discard(logical)
+
+    def exists_logically(self, logical):
+        """Does *logical* exist in the client's view?"""
+        if self.is_whited_out(logical):
+            return False
+        try:
+            self.syscall_down("lstat", self.backing_path(logical))
+            return True
+        except SyscallError:
+            return False
+
+    def shadow_for(self, logical, seed):
+        """The shadow file backing writes to *logical* (created on first use)."""
+        shadow = self.shadows.get(logical)
+        if shadow is not None:
+            return shadow
+        shadow = self._new_shadow()
+        if seed:
+            try:
+                data = self._slurp(logical)
+            except SyscallError:
+                data = None
+            if data is not None:
+                self._spill(shadow, data)
+        self.shadows[logical] = shadow
+        return shadow
+
+    def record_unlink(self, logical):
+        """Remember a removal as a whiteout."""
+        shadow = self.shadows.pop(logical, None)
+        if shadow is not None:
+            try:
+                self.syscall_down("unlink", shadow)
+            except SyscallError:
+                pass
+        self.whiteouts.add(logical)
+
+    def record_mkdir(self, logical):
+        """Remember a directory creation."""
+        self.made_dirs.append(logical)
+        self._dir_shadow(logical)
+
+    def record_rmdir(self, logical):
+        """Remember a directory removal."""
+        if logical in self.made_dirs:
+            self.made_dirs.remove(logical)
+        self.whiteouts.add(logical)
+
+    def record_chmod(self, logical, mode):
+        """Remember a mode change for commit time."""
+        self.modes[logical] = mode
+
+    def overlay_names_in(self, logical_dir):
+        """Names created by the transaction that belong in *logical_dir*."""
+        prefix = logical_dir.rstrip("/") + "/" if logical_dir != "/" else "/"
+        names = []
+        for logical in list(self.shadows) + self.made_dirs:
+            if logical.startswith(prefix):
+                rest = logical[len(prefix):]
+                if "/" not in rest and rest not in names:
+                    names.append(rest)
+        return sorted(names)
+
+    # -- data movement helpers -------------------------------------------------
+
+    def _slurp(self, path):
+        fd = self.syscall_down("open", path, O_RDONLY, 0)
+        try:
+            chunks = []
+            while True:
+                chunk = self.syscall_down("read", fd, 8192)
+                if not chunk:
+                    return b"".join(chunks)
+                chunks.append(chunk)
+        finally:
+            self.syscall_down("close", fd)
+
+    def _spill(self, path, data):
+        fd = self.syscall_down("open", path, O_WRONLY | O_CREAT | O_TRUNC, 0o600)
+        try:
+            offset = 0
+            while offset < len(data):
+                offset += self.syscall_down("write", fd, data[offset:offset + 8192])
+        finally:
+            self.syscall_down("close", fd)
+
+    def slurp_logical(self, logical):
+        """Read *logical*'s current (overlay-aware) contents."""
+        return self._slurp(self.backing_path(logical))
+
+    def spill_logical(self, logical, data):
+        """Write *data* as *logical*'s new overlay contents."""
+        self._spill(self.shadow_for(logical, seed=False), data)
+
+    # -- transaction outcome ----------------------------------------------------------
+
+    def commit(self):
+        """Apply every remembered effect to the next-level interface.
+
+        Effects the next level refuses (a sandbox interposed below, say)
+        are recorded in :attr:`commit_failures` rather than crashing the
+        exiting client; the rest of the transaction still applies.
+        """
+        self.commit_failures = []
+        for made in self.made_dirs:
+            try:
+                self.syscall_down("mkdir", made, 0o755)
+            except SyscallError as err:
+                if err.errno != EEXIST:
+                    self.commit_failures.append((made, err))
+        for logical, shadow in sorted(self.shadows.items()):
+            try:
+                self._spill(logical, self._slurp(shadow))
+            except SyscallError as err:
+                self.commit_failures.append((logical, err))
+        for logical in sorted(self.whiteouts, key=len, reverse=True):
+            try:
+                self.syscall_down("unlink", logical)
+            except SyscallError:
+                try:
+                    self.syscall_down("rmdir", logical)
+                except SyscallError:
+                    pass
+        for logical, mode in self.modes.items():
+            try:
+                self.syscall_down("chmod", logical, mode)
+            except SyscallError:
+                pass
+        self._discard()
+
+    def abort(self):
+        """Forget every remembered effect."""
+        self._discard()
+
+    def _discard(self):
+        for shadow in self.shadows.values():
+            try:
+                self.syscall_down("unlink", shadow)
+            except SyscallError:
+                pass
+        self.shadows = {}
+        self.whiteouts = set()
+        self.made_dirs = []
+        self.modes = {}
+
+
+@agent("txn")
+class TxnAgent(PathSymbolicSyscall):
+    """Run clients transactionally; decide commit or abort at the end.
+
+    ``outcome`` may be ``"commit"``, ``"abort"``, or ``"ask"`` — the
+    latter prints a prompt and reads the choice from the client's
+    terminal when the initial client exits, the interactive session the
+    paper describes.
+    """
+
+    DESCRIPTOR_SET_CLASS = TxnPathnameSet
+
+    def __init__(self, scratch_dir="/tmp/txn.scratch", outcome="commit"):
+        super().__init__(pset=TxnPathnameSet(scratch_dir))
+        self.outcome = outcome
+        self.decided = None
+        self._client_pid = None
+
+    def init(self, agentargv):
+        if agentargv:
+            self.outcome = agentargv[0]
+        if len(agentargv) > 1:
+            self.pset.scratch_dir = agentargv[1].rstrip("/")
+        super().init(agentargv)
+        self._client_pid = self.syscall_down("getpid")
+
+    def commit(self):
+        """Apply the session's remembered effects now."""
+        self.decided = "commit"
+        self.pset.commit()
+
+    def abort(self):
+        """Discard the session's remembered effects now."""
+        self.decided = "abort"
+        self.pset.abort()
+
+    def sys_exit(self, status=0):
+        if self.syscall_down("getpid") == self._client_pid and self.decided is None:
+            choice = self.outcome
+            if choice == "ask":
+                self.syscall_down(
+                    "write", 2, b"txn: commit changes? [y/n] "
+                )
+                answer = self.syscall_down("read", 0, 16)
+                choice = "commit" if answer[:1].lower() == b"y" else "abort"
+            if choice == "commit":
+                self.commit()
+            else:
+                self.abort()
+        return super().sys_exit(status)

@@ -1,0 +1,212 @@
+"""The union agent: union directories (paper Section 3.3.3).
+
+Provides the ability to view the contents of a list of actual
+directories as if their contents were merged into a single union
+directory — the "mount a search list of directories" enhancement the
+paper's introduction motivates with source/object directories under
+make.
+
+Agent-specific code is three things, exactly as in the paper:
+
+* a derived :class:`UnionPathname` that maps operations using names of
+  union directories to operations on the underlying objects,
+* a derived :class:`UnionDirectory` whose ``next_direntry()`` makes
+  ``getdirentries()`` list the merged logical contents, and
+* an initialization routine accepting union specifications
+  (``logical=member1:member2:...``) from the agent command line.
+
+Everything else — the other ~70 descriptor- and pathname-using calls —
+is inherited from the toolkit objects that encapsulate those
+abstractions.
+"""
+
+from repro.agents import agent
+from repro.kernel.errno import ENOENT, SyscallError
+from repro.kernel.ofile import O_CREAT, O_RDONLY
+from repro.toolkit.directory import Directory
+from repro.toolkit.pathnames import Pathname, PathnameSet, PathSymbolicSyscall
+
+
+def normalize(path, cwd="/"):
+    """Resolve a path string to a canonical absolute path (textually)."""
+    if not path.startswith("/"):
+        path = cwd.rstrip("/") + "/" + path
+    parts = []
+    for component in path.split("/"):
+        if component in ("", "."):
+            continue
+        if component == "..":
+            if parts:
+                parts.pop()
+            continue
+        parts.append(component)
+    return "/" + "/".join(parts)
+
+
+class UnionPathname(Pathname):
+    """A pathname inside a union directory.
+
+    ``members`` lists the candidate real paths in search order; the
+    first member in which the name exists wins, and names are created
+    in the first member.
+    """
+
+    def __init__(self, pset, logical, members):
+        super().__init__(pset, members[0])
+        self.logical = logical
+        self.members = members
+        self.path = self._resolve()
+
+    def _resolve(self):
+        for candidate in self.members:
+            try:
+                self.pset.syscall_down("lstat", candidate)
+                return candidate
+            except SyscallError as err:
+                if err.errno != ENOENT:
+                    raise
+        return self.members[0]
+
+    def open(self, flags=0, mode=0o666):
+        if flags & O_CREAT:
+            # Creation goes to the first member unless the name already
+            # exists somewhere in the search list.
+            existing = self.path
+            try:
+                self.pset.syscall_down("lstat", existing)
+            except SyscallError:
+                self.path = self.members[0]
+        if self.pset.is_union_root(self.logical):
+            # Opening the union directory itself: merged iteration.
+            fd = self.pset.syscall_down("open", self.path, O_RDONLY, 0)
+            return fd, UnionDirectory(
+                self.pset, self, self.pset.union_members(self.logical)
+            )
+        return super().open(flags, mode)
+
+
+class UnionDirectory(Directory):
+    """An open union directory: iterates members, merging their entries."""
+
+    def __init__(self, dset, pathname, members):
+        super().__init__(dset, pathname)
+        self.members = list(members)
+        self._member_index = 0
+        self._member_fd = None
+        self._pending = []
+        self._seen = set()
+
+    def next_direntry(self, fd):
+        """Produce the next logical entry across all member directories.
+
+        Entries appearing in an earlier member shadow same-named entries
+        in later members; ``.`` and ``..`` come from the first member
+        only.  (And yes, the per-member iteration is itself accomplished
+        via the underlying getdirentries implementation.)
+        """
+        while True:
+            while self._pending:
+                entry = self._pending.pop(0)
+                name = entry.d_name
+                if name in (".", "..") and self._member_index > 0:
+                    continue
+                if name in self._seen:
+                    continue  # an earlier member shadows this entry
+                self._seen.add(name)
+                self.direntry = entry
+                return 1
+            if self._member_fd is None:
+                if self._member_index >= len(self.members):
+                    self.direntry = None
+                    return 0
+                member = self.members[self._member_index]
+                try:
+                    self._member_fd = self.dset.syscall_down(
+                        "open", member, O_RDONLY, 0
+                    )
+                except SyscallError:
+                    self._member_index += 1
+                    continue
+            batch = self.dset.syscall_down("getdirentries", self._member_fd, 16)
+            if not batch:
+                self.dset.syscall_down("close", self._member_fd)
+                self._member_fd = None
+                self._member_index += 1
+                continue
+            self._pending.extend(batch)
+
+    def rewind(self, fd):
+        if self._member_fd is not None:
+            self.dset.syscall_down("close", self._member_fd)
+        self._member_fd = None
+        self._member_index = 0
+        self._pending = []
+        self._seen = set()
+        self.direntry = None
+
+    def last_close(self):
+        if self._member_fd is not None:
+            self.dset.syscall_down("close", self._member_fd)
+            self._member_fd = None
+
+
+class UnionPathnameSet(PathnameSet):
+    """A pathname set whose ``getpn()`` rearranges the name space."""
+
+    PATHNAME_CLASS = UnionPathname
+    DIRECTORY_CLASS = Directory
+
+    def __init__(self, unions=None):
+        super().__init__()
+        #: logical path -> list of member directory paths
+        self.unions = dict(unions or {})
+        self.cwd = "/"
+
+    def add_union(self, logical, members):
+        """Mount *members* (search order) as the union at *logical*."""
+        self.unions[normalize(logical)] = [normalize(m) for m in members]
+
+    def is_union_root(self, logical):
+        """True when *logical* is a configured union directory."""
+        return logical in self.unions
+
+    def union_members(self, logical):
+        """The member list for a union directory."""
+        return self.unions[logical]
+
+    def getpn(self, path, flags=0):
+        full = normalize(path, self.cwd)
+        if full in self.unions:
+            return UnionPathname(self, full, list(self.unions[full]))
+        for logical, members in self.unions.items():
+            prefix = logical.rstrip("/") + "/"
+            if full.startswith(prefix):
+                rest = full[len(prefix):]
+                candidates = [m.rstrip("/") + "/" + rest for m in members]
+                return UnionPathname(self, full, candidates)
+        return Pathname(self, path)
+
+    def chdir(self, path):
+        result = super().chdir(path)
+        self.cwd = normalize(path, self.cwd)
+        return result
+
+
+@agent("union")
+class UnionAgent(PathSymbolicSyscall):
+    """The union directories agent."""
+
+    DESCRIPTOR_SET_CLASS = UnionPathnameSet
+
+    def init(self, agentargv):
+        for spec in agentargv:
+            logical, _, member_spec = spec.partition("=")
+            members = [m for m in member_spec.split(":") if m]
+            if not members:
+                raise ValueError("bad union spec %r" % spec)
+            self.pset.add_union(logical, members)
+        super().init(agentargv)
+
+    def add_union(self, logical, members):
+        """Configure a union directory on this agent."""
+        self.pset.add_union(logical, members)

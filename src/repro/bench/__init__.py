@@ -1,0 +1,15 @@
+"""Benchmark support: statement counting and timing harnesses.
+
+Shared by the ``benchmarks/`` modules that regenerate each of the
+paper's evaluation tables (see DESIGN.md's experiment index).
+"""
+
+from repro.bench.loc import count_statements, module_statements
+from repro.bench.timing import time_runs, usec_per_call
+
+__all__ = [
+    "count_statements",
+    "module_statements",
+    "time_runs",
+    "usec_per_call",
+]

@@ -1,0 +1,134 @@
+"""Timing harnesses for the performance tables.
+
+The paper's application measurements are "the average of nine
+successive runs done after an initial run from which the time was
+discarded" — :func:`time_runs` reproduces that protocol.
+"""
+
+import gc
+import time
+
+
+def _median(samples):
+    ordered = sorted(samples)
+    middle = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[middle]
+    return (ordered[middle - 1] + ordered[middle]) / 2
+
+
+def time_runs(make_run, runs=9, discard_first=True):
+    """Time ``make_run()`` repeatedly, paper-style.
+
+    *make_run* performs one complete run (including any per-run setup
+    that should not be timed it must do beforehand — pass a closure
+    that builds a fresh world and returns a zero-argument callable if
+    setup must be excluded).  Returns ``(mean_seconds, samples)``.
+    """
+    if discard_first:
+        make_run()
+    samples = []
+    for _ in range(runs):
+        start = time.perf_counter()
+        make_run()
+        samples.append(time.perf_counter() - start)
+    return sum(samples) / len(samples), samples
+
+
+def time_prepared_runs(prepare, runs=9, discard_first=True):
+    """Like :func:`time_runs`, but ``prepare()`` returns the callable to
+    time, so per-run setup (booting a world) is excluded from the timing.
+
+    Garbage collection is disabled around each timed run and the median
+    of the samples is reported, to keep host noise out of the small
+    slowdown percentages the format workload measures.
+    """
+    if discard_first:
+        prepare()()
+    samples = []
+    for _ in range(runs):
+        run = prepare()
+        gc_was_enabled = gc.isenabled()
+        gc.collect()
+        gc.disable()
+        try:
+            start = time.perf_counter()
+            run()
+            samples.append(time.perf_counter() - start)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+    return _median(samples), samples
+
+
+def time_matrix(prepares, runs=9):
+    """Time several configurations with interleaved rounds.
+
+    *prepares* is an ordered mapping ``{name: prepare}`` where each
+    ``prepare()`` returns a zero-argument run callable.  One warm-up
+    round is discarded, then each round times every configuration once
+    before moving on — interleaving keeps slow host drift (cache warmth,
+    CPU frequency) from biasing whichever configuration runs first.
+
+    The per-configuration estimate is the *minimum* over rounds: the
+    workloads are deterministic, so the fastest observation is the one
+    least disturbed by the host, and small true overheads (Table 3-2's
+    single-digit percentages) survive noise that would swamp a mean.
+    Returns ``{name: (min_seconds, samples)}``.
+    """
+    for prepare in prepares.values():
+        prepare()()
+    samples = {name: [] for name in prepares}
+    for _ in range(runs):
+        for name, prepare in prepares.items():
+            run = prepare()
+            gc_was_enabled = gc.isenabled()
+            gc.collect()
+            gc.disable()
+            try:
+                start = time.perf_counter()
+                run()
+                samples[name].append(time.perf_counter() - start)
+            finally:
+                if gc_was_enabled:
+                    gc.enable()
+    return {name: (min(times), times) for name, times in samples.items()}
+
+
+def paired_slowdowns(results, base_name="none"):
+    """Per-round paired slowdown estimates from :func:`time_matrix` output.
+
+    Within each round every configuration ran back to back, so the ratio
+    ``config_time / base_time`` inside one round cancels slow host drift
+    that absolute times cannot.  Returns ``{name: median_slowdown_pct}``.
+    """
+    base_samples = results[base_name][1]
+    slowdowns = {}
+    for name, (_, samples) in results.items():
+        ratios = [
+            sample / base
+            for sample, base in zip(samples, base_samples)
+            if base > 0
+        ]
+        slowdowns[name] = (_median(ratios) - 1.0) * 100.0
+    return slowdowns
+
+
+def usec_per_call(fn, calls=2000, repeats=5):
+    """Microseconds per invocation of *fn*, best of *repeats* batches."""
+    best = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(calls):
+            fn()
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return best / calls * 1_000_000
+
+
+def slowdown(base_seconds, with_seconds):
+    """Percent slowdown relative to a base time."""
+    if base_seconds <= 0:
+        return 0.0
+    return (with_seconds - base_seconds) / base_seconds * 100.0

@@ -1,0 +1,22 @@
+"""Simulated 4.3BSD kernel: the substrate under the interposition toolkit.
+
+The paper's toolkit runs on Mach 2.5 and interposes on the 4.3BSD system
+call interface.  This package provides an equivalent substrate in pure
+Python: a UFS-like filesystem, processes with fork/execve/wait, per-process
+descriptor tables sharing a system open-file table, BSD signals, pipes,
+devices, and — crucially — the two Mach primitives the toolkit depends on:
+
+* ``task_set_emulation`` — redirect chosen system call numbers to a handler
+  running in the client's context (see :mod:`repro.kernel.trap`), and
+* ``htg_unix_syscall`` — invoke the underlying kernel implementation of a
+  system call even though that number is being redirected.
+
+Applications written against :mod:`repro.programs` issue system calls by
+number through the trap layer, so unmodified "binaries" run identically
+with and without agents interposed — the paper's *unmodified system* goal.
+"""
+
+from repro.kernel.errno import SyscallError
+from repro.kernel.kernel import Kernel
+
+__all__ = ["Kernel", "SyscallError"]

@@ -1,0 +1,69 @@
+"""Process credentials and permission checks (4.3BSD ``struct ucred``)."""
+
+from repro.kernel import stat as st
+from repro.kernel.errno import EACCES, EPERM, SyscallError
+
+NGROUPS = 16
+
+
+class Cred:
+    """A process's user and group identity."""
+
+    __slots__ = ("uid", "euid", "gid", "egid", "groups")
+
+    def __init__(self, uid=0, gid=0, euid=None, egid=None, groups=()):
+        self.uid = uid
+        self.euid = uid if euid is None else euid
+        self.gid = gid
+        self.egid = gid if egid is None else egid
+        self.groups = list(groups) or [self.gid]
+
+    def copy(self):
+        """An independent copy (fork inherits credentials by value)."""
+        return Cred(self.uid, self.gid, self.euid, self.egid, list(self.groups))
+
+    def is_superuser(self):
+        """True when the effective uid is root."""
+        return self.euid == 0
+
+    def in_group(self, gid):
+        """True if *gid* is the effective or a supplementary group."""
+        return gid == self.egid or gid in self.groups
+
+
+#: access() / open() intent bits
+R_OK = 4
+W_OK = 2
+X_OK = 1
+F_OK = 0
+
+
+def check_access(inode, cred, want):
+    """Raise ``EACCES`` unless *cred* may access *inode* with intent *want*.
+
+    Follows the 4.3BSD rule set: root may do anything except execute a
+    file with no execute bits at all; otherwise owner, then group, then
+    other bits apply — whichever class matches first is decisive.
+    """
+    if want == F_OK:
+        return
+    mode = inode.mode
+    if cred.is_superuser():
+        if want & X_OK and st.S_ISREG(mode) and not mode & 0o111:
+            raise SyscallError(EACCES, "root exec of non-executable")
+        return
+    if cred.euid == inode.uid:
+        shift = 6
+    elif cred.in_group(inode.gid):
+        shift = 3
+    else:
+        shift = 0
+    granted = (mode >> shift) & 7
+    if want & ~granted:
+        raise SyscallError(EACCES)
+
+
+def check_owner(inode, cred):
+    """Raise ``EPERM`` unless *cred* owns *inode* or is the superuser."""
+    if not cred.is_superuser() and cred.euid != inode.uid:
+        raise SyscallError(EPERM)

@@ -1,0 +1,160 @@
+"""The character device switch: /dev/null, /dev/zero, /dev/tty, console.
+
+Devices demonstrate the paper's "logical devices implemented entirely in
+user space" idea from the kernel side: an agent can interpose its own
+device behaviour above these without the kernel knowing.
+"""
+
+from repro.kernel.errno import EINVAL, ENODEV, ENOTTY, ENXIO, SyscallError
+from repro.kernel.ofile import SEEK_CUR, SEEK_END, SEEK_SET
+
+# ioctl requests we implement (a tiny, tty-flavoured set)
+TIOCGWINSZ = 0x4008_7468
+FIONREAD = 0x4004_667F
+
+
+class Device:
+    """Base character device."""
+
+    name = "dev"
+
+    def __init__(self):
+        self.open_count = 0
+
+    def opened(self):
+        """A descriptor opened this device."""
+        self.open_count += 1
+
+    def closed(self):
+        """A descriptor to this device was closed."""
+        self.open_count -= 1
+
+    def read(self, kernel, proc, count):
+        """Read from the device (ENXIO unless overridden)."""
+        raise SyscallError(ENXIO)
+
+    def write(self, kernel, proc, data):
+        """Write to the device (ENXIO unless overridden)."""
+        raise SyscallError(ENXIO)
+
+    def seek(self, kernel, offset, whence):
+        """Seeks on devices are accepted and ignored."""
+        if whence not in (SEEK_SET, SEEK_CUR, SEEK_END):
+            raise SyscallError(EINVAL)
+        return 0
+
+    def ioctl(self, kernel, proc, request, arg):
+        """Device control (ENOTTY unless overridden)."""
+        raise SyscallError(ENOTTY)
+
+
+class NullDevice(Device):
+    """/dev/null: reads give EOF, writes vanish."""
+
+    name = "null"
+
+    def read(self, kernel, proc, count):
+        """Always end-of-file."""
+        return b""
+
+    def write(self, kernel, proc, data):
+        """Swallow the bytes, reporting success."""
+        return len(data)
+
+
+class ZeroDevice(Device):
+    """/dev/zero: an endless supply of NUL bytes."""
+
+    name = "zero"
+
+    def read(self, kernel, proc, count):
+        """An endless run of NUL bytes."""
+        return b"\0" * count
+
+    def write(self, kernel, proc, data):
+        """Swallow the bytes, reporting success."""
+        return len(data)
+
+
+class ConsoleDevice(Device):
+    """/dev/console and /dev/tty: scripted input, captured output.
+
+    The host test harness loads input with :meth:`feed` and collects what
+    simulated programs printed from :attr:`output` — this is the terminal
+    the paper's trace agent writes its log to.
+    """
+
+    name = "console"
+
+    def __init__(self, columns=80, rows=24):
+        super().__init__()
+        self.input = bytearray()
+        self.output = bytearray()
+        self.columns = columns
+        self.rows = rows
+        self.eof = False
+
+    def feed(self, data):
+        """Host-side: queue *data* as terminal input."""
+        if isinstance(data, str):
+            data = data.encode()
+        self.input.extend(data)
+
+    def mark_eof(self):
+        """Host-side: readers see end-of-file after the queue drains."""
+        self.eof = True
+
+    def take_output(self):
+        """Host-side: drain and return everything written so far."""
+        data = bytes(self.output)
+        del self.output[:]
+        return data
+
+    def output_text(self):
+        """Host-side: the written bytes decoded as text."""
+        return bytes(self.output).decode(errors="replace")
+
+    def read(self, kernel, proc, count):
+        """Read queued input; blocks until input or EOF."""
+        kernel.sleep_until(lambda: self.input or self.eof, proc, "ttyin")
+        data = bytes(self.input[:count])
+        del self.input[: len(data)]
+        return data
+
+    def write(self, kernel, proc, data):
+        """Append to the captured output."""
+        self.output.extend(bytes(data))
+        return len(data)
+
+    def ioctl(self, kernel, proc, request, arg):
+        """TIOCGWINSZ and FIONREAD."""
+        if request == TIOCGWINSZ:
+            return (self.rows, self.columns)
+        if request == FIONREAD:
+            return len(self.input)
+        raise SyscallError(ENOTTY)
+
+
+class DeviceSwitch:
+    """Maps ``rdev`` numbers to device instances (4.3BSD ``cdevsw``)."""
+
+    def __init__(self):
+        self._devices = {}
+        self._next_rdev = 1
+
+    def register(self, device, rdev=None):
+        """Add a device; returns its rdev number."""
+        if rdev is None:
+            rdev = self._next_rdev
+            self._next_rdev += 1
+        if rdev in self._devices:
+            raise ValueError("rdev %d already registered" % rdev)
+        self._devices[rdev] = device
+        return rdev
+
+    def lookup(self, rdev):
+        """Find a device by rdev (ENODEV if absent)."""
+        try:
+            return self._devices[rdev]
+        except KeyError:
+            raise SyscallError(ENODEV, "no device %d" % rdev) from None

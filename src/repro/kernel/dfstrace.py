@@ -1,0 +1,160 @@
+"""In-kernel DFSTrace: the monolithic baseline (paper Section 3.5.3).
+
+The original DFSTrace system (Mummert, for the Coda project) collected
+file reference traces with data collection code compiled into the
+kernel — 26 kernel files modified under conditional compilation, four
+machine-dependent files per machine type.  Its agent-based equivalent
+(:mod:`repro.agents.dfs_trace`) needs no kernel modification.
+
+This module is our kernel-resident implementation: the record format
+(shared with the agent so traces are comparable), and a collector wired
+into the system call dispatch path that appends to an in-kernel buffer
+— which is why it is fast, and why it had to modify the kernel.
+"""
+
+#: system calls DFSTrace records (file reference operations)
+TRACED_CALLS = frozenset(
+    """open close lseek stat lstat access chdir chroot execve exit fork
+       link unlink rename mkdir rmdir symlink readlink chmod chown
+       truncate ftruncate utimes""".split()
+)
+
+
+class DFSRecord:
+    """One file-reference trace record."""
+
+    __slots__ = ("time_usec", "pid", "opcode", "error", "detail")
+
+    def __init__(self, time_usec, pid, opcode, error, detail):
+        self.time_usec = time_usec
+        self.pid = pid
+        self.opcode = opcode
+        self.error = error
+        self.detail = detail
+
+    def to_line(self):
+        """Serialise as one text line of the trace format."""
+        return "%d %d %s %d %s" % (
+            self.time_usec,
+            self.pid,
+            self.opcode,
+            self.error,
+            self.detail,
+        )
+
+    @classmethod
+    def from_line(cls, line):
+        """Parse one text line back into a record."""
+        parts = line.split(" ", 4)
+        detail = parts[4] if len(parts) > 4 else ""
+        return cls(int(parts[0]), int(parts[1]), parts[2], int(parts[3]), detail)
+
+    def __repr__(self):
+        return "<DFSRecord %s pid=%d %s>" % (self.opcode, self.pid, self.detail)
+
+
+def parse_trace(text):
+    """Parse a trace log back into records."""
+    records = []
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        parts = line.split(" ", 4)
+        records.append(
+            DFSRecord(
+                int(parts[0]),
+                int(parts[1]),
+                parts[2],
+                int(parts[3]),
+                parts[4] if len(parts) > 4 else "",
+            )
+        )
+    return records
+
+
+def detail_for(opcode, args, result):
+    """Render a call's arguments into the record's detail field.
+
+    Shared by the kernel collector and the interposition agent so the
+    two implementations produce comparable traces.
+    """
+    if opcode in ("open",):
+        flags = args[1] if len(args) > 1 else 0
+        fd = result if isinstance(result, int) else -1
+        return "%s flags=%#x fd=%d" % (args[0], flags, fd)
+    if opcode in ("close",):
+        return "fd=%d" % args[0]
+    if opcode == "lseek":
+        return "fd=%d offset=%d whence=%d" % (args[0], args[1], args[2])
+    if opcode == "ftruncate":
+        return "fd=%d length=%d" % (args[0], args[1])
+    if opcode in ("link", "rename", "symlink"):
+        return "%s %s" % (args[0], args[1])
+    if opcode == "fork":
+        pid = result[0] if isinstance(result, tuple) else result
+        return "child=%s" % pid
+    if opcode == "exit":
+        return "status=%s" % (args[0] if args else 0)
+    if opcode == "execve":
+        return str(args[0])
+    if args:
+        return str(args[0])
+    return ""
+
+
+class KernelDFSTrace:
+    """The in-kernel collector: hooks in the dispatch path, kernel buffer.
+
+    Enable with :func:`enable`; drain with :meth:`drain` (the user-space
+    collector daemon's role).  Records are appended with the kernel lock
+    already held, with no extra system calls — the source of the
+    monolithic implementation's performance edge.
+    """
+
+    def __init__(self, buffer_limit=1_000_000):
+        self.records = []
+        self.buffer_limit = buffer_limit
+        self.dropped = 0
+
+    def record(self, kernel, proc, entry, args, result, error):
+        """Dispatch-path hook: append a record if the call is traced."""
+        if entry.name not in TRACED_CALLS:
+            return
+        if len(self.records) >= self.buffer_limit:
+            self.dropped += 1
+            return
+        self.records.append(
+            DFSRecord(
+                kernel.clock.usec(),
+                proc.pid,
+                entry.name,
+                error.errno if error is not None else 0,
+                detail_for(entry.name, args, result),
+            )
+        )
+
+    def drain(self):
+        """Hand the buffered records to the collector daemon."""
+        records = self.records
+        self.records = []
+        return records
+
+    def to_text(self):
+        """The buffer serialised in the trace file format."""
+        return "\n".join(record.to_line() for record in self.records) + (
+            "\n" if self.records else ""
+        )
+
+
+def enable(kernel, buffer_limit=1_000_000):
+    """Compile-in the tracing hooks (flip the runtime switch)."""
+    collector = KernelDFSTrace(buffer_limit)
+    kernel.dfstrace = collector
+    return collector
+
+
+def disable(kernel):
+    """Remove the tracing hooks; returns the collector."""
+    collector = kernel.dfstrace
+    kernel.dfstrace = None
+    return collector

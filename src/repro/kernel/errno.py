@@ -1,0 +1,72 @@
+"""4.3BSD errno values and the kernel error-return convention.
+
+Kernel system call implementations raise :class:`SyscallError` on failure;
+the trap layer converts that into the ``(retval, errno)`` register pair the
+numeric toolkit layer exposes, exactly as the Mach 2.5 emulation mechanism
+surfaced the carry-flag/errno convention to user handlers.
+"""
+
+EPERM = 1
+ENOENT = 2
+ESRCH = 3
+EINTR = 4
+EIO = 5
+ENXIO = 6
+E2BIG = 7
+ENOEXEC = 8
+EBADF = 9
+ECHILD = 10
+EDEADLK = 11
+ENOMEM = 12
+EACCES = 13
+EFAULT = 14
+ENOTBLK = 15
+EBUSY = 16
+EEXIST = 17
+EXDEV = 18
+ENODEV = 19
+ENOTDIR = 20
+EISDIR = 21
+EINVAL = 22
+ENFILE = 23
+EMFILE = 24
+ENOTTY = 25
+ETXTBSY = 26
+EFBIG = 27
+ENOSPC = 28
+ESPIPE = 29
+EROFS = 30
+EMLINK = 31
+EPIPE = 32
+EDOM = 33
+ERANGE = 34
+EWOULDBLOCK = 35
+EAGAIN = EWOULDBLOCK
+ELOOP = 62
+ENAMETOOLONG = 63
+ENOTEMPTY = 66
+EDQUOT = 69
+ENOSYS = 78
+
+_NAMES = {}
+for _name, _value in list(globals().items()):
+    if _name.startswith("E") and isinstance(_value, int) and _name != "EAGAIN":
+        _NAMES[_value] = _name
+
+
+def errno_name(err):
+    """Return the symbolic name for an errno value (``"E??"`` if unknown)."""
+    return _NAMES.get(err, "E?%d?" % err)
+
+
+class SyscallError(Exception):
+    """A failed system call, carrying its 4.3BSD errno value."""
+
+    def __init__(self, err, message=""):
+        self.errno = err
+        name = errno_name(err)
+        detail = "%s: %s" % (name, message) if message else name
+        super().__init__(detail)
+
+    def __repr__(self):
+        return "SyscallError(%s)" % errno_name(self.errno)

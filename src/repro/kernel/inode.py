@@ -1,0 +1,240 @@
+"""In-core inodes for the simulated UFS filesystem.
+
+Each inode is one filesystem object: regular file, directory, symbolic
+link, device node, or FIFO.  Directories map component names to inode
+numbers within the same filesystem, as on disk; the higher-level name
+space (including mount crossings) is assembled by :mod:`repro.kernel.namei`.
+"""
+
+from repro.kernel import stat as st
+from repro.kernel.errno import EEXIST, ENOENT, ENOTEMPTY, SyscallError
+
+#: maximum length of one pathname component (4.3BSD MAXNAMLEN)
+MAXNAMLEN = 255
+
+
+class Dirent:
+    """One directory entry, as returned by ``getdirentries``."""
+
+    __slots__ = ("d_ino", "d_name")
+
+    def __init__(self, d_ino, d_name):
+        self.d_ino = d_ino
+        self.d_name = d_name
+
+    def __eq__(self, other):
+        if not isinstance(other, Dirent):
+            return NotImplemented
+        return (self.d_ino, self.d_name) == (other.d_ino, other.d_name)
+
+    def __repr__(self):
+        return "Dirent(%d, %r)" % (self.d_ino, self.d_name)
+
+
+class Inode:
+    """Base in-core inode.  Subclasses define the file type bits."""
+
+    IFMT = 0
+
+    def __init__(self, fs, ino, mode, uid, gid, now_usec):
+        self.fs = fs
+        self.ino = ino
+        self.mode = (mode & ~st.S_IFMT) | self.IFMT
+        self.uid = uid
+        self.gid = gid
+        self.nlink = 0
+        self.rdev = 0
+        self.atime = now_usec
+        self.mtime = now_usec
+        self.ctime = now_usec
+        #: open-file references keeping the inode alive after unlink
+        self.open_count = 0
+
+    @property
+    def size(self):
+        return 0
+
+    def is_dir(self):
+        """True for directories."""
+        return st.S_ISDIR(self.mode)
+
+    def is_reg(self):
+        """True for regular files."""
+        return st.S_ISREG(self.mode)
+
+    def is_symlink(self):
+        """True for symbolic links."""
+        return st.S_ISLNK(self.mode)
+
+    def touch_atime(self, now_usec):
+        """Record an access at *now_usec*."""
+        self.atime = now_usec
+
+    def touch_mtime(self, now_usec):
+        """Record a modification (and status change)."""
+        self.mtime = now_usec
+        self.ctime = now_usec
+
+    def touch_ctime(self, now_usec):
+        """Record a status change."""
+        self.ctime = now_usec
+
+    def stat_record(self):
+        """Build the ``struct stat`` for this inode."""
+        from repro.kernel.stat import Stat
+
+        return Stat(
+            st_dev=self.fs.dev,
+            st_ino=self.ino,
+            st_mode=self.mode,
+            st_nlink=self.nlink,
+            st_uid=self.uid,
+            st_gid=self.gid,
+            st_rdev=self.rdev,
+            st_size=self.size,
+            st_atime=self.atime // 1_000_000,
+            st_mtime=self.mtime // 1_000_000,
+            st_ctime=self.ctime // 1_000_000,
+            st_blksize=self.fs.block_size,
+            st_blocks=-(-self.size // 512),
+        )
+
+    def __repr__(self):
+        return "<%s ino=%d nlink=%d>" % (type(self).__name__, self.ino, self.nlink)
+
+
+class RegularFile(Inode):
+    """A regular file: a growable byte array."""
+
+    IFMT = st.S_IFREG
+
+    def __init__(self, fs, ino, mode, uid, gid, now_usec):
+        super().__init__(fs, ino, mode, uid, gid, now_usec)
+        self.data = bytearray()
+
+    @property
+    def size(self):
+        return len(self.data)
+
+    def read_at(self, offset, count):
+        """Bytes at [*offset*, *offset*+*count*), short at EOF."""
+        if offset >= len(self.data):
+            return b""
+        return bytes(self.data[offset : offset + count])
+
+    def write_at(self, offset, data):
+        """Write *data* at *offset*, zero-filling any hole, return count."""
+        if offset > len(self.data):
+            self.data.extend(b"\0" * (offset - len(self.data)))
+        end = offset + len(data)
+        self.data[offset:end] = data
+        return len(data)
+
+    def truncate_to(self, length):
+        """Shrink, or zero-extend, to *length* bytes."""
+        if length < len(self.data):
+            del self.data[length:]
+        else:
+            self.data.extend(b"\0" * (length - len(self.data)))
+
+
+class Directory(Inode):
+    """A directory: ordered mapping from component name to inode number.
+
+    ``"."`` and ``".."`` are stored explicitly, as in UFS, so directory
+    iteration (and the union agent's merged iteration above it) sees them.
+    """
+
+    IFMT = st.S_IFDIR
+
+    def __init__(self, fs, ino, mode, uid, gid, now_usec):
+        super().__init__(fs, ino, mode, uid, gid, now_usec)
+        self.entries = {}
+        #: filesystem mounted on this directory, if any
+        self.mounted = None
+
+    @property
+    def size(self):
+        # Rough UFS-flavoured accounting: a fixed cost per entry.
+        return 16 * max(2, len(self.entries))
+
+    def lookup(self, name):
+        """The inode number entered under *name* (ENOENT)."""
+        try:
+            return self.entries[name]
+        except KeyError:
+            raise SyscallError(ENOENT, name) from None
+
+    def contains(self, name):
+        """True if *name* is entered here."""
+        return name in self.entries
+
+    def enter(self, name, ino):
+        """Add *name* -> *ino* (EEXIST if taken)."""
+        if name in self.entries:
+            raise SyscallError(EEXIST, name)
+        self.entries[name] = ino
+
+    def remove(self, name):
+        """Delete the entry *name* (ENOENT)."""
+        try:
+            del self.entries[name]
+        except KeyError:
+            raise SyscallError(ENOENT, name) from None
+
+    def replace(self, name, ino):
+        """Point an existing (or new) entry at *ino* (used by rename)."""
+        self.entries[name] = ino
+
+    def is_empty(self):
+        """True when only . and .. remain."""
+        return not (set(self.entries) - {".", ".."})
+
+    def check_empty(self):
+        """Raise ENOTEMPTY unless empty."""
+        if not self.is_empty():
+            raise SyscallError(ENOTEMPTY)
+
+    def list_entries(self):
+        """Dirents in on-disk order: ``.``, ``..``, then insertion order."""
+        ordered = []
+        for special in (".", ".."):
+            if special in self.entries:
+                ordered.append(Dirent(self.entries[special], special))
+        for name, ino in self.entries.items():
+            if name not in (".", ".."):
+                ordered.append(Dirent(ino, name))
+        return ordered
+
+
+class Symlink(Inode):
+    """A symbolic link holding its target path."""
+
+    IFMT = st.S_IFLNK
+
+    def __init__(self, fs, ino, mode, uid, gid, now_usec, target=""):
+        super().__init__(fs, ino, mode | 0o777, uid, gid, now_usec)
+        self.target = target
+
+    @property
+    def size(self):
+        return len(self.target)
+
+
+class DeviceNode(Inode):
+    """A character or block special file; behaviour lives in the device switch."""
+
+    def __init__(self, fs, ino, mode, uid, gid, now_usec, kind, rdev):
+        self.IFMT = st.S_IFBLK if kind == "block" else st.S_IFCHR
+        super().__init__(fs, ino, mode, uid, gid, now_usec)
+        self.rdev = rdev
+
+
+class Fifo(Inode):
+    """A named pipe; its buffer is attached on first open."""
+
+    IFMT = st.S_IFIFO
+
+    def __init__(self, fs, ino, mode, uid, gid, now_usec):
+        super().__init__(fs, ino, mode, uid, gid, now_usec)
+        self.pipe = None

@@ -1,0 +1,167 @@
+"""Pathname resolution (the 4.3BSD ``namei`` routine).
+
+Resolution walks one component at a time from the caller's root or
+current directory, enforcing search permission, expanding symbolic links
+with a loop limit, and crossing mount points in both directions.  The
+toolkit's ``pathname_set.getpn()`` sits directly above this: every
+pathname an agent sees was (or will be) resolved here.
+"""
+
+from repro.kernel import cred as credmod
+from repro.kernel import stat as st
+from repro.kernel.errno import (
+    EINVAL,
+    ELOOP,
+    ENAMETOOLONG,
+    ENOENT,
+    ENOTDIR,
+    SyscallError,
+)
+from repro.kernel.inode import MAXNAMLEN
+from repro.kernel.ufs import ROOT_INO
+
+#: 4.3BSD limits
+MAXPATHLEN = 1024
+MAXSYMLINKS = 8
+
+
+class NameiResult:
+    """Outcome of a lookup: the parent directory, the final component name,
+    and the resolved inode (``None`` when the final component is absent,
+    which is the useful case for create-style operations)."""
+
+    __slots__ = ("parent", "name", "inode")
+
+    def __init__(self, parent, name, inode):
+        self.parent = parent
+        self.name = name
+        self.inode = inode
+
+    def require(self):
+        """Return the inode, raising ``ENOENT`` if the path was dangling."""
+        if self.inode is None:
+            raise SyscallError(ENOENT, self.name)
+        return self.inode
+
+
+def _split(path):
+    """Split a path into components, validating length limits.
+
+    Returns ``(absolute, components, trailing_slash)``.
+    """
+    if not isinstance(path, str):
+        raise SyscallError(EINVAL, "pathname must be a string")
+    if path == "":
+        raise SyscallError(ENOENT, "empty pathname")
+    if len(path) > MAXPATHLEN:
+        raise SyscallError(ENAMETOOLONG, path[:32] + "...")
+    absolute = path.startswith("/")
+    trailing = path.endswith("/") and path != "/"
+    components = [c for c in path.split("/") if c]
+    for component in components:
+        if len(component) > MAXNAMLEN:
+            raise SyscallError(ENAMETOOLONG, component[:32] + "...")
+    return absolute, components, trailing
+
+
+def _cross_down(inode):
+    """Descend through any filesystems mounted on a directory."""
+    while isinstance(inode, _dir_type()) and inode.mounted is not None:
+        inode = inode.mounted.root
+    return inode
+
+
+def _dir_type():
+    from repro.kernel.inode import Directory
+
+    return Directory
+
+
+def _dotdot_start(current, root_dir):
+    """Resolve the starting directory for a ``..`` step, handling chroot
+    confinement and upward mount crossings."""
+    while True:
+        if current is root_dir:
+            return current
+        if current.ino == ROOT_INO and current.fs.covered is not None:
+            current = current.fs.covered
+            continue
+        return current
+
+
+def namei(ctx, path, follow=True, want_parent=False):
+    """Resolve *path* relative to *ctx* (an object with ``root_dir``,
+    ``cwd``, and ``cred`` attributes).
+
+    With ``want_parent`` the final component is not required to exist;
+    the result carries ``inode=None`` in that case so callers implementing
+    creat/mkdir/rename can act on the parent.  Without it a dangling final
+    component raises ``ENOENT``.
+    """
+    absolute, components, trailing = _split(path)
+    current = ctx.root_dir if absolute else ctx.cwd
+    current = _cross_down(current)
+    if not current.is_dir():
+        raise SyscallError(ENOTDIR, "cwd is not a directory")
+
+    if not components:
+        # Path was "/" (or all slashes): the root itself.
+        return NameiResult(current, ".", current)
+
+    link_budget = MAXSYMLINKS
+    index = 0
+    parent = current
+    while index < len(components):
+        name = components[index]
+        last = index == len(components) - 1
+        if not current.is_dir():
+            raise SyscallError(ENOTDIR, name)
+        credmod.check_access(current, ctx.cred, credmod.X_OK)
+
+        if name == "..":
+            current = _dotdot_start(current, ctx.root_dir)
+            if current is ctx.root_dir:
+                # ".." at the process's root stays put (chroot confinement).
+                child_ino = current.ino
+            else:
+                child_ino = current.lookup(name)
+        else:
+            try:
+                child_ino = current.lookup(name)
+            except SyscallError:
+                if last and want_parent:
+                    return NameiResult(current, name, None)
+                raise SyscallError(ENOENT, path)
+        child = current.fs.inode(child_ino)
+
+        if child.is_symlink() and (follow or not last):
+            if link_budget == 0:
+                raise SyscallError(ELOOP, path)
+            link_budget -= 1
+            t_abs, t_components, t_trailing = _split(child.target or "/")
+            components = t_components + components[index + 1 :]
+            index = 0
+            trailing = trailing or (t_trailing and not components)
+            if t_abs:
+                current = _cross_down(ctx.root_dir)
+            # else: continue from `current`
+            parent = current
+            continue
+
+        child = _cross_down(child)
+        if last:
+            if trailing and not child.is_dir():
+                raise SyscallError(ENOTDIR, name)
+            return NameiResult(current, name, child)
+        parent = current
+        current = child
+        index += 1
+
+    # Symlink expansion consumed every component: the link resolved to
+    # the directory we are standing in.
+    return NameiResult(parent, ".", current)
+
+
+def lookup(ctx, path, follow=True):
+    """Resolve *path* to an inode, raising ``ENOENT`` if absent."""
+    return namei(ctx, path, follow=follow).require()

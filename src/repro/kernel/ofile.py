@@ -1,0 +1,341 @@
+"""System open-file table entries (4.3BSD ``struct file``).
+
+An :class:`OpenFile` is shared by every descriptor that refers to it —
+across ``dup``, ``dup2``, ``fcntl(F_DUPFD)``, and ``fork`` — so the seek
+offset and status flags are shared too.  The toolkit's reference-counted
+``open_object`` layer mirrors exactly this structure one level up.
+"""
+
+from repro.kernel import cred as credmod
+from repro.kernel.errno import (
+    EBADF,
+    EINVAL,
+    EISDIR,
+    ENOTTY,
+    ESPIPE,
+    SyscallError,
+)
+
+# open(2) flag bits (4.3BSD <sys/file.h>)
+O_RDONLY = 0x0000
+O_WRONLY = 0x0001
+O_RDWR = 0x0002
+O_NONBLOCK = 0x0004
+O_APPEND = 0x0008
+O_CREAT = 0x0200
+O_TRUNC = 0x0400
+O_EXCL = 0x0800
+
+#: internal kernel-mode bits derived from the open mode
+FREAD = 1
+FWRITE = 2
+
+# lseek whence values
+SEEK_SET = 0
+SEEK_CUR = 1
+SEEK_END = 2
+
+# fcntl commands
+F_DUPFD = 0
+F_GETFD = 1
+F_SETFD = 2
+F_GETFL = 3
+F_SETFL = 4
+
+FD_CLOEXEC = 1
+
+
+def open_mode_bits(flags):
+    """Map ``O_*`` access mode to internal ``FREAD``/``FWRITE`` bits."""
+    accmode = flags & 0x3
+    if accmode == O_RDONLY:
+        return FREAD
+    if accmode == O_WRONLY:
+        return FWRITE
+    if accmode == O_RDWR:
+        return FREAD | FWRITE
+    raise SyscallError(EINVAL, "bad open mode %#x" % flags)
+
+
+def access_intent(flags):
+    """Permission bits (:data:`~repro.kernel.cred.R_OK` etc.) implied by open flags."""
+    bits = open_mode_bits(flags)
+    want = 0
+    if bits & FREAD:
+        want |= credmod.R_OK
+    if bits & FWRITE:
+        want |= credmod.W_OK
+    return want
+
+
+class OpenFile:
+    """Base open-file entry: mode bits, shared offset, reference count."""
+
+    def __init__(self, mode_bits, flags):
+        self.mode_bits = mode_bits
+        self.flags = flags
+        self.offset = 0
+        self.refcount = 1
+
+    # -- reference management ----------------------------------------------
+
+    def incref(self):
+        """Another descriptor now references this entry."""
+        self.refcount += 1
+
+    def decref(self, kernel):
+        """Drop a reference; the last one calls :meth:`release`."""
+        assert self.refcount > 0
+        self.refcount -= 1
+        if self.refcount == 0:
+            self.release(kernel)
+
+    def release(self, kernel):
+        """Last reference dropped; subclasses free underlying resources."""
+
+    # -- permission guards ---------------------------------------------------
+
+    def require_read(self):
+        """Raise EBADF unless opened for reading."""
+        if not self.mode_bits & FREAD:
+            raise SyscallError(EBADF, "not open for reading")
+
+    def require_write(self):
+        """Raise EBADF unless opened for writing."""
+        if not self.mode_bits & FWRITE:
+            raise SyscallError(EBADF, "not open for writing")
+
+    # -- operations (subclass responsibility) --------------------------------
+
+    def read(self, kernel, proc, count):
+        """Read *count* bytes at the shared offset (subclasses)."""
+        raise SyscallError(EBADF)
+
+    def write(self, kernel, proc, data):
+        """Write *data* at the shared offset (subclasses)."""
+        raise SyscallError(EBADF)
+
+    def seek(self, kernel, offset, whence):
+        """Reposition the shared offset (EINVAL/ESPIPE by type)."""
+        raise SyscallError(ESPIPE)
+
+    def stat_record(self, kernel):
+        """The ``struct stat`` for the open object."""
+        raise SyscallError(EBADF)
+
+    def truncate(self, kernel, length):
+        """Set the object's length (regular files only)."""
+        raise SyscallError(EINVAL)
+
+    def sync(self, kernel):
+        """Flush to stable storage (default: nothing to do)."""
+        pass
+
+    def ioctl(self, kernel, proc, request, arg):
+        """Device control (ENOTTY unless a device)."""
+        raise SyscallError(ENOTTY)
+
+    def getdirentries(self, kernel, count):
+        """Read directory entries (directories only)."""
+        raise SyscallError(EINVAL, "not a directory")
+
+    def describe(self):
+        """Short human-readable tag for diagnostics."""
+        return type(self).__name__
+
+
+class InodeFile(OpenFile):
+    """An open regular file or directory backed by an inode."""
+
+    def __init__(self, inode, mode_bits, flags):
+        super().__init__(mode_bits, flags)
+        self.inode = inode
+        inode.fs.incref(inode)
+
+    def release(self, kernel):
+        """Drop the inode reference (may reclaim it)."""
+        from repro.kernel.syscalls.flock_itimer import release_lock
+
+        release_lock(self.inode, self, kernel)
+        self.inode.fs.decref(self.inode)
+
+    def read(self, kernel, proc, count):
+        """Read file bytes; directories refuse with EISDIR."""
+        self.require_read()
+        if count < 0:
+            raise SyscallError(EINVAL)
+        if self.inode.is_dir():
+            # 4.3BSD allowed raw directory reads; we direct programs to
+            # getdirentries() and refuse here to keep formats private.
+            raise SyscallError(EISDIR)
+        data = self.inode.read_at(self.offset, count)
+        self.offset += len(data)
+        self.inode.touch_atime(kernel.clock.usec())
+        return data
+
+    def write(self, kernel, proc, data):
+        """Write file bytes, honouring O_APPEND."""
+        self.require_write()
+        if self.inode.is_dir():
+            raise SyscallError(EISDIR)
+        if self.flags & O_APPEND:
+            self.offset = self.inode.size
+        written = self.inode.write_at(self.offset, data)
+        self.offset += written
+        self.inode.touch_mtime(kernel.clock.usec())
+        return written
+
+    def seek(self, kernel, offset, whence):
+        """SEEK_SET/CUR/END arithmetic on the shared offset."""
+        if whence == SEEK_SET:
+            new = offset
+        elif whence == SEEK_CUR:
+            new = self.offset + offset
+        elif whence == SEEK_END:
+            new = self.inode.size + offset
+        else:
+            raise SyscallError(EINVAL, "bad whence %r" % (whence,))
+        if new < 0:
+            raise SyscallError(EINVAL, "negative offset")
+        self.offset = new
+        return new
+
+    def stat_record(self, kernel):
+        """Delegate to the backing inode."""
+        return self.inode.stat_record()
+
+    def truncate(self, kernel, length):
+        """Shrink or zero-extend the backing file."""
+        self.require_write()
+        if not self.inode.is_reg():
+            raise SyscallError(EINVAL)
+        if length < 0:
+            raise SyscallError(EINVAL)
+        self.inode.truncate_to(length)
+        self.inode.touch_mtime(kernel.clock.usec())
+
+    def getdirentries(self, kernel, count):
+        """Return up to *count* dirents from the shared offset onward.
+
+        The offset counts entries (not bytes) — a simplification over the
+        UFS on-disk byte offsets that preserves the property agents care
+        about: iteration state lives in the open file, not the inode.
+        """
+        if not self.inode.is_dir():
+            raise SyscallError(EINVAL, "not a directory")
+        if count <= 0:
+            raise SyscallError(EINVAL)
+        entries = self.inode.list_entries()
+        start = self.offset
+        batch = entries[start : start + count]
+        self.offset = start + len(batch)
+        self.inode.touch_atime(kernel.clock.usec())
+        return batch
+
+    def describe(self):
+        """``inode:N`` tag."""
+        return "inode:%d" % self.inode.ino
+
+
+class PipeEnd(OpenFile):
+    """One end of a pipe; delegates to the shared :class:`~repro.kernel.pipe.Pipe`."""
+
+    def __init__(self, pipe, mode_bits):
+        super().__init__(mode_bits, 0)
+        self.pipe = pipe
+        if mode_bits & FREAD:
+            pipe.readers += 1
+            pipe.total_readers += 1
+        if mode_bits & FWRITE:
+            pipe.writers += 1
+            pipe.total_writers += 1
+
+    def release(self, kernel):
+        """Close this end; wake the peer (EOF/EPIPE)."""
+        self.pipe.close_end(kernel, self.mode_bits)
+
+    def read(self, kernel, proc, count):
+        """Read from the pipe buffer (blocks while writers live)."""
+        self.require_read()
+        if count < 0:
+            raise SyscallError(EINVAL)
+        return self.pipe.read(kernel, proc, count)
+
+    def write(self, kernel, proc, data):
+        """Write into the bounded pipe buffer (may block)."""
+        self.require_write()
+        return self.pipe.write(kernel, proc, data)
+
+    def stat_record(self, kernel):
+        """A FIFO-flavoured ``struct stat``."""
+        return self.pipe.stat_record(kernel)
+
+    def describe(self):
+        """``pipe`` tag."""
+        return "pipe"
+
+
+class FifoEnd(PipeEnd):
+    """An open named pipe: pipe semantics plus a backing inode for fstat."""
+
+    def __init__(self, inode, pipe, mode_bits):
+        super().__init__(pipe, mode_bits)
+        self.inode = inode
+        inode.fs.incref(inode)
+
+    def release(self, kernel):
+        """Close the end and drop the inode reference."""
+        super().release(kernel)
+        self.inode.fs.decref(self.inode)
+
+    def stat_record(self, kernel):
+        """Delegate to the FIFO's inode."""
+        return self.inode.stat_record()
+
+    def describe(self):
+        """``fifo:N`` tag."""
+        return "fifo:%d" % self.inode.ino
+
+
+class DeviceFile(OpenFile):
+    """An open character device; operations go through the device switch."""
+
+    def __init__(self, inode, device, mode_bits, flags):
+        super().__init__(mode_bits, flags)
+        self.inode = inode
+        self.device = device
+        inode.fs.incref(inode)
+        device.opened()
+
+    def release(self, kernel):
+        """Notify the device and drop the inode reference."""
+        self.device.closed()
+        self.inode.fs.decref(self.inode)
+
+    def read(self, kernel, proc, count):
+        """Read through the device switch."""
+        self.require_read()
+        if count < 0:
+            raise SyscallError(EINVAL)
+        return self.device.read(kernel, proc, count)
+
+    def write(self, kernel, proc, data):
+        """Write through the device switch."""
+        self.require_write()
+        return self.device.write(kernel, proc, data)
+
+    def seek(self, kernel, offset, whence):
+        """Devices decide their own seek semantics."""
+        return self.device.seek(kernel, offset, whence)
+
+    def stat_record(self, kernel):
+        """Delegate to the device node's inode."""
+        return self.inode.stat_record()
+
+    def ioctl(self, kernel, proc, request, arg):
+        """Forward the request to the device."""
+        return self.device.ioctl(kernel, proc, request, arg)
+
+    def describe(self):
+        """``dev:name`` tag."""
+        return "dev:%s" % self.device.name

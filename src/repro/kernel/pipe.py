@@ -1,0 +1,92 @@
+"""Pipes: bounded FIFO byte channels with BSD blocking semantics.
+
+Readers block on an empty pipe while writers remain; writers block when
+the buffer is full while readers remain; writing with no readers raises
+``EPIPE`` and posts ``SIGPIPE``.  Blocking uses the kernel's single sleep
+queue (:meth:`repro.kernel.kernel.Kernel.sleep_until`), so a signal posted
+to a sleeping process interrupts the call with ``EINTR``.
+"""
+
+from repro.kernel import signals as sig
+from repro.kernel import stat as st
+from repro.kernel.errno import EINVAL, EPIPE, SyscallError
+from repro.kernel.ofile import FREAD, FWRITE
+from repro.kernel.stat import Stat
+
+#: 4.3BSD pipe buffer size
+PIPE_BUF = 4096
+
+
+class Pipe:
+    """The shared buffer between a pipe's read and write ends."""
+
+    def __init__(self, capacity=PIPE_BUF):
+        self.capacity = capacity
+        self.buffer = bytearray()
+        self.readers = 0
+        self.writers = 0
+        #: monotonic open counts, for FIFO open's edge-triggered blocking
+        self.total_readers = 0
+        self.total_writers = 0
+
+    def close_end(self, kernel, mode_bits):
+        """An end closed: fix the counts and wake sleepers."""
+        if mode_bits & FREAD:
+            self.readers -= 1
+        if mode_bits & FWRITE:
+            self.writers -= 1
+        kernel.wakeup()
+
+    def read(self, kernel, proc, count):
+        """Take up to *count* bytes; blocks while writers remain."""
+        if count == 0:
+            return b""
+        kernel.sleep_until(
+            lambda: self.buffer or self.writers == 0, proc, "piperd"
+        )
+        if not self.buffer:
+            return b""  # EOF: all writers gone
+        data = bytes(self.buffer[:count])
+        del self.buffer[: len(data)]
+        kernel.wakeup()
+        return data
+
+    def write(self, kernel, proc, data):
+        """Append *data*, blocking when full; EPIPE + SIGPIPE with no readers."""
+        if not isinstance(data, (bytes, bytearray)):
+            raise SyscallError(EINVAL, "pipe write wants bytes")
+        total = 0
+        view = memoryview(bytes(data))
+        while total < len(view) or (len(view) == 0 and total == 0):
+            if self.readers == 0:
+                # Kernel lock already held: post directly.
+                proc.post(sig.SIGPIPE)
+                kernel.wakeup()
+                raise SyscallError(EPIPE)
+            kernel.sleep_until(
+                lambda: len(self.buffer) < self.capacity or self.readers == 0,
+                proc,
+                "pipewr",
+            )
+            if self.readers == 0:
+                continue  # re-check at loop top: raises EPIPE
+            room = self.capacity - len(self.buffer)
+            chunk = view[total : total + room]
+            self.buffer.extend(chunk)
+            total += len(chunk)
+            kernel.wakeup()
+            if len(view) == 0:
+                break
+        return total
+
+    def stat_record(self, kernel):
+        """A FIFO-shaped ``struct stat`` for fstat on pipe ends."""
+        now = kernel.clock.usec() // 1_000_000
+        return Stat(
+            st_mode=st.S_IFIFO | 0o600,
+            st_size=len(self.buffer),
+            st_atime=now,
+            st_mtime=now,
+            st_ctime=now,
+            st_blksize=self.capacity,
+        )

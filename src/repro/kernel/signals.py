@@ -1,0 +1,110 @@
+"""4.3BSD signal numbers, default actions, and per-process dispositions.
+
+Signals are the *upward* path of the system interface: the paper's
+completeness goal requires agents to be able to interpose on them just as
+they interpose on system calls.  The kernel posts signals to processes;
+delivery happens at trap boundaries (see :mod:`repro.kernel.trap`), where
+an interposing agent's ``signal_handler`` upcall runs before any handler
+the application registered.
+"""
+
+from repro.kernel.errno import EINVAL, SyscallError
+
+SIGHUP = 1
+SIGINT = 2
+SIGQUIT = 3
+SIGILL = 4
+SIGTRAP = 5
+SIGIOT = 6
+SIGABRT = SIGIOT
+SIGEMT = 7
+SIGFPE = 8
+SIGKILL = 9
+SIGBUS = 10
+SIGSEGV = 11
+SIGSYS = 12
+SIGPIPE = 13
+SIGALRM = 14
+SIGTERM = 15
+SIGURG = 16
+SIGSTOP = 17
+SIGTSTP = 18
+SIGCONT = 19
+SIGCHLD = 20
+SIGTTIN = 21
+SIGTTOU = 22
+SIGIO = 23
+SIGXCPU = 24
+SIGXFSZ = 25
+SIGVTALRM = 26
+SIGPROF = 27
+SIGWINCH = 28
+SIGINFO = 29
+SIGUSR1 = 30
+SIGUSR2 = 31
+
+NSIG = 32
+
+SIG_DFL = "SIG_DFL"
+SIG_IGN = "SIG_IGN"
+
+#: signals whose default action is to ignore
+_DEFAULT_IGNORED = frozenset(
+    {SIGURG, SIGCONT, SIGCHLD, SIGIO, SIGWINCH, SIGINFO}
+)
+#: signals whose default action is to stop the process
+_DEFAULT_STOPS = frozenset({SIGSTOP, SIGTSTP, SIGTTIN, SIGTTOU})
+#: signals that cannot be caught, blocked, or ignored
+UNCATCHABLE = frozenset({SIGKILL, SIGSTOP})
+
+_NAMES = {}
+for _name, _value in list(globals().items()):
+    if _name.startswith("SIG") and isinstance(_value, int) and _name not in (
+        "SIGABRT",
+    ):
+        _NAMES[_value] = _name
+
+
+def signal_name(sig):
+    """Symbolic name of a signal number (``"SIG?n?"`` if out of range)."""
+    return _NAMES.get(sig, "SIG?%d?" % sig)
+
+
+def check_signal(sig):
+    """Validate a signal number, raising ``EINVAL`` as the kernel would."""
+    if not 1 <= sig < NSIG:
+        raise SyscallError(EINVAL, "bad signal %r" % (sig,))
+
+
+def default_action(sig):
+    """Return the default disposition: ``"terminate"``, ``"stop"``, or ``"ignore"``."""
+    if sig in _DEFAULT_IGNORED:
+        return "ignore"
+    if sig in _DEFAULT_STOPS:
+        return "stop"
+    return "terminate"
+
+
+def sigmask(sig):
+    """The 4.3BSD ``sigmask()`` macro: the mask bit for a signal."""
+    return 1 << (sig - 1)
+
+
+class Sigaction:
+    """One signal's disposition: handler, mask held during delivery, flags."""
+
+    __slots__ = ("handler", "mask", "flags")
+
+    def __init__(self, handler=SIG_DFL, mask=0, flags=0):
+        self.handler = handler
+        self.mask = mask
+        self.flags = flags
+
+    def copy(self):
+        """An independent copy (fork inherits dispositions by value)."""
+        return Sigaction(self.handler, self.mask, self.flags)
+
+
+def fresh_dispositions():
+    """Dispositions for a newly created (or freshly exec'd) process."""
+    return {sig: Sigaction() for sig in range(1, NSIG)}

@@ -1,0 +1,120 @@
+"""File mode bits and the ``struct stat`` record, 4.3BSD layout."""
+
+S_IFMT = 0o170000
+S_IFIFO = 0o010000
+S_IFCHR = 0o020000
+S_IFDIR = 0o040000
+S_IFBLK = 0o060000
+S_IFREG = 0o100000
+S_IFLNK = 0o120000
+S_IFSOCK = 0o140000
+
+S_ISUID = 0o4000
+S_ISGID = 0o2000
+S_ISVTX = 0o1000
+
+S_IRWXU = 0o700
+S_IRUSR = 0o400
+S_IWUSR = 0o200
+S_IXUSR = 0o100
+S_IRWXG = 0o070
+S_IRGRP = 0o040
+S_IWGRP = 0o020
+S_IXGRP = 0o010
+S_IRWXO = 0o007
+S_IROTH = 0o004
+S_IWOTH = 0o002
+S_IXOTH = 0o001
+
+ACCESSPERMS = 0o777
+DEFFILEMODE = 0o666
+
+
+def S_ISDIR(mode):
+    """True if *mode* is a directory."""
+    return (mode & S_IFMT) == S_IFDIR
+
+
+def S_ISREG(mode):
+    """True if *mode* is a regular file."""
+    return (mode & S_IFMT) == S_IFREG
+
+
+def S_ISLNK(mode):
+    """True if *mode* is a symbolic link."""
+    return (mode & S_IFMT) == S_IFLNK
+
+
+def S_ISCHR(mode):
+    """True if *mode* is a character device."""
+    return (mode & S_IFMT) == S_IFCHR
+
+
+def S_ISBLK(mode):
+    """True if *mode* is a block device."""
+    return (mode & S_IFMT) == S_IFBLK
+
+
+def S_ISFIFO(mode):
+    """True if *mode* is a FIFO."""
+    return (mode & S_IFMT) == S_IFIFO
+
+
+def S_ISSOCK(mode):
+    """True if *mode* is a socket."""
+    return (mode & S_IFMT) == S_IFSOCK
+
+
+class Stat:
+    """The record returned by ``stat``/``lstat``/``fstat``.
+
+    Field names follow ``struct stat``; values are plain Python ints so
+    agents can freely inspect, copy, and rewrite them before passing the
+    record back up to an application.
+    """
+
+    __slots__ = (
+        "st_dev",
+        "st_ino",
+        "st_mode",
+        "st_nlink",
+        "st_uid",
+        "st_gid",
+        "st_rdev",
+        "st_size",
+        "st_atime",
+        "st_mtime",
+        "st_ctime",
+        "st_blksize",
+        "st_blocks",
+    )
+
+    def __init__(self, **fields):
+        for name in self.__slots__:
+            setattr(self, name, fields.get(name, 0))
+
+    def copy(self):
+        """An independent copy agents may rewrite."""
+        return Stat(**{name: getattr(self, name) for name in self.__slots__})
+
+    def __eq__(self, other):
+        if not isinstance(other, Stat):
+            return NotImplemented
+        return all(getattr(self, n) == getattr(other, n) for n in self.__slots__)
+
+    def __repr__(self):
+        kind = {
+            S_IFIFO: "fifo",
+            S_IFCHR: "chr",
+            S_IFDIR: "dir",
+            S_IFBLK: "blk",
+            S_IFREG: "reg",
+            S_IFLNK: "lnk",
+            S_IFSOCK: "sock",
+        }.get(self.st_mode & S_IFMT, "?")
+        return "<Stat %s ino=%d mode=%o size=%d>" % (
+            kind,
+            self.st_ino,
+            self.st_mode & ~S_IFMT,
+            self.st_size,
+        )

@@ -1,0 +1,44 @@
+"""System call implementations, dispatched by number.
+
+Each implementation is a function ``impl(kernel, proc, *args)`` registered
+against a name from :mod:`repro.kernel.sysent`.  Implementations run with
+the kernel lock held (the classic single-threaded kernel) and either
+return the call's value — a tuple models the two return registers ``rv[2]``
+for calls like ``pipe`` and ``fork`` — or raise
+:class:`~repro.kernel.errno.SyscallError`.
+"""
+
+from repro.kernel.sysent import BY_NAME
+
+#: number -> implementation, populated by the @implements decorator
+DISPATCH = {}
+
+
+def implements(name):
+    """Register a function as the implementation of system call *name*."""
+    entry = BY_NAME[name]
+
+    def register(func):
+        assert entry.number not in DISPATCH, "duplicate impl for %s" % name
+        DISPATCH[entry.number] = func
+        func.syscall_name = name
+        func.syscall_number = entry.number
+        return func
+
+    return register
+
+
+def _load_all():
+    # Import for registration side effects; order is unimportant.
+    from repro.kernel.syscalls import (  # noqa: F401
+        file_io,
+        flock_itimer,
+        mach,
+        pathcalls,
+        process,
+        sigcalls,
+        timecalls,
+    )
+
+
+_load_all()

@@ -1,0 +1,254 @@
+"""System calls that operate on file descriptors.
+
+These are the calls the toolkit's ``desc_symbolic_syscall`` routes through
+the descriptor layer — the 48 calls the paper counts as "using
+descriptors".
+"""
+
+from repro.kernel.errno import EINVAL, SyscallError
+from repro.kernel.ofile import (
+    F_DUPFD,
+    F_GETFD,
+    F_GETFL,
+    F_SETFD,
+    F_SETFL,
+    FD_CLOEXEC,
+    FREAD,
+    FWRITE,
+    O_APPEND,
+    O_NONBLOCK,
+    PipeEnd,
+)
+from repro.kernel.pipe import Pipe
+from repro.kernel.syscalls import implements
+
+
+@implements("read")
+def sys_read(kernel, proc, fd, count):
+    """read(2): read up to *count* bytes at the shared offset."""
+    ofile = proc.fdtable.get(fd)
+    data = ofile.read(kernel, proc, count)
+    proc.rusage.ru_inblock += 1
+    return data
+
+
+@implements("write")
+def sys_write(kernel, proc, fd, data):
+    """write(2): write *data* at the shared offset (or at EOF with O_APPEND)."""
+    if isinstance(data, str):
+        data = data.encode()
+    ofile = proc.fdtable.get(fd)
+    written = ofile.write(kernel, proc, data)
+    proc.rusage.ru_oublock += 1
+    return written
+
+
+@implements("readv")
+def sys_readv(kernel, proc, fd, counts):
+    """Scatter read: *counts* sizes the iovec; returns a list of buffers.
+
+    Atomic with respect to the shared offset, like the real call: the
+    whole vector is filled in one operation.
+    """
+    if not isinstance(counts, (list, tuple)) or not counts:
+        raise SyscallError(EINVAL, "readv wants a non-empty iovec")
+    ofile = proc.fdtable.get(fd)
+    buffers = []
+    for count in counts:
+        if not isinstance(count, int) or count < 0:
+            raise SyscallError(EINVAL)
+        data = ofile.read(kernel, proc, count)
+        buffers.append(data)
+        if len(data) < count:
+            break  # EOF mid-vector
+    proc.rusage.ru_inblock += 1
+    return buffers
+
+
+@implements("writev")
+def sys_writev(kernel, proc, fd, buffers):
+    """Gather write: writes each buffer in order; returns the total."""
+    if not isinstance(buffers, (list, tuple)) or not buffers:
+        raise SyscallError(EINVAL, "writev wants a non-empty iovec")
+    ofile = proc.fdtable.get(fd)
+    total = 0
+    for buffer in buffers:
+        if isinstance(buffer, str):
+            buffer = buffer.encode()
+        total += ofile.write(kernel, proc, buffer)
+    proc.rusage.ru_oublock += 1
+    return total
+
+
+@implements("close")
+def sys_close(kernel, proc, fd):
+    """close(2): free the slot; drop the open-file reference."""
+    ofile = proc.fdtable.remove(fd)
+    ofile.decref(kernel)
+    return 0
+
+
+@implements("lseek")
+def sys_lseek(kernel, proc, fd, offset, whence):
+    """lseek(2): reposition the shared offset; EINVAL when negative."""
+    ofile = proc.fdtable.get(fd)
+    return ofile.seek(kernel, offset, whence)
+
+
+@implements("dup")
+def sys_dup(kernel, proc, fd):
+    """dup(2): lowest-free duplicate sharing the open-file entry."""
+    ofile = proc.fdtable.get(fd)
+    newfd = proc.fdtable.lowest_free()
+    ofile.incref()
+    proc.fdtable.install(newfd, ofile)
+    return newfd
+
+
+@implements("dup2")
+def sys_dup2(kernel, proc, fd, newfd):
+    """dup2(2): duplicate onto *newfd*, closing its old entry."""
+    ofile = proc.fdtable.get(fd)
+    if not 0 <= newfd < proc.fdtable.size:
+        raise SyscallError(EINVAL, "dup2 target %r" % (newfd,))
+    if newfd == fd:
+        return newfd
+    try:
+        old = proc.fdtable.remove(newfd)
+    except SyscallError:
+        old = None
+    if old is not None:
+        old.decref(kernel)
+    ofile.incref()
+    proc.fdtable.install(newfd, ofile)
+    return newfd
+
+
+@implements("pipe")
+def sys_pipe(kernel, proc):
+    """pipe(2): new pipe; two return registers carry the descriptors."""
+    pipe = Pipe()
+    read_end = PipeEnd(pipe, FREAD)
+    write_end = PipeEnd(pipe, FWRITE)
+    rfd = proc.fdtable.allocate(read_end)
+    wfd = proc.fdtable.allocate(write_end)
+    return (rfd, wfd)
+
+
+@implements("fstat")
+def sys_fstat(kernel, proc, fd):
+    """fstat(2): the ``struct stat`` of the open object."""
+    ofile = proc.fdtable.get(fd)
+    return ofile.stat_record(kernel)
+
+
+@implements("fsync")
+def sys_fsync(kernel, proc, fd):
+    """fsync(2): flush the open object (a no-op for our volumes)."""
+    ofile = proc.fdtable.get(fd)
+    ofile.sync(kernel)
+    return 0
+
+
+@implements("ftruncate")
+def sys_ftruncate(kernel, proc, fd, length):
+    """ftruncate(2): set the file's length; needs write mode."""
+    ofile = proc.fdtable.get(fd)
+    ofile.truncate(kernel, length)
+    return 0
+
+
+@implements("fchmod")
+def sys_fchmod(kernel, proc, fd, mode):
+    """fchmod(2): change the backing inode's mode (owner or root)."""
+    from repro.kernel import cred as credmod
+    from repro.kernel import stat as st
+
+    ofile = proc.fdtable.get(fd)
+    inode = getattr(ofile, "inode", None)
+    if inode is None:
+        raise SyscallError(EINVAL)
+    credmod.check_owner(inode, proc.cred)
+    inode.mode = (inode.mode & st.S_IFMT) | (mode & 0o7777)
+    inode.touch_ctime(kernel.clock.usec())
+    return 0
+
+
+@implements("fchown")
+def sys_fchown(kernel, proc, fd, uid, gid):
+    """fchown(2): change the backing inode's ownership (root only)."""
+    from repro.kernel.errno import EPERM
+
+    if not proc.cred.is_superuser():
+        raise SyscallError(EPERM, "chown is restricted to root")
+    ofile = proc.fdtable.get(fd)
+    inode = getattr(ofile, "inode", None)
+    if inode is None:
+        raise SyscallError(EINVAL)
+    if uid != -1:
+        inode.uid = uid
+    if gid != -1:
+        inode.gid = gid
+    inode.touch_ctime(kernel.clock.usec())
+    return 0
+
+
+@implements("ioctl")
+def sys_ioctl(kernel, proc, fd, request, arg=None):
+    """ioctl(2): forward to the open object's device."""
+    ofile = proc.fdtable.get(fd)
+    return ofile.ioctl(kernel, proc, request, arg)
+
+
+@implements("fcntl")
+def sys_fcntl(kernel, proc, fd, cmd, arg=0):
+    """fcntl(2): F_DUPFD / close-on-exec flags / status flags."""
+    ofile = proc.fdtable.get(fd)
+    if cmd == F_DUPFD:
+        newfd = proc.fdtable.lowest_free(arg)
+        ofile.incref()
+        proc.fdtable.install(newfd, ofile)
+        return newfd
+    if cmd == F_GETFD:
+        return FD_CLOEXEC if proc.fdtable.get_cloexec(fd) else 0
+    if cmd == F_SETFD:
+        proc.fdtable.set_cloexec(fd, bool(arg & FD_CLOEXEC))
+        return 0
+    if cmd == F_GETFL:
+        return ofile.flags
+    if cmd == F_SETFL:
+        settable = O_APPEND | O_NONBLOCK
+        ofile.flags = (ofile.flags & ~settable) | (arg & settable)
+        return 0
+    raise SyscallError(EINVAL, "fcntl cmd %r" % (cmd,))
+
+
+@implements("getdirentries")
+def sys_getdirentries(kernel, proc, fd, count):
+    """getdirentries(2): read directory entries at the shared offset."""
+    ofile = proc.fdtable.get(fd)
+    return ofile.getdirentries(kernel, count)
+
+
+@implements("select")
+def sys_select(kernel, proc, timeout_usec):
+    """Timeout-only select: the simulated sleep primitive.
+
+    Advances virtual time by the timeout and wakes when it elapses or a
+    signal arrives.  Descriptor readiness sets are not modelled; programs
+    in this world use blocking reads.
+    """
+    if timeout_usec < 0:
+        raise SyscallError(EINVAL)
+    kernel.clock.advance(timeout_usec)
+    if proc.has_deliverable_signal():
+        from repro.kernel.errno import EINTR
+
+        raise SyscallError(EINTR)
+    return 0
+
+
+@implements("getdtablesize")
+def sys_getdtablesize(kernel, proc):
+    """getdtablesize(2): size of the per-process descriptor table."""
+    return proc.fdtable.size

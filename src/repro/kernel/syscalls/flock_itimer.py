@@ -1,0 +1,123 @@
+"""flock() advisory locks and the interval timers (4.3BSD additions).
+
+Locks belong to *open-file entries*, as in 4.3BSD: descriptors created
+by dup or fork share the lock of their shared entry, and the lock is
+released when the entry's last reference closes.
+"""
+
+from repro.kernel.errno import EBADF, EINVAL, EWOULDBLOCK, SyscallError
+from repro.kernel.syscalls import implements
+
+# flock operations
+LOCK_SH = 1
+LOCK_EX = 2
+LOCK_NB = 4
+LOCK_UN = 8
+
+# interval timers
+ITIMER_REAL = 0
+
+
+class LockState:
+    """Advisory lock state attached to an inode."""
+
+    __slots__ = ("shared", "exclusive")
+
+    def __init__(self):
+        self.shared = set()     # open-file entries holding a shared lock
+        self.exclusive = None   # the open-file entry holding it exclusively
+
+    def holder_count(self):
+        """How many open-file entries hold a lock."""
+        return len(self.shared) + (1 if self.exclusive else 0)
+
+
+def _lock_state(inode):
+    state = getattr(inode, "lock_state", None)
+    if state is None:
+        state = LockState()
+        inode.lock_state = state
+    return state
+
+
+def release_lock(inode, ofile, kernel):
+    """Drop any lock *ofile* holds on *inode* (also used at last close)."""
+    state = getattr(inode, "lock_state", None)
+    if state is None:
+        return
+    changed = False
+    if state.exclusive is ofile:
+        state.exclusive = None
+        changed = True
+    if ofile in state.shared:
+        state.shared.discard(ofile)
+        changed = True
+    if changed:
+        kernel.wakeup()
+
+
+@implements("flock")
+def sys_flock(kernel, proc, fd, operation):
+    """flock(2): shared/exclusive advisory locks with LOCK_NB."""
+    ofile = proc.fdtable.get(fd)
+    inode = getattr(ofile, "inode", None)
+    if inode is None:
+        raise SyscallError(EBADF, "flock needs a file")
+    nonblocking = bool(operation & LOCK_NB)
+    want = operation & ~LOCK_NB
+    state = _lock_state(inode)
+
+    if want == LOCK_UN:
+        release_lock(inode, ofile, kernel)
+        return 0
+    if want not in (LOCK_SH, LOCK_EX):
+        raise SyscallError(EINVAL, "flock operation %r" % (operation,))
+
+    def acquirable():
+        if want == LOCK_SH:
+            return state.exclusive is None or state.exclusive is ofile
+        others_shared = state.shared - {ofile}
+        exclusive_other = state.exclusive is not None and state.exclusive is not ofile
+        return not others_shared and not exclusive_other
+
+    while not acquirable():
+        if nonblocking:
+            raise SyscallError(EWOULDBLOCK)
+        kernel.sleep_until(acquirable, proc, "flock")
+
+    # Converting between lock types drops the old one atomically.
+    release_lock(inode, ofile, kernel)
+    if want == LOCK_SH:
+        state.shared.add(ofile)
+    else:
+        state.exclusive = ofile
+    return 0
+
+
+@implements("setitimer")
+def sys_setitimer(kernel, proc, which, interval_usec, value_usec):
+    """Arm (or disarm) the real-time interval timer.
+
+    ``value_usec`` is the time to the first SIGALRM; ``interval_usec``
+    reloads the timer after each expiry (0 = one shot).
+    """
+    if which != ITIMER_REAL:
+        raise SyscallError(EINVAL, "only ITIMER_REAL is provided")
+    if interval_usec < 0 or value_usec < 0:
+        raise SyscallError(EINVAL)
+    now = kernel.clock.usec()
+    old_value = max(0, proc.alarm_deadline - now) if proc.alarm_deadline else 0
+    old_interval = proc.alarm_interval
+    proc.alarm_deadline = now + value_usec if value_usec else 0
+    proc.alarm_interval = interval_usec if value_usec else 0
+    return (old_interval, old_value)
+
+
+@implements("getitimer")
+def sys_getitimer(kernel, proc, which):
+    """getitimer(2): the timer's (interval, value) in usec."""
+    if which != ITIMER_REAL:
+        raise SyscallError(EINVAL, "only ITIMER_REAL is provided")
+    now = kernel.clock.usec()
+    value = max(0, proc.alarm_deadline - now) if proc.alarm_deadline else 0
+    return (proc.alarm_interval, value)

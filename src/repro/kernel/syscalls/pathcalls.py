@@ -1,0 +1,353 @@
+"""System calls that operate on pathnames.
+
+These are the calls the toolkit's ``path_symbolic_syscall`` routes through
+``pathname_set.getpn()`` — the 30 calls the paper counts as "using
+pathnames".  Every one funnels through :func:`repro.kernel.namei.namei`.
+"""
+
+from repro.kernel import cred as credmod
+from repro.kernel import stat as st
+from repro.kernel.errno import (
+    EACCES,
+    EEXIST,
+    EINVAL,
+    EISDIR,
+    ENOENT,
+    ENOTDIR,
+    ENOTEMPTY,
+    EPERM,
+    EROFS,
+    EXDEV,
+    SyscallError,
+)
+from repro.kernel.namei import namei
+from repro.kernel.ofile import (
+    InodeFile,
+    O_CREAT,
+    O_EXCL,
+    O_TRUNC,
+    access_intent,
+    open_mode_bits,
+)
+from repro.kernel.syscalls import implements
+
+
+@implements("open")
+def sys_open(kernel, proc, path, flags=0, mode=0o666):
+    """open(2): resolve (creating under O_CREAT), check access, allocate a descriptor."""
+    want_parent = bool(flags & O_CREAT)
+    result = namei(proc, path, follow=True, want_parent=want_parent)
+    inode = result.inode
+    if inode is None:
+        # Create a new regular file in the parent directory.
+        parent = result.parent
+        credmod.check_access(parent, proc.cred, credmod.W_OK)
+        fs = parent.fs
+        inode = fs.create_file((mode & 0o7777) & ~proc.umask, proc.cred)
+        fs.link(parent, result.name, inode)
+    else:
+        if flags & O_CREAT and flags & O_EXCL:
+            raise SyscallError(EEXIST, path)
+        want = access_intent(flags)
+        if inode.is_dir() and want & credmod.W_OK:
+            raise SyscallError(EISDIR, path)
+        credmod.check_access(inode, proc.cred, want)
+    ofile = kernel.make_open_file(proc, inode, flags)
+    if flags & O_TRUNC and inode.is_reg():
+        inode.truncate_to(0)
+        inode.touch_mtime(kernel.clock.usec())
+    return proc.fdtable.allocate(ofile)
+
+
+@implements("link")
+def sys_link(kernel, proc, path, newpath):
+    """link(2): add a directory entry for an existing non-directory."""
+    inode = namei(proc, path, follow=False).require()
+    if inode.is_dir():
+        raise SyscallError(EPERM, "link to directory")
+    target = namei(proc, newpath, follow=True, want_parent=True)
+    if target.inode is not None:
+        raise SyscallError(EEXIST, newpath)
+    if target.parent.fs is not inode.fs:
+        raise SyscallError(EXDEV)
+    credmod.check_access(target.parent, proc.cred, credmod.W_OK)
+    inode.fs.link(target.parent, target.name, inode)
+    return 0
+
+
+@implements("unlink")
+def sys_unlink(kernel, proc, path):
+    """unlink(2): remove an entry; the inode survives while open."""
+    result = namei(proc, path, follow=False)
+    inode = result.require()
+    if inode.is_dir():
+        raise SyscallError(EPERM, "unlink of directory")
+    credmod.check_access(result.parent, proc.cred, credmod.W_OK)
+    inode.fs.unlink(result.parent, result.name, inode)
+    return 0
+
+
+@implements("chdir")
+def sys_chdir(kernel, proc, path):
+    """chdir(2): set the working directory (needs search permission)."""
+    inode = namei(proc, path, follow=True).require()
+    if not inode.is_dir():
+        raise SyscallError(ENOTDIR, path)
+    credmod.check_access(inode, proc.cred, credmod.X_OK)
+    proc.cwd = inode
+    return 0
+
+
+@implements("chroot")
+def sys_chroot(kernel, proc, path):
+    """chroot(2): confine the process's root (superuser only)."""
+    if not proc.cred.is_superuser():
+        raise SyscallError(EPERM)
+    inode = namei(proc, path, follow=True).require()
+    if not inode.is_dir():
+        raise SyscallError(ENOTDIR, path)
+    proc.root_dir = inode
+    proc.cwd = inode
+    return 0
+
+
+@implements("mknod")
+def sys_mknod(kernel, proc, path, mode, dev=0):
+    """mknod(2): create a file, FIFO, or (root only) device node."""
+    fmt = mode & st.S_IFMT
+    if fmt in (st.S_IFCHR, st.S_IFBLK) and not proc.cred.is_superuser():
+        raise SyscallError(EPERM, "mknod of device")
+    result = namei(proc, path, follow=True, want_parent=True)
+    if result.inode is not None:
+        raise SyscallError(EEXIST, path)
+    parent = result.parent
+    credmod.check_access(parent, proc.cred, credmod.W_OK)
+    fs = parent.fs
+    perm = (mode & 0o7777) & ~proc.umask
+    if fmt == st.S_IFIFO:
+        inode = fs.create_fifo(perm, proc.cred)
+    elif fmt == st.S_IFCHR:
+        inode = fs.create_device(perm, proc.cred, "char", dev)
+    elif fmt == st.S_IFBLK:
+        inode = fs.create_device(perm, proc.cred, "block", dev)
+    elif fmt in (0, st.S_IFREG):
+        inode = fs.create_file(perm, proc.cred)
+    else:
+        raise SyscallError(EINVAL, "mknod type %o" % fmt)
+    fs.link(parent, result.name, inode)
+    return 0
+
+
+@implements("chmod")
+def sys_chmod(kernel, proc, path, mode):
+    """chmod(2): set permission bits (owner or superuser)."""
+    inode = namei(proc, path, follow=True).require()
+    credmod.check_owner(inode, proc.cred)
+    inode.mode = (inode.mode & st.S_IFMT) | (mode & 0o7777)
+    inode.touch_ctime(kernel.clock.usec())
+    return 0
+
+
+@implements("chown")
+def sys_chown(kernel, proc, path, uid, gid):
+    """chown(2): set ownership; 4.3BSD restricts this to root."""
+    if not proc.cred.is_superuser():
+        raise SyscallError(EPERM, "chown is restricted to root")
+    inode = namei(proc, path, follow=True).require()
+    if uid != -1:
+        inode.uid = uid
+    if gid != -1:
+        inode.gid = gid
+    inode.touch_ctime(kernel.clock.usec())
+    return 0
+
+
+@implements("access")
+def sys_access(kernel, proc, path, mode):
+    """access(2): permission check using the *real* ids."""
+    # access() checks with the *real* uid/gid, per 4.3BSD.
+    real_cred = proc.cred.copy()
+    real_cred.euid = real_cred.uid
+    real_cred.egid = real_cred.gid
+
+    class _RealView:
+        cwd = proc.cwd
+        root_dir = proc.root_dir
+        cred = real_cred
+
+    inode = namei(_RealView, path, follow=True).require()
+    credmod.check_access(inode, real_cred, mode & 0o7)
+    return 0
+
+
+@implements("stat")
+def sys_stat(kernel, proc, path):
+    """stat(2): the ``struct stat`` of the resolved object."""
+    inode = namei(proc, path, follow=True).require()
+    return inode.stat_record()
+
+
+@implements("lstat")
+def sys_lstat(kernel, proc, path):
+    """lstat(2): like stat but does not follow a final symlink."""
+    inode = namei(proc, path, follow=False).require()
+    return inode.stat_record()
+
+
+@implements("symlink")
+def sys_symlink(kernel, proc, target, path):
+    """symlink(2): create a symbolic link holding *target*."""
+    result = namei(proc, path, follow=False, want_parent=True)
+    if result.inode is not None:
+        raise SyscallError(EEXIST, path)
+    parent = result.parent
+    credmod.check_access(parent, proc.cred, credmod.W_OK)
+    fs = parent.fs
+    inode = fs.create_symlink(target, proc.cred)
+    fs.link(parent, result.name, inode)
+    return 0
+
+
+@implements("readlink")
+def sys_readlink(kernel, proc, path, count=1024):
+    """readlink(2): return (a prefix of) the link target."""
+    inode = namei(proc, path, follow=False).require()
+    if not inode.is_symlink():
+        raise SyscallError(EINVAL, "not a symlink")
+    if count < 0:
+        raise SyscallError(EINVAL)
+    return inode.target[:count]
+
+
+@implements("truncate")
+def sys_truncate(kernel, proc, path, length):
+    """truncate(2): set a file's length (needs write access)."""
+    inode = namei(proc, path, follow=True).require()
+    credmod.check_access(inode, proc.cred, credmod.W_OK)
+    if not inode.is_reg():
+        raise SyscallError(EINVAL)
+    if length < 0:
+        raise SyscallError(EINVAL)
+    inode.truncate_to(length)
+    inode.touch_mtime(kernel.clock.usec())
+    return 0
+
+
+@implements("mkdir")
+def sys_mkdir(kernel, proc, path, mode=0o777):
+    """mkdir(2): create a directory, wiring . and .. and nlink."""
+    result = namei(proc, path, follow=True, want_parent=True)
+    if result.inode is not None:
+        raise SyscallError(EEXIST, path)
+    parent = result.parent
+    credmod.check_access(parent, proc.cred, credmod.W_OK)
+    parent.fs.mkdir_in(parent, result.name, (mode & 0o7777) & ~proc.umask, proc.cred)
+    return 0
+
+
+@implements("rmdir")
+def sys_rmdir(kernel, proc, path):
+    """rmdir(2): remove an empty directory, fixing parent nlink."""
+    result = namei(proc, path, follow=False)
+    inode = result.require()
+    if not inode.is_dir():
+        raise SyscallError(ENOTDIR, path)
+    if result.name in (".", ".."):
+        raise SyscallError(EINVAL, "rmdir of . or ..")
+    if inode is proc.root_dir or inode.fs.covered is not None and inode.ino == 2:
+        raise SyscallError(EINVAL, "rmdir of a root")
+    inode.check_empty()
+    credmod.check_access(result.parent, proc.cred, credmod.W_OK)
+    fs = inode.fs
+    # Drop "." and ".." so the nlink accounting comes out right.
+    inode.remove(".")
+    inode.remove("..")
+    inode.nlink -= 1  # the "." self-link
+    result.parent.nlink -= 1  # our ".." link into the parent
+    fs.unlink(result.parent, result.name, inode)
+    return 0
+
+
+def _is_ancestor(kernel, candidate, node):
+    """True if directory *candidate* is *node* or an ancestor of *node*."""
+    seen = set()
+    current = node
+    while current.ino not in seen:
+        if current is candidate:
+            return True
+        seen.add(current.ino)
+        if current.ino == 2 and current.fs.covered is not None:
+            current = current.fs.covered
+            continue
+        parent_ino = current.entries[".."]
+        if parent_ino == current.ino:
+            return current is candidate
+        current = current.fs.inode(parent_ino)
+    return False
+
+
+@implements("rename")
+def sys_rename(kernel, proc, path, newpath):
+    """rename(2): atomic move/replace with the 4.3BSD edge rules (subtree check, .. rewiring, target replacement)."""
+    src = namei(proc, path, follow=False)
+    inode = src.require()
+    if src.name in (".", ".."):
+        raise SyscallError(EINVAL)
+    dst = namei(proc, newpath, follow=False, want_parent=True)
+    if dst.name in (".", ".."):
+        raise SyscallError(EINVAL)
+    if dst.parent.fs is not inode.fs:
+        raise SyscallError(EXDEV)
+    credmod.check_access(src.parent, proc.cred, credmod.W_OK)
+    credmod.check_access(dst.parent, proc.cred, credmod.W_OK)
+    if inode.is_dir() and _is_ancestor(kernel, inode, dst.parent):
+        raise SyscallError(EINVAL, "rename of directory into itself")
+    target = dst.inode
+    if target is inode:
+        return 0
+    fs = inode.fs
+    if target is not None:
+        if target.is_dir():
+            if not inode.is_dir():
+                raise SyscallError(EISDIR, newpath)
+            target.check_empty()
+            target.remove(".")
+            target.remove("..")
+            target.nlink -= 1
+            dst.parent.nlink -= 1
+            fs.unlink(dst.parent, dst.name, target)
+        else:
+            if inode.is_dir():
+                raise SyscallError(ENOTDIR, newpath)
+            fs.unlink(dst.parent, dst.name, target)
+    # Move the entry.
+    src.parent.remove(src.name)
+    dst.parent.replace(dst.name, inode.ino)
+    now = kernel.clock.usec()
+    src.parent.touch_mtime(now)
+    dst.parent.touch_mtime(now)
+    inode.touch_ctime(now)
+    if inode.is_dir() and src.parent is not dst.parent:
+        # Rewire "..": the moved directory changes parents.
+        inode.replace("..", dst.parent.ino)
+        src.parent.nlink -= 1
+        dst.parent.nlink += 1
+    return 0
+
+
+@implements("utimes")
+def sys_utimes(kernel, proc, path, atime_usec, mtime_usec):
+    """utimes(2): set timestamps (owner, write access, or root)."""
+    inode = namei(proc, path, follow=True).require()
+    if not proc.cred.is_superuser() and proc.cred.euid != inode.uid:
+        credmod.check_access(inode, proc.cred, credmod.W_OK)
+    inode.atime = atime_usec
+    inode.mtime = mtime_usec
+    inode.touch_ctime(kernel.clock.usec())
+    return 0
+
+
+@implements("sync")
+def sys_sync(kernel, proc):
+    """sync(2): schedule writes; nothing to do for in-core volumes."""
+    return 0

@@ -1,0 +1,139 @@
+"""Signal-related system calls (4.3BSD ``sigvec`` family)."""
+
+from repro.kernel import signals as sig
+from repro.kernel.errno import EINTR, EINVAL, EPERM, ESRCH, SyscallError
+from repro.kernel.proc import ZOMBIE
+from repro.kernel.syscalls import implements
+
+
+def _may_signal(sender, target):
+    cred = sender.cred
+    return (
+        cred.is_superuser()
+        or cred.uid == target.cred.uid
+        or cred.euid == target.cred.uid
+    )
+
+
+def _deliver_to(kernel, sender, target, signum):
+    if not _may_signal(sender, target):
+        raise SyscallError(EPERM)
+    if signum == 0:
+        return
+    target.post(signum)
+    kernel.wakeup()
+
+
+@implements("kill")
+def sys_kill(kernel, proc, pid, signum):
+    """kill(2): post a signal to a process, group, or broadcast."""
+    if signum:
+        sig.check_signal(signum)
+    if pid > 0:
+        target = kernel.find_process_locked(pid)
+        if target.state == ZOMBIE:
+            raise SyscallError(ESRCH)
+        _deliver_to(kernel, proc, target, signum)
+        return 0
+    if pid == 0:
+        return sys_killpg(kernel, proc, proc.pgrp, signum)
+    if pid == -1:
+        # Broadcast to every process we may signal (except init and self's
+        # kernel bookkeeping); 4.3BSD semantics minus the init carve-out.
+        hit = False
+        for target in kernel.live_processes_locked():
+            if target is proc or not _may_signal(proc, target):
+                continue
+            _deliver_to(kernel, proc, target, signum)
+            hit = True
+        if not hit:
+            raise SyscallError(ESRCH)
+        return 0
+    return sys_killpg(kernel, proc, -pid, signum)
+
+
+@implements("killpg")
+def sys_killpg(kernel, proc, pgrp, signum):
+    """killpg(2): post a signal to every member of a group."""
+    if signum:
+        sig.check_signal(signum)
+    if pgrp <= 0:
+        raise SyscallError(EINVAL)
+    members = [
+        p for p in kernel.live_processes_locked() if p.pgrp == pgrp
+    ]
+    if not members:
+        raise SyscallError(ESRCH)
+    for target in members:
+        _deliver_to(kernel, proc, target, signum)
+    return 0
+
+
+@implements("sigvec")
+def sys_sigvec(kernel, proc, signum, handler, mask=0):
+    """Install a handler; returns the previous one.
+
+    *handler* is ``SIG_DFL``, ``SIG_IGN``, or a callable invoked as
+    ``handler(signum)`` in the process's context at delivery.
+    """
+    sig.check_signal(signum)
+    if signum in sig.UNCATCHABLE and handler != sig.SIG_DFL:
+        raise SyscallError(EINVAL, "cannot catch %s" % sig.signal_name(signum))
+    if handler not in (sig.SIG_DFL, sig.SIG_IGN) and not callable(handler):
+        raise SyscallError(EINVAL, "handler must be callable or SIG_DFL/SIG_IGN")
+    old = proc.dispositions[signum]
+    proc.dispositions[signum] = sig.Sigaction(handler, mask)
+    if handler == sig.SIG_IGN:
+        proc.pending &= ~sig.sigmask(signum)
+    return old.handler
+
+
+@implements("sigblock")
+def sys_sigblock(kernel, proc, mask):
+    """sigblock(2): OR *mask* into the blocked set (KILL/STOP immune)."""
+    old = proc.sigmask
+    proc.sigmask |= mask & ~_uncatchable_mask()
+    return old
+
+
+@implements("sigsetmask")
+def sys_sigsetmask(kernel, proc, mask):
+    """sigsetmask(2): replace the blocked set; wake sleepers to recheck."""
+    old = proc.sigmask
+    proc.sigmask = mask & ~_uncatchable_mask()
+    kernel.wakeup()
+    return old
+
+
+def _uncatchable_mask():
+    bits = 0
+    for signum in sig.UNCATCHABLE:
+        bits |= sig.sigmask(signum)
+    return bits
+
+
+@implements("sigpause")
+def sys_sigpause(kernel, proc, mask):
+    """Atomically set the blocked mask and sleep until a signal arrives.
+
+    Always "fails" with ``EINTR`` after delivery, as the real call does.
+    """
+    old = proc.sigmask
+    proc.sigmask = mask & ~_uncatchable_mask()
+    try:
+        kernel.sleep_until(lambda: False, proc, "pause")
+        raise AssertionError("sigpause slept forever")
+    finally:
+        proc.sigmask = old
+
+
+@implements("alarm")
+def sys_alarm(kernel, proc, seconds):
+    """alarm(2): arm a one-shot SIGALRM; returns seconds remaining."""
+    now = kernel.clock.usec()
+    remaining = 0
+    if proc.alarm_deadline:
+        remaining = max(0, (proc.alarm_deadline - now + 999_999) // 1_000_000)
+    proc.alarm_deadline = now + seconds * 1_000_000 if seconds else 0
+    proc.alarm_interval = 0  # alarm() arms a one-shot timer
+    return remaining

@@ -1,0 +1,35 @@
+"""Time and accounting system calls."""
+
+from repro.kernel.clock import Timeval
+from repro.kernel.errno import EINVAL, EPERM, SyscallError
+from repro.kernel.syscalls import implements
+
+RUSAGE_SELF = 0
+RUSAGE_CHILDREN = -1
+
+
+@implements("gettimeofday")
+def sys_gettimeofday(kernel, proc):
+    """Returns a fresh :class:`Timeval` — agents (timex!) may mutate it."""
+    return kernel.clock.now()
+
+
+@implements("settimeofday")
+def sys_settimeofday(kernel, proc, sec, usec):
+    """settimeofday(2): step the virtual clock (root only)."""
+    if not proc.cred.is_superuser():
+        raise SyscallError(EPERM)
+    if not 0 <= usec < 1_000_000:
+        raise SyscallError(EINVAL)
+    kernel.clock.set(Timeval(sec, usec))
+    return 0
+
+
+@implements("getrusage")
+def sys_getrusage(kernel, proc, who):
+    """getrusage(2): snapshot accounting for self or children."""
+    if who == RUSAGE_SELF:
+        return proc.rusage.snapshot()
+    if who == RUSAGE_CHILDREN:
+        return proc.child_rusage.snapshot()
+    raise SyscallError(EINVAL)

@@ -1,0 +1,142 @@
+"""The simulated UFS filesystem: inode allocation, linking, reclamation.
+
+One :class:`Filesystem` is one mountable volume.  It owns an inode table
+and hands out inode numbers; directory entries within it reference inodes
+by number.  Inodes are reclaimed when both their link count and their
+open-file reference count reach zero — the classic UFS rule that makes
+"unlink while open" work, which several agents (txn, sandbox) rely on.
+"""
+
+from repro.kernel import stat as st
+from repro.kernel.errno import EMLINK, ENOENT, ENOSPC, SyscallError
+from repro.kernel.inode import (
+    DeviceNode,
+    Directory,
+    Fifo,
+    Inode,
+    RegularFile,
+    Symlink,
+)
+
+#: 4.3BSD LINK_MAX
+LINK_MAX = 32767
+ROOT_INO = 2
+
+
+class Filesystem:
+    """A volume of inodes with a root directory."""
+
+    def __init__(self, clock, dev=1, block_size=8192, max_inodes=1 << 20):
+        self.clock = clock
+        self.dev = dev
+        self.block_size = block_size
+        self.max_inodes = max_inodes
+        self._inodes = {}
+        self._next_ino = ROOT_INO
+        #: directory inode (in another fs) this volume is mounted on
+        self.covered = None
+        self.root = self._make(Directory, mode=0o755, uid=0, gid=0)
+        assert self.root.ino == ROOT_INO
+        self.root.enter(".", self.root.ino)
+        self.root.enter("..", self.root.ino)
+        self.root.nlink = 2
+
+    # -- inode table ------------------------------------------------------
+
+    def _make(self, cls, mode, uid, gid, **extra):
+        if len(self._inodes) >= self.max_inodes:
+            raise SyscallError(ENOSPC, "out of inodes")
+        ino = self._next_ino
+        self._next_ino += 1
+        node = cls(self, ino, mode, uid, gid, self.clock.usec(), **extra)
+        self._inodes[ino] = node
+        return node
+
+    def inode(self, ino):
+        """The in-core inode numbered *ino* (ENOENT if stale)."""
+        try:
+            return self._inodes[ino]
+        except KeyError:
+            raise SyscallError(ENOENT, "stale inode %d" % ino) from None
+
+    def live_inode_count(self):
+        """How many inodes the volume holds."""
+        return len(self._inodes)
+
+    # -- creation ---------------------------------------------------------
+
+    def create_file(self, mode, cred):
+        """Allocate a regular file inode (unlinked)."""
+        return self._make(RegularFile, mode, cred.euid, cred.egid)
+
+    def create_symlink(self, target, cred):
+        """Allocate a symlink inode holding *target*."""
+        return self._make(Symlink, 0o777, cred.euid, cred.egid, target=target)
+
+    def create_fifo(self, mode, cred):
+        """Allocate a FIFO inode."""
+        return self._make(Fifo, mode, cred.euid, cred.egid)
+
+    def create_device(self, mode, cred, kind, rdev):
+        """Allocate a device-node inode for *rdev*."""
+        return self._make(
+            DeviceNode, mode, cred.euid, cred.egid, kind=kind, rdev=rdev
+        )
+
+    def create_directory(self, mode, cred, parent):
+        """Allocate a directory wired with ``.`` and ``..``; caller links it."""
+        node = self._make(Directory, mode, cred.euid, cred.egid)
+        node.enter(".", node.ino)
+        node.enter("..", parent.ino)
+        node.nlink = 2
+        return node
+
+    # -- link counts and reclamation ---------------------------------------
+
+    def link(self, dirnode, name, inode):
+        """Enter *name* → *inode* in *dirnode*, bumping the link count."""
+        if inode.nlink >= LINK_MAX:
+            raise SyscallError(EMLINK)
+        dirnode.enter(name, inode.ino)
+        inode.nlink += 1
+        inode.touch_ctime(self.clock.usec())
+        dirnode.touch_mtime(self.clock.usec())
+
+    def unlink(self, dirnode, name, inode):
+        """Remove *name* from *dirnode* and drop the inode's link count."""
+        dirnode.remove(name)
+        inode.nlink -= 1
+        inode.touch_ctime(self.clock.usec())
+        dirnode.touch_mtime(self.clock.usec())
+        self.maybe_reclaim(inode)
+
+    def incref(self, inode):
+        """An open file now references *inode*."""
+        inode.open_count += 1
+
+    def decref(self, inode):
+        """Drop an open reference; reclaim if also unlinked."""
+        assert inode.open_count > 0, "decref of unreferenced inode"
+        inode.open_count -= 1
+        self.maybe_reclaim(inode)
+
+    def maybe_reclaim(self, inode):
+        """Free the inode once unreferenced and unlinked."""
+        if inode.nlink <= 0 and inode.open_count == 0:
+            self._inodes.pop(inode.ino, None)
+
+    # -- convenience used by tests and mkfs-style setup ---------------------
+
+    def mkdir_in(self, parent, name, mode, cred):
+        """Create and link a directory under *parent* (host/mkfs helper)."""
+        node = self.create_directory(mode, cred, parent)
+        parent.enter(name, node.ino)
+        parent.nlink += 1
+        node.touch_ctime(self.clock.usec())
+        parent.touch_mtime(self.clock.usec())
+        return node
+
+
+def is_mount_root(inode):
+    """True if *inode* is the root of a mounted (non-covering) filesystem."""
+    return st.S_ISDIR(inode.mode) and inode.ino == ROOT_INO and inode.fs.covered is not None

@@ -1,0 +1,13 @@
+"""Simulated userland: programs that run as unmodified "binaries".
+
+Programs are written against :class:`repro.programs.libc.Sys`, a thin
+libc over the trap instruction.  They are registered by name with
+:func:`program` and installed as executable files in the simulated
+filesystem by :func:`install_world`, after which the kernel (or an
+interposition agent's reimplemented ``execve``) can load them by path —
+the same program bits run identically with and without agents interposed.
+"""
+
+from repro.programs.registry import PROGRAMS, install_world, program
+
+__all__ = ["PROGRAMS", "install_world", "program"]

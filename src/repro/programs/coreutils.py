@@ -1,0 +1,503 @@
+"""Core utilities for the simulated 4.3BSD world."""
+
+from repro.kernel import stat as st
+from repro.kernel.errno import SyscallError
+from repro.programs.libc import (
+    O_CREAT,
+    O_RDONLY,
+    O_TRUNC,
+    O_WRONLY,
+)
+from repro.programs.registry import program
+
+
+@program("true", install="/bin/true")
+def true_main(sys, argv, envp):
+    """true(1): succeed."""
+    return 0
+
+
+@program("false", install="/bin/false")
+def false_main(sys, argv, envp):
+    """false(1): fail."""
+    return 1
+
+
+@program("echo", install="/bin/echo")
+def echo_main(sys, argv, envp):
+    """echo(1): print arguments (-n suppresses the newline)."""
+    args = argv[1:]
+    newline = True
+    if args and args[0] == "-n":
+        newline = False
+        args = args[1:]
+    sys.print_out(" ".join(args) + ("\n" if newline else ""))
+    return 0
+
+
+@program("cat", install="/bin/cat")
+def cat_main(sys, argv, envp):
+    """cat(1): concatenate files (or stdin) to stdout."""
+    paths = argv[1:] or ["-"]
+    status = 0
+    for path in paths:
+        if path == "-":
+            fd = 0
+            close_after = False
+        else:
+            try:
+                fd = sys.open(path, O_RDONLY)
+            except SyscallError as err:
+                sys.print_err("cat: %s: %s\n" % (path, err))
+                status = 1
+                continue
+            close_after = True
+        while True:
+            chunk = sys.read(fd, 4096)
+            if not chunk:
+                break
+            sys.write(1, chunk)
+        if close_after:
+            sys.close(fd)
+    return status
+
+
+@program("cp", install="/bin/cp")
+def cp_main(sys, argv, envp):
+    """cp(1): copy one file, preserving its mode."""
+    if len(argv) != 3:
+        sys.print_err("usage: cp from to\n")
+        return 2
+    src, dst = argv[1], argv[2]
+    try:
+        src_stat = sys.stat(src)
+        if st.S_ISDIR(sys.stat(dst).st_mode if sys.exists(dst) else 0):
+            dst = dst.rstrip("/") + "/" + src.rsplit("/", 1)[-1]
+    except SyscallError as err:
+        sys.print_err("cp: %s: %s\n" % (src, err))
+        return 1
+    in_fd = sys.open(src, O_RDONLY)
+    out_fd = sys.open(dst, O_WRONLY | O_CREAT | O_TRUNC, src_stat.st_mode & 0o777)
+    while True:
+        chunk = sys.read(in_fd, 8192)
+        if not chunk:
+            break
+        sys.write(out_fd, chunk)
+    sys.close(in_fd)
+    sys.close(out_fd)
+    return 0
+
+
+@program("mv", install="/bin/mv")
+def mv_main(sys, argv, envp):
+    """mv(1): rename a file."""
+    if len(argv) != 3:
+        sys.print_err("usage: mv from to\n")
+        return 2
+    try:
+        sys.rename(argv[1], argv[2])
+    except SyscallError as err:
+        sys.print_err("mv: %s\n" % err)
+        return 1
+    return 0
+
+
+@program("rm", install="/bin/rm")
+def rm_main(sys, argv, envp):
+    """rm(1): remove files (-f ignores missing ones)."""
+    args = argv[1:]
+    force = False
+    if args and args[0] == "-f":
+        force = True
+        args = args[1:]
+    status = 0
+    for path in args:
+        try:
+            sys.unlink(path)
+        except SyscallError as err:
+            if not force:
+                sys.print_err("rm: %s: %s\n" % (path, err))
+                status = 1
+    return status
+
+
+@program("ln", install="/bin/ln")
+def ln_main(sys, argv, envp):
+    """ln(1): hard or (-s) symbolic links."""
+    args = argv[1:]
+    symbolic = False
+    if args and args[0] == "-s":
+        symbolic = True
+        args = args[1:]
+    if len(args) != 2:
+        sys.print_err("usage: ln [-s] from to\n")
+        return 2
+    try:
+        if symbolic:
+            sys.symlink(args[0], args[1])
+        else:
+            sys.link(args[0], args[1])
+    except SyscallError as err:
+        sys.print_err("ln: %s\n" % err)
+        return 1
+    return 0
+
+
+@program("mkdir", install="/bin/mkdir")
+def mkdir_main(sys, argv, envp):
+    """mkdir(1): create directories."""
+    status = 0
+    for path in argv[1:]:
+        try:
+            sys.mkdir(path, 0o777)
+        except SyscallError as err:
+            sys.print_err("mkdir: %s: %s\n" % (path, err))
+            status = 1
+    return status
+
+
+@program("rmdir", install="/bin/rmdir")
+def rmdir_main(sys, argv, envp):
+    """rmdir(1): remove empty directories."""
+    status = 0
+    for path in argv[1:]:
+        try:
+            sys.rmdir(path)
+        except SyscallError as err:
+            sys.print_err("rmdir: %s: %s\n" % (path, err))
+            status = 1
+    return status
+
+
+@program("touch", install="/bin/touch")
+def touch_main(sys, argv, envp):
+    """touch(1): create files or update their timestamps."""
+    now = sys.gettimeofday().to_usec()
+    status = 0
+    for path in argv[1:]:
+        try:
+            if sys.exists(path):
+                sys.utimes(path, now, now)
+            else:
+                sys.close(sys.open(path, O_WRONLY | O_CREAT, 0o666))
+        except SyscallError as err:
+            sys.print_err("touch: %s: %s\n" % (path, err))
+            status = 1
+    return status
+
+
+def _format_mode(mode):
+    kind = {
+        st.S_IFDIR: "d",
+        st.S_IFCHR: "c",
+        st.S_IFBLK: "b",
+        st.S_IFLNK: "l",
+        st.S_IFIFO: "p",
+        st.S_IFSOCK: "s",
+    }.get(mode & st.S_IFMT, "-")
+    bits = ""
+    for shift in (6, 3, 0):
+        perm = (mode >> shift) & 7
+        bits += "r" if perm & 4 else "-"
+        bits += "w" if perm & 2 else "-"
+        bits += "x" if perm & 1 else "-"
+    return kind + bits
+
+
+@program("ls", install="/bin/ls")
+def ls_main(sys, argv, envp):
+    """ls(1): list names (-l long format, -a dot entries)."""
+    args = argv[1:]
+    long_format = False
+    show_all = False
+    while args and args[0].startswith("-"):
+        flag = args.pop(0)
+        if "l" in flag:
+            long_format = True
+        if "a" in flag:
+            show_all = True
+    paths = args or ["."]
+    status = 0
+    for path in paths:
+        try:
+            record = sys.stat(path)
+        except SyscallError as err:
+            sys.print_err("ls: %s: %s\n" % (path, err))
+            status = 1
+            continue
+        if st.S_ISDIR(record.st_mode):
+            names = sorted(sys.listdir(path))
+            if show_all:
+                names = [".", ".."] + names
+        else:
+            names = [path]
+        for name in names:
+            if long_format:
+                full = name if not st.S_ISDIR(record.st_mode) else (
+                    path.rstrip("/") + "/" + name if name not in (".", "..") else name
+                )
+                try:
+                    info = sys.lstat(full) if full != path else record
+                except SyscallError:
+                    continue
+                sys.print_out(
+                    "%s %2d %4d %4d %8d %s\n"
+                    % (
+                        _format_mode(info.st_mode),
+                        info.st_nlink,
+                        info.st_uid,
+                        info.st_gid,
+                        info.st_size,
+                        name,
+                    )
+                )
+            else:
+                sys.print_out(name + "\n")
+    return status
+
+
+@program("pwd", install="/bin/pwd")
+def pwd_main(sys, argv, envp):
+    """pwd(1): print the working directory (classic getwd walk)."""
+    # Walk ".." upwards matching inode numbers, the classic getwd().
+    parts = []
+    here = "."
+    while True:
+        cur = sys.stat(here)
+        parent = sys.stat(here + "/..")
+        if (cur.st_ino, cur.st_dev) == (parent.st_ino, parent.st_dev):
+            break
+        for name in [".", ".."] + sys.listdir(here + "/.."):
+            if name in (".", ".."):
+                continue
+            try:
+                candidate = sys.lstat(here + "/../" + name)
+            except SyscallError:
+                continue
+            if (candidate.st_ino, candidate.st_dev) == (cur.st_ino, cur.st_dev):
+                parts.append(name)
+                break
+        here += "/.."
+    sys.print_out("/" + "/".join(reversed(parts)) + "\n")
+    return 0
+
+
+@program("head", install="/bin/head")
+def head_main(sys, argv, envp):
+    """head(1): the first -N lines of a file or stdin."""
+    args = argv[1:]
+    count = 10
+    if args and args[0].startswith("-"):
+        count = int(args.pop(0)[1:])
+    data = sys.read_whole(args[0]) if args else b""
+    if not args:
+        while True:
+            chunk = sys.read(0, 4096)
+            if not chunk:
+                break
+            data += chunk
+    lines = data.decode(errors="replace").splitlines(True)[:count]
+    sys.print_out("".join(lines))
+    return 0
+
+
+@program("wc", install="/bin/wc")
+def wc_main(sys, argv, envp):
+    """wc(1): line, word, and byte counts."""
+    paths = argv[1:]
+    total = [0, 0, 0]
+
+    def count(data, label):
+        text = data.decode(errors="replace")
+        lines = text.count("\n")
+        words = len(text.split())
+        chars = len(data)
+        total[0] += lines
+        total[1] += words
+        total[2] += chars
+        sys.print_out("%8d%8d%8d %s\n" % (lines, words, chars, label))
+
+    if paths:
+        for path in paths:
+            try:
+                count(sys.read_whole(path), path)
+            except SyscallError as err:
+                sys.print_err("wc: %s: %s\n" % (path, err))
+                return 1
+        if len(paths) > 1:
+            sys.print_out("%8d%8d%8d total\n" % tuple(total))
+    else:
+        data = b""
+        while True:
+            chunk = sys.read(0, 4096)
+            if not chunk:
+                break
+            data += chunk
+        count(data, "")
+    return 0
+
+
+@program("grep", install="/bin/grep")
+def grep_main(sys, argv, envp):
+    """grep(1): print lines containing a fixed string."""
+    args = argv[1:]
+    if not args:
+        sys.print_err("usage: grep pattern [file ...]\n")
+        return 2
+    pattern = args[0]
+    paths = args[1:]
+    found = False
+
+    def scan(data, label, show_label):
+        nonlocal found
+        for line in data.decode(errors="replace").splitlines():
+            if pattern in line:
+                found = True
+                prefix = label + ":" if show_label else ""
+                sys.print_out(prefix + line + "\n")
+
+    if paths:
+        for path in paths:
+            try:
+                scan(sys.read_whole(path), path, len(paths) > 1)
+            except SyscallError as err:
+                sys.print_err("grep: %s: %s\n" % (path, err))
+                return 2
+    else:
+        data = b""
+        while True:
+            chunk = sys.read(0, 4096)
+            if not chunk:
+                break
+            data += chunk
+        scan(data, "", False)
+    return 0 if found else 1
+
+
+@program("date", install="/bin/date")
+def date_main(sys, argv, envp):
+    """date(1): print the (virtual) time."""
+    tv = sys.gettimeofday()
+    sys.print_out("%d.%06d\n" % (tv.tv_sec, tv.tv_usec))
+    return 0
+
+
+@program("sleep", install="/bin/sleep")
+def sleep_main(sys, argv, envp):
+    """sleep(1): pause for N virtual seconds."""
+    if len(argv) > 1:
+        sys.sleep(float(argv[1]))
+    return 0
+
+
+@program("kill", install="/bin/kill")
+def kill_main(sys, argv, envp):
+    """kill(1): send a signal to processes."""
+    args = argv[1:]
+    signum = 15
+    if args and args[0].startswith("-"):
+        signum = int(args.pop(0)[1:])
+    status = 0
+    for pid in args:
+        try:
+            sys.kill(int(pid), signum)
+        except SyscallError as err:
+            sys.print_err("kill: %s: %s\n" % (pid, err))
+            status = 1
+    return status
+
+
+@program("tee", install="/bin/tee")
+def tee_main(sys, argv, envp):
+    """tee(1): copy stdin to stdout and the named files."""
+    args = argv[1:]
+    append = False
+    if args and args[0] == "-a":
+        append = True
+        args = args[1:]
+    from repro.programs.libc import O_APPEND
+
+    mode_flags = O_WRONLY | O_CREAT | (O_APPEND if append else O_TRUNC)
+    fds = [sys.open(path, mode_flags, 0o666) for path in args]
+    while True:
+        chunk = sys.read(0, 4096)
+        if not chunk:
+            break
+        sys.write(1, chunk)
+        for fd in fds:
+            sys.write(fd, chunk)
+    for fd in fds:
+        sys.close(fd)
+    return 0
+
+
+@program("sort", install="/bin/sort")
+def sort_main(sys, argv, envp):
+    """sort(1): sort lines (-r reverse, -u unique)."""
+    args = argv[1:]
+    reverse = False
+    unique = False
+    while args and args[0].startswith("-"):
+        flag = args.pop(0)
+        if "r" in flag:
+            reverse = True
+        if "u" in flag:
+            unique = True
+    data = b""
+    if args:
+        for path in args:
+            try:
+                data += sys.read_whole(path)
+            except SyscallError as err:
+                sys.print_err("sort: %s: %s\n" % (path, err))
+                return 2
+    else:
+        while True:
+            chunk = sys.read(0, 4096)
+            if not chunk:
+                break
+            data += chunk
+    lines = data.decode(errors="replace").splitlines()
+    lines.sort(reverse=reverse)
+    if unique:
+        deduped = []
+        for line in lines:
+            if not deduped or deduped[-1] != line:
+                deduped.append(line)
+        lines = deduped
+    if lines:
+        sys.print_out("\n".join(lines) + "\n")
+    return 0
+
+
+@program("cmp", install="/bin/cmp")
+def cmp_main(sys, argv, envp):
+    """cmp(1): compare two files byte by byte."""
+    if len(argv) != 3:
+        sys.print_err("usage: cmp file1 file2\n")
+        return 2
+    try:
+        first = sys.read_whole(argv[1])
+        second = sys.read_whole(argv[2])
+    except SyscallError as err:
+        sys.print_err("cmp: %s\n" % err)
+        return 2
+    if first == second:
+        return 0
+    limit = min(len(first), len(second))
+    for index in range(limit):
+        if first[index] != second[index]:
+            sys.print_out(
+                "%s %s differ: char %d\n" % (argv[1], argv[2], index + 1)
+            )
+            return 1
+    sys.print_out("cmp: EOF on %s\n" % (argv[1] if len(first) < len(second)
+                                        else argv[2]))
+    return 1
+
+
+@program("hostname", install="/bin/hostname")
+def hostname_main(sys, argv, envp):
+    """hostname(1): print the host name."""
+    sys.print_out(sys.gethostname() + "\n")
+    return 0

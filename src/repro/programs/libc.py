@@ -1,0 +1,502 @@
+"""A small C library for simulated programs.
+
+:class:`Sys` wraps the raw trap instruction with one method per system
+call (named as in Unix), plus a few libc conveniences (``read_whole``,
+``listdir``, ``print_out``).  Everything here goes through
+``UserContext.trap``, so every operation is visible to — and
+interposable by — agents.
+"""
+
+from repro.kernel import cred as credmod
+from repro.kernel import ofile
+from repro.kernel import signals as sigdefs
+from repro.kernel.errno import ENOENT, SyscallError
+from repro.kernel.proc import WEXITSTATUS, WIFEXITED, WIFSIGNALED, WTERMSIG
+from repro.kernel.sysent import number_of
+
+# Re-exported so programs import one module.
+O_RDONLY = ofile.O_RDONLY
+O_WRONLY = ofile.O_WRONLY
+O_RDWR = ofile.O_RDWR
+O_APPEND = ofile.O_APPEND
+O_CREAT = ofile.O_CREAT
+O_TRUNC = ofile.O_TRUNC
+O_EXCL = ofile.O_EXCL
+SEEK_SET = ofile.SEEK_SET
+SEEK_CUR = ofile.SEEK_CUR
+SEEK_END = ofile.SEEK_END
+F_DUPFD = ofile.F_DUPFD
+F_GETFD = ofile.F_GETFD
+F_SETFD = ofile.F_SETFD
+F_GETFL = ofile.F_GETFL
+F_SETFL = ofile.F_SETFL
+FD_CLOEXEC = ofile.FD_CLOEXEC
+R_OK = credmod.R_OK
+W_OK = credmod.W_OK
+X_OK = credmod.X_OK
+F_OK = credmod.F_OK
+
+_NR = {
+    name: number_of(name)
+    for name in (
+        "exit", "fork", "read", "write", "open", "close", "wait", "link",
+        "unlink", "chdir", "mknod", "chmod", "chown", "brk", "lseek",
+        "getpid", "setuid", "getuid", "geteuid", "alarm", "access", "sync",
+        "kill", "stat", "getppid", "lstat", "dup", "pipe", "getegid",
+        "getgid", "killpg", "ioctl", "symlink", "readlink", "execve",
+        "umask", "chroot", "fstat", "getpagesize", "vfork", "getgroups",
+        "setgroups", "getpgrp", "setpgrp", "gethostname", "getdtablesize",
+        "dup2", "fcntl", "select", "fsync", "sigvec", "sigblock",
+        "sigsetmask", "sigpause", "gettimeofday", "getrusage",
+        "settimeofday", "fchown", "fchmod", "rename", "truncate",
+        "ftruncate", "mkdir", "rmdir", "utimes", "getdirentries",
+        "flock", "setitimer", "getitimer", "readv", "writev",
+    )
+}
+
+# flock operations
+LOCK_SH = 1
+LOCK_EX = 2
+LOCK_NB = 4
+LOCK_UN = 8
+
+
+class Sys:
+    """The libc: one method per system call, bound to one process."""
+
+    def __init__(self, ctx):
+        self._ctx = ctx
+
+    # -- raw access -----------------------------------------------------
+
+    def syscall(self, name, *args):
+        """Issue system call *name* through the trap instruction."""
+        return self._ctx.trap(_NR[name], *args)
+
+    def consume_cpu(self, usec):
+        """Burn *usec* of user CPU time (advances the virtual clock)."""
+        self._ctx.consume_cpu(usec)
+
+    # -- files ------------------------------------------------------------
+
+    def open(self, path, flags=O_RDONLY, mode=0o666):
+        """open(2): open *path*; returns a descriptor."""
+        return self.syscall("open", path, flags, mode)
+
+    def creat(self, path, mode=0o666):
+        """creat(2): create/truncate *path* for writing."""
+        return self.open(path, O_WRONLY | O_CREAT | O_TRUNC, mode)
+
+    def read(self, fd, count):
+        """read(2): read up to *count* bytes from *fd*."""
+        return self.syscall("read", fd, count)
+
+    def write(self, fd, data):
+        """write(2): write *data* (str is encoded) to *fd*."""
+        if isinstance(data, str):
+            data = data.encode()
+        return self.syscall("write", fd, data)
+
+    def close(self, fd):
+        """close(2): release descriptor *fd*."""
+        return self.syscall("close", fd)
+
+    def readv(self, fd, counts):
+        """readv(2): scatter read sized by *counts*."""
+        return self.syscall("readv", fd, counts)
+
+    def writev(self, fd, buffers):
+        """writev(2): gather write of *buffers*."""
+        return self.syscall("writev", fd, buffers)
+
+    def lseek(self, fd, offset, whence=SEEK_SET):
+        """lseek(2): reposition *fd*'s offset."""
+        return self.syscall("lseek", fd, offset, whence)
+
+    def dup(self, fd):
+        """dup(2): duplicate *fd* at the lowest free slot."""
+        return self.syscall("dup", fd)
+
+    def dup2(self, fd, newfd):
+        """dup2(2): duplicate *fd* onto *newfd*."""
+        return self.syscall("dup2", fd, newfd)
+
+    def pipe(self):
+        """pipe(2): returns ``(read_fd, write_fd)``."""
+        return self.syscall("pipe")
+
+    def fcntl(self, fd, cmd, arg=0):
+        """fcntl(2): descriptor control."""
+        return self.syscall("fcntl", fd, cmd, arg)
+
+    def ioctl(self, fd, request, arg=None):
+        """ioctl(2): device control."""
+        return self.syscall("ioctl", fd, request, arg)
+
+    def fsync(self, fd):
+        """fsync(2): flush *fd* to stable storage."""
+        return self.syscall("fsync", fd)
+
+    def stat(self, path):
+        """stat(2): ``struct stat`` for *path*, following links."""
+        return self.syscall("stat", path)
+
+    def lstat(self, path):
+        """lstat(2): ``struct stat`` for the name itself."""
+        return self.syscall("lstat", path)
+
+    def fstat(self, fd):
+        """fstat(2): ``struct stat`` for the object behind *fd*."""
+        return self.syscall("fstat", fd)
+
+    def access(self, path, mode=F_OK):
+        """access(2): check *path* with the real user id."""
+        return self.syscall("access", path, mode)
+
+    def truncate(self, path, length):
+        """truncate(2): set the length of the file at *path*."""
+        return self.syscall("truncate", path, length)
+
+    def ftruncate(self, fd, length):
+        """ftruncate(2): set the length of the file behind *fd*."""
+        return self.syscall("ftruncate", fd, length)
+
+    def getdirentries(self, fd, count=64):
+        """getdirentries(2): read up to *count* entries from *fd*."""
+        return self.syscall("getdirentries", fd, count)
+
+    # -- name space ---------------------------------------------------------
+
+    def link(self, path, newpath):
+        """link(2): hard-link *path* as *newpath*."""
+        return self.syscall("link", path, newpath)
+
+    def unlink(self, path):
+        """unlink(2): remove *path*."""
+        return self.syscall("unlink", path)
+
+    def rename(self, path, newpath):
+        """rename(2): atomically rename *path* to *newpath*."""
+        return self.syscall("rename", path, newpath)
+
+    def symlink(self, target, path):
+        """symlink(2): create *path* pointing at *target*."""
+        return self.syscall("symlink", target, path)
+
+    def readlink(self, path, count=1024):
+        """readlink(2): return the target of the symlink at *path*."""
+        return self.syscall("readlink", path, count)
+
+    def mkdir(self, path, mode=0o777):
+        """mkdir(2): create directory *path*."""
+        return self.syscall("mkdir", path, mode)
+
+    def rmdir(self, path):
+        """rmdir(2): remove empty directory *path*."""
+        return self.syscall("rmdir", path)
+
+    def mknod(self, path, mode, dev=0):
+        """mknod(2): create a file, FIFO, or device node."""
+        return self.syscall("mknod", path, mode, dev)
+
+    def chdir(self, path):
+        """chdir(2): change the working directory."""
+        return self.syscall("chdir", path)
+
+    def chroot(self, path):
+        """chroot(2): confine the root directory (root only)."""
+        return self.syscall("chroot", path)
+
+    def chmod(self, path, mode):
+        """chmod(2): change *path*'s mode."""
+        return self.syscall("chmod", path, mode)
+
+    def chown(self, path, uid, gid):
+        """chown(2): change *path*'s ownership (root only)."""
+        return self.syscall("chown", path, uid, gid)
+
+    def fchmod(self, fd, mode):
+        """fchmod(2): change the mode behind *fd*."""
+        return self.syscall("fchmod", fd, mode)
+
+    def fchown(self, fd, uid, gid):
+        """fchown(2): change the ownership behind *fd* (root only)."""
+        return self.syscall("fchown", fd, uid, gid)
+
+    def utimes(self, path, atime_usec, mtime_usec):
+        """utimes(2): set access/modification times."""
+        return self.syscall("utimes", path, atime_usec, mtime_usec)
+
+    def umask(self, mask):
+        """umask(2): set the creation mask; returns the old one."""
+        return self.syscall("umask", mask)
+
+    def sync(self):
+        """sync(2): schedule filesystem writes (a no-op here)."""
+        return self.syscall("sync")
+
+    # -- processes ------------------------------------------------------------
+
+    def fork(self, child=None):
+        """fork(); *child* runs ``child(sys)`` in the new process.
+
+        Returns the child pid (the parent's side of the two return
+        registers).  A ``None`` child exits 0 immediately.
+        """
+        entry = None
+        if child is not None:
+            entry = lambda ctx: child(Sys(ctx))  # noqa: E731
+        pid, _ = self.syscall("fork", entry)
+        return pid
+
+    def execve(self, path, argv=None, envp=None):
+        """execve(2): replace this process's program image."""
+        return self.syscall("execve", path, argv, envp)
+
+    def wait(self):
+        """wait(2): reap a child; returns ``(pid, status)``."""
+        return self.syscall("wait")
+
+    def _exit(self, status=0):
+        self.syscall("exit", status)
+        raise AssertionError("exit returned")
+
+    def getpid(self):
+        """getpid(2): this process's id."""
+        return self.syscall("getpid")
+
+    def getppid(self):
+        """getppid(2): the parent's id."""
+        return self.syscall("getppid")
+
+    def getuid(self):
+        """getuid(2): the real user id."""
+        return self.syscall("getuid")
+
+    def geteuid(self):
+        """geteuid(2): the effective user id."""
+        return self.syscall("geteuid")
+
+    def getgid(self):
+        """getgid(2): the real group id."""
+        return self.syscall("getgid")
+
+    def getegid(self):
+        """getegid(2): the effective group id."""
+        return self.syscall("getegid")
+
+    def setuid(self, uid):
+        """setuid(2): set the user ids (one-way unless root)."""
+        return self.syscall("setuid", uid)
+
+    def getgroups(self):
+        """getgroups(2): the supplementary group list."""
+        return self.syscall("getgroups")
+
+    def setgroups(self, groups):
+        """setgroups(2): replace the group list (root only)."""
+        return self.syscall("setgroups", groups)
+
+    def getpgrp(self):
+        """getpgrp(2): the process group id."""
+        return self.syscall("getpgrp")
+
+    def setpgrp(self, pid=0, pgrp=0):
+        """setpgrp(2): set a process's group."""
+        return self.syscall("setpgrp", pid, pgrp)
+
+    def getdtablesize(self):
+        """getdtablesize(2): descriptor table size."""
+        return self.syscall("getdtablesize")
+
+    def getpagesize(self):
+        """getpagesize(2): the page size."""
+        return self.syscall("getpagesize")
+
+    def gethostname(self):
+        """gethostname(2): the host name."""
+        return self.syscall("gethostname")
+
+    def getrusage(self, who=0):
+        """getrusage(2): resource usage for self or children."""
+        return self.syscall("getrusage", who)
+
+    def brk(self, addr):
+        """brk(2): set the address-space break."""
+        return self.syscall("brk", addr)
+
+    # -- signals ---------------------------------------------------------------
+
+    SIG_DFL = sigdefs.SIG_DFL
+    SIG_IGN = sigdefs.SIG_IGN
+
+    def sigvec(self, signum, handler, mask=0):
+        """sigvec(2): install a handler; returns the previous one."""
+        return self.syscall("sigvec", signum, handler, mask)
+
+    signal = sigvec
+
+    def sigblock(self, mask):
+        """sigblock(2): OR bits into the blocked mask."""
+        return self.syscall("sigblock", mask)
+
+    def sigsetmask(self, mask):
+        """sigsetmask(2): replace the blocked mask."""
+        return self.syscall("sigsetmask", mask)
+
+    def sigpause(self, mask=0):
+        """sigpause(2): sleep until a signal arrives (EINTR swallowed)."""
+        try:
+            self.syscall("sigpause", mask)
+        except SyscallError:
+            pass
+
+    def kill(self, pid, signum):
+        """kill(2): send *signum* to *pid*."""
+        return self.syscall("kill", pid, signum)
+
+    def killpg(self, pgrp, signum):
+        """killpg(2): send *signum* to a process group."""
+        return self.syscall("killpg", pgrp, signum)
+
+    def alarm(self, seconds):
+        """alarm(2): arm a one-shot SIGALRM."""
+        return self.syscall("alarm", seconds)
+
+    def flock(self, fd, operation):
+        """flock(2): advisory-lock the file behind *fd*."""
+        return self.syscall("flock", fd, operation)
+
+    def setitimer(self, which, interval_usec, value_usec):
+        """setitimer(2): arm the real-time interval timer."""
+        return self.syscall("setitimer", which, interval_usec, value_usec)
+
+    def getitimer(self, which=0):
+        """getitimer(2): read the interval timer."""
+        return self.syscall("getitimer", which)
+
+    # -- time --------------------------------------------------------------------
+
+    def gettimeofday(self):
+        """gettimeofday(2): the current virtual time."""
+        return self.syscall("gettimeofday")
+
+    def settimeofday(self, sec, usec=0):
+        """settimeofday(2): step the clock (root only)."""
+        return self.syscall("settimeofday", sec, usec)
+
+    def select_timeout(self, timeout_usec):
+        """select(2), timeout-only: sleep in virtual time."""
+        return self.syscall("select", timeout_usec)
+
+    def sleep(self, seconds):
+        """sleep(3): suspend for *seconds* of virtual time."""
+        self.select_timeout(int(seconds * 1_000_000))
+
+    # -- libc conveniences (built on the calls above) -------------------------------
+
+    def read_whole(self, path):
+        """Read an entire file, as stdio would: open, read loop, close."""
+        fd = self.open(path, O_RDONLY)
+        try:
+            chunks = []
+            while True:
+                chunk = self.read(fd, 8192)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+            return b"".join(chunks)
+        finally:
+            self.close(fd)
+
+    def write_whole(self, path, data, mode=0o644):
+        """Create/overwrite *path* with *data*, chunked like stdio."""
+        if isinstance(data, str):
+            data = data.encode()
+        fd = self.open(path, O_WRONLY | O_CREAT | O_TRUNC, mode)
+        try:
+            offset = 0
+            while offset < len(data):
+                offset += self.write(fd, data[offset : offset + 8192])
+            return offset
+        finally:
+            self.close(fd)
+
+    def append_whole(self, path, data, mode=0o644):
+        """Append *data* to *path* (creating it if needed)."""
+        if isinstance(data, str):
+            data = data.encode()
+        fd = self.open(path, O_WRONLY | O_CREAT | O_APPEND, mode)
+        try:
+            return self.write(fd, data)
+        finally:
+            self.close(fd)
+
+    def listdir(self, path):
+        """Names in a directory, excluding ``.`` and ``..``."""
+        fd = self.open(path, O_RDONLY)
+        try:
+            names = []
+            while True:
+                batch = self.getdirentries(fd, 32)
+                if not batch:
+                    break
+                names.extend(
+                    d.d_name for d in batch if d.d_name not in (".", "..")
+                )
+            return names
+        finally:
+            self.close(fd)
+
+    def exists(self, path):
+        """True if *path* resolves (ENOENT swallowed, others raised)."""
+        try:
+            self.stat(path)
+            return True
+        except SyscallError as err:
+            if err.errno == ENOENT:
+                return False
+            raise
+
+    def print_out(self, text):
+        """Write *text* to standard output."""
+        self.write(1, text)
+
+    def print_err(self, text):
+        """Write *text* to standard error."""
+        self.write(2, text)
+
+    def spawn_wait(self, path, argv=None, envp=None, fd_moves=()):
+        """fork + execve + wait: run a program to completion.
+
+        *fd_moves* is a sequence of ``(from_fd, to_fd)`` dup2 operations
+        performed in the child before exec (shell redirection plumbing).
+        Returns the child's wait status.
+        """
+        argv = argv if argv is not None else [path]
+
+        def child(csys):
+            for from_fd, to_fd in fd_moves:
+                csys.dup2(from_fd, to_fd)
+                if from_fd != to_fd:
+                    csys.close(from_fd)
+            try:
+                csys.execve(path, argv, envp)
+            except SyscallError as err:
+                csys.print_err("exec %s: %s\n" % (path, err))
+                csys._exit(127)
+
+        pid = self.fork(child)
+        while True:
+            reaped, status = self.wait()
+            if reaped == pid:
+                return status
+
+
+def exit_code(status):
+    """Decode a wait status into a shell-style exit code."""
+    if WIFEXITED(status):
+        return WEXITSTATUS(status)
+    if WIFSIGNALED(status):
+        return 128 + WTERMSIG(status)
+    return 255

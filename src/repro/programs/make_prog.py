@@ -1,0 +1,187 @@
+"""``make`` — dependency-driven rebuilds, 4.3BSD flavour.
+
+Supports macros (``NAME = value`` and ``$(NAME)``/``${NAME}``), rule
+lines (``target: dep dep``), tab-indented recipe lines run via
+``/bin/sh -c``, the automatic variables ``$@`` and ``$<``, and
+timestamp-based up-to-date checks.  ``make [target ...]`` defaults to
+the first target in the Makefile.
+"""
+
+from repro.kernel.errno import ENOENT, SyscallError
+from repro.programs.libc import exit_code
+from repro.programs.registry import program
+
+
+class Rule:
+    """One Makefile rule: target, prerequisites, recipe lines."""
+    def __init__(self, target):
+        self.target = target
+        self.deps = []
+        self.recipe = []
+
+
+def _expand(text, macros):
+    out = ""
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if ch == "$" and i + 1 < len(text):
+            nxt = text[i + 1]
+            if nxt in "({":
+                closer = ")" if nxt == "(" else "}"
+                end = text.find(closer, i + 2)
+                if end > 0:
+                    name = text[i + 2 : end]
+                    out += macros.get(name, "")
+                    i = end + 1
+                    continue
+            if nxt == "$":
+                out += "$"
+                i += 2
+                continue
+            if nxt in macros:
+                # Single-character macros: the automatic variables $@, $<.
+                out += macros[nxt]
+                i += 2
+                continue
+        out += ch
+        i += 1
+    return out
+
+
+def _parse_makefile(text):
+    macros = {}
+    rules = []
+    current = None
+    for line in text.splitlines():
+        if line.startswith("\t"):
+            if current is None:
+                continue
+            current.recipe.append(line[1:])
+            continue
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            current = None
+            continue
+        if "=" in stripped and (
+            ":" not in stripped or stripped.index("=") < stripped.index(":")
+        ):
+            name, value = stripped.split("=", 1)
+            macros[name.strip()] = _expand(value.strip(), macros)
+            current = None
+            continue
+        if ":" in stripped:
+            target_part, dep_part = stripped.split(":", 1)
+            target = _expand(target_part.strip(), macros)
+            current = Rule(target)
+            current.deps = _expand(dep_part, macros).split()
+            rules.append(current)
+            continue
+        current = None
+    return macros, rules
+
+
+class Make:
+    """The dependency engine: timestamps decide what to rebuild."""
+    def __init__(self, sys, macros, rules):
+        self.sys = sys
+        self.macros = macros
+        self.rules = {rule.target: rule for rule in rules}
+        self.order = [rule.target for rule in rules]
+        self.built = set()
+        #: recipe lines actually executed (drives "up to date" reporting)
+        self.commands_run = 0
+
+    def _mtime(self, path):
+        try:
+            return self.sys.stat(path).st_mtime
+        except SyscallError as err:
+            if err.errno == ENOENT:
+                return None
+            raise
+
+    def update(self, target):
+        """Bring *target* up to date; returns True if anything ran."""
+        if target in self.built:
+            return False
+        self.built.add(target)
+        rule = self.rules.get(target)
+        if rule is None:
+            if self._mtime(target) is None:
+                self.sys.print_err(
+                    "make: don't know how to make %s\n" % target
+                )
+                raise SystemExit(2)
+            return False
+
+        ran_dep = False
+        for dep in rule.deps:
+            ran_dep = self.update(dep) or ran_dep
+
+        target_mtime = self._mtime(target)
+        needs_build = target_mtime is None or ran_dep
+        if not needs_build:
+            for dep in rule.deps:
+                dep_mtime = self._mtime(dep)
+                if dep_mtime is not None and dep_mtime > target_mtime:
+                    needs_build = True
+                    break
+        if not needs_build:
+            return False
+
+        local = dict(self.macros)
+        local["@"] = rule.target
+        local["<"] = rule.deps[0] if rule.deps else ""
+        for recipe_line in rule.recipe:
+            command = _expand(recipe_line, local)
+            silent = command.startswith("@")
+            if silent:
+                command = command[1:]
+            else:
+                self.sys.print_out(command + "\n")
+            self.commands_run += 1
+            status = exit_code(
+                self.sys.spawn_wait("/bin/sh", ["sh", "-c", command], {})
+            )
+            if status:
+                self.sys.print_err(
+                    "*** Error code %d (making %s)\n" % (status, rule.target)
+                )
+                raise SystemExit(status)
+        return True
+
+
+@program("make", install="/bin/make")
+def make_main(sys, argv, envp):
+    """make(1): bring the requested targets up to date."""
+    args = argv[1:]
+    makefile = "Makefile"
+    targets = []
+    i = 0
+    while i < len(args):
+        if args[i] == "-f":
+            i += 1
+            makefile = args[i]
+        else:
+            targets.append(args[i])
+        i += 1
+    try:
+        text = sys.read_whole(makefile).decode(errors="replace")
+    except SyscallError as err:
+        sys.print_err("make: %s: %s\n" % (makefile, err))
+        return 2
+    macros, rules = _parse_makefile(text)
+    if not rules:
+        sys.print_err("make: no targets\n")
+        return 2
+    runner = Make(sys, macros, rules)
+    if not targets:
+        targets = [rules[0].target]
+    try:
+        for target in targets:
+            runner.update(target)
+        if runner.commands_run == 0:
+            sys.print_out("make: all targets up to date\n")
+        return 0
+    except SystemExit as stop:
+        return stop.code or 0

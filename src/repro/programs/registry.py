@@ -1,0 +1,65 @@
+"""Program registry and world installation.
+
+``@program("name", install="/bin/name")`` registers a function
+``main(sys, argv, envp) -> int`` as a runnable binary.  The kernel-level
+factory it wraps builds the :class:`~repro.programs.libc.Sys` for the
+process and converts uncaught :class:`SyscallError` into a 4.3BSD-style
+"program died" exit, the way crt0 + libc would.
+"""
+
+from repro.kernel.errno import SyscallError, errno_name
+
+#: name -> kernel-level factory
+PROGRAMS = {}
+#: name -> default install path
+INSTALL_PATHS = {}
+
+
+def program(name, install=None):
+    """Register ``main(sys, argv, envp)`` as program *name*."""
+
+    def register(main):
+        def factory(ctx, argv, envp):
+            from repro.programs.libc import Sys
+
+            sys = Sys(ctx)
+            try:
+                return main(sys, argv, envp)
+            except SyscallError as err:
+                try:
+                    sys.print_err(
+                        "%s: uncaught %s: %s\n"
+                        % (argv[0] if argv else name, errno_name(err.errno), err)
+                    )
+                except SyscallError:
+                    pass  # even stderr may be denied (sandboxed clients)
+                return 126
+
+        factory.__name__ = "program_" + name
+        factory.main = main
+        PROGRAMS[name] = factory
+        if install is not None:
+            INSTALL_PATHS[name] = install
+        return main
+
+    return register
+
+
+def install_world(kernel):
+    """Register every program with *kernel* and install the binaries."""
+    # Import for registration side effects.
+    from repro.programs import (  # noqa: F401
+        cc,
+        coreutils,
+        make_prog,
+        scribe,
+        sh,
+        tracedump,
+    )
+    from repro.toolkit import loader  # noqa: F401  (the agent loader program)
+
+    for name, factory in PROGRAMS.items():
+        kernel.register_program(name, factory)
+    for name, path in INSTALL_PATHS.items():
+        kernel.install_binary(path, name)
+    return kernel

@@ -1,0 +1,436 @@
+"""``scribe`` — a document formatter in the spirit of Scribe (1980).
+
+Formats a ``.mss`` manuscript into paged, justified text.  Supported
+directives (a small but genuine subset of Scribe's):
+
+    @make(report)             document style (cosmetic)
+    @device(file)             output device (cosmetic)
+    @chapter(Title)           numbered chapter heading, starts a page
+    @section(Title)           numbered section heading
+    @subsection(Title)        numbered subsection heading
+    @include(file)            textually include another manuscript
+    @begin(itemize)/@end(itemize)    bulleted list
+    @begin(verbatim)/@end(verbatim)  preformatted block
+    @index(term)              add term to the back-of-book index
+    @label(name) / @ref(name)       cross references (two passes)
+    @cite(key)                bibliography citation ([n] numbering)
+
+The formatter is deliberately CPU-heavy (greedy justification with
+per-character hyphenation scoring, done in two passes so forward
+references resolve) and deliberately light on system calls: the paper's
+dissertation-formatting workload made only 716 calls in 81 seconds.
+Output is written through a stdio-style buffer so writes hit the system
+in page-sized chunks.
+"""
+
+from repro.kernel.errno import SyscallError
+from repro.programs.libc import O_CREAT, O_TRUNC, O_WRONLY
+from repro.programs.registry import program
+
+LINE_WIDTH = 72
+PAGE_LINES = 54
+
+STYLE_FILES = (
+    "/usr/lib/scribe/report.fmt",
+    "/usr/lib/scribe/fonts.def",
+    "/usr/lib/scribe/device.def",
+)
+BIB_DATABASE = "/usr/lib/scribe/bibliography.bib"
+
+
+#: stdio BUFSIZ, 1989 vintage
+BUFSIZ = 1024
+
+
+def _read_buffered(sys, path):
+    """Read a whole file through a BUFSIZ stdio buffer, as fread would."""
+    fd = sys.open(path)
+    try:
+        chunks = []
+        while True:
+            chunk = sys.read(fd, BUFSIZ)
+            if not chunk:
+                return b"".join(chunks)
+            chunks.append(chunk)
+    finally:
+        sys.close(fd)
+
+
+class _OutputBuffer:
+    """stdio: buffer writes into BUFSIZ chunks."""
+
+    def __init__(self, sys, fd, chunk=BUFSIZ):
+        self.sys = sys
+        self.fd = fd
+        self.chunk = chunk
+        self.pending = []
+        self.pending_len = 0
+        self.lines_written = 0
+
+    def put_line(self, line):
+        data = (line + "\n").encode()
+        self.pending.append(data)
+        self.pending_len += len(data)
+        self.lines_written += 1
+        if self.pending_len >= self.chunk:
+            self.flush()
+
+    def flush(self):
+        if self.pending:
+            self.sys.write(self.fd, b"".join(self.pending))
+            self.pending = []
+            self.pending_len = 0
+
+
+def _hyphenation_points(word):
+    """Score candidate break points in a word (vowel-consonant boundaries).
+
+    This is the formatter's deliberate CPU: a character-by-character pass
+    over every long word, as a real justifier's hyphenation pass would be.
+    """
+    vowels = "aeiouyAEIOUY"
+    points = []
+    for i in range(2, len(word) - 2):
+        prev_vowel = word[i - 1] in vowels
+        this_vowel = word[i] in vowels
+        if prev_vowel and not this_vowel:
+            score = 0
+            for j in range(max(0, i - 3), min(len(word), i + 3)):
+                if word[j] in vowels:
+                    score += 2
+                elif word[j].isalpha():
+                    score += 1
+            points.append((i, score))
+    return points
+
+
+def _justify(words, width):
+    """Distribute spaces so the line exactly fills *width* columns."""
+    if len(words) < 2:
+        return words[0] if words else ""
+    text_len = sum(len(w) for w in words)
+    gaps = len(words) - 1
+    spaces = width - text_len
+    if spaces <= gaps:
+        return " ".join(words)
+    base, extra = divmod(spaces, gaps)
+    pieces = []
+    for index, word in enumerate(words[:-1]):
+        pieces.append(word)
+        pad = base + (1 if index < extra else 0)
+        pieces.append(" " * pad)
+    pieces.append(words[-1])
+    return "".join(pieces)
+
+
+def _fill_paragraph(text, width, indent=0):
+    """Greedy fill with hyphenation of overlong words; returns lines."""
+    words = text.split()
+    for word in words:
+        if len(word) > 10:
+            _hyphenation_points(word)  # scoring pass (CPU)
+    lines = []
+    current = []
+    current_len = 0
+    prefix = " " * indent
+    for word in words:
+        needed = len(word) + (1 if current else 0)
+        if current and current_len + needed > width - indent:
+            lines.append(prefix + _justify(current, width - indent))
+            current = []
+            current_len = 0
+            needed = len(word)
+        current.append(word)
+        current_len += needed
+    if current:
+        lines.append(prefix + " ".join(current))
+    return lines
+
+
+def _parse_directive(line):
+    """``@name(argument)`` -> (name, argument) or None."""
+    if not line.startswith("@"):
+        return None
+    open_paren = line.find("(")
+    if open_paren < 0:
+        return (line[1:].strip().lower(), "")
+    name = line[1:open_paren].strip().lower()
+    arg = line[open_paren + 1 : line.rfind(")")] if ")" in line else line[open_paren + 1 :]
+    return (name, arg)
+
+
+class Formatter:
+    """The two-pass formatter: pages, headings, references, index."""
+    def __init__(self, sys, source_dir):
+        self.sys = sys
+        self.source_dir = source_dir
+        self.labels = {}
+        self.citations = []
+        self.index = {}
+        self.chapter = 0
+        self.section = 0
+        self.subsection = 0
+        self.line_in_page = 0
+        self.page = 1
+        self.out = None
+        self.emitting = False
+
+    # -- page machinery ------------------------------------------------
+
+    def emit(self, line):
+        """Write one output line, breaking pages as needed."""
+        if not self.emitting:
+            return
+        self.out.put_line(line)
+        self.line_in_page += 1
+        if self.line_in_page >= PAGE_LINES:
+            self.out.put_line("")
+            self.out.put_line(" " * 34 + "- %d -" % self.page)
+            self.out.put_line("\f")
+            self.page += 1
+            self.line_in_page = 0
+
+    def new_page(self):
+        """Pad to the next page boundary."""
+        if self.emitting and self.line_in_page:
+            while self.line_in_page:
+                self.emit("")
+
+    # -- inline substitution ----------------------------------------------
+
+    def _inline(self, text):
+        for key, number in self._cite_numbers.items():
+            text = text.replace("@cite(%s)" % key, "[%d]" % number)
+        out = []
+        i = 0
+        while i < len(text):
+            if text.startswith("@ref(", i):
+                end = text.index(")", i)
+                name = text[i + 5 : end]
+                out.append(self.labels.get(name, "?"))
+                i = end + 1
+            elif text.startswith("@index(", i):
+                end = text.index(")", i)
+                term = text[i + 7 : end]
+                self.index.setdefault(term, set()).add(self.page)
+                i = end + 1
+            else:
+                out.append(text[i])
+                i += 1
+        return "".join(out)
+
+    # -- the two formatting passes -----------------------------------------
+
+    def read_manuscript(self, path):
+        """Read a manuscript and its @include files into a line list."""
+        data = _read_buffered(self.sys, path)
+        lines = []
+        for line in data.decode(errors="replace").splitlines():
+            directive = _parse_directive(line.strip())
+            if directive and directive[0] == "include":
+                name = directive[1]
+                full = name if name.startswith("/") else self.source_dir + "/" + name
+                self.sys.stat(full)
+                lines.extend(self.read_manuscript(full))
+            else:
+                lines.append(line)
+        return lines
+
+    def collect_citations(self, lines):
+        """Pass 0: number every @cite key in order of appearance."""
+        for line in lines:
+            start = 0
+            while True:
+                pos = line.find("@cite(", start)
+                if pos < 0:
+                    break
+                end = line.index(")", pos)
+                key = line[pos + 6 : end]
+                if key not in self.citations:
+                    self.citations.append(key)
+                start = end + 1
+        self._cite_numbers = {
+            key: number for number, key in enumerate(self.citations, 1)
+        }
+
+    def format(self, lines, out):
+        """One full formatting pass over the manuscript lines."""
+        self.out = out
+        self.chapter = self.section = self.subsection = 0
+        self.line_in_page = 0
+        self.page = 1
+        self.toc = []
+
+        paragraph = []
+        mode = []
+
+        def flush_paragraph():
+            if not paragraph:
+                return
+            text = self._inline(" ".join(paragraph))
+            indent = 5 if "itemize" in mode else 0
+            body = _fill_paragraph(text, LINE_WIDTH, indent)
+            if "itemize" in mode and body:
+                body[0] = "   - " + body[0][5:] if len(body[0]) > 5 else "   -"
+            for formatted in body:
+                self.emit(formatted)
+            self.emit("")
+            del paragraph[:]
+
+        for raw in lines:
+            line = raw.rstrip()
+            stripped = line.strip()
+            directive = _parse_directive(stripped)
+            if "verbatim" in mode and not (
+                directive and directive[0] == "end" and directive[1] == "verbatim"
+            ):
+                self.emit(line)
+                continue
+            if directive is None:
+                if not stripped:
+                    flush_paragraph()
+                else:
+                    paragraph.append(stripped)
+                continue
+            name, arg = directive
+            if name in ("make", "device", "style", "comment"):
+                continue
+            if name == "label":
+                self.labels[arg] = "%d.%d" % (self.chapter, self.section) if (
+                    self.section
+                ) else str(self.chapter)
+                continue
+            if name == "chapter":
+                flush_paragraph()
+                self.chapter += 1
+                self.section = 0
+                self.subsection = 0
+                self.new_page()
+                title = "Chapter %d.  %s" % (self.chapter, self._inline(arg))
+                self.toc.append((0, title, self.page))
+                self.emit(title)
+                self.emit("=" * min(LINE_WIDTH, len(title)))
+                self.emit("")
+                continue
+            if name == "section":
+                flush_paragraph()
+                self.section += 1
+                self.subsection = 0
+                title = "%d.%d  %s" % (self.chapter, self.section, self._inline(arg))
+                self.toc.append((1, title, self.page))
+                self.emit(title)
+                self.emit("-" * min(LINE_WIDTH, len(title)))
+                continue
+            if name == "subsection":
+                flush_paragraph()
+                self.subsection += 1
+                title = "%d.%d.%d  %s" % (
+                    self.chapter,
+                    self.section,
+                    self.subsection,
+                    self._inline(arg),
+                )
+                self.toc.append((2, title, self.page))
+                self.emit(title)
+                continue
+            if name == "begin":
+                flush_paragraph()
+                mode.append(arg.strip().lower())
+                continue
+            if name == "end":
+                flush_paragraph()
+                wanted = arg.strip().lower()
+                if wanted in mode:
+                    mode.remove(wanted)
+                continue
+            if name == "index":
+                self.index.setdefault(arg, set()).add(self.page)
+                continue
+            # Unknown directive: treat as text, as Scribe warns and goes on.
+            paragraph.append(stripped)
+        flush_paragraph()
+
+    def back_matter(self, bibliography):
+        """Emit the references and the index."""
+        self.new_page()
+        if self.citations:
+            self.emit("References")
+            self.emit("==========")
+            self.emit("")
+            for number, key in enumerate(self.citations, 1):
+                entry = bibliography.get(key, "(reference not found)")
+                for formatted in _fill_paragraph(
+                    "[%d] %s" % (number, entry), LINE_WIDTH, 0
+                ):
+                    self.emit(formatted)
+            self.emit("")
+        if self.index:
+            self.emit("Index")
+            self.emit("=====")
+            self.emit("")
+            for term in sorted(self.index, key=str.lower):
+                pages = ", ".join(str(p) for p in sorted(self.index[term]))
+                self.emit("  %s %s %s" % (term, "." * max(2, 40 - len(term)), pages))
+
+
+def _load_bibliography(sys):
+    entries = {}
+    try:
+        data = sys.read_whole(BIB_DATABASE).decode(errors="replace")
+    except SyscallError:
+        return entries
+    for line in data.splitlines():
+        if "|" in line:
+            key, text = line.split("|", 1)
+            entries[key.strip()] = text.strip()
+    return entries
+
+
+@program("scribe", install="/usr/bin/scribe")
+def scribe_main(sys, argv, envp):
+    """scribe(1): format a manuscript to paged, justified text."""
+    if len(argv) < 2:
+        sys.print_err("usage: scribe manuscript.mss [output]\n")
+        return 2
+    source = argv[1]
+    output = argv[2] if len(argv) > 2 else (
+        source[:-4] + ".doc" if source.endswith(".mss") else source + ".doc"
+    )
+    source_dir = source.rsplit("/", 1)[0] if "/" in source else "."
+
+    # Read the device/style databases, as Scribe does at startup.
+    for style_file in STYLE_FILES:
+        if sys.exists(style_file):
+            _read_buffered(sys, style_file)
+    bibliography = _load_bibliography(sys)
+
+    formatter = Formatter(sys, source_dir)
+    lines = formatter.read_manuscript(source)
+    formatter.collect_citations(lines)
+
+    # Pass 1: gather labels and page numbers (no output).
+    null_fd = sys.open("/dev/null", O_WRONLY)
+    formatter.emitting = True
+    formatter.format(lines, _OutputBuffer(sys, null_fd))
+    sys.close(null_fd)
+
+    # Pass 2: real output with resolved cross references.
+    out_fd = sys.open(output, O_WRONLY | O_CREAT | O_TRUNC, 0o644)
+    buffer = _OutputBuffer(sys, out_fd)
+    formatter.format(lines, buffer)
+    formatter.back_matter(bibliography)
+    formatter.out.flush()
+    sys.fsync(out_fd)
+    sys.close(out_fd)
+
+    # Auxiliary outputs: table of contents and index summary.
+    toc_lines = ["Table of Contents", ""]
+    for depth, title, page in formatter.toc:
+        toc_lines.append("%s%s  %d" % ("  " * depth, title, page))
+    sys.write_whole(output + ".toc", "\n".join(toc_lines) + "\n")
+
+    sys.print_out(
+        "scribe: %s: %d pages, %d citations, %d index terms\n"
+        % (output, formatter.page, len(formatter.citations), len(formatter.index))
+    )
+    return 0

@@ -1,0 +1,343 @@
+"""A small Bourne-flavoured shell.
+
+Supports simple commands with PATH search, ``;`` sequencing, ``&&`` and
+``||`` conditionals, pipelines, ``>``, ``>>`` and ``<`` redirection,
+comments, positional parameters ``$0``-``$9`` and ``$?``, and the
+builtins ``cd``, ``exit``, ``umask`` and ``:``.  Enough to run Makefile
+recipe lines and demo scripts — and, importantly for the paper's
+workloads, every external command costs a fork/execve pair.
+"""
+
+from repro.kernel.errno import ENOENT, SyscallError
+from repro.programs.libc import (
+    O_APPEND,
+    O_CREAT,
+    O_RDONLY,
+    O_TRUNC,
+    O_WRONLY,
+    exit_code,
+)
+from repro.programs.registry import program
+
+PATH = ("/bin", "/usr/bin")
+
+
+def _tokenize(line):
+    """Split a command line into tokens, honouring quotes and comments."""
+    tokens = []
+    current = ""
+    has_current = False
+    i = 0
+    while i < len(line):
+        ch = line[i]
+        if ch == "#" and not has_current:
+            break
+        if ch in "'\"":
+            quote = ch
+            i += 1
+            start = i
+            while i < len(line) and line[i] != quote:
+                i += 1
+            current += line[start:i]
+            has_current = True
+            i += 1
+            continue
+        if ch.isspace():
+            if has_current:
+                tokens.append(current)
+                current = ""
+                has_current = False
+            i += 1
+            continue
+        if ch in "|;<>&":
+            if has_current:
+                tokens.append(current)
+                current = ""
+                has_current = False
+            two = line[i : i + 2]
+            if two in (">>", "&&", "||"):
+                tokens.append(two)
+                i += 2
+            else:
+                tokens.append(ch)
+                i += 1
+            continue
+        current += ch
+        has_current = True
+        i += 1
+    if has_current:
+        tokens.append(current)
+    return tokens
+
+
+def _substitute(token, params, last_status):
+    out = ""
+    i = 0
+    while i < len(token):
+        ch = token[i]
+        if ch == "$" and i + 1 < len(token):
+            nxt = token[i + 1]
+            if nxt == "?":
+                out += str(last_status)
+                i += 2
+                continue
+            if nxt.isdigit():
+                index = int(nxt)
+                out += params[index] if index < len(params) else ""
+                i += 2
+                continue
+        out += ch
+        i += 1
+    return out
+
+
+class _Command:
+    """One pipeline stage: argv plus its redirections."""
+
+    def __init__(self):
+        self.argv = []
+        self.stdin = None
+        self.stdout = None
+        self.append = False
+
+
+def _parse_pipeline(tokens):
+    stages = [_Command()]
+    i = 0
+    while i < len(tokens):
+        token = tokens[i]
+        if token == "|":
+            stages.append(_Command())
+        elif token == "<":
+            i += 1
+            stages[-1].stdin = tokens[i]
+        elif token in (">", ">>"):
+            stages[-1].append = token == ">>"
+            i += 1
+            stages[-1].stdout = tokens[i]
+        else:
+            stages[-1].argv.append(token)
+        i += 1
+    return [s for s in stages if s.argv or s.stdin or s.stdout]
+
+
+def _split_conditionals(tokens):
+    """Split a token list at ``&&``/``||`` into (connector, segment) pairs,
+    evaluated left to right as in the Bourne shell."""
+    chain = []
+    connector = None
+    current = []
+    for token in tokens:
+        if token in ("&&", "||"):
+            chain.append((connector, current))
+            connector = token
+            current = []
+        else:
+            current.append(token)
+    chain.append((connector, current))
+    return chain
+
+
+def _find_binary(sys, name):
+    if "/" in name:
+        return name
+    for prefix in PATH:
+        candidate = prefix + "/" + name
+        if sys.exists(candidate):
+            return candidate
+    raise SyscallError(ENOENT, name)
+
+
+class Shell:
+    """One shell session: parameters, status, builtins, pipelines."""
+    def __init__(self, sys, params, envp):
+        self.sys = sys
+        self.params = params
+        self.envp = dict(envp or {})
+        self.last_status = 0
+        self.exited = None
+
+    # -- builtins -------------------------------------------------------
+
+    def _builtin(self, argv):
+        name = argv[0]
+        if name == "cd":
+            target = argv[1] if len(argv) > 1 else "/"
+            try:
+                self.sys.chdir(target)
+                return 0
+            except SyscallError as err:
+                self.sys.print_err("cd: %s: %s\n" % (target, err))
+                return 1
+        if name == "exit":
+            self.exited = int(argv[1]) if len(argv) > 1 else self.last_status
+            return self.exited
+        if name == "umask":
+            if len(argv) > 1:
+                self.sys.umask(int(argv[1], 8))
+            else:
+                old = self.sys.umask(0)
+                self.sys.umask(old)
+                self.sys.print_out("%03o\n" % old)
+            return 0
+        if name == ":":
+            return 0
+        return None
+
+    # -- execution ----------------------------------------------------------
+
+    def run_line(self, line):
+        """Execute one command line (;, &&, ||, pipelines)."""
+        for piece in self._split_commands(line):
+            tokens = _tokenize(piece)
+            tokens = [
+                _substitute(t, self.params, self.last_status) for t in tokens
+            ]
+            for connector, segment in _split_conditionals(tokens):
+                stages = _parse_pipeline(segment)
+                if not stages:
+                    continue
+                if connector == "&&" and self.last_status != 0:
+                    continue
+                if connector == "||" and self.last_status == 0:
+                    continue
+                self.last_status = self._run_pipeline(stages)
+                if self.exited is not None:
+                    return self.last_status
+        return self.last_status
+
+    @staticmethod
+    def _split_commands(line):
+        pieces = []
+        current = ""
+        quote = None
+        for ch in line:
+            if quote:
+                if ch == quote:
+                    quote = None
+                current += ch
+            elif ch in "'\"":
+                quote = ch
+                current += ch
+            elif ch == ";":
+                pieces.append(current)
+                current = ""
+            else:
+                current += ch
+        pieces.append(current)
+        return [p for p in (piece.strip() for piece in pieces) if p]
+
+    def _run_pipeline(self, stages):
+        sys = self.sys
+        if len(stages) == 1 and stages[0].argv:
+            status = self._builtin(stages[0].argv)
+            if status is not None:
+                return status
+
+        pids = []
+        prev_read = None
+        for index, stage in enumerate(stages):
+            is_last = index == len(stages) - 1
+            if not stage.argv:
+                continue
+            try:
+                path = _find_binary(sys, stage.argv[0])
+            except SyscallError:
+                sys.print_err("%s: not found\n" % stage.argv[0])
+                if prev_read is not None:
+                    sys.close(prev_read)
+                return 127
+            if not is_last:
+                pipe_read, pipe_write = sys.pipe()
+            else:
+                pipe_read = pipe_write = None
+
+            def child(csys, stage=stage, prev_read=prev_read,
+                      pipe_read=pipe_read, pipe_write=pipe_write,
+                      path=path):
+                if prev_read is not None:
+                    csys.dup2(prev_read, 0)
+                    csys.close(prev_read)
+                if pipe_write is not None:
+                    csys.dup2(pipe_write, 1)
+                    csys.close(pipe_write)
+                if pipe_read is not None:
+                    csys.close(pipe_read)
+                try:
+                    if stage.stdin is not None:
+                        fd = csys.open(stage.stdin, O_RDONLY)
+                        csys.dup2(fd, 0)
+                        csys.close(fd)
+                    if stage.stdout is not None:
+                        flags = O_WRONLY | O_CREAT | (
+                            O_APPEND if stage.append else O_TRUNC
+                        )
+                        fd = csys.open(stage.stdout, flags, 0o666)
+                        csys.dup2(fd, 1)
+                        csys.close(fd)
+                except SyscallError as err:
+                    target = stage.stdout or stage.stdin
+                    csys.print_err("%s: cannot open: %s\n" % (target, err))
+                    csys._exit(1)
+                try:
+                    csys.execve(path, stage.argv, self.envp)
+                except SyscallError as err:
+                    csys.print_err("%s: %s\n" % (path, err))
+                    csys._exit(126)
+
+            pids.append(sys.fork(child))
+            if prev_read is not None:
+                sys.close(prev_read)
+            if pipe_write is not None:
+                sys.close(pipe_write)
+            prev_read = pipe_read
+        if prev_read is not None:
+            sys.close(prev_read)
+
+        status = 0
+        remaining = set(pids)
+        while remaining:
+            pid, wstatus = sys.wait()
+            if pid in remaining:
+                remaining.discard(pid)
+                if pid == pids[-1]:
+                    status = exit_code(wstatus)
+        return status
+
+
+@program("sh", install="/bin/sh")
+def sh_main(sys, argv, envp):
+    """sh(1): -c command strings, script files, or stdin."""
+    args = argv[1:]
+    if args and args[0] == "-c":
+        shell = Shell(sys, params=["sh"] + args[2:], envp=envp)
+        shell.run_line(args[1] if len(args) > 1 else "")
+        return shell.exited if shell.exited is not None else shell.last_status
+
+    if args:
+        # Script mode: argv[1] is the script, the rest are $1..$n.
+        script_path = args[0]
+        shell = Shell(sys, params=args, envp=envp)
+        text = sys.read_whole(script_path).decode(errors="replace")
+        for line in text.splitlines():
+            if line.startswith("#!"):
+                continue
+            shell.run_line(line)
+            if shell.exited is not None:
+                break
+        return shell.exited if shell.exited is not None else shell.last_status
+
+    # Interactive mode: read commands from stdin until EOF.
+    shell = Shell(sys, params=["sh"], envp=envp)
+    buffered = ""
+    while shell.exited is None:
+        chunk = sys.read(0, 1024)
+        if not chunk:
+            break
+        buffered += chunk.decode(errors="replace")
+        while "\n" in buffered:
+            line, buffered = buffered.split("\n", 1)
+            shell.run_line(line)
+            if shell.exited is not None:
+                break
+    return shell.exited if shell.exited is not None else shell.last_status

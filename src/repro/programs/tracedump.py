@@ -1,0 +1,94 @@
+"""``tracedump`` — summarise a trace agent log (ktrace/kdump style).
+
+Reads a log produced by the trace agent and prints per-call counts,
+error counts, and per-process totals — turning the raw two-lines-per-
+call stream into the summary a developer actually wants.
+
+    tracedump /tmp/trace.out            # summary
+    tracedump -e /tmp/trace.out         # only the calls that failed
+"""
+
+from repro.kernel.errno import SyscallError
+from repro.programs.registry import program
+
+
+def parse_trace_lines(text):
+    """Yield ``(pid, call, result)`` for each completed call.
+
+    *result* is ``None`` for the pre-call line, an errno name when the
+    call failed, or the formatted value when it succeeded.
+    """
+    for line in text.splitlines():
+        if not line.startswith("["):
+            continue
+        pid_part, _, rest = line.partition("] ")
+        try:
+            pid = int(pid_part.lstrip("["))
+        except ValueError:
+            continue
+        rest = rest.strip()
+        if rest.startswith("... "):
+            body = rest[4:]
+            call, _, outcome = body.partition(" -> ")
+            yield (pid, call.strip().split("(")[0], outcome.strip())
+        elif rest.endswith("..."):
+            yield (pid, rest[:-4].split("(")[0], None)
+        elif rest.startswith("signal "):
+            yield (pid, rest, "signal")
+
+
+def summarize(text):
+    """Aggregate a trace log into count tables."""
+    calls = {}
+    errors = {}
+    per_pid = {}
+    signals = 0
+    for pid, call, outcome in parse_trace_lines(text):
+        if outcome == "signal":
+            signals += 1
+            continue
+        if outcome is None:
+            calls[call] = calls.get(call, 0) + 1
+            per_pid[pid] = per_pid.get(pid, 0) + 1
+        elif outcome.startswith("E") and outcome.isupper():
+            key = (call, outcome)
+            errors[key] = errors.get(key, 0) + 1
+    return calls, errors, per_pid, signals
+
+
+@program("tracedump", install="/bin/tracedump")
+def tracedump_main(sys, argv, envp):
+    """tracedump(1): summarise a trace agent log."""
+    args = argv[1:]
+    errors_only = False
+    if args and args[0] == "-e":
+        errors_only = True
+        args = args[1:]
+    if not args:
+        sys.print_err("usage: tracedump [-e] trace-file\n")
+        return 2
+    try:
+        text = sys.read_whole(args[0]).decode(errors="replace")
+    except SyscallError as err:
+        sys.print_err("tracedump: %s: %s\n" % (args[0], err))
+        return 1
+
+    calls, errors, per_pid, signals = summarize(text)
+    if errors_only:
+        if not errors:
+            sys.print_out("no failed calls\n")
+            return 0
+        for (call, errno_name), count in sorted(errors.items()):
+            sys.print_out("%6d %s -> %s\n" % (count, call, errno_name))
+        return 0
+
+    total = sum(calls.values())
+    sys.print_out("%d calls, %d processes, %d signals\n"
+                  % (total, len(per_pid), signals))
+    for call in sorted(calls, key=lambda c: (-calls[c], c)):
+        sys.print_out("%6d %s\n" % (calls[call], call))
+    if errors:
+        sys.print_out("errors:\n")
+        for (call, errno_name), count in sorted(errors.items()):
+            sys.print_out("%6d %s -> %s\n" % (count, call, errno_name))
+    return 0

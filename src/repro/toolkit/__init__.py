@@ -1,0 +1,62 @@
+"""The interposition toolkit — the paper's contribution.
+
+An object-oriented toolkit for writing *system interface interposition
+agents*: programs that both use and provide the 4.3BSD system interface,
+transparently interposed between unmodified applications and the kernel.
+
+The toolkit is layered exactly as in the paper (Figure 2-1):
+
+* **boilerplate** (:mod:`~repro.toolkit.boilerplate`) — agent invocation,
+  system call interception, incoming signal handling, downcalls to the
+  next-level system interface, signal delivery up to applications, and
+  the reimplementation of ``execve`` that lets agents survive exec.
+  Hides every Mach-specific mechanism; not normally used directly.
+* **layer 0, numeric** (:mod:`~repro.toolkit.numeric`) — the system
+  interface as a single entry point taking vectors of untyped arguments:
+  :class:`~repro.toolkit.numeric.NumericSyscall` and the toolkit-supplied
+  :class:`~repro.toolkit.numeric.BSDNumericSyscall` that maps numbers to
+  the symbolic layer.
+* **layer 1, symbolic** (:mod:`~repro.toolkit.symbolic`) — one ``sys_*``
+  method per 4.3BSD system call on
+  :class:`~repro.toolkit.symbolic.SymbolicSyscall`, plus signal upcalls.
+* **layer 2, primary objects** (:mod:`~repro.toolkit.pathnames`,
+  :mod:`~repro.toolkit.descriptors`) — ``PathnameSet``/``Pathname`` with
+  the pivotal ``getpn()``, ``DescriptorSet``/``Descriptor``, and
+  reference-counted ``OpenObject``.
+* **layer 3, secondary objects** (:mod:`~repro.toolkit.directory`) —
+  ``Directory`` with ``next_direntry()``.
+
+Agents derive from whichever layer's objects fit their task and inherit
+default behaviour for everything they leave alone — that is how agent
+code stays proportional to new functionality (paper Goal 3).
+"""
+
+from repro.toolkit.boilerplate import Agent, run_under_agent
+from repro.toolkit.numeric import BSDNumericSyscall, NumericSyscall
+from repro.toolkit.symbolic import SymbolicSyscall
+from repro.toolkit.pathnames import Pathname, PathnameSet, PathSymbolicSyscall
+from repro.toolkit.descriptors import (
+    Descriptor,
+    DescriptorSet,
+    DescSymbolicSyscall,
+    OpenObject,
+)
+from repro.toolkit.directory import Directory
+from repro.toolkit.remote import SeparateSpaceAgent
+
+__all__ = [
+    "SeparateSpaceAgent",
+    "Agent",
+    "BSDNumericSyscall",
+    "Descriptor",
+    "DescriptorSet",
+    "DescSymbolicSyscall",
+    "Directory",
+    "NumericSyscall",
+    "OpenObject",
+    "Pathname",
+    "PathnameSet",
+    "PathSymbolicSyscall",
+    "SymbolicSyscall",
+    "run_under_agent",
+]

@@ -1,0 +1,79 @@
+"""Layer 3: secondary objects — open directories.
+
+:class:`Directory` is a derived :class:`~repro.toolkit.descriptors.OpenObject`
+(directory operations are a special case of descriptor operations, as
+the paper notes).  Its :meth:`Directory.next_direntry` encapsulates the
+iteration of individual directory entries that is implicit in reading a
+directory's contents: the default ``getdirentries`` is implemented *in
+terms of* ``next_direntry``, so an agent that supplies a new
+``next_direntry`` — the union agent's merged iteration, say — changes
+what every directory-listing program sees.
+"""
+
+from repro.kernel.errno import EINVAL, EISDIR, SyscallError
+from repro.kernel.ofile import SEEK_SET
+from repro.toolkit.descriptors import OpenObject
+
+
+class Directory(OpenObject):
+    """An open directory with entry-at-a-time iteration."""
+
+    #: how many entries to fetch per downcall in the default iterator
+    BATCH = 16
+
+    def __init__(self, dset, pathname=None):
+        super().__init__(dset, kind="directory")
+        self.pathname = pathname
+        #: the entry produced by the last successful next_direntry()
+        self.direntry = None
+        self._buffer = []
+        self._exhausted = False
+
+    # -- iteration ------------------------------------------------------
+
+    def next_direntry(self, fd):
+        """Advance to the next entry; sets :attr:`direntry`.
+
+        Returns 1 with ``direntry`` set on success, 0 at end of
+        directory (``direntry`` is then ``None``).
+        """
+        if not self._buffer and not self._exhausted:
+            batch = self.dset.syscall_down("getdirentries", fd, self.BATCH)
+            if batch:
+                self._buffer.extend(batch)
+            else:
+                self._exhausted = True
+        if not self._buffer:
+            self.direntry = None
+            return 0
+        self.direntry = self._buffer.pop(0)
+        return 1
+
+    def rewind(self, fd):
+        """Restart iteration from the beginning of the directory."""
+        self.dset.syscall_down("lseek", fd, 0, SEEK_SET)
+        self._buffer = []
+        self._exhausted = False
+        self.direntry = None
+
+    # -- descriptor operations, specialised for directories -----------------
+
+    def read(self, fd, count):
+        raise SyscallError(EISDIR, "read of a directory")
+
+    def lseek(self, fd, offset, whence):
+        if offset == 0 and whence == SEEK_SET:
+            self.rewind(fd)
+            return 0
+        raise SyscallError(EINVAL, "directories only support rewind")
+
+    def getdirentries(self, fd, count):
+        """Read entries via :meth:`next_direntry` (and yes, that default
+        iteration is itself accomplished via the underlying
+        getdirentries implementation)."""
+        if count <= 0:
+            raise SyscallError(EINVAL)
+        entries = []
+        while len(entries) < count and self.next_direntry(fd):
+            entries.append(self.direntry)
+        return entries

@@ -1,0 +1,54 @@
+"""The general agent loader program (paper Section 3.1.2).
+
+``agentrun AGENT [agent args...] -- PROGRAM [args...]`` instantiates a
+registered agent, attaches it to the current process, and execs the
+unmodified client program through the agent's exec path so that the
+interposition survives into the client.  Agents are compiled separately
+from the loader — here, they are looked up in the agent registry.
+
+Because the loader is itself an ordinary program, it can be run under
+another agent, stacking interposition (paper Figure 1-3).
+"""
+
+from repro.programs.registry import program
+
+
+@program("agentrun", install="/bin/agentrun")
+def agentrun_main(sys, argv, envp):
+    """agentrun(1): attach a named agent, then exec the client through it."""
+    from repro.agents import AGENTS, load_all
+
+    load_all()
+    args = argv[1:]
+    if not args:
+        sys.print_err(
+            "usage: agentrun agent [agent-args...] -- program [args...]\n"
+            "agents: %s\n" % " ".join(sorted(AGENTS))
+        )
+        return 2
+    name = args[0]
+    if name not in AGENTS:
+        sys.print_err("agentrun: unknown agent %r\n" % name)
+        return 2
+    rest = args[1:]
+    if "--" in rest:
+        split = rest.index("--")
+        agentargv, target = rest[:split], rest[split + 1:]
+    else:
+        agentargv, target = [], rest
+    if not target:
+        sys.print_err("agentrun: no program given\n")
+        return 2
+
+    path = target[0]
+    if "/" not in path:
+        for prefix in ("/bin", "/usr/bin"):
+            candidate = prefix + "/" + path
+            if sys.exists(candidate):
+                path = candidate
+                break
+
+    agent = AGENTS[name]()
+    agent.attach(sys._ctx, agentargv)
+    agent.exec_client(path, target, envp)
+    raise AssertionError("exec_client returned")

@@ -1,0 +1,126 @@
+"""Layer 0: the numeric system call layer.
+
+Presents the system interface as a single entry point accepting vectors
+of untyped arguments (paper Section 2.3).  Agents that care only about
+call numbers — remappers, raw tracers, foreign-OS emulators — derive
+from :class:`NumericSyscall` and override :meth:`NumericSyscall.syscall`.
+
+:class:`BSDNumericSyscall` is the toolkit-supplied derived version that
+maps numeric calls onto the symbolic layer's per-call methods.
+"""
+
+from repro.kernel.errno import ENOSYS, SyscallError
+from repro.kernel.sysent import SYSCALLS, TWO_REGISTER_CALLS
+from repro.toolkit.boilerplate import Agent
+
+
+class EmulRegs:
+    """The opaque register-state argument of the numeric signature.
+
+    In the Mach toolkit this is the saved processor state; here it
+    carries the user context, which is exactly what "the registers"
+    denote a process's identity for.
+    """
+
+    __slots__ = ("ctx",)
+
+    def __init__(self, ctx):
+        self.ctx = ctx
+
+
+def marshal_result(number, value, rv):
+    """Store a call's Python-level value into the two return registers."""
+    if number in TWO_REGISTER_CALLS and isinstance(value, tuple):
+        rv[0], rv[1] = value
+    else:
+        rv[0] = value
+        rv[1] = 0
+
+
+def unmarshal_result(number, rv):
+    """Rebuild the Python-level value from the return registers."""
+    if number in TWO_REGISTER_CALLS:
+        return (rv[0], rv[1])
+    return rv[0]
+
+
+class NumericSyscall(Agent):
+    """The lowest agent-visible layer: untyped numeric system calls.
+
+    Subclasses override :meth:`syscall` (and/or :meth:`signal_handler`)
+    and call :meth:`register_interest` for the numbers they want.  The
+    method signature follows the paper —
+
+        ``syscall(number, args, rv, regs) -> error``
+
+    — returning 0 with ``rv`` filled on success, or an errno value on
+    failure.
+    """
+
+    # -- the paper's interface ---------------------------------------------
+
+    def syscall(self, number, args, rv, regs):
+        """Handle one intercepted call; default takes the normal action."""
+        return self.syscall_down_raw(number, args, rv)
+
+    def signal_handler(self, signum, context):
+        """Handle one incoming signal; default forwards to the client."""
+        self.signal_up(signum)
+
+    # -- helpers for derived agents --------------------------------------------
+
+    def syscall_down_raw(self, number, args, rv):
+        """Downcall and marshal the result into *rv*; returns an errno."""
+        try:
+            value = self.syscall_down_numeric(number, args)
+        except SyscallError as err:
+            return err.errno
+        marshal_result(number, value, rv)
+        return 0
+
+    # -- boilerplate glue (converts between conventions) -------------------------
+
+    def handle_syscall(self, number, args):
+        rv = [0, 0]
+        error = self.syscall(number, list(args), rv, EmulRegs(self.ctx))
+        if error:
+            raise SyscallError(error)
+        return unmarshal_result(number, rv)
+
+    def handle_signal(self, signum, action):
+        self.signal_handler(signum, context=action)
+
+
+class BSDNumericSyscall(NumericSyscall):
+    """Toolkit-supplied: maps 4.3BSD call numbers to symbolic methods.
+
+    This is the "toolkit-supplied derived version of the numeric_syscall
+    object" that performs the mapping from application system calls to
+    invocations on a symbolic system call object (paper Section 2.3).
+    """
+
+    def __init__(self, symbolic):
+        super().__init__()
+        self.symbolic = symbolic
+        # Decode table: call number -> bound sys_* method (the mapping the
+        # paper's bsd_numeric_syscall performs), built once at link time.
+        self._methods = {}
+        for number, entry in SYSCALLS.items():
+            method = getattr(symbolic, "sys_" + entry.name, None)
+            if method is not None:
+                self._methods[number] = method
+
+    def syscall(self, number, args, rv, regs):
+        method = self._methods.get(number)
+        try:
+            if method is None:
+                value = self.symbolic.unknown_syscall(number, list(args), regs)
+            else:
+                value = method(*args)
+        except SyscallError as err:
+            return err.errno
+        marshal_result(number, value, rv)
+        return 0
+
+    def signal_handler(self, signum, context):
+        self.symbolic.signal_handler(signum, 0, context)

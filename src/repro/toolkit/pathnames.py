@@ -1,0 +1,302 @@
+"""Layer 2, pathname side: the filesystem name space.
+
+Two interrelated classes (paper Section 2.3):
+
+* :class:`PathnameSet` — operations that affect the *set* of pathnames
+  (create, remove, rename) and the pivotal :meth:`PathnameSet.getpn`,
+  which resolves a pathname string to a :class:`Pathname` object.  Every
+  pathname-using system call funnels through ``getpn()``, so an agent
+  that supplies a new ``getpn()`` changes the treatment of *all*
+  pathnames at one central point — that is how the union agent
+  rearranges the name space and how dfs_trace collects every reference.
+* :class:`Pathname` — a resolved pathname; its methods operate on the
+  object the pathname references.
+
+:class:`PathSymbolicSyscall` is the toolkit-supplied symbolic layer
+derivative that routes the pathname-using system calls here (and the
+descriptor-using ones to the descriptor layer it inherits).
+"""
+
+from repro.kernel import stat as st
+from repro.toolkit.descriptors import DescriptorSet, DescSymbolicSyscall
+
+
+class Pathname:
+    """A resolved pathname (paper: ``pathname``).
+
+    ``self.path`` is the string handed to the next-level interface; a
+    derived ``getpn()`` may construct Pathnames whose ``path`` differs
+    from what the application supplied.
+    """
+
+    def __init__(self, pset, path):
+        self.pset = pset
+        self.path = path
+
+    def __repr__(self):
+        return "<Pathname %r>" % self.path
+
+    # -- operations on the referenced object (defaults: normal action) --
+
+    def open(self, flags=0, mode=0o666):
+        """Open this pathname; returns ``(fd, open_object)``.
+
+        The open object's class depends on what was opened: directories
+        get the set's ``DIRECTORY_CLASS`` (when one is configured) so the
+        directory layer's iteration methods apply.
+        """
+        fd = self.pset.syscall_down("open", self.path, flags, mode)
+        open_object = self.pset.make_open_object(self, fd)
+        return fd, open_object
+
+    def link(self, newpn):
+        """Create *newpn* as a hard link to this object."""
+        return self.pset.syscall_down("link", self.path, newpn.path)
+
+    def unlink(self):
+        """Remove this pathname's directory entry."""
+        return self.pset.syscall_down("unlink", self.path)
+
+    def rename(self, newpn):
+        """Rename this object to *newpn*."""
+        return self.pset.syscall_down("rename", self.path, newpn.path)
+
+    def chdir(self):
+        """Make this directory the working directory."""
+        return self.pset.syscall_down("chdir", self.path)
+
+    def chroot(self):
+        """Confine the client's root to this directory."""
+        return self.pset.syscall_down("chroot", self.path)
+
+    def mknod(self, mode, dev=0):
+        """Create a node (file/FIFO/device) at this pathname."""
+        return self.pset.syscall_down("mknod", self.path, mode, dev)
+
+    def chmod(self, mode):
+        """Change this object's mode."""
+        return self.pset.syscall_down("chmod", self.path, mode)
+
+    def chown(self, uid, gid):
+        """Change this object's ownership."""
+        return self.pset.syscall_down("chown", self.path, uid, gid)
+
+    def access(self, mode):
+        """Check accessibility with the real user id."""
+        return self.pset.syscall_down("access", self.path, mode)
+
+    def stat(self):
+        """Return this object's ``struct stat`` (follows links)."""
+        return self.pset.syscall_down("stat", self.path)
+
+    def lstat(self):
+        """Return the ``struct stat`` of the name itself."""
+        return self.pset.syscall_down("lstat", self.path)
+
+    def readlink(self, count=1024):
+        """Return the symlink target at this pathname."""
+        return self.pset.syscall_down("readlink", self.path, count)
+
+    def truncate(self, length):
+        """Set this file's length."""
+        return self.pset.syscall_down("truncate", self.path, length)
+
+    def mkdir(self, mode=0o777):
+        """Create this pathname as a directory."""
+        return self.pset.syscall_down("mkdir", self.path, mode)
+
+    def rmdir(self):
+        """Remove this (empty) directory."""
+        return self.pset.syscall_down("rmdir", self.path)
+
+    def utimes(self, atime_usec, mtime_usec):
+        """Set this object's access/modification times."""
+        return self.pset.syscall_down("utimes", self.path, atime_usec, mtime_usec)
+
+    def symlink_to(self, target):
+        """Create this pathname as a symbolic link to *target*."""
+        return self.pset.syscall_down("symlink", target, self.path)
+
+    def execve(self, argv=None, envp=None):
+        """Exec the object this pathname references, keeping the agent."""
+        return self.pset.sym.reexec(self.path, argv, envp)
+
+
+class PathnameSet(DescriptorSet):
+    """The filesystem name space (paper: ``pathname_set``).
+
+    Extends the descriptor set, as in the paper, because opening a
+    pathname creates a descriptor.  Default method bodies resolve their
+    pathname strings with ``getpn()`` and invoke the corresponding
+    method on the resulting :class:`Pathname` — so agents can act at
+    either granularity.
+    """
+
+    PATHNAME_CLASS = Pathname
+    #: class used for open objects that turn out to be directories; left
+    #: None unless the agent composes in the directory layer
+    DIRECTORY_CLASS = None
+
+    # -- resolution -----------------------------------------------------
+
+    def getpn(self, path, flags=0):
+        """Resolve a pathname string to a :class:`Pathname` object."""
+        return self.PATHNAME_CLASS(self, path)
+
+    def make_open_object(self, pathname, fd):
+        """Build the open object for a successful open of *pathname*."""
+        if self.DIRECTORY_CLASS is not None:
+            record = self.syscall_down("fstat", fd)
+            if st.S_ISDIR(record.st_mode):
+                return self.DIRECTORY_CLASS(self, pathname)
+        return self.OPEN_OBJECT_CLASS(self)
+
+    # -- system calls with knowledge of pathnames ----------------------------
+
+    def open(self, path, flags=0, mode=0o666):
+        """open(): resolve, open via the Pathname, install the object."""
+        fd, open_object = self.getpn(path, flags).open(flags, mode)
+        self.install(fd, open_object)
+        return fd
+
+    def link(self, path, newpath):
+        """link(): resolve both names, then link."""
+        return self.getpn(path).link(self.getpn(newpath))
+
+    def unlink(self, path):
+        """unlink(): resolve, then remove."""
+        return self.getpn(path).unlink()
+
+    def rename(self, path, newpath):
+        """rename(): resolve both names, then rename."""
+        return self.getpn(path).rename(self.getpn(newpath))
+
+    def chdir(self, path):
+        """chdir(): resolve, then change directory."""
+        return self.getpn(path).chdir()
+
+    def chroot(self, path):
+        """chroot(): resolve, then confine the root."""
+        return self.getpn(path).chroot()
+
+    def mknod(self, path, mode, dev=0):
+        """mknod(): resolve, then create the node."""
+        return self.getpn(path).mknod(mode, dev)
+
+    def chmod(self, path, mode):
+        """chmod(): resolve, then change the mode."""
+        return self.getpn(path).chmod(mode)
+
+    def chown(self, path, uid, gid):
+        """chown(): resolve, then change ownership."""
+        return self.getpn(path).chown(uid, gid)
+
+    def access(self, path, mode):
+        """access(): resolve, then check with the real uid."""
+        return self.getpn(path).access(mode)
+
+    def stat(self, path):
+        """stat(): resolve (following links), then stat."""
+        return self.getpn(path).stat()
+
+    def lstat(self, path):
+        """lstat(): resolve the name itself, then stat."""
+        return self.getpn(path).lstat()
+
+    def symlink(self, target, path):
+        """symlink(): resolve the new name, then create the link."""
+        return self.getpn(path).symlink_to(target)
+
+    def readlink(self, path, count=1024):
+        """readlink(): resolve, then read the target."""
+        return self.getpn(path).readlink(count)
+
+    def truncate(self, path, length):
+        """truncate(): resolve, then set the length."""
+        return self.getpn(path).truncate(length)
+
+    def mkdir(self, path, mode=0o777):
+        """mkdir(): resolve, then create the directory."""
+        return self.getpn(path).mkdir(mode)
+
+    def rmdir(self, path):
+        """rmdir(): resolve, then remove the directory."""
+        return self.getpn(path).rmdir()
+
+    def utimes(self, path, atime_usec, mtime_usec):
+        """utimes(): resolve, then set the times."""
+        return self.getpn(path).utimes(atime_usec, mtime_usec)
+
+    def execve(self, path, argv=None, envp=None):
+        """execve(): resolve, then exec keeping the agent."""
+        return self.getpn(path).execve(argv, envp)
+
+
+class PathSymbolicSyscall(DescSymbolicSyscall):
+    """Routes pathname-using system calls through the pathname layer."""
+
+    DESCRIPTOR_SET_CLASS = PathnameSet
+
+    def __init__(self, pset=None):
+        super().__init__(dset=pset)
+
+    @property
+    def pset(self):
+        return self.dset
+
+    def sys_open(self, path, flags=0, mode=0o666):
+        return self.pset.open(path, flags, mode)
+
+    def sys_link(self, path, newpath):
+        return self.pset.link(path, newpath)
+
+    def sys_unlink(self, path):
+        return self.pset.unlink(path)
+
+    def sys_rename(self, path, newpath):
+        return self.pset.rename(path, newpath)
+
+    def sys_chdir(self, path):
+        return self.pset.chdir(path)
+
+    def sys_chroot(self, path):
+        return self.pset.chroot(path)
+
+    def sys_mknod(self, path, mode, dev=0):
+        return self.pset.mknod(path, mode, dev)
+
+    def sys_chmod(self, path, mode):
+        return self.pset.chmod(path, mode)
+
+    def sys_chown(self, path, uid, gid):
+        return self.pset.chown(path, uid, gid)
+
+    def sys_access(self, path, mode):
+        return self.pset.access(path, mode)
+
+    def sys_stat(self, path):
+        return self.pset.stat(path)
+
+    def sys_lstat(self, path):
+        return self.pset.lstat(path)
+
+    def sys_symlink(self, target, path):
+        return self.pset.symlink(target, path)
+
+    def sys_readlink(self, path, count=1024):
+        return self.pset.readlink(path, count)
+
+    def sys_truncate(self, path, length):
+        return self.pset.truncate(path, length)
+
+    def sys_mkdir(self, path, mode=0o777):
+        return self.pset.mkdir(path, mode)
+
+    def sys_rmdir(self, path):
+        return self.pset.rmdir(path)
+
+    def sys_utimes(self, path, atime_usec, mtime_usec):
+        return self.pset.utimes(path, atime_usec, mtime_usec)
+
+    def sys_execve(self, path, argv=None, envp=None):
+        return self.pset.execve(path, argv, envp)

@@ -1,0 +1,177 @@
+"""Separate-address-space agent placement.
+
+The paper (Section 2.2): "The lowest layers of the toolkit hide this
+Mach-specific choice, allowing agents to be constructed that could be
+located either in the same or different address spaces as their
+clients" — and (Section 3.5.1) its measured costs "are strongly shaped
+by agents residing in the address spaces of their clients."
+
+:class:`SeparateSpaceAgent` realises the other placement: it wraps any
+toolkit agent so that its handlers run in a dedicated *agent task*
+(threads of its own, standing in for its own address space) reached by
+message-passing IPC.  Interception, the downcall chain, signals, fork
+and exec behave identically — agents and clients cannot tell the
+difference — but every intercepted call now pays two IPC hops and a
+marshalling pass, which is exactly the cost the same-address-space
+design avoids (see ``benchmarks/bench_agent_placement.py``).
+
+Usage::
+
+    agent = SeparateSpaceAgent(TraceSymbolicSyscall("/tmp/t.out"))
+    run_under_agent(kernel, agent, "/bin/sh", ["sh", "-c", "..."])
+
+The wrapper is itself a toolkit ``Agent``: it stacks above or below
+other agents like any other.
+"""
+
+import copy
+import queue
+import threading
+
+from repro.toolkit.boilerplate import Agent
+
+
+def _marshal(value, _depth=0):
+    """Copy a value across the simulated address-space boundary.
+
+    Plain data is deep-copied, as a real message-based interface would
+    transfer it.  Callables (fork entry points, signal handlers) and
+    other unknown objects cross by reference — they stand for code and
+    capabilities, which on Mach would be ports rather than bytes.
+    """
+    if _depth > 4:
+        return value
+    if isinstance(value, (int, float, bool, str, bytes, type(None))):
+        return value
+    if isinstance(value, (list, tuple)):
+        items = [_marshal(item, _depth + 1) for item in value]
+        return type(value)(items)
+    if isinstance(value, dict):
+        return {
+            _marshal(k, _depth + 1): _marshal(v, _depth + 1)
+            for k, v in value.items()
+        }
+    try:
+        return copy.copy(value)  # Stat, Timeval, Dirent, Rusage, ...
+    except Exception:
+        return value
+
+
+class _Request:
+    __slots__ = ("kind", "ctx", "payload", "reply")
+
+    def __init__(self, kind, ctx, payload):
+        self.kind = kind
+        self.ctx = ctx
+        self.payload = payload
+        self.reply = queue.Queue(maxsize=1)
+
+
+class SeparateSpaceAgent(Agent):
+    """Run *inner* in its own agent task, reached by message passing."""
+
+    def __init__(self, inner):
+        super().__init__()
+        self.inner = inner
+        self._requests = queue.Queue()
+        self._dispatcher = threading.Thread(
+            target=self._dispatch, name="agent-task", daemon=True
+        )
+        self._dispatcher.start()
+        #: IPC round trips paid so far (two hops each)
+        self.ipc_round_trips = 0
+
+    # -- the agent task ---------------------------------------------------
+
+    def _dispatch(self):
+        """Accept messages; serve each on an agent-task thread.
+
+        One service thread per outstanding request keeps one client's
+        blocking call (a pipe read held in the agent, say) from stalling
+        every other client — the concurrency an in-space agent gets for
+        free from running on its clients' own threads.
+        """
+        while True:
+            request = self._requests.get()
+            if request is None:
+                return
+            threading.Thread(
+                target=self._serve_one, args=(request,), daemon=True
+            ).start()
+
+    def _serve_one(self, request):
+        inner = self.inner
+        try:
+            inner._bind(request.ctx)
+            # The wrapper's own boilerplate (spliced registration entry
+            # points) may run on this thread too; bind it as well.
+            self._bind(request.ctx)
+            if request.kind == "syscall":
+                number, args = request.payload
+                result = inner.handle_syscall(number, args)
+                request.reply.put(("ok", _marshal(result)))
+            elif request.kind == "signal":
+                signum, action = request.payload
+                inner.handle_signal(signum, action)
+                request.reply.put(("ok", None))
+            elif request.kind == "init":
+                agentargv = request.payload
+                inner.attach(request.ctx, agentargv)
+                request.reply.put(("ok", None))
+            elif request.kind == "init_child":
+                inner.init_child()
+                request.reply.put(("ok", None))
+            elif request.kind == "exec":
+                path, argv, envp = request.payload
+                inner.reexec(path, argv, envp)
+                request.reply.put(("ok", None))  # unreachable: exec unwinds
+            else:
+                raise AssertionError("bad request %r" % request.kind)
+        except BaseException as exc:  # errors AND control transfers
+            request.reply.put(("raise", exc))
+
+    def _rpc(self, kind, payload):
+        request = _Request(kind, self.ctx, _marshal(payload))
+        self._requests.put(request)
+        status, value = request.reply.get()
+        self.ipc_round_trips += 1
+        if status == "raise":
+            raise value  # SyscallError, ProcessExit, ExecImage, ...
+        return value
+
+    def shutdown(self):
+        """Stop the dispatcher (idempotent; service threads are daemons)."""
+        if self._dispatcher.is_alive():
+            self._requests.put(None)
+            self._dispatcher.join(timeout=5)
+
+    # -- the client-side stubs --------------------------------------------
+
+    def attach(self, ctx, agentargv=()):
+        self._bind(ctx)
+        # The inner agent must register *this* wrapper's entry points in
+        # the emulation vector, and must wrap fork children through the
+        # wrapper too; splice the boilerplate seams before its init runs.
+        inner = self.inner
+        inner.register_interest_many = self.register_interest_many
+        inner.register_signal_interest = self.register_signal_interest
+        inner.unregister_interest = self.unregister_interest
+        inner.unregister_signal_interest = self.unregister_signal_interest
+        inner.wrap_fork_entry = self.wrap_fork_entry
+        # Share one downcall-chain map so agents stacked *below* this one
+        # still see the inner agent's downcalls.
+        self._down = inner._down
+        self._rpc("init", list(agentargv))
+
+    def handle_syscall(self, number, args):
+        return self._rpc("syscall", (number, args))
+
+    def handle_signal(self, signum, action):
+        self._rpc("signal", (signum, action))
+
+    def init_child(self):
+        self._rpc("init_child", None)
+
+    def exec_client(self, path, argv=None, envp=None):
+        self._rpc("exec", (path, argv, envp))
+        raise AssertionError("exec_client returned")

@@ -1,0 +1,13 @@
+"""Workloads reproducing the paper's evaluation applications.
+
+* :mod:`repro.workloads.format_dissertation` — format a dissertation
+  with Scribe (Table 3-2): moderate system call use, single process.
+* :mod:`repro.workloads.make_programs` — make 8 small C programs
+  (Table 3-3): heavy system call use, many fork/execve pairs.
+* :mod:`repro.workloads.afs_bench` — an Andrew-benchmark-like filesystem
+  workload for the DFSTrace comparison (Section 3.5.3).
+"""
+
+from repro.workloads.world import boot_world
+
+__all__ = ["boot_world"]

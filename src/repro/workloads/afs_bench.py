@@ -1,0 +1,116 @@
+"""An Andrew-benchmark-like filesystem workload (Section 3.5.3).
+
+The paper compares kernel-based DFSTrace (3.0% slowdown) against the
+agent-based dfs_trace implementation (64% slowdown) "while executing
+the AFS filesystem performance benchmarks".  The Andrew benchmark's
+five phases are reproduced here: make directories, copy files, examine
+status (stat every file), examine contents (read every file), and
+compile.
+"""
+
+from repro.workloads.textgen import Lcg, prose
+
+BASE = "/home/mbj/andrew"
+SRC = BASE + "/src"
+TREE = BASE + "/tree"
+
+FILE_COUNT = 14
+SUBDIRS = ("s1", "s2", "s3", "s4", "s5")
+
+_SCRIPT = """\
+#!/bin/sh
+mkdir {tree}
+mkdir {subdirs}
+{copies}
+ls -l {tree}
+{stats}
+{greps}
+{wcs}
+cd {src}; cc -o {tree}/andrew1 andrew1.c
+cd {src}; cc -o {tree}/andrew2 andrew2.c
+"""
+
+_C_PROGRAM = """\
+#include "stdio.h"
+
+int helper%(n)d(int value) {
+    value = value * 17 + %(n)d;
+    return value;
+}
+
+int main() {
+    int value = %(n)d;
+    call helper%(n)d(value);
+    call printf(value);
+    return 0;
+}
+"""
+
+
+def setup(kernel, seed=1988):
+    """Create the benchmark's source tree and driver script."""
+    rng = Lcg(seed)
+    kernel.mkdir_p(SRC)
+    names = []
+    for index in range(FILE_COUNT):
+        name = "file%02d.txt" % index
+        kernel.write_file(SRC + "/" + name, prose(rng, paragraphs=6) + "\n")
+        names.append(name)
+    for n in (1, 2):
+        kernel.write_file(SRC + "/andrew%d.c" % n, _C_PROGRAM % {"n": n})
+
+    copies = []
+    stats = []
+    greps = []
+    wcs = []
+    for index, name in enumerate(names):
+        subdir = SUBDIRS[index % len(SUBDIRS)]
+        target = "%s/%s/%s" % (TREE, subdir, name)
+        copies.append("cp %s/%s %s" % (SRC, name, target))
+        stats.append("ls -l %s/%s" % (TREE, subdir))
+        greps.append("grep interposition %s" % target)
+        wcs.append("wc %s" % target)
+    script = _SCRIPT.format(
+        tree=TREE,
+        subdirs=" ".join("%s/%s" % (TREE, s) for s in SUBDIRS),
+        copies="\n".join(copies),
+        stats="\n".join(sorted(set(stats))),
+        greps="\n".join(greps),
+        wcs="\n".join(wcs),
+        src=SRC,
+    )
+    kernel.write_file(BASE + "/run_andrew.sh", script, mode=0o755)
+    node = kernel.lookup_host(BASE + "/run_andrew.sh")
+    node.mode |= 0o111
+    return BASE + "/run_andrew.sh"
+
+
+def run(kernel):
+    """Execute the five benchmark phases; returns the wait status."""
+    return kernel.run("/bin/sh", ["sh", BASE + "/run_andrew.sh"])
+
+
+def clean(kernel):
+    """Remove the output tree so the benchmark can run again."""
+    from repro.kernel.errno import SyscallError
+
+    def remove_tree(path):
+        try:
+            node = kernel.lookup_host(path)
+        except SyscallError:
+            return
+        if node.is_dir():
+            for name in [n for n in node.entries if n not in (".", "..")]:
+                remove_tree(path + "/" + name)
+            parent = kernel.lookup_host(path.rsplit("/", 1)[0])
+            name = path.rsplit("/", 1)[1]
+            node.remove(".")
+            node.remove("..")
+            node.nlink -= 1
+            parent.nlink -= 1
+            node.fs.unlink(parent, name, node)
+        else:
+            parent = kernel.lookup_host(path.rsplit("/", 1)[0])
+            node.fs.unlink(parent, path.rsplit("/", 1)[1], node)
+
+    remove_tree(TREE)

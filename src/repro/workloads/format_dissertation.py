@@ -1,0 +1,108 @@
+"""Table 3-2 workload: format a dissertation with Scribe.
+
+The paper formats a preliminary dissertation draft — moderate system
+call use (716 calls), a single process, dominated by formatting CPU.
+``setup()`` writes a multi-chapter manuscript with @include'd chapter
+files, citations, cross references, and index terms; ``run()`` formats
+it and returns the exit status.
+"""
+
+from repro.workloads.textgen import Lcg, paragraph
+
+MANUSCRIPT = "/home/mbj/diss/dissertation.mss"
+OUTPUT = "/home/mbj/diss/dissertation.doc"
+
+CHAPTERS = (
+    "Introduction",
+    "Research Overview",
+    "The Interposition Toolkit",
+    "Agent Construction",
+    "Results",
+    "Related Work",
+    "Conclusions and Future Work",
+    "Appendix: Implementation Details",
+)
+
+_CITE_KEYS = (
+    "accetta86",
+    "jones93",
+    "leffler89",
+    "mummert93",
+    "satya90",
+    "reid80",
+    "feldman79",
+    "stallman89",
+)
+
+#: paragraphs per section; sized so the whole format run lands near the
+#: paper's 716-system-call, CPU-dominated profile
+PARAGRAPHS_PER_SECTION = 8
+SECTIONS_PER_CHAPTER = 5
+
+
+def _chapter_text(rng, number, title):
+    lines = ["@chapter(%s)" % title, ""]
+    for section in range(1, SECTIONS_PER_CHAPTER + 1):
+        lines.append("@section(Aspect %d of %s)" % (section, title.lower()))
+        lines.append("@label(sec-%d-%d)" % (number, section))
+        lines.append("")
+        for index in range(PARAGRAPHS_PER_SECTION):
+            text = paragraph(rng, sentences=8)
+            if index == 1:
+                text += " This follows the approach of @cite(%s)." % (
+                    _CITE_KEYS[(number + section + index) % len(_CITE_KEYS)]
+                )
+            if index == 2:
+                text += (
+                    " See also Section @ref(sec-%d-%d)."
+                    % (number, 1 + (section % SECTIONS_PER_CHAPTER))
+                )
+            if index == 3:
+                word = text.split()[0].strip(".,")
+                text += " @index(%s)" % word
+            lines.append(text)
+            lines.append("")
+        if section == 2:
+            lines.append("@begin(itemize)")
+            for _ in range(3):
+                lines.append(paragraph(rng, sentences=1))
+                lines.append("")
+            lines.append("@end(itemize)")
+            lines.append("")
+        if section == 3:
+            lines.append("@begin(verbatim)")
+            lines.append("    class symbolic_syscall {")
+            lines.append("        virtual int syscall(int number);")
+            lines.append("    };")
+            lines.append("@end(verbatim)")
+            lines.append("")
+    return "\n".join(lines) + "\n"
+
+
+def setup(kernel, seed=1993):
+    """Write the dissertation manuscript tree; returns the top-level path."""
+    rng = Lcg(seed)
+    kernel.mkdir_p("/home/mbj/diss")
+    top = [
+        "@make(report)",
+        "@device(file)",
+        "",
+        "@comment(Transparently Interposing User Code at the System Interface)",
+        "",
+    ]
+    for number, title in enumerate(CHAPTERS, 1):
+        name = "chapter%d.mss" % number
+        kernel.write_file("/home/mbj/diss/" + name, _chapter_text(rng, number, title))
+        top.append("@include(%s)" % name)
+    kernel.write_file(MANUSCRIPT, "\n".join(top) + "\n")
+    return MANUSCRIPT
+
+
+def run(kernel):
+    """Format the dissertation; returns the scribe exit status.
+
+    Run as a single process (no shell), matching the paper's workload
+    structure: "makes moderate use of system calls and is structured as
+    a single process".
+    """
+    return kernel.run("/usr/bin/scribe", ["scribe", MANUSCRIPT, OUTPUT])

@@ -1,0 +1,112 @@
+"""Table 3-3 workload: make 8 small C programs.
+
+The paper's workload runs Make, which runs the GNU C compiler, which
+runs the preprocessor, code generator, assembler, and linker for each
+program — 64 fork/execve pairs and heavy system call traffic.  Ours
+mirrors that process tree: make → sh -c → cc → {cpp, cc1, as, ld}.
+"""
+
+from repro.workloads.textgen import Lcg
+
+SRC_DIR = "/home/mbj/src"
+PROGRAM_COUNT = 8
+
+_HEADER = """\
+/* util.h -- common declarations */
+#define VERSION 43
+#define BUFFER_SIZE 1024
+"""
+
+
+#: programs 1..5 have a second source file; with make + 8 sh + 8 cc +
+#: 13 sources x (cpp, cc1, as) + 8 ld this totals exactly the paper's
+#: 64 fork()/execve() pairs
+TWO_SOURCE_PROGRAMS = 5
+
+
+def _helper_body(rng, helper):
+    lines = ["int %s(int value) {" % helper]
+    for _ in range(rng.range(3, 6)):
+        lines.append(
+            "    value = value * %d + %d;" % (rng.range(2, 9), rng.range(1, 99))
+        )
+    lines.append("    return value;")
+    lines.append("}")
+    lines.append("")
+    return lines
+
+
+def _main_source(rng, name, local_helpers, extern_helpers):
+    lines = [
+        '#include "util.h"',
+        '#include "stdio.h"',
+        "",
+    ]
+    for helper in local_helpers:
+        lines.extend(_helper_body(rng, helper))
+    lines.append("int main() {")
+    lines.append("    int value = VERSION;")
+    for helper in local_helpers + extern_helpers:
+        lines.append("    call %s(value);" % helper)
+    for _ in range(rng.range(2, 5)):
+        lines.append("    call printf(value);")
+    lines.append("    return 0;")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def _lib_source(rng, helpers):
+    lines = ['#include "util.h"', ""]
+    for helper in helpers:
+        lines.extend(_helper_body(rng, helper))
+    return "\n".join(lines) + "\n"
+
+
+def setup(kernel, seed=486):
+    """Write 8 C programs (5 of them two-source), a header, a Makefile."""
+    rng = Lcg(seed)
+    kernel.mkdir_p(SRC_DIR)
+    kernel.write_file(SRC_DIR + "/util.h", _HEADER)
+    names = ["prog%d" % i for i in range(1, PROGRAM_COUNT + 1)]
+    makefile = ["CC = cc", "", "all: " + " ".join(names), ""]
+    for index, name in enumerate(names):
+        local = ["%s_f%d" % (name, j) for j in range(1 + index % 2)]
+        sources = [name + ".c"]
+        extern = []
+        if index < TWO_SOURCE_PROGRAMS:
+            extern = ["%s_lib%d" % (name, j) for j in range(2)]
+            kernel.write_file(
+                "%s/%s_lib.c" % (SRC_DIR, name), _lib_source(rng, extern)
+            )
+            sources.append(name + "_lib.c")
+        kernel.write_file(
+            "%s/%s.c" % (SRC_DIR, name),
+            _main_source(rng, name, local, extern),
+        )
+        makefile.append("%s: %s util.h" % (name, " ".join(sources)))
+        makefile.append("\t$(CC) -o %s %s" % (name, " ".join(sources)))
+        makefile.append("")
+    kernel.write_file(SRC_DIR + "/Makefile", "\n".join(makefile) + "\n")
+    return names
+
+
+def run(kernel):
+    """Run make over the 8 programs; returns the make exit status."""
+    return kernel.run(
+        "/bin/sh", ["sh", "-c", "cd %s; make" % SRC_DIR]
+    )
+
+
+def clean(kernel):
+    """Remove build outputs so the next run rebuilds everything."""
+    from repro.kernel.errno import SyscallError
+
+    for i in range(1, PROGRAM_COUNT + 1):
+        try:
+            node = kernel.lookup_host(SRC_DIR)
+            name = "prog%d" % i
+            if node.contains(name):
+                target = node.fs.inode(node.lookup(name))
+                node.fs.unlink(node, name, target)
+        except SyscallError:
+            pass

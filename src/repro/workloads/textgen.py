@@ -1,0 +1,66 @@
+"""Deterministic prose generation for workload inputs.
+
+A linear congruential generator over a systems-flavoured vocabulary:
+the same seed always produces the same manuscript, so workload system
+call counts and output sizes are reproducible run to run.
+"""
+
+_WORDS = (
+    "interposition agent kernel system interface call toolkit object "
+    "pathname descriptor process signal directory file union trace "
+    "transparent mechanism abstraction layer inheritance derived method "
+    "implementation application binary unmodified emulation protected "
+    "environment transactional semantics performance overhead measurement "
+    "microsecond elapsed boilerplate numeric symbolic resolution reference "
+    "monitoring facility untrusted restricted wrapper virtual address "
+    "space handler registers state machine dependent independent portable "
+    "filesystem name lookup operation behavior completeness appropriate "
+    "code size goal design structure research overview related work "
+    "conclusion substrate communication channel message pipe socket"
+).split()
+
+_CONNECTIVES = ("and", "or", "of", "for", "with", "under", "between", "the", "a")
+
+
+class Lcg:
+    """The classic BSD ``rand()``: deterministic and portable."""
+
+    def __init__(self, seed):
+        self.state = seed & 0x7FFFFFFF
+
+    def next(self):
+        """Advance the generator; returns the new state."""
+        self.state = (self.state * 1103515245 + 12345) & 0x7FFFFFFF
+        return self.state
+
+    def pick(self, items):
+        """A deterministic choice from *items*."""
+        return items[self.next() % len(items)]
+
+    def range(self, low, high):
+        """A deterministic integer in [low, high]."""
+        return low + self.next() % (high - low + 1)
+
+
+def sentence(rng):
+    """One generated sentence."""
+    length = rng.range(6, 16)
+    words = []
+    for index in range(length):
+        if index and index % 3 == 2:
+            words.append(rng.pick(_CONNECTIVES))
+        else:
+            words.append(rng.pick(_WORDS))
+    text = " ".join(words)
+    return text[0].upper() + text[1:] + "."
+
+
+def paragraph(rng, sentences=None):
+    """A paragraph of generated sentences."""
+    count = sentences if sentences is not None else rng.range(3, 7)
+    return " ".join(sentence(rng) for _ in range(count))
+
+
+def prose(rng, paragraphs):
+    """Several paragraphs, blank-line separated."""
+    return "\n\n".join(paragraph(rng) for _ in range(paragraphs))

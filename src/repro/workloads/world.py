@@ -1,0 +1,124 @@
+"""Boot a fully-populated simulated machine.
+
+``boot_world()`` creates a kernel, installs the userland binaries, and
+lays down the support files programs expect (/usr/include headers,
+/usr/lib/libc.o, the Scribe style databases, a bibliography).
+"""
+
+from repro.kernel import Kernel
+from repro.programs import install_world
+from repro.programs.cc import _assemble
+
+_LIBC_ASM = """\
+.globl printf
+printf:
+\tenter
+\teval 0x1111
+\tleave
+.globl exit
+exit:
+\tenter
+\teval 0x2222
+\tleave
+.globl read
+read:
+\tenter
+\teval 0x3333
+\tleave
+.globl write
+write:
+\tenter
+\teval 0x4444
+\tleave
+.globl open
+open:
+\tenter
+\teval 0x5555
+\tleave
+.globl close
+close:
+\tenter
+\teval 0x6666
+\tleave
+.globl strlen
+strlen:
+\tenter
+\teval 0x7777
+\tleave
+.globl malloc
+malloc:
+\tenter
+\teval 0x8888
+\tleave
+"""
+
+_STDIO_H = """\
+/* stdio.h -- simulated 4.3BSD */
+#define NULL 0
+#define EOF (-1)
+#define BUFSIZ 1024
+"""
+
+_STDLIB_H = """\
+/* stdlib.h -- simulated 4.3BSD */
+#define EXIT_SUCCESS 0
+#define EXIT_FAILURE 1
+"""
+
+_SYS_TYPES_H = """\
+/* sys/types.h -- simulated 4.3BSD */
+#define off_t long
+#define size_t unsigned
+"""
+
+_SCRIBE_REPORT_FMT = """\
+; report document format definition
+style report
+pagewidth 72
+pagelength 54
+justification on
+"""
+
+_SCRIBE_FONTS_DEF = """\
+; font family definitions
+font bodyfont timesroman 10
+font titlefont helvetica 14
+font verbatimfont courier 9
+"""
+
+_SCRIBE_DEVICE_DEF = """\
+; output device definition
+device file
+resolution 1
+"""
+
+_BIBLIOGRAPHY = """\
+accetta86 | Accetta et al., Mach: A New Kernel Foundation for UNIX Development, USENIX 1986.
+jones93 | Jones, Interposition Agents: Transparently Interposing User Code at the System Interface, SOSP 1993.
+leffler89 | Leffler et al., The Design and Implementation of the 4.3BSD UNIX Operating System, 1989.
+mummert93 | Mummert and Satyanarayanan, DFSTrace, CMU 1993.
+satya90 | Satyanarayanan et al., Coda: A Highly Available File System, IEEE TC 1990.
+reid80 | Reid, Scribe: A Document Specification Language and its Compiler, CMU 1980.
+feldman79 | Feldman, Make - A Program for Maintaining Computer Programs, SPE 1979.
+stallman89 | Stallman, Using and Porting GNU CC, FSF 1989.
+"""
+
+
+def boot_world(**kernel_kwargs):
+    """Create a kernel with the full userland and support files installed."""
+    kernel = Kernel(**kernel_kwargs)
+    install_world(kernel)
+
+    kernel.write_file("/usr/include/stdio.h", _STDIO_H)
+    kernel.write_file("/usr/include/stdlib.h", _STDLIB_H)
+    kernel.mkdir_p("/usr/include/sys")
+    kernel.write_file("/usr/include/sys/types.h", _SYS_TYPES_H)
+
+    kernel.write_file("/usr/lib/libc.o", "\n".join(_assemble(_LIBC_ASM)) + "\n")
+
+    kernel.mkdir_p("/usr/lib/scribe")
+    kernel.write_file("/usr/lib/scribe/report.fmt", _SCRIBE_REPORT_FMT)
+    kernel.write_file("/usr/lib/scribe/fonts.def", _SCRIBE_FONTS_DEF)
+    kernel.write_file("/usr/lib/scribe/device.def", _SCRIBE_DEVICE_DEF)
+    kernel.write_file("/usr/lib/scribe/bibliography.bib", _BIBLIOGRAPHY)
+    return kernel

@@ -1,0 +1,52 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.kernel import Kernel
+from repro.kernel.proc import WEXITSTATUS
+from repro.workloads import boot_world
+
+
+@pytest.fixture
+def kernel():
+    """A bare booted kernel (no userland binaries installed)."""
+    return Kernel()
+
+
+@pytest.fixture
+def world():
+    """A kernel with the full userland installed."""
+    return boot_world()
+
+
+@pytest.fixture
+def run_entry(kernel):
+    """Run a host callable as a simulated process; returns its exit code."""
+
+    def runner(entry, uid=0):
+        status = kernel.run_entry(entry, uid=uid)
+        return WEXITSTATUS(status)
+
+    return runner
+
+
+def install_program(world, name, main, path=None):
+    """Install a test program written against the libc Sys API."""
+    from repro.programs.libc import Sys
+
+    def factory(ctx, argv, envp):
+        return main(Sys(ctx), argv, envp)
+
+    world.register_program(name, factory)
+    world.install_binary(path or "/bin/" + name, name)
+
+
+@pytest.fixture
+def sh(world):
+    """Run a shell command in the world; returns (exit_code, console_text)."""
+
+    def run(command, uid=0):
+        status = world.run("/bin/sh", ["sh", "-c", command], uid=uid)
+        return WEXITSTATUS(status), world.console.take_output().decode()
+
+    return run

@@ -1,0 +1,131 @@
+"""Integration tests: several agents simultaneously interposed.
+
+The paper's motivation (Section 1.4): interposition "can allow for a
+multiplicity of simultaneously coexisting implementations of the system
+call services, which in turn may utilize one another without requiring
+changes to existing client binaries."  These tests stack the shipped
+agents in combinations and check that each layer's semantics compose.
+"""
+
+import pytest
+
+from repro.agents.monitor import MonitorAgent
+from repro.agents.sandbox import SandboxAgent, SandboxPolicy
+from repro.agents.timex import TimexSymbolicSyscall
+from repro.agents.trace import TraceSymbolicSyscall
+from repro.agents.txn import TxnAgent
+from repro.agents.union_dirs import UnionAgent
+from repro.kernel.proc import WEXITSTATUS
+from repro.workloads import boot_world
+
+
+def run_stacked(kernel, agents, path, argv):
+    """Attach *agents* bottom-up, then exec the client through the top."""
+
+    def loader(ctx):
+        for agent in agents:
+            agent.attach(ctx)
+        agents[-1].exec_client(path, argv, {})
+
+    return kernel.run_entry(loader)
+
+
+def test_trace_over_union_sees_logical_names(world):
+    world.mkdir_p("/m1")
+    world.mkdir_p("/m2")
+    world.write_file("/m2/deep.txt", "found in member two")
+    world.mkdir_p("/u")
+    union = UnionAgent()
+    union.pset.add_union("/u", ["/m1", "/m2"])
+    trace = TraceSymbolicSyscall("/tmp/stack.trace")
+
+    # union below, trace on top: the trace shows what the APPLICATION
+    # asked for (the logical /u name), while the union resolves it.
+    status = run_stacked(
+        world, [union, trace], "/bin/sh", ["sh", "-c", "cat /u/deep.txt"]
+    )
+    assert WEXITSTATUS(status) == 0
+    assert "found in member two" in world.console.take_output().decode()
+    log = world.read_file("/tmp/stack.trace").decode()
+    assert "open('/u/deep.txt'" in log.replace('"', "'")
+
+
+def test_union_over_trace_sees_physical_names(world):
+    world.mkdir_p("/m1")
+    world.write_file("/m1/f.txt", "payload")
+    world.mkdir_p("/u")
+    union = UnionAgent()
+    union.pset.add_union("/u", ["/m1"])
+    trace = TraceSymbolicSyscall("/tmp/stack2.trace")
+
+    # trace below, union on top: the union's downcalls carry the
+    # resolved physical names, and that's what the lower tracer records.
+    status = run_stacked(
+        world, [trace, union], "/bin/sh", ["sh", "-c", "cat /u/f.txt"]
+    )
+    assert WEXITSTATUS(status) == 0
+    log = world.read_file("/tmp/stack2.trace").decode().replace('"', "'")
+    assert "open('/m1/f.txt'" in log
+
+
+def test_txn_over_sandbox(world):
+    """A transactional session inside a sandbox: the sandbox's rules
+    apply to the transaction's own machinery too."""
+    world.write_file("/home/mbj/data", "v0")
+    sandbox = SandboxAgent(SandboxPolicy(writable=("/tmp", "/home/mbj")))
+    txn = TxnAgent(scratch_dir="/tmp/stack.txn", outcome="abort")
+    status = run_stacked(
+        world, [sandbox, txn], "/bin/sh",
+        ["sh", "-c", "echo v1 > /home/mbj/data; cat /home/mbj/data"],
+    )
+    assert WEXITSTATUS(status) == 0
+    assert "v1" in world.console.take_output().decode()
+    assert world.read_file("/home/mbj/data") == b"v0"  # aborted
+    assert sandbox.violations == []  # txn stayed within policy
+
+
+def test_sandbox_blocks_txn_commit_outside_policy(world):
+    """If the transaction tries to commit outside the sandbox's writable
+    set, the sandbox (below it) refuses the commit's writes."""
+    world.write_file("/etc/motd", "original")
+    sandbox = SandboxAgent(SandboxPolicy(writable=("/tmp",)))
+    txn = TxnAgent(scratch_dir="/tmp/stack.txn2", outcome="commit")
+    status = run_stacked(
+        world, [sandbox, txn], "/bin/sh",
+        ["sh", "-c", "echo hacked > /etc/motd; true"],
+    )
+    # Client saw its write inside the txn; commit hit the sandbox wall.
+    assert WEXITSTATUS(status) == 0
+    assert world.read_file("/etc/motd") == b"original"
+    assert any(path == "/etc/motd" for _, path in sandbox.violations)
+    assert any(logical == "/etc/motd" for logical, _ in txn.pset.commit_failures)
+
+
+def test_three_deep_stack(world):
+    """monitor + timex + trace all at once."""
+    monitor = MonitorAgent("/tmp/stack.mon")
+    timex = TimexSymbolicSyscall(offset=1000)
+    trace = TraceSymbolicSyscall("/tmp/stack3.trace")
+    status = run_stacked(
+        world, [monitor, timex, trace], "/bin/date", ["date"]
+    )
+    assert WEXITSTATUS(status) == 0
+    shown = int(world.console.take_output().decode().split(".")[0])
+    assert shown - world.clock.now().tv_sec >= 990  # timex applied
+    assert "gettimeofday()" in world.read_file("/tmp/stack3.trace").decode()
+    assert "system call usage:" in world.read_file("/tmp/stack.mon").decode()
+
+
+def test_stack_survives_exec_and_fork(world):
+    monitor = MonitorAgent("/tmp/stack.mon2")
+    trace = TraceSymbolicSyscall("/tmp/stack4.trace")
+    status = run_stacked(
+        world, [monitor, trace], "/bin/sh",
+        ["sh", "-c", "echo a | cat; sh -c 'echo b'"],
+    )
+    assert WEXITSTATUS(status) == 0
+    out = world.console.take_output().decode()
+    assert "a" in out and "b" in out
+    log = world.read_file("/tmp/stack4.trace").decode()
+    assert log.count("execve(") >= 3
+    assert monitor.forks >= 3

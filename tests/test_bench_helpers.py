@@ -1,0 +1,91 @@
+"""Tests for the benchmark support package (statement counting, timing)."""
+
+import pytest
+
+from repro.bench.loc import count_statements, module_statements
+from repro.bench.timing import (
+    _median,
+    paired_slowdowns,
+    slowdown,
+    time_matrix,
+    usec_per_call,
+)
+
+
+def test_count_statements_basic():
+    assert count_statements("x = 1\ny = 2\n") == 2
+
+
+def test_count_statements_excludes_docstrings():
+    source = '"""module docstring"""\ndef f():\n    "doc"\n    return 1\n'
+    # def + return, not the two docstrings
+    assert count_statements(source) == 2
+
+
+def test_count_statements_compound():
+    source = (
+        "for i in range(3):\n"
+        "    if i:\n"
+        "        print(i)\n"
+    )
+    assert count_statements(source) == 3
+
+
+def test_count_statements_comments_free():
+    assert count_statements("# just a comment\nx = 1  # trailing\n") == 1
+
+
+def test_module_statements_positive():
+    import repro.kernel.errno as mod
+
+    assert module_statements(mod) > 10
+
+
+def test_toolkit_layer_sets():
+    from repro.bench.loc import modules_statements, toolkit_layers
+
+    simple = modules_statements(toolkit_layers(False))
+    with_objects = modules_statements(toolkit_layers(True))
+    assert with_objects > simple > 0
+
+
+def test_median_odd_even():
+    assert _median([3, 1, 2]) == 2
+    assert _median([4, 1, 2, 3]) == 2.5
+
+
+def test_slowdown_percent():
+    assert slowdown(1.0, 1.5) == pytest.approx(50.0)
+    assert slowdown(0.0, 1.0) == 0.0
+
+
+def test_usec_per_call_scale():
+    usec = usec_per_call(lambda: None, calls=500, repeats=2)
+    assert 0 < usec < 100  # a no-op lambda costs well under 100 usec
+
+
+def test_time_matrix_and_paired_slowdowns():
+    import time
+
+    def fast():
+        return lambda: None
+
+    def slow():
+        return lambda: time.sleep(0.002)
+
+    results = time_matrix({"none": fast, "slow": slow}, runs=3)
+    assert set(results) == {"none", "slow"}
+    assert results["slow"][0] > results["none"][0]
+    ratios = paired_slowdowns(results, base_name="none")
+    assert ratios["none"] == pytest.approx(0.0)
+    assert ratios["slow"] > 50.0
+
+
+def test_agent_size_report_rows():
+    from repro.bench.loc import agent_size_report
+
+    rows = agent_size_report()
+    assert [r[0] for r in rows] == ["timex", "trace", "union", "dfs_trace"]
+    for _, toolkit, agent, total in rows:
+        assert total == toolkit + agent
+        assert toolkit > 0 and agent > 0

@@ -1,0 +1,177 @@
+"""Tests for the compiler pipeline: cpp, cc1, as, ld, and the cc driver."""
+
+import pytest
+
+from repro.kernel.proc import WEXITSTATUS
+from repro.programs.cc import (
+    _assemble,
+    _codegen,
+    _function_name,
+    _parse_object,
+    _replace_identifier,
+    _strip_comments,
+)
+
+
+# -- unit tests of the passes ------------------------------------------------
+
+def test_strip_block_comments():
+    assert _strip_comments("a /* gone */ b") == "a   b"
+    assert _strip_comments("x // line comment\ny") == "x \ny"
+    assert _strip_comments("/* multi\nline */z") == " z"
+
+
+def test_replace_identifier_whole_words_only():
+    assert _replace_identifier("MAX + MAXIMUM", "MAX", "9") == "9 + MAXIMUM"
+    assert _replace_identifier("xMAX", "MAX", "9") == "xMAX"
+
+
+def test_function_name_parsing():
+    assert _function_name("int main()") == "main"
+    assert _function_name("static long *helper(int x)") == "helper"
+    assert _function_name("") is None
+    assert _function_name("123()") is None
+
+
+def test_codegen_emits_globl_and_ops():
+    asm, errors = _codegen("int main() { return 0; }")
+    assert not errors
+    assert ".globl main" in asm
+    assert "main:" in asm
+    assert any(line.startswith("\tret") for line in asm)
+
+
+def test_codegen_call_instruction():
+    asm, _ = _codegen("int main() { call helper(1); }")
+    assert "\tcall helper" in asm
+
+
+def test_codegen_syntax_error_reported():
+    _, errors = _codegen("12bad() { ; }")
+    assert errors
+
+
+def test_assemble_symbols_and_relocations():
+    lines = _assemble(".globl f\nf:\n\tcall g\n\tret 0x1\n")
+    text = "\n".join(lines)
+    assert text.startswith("!object")
+    assert "sym T f 0" in text
+    assert "rel 0 g" in text
+
+
+def test_parse_object_roundtrip():
+    lines = _assemble(".globl f\nf:\n\teval 0x10\n")
+    symbols, relocations, code = _parse_object("\n".join(lines), "t.o")
+    assert symbols == {"f": ("T", 0)}
+    assert relocations == []
+    assert len(code) == 1
+
+
+def test_parse_object_bad_magic():
+    with pytest.raises(ValueError):
+        _parse_object("not an object", "bad.o")
+
+
+# -- end-to-end through the simulated world ------------------------------------
+
+@pytest.fixture
+def src_world(world):
+    world.mkdir_p("/home/mbj/cc")
+    world.write_file(
+        "/home/mbj/cc/prog.c",
+        '#include "defs.h"\n'
+        "int helper(int v) { v = v * FACTOR; return v; }\n"
+        "int main() { int v = 1; call helper(v); call printf(v); return 0; }\n",
+    )
+    world.write_file("/home/mbj/cc/defs.h", "#define FACTOR 3\n")
+    return world
+
+
+def test_cc_builds_executable(src_world, sh):
+    code, out = sh("cd /home/mbj/cc; cc -o prog prog.c")
+    assert code == 0, out
+    image = src_world.read_file("/home/mbj/cc/prog").decode()
+    assert image.startswith("!executable")
+    assert "sym T main" in image
+    assert "sym T helper" in image
+
+
+def test_cc_cleans_temporaries(src_world, sh):
+    sh("cd /home/mbj/cc; cc -o prog prog.c")
+    leftovers = [n for n in src_world.lookup_host("/tmp").entries
+                 if n.startswith("cc")]
+    assert leftovers == []
+
+
+def test_cc_undefined_symbol_fails(src_world, sh):
+    src_world.write_file(
+        "/home/mbj/cc/bad.c", "int main() { call nowhere(1); return 0; }\n"
+    )
+    code, out = sh("cd /home/mbj/cc; cc -o bad bad.c")
+    assert code != 0
+    assert "undefined symbol nowhere" in out
+
+
+def test_cc_missing_include_fails(src_world, sh):
+    src_world.write_file(
+        "/home/mbj/cc/noinc.c", '#include "missing.h"\nint main() { return 0; }\n'
+    )
+    code, out = sh("cd /home/mbj/cc; cc -o noinc noinc.c")
+    assert code != 0
+    assert "cpp:" in out
+
+
+def test_cc_multiple_sources_link_together(src_world, sh):
+    src_world.write_file(
+        "/home/mbj/cc/main2.c",
+        "int main() { call external(5); return 0; }\n",
+    )
+    src_world.write_file(
+        "/home/mbj/cc/lib2.c", "int external(int v) { return v; }\n"
+    )
+    code, out = sh("cd /home/mbj/cc; cc -o two main2.c lib2.c")
+    assert code == 0, out
+    assert b"sym T external" in src_world.read_file("/home/mbj/cc/two")
+
+
+def test_cc_duplicate_symbol_fails(src_world, sh):
+    src_world.write_file("/home/mbj/cc/dup1.c", "int f(int v) { return v; }\nint main() { return 0; }\n")
+    src_world.write_file("/home/mbj/cc/dup2.c", "int f(int v) { return v; }\n")
+    code, out = sh("cd /home/mbj/cc; cc -o dup dup1.c dup2.c")
+    assert code != 0
+    assert "multiple definition" in out
+
+
+def test_cc_requires_main(src_world, sh):
+    src_world.write_file("/home/mbj/cc/nomain.c", "int f(int v) { return v; }\n")
+    code, out = sh("cd /home/mbj/cc; cc -o nm nomain.c")
+    assert code != 0
+    assert "undefined symbol main" in out
+
+
+def test_cc_no_inputs(sh):
+    code, out = sh("cc")
+    assert code == 2
+    assert "no input files" in out
+
+
+def test_includes_found_in_usr_include(src_world, sh):
+    src_world.write_file(
+        "/home/mbj/cc/stdio_user.c",
+        '#include "stdio.h"\nint main() { return NULL; }\n',
+    )
+    code, out = sh("cd /home/mbj/cc; cc -o su stdio_user.c")
+    assert code == 0, out
+
+
+def test_libc_symbols_resolve(src_world, sh):
+    # printf comes from /usr/lib/libc.o
+    code, out = sh("cd /home/mbj/cc; cc -o prog prog.c")
+    assert code == 0
+    image = src_world.read_file("/home/mbj/cc/prog").decode()
+    assert "sym T printf" in image
+
+
+def test_output_is_executable_mode(src_world, sh):
+    sh("cd /home/mbj/cc; cc -o prog prog.c")
+    assert src_world.lookup_host("/home/mbj/cc/prog").mode & 0o111

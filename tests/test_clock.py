@@ -1,0 +1,52 @@
+"""Unit tests for the virtual clock."""
+
+import pytest
+
+from repro.kernel.clock import Clock, Timeval, TRAP_TICK_USEC
+
+
+def test_timeval_roundtrip():
+    tv = Timeval(5, 250_000)
+    assert Timeval.from_usec(tv.to_usec()) == tv
+
+
+def test_timeval_from_usec_splits():
+    tv = Timeval.from_usec(3_000_017)
+    assert tv.tv_sec == 3
+    assert tv.tv_usec == 17
+
+
+def test_timeval_equality():
+    assert Timeval(1, 2) == Timeval(1, 2)
+    assert Timeval(1, 2) != Timeval(1, 3)
+
+
+def test_clock_tick_advances():
+    clock = Clock(epoch_usec=0)
+    clock.tick()
+    assert clock.usec() == TRAP_TICK_USEC
+
+
+def test_clock_advance():
+    clock = Clock(epoch_usec=0)
+    clock.advance(1_500_000)
+    assert clock.now() == Timeval(1, 500_000)
+
+
+def test_clock_advance_rejects_negative():
+    clock = Clock()
+    with pytest.raises(ValueError):
+        clock.advance(-1)
+
+
+def test_clock_set_steps_absolute():
+    clock = Clock()
+    clock.set(Timeval(100, 7))
+    assert clock.now() == Timeval(100, 7)
+    clock.set(Timeval(50, 0))  # settimeofday may step backwards
+    assert clock.now() == Timeval(50, 0)
+
+
+def test_default_epoch_is_1992():
+    clock = Clock()
+    assert 690_000_000 < clock.now().tv_sec < 740_000_000

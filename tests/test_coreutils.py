@@ -1,0 +1,175 @@
+"""Tests for the core utilities."""
+
+import pytest
+
+
+def test_echo(sh):
+    assert sh("echo a b  c")[1] == "a b c\n"
+
+
+def test_echo_n(sh):
+    assert sh("echo -n no newline")[1] == "no newline"
+
+
+def test_true_false(sh):
+    assert sh("true")[0] == 0
+    assert sh("false")[0] == 1
+
+
+def test_cat_multiple_files(world, sh):
+    world.write_file("/tmp/1", "one\n")
+    world.write_file("/tmp/2", "two\n")
+    code, out = sh("cat /tmp/1 /tmp/2")
+    assert code == 0
+    assert out == "one\ntwo\n"
+
+
+def test_cat_missing_file(sh):
+    code, out = sh("cat /tmp/missing")
+    assert code == 1
+    assert "cat:" in out
+
+
+def test_cp(world, sh):
+    world.write_file("/tmp/src", "copy me" * 1000)
+    code, _ = sh("cp /tmp/src /tmp/dst")
+    assert code == 0
+    assert world.read_file("/tmp/dst") == world.read_file("/tmp/src")
+
+
+def test_cp_preserves_mode(world, sh):
+    world.write_file("/tmp/x1", "#!/bin/sh\n")
+    node = world.lookup_host("/tmp/x1")
+    node.mode = (node.mode & ~0o777) | 0o755
+    sh("cp /tmp/x1 /tmp/x2")
+    assert world.lookup_host("/tmp/x2").mode & 0o777 == 0o755
+
+
+def test_mv(world, sh):
+    world.write_file("/tmp/old", "payload")
+    code, _ = sh("mv /tmp/old /tmp/new")
+    assert code == 0
+    assert world.read_file("/tmp/new") == b"payload"
+    assert not world.lookup_host("/tmp").contains("old")
+
+
+def test_rm(world, sh):
+    world.write_file("/tmp/gone", "x")
+    assert sh("rm /tmp/gone")[0] == 0
+    assert not world.lookup_host("/tmp").contains("gone")
+    assert sh("rm /tmp/gone")[0] == 1
+    assert sh("rm -f /tmp/gone")[0] == 0
+
+
+def test_ln_hard_and_symbolic(world, sh):
+    world.write_file("/tmp/orig", "linked")
+    sh("ln /tmp/orig /tmp/hard")
+    sh("ln -s /tmp/orig /tmp/soft")
+    assert world.read_file("/tmp/hard") == b"linked"
+    assert world.lookup_host("/tmp/soft", follow=False).is_symlink()
+
+
+def test_mkdir_rmdir(world, sh):
+    assert sh("mkdir /tmp/d1 /tmp/d2")[0] == 0
+    assert world.lookup_host("/tmp/d1").is_dir()
+    assert sh("rmdir /tmp/d1 /tmp/d2")[0] == 0
+
+
+def test_touch_creates_and_updates(world, sh):
+    assert sh("touch /tmp/stamp")[0] == 0
+    node = world.lookup_host("/tmp/stamp")
+    old_mtime = node.mtime
+    world.clock.advance(10_000_000)
+    sh("touch /tmp/stamp")
+    assert world.lookup_host("/tmp/stamp").mtime > old_mtime
+
+
+def test_ls_sorted(world, sh):
+    world.mkdir_p("/tmp/lsd")
+    for name in ("zz", "aa", "mm"):
+        world.write_file("/tmp/lsd/" + name, "")
+    code, out = sh("ls /tmp/lsd")
+    assert out.splitlines() == ["aa", "mm", "zz"]
+
+
+def test_ls_long_format(world, sh):
+    world.write_file("/tmp/lsfile", "12345")
+    code, out = sh("ls -l /tmp/lsfile")
+    assert code == 0
+    assert "-rw-r--r--" in out
+    assert "5" in out
+
+
+def test_ls_all_shows_dots(world, sh):
+    world.mkdir_p("/tmp/lsa")
+    code, out = sh("ls -a /tmp/lsa")
+    lines = out.splitlines()
+    assert "." in lines and ".." in lines
+
+
+def test_ls_missing(sh):
+    code, out = sh("ls /tmp/nonexistent")
+    assert code == 1
+
+
+def test_pwd(world, sh):
+    code, out = sh("cd /usr/lib; pwd")
+    assert out.strip() == "/usr/lib"
+    code, out = sh("cd /; pwd")
+    assert out.strip() == "/"
+
+
+def test_head(world, sh):
+    world.write_file("/tmp/lines", "".join("line %d\n" % i for i in range(20)))
+    code, out = sh("head -3 /tmp/lines")
+    assert out == "line 0\nline 1\nline 2\n"
+
+
+def test_wc(world, sh):
+    world.write_file("/tmp/wc1", "a b\nc\n")
+    code, out = sh("wc /tmp/wc1")
+    assert out.split()[:3] == ["2", "3", "6"]
+
+
+def test_wc_total_line(world, sh):
+    world.write_file("/tmp/wa", "x\n")
+    world.write_file("/tmp/wb", "y\n")
+    code, out = sh("wc /tmp/wa /tmp/wb")
+    assert "total" in out
+
+
+def test_grep_exit_codes(world, sh):
+    world.write_file("/tmp/g", "needle in haystack\n")
+    assert sh("grep needle /tmp/g")[0] == 0
+    assert sh("grep absent /tmp/g")[0] == 1
+    assert sh("grep")[0] == 2
+
+
+def test_grep_labels_multiple_files(world, sh):
+    world.write_file("/tmp/ga", "match\n")
+    world.write_file("/tmp/gb", "match\n")
+    code, out = sh("grep match /tmp/ga /tmp/gb")
+    assert "/tmp/ga:match" in out
+    assert "/tmp/gb:match" in out
+
+
+def test_date_prints_virtual_time(world, sh):
+    code, out = sh("date")
+    seconds = int(out.split(".")[0])
+    assert abs(seconds - world.clock.now().tv_sec) < 5
+
+
+def test_sleep_advances_clock(world, sh):
+    before = world.clock.usec()
+    sh("sleep 3")
+    assert world.clock.usec() - before >= 3_000_000
+
+
+def test_hostname(world, sh):
+    assert sh("hostname")[1].strip() == world.hostname
+
+
+def test_kill_from_shell(world, sh):
+    code, out = sh("kill -15 9999")
+    assert code == 1
+    assert "kill:" in out

@@ -1,0 +1,112 @@
+"""Unit tests for credentials and permission checks."""
+
+import pytest
+
+from repro.kernel import cred as C
+from repro.kernel import stat as st
+from repro.kernel.clock import Clock
+from repro.kernel.errno import EACCES, EPERM, SyscallError
+from repro.kernel.ufs import Filesystem
+
+
+@pytest.fixture
+def fs():
+    return Filesystem(Clock())
+
+
+def _file(fs, mode, uid=100, gid=10):
+    node = fs.create_file(mode, C.Cred(uid, gid))
+    node.uid = uid
+    node.gid = gid
+    return node
+
+
+def test_owner_bits_apply_to_owner(fs):
+    node = _file(fs, 0o700)
+    owner = C.Cred(100, 10)
+    C.check_access(node, owner, C.R_OK | C.W_OK | C.X_OK)
+
+
+def test_owner_class_is_decisive(fs):
+    # Owner with 0o077: owner bits (none) apply even though other bits allow.
+    node = _file(fs, 0o077)
+    owner = C.Cred(100, 10)
+    with pytest.raises(SyscallError) as exc:
+        C.check_access(node, owner, C.R_OK)
+    assert exc.value.errno == EACCES
+
+
+def test_group_bits_apply_to_group_member(fs):
+    node = _file(fs, 0o640)
+    member = C.Cred(200, 10)
+    C.check_access(node, member, C.R_OK)
+    with pytest.raises(SyscallError):
+        C.check_access(node, member, C.W_OK)
+
+
+def test_supplementary_groups_count(fs):
+    node = _file(fs, 0o040, gid=55)
+    member = C.Cred(200, 10, groups=[10, 55])
+    C.check_access(node, member, C.R_OK)
+
+
+def test_other_bits_apply_to_stranger(fs):
+    node = _file(fs, 0o604)
+    stranger = C.Cred(200, 20)
+    C.check_access(node, stranger, C.R_OK)
+    with pytest.raises(SyscallError):
+        C.check_access(node, stranger, C.W_OK)
+
+
+def test_root_bypasses_rw(fs):
+    node = _file(fs, 0o000)
+    root = C.Cred(0, 0)
+    C.check_access(node, root, C.R_OK | C.W_OK)
+
+
+def test_root_cannot_exec_nonexecutable(fs):
+    node = _file(fs, 0o644)
+    root = C.Cred(0, 0)
+    with pytest.raises(SyscallError):
+        C.check_access(node, root, C.X_OK)
+
+
+def test_root_can_exec_if_any_x_bit(fs):
+    node = _file(fs, 0o641)
+    C.check_access(node, C.Cred(0, 0), C.X_OK)
+
+
+def test_f_ok_always_passes(fs):
+    node = _file(fs, 0o000)
+    C.check_access(node, C.Cred(999, 999), C.F_OK)
+
+
+def test_effective_uid_used(fs):
+    node = _file(fs, 0o600)
+    setuid_proc = C.Cred(200, 20, euid=100)
+    C.check_access(node, setuid_proc, C.R_OK | C.W_OK)
+
+
+def test_check_owner(fs):
+    node = _file(fs, 0o644)
+    C.check_owner(node, C.Cred(100, 10))
+    C.check_owner(node, C.Cred(0, 0))
+    with pytest.raises(SyscallError) as exc:
+        C.check_owner(node, C.Cred(200, 10))
+    assert exc.value.errno == EPERM
+
+
+def test_cred_copy_is_deep_enough():
+    cred = C.Cred(1, 2, groups=[2, 3])
+    clone = cred.copy()
+    clone.groups.append(4)
+    assert cred.groups == [2, 3]
+
+
+def test_cred_defaults():
+    cred = C.Cred(5, 6)
+    assert cred.euid == 5
+    assert cred.egid == 6
+    assert cred.groups == [6]
+    assert not cred.is_superuser()
+    assert C.Cred(1, 1, euid=0).is_superuser()

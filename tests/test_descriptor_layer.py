@@ -1,0 +1,171 @@
+"""Tests for layer 2 (descriptor side): DescriptorSet/Descriptor/OpenObject."""
+
+import pytest
+
+from repro.kernel.ofile import F_DUPFD, O_CREAT, O_RDONLY, O_RDWR, O_WRONLY
+from repro.kernel.proc import WEXITSTATUS
+from repro.kernel.sysent import number_of
+from repro.toolkit import run_under_agent
+from repro.toolkit.descriptors import DescSymbolicSyscall, OpenObject
+
+NR = {n: number_of(n) for n in (
+    "open", "read", "write", "close", "dup", "dup2", "fcntl", "pipe",
+    "fork", "wait", "getpid", "fstat", "lseek",
+)}
+
+
+class RecordingObject(OpenObject):
+    """Open object that records its lifecycle for assertions."""
+
+    log = []
+
+    def last_close(self):
+        RecordingObject.log.append("last_close")
+
+    def read(self, fd, count):
+        RecordingObject.log.append(("read", fd, count))
+        return super().read(fd, count)
+
+
+class RecordingAgent(DescSymbolicSyscall):
+    class DSET(DescSymbolicSyscall.DESCRIPTOR_SET_CLASS):
+        OPEN_OBJECT_CLASS = RecordingObject
+
+    DESCRIPTOR_SET_CLASS = DSET
+
+
+@pytest.fixture(autouse=True)
+def _clear_log():
+    RecordingObject.log = []
+
+
+def test_descriptor_materializes_on_first_use(world):
+    world.write_file("/tmp/f", "contents")
+    agent = RecordingAgent()
+
+    def main(ctx):
+        agent.attach(ctx)
+        fd = ctx.trap(NR["open"], "/tmp/f", O_RDONLY, 0)
+        assert ctx.trap(NR["read"], fd, 4) == b"cont"
+        table = agent.dset.table()
+        assert fd in table
+        return 0
+
+    assert WEXITSTATUS(world.run_entry(main)) == 0
+    assert ("read", 3, 4) in RecordingObject.log
+
+
+def test_dup_shares_open_object(world):
+    world.write_file("/tmp/f", "x")
+    agent = RecordingAgent()
+
+    def main(ctx):
+        agent.attach(ctx)
+        fd = ctx.trap(NR["open"], "/tmp/f", O_RDONLY, 0)
+        dup_fd = ctx.trap(NR["dup"], fd)
+        table = agent.dset.table()
+        assert table[fd].open_object is table[dup_fd].open_object
+        assert table[fd].open_object.refcount == 2
+        ctx.trap(NR["close"], fd)
+        assert table[dup_fd].open_object.refcount == 1
+        ctx.trap(NR["close"], dup_fd)
+        return 0
+
+    world.run_entry(main)
+    assert RecordingObject.log.count("last_close") == 1
+
+
+def test_dup2_and_fcntl_dupfd_share(world):
+    world.write_file("/tmp/f", "x")
+    agent = RecordingAgent()
+
+    def main(ctx):
+        agent.attach(ctx)
+        fd = ctx.trap(NR["open"], "/tmp/f", O_RDONLY, 0)
+        ctx.trap(NR["dup2"], fd, 9)
+        high = ctx.trap(NR["fcntl"], fd, F_DUPFD, 30)
+        table = agent.dset.table()
+        obj = table[fd].open_object
+        assert table[9].open_object is obj
+        assert table[high].open_object is obj
+        assert obj.refcount == 3
+        return 0
+
+    assert WEXITSTATUS(world.run_entry(main)) == 0
+
+
+def test_fork_copies_table_sharing_objects(world):
+    world.write_file("/tmp/f", "x")
+    agent = RecordingAgent()
+    shared = {}
+
+    def main(ctx):
+        agent.attach(ctx)
+        fd = ctx.trap(NR["open"], "/tmp/f", O_RDONLY, 0)
+        ctx.trap(NR["read"], fd, 1)  # materialise the descriptor
+        shared["parent_obj"] = agent.dset.table()[fd].open_object
+
+        def child(cctx):
+            table = agent.dset.table()
+            shared["child_obj"] = table[fd].open_object
+            return 0
+
+        ctx.trap(NR["fork"], agent.wrap_fork_entry(child))
+        ctx.trap(NR["wait"])
+        return 0
+
+    world.run_entry(main)
+    assert shared["parent_obj"] is shared["child_obj"]
+
+
+def test_exit_releases_table(world):
+    world.write_file("/tmp/f", "x")
+    agent = RecordingAgent()
+
+    def main(ctx):
+        agent.attach(ctx)
+        fd = ctx.trap(NR["open"], "/tmp/f", O_RDONLY, 0)
+        ctx.trap(NR["read"], fd, 1)  # materialise the descriptor
+        return 0  # exit without closing
+
+    world.run_entry(main)
+    assert not agent.dset._tables  # released at exit
+    assert "last_close" in RecordingObject.log
+
+
+def test_pipe_creates_two_objects(world):
+    agent = RecordingAgent()
+
+    def main(ctx):
+        agent.attach(ctx)
+        rfd, wfd = ctx.trap(NR["pipe"])
+        table = agent.dset.table()
+        assert table[rfd].open_object is not table[wfd].open_object
+        assert table[rfd].open_object.kind == "pipe"
+        ctx.trap(NR["write"], wfd, b"through the layer")
+        assert ctx.trap(NR["read"], rfd, 100) == b"through the layer"
+        return 0
+
+    assert WEXITSTATUS(world.run_entry(main)) == 0
+
+
+def test_close_of_unseen_descriptor_passes_through(world):
+    agent = RecordingAgent()
+
+    def main(ctx):
+        agent.attach(ctx)
+        # fd 0 (console) was opened before the agent attached.
+        ctx.trap(NR["close"], 0)
+        return 0
+
+    assert WEXITSTATUS(world.run_entry(main)) == 0
+
+
+def test_descriptor_agent_transparent_for_shell(world):
+    status = run_under_agent(
+        world, RecordingAgent(), "/bin/sh",
+        ["sh", "-c", "echo x > /tmp/o; cat /tmp/o | wc"],
+    )
+    assert WEXITSTATUS(status) == 0
+    out = world.console.take_output().decode()
+    assert out.split()[:3] == ["1", "1", "2"]

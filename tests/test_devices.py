@@ -1,0 +1,143 @@
+"""Tests for the device switch and standard devices."""
+
+import pytest
+
+from repro.kernel.devices import (
+    ConsoleDevice,
+    DeviceSwitch,
+    FIONREAD,
+    NullDevice,
+    TIOCGWINSZ,
+    ZeroDevice,
+)
+from repro.kernel.errno import ENODEV, ENOTTY, SyscallError
+from repro.kernel.sysent import number_of
+
+NR_OPEN = number_of("open")
+NR_READ = number_of("read")
+NR_WRITE = number_of("write")
+NR_IOCTL = number_of("ioctl")
+
+
+def test_null_device_reads_eof_swallows_writes(run_entry):
+    def main(ctx):
+        fd = ctx.trap(NR_OPEN, "/dev/null", 2, 0)
+        assert ctx.trap(NR_READ, fd, 100) == b""
+        assert ctx.trap(NR_WRITE, fd, b"x" * 1000) == 1000
+        return 0
+
+    assert run_entry(main) == 0
+
+
+def test_zero_device(run_entry):
+    def main(ctx):
+        fd = ctx.trap(NR_OPEN, "/dev/zero", 0, 0)
+        assert ctx.trap(NR_READ, fd, 5) == b"\0\0\0\0\0"
+        return 0
+
+    assert run_entry(main) == 0
+
+
+def test_console_echo(kernel, run_entry):
+    kernel.console.feed("typed input\n")
+
+    def main(ctx):
+        fd = ctx.trap(NR_OPEN, "/dev/console", 2, 0)
+        data = ctx.trap(NR_READ, fd, 100)
+        ctx.trap(NR_WRITE, fd, b"echo: " + data)
+        return 0
+
+    assert run_entry(main) == 0
+    assert kernel.console.output_text() == "echo: typed input\n"
+
+
+def test_console_tty_alias(kernel, run_entry):
+    def main(ctx):
+        fd = ctx.trap(NR_OPEN, "/dev/tty", 1, 0)
+        ctx.trap(NR_WRITE, fd, b"to tty")
+        return 0
+
+    run_entry(main)
+    assert kernel.console.output_text() == "to tty"
+
+
+def test_console_window_size_ioctl(run_entry):
+    def main(ctx):
+        fd = ctx.trap(NR_OPEN, "/dev/tty", 2, 0)
+        rows, cols = ctx.trap(NR_IOCTL, fd, TIOCGWINSZ, None)
+        assert (rows, cols) == (24, 80)
+        return 0
+
+    assert run_entry(main) == 0
+
+
+def test_console_fionread(kernel, run_entry):
+    kernel.console.feed("abc")
+
+    def main(ctx):
+        fd = ctx.trap(NR_OPEN, "/dev/tty", 0, 0)
+        assert ctx.trap(NR_IOCTL, fd, FIONREAD, None) == 3
+        return 0
+
+    assert run_entry(main) == 0
+
+
+def test_ioctl_on_regular_file_enotty(kernel, run_entry):
+    kernel.write_file("/tmp/f", "x")
+
+    def main(ctx):
+        fd = ctx.trap(NR_OPEN, "/tmp/f", 0, 0)
+        try:
+            ctx.trap(NR_IOCTL, fd, TIOCGWINSZ, None)
+        except SyscallError as err:
+            assert err.errno == ENOTTY
+            return 0
+        return 1
+
+    assert run_entry(main) == 0
+
+
+def test_device_switch_registration():
+    switch = DeviceSwitch()
+    rdev = switch.register(NullDevice())
+    assert switch.lookup(rdev).name == "null"
+    with pytest.raises(SyscallError) as exc:
+        switch.lookup(999)
+    assert exc.value.errno == ENODEV
+    with pytest.raises(ValueError):
+        switch.register(ZeroDevice(), rdev=rdev)
+
+
+def test_console_feed_and_take():
+    console = ConsoleDevice()
+    console.feed(b"bytes")
+    console.feed("text")
+    assert bytes(console.input) == b"bytestext"
+    console.output.extend(b"out")
+    assert console.take_output() == b"out"
+    assert console.take_output() == b""
+
+
+def test_console_eof(kernel, run_entry):
+    kernel.console.mark_eof()
+
+    def main(ctx):
+        fd = ctx.trap(NR_OPEN, "/dev/tty", 0, 0)
+        assert ctx.trap(NR_READ, fd, 10) == b""
+        return 0
+
+    assert run_entry(main) == 0
+
+
+def test_open_counts_tracked(kernel, run_entry):
+    def main(ctx):
+        NR_CLOSE = number_of("close")
+        fd = ctx.trap(NR_OPEN, "/dev/null", 0, 0)
+        fd2 = ctx.trap(NR_OPEN, "/dev/null", 0, 0)
+        ctx.trap(NR_CLOSE, fd)
+        ctx.trap(NR_CLOSE, fd2)
+        return 0
+
+    run_entry(main)
+    null = kernel.devswitch.lookup(kernel._null_rdev)
+    assert null.open_count == 0

@@ -1,0 +1,129 @@
+"""Tests for dfs_trace and the kernel DFSTrace baseline (Section 3.5.3)."""
+
+import pytest
+
+from repro.agents.dfs_trace import DfsTraceAgent
+from repro.kernel import dfstrace as kdfs
+from repro.kernel.proc import WEXITSTATUS
+from repro.toolkit import run_under_agent
+
+
+def _ops(records):
+    return [r.opcode for r in records]
+
+
+def test_agent_records_file_references(world):
+    agent = DfsTraceAgent("/tmp/dfs.log")
+    status = run_under_agent(
+        world, agent, "/bin/sh",
+        ["sh", "-c", "echo x > /tmp/a; cat /tmp/a; rm /tmp/a; mkdir /tmp/d; rmdir /tmp/d"],
+    )
+    assert WEXITSTATUS(status) == 0
+    ops = _ops(agent.records)
+    for expected in ("open", "close", "unlink", "mkdir", "rmdir", "execve",
+                     "fork", "exit", "stat"):
+        assert expected in ops, expected
+
+
+def test_agent_log_file_parses_back(world):
+    agent = DfsTraceAgent("/tmp/dfs.log")
+    run_under_agent(world, agent, "/bin/sh", ["sh", "-c", "cat /etc/passwd > /dev/null"])
+    parsed = kdfs.parse_trace(world.read_file("/tmp/dfs.log").decode())
+    assert _ops(parsed) == _ops(agent.records)
+    assert all(r.pid > 0 for r in parsed)
+    assert all(r.time_usec > 0 for r in parsed)
+
+
+def test_record_line_roundtrip():
+    record = kdfs.DFSRecord(123456, 7, "open", 2, "/etc/passwd flags=0x0 fd=-1")
+    again = kdfs.DFSRecord.from_line(record.to_line())
+    assert (again.time_usec, again.pid, again.opcode, again.error,
+            again.detail) == (123456, 7, "open", 2, "/etc/passwd flags=0x0 fd=-1")
+
+
+def test_errors_recorded(world):
+    agent = DfsTraceAgent("/tmp/dfs.log")
+    run_under_agent(world, agent, "/bin/sh", ["sh", "-c", "cat /missing; true"])
+    failed_opens = [r for r in agent.records if r.opcode == "open" and r.error]
+    assert failed_opens
+    from repro.kernel.errno import ENOENT
+
+    assert failed_opens[0].error == ENOENT
+
+
+def test_kernel_collector_records(world):
+    collector = kdfs.enable(world)
+    world.run("/bin/sh", ["sh", "-c", "echo k > /tmp/k; cat /tmp/k"])
+    kdfs.disable(world)
+    ops = _ops(collector.records)
+    assert "open" in ops and "close" in ops and "fork" in ops
+
+
+def test_kernel_collector_untraced_calls_skipped(world):
+    collector = kdfs.enable(world)
+    world.run("/bin/date", ["date"])
+    kdfs.disable(world)
+    assert "gettimeofday" not in _ops(collector.records)
+
+
+def test_kernel_collector_buffer_limit(world):
+    collector = kdfs.enable(world, buffer_limit=2)
+    world.run("/bin/sh", ["sh", "-c", "cat /etc/passwd > /dev/null"])
+    kdfs.disable(world)
+    assert len(collector.records) == 2
+    assert collector.dropped > 0
+
+
+def test_drain_empties_buffer(world):
+    collector = kdfs.enable(world)
+    world.run("/bin/true", ["true"])
+    records = collector.drain()
+    assert records
+    assert collector.records == []
+
+
+def test_agent_and_kernel_traces_equivalent(world):
+    """The agent-based implementation is compatible with the kernel-based
+    tools: the same client operations yield the same record stream."""
+    collector = kdfs.enable(world)
+    agent = DfsTraceAgent("/tmp/dfs.log")
+    status = run_under_agent(
+        world, agent, "/bin/sh",
+        ["sh", "-c", "echo z > /tmp/z; cat /tmp/z; rm /tmp/z"],
+    )
+    assert WEXITSTATUS(status) == 0
+    kdfs.disable(world)
+
+    # The kernel also saw the agent's own machinery (its log writes, the
+    # exec reimplementation's probes); restrict both streams to the
+    # client's pathname operations on /tmp/z for a faithful comparison.
+    def client_ops(records):
+        return [
+            (r.opcode, r.detail.split()[0])
+            for r in records
+            if r.detail.startswith("/tmp/z")
+        ]
+
+    agent_view = client_ops(agent.records)
+    kernel_view = client_ops(collector.records)
+    assert agent_view == kernel_view
+    assert agent_view  # non-empty
+
+
+def test_flush_batches(world):
+    agent = DfsTraceAgent("/tmp/dfs.log")
+    # Fewer records than FLUSH_EVERY before exit: exit flushes the rest.
+    run_under_agent(world, agent, "/bin/true", ["true"])
+    text = world.read_file("/tmp/dfs.log").decode()
+    assert len(text.splitlines()) == len(agent.records)
+
+
+def test_agent_uses_no_kernel_hooks(world):
+    """The agent implementation works with kernel tracing disabled —
+    no kernel modifications required (paper's portability point)."""
+    assert world.dfstrace is None
+    agent = DfsTraceAgent("/tmp/dfs.log")
+    status = run_under_agent(world, agent, "/bin/sh", ["sh", "-c", "ls / > /dev/null"])
+    assert WEXITSTATUS(status) == 0
+    assert agent.records
+    assert world.dfstrace is None

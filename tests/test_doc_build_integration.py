@@ -1,0 +1,71 @@
+"""Integration: make drives scribe — the two workload programs composed.
+
+A Makefile whose rule formats a manuscript with scribe, rebuilt only
+when the manuscript changes; run bare and under agents.
+"""
+
+import pytest
+
+from repro.agents.time_symbolic import TimeSymbolic
+from repro.kernel.proc import WEXITSTATUS
+from repro.toolkit import run_under_agent
+
+
+@pytest.fixture
+def doc_world(world):
+    world.mkdir_p("/home/mbj/book")
+    world.write_file(
+        "/home/mbj/book/book.mss",
+        "@make(report)\n\n@chapter(Only Chapter)\n\nSome body text here.\n",
+    )
+    world.write_file(
+        "/home/mbj/book/Makefile",
+        "book.doc: book.mss\n"
+        "\tscribe book.mss book.doc\n",
+    )
+    return world
+
+
+def test_make_builds_document(doc_world):
+    status = doc_world.run(
+        "/bin/sh", ["sh", "-c", "cd /home/mbj/book; make"]
+    )
+    assert WEXITSTATUS(status) == 0
+    doc = doc_world.read_file("/home/mbj/book/book.doc").decode()
+    assert "Chapter 1.  Only Chapter" in doc
+
+
+def test_rebuild_only_after_edit(doc_world):
+    doc_world.run("/bin/sh", ["sh", "-c", "cd /home/mbj/book; make"])
+    doc_world.console.take_output()
+    status = doc_world.run("/bin/sh", ["sh", "-c", "cd /home/mbj/book; make"])
+    assert "up to date" in doc_world.console.take_output().decode()
+    # Edit the manuscript (advancing the clock past the second boundary).
+    doc_world.clock.advance(2_000_000)
+    doc_world.write_file(
+        "/home/mbj/book/book.mss",
+        "@make(report)\n\n@chapter(Revised)\n\nNew text.\n",
+    )
+    doc_world.run("/bin/sh", ["sh", "-c", "cd /home/mbj/book; make"])
+    doc = doc_world.read_file("/home/mbj/book/book.doc").decode()
+    assert "Revised" in doc
+
+
+def test_doc_build_under_agent(doc_world):
+    status = run_under_agent(
+        doc_world, TimeSymbolic(), "/bin/sh",
+        ["sh", "-c", "cd /home/mbj/book; make"],
+    )
+    assert WEXITSTATUS(status) == 0
+    assert b"Only Chapter" in doc_world.read_file("/home/mbj/book/book.doc")
+
+
+def test_doc_pipeline_with_tools(doc_world):
+    """Format, then post-process with grep/wc/sort — a realistic session."""
+    status = doc_world.run(
+        "/bin/sh",
+        ["sh", "-c",
+         "cd /home/mbj/book; make; grep Chapter book.doc | sort | tee summary"],
+    )
+    assert WEXITSTATUS(status) == 0
+    assert b"Chapter" in doc_world.read_file("/home/mbj/book/summary")

@@ -1,0 +1,73 @@
+"""Documentation audit: every public item carries a doc comment.
+
+Walks every module under ``repro`` and requires a docstring on the
+module itself and on every public class, function, and method defined
+there (names not starting with ``_``, excluding trivial inherited
+overrides whose parent documents the contract).
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _modules():
+    names = []
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        names.append(info.name)
+    return sorted(names)
+
+
+def _is_local(obj, module):
+    return getattr(obj, "__module__", None) == module.__name__
+
+
+def _documented_somewhere_in_mro(cls, name):
+    for base in cls.__mro__[1:]:
+        parent = base.__dict__.get(name)
+        if parent is not None and getattr(parent, "__doc__", None):
+            return True
+    return False
+
+
+def test_every_module_has_a_docstring():
+    missing = [
+        name for name in _modules()
+        if not (importlib.import_module(name).__doc__ or "").strip()
+    ]
+    assert not missing, missing
+
+
+def test_every_public_item_has_a_docstring():
+    missing = []
+    for module_name in _modules():
+        module = importlib.import_module(module_name)
+        for name, obj in vars(module).items():
+            if name.startswith("_"):
+                continue
+            if inspect.isclass(obj) and _is_local(obj, module):
+                if not (obj.__doc__ or "").strip():
+                    missing.append("%s.%s" % (module_name, name))
+                for attr_name, attr in vars(obj).items():
+                    if attr_name.startswith("_"):
+                        continue
+                    if not (inspect.isfunction(attr) or isinstance(
+                            attr, (classmethod, staticmethod))):
+                        continue
+                    func = attr.__func__ if isinstance(
+                        attr, (classmethod, staticmethod)) else attr
+                    if (func.__doc__ or "").strip():
+                        continue
+                    if _documented_somewhere_in_mro(obj, attr_name):
+                        continue  # the contract is documented on the base
+                    missing.append(
+                        "%s.%s.%s" % (module_name, name, attr_name)
+                    )
+            elif inspect.isfunction(obj) and _is_local(obj, module):
+                if not (obj.__doc__ or "").strip():
+                    missing.append("%s.%s" % (module_name, name))
+    assert not missing, "undocumented public items:\n" + "\n".join(missing)

@@ -1,0 +1,99 @@
+"""Tests for the foreign-OS emulation agent (paper Section 1.4)."""
+
+import pytest
+
+from repro.agents.emul import (
+    FOREIGN_BASE,
+    EmulAgent,
+    ForeignContext,
+    foreign_errno,
+    foreign_number,
+)
+from repro.kernel.errno import ENOENT, SyscallError
+from repro.kernel.proc import WEXITSTATUS
+from repro.kernel.sysent import number_of
+
+
+def test_number_mapping():
+    assert foreign_number(5) == 1005
+    assert foreign_errno(2) == 102  # ENOENT
+    assert foreign_errno(5) == 5  # unmapped values pass through
+
+
+def _foreign_session(world, body):
+    """Run *body(foreign_ctx)* under the emulation agent."""
+
+    def main(ctx):
+        agent = EmulAgent()
+        agent.attach(ctx)
+        return body(ForeignContext(ctx), agent)
+
+    return WEXITSTATUS(world.run_entry(main))
+
+
+def test_foreign_binary_runs(world):
+    def body(f, agent):
+        fd = f.trap(5, "/tmp/foreign.txt", 0x0201 | 0x0200, 0o644)  # open
+        f.trap(4, fd, b"hpux says hi\n")  # write
+        f.trap(6, fd)  # close
+        assert agent.translated == 3
+        return 0
+
+    assert _foreign_session(world, body) == 0
+    assert world.read_file("/tmp/foreign.txt") == b"hpux says hi\n"
+
+
+def test_foreign_errno_convention(world):
+    def body(f, agent):
+        try:
+            f.trap(5, "/definitely/missing", 0, 0)
+        except SyscallError as err:
+            return 0 if err.errno == 102 else 1
+        return 1
+
+    assert _foreign_session(world, body) == 0
+
+
+def test_foreign_two_register_calls(world):
+    def body(f, agent):
+        pid, flag = f.trap(2, lambda c: 5)  # fork
+        wpid, status = f.trap(7)  # wait
+        assert wpid == pid and flag == 0
+        return WEXITSTATUS(status)
+
+    assert _foreign_session(world, body) == 5
+
+
+def test_unknown_foreign_number_enosys(world):
+    def body(f, agent):
+        try:
+            f.trap(199)  # no such native call
+        except SyscallError as err:
+            from repro.kernel.errno import ENOSYS
+
+            return 0 if err.errno == ENOSYS else 1
+        return 1
+
+    assert _foreign_session(world, body) == 0
+
+
+def test_native_calls_unaffected(world):
+    def main(ctx):
+        EmulAgent().attach(ctx)
+        assert ctx.trap(number_of("getpid")) == ctx.proc.pid
+        return 0
+
+    assert WEXITSTATUS(world.run_entry(main)) == 0
+
+
+def test_foreign_binary_without_agent_fails(world):
+    def main(ctx):
+        try:
+            ForeignContext(ctx).trap(20)  # getpid, foreign numbering
+        except SyscallError as err:
+            from repro.kernel.errno import ENOSYS
+
+            return 0 if err.errno == ENOSYS else 1
+        return 1
+
+    assert WEXITSTATUS(world.run_entry(main)) == 0

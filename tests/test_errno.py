@@ -1,0 +1,55 @@
+"""Unit tests for the errno module."""
+
+import pytest
+
+from repro.kernel import errno as E
+
+
+def test_values_match_43bsd():
+    assert E.EPERM == 1
+    assert E.ENOENT == 2
+    assert E.EBADF == 9
+    assert E.EACCES == 13
+    assert E.EEXIST == 17
+    assert E.ENOTDIR == 20
+    assert E.EISDIR == 21
+    assert E.EINVAL == 22
+    assert E.EPIPE == 32
+    assert E.EWOULDBLOCK == 35
+    assert E.ELOOP == 62
+    assert E.ENOSYS == 78
+
+
+def test_eagain_aliases_ewouldblock():
+    assert E.EAGAIN == E.EWOULDBLOCK
+
+
+def test_errno_name_known():
+    assert E.errno_name(E.ENOENT) == "ENOENT"
+    assert E.errno_name(E.EPERM) == "EPERM"
+    assert E.errno_name(E.ENOTEMPTY) == "ENOTEMPTY"
+
+
+def test_errno_name_unknown():
+    assert E.errno_name(9999) == "E?9999?"
+
+
+def test_syscall_error_carries_errno():
+    err = E.SyscallError(E.EACCES)
+    assert err.errno == E.EACCES
+    assert "EACCES" in str(err)
+
+
+def test_syscall_error_custom_message():
+    err = E.SyscallError(E.ENOENT, "/nope")
+    assert err.errno == E.ENOENT
+    assert "/nope" in str(err)
+
+
+def test_syscall_error_repr():
+    assert "ENOENT" in repr(E.SyscallError(E.ENOENT))
+
+
+def test_syscall_error_is_exception():
+    with pytest.raises(E.SyscallError):
+        raise E.SyscallError(E.EIO)

@@ -1,0 +1,211 @@
+"""Tests for execve and image loading."""
+
+import pytest
+
+from repro.kernel import signals as sig
+from repro.kernel.errno import EACCES, ENOENT, ENOEXEC, SyscallError
+from repro.kernel.ofile import F_SETFD, FD_CLOEXEC, O_RDONLY
+from repro.kernel.proc import WEXITSTATUS
+from repro.kernel.sysent import number_of
+
+NR = {n: number_of(n) for n in (
+    "execve", "fork", "wait", "open", "close", "fcntl", "read", "write",
+    "sigvec", "setuid", "chmod", "image_header", "task_set_emulation",
+    "task_get_emulation", "getpid",
+)}
+
+
+def _install_probe(world, name="probe"):
+    """A binary that writes its argv and env marker to stdout."""
+
+    def probe(ctx, argv, envp):
+        from repro.programs.libc import Sys
+
+        sys = Sys(ctx)
+        sys.print_out("argv=%r env=%r\n" % (argv, sorted(envp)))
+        return 5
+
+    world.register_program(name, probe)
+    world.install_binary("/bin/" + name, name)
+
+
+def test_execve_replaces_image(world):
+    _install_probe(world)
+
+    def main(ctx):
+        ctx.trap(NR["execve"], "/bin/probe", ["probe", "a", "b"], {"K": "V"})
+        raise AssertionError("execve returned")
+
+    status = world.run_entry(main)
+    assert WEXITSTATUS(status) == 5
+    out = world.console.take_output().decode()
+    assert "argv=['probe', 'a', 'b']" in out
+    assert "env=['K']" in out
+
+
+def test_execve_missing_file(world):
+    def main(ctx):
+        try:
+            ctx.trap(NR["execve"], "/bin/absent", ["absent"], {})
+        except SyscallError as err:
+            return 10 if err.errno == ENOENT else 1
+        return 1
+
+    assert WEXITSTATUS(world.run_entry(main)) == 10
+
+
+def test_execve_non_executable_eacces(world):
+    world.write_file("/tmp/data.txt", "just data")
+
+    def main(ctx):
+        try:
+            ctx.trap(NR["execve"], "/tmp/data.txt", ["x"], {})
+        except SyscallError as err:
+            return 10 if err.errno == EACCES else 1
+        return 1
+
+    assert WEXITSTATUS(world.run_entry(main)) == 10
+
+
+def test_execve_bad_image_enoexec(world):
+    world.write_file("/tmp/garbage", "no magic here")
+    node = world.lookup_host("/tmp/garbage")
+    node.mode |= 0o111
+
+    def main(ctx):
+        try:
+            ctx.trap(NR["execve"], "/tmp/garbage", ["x"], {})
+        except SyscallError as err:
+            return 10 if err.errno == ENOEXEC else 1
+        return 1
+
+    assert WEXITSTATUS(world.run_entry(main)) == 10
+
+
+def test_interpreter_script(world):
+    world.write_file(
+        "/tmp/hello.sh", "#!/bin/sh\necho from script $1\n", mode=0o755
+    )
+    world.lookup_host("/tmp/hello.sh").mode |= 0o111
+
+    def main(ctx):
+        ctx.trap(NR["execve"], "/tmp/hello.sh", ["hello.sh", "arg1"], {})
+
+    world.run_entry(main)
+    assert "from script arg1" in world.console.take_output().decode()
+
+
+def test_execve_closes_cloexec_descriptors(world):
+    _install_probe(world)
+    world.write_file("/tmp/f", "x")
+    observed = {}
+
+    def checker(ctx, argv, envp):
+        # fd 3 (cloexec) must be closed; fd 4 must survive.
+        from repro.kernel.errno import EBADF
+
+        try:
+            ctx.trap(NR["read"], 3, 1)
+            observed["fd3"] = "open"
+        except SyscallError as err:
+            observed["fd3"] = "closed" if err.errno == EBADF else "?"
+        observed["fd4"] = ctx.trap(NR["read"], 4, 1)
+        return 0
+
+    world.register_program("checker", checker)
+    world.install_binary("/bin/checker", "checker")
+
+    def main(ctx):
+        fd3 = ctx.trap(NR["open"], "/tmp/f", O_RDONLY, 0)
+        fd4 = ctx.trap(NR["open"], "/tmp/f", O_RDONLY, 0)
+        assert (fd3, fd4) == (3, 4)
+        ctx.trap(NR["fcntl"], fd3, F_SETFD, FD_CLOEXEC)
+        ctx.trap(NR["execve"], "/bin/checker", ["checker"], {})
+
+    world.run_entry(main)
+    assert observed == {"fd3": "closed", "fd4": b"x"}
+
+
+def test_execve_resets_caught_handlers_keeps_ignored(world):
+    state = {}
+
+    def checker(ctx, argv, envp):
+        proc = ctx.proc
+        state["term"] = proc.dispositions[sig.SIGTERM].handler
+        state["usr1"] = proc.dispositions[sig.SIGUSR1].handler
+        return 0
+
+    world.register_program("sigchecker", checker)
+    world.install_binary("/bin/sigchecker", "sigchecker")
+
+    def main(ctx):
+        ctx.trap(NR["sigvec"], sig.SIGTERM, lambda s: None, 0)
+        ctx.trap(NR["sigvec"], sig.SIGUSR1, sig.SIG_IGN, 0)
+        ctx.trap(NR["execve"], "/bin/sigchecker", ["sigchecker"], {})
+
+    world.run_entry(main)
+    assert state["term"] == sig.SIG_DFL
+    assert state["usr1"] == sig.SIG_IGN
+
+
+def test_native_execve_clears_emulation_vector(world):
+    _install_probe(world)
+    seen = {}
+
+    def checker(ctx, argv, envp):
+        seen["vector"] = dict(ctx.proc.emulation_vector)
+        return 0
+
+    world.register_program("vchecker", checker)
+    world.install_binary("/bin/vchecker", "vchecker")
+
+    def main(ctx):
+        handler = lambda c, n, a: 0  # noqa: E731
+        ctx.trap(NR["task_set_emulation"], [NR["getpid"]], handler)
+        assert ctx.trap(NR["task_get_emulation"], NR["getpid"]) is handler
+        ctx.trap(NR["execve"], "/bin/vchecker", ["vchecker"], {})
+
+    world.run_entry(main)
+    assert seen["vector"] == {}
+
+
+def test_image_header_reports_without_exec(world):
+    def main(ctx):
+        name, prefix = ctx.trap(NR["image_header"], "/bin/sh")
+        assert name == "sh"
+        assert prefix == []
+        return 0
+
+    assert WEXITSTATUS(world.run_entry(main)) == 0
+
+
+def test_exec_permission_checked(world):
+    _install_probe(world, "noexec")
+    node = world.lookup_host("/bin/noexec")
+    node.mode &= ~0o111
+
+    def main(ctx):
+        ctx.trap(NR["setuid"], 100)
+        try:
+            ctx.trap(NR["execve"], "/bin/noexec", ["noexec"], {})
+        except SyscallError as err:
+            return 10 if err.errno == EACCES else 1
+        return 1
+
+    assert WEXITSTATUS(world.run_entry(main)) == 10
+
+
+def test_fork_then_exec_pattern(world):
+    _install_probe(world)
+
+    def main(ctx):
+        def child(cctx):
+            cctx.trap(NR["execve"], "/bin/probe", ["probe", "kid"], {})
+
+        ctx.trap(NR["fork"], child)
+        _, status = ctx.trap(NR["wait"])
+        return WEXITSTATUS(status)
+
+    status = world.run_entry(main)
+    assert WEXITSTATUS(status) == 5
+    assert "'kid'" in world.console.take_output().decode()

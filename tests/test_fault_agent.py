@@ -1,0 +1,118 @@
+"""Tests for the fault-injection agent."""
+
+import pytest
+
+from repro.agents.faults import FaultAgent, FaultRule
+from repro.kernel.errno import EIO, ENOSPC, SyscallError
+from repro.kernel.proc import WEXITSTATUS
+from repro.toolkit import run_under_agent
+
+
+def test_rule_validates_call_name():
+    with pytest.raises(ValueError):
+        FaultRule("no_such_call", EIO)
+
+
+def test_always_schedule(world):
+    agent = FaultAgent()
+    agent.add_rule("open", ENOSPC, "always", path_prefix="/tmp")
+    status = run_under_agent(
+        world, agent, "/bin/sh", ["sh", "-c", "echo x > /tmp/f || echo denied"]
+    )
+    assert WEXITSTATUS(status) == 0
+    assert "denied" in world.console.take_output().decode()
+    assert not world.lookup_host("/tmp").contains("f")
+
+
+def test_once_schedule(world):
+    agent = FaultAgent()
+    rule = agent.add_rule("open", EIO, "once", path_prefix="/tmp/flaky")
+    status = run_under_agent(
+        world, agent, "/bin/sh",
+        ["sh", "-c",
+         "echo a > /tmp/flaky || echo first-failed; echo b > /tmp/flaky && echo second-worked"],
+    )
+    out = world.console.take_output().decode()
+    assert "first-failed" in out
+    assert "second-worked" in out
+    assert rule.injected == 1
+
+
+def test_after_schedule_models_disk_full(world):
+    agent = FaultAgent()
+    agent.add_rule("write", ENOSPC, ("after", 2))
+
+    from repro.programs.libc import O_CREAT, O_WRONLY, Sys
+
+    outcomes = []
+
+    def loader(ctx):
+        agent.attach(ctx)
+        sys = Sys(ctx)
+        fd = sys.open("/tmp/full", O_WRONLY | O_CREAT, 0o644)
+        for _ in range(4):
+            try:
+                sys.write(fd, b"block")
+                outcomes.append("ok")
+            except SyscallError as err:
+                outcomes.append(err.errno)
+        return 0
+
+    world.run_entry(loader)
+    assert outcomes == ["ok", "ok", ENOSPC, ENOSPC]
+
+
+def test_every_schedule(world):
+    agent = FaultAgent()
+    agent.add_rule("getpid", EIO, ("every", 3))
+    from repro.kernel.sysent import number_of
+
+    results = []
+
+    def loader(ctx):
+        agent.attach(ctx)
+        for _ in range(6):
+            try:
+                ctx.trap(number_of("getpid"))
+                results.append("ok")
+            except SyscallError:
+                results.append("fail")
+        return 0
+
+    world.run_entry(loader)
+    assert results == ["ok", "ok", "fail", "ok", "ok", "fail"]
+
+
+def test_path_prefix_narrows_injection(world):
+    agent = FaultAgent()
+    agent.add_rule("open", EIO, "always", path_prefix="/tmp/bad")
+    status = run_under_agent(
+        world, agent, "/bin/sh",
+        ["sh", "-c", "echo fine > /tmp/good && cat /tmp/good"],
+    )
+    assert WEXITSTATUS(status) == 0
+    assert "fine" in world.console.take_output().decode()
+
+
+def test_loader_spec(world):
+    status = world.run(
+        "/bin/sh",
+        ["sh", "-c", "agentrun faults unlink=13 -- sh -c 'rm /etc/passwd; true'"],
+    )
+    assert WEXITSTATUS(status) == 0
+    assert world.read_file("/etc/passwd")  # unlink was made to fail
+
+
+def test_report_counts(world):
+    agent = FaultAgent()
+    rule = agent.add_rule("stat", EIO, ("every", 2))
+    run_under_agent(
+        world, agent, "/bin/sh", ["sh", "-c", "true; true"]
+    )
+    report = dict(
+        (name, (seen, injected))
+        for name, _, seen, injected in agent.report()
+    )
+    assert "stat" in report
+    seen, injected = report["stat"]
+    assert injected == seen // 2

@@ -1,0 +1,115 @@
+"""Tests for named pipes (FIFOs) created with mknod."""
+
+import pytest
+
+from repro.kernel import stat as st
+from repro.kernel.proc import WEXITSTATUS
+from repro.kernel.sysent import number_of
+
+NR = {n: number_of(n) for n in (
+    "mknod", "open", "read", "write", "close", "fork", "wait", "stat",
+    "fstat", "unlink",
+)}
+
+O_RDONLY = 0
+O_WRONLY = 1
+
+
+def test_fifo_created_with_mknod(run_entry):
+    def main(ctx):
+        ctx.trap(NR["mknod"], "/tmp/fifo", st.S_IFIFO | 0o644, 0)
+        record = ctx.trap(NR["stat"], "/tmp/fifo")
+        assert st.S_ISFIFO(record.st_mode)
+        return 0
+
+    assert run_entry(main) == 0
+
+
+def test_fifo_carries_data_between_processes(run_entry):
+    def main(ctx):
+        ctx.trap(NR["mknod"], "/tmp/chan", st.S_IFIFO | 0o666, 0)
+
+        def producer(cctx):
+            fd = cctx.trap(NR["open"], "/tmp/chan", O_WRONLY, 0)
+            cctx.trap(NR["write"], fd, b"over the named pipe")
+            cctx.trap(NR["close"], fd)
+            return 0
+
+        ctx.trap(NR["fork"], producer)
+        fd = ctx.trap(NR["open"], "/tmp/chan", O_RDONLY, 0)
+        data = ctx.trap(NR["read"], fd, 100)
+        assert data == b"over the named pipe"
+        ctx.trap(NR["close"], fd)
+        ctx.trap(NR["wait"])
+        return 0
+
+    assert run_entry(main) == 0
+
+
+def test_fifo_fstat_reports_fifo(run_entry):
+    def main(ctx):
+        ctx.trap(NR["mknod"], "/tmp/f2", st.S_IFIFO | 0o666, 0)
+        fd = ctx.trap(NR["open"], "/tmp/f2", 2, 0)  # O_RDWR keeps both ends
+        record = ctx.trap(NR["fstat"], fd)
+        assert st.S_ISFIFO(record.st_mode)
+        return 0
+
+    assert run_entry(main) == 0
+
+
+def test_fifo_eof_when_writers_gone(run_entry):
+    def main(ctx):
+        ctx.trap(NR["mknod"], "/tmp/f3", st.S_IFIFO | 0o666, 0)
+
+        def writer(cctx):
+            fd = cctx.trap(NR["open"], "/tmp/f3", O_WRONLY, 0)
+            cctx.trap(NR["write"], fd, b"bye")
+            cctx.trap(NR["close"], fd)
+            return 0
+
+        ctx.trap(NR["fork"], writer)
+        fd = ctx.trap(NR["open"], "/tmp/f3", O_RDONLY, 0)
+        assert ctx.trap(NR["read"], fd, 10) == b"bye"
+        assert ctx.trap(NR["read"], fd, 10) == b""  # EOF
+        ctx.trap(NR["wait"])
+        return 0
+
+    assert run_entry(main) == 0
+
+
+def test_fifo_buffer_survives_unlink_while_open(run_entry):
+    def main(ctx):
+        ctx.trap(NR["mknod"], "/tmp/f4", st.S_IFIFO | 0o666, 0)
+        fd = ctx.trap(NR["open"], "/tmp/f4", 2, 0)
+        ctx.trap(NR["write"], fd, b"still here")
+        ctx.trap(NR["unlink"], "/tmp/f4")
+        assert ctx.trap(NR["read"], fd, 100) == b"still here"
+        return 0
+
+    assert run_entry(main) == 0
+
+
+def test_fifo_open_blocks_until_peer(run_entry):
+    """open(O_WRONLY) on a FIFO waits for a reader, as in 4.3BSD."""
+    order = []
+
+    def main(ctx):
+        ctx.trap(NR["mknod"], "/tmp/f5", st.S_IFIFO | 0o666, 0)
+
+        def writer(cctx):
+            fd = cctx.trap(NR["open"], "/tmp/f5", O_WRONLY, 0)
+            order.append("writer-open")
+            cctx.trap(NR["write"], fd, b"x")
+            cctx.trap(NR["close"], fd)
+            return 0
+
+        ctx.trap(NR["fork"], writer)
+        order.append("before-reader-open")
+        fd = ctx.trap(NR["open"], "/tmp/f5", O_RDONLY, 0)
+        assert ctx.trap(NR["read"], fd, 1) == b"x"
+        ctx.trap(NR["wait"])
+        return 0
+
+    assert run_entry(main) == 0
+    # The writer's open could not have completed before the reader's.
+    assert order.index("before-reader-open") == 0

@@ -1,0 +1,297 @@
+"""Tests for descriptor-based system calls: read/write/lseek/dup/fcntl..."""
+
+import pytest
+
+from repro.kernel.errno import EBADF, EINVAL, EISDIR, ESPIPE, SyscallError
+from repro.kernel.ofile import (
+    F_DUPFD,
+    F_GETFD,
+    F_GETFL,
+    F_SETFD,
+    F_SETFL,
+    FD_CLOEXEC,
+    O_APPEND,
+    O_CREAT,
+    O_RDONLY,
+    O_RDWR,
+    O_TRUNC,
+    O_WRONLY,
+    SEEK_CUR,
+    SEEK_END,
+    SEEK_SET,
+)
+from repro.kernel.sysent import number_of
+
+NR = {n: number_of(n) for n in (
+    "open", "read", "write", "close", "lseek", "dup", "dup2", "fcntl",
+    "fstat", "ftruncate", "fsync", "getdirentries", "select",
+    "getdtablesize", "mkdir",
+)}
+
+
+def test_read_write_offsets(kernel, run_entry):
+    def main(ctx):
+        fd = ctx.trap(NR["open"], "/tmp/f", O_RDWR | O_CREAT, 0o644)
+        ctx.trap(NR["write"], fd, b"hello world")
+        ctx.trap(NR["lseek"], fd, 0, SEEK_SET)
+        assert ctx.trap(NR["read"], fd, 5) == b"hello"
+        assert ctx.trap(NR["read"], fd, 6) == b" world"
+        assert ctx.trap(NR["read"], fd, 6) == b""
+        return 0
+
+    assert run_entry(main) == 0
+
+
+def test_lseek_whences(kernel, run_entry):
+    def main(ctx):
+        fd = ctx.trap(NR["open"], "/tmp/f", O_RDWR | O_CREAT, 0o644)
+        ctx.trap(NR["write"], fd, b"0123456789")
+        assert ctx.trap(NR["lseek"], fd, 2, SEEK_SET) == 2
+        assert ctx.trap(NR["lseek"], fd, 3, SEEK_CUR) == 5
+        assert ctx.trap(NR["lseek"], fd, -1, SEEK_END) == 9
+        assert ctx.trap(NR["read"], fd, 10) == b"9"
+        try:
+            ctx.trap(NR["lseek"], fd, -100, SEEK_SET)
+        except SyscallError as err:
+            assert err.errno == EINVAL
+            return 0
+        return 1
+
+    assert run_entry(main) == 0
+
+
+def test_write_beyond_eof_via_seek(kernel, run_entry):
+    def main(ctx):
+        fd = ctx.trap(NR["open"], "/tmp/hole", O_RDWR | O_CREAT, 0o644)
+        ctx.trap(NR["lseek"], fd, 4, SEEK_SET)
+        ctx.trap(NR["write"], fd, b"x")
+        ctx.trap(NR["lseek"], fd, 0, SEEK_SET)
+        assert ctx.trap(NR["read"], fd, 10) == b"\0\0\0\0x"
+        return 0
+
+    assert run_entry(main) == 0
+
+
+def test_dup_shares_offset(kernel, run_entry):
+    def main(ctx):
+        fd = ctx.trap(NR["open"], "/tmp/f2", O_RDWR | O_CREAT, 0o644)
+        ctx.trap(NR["write"], fd, b"abcdef")
+        dup_fd = ctx.trap(NR["dup"], fd)
+        assert dup_fd != fd
+        ctx.trap(NR["lseek"], fd, 1, SEEK_SET)
+        assert ctx.trap(NR["read"], dup_fd, 2) == b"bc"  # shared offset
+        return 0
+
+    assert run_entry(main) == 0
+
+
+def test_dup2_replaces_target(kernel, run_entry):
+    kernel.write_file("/tmp/a", "AAA")
+    kernel.write_file("/tmp/b", "BBB")
+
+    def main(ctx):
+        fd_a = ctx.trap(NR["open"], "/tmp/a", O_RDONLY, 0)
+        fd_b = ctx.trap(NR["open"], "/tmp/b", O_RDONLY, 0)
+        ctx.trap(NR["dup2"], fd_a, fd_b)
+        assert ctx.trap(NR["read"], fd_b, 3) == b"AAA"
+        assert ctx.trap(NR["dup2"], fd_a, fd_a) == fd_a  # self-dup is a no-op
+        return 0
+
+    assert run_entry(main) == 0
+
+
+def test_fcntl_dupfd_minimum(kernel, run_entry):
+    def main(ctx):
+        fd = ctx.trap(NR["open"], "/dev/null", O_RDONLY, 0)
+        high = ctx.trap(NR["fcntl"], fd, F_DUPFD, 20)
+        assert high >= 20
+        return 0
+
+    assert run_entry(main) == 0
+
+
+def test_fcntl_cloexec_flag(kernel, run_entry):
+    def main(ctx):
+        fd = ctx.trap(NR["open"], "/dev/null", O_RDONLY, 0)
+        assert ctx.trap(NR["fcntl"], fd, F_GETFD, 0) == 0
+        ctx.trap(NR["fcntl"], fd, F_SETFD, FD_CLOEXEC)
+        assert ctx.trap(NR["fcntl"], fd, F_GETFD, 0) == FD_CLOEXEC
+        ctx.trap(NR["fcntl"], fd, F_SETFD, 0)
+        assert ctx.trap(NR["fcntl"], fd, F_GETFD, 0) == 0
+        return 0
+
+    assert run_entry(main) == 0
+
+
+def test_fcntl_getfl_setfl(kernel, run_entry):
+    def main(ctx):
+        fd = ctx.trap(NR["open"], "/tmp/fl", O_WRONLY | O_CREAT, 0o644)
+        ctx.trap(NR["fcntl"], fd, F_SETFL, O_APPEND)
+        assert ctx.trap(NR["fcntl"], fd, F_GETFL, 0) & O_APPEND
+        return 0
+
+    assert run_entry(main) == 0
+
+
+def test_append_mode_writes_at_end(kernel, run_entry):
+    kernel.write_file("/tmp/log", "start:")
+
+    def main(ctx):
+        fd = ctx.trap(NR["open"], "/tmp/log", O_WRONLY | O_APPEND, 0)
+        ctx.trap(NR["lseek"], fd, 0, SEEK_SET)
+        ctx.trap(NR["write"], fd, b"appended")
+        return 0
+
+    run_entry(main)
+    assert kernel.read_file("/tmp/log") == b"start:appended"
+
+
+def test_read_on_writeonly_fd_ebadf(kernel, run_entry):
+    def main(ctx):
+        fd = ctx.trap(NR["open"], "/tmp/w", O_WRONLY | O_CREAT, 0o644)
+        try:
+            ctx.trap(NR["read"], fd, 1)
+        except SyscallError as err:
+            assert err.errno == EBADF
+            return 0
+        return 1
+
+    assert run_entry(main) == 0
+
+
+def test_write_on_readonly_fd_ebadf(kernel, run_entry):
+    kernel.write_file("/tmp/r", "x")
+
+    def main(ctx):
+        fd = ctx.trap(NR["open"], "/tmp/r", O_RDONLY, 0)
+        try:
+            ctx.trap(NR["write"], fd, b"nope")
+        except SyscallError as err:
+            assert err.errno == EBADF
+            return 0
+        return 1
+
+    assert run_entry(main) == 0
+
+
+def test_operations_on_closed_fd(kernel, run_entry):
+    def main(ctx):
+        fd = ctx.trap(NR["open"], "/dev/null", O_RDONLY, 0)
+        ctx.trap(NR["close"], fd)
+        for call, args in ((NR["read"], (fd, 1)), (NR["close"], (fd,)),
+                           (NR["fstat"], (fd,))):
+            try:
+                ctx.trap(call, *args)
+            except SyscallError as err:
+                assert err.errno == EBADF
+            else:
+                return 1
+        return 0
+
+    assert run_entry(main) == 0
+
+
+def test_ftruncate(kernel, run_entry):
+    kernel.write_file("/tmp/t", "0123456789")
+
+    def main(ctx):
+        fd = ctx.trap(NR["open"], "/tmp/t", O_WRONLY, 0)
+        ctx.trap(NR["ftruncate"], fd, 4)
+        return 0
+
+    run_entry(main)
+    assert kernel.read_file("/tmp/t") == b"0123"
+
+
+def test_ftruncate_readonly_rejected(kernel, run_entry):
+    kernel.write_file("/tmp/t2", "data")
+
+    def main(ctx):
+        fd = ctx.trap(NR["open"], "/tmp/t2", O_RDONLY, 0)
+        try:
+            ctx.trap(NR["ftruncate"], fd, 0)
+        except SyscallError as err:
+            assert err.errno == EBADF
+            return 0
+        return 1
+
+    assert run_entry(main) == 0
+
+
+def test_getdirentries_batches_and_offset(kernel, run_entry):
+    kernel.mkdir_p("/tmp/dir")
+    for i in range(5):
+        kernel.write_file("/tmp/dir/f%d" % i, "x")
+
+    def main(ctx):
+        fd = ctx.trap(NR["open"], "/tmp/dir", O_RDONLY, 0)
+        first = ctx.trap(NR["getdirentries"], fd, 3)
+        rest = ctx.trap(NR["getdirentries"], fd, 100)
+        names = [d.d_name for d in first + rest]
+        assert names == [".", "..", "f0", "f1", "f2", "f3", "f4"]
+        assert ctx.trap(NR["getdirentries"], fd, 10) == []
+        # rewind via lseek
+        ctx.trap(NR["lseek"], fd, 0, SEEK_SET)
+        assert len(ctx.trap(NR["getdirentries"], fd, 100)) == 7
+        return 0
+
+    assert run_entry(main) == 0
+
+
+def test_getdirentries_on_file_einval(kernel, run_entry):
+    kernel.write_file("/tmp/plain", "x")
+
+    def main(ctx):
+        fd = ctx.trap(NR["open"], "/tmp/plain", O_RDONLY, 0)
+        try:
+            ctx.trap(NR["getdirentries"], fd, 10)
+        except SyscallError as err:
+            assert err.errno == EINVAL
+            return 0
+        return 1
+
+    assert run_entry(main) == 0
+
+
+def test_read_directory_eisdir(kernel, run_entry):
+    def main(ctx):
+        fd = ctx.trap(NR["open"], "/tmp", O_RDONLY, 0)
+        try:
+            ctx.trap(NR["read"], fd, 10)
+        except SyscallError as err:
+            assert err.errno == EISDIR
+            return 0
+        return 1
+
+    assert run_entry(main) == 0
+
+
+def test_select_advances_virtual_time(kernel, run_entry):
+    def main(ctx):
+        before = ctx.kernel.clock.usec()
+        ctx.trap(NR["select"], 2_000_000)
+        assert ctx.kernel.clock.usec() - before >= 2_000_000
+        return 0
+
+    assert run_entry(main) == 0
+
+
+def test_getdtablesize(run_entry):
+    def main(ctx):
+        assert ctx.trap(NR["getdtablesize"]) == 64
+        return 0
+
+    assert run_entry(main) == 0
+
+
+def test_fd_numbers_lowest_free(kernel, run_entry):
+    def main(ctx):
+        a = ctx.trap(NR["open"], "/dev/null", O_RDONLY, 0)
+        b = ctx.trap(NR["open"], "/dev/null", O_RDONLY, 0)
+        assert (a, b) == (3, 4)  # 0-2 are the console
+        ctx.trap(NR["close"], a)
+        c = ctx.trap(NR["open"], "/dev/null", O_RDONLY, 0)
+        assert c == a
+        return 0
+
+    assert run_entry(main) == 0

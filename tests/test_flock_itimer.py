@@ -1,0 +1,233 @@
+"""Tests for flock advisory locks and the interval timers."""
+
+import pytest
+
+from repro.kernel import signals as sig
+from repro.kernel.errno import EBADF, EINVAL, EWOULDBLOCK, SyscallError
+from repro.kernel.proc import WEXITSTATUS
+from repro.kernel.sysent import number_of
+from repro.programs.libc import LOCK_EX, LOCK_NB, LOCK_SH, LOCK_UN, Sys
+
+
+def _with_sys(kernel, body):
+    def main(ctx):
+        return body(Sys(ctx))
+
+    return WEXITSTATUS(kernel.run_entry(main))
+
+
+def test_exclusive_lock_excludes(world):
+    world.write_file("/tmp/locked", "x")
+
+    def body(sys):
+        fd1 = sys.open("/tmp/locked")
+        fd2 = sys.open("/tmp/locked")  # a second open-file entry
+        sys.flock(fd1, LOCK_EX)
+        try:
+            sys.flock(fd2, LOCK_EX | LOCK_NB)
+            return 1
+        except SyscallError as err:
+            assert err.errno == EWOULDBLOCK
+        try:
+            sys.flock(fd2, LOCK_SH | LOCK_NB)
+            return 1
+        except SyscallError as err:
+            assert err.errno == EWOULDBLOCK
+        sys.flock(fd1, LOCK_UN)
+        sys.flock(fd2, LOCK_EX | LOCK_NB)  # now fine
+        return 0
+
+    assert _with_sys(world, body) == 0
+
+
+def test_shared_locks_coexist(world):
+    world.write_file("/tmp/shared", "x")
+
+    def body(sys):
+        fd1 = sys.open("/tmp/shared")
+        fd2 = sys.open("/tmp/shared")
+        sys.flock(fd1, LOCK_SH)
+        sys.flock(fd2, LOCK_SH | LOCK_NB)  # shared locks coexist
+        try:
+            fd3 = sys.open("/tmp/shared")
+            sys.flock(fd3, LOCK_EX | LOCK_NB)
+            return 1
+        except SyscallError as err:
+            assert err.errno == EWOULDBLOCK
+        return 0
+
+    assert _with_sys(world, body) == 0
+
+
+def test_lock_released_on_close(world):
+    world.write_file("/tmp/rel", "x")
+
+    def body(sys):
+        fd1 = sys.open("/tmp/rel")
+        sys.flock(fd1, LOCK_EX)
+        sys.close(fd1)
+        fd2 = sys.open("/tmp/rel")
+        sys.flock(fd2, LOCK_EX | LOCK_NB)  # released by the close
+        return 0
+
+    assert _with_sys(world, body) == 0
+
+
+def test_dup_shares_lock_ownership(world):
+    world.write_file("/tmp/duplock", "x")
+
+    def body(sys):
+        fd = sys.open("/tmp/duplock")
+        dup_fd = sys.dup(fd)
+        sys.flock(fd, LOCK_EX)
+        sys.flock(dup_fd, LOCK_EX | LOCK_NB)  # same entry: re-acquire ok
+        sys.close(fd)  # entry still referenced by dup_fd: lock held
+        fd2 = sys.open("/tmp/duplock")
+        try:
+            sys.flock(fd2, LOCK_EX | LOCK_NB)
+            return 1
+        except SyscallError as err:
+            assert err.errno == EWOULDBLOCK
+        return 0
+
+    assert _with_sys(world, body) == 0
+
+
+def test_lock_upgrade_and_downgrade(world):
+    world.write_file("/tmp/up", "x")
+
+    def body(sys):
+        fd = sys.open("/tmp/up")
+        sys.flock(fd, LOCK_SH)
+        sys.flock(fd, LOCK_EX | LOCK_NB)  # upgrade
+        sys.flock(fd, LOCK_SH | LOCK_NB)  # downgrade
+        fd2 = sys.open("/tmp/up")
+        sys.flock(fd2, LOCK_SH | LOCK_NB)
+        return 0
+
+    assert _with_sys(world, body) == 0
+
+
+def test_blocking_flock_waits_for_release(world):
+    world.write_file("/tmp/blk", "x")
+
+    def body(sys):
+        fd = sys.open("/tmp/blk")
+        sys.flock(fd, LOCK_EX)
+
+        def child(csys):
+            csys.close(fd)  # drop the inherited share of the locked entry
+            child_fd = csys.open("/tmp/blk")
+            csys.flock(child_fd, LOCK_EX)  # blocks until the parent closes
+            csys.write_whole("/tmp/blk.acquired", "yes")
+            return 0
+
+        sys.fork(child)
+        sys.close(fd)  # releases the lock; the child proceeds
+        sys.wait()
+        assert sys.exists("/tmp/blk.acquired")
+        return 0
+
+    assert _with_sys(world, body) == 0
+
+
+def test_flock_invalid_operation(world):
+    world.write_file("/tmp/bad", "x")
+
+    def body(sys):
+        fd = sys.open("/tmp/bad")
+        try:
+            sys.flock(fd, 16)
+            return 1
+        except SyscallError as err:
+            return 0 if err.errno == EINVAL else 1
+
+    assert _with_sys(world, body) == 0
+
+
+def test_flock_on_pipe_ebadf(world):
+    def body(sys):
+        rfd, wfd = sys.pipe()
+        try:
+            sys.flock(rfd, LOCK_EX)
+            return 1
+        except SyscallError as err:
+            return 0 if err.errno == EBADF else 1
+
+    assert _with_sys(world, body) == 0
+
+
+# -- interval timers ----------------------------------------------------
+
+def test_setitimer_one_shot(world):
+    def body(sys):
+        fired = []
+        sys.sigvec(sig.SIGALRM, lambda s: fired.append(s))
+        sys.setitimer(0, 0, 500_000)  # one shot, 0.5 virtual seconds
+        sys.sigpause(0)
+        assert fired == [sig.SIGALRM]
+        interval, value = sys.getitimer(0)
+        assert interval == 0 and value == 0  # disarmed after expiry
+        return 0
+
+    assert _with_sys(world, body) == 0
+
+
+def test_setitimer_reloads_interval(world):
+    def body(sys):
+        fired = []
+        sys.sigvec(sig.SIGALRM, lambda s: fired.append(s))
+        sys.setitimer(0, 200_000, 200_000)
+        for _ in range(3):
+            sys.sigpause(0)
+        assert len(fired) >= 3
+        sys.setitimer(0, 0, 0)  # disarm
+        interval, value = sys.getitimer(0)
+        assert (interval, value) == (0, 0)
+        return 0
+
+    assert _with_sys(world, body) == 0
+
+
+def test_setitimer_returns_previous(world):
+    def body(sys):
+        sys.setitimer(0, 0, 3_000_000)
+        old_interval, old_value = sys.setitimer(0, 0, 0)
+        assert old_interval == 0
+        assert 0 < old_value <= 3_000_000
+        return 0
+
+    assert _with_sys(world, body) == 0
+
+
+def test_getitimer_reports_remaining(world):
+    def body(sys):
+        sys.setitimer(0, 0, 2_000_000)
+        sys.sleep(0.5)  # consumes virtual time
+        _, value = sys.getitimer(0)
+        assert 0 < value <= 1_500_000
+        sys.setitimer(0, 0, 0)
+        return 0
+
+    assert _with_sys(world, body) == 0
+
+
+def test_itimer_invalid_which(world):
+    def body(sys):
+        try:
+            sys.setitimer(2, 0, 1)
+            return 1
+        except SyscallError as err:
+            return 0 if err.errno == EINVAL else 1
+
+    assert _with_sys(world, body) == 0
+
+
+def test_alarm_clears_interval(world):
+    def body(sys):
+        sys.setitimer(0, 100_000, 100_000)
+        sys.alarm(0)
+        assert sys.getitimer(0) == (0, 0)
+        return 0
+
+    assert _with_sys(world, body) == 0

@@ -1,0 +1,135 @@
+"""Unit tests for in-core inodes."""
+
+import pytest
+
+from repro.kernel import stat as st
+from repro.kernel.clock import Clock
+from repro.kernel.cred import Cred
+from repro.kernel.errno import EEXIST, ENOENT, ENOTEMPTY, SyscallError
+from repro.kernel.inode import Dirent
+from repro.kernel.ufs import Filesystem
+
+ROOT = Cred(0, 0)
+
+
+@pytest.fixture
+def fs():
+    return Filesystem(Clock())
+
+
+def test_regular_file_read_write(fs):
+    node = fs.create_file(0o644, ROOT)
+    assert node.write_at(0, b"hello") == 5
+    assert node.read_at(0, 100) == b"hello"
+    assert node.read_at(2, 2) == b"ll"
+    assert node.size == 5
+
+
+def test_read_past_eof_is_empty(fs):
+    node = fs.create_file(0o644, ROOT)
+    node.write_at(0, b"ab")
+    assert node.read_at(2, 10) == b""
+    assert node.read_at(100, 10) == b""
+
+
+def test_write_hole_zero_fills(fs):
+    node = fs.create_file(0o644, ROOT)
+    node.write_at(4, b"x")
+    assert node.read_at(0, 5) == b"\0\0\0\0x"
+    assert node.size == 5
+
+
+def test_overwrite_middle(fs):
+    node = fs.create_file(0o644, ROOT)
+    node.write_at(0, b"abcdef")
+    node.write_at(2, b"XY")
+    assert node.read_at(0, 6) == b"abXYef"
+
+
+def test_truncate_shrink_and_grow(fs):
+    node = fs.create_file(0o644, ROOT)
+    node.write_at(0, b"abcdef")
+    node.truncate_to(3)
+    assert node.read_at(0, 10) == b"abc"
+    node.truncate_to(5)
+    assert node.read_at(0, 10) == b"abc\0\0"
+
+
+def test_directory_enter_lookup_remove(fs):
+    root = fs.root
+    node = fs.create_file(0o644, ROOT)
+    root.enter("f", node.ino)
+    assert root.lookup("f") == node.ino
+    assert root.contains("f")
+    root.remove("f")
+    assert not root.contains("f")
+
+
+def test_directory_duplicate_entry_raises(fs):
+    node = fs.create_file(0o644, ROOT)
+    fs.root.enter("f", node.ino)
+    with pytest.raises(SyscallError) as exc:
+        fs.root.enter("f", node.ino)
+    assert exc.value.errno == EEXIST
+
+
+def test_directory_lookup_missing_raises(fs):
+    with pytest.raises(SyscallError) as exc:
+        fs.root.lookup("missing")
+    assert exc.value.errno == ENOENT
+
+
+def test_directory_listing_order(fs):
+    for name in ("zeta", "alpha", "mid"):
+        node = fs.create_file(0o644, ROOT)
+        fs.root.enter(name, node.ino)
+    names = [d.d_name for d in fs.root.list_entries()]
+    # "." and ".." first, then insertion order (on-disk order, not sorted)
+    assert names[:2] == [".", ".."]
+    assert names[2:] == ["zeta", "alpha", "mid"]
+
+
+def test_directory_empty_check(fs):
+    sub = fs.mkdir_in(fs.root, "d", 0o755, ROOT)
+    assert sub.is_empty()
+    node = fs.create_file(0o644, ROOT)
+    fs.link(sub, "f", node)
+    assert not sub.is_empty()
+    with pytest.raises(SyscallError) as exc:
+        sub.check_empty()
+    assert exc.value.errno == ENOTEMPTY
+
+
+def test_symlink_mode_and_size(fs):
+    link = fs.create_symlink("/target/elsewhere", ROOT)
+    assert link.is_symlink()
+    assert link.size == len("/target/elsewhere")
+    assert link.mode & 0o777 == 0o777
+
+
+def test_stat_record_fields(fs):
+    node = fs.create_file(0o640, Cred(7, 8))
+    node.write_at(0, b"x" * 1000)
+    record = node.stat_record()
+    assert record.st_ino == node.ino
+    assert record.st_size == 1000
+    assert record.st_uid == 7
+    assert record.st_gid == 8
+    assert st.S_ISREG(record.st_mode)
+    assert record.st_mode & 0o777 == 0o640
+    assert record.st_blocks == 2  # 1000 bytes in 512-byte blocks
+
+
+def test_dirent_equality():
+    assert Dirent(3, "a") == Dirent(3, "a")
+    assert Dirent(3, "a") != Dirent(4, "a")
+
+
+def test_mtime_tracked(fs):
+    clock = fs.clock
+    node = fs.create_file(0o644, ROOT)
+    before = node.mtime
+    clock.advance(5_000_000)
+    node.touch_mtime(clock.usec())
+    assert node.mtime == before + 5_000_000
+    assert node.ctime == node.mtime

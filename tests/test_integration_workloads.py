@@ -1,0 +1,142 @@
+"""Integration tests: the paper's workloads end to end, with and without
+agents interposed (the Unmodified System and Completeness goals)."""
+
+import pytest
+
+from repro.agents.time_symbolic import TimeSymbolic
+from repro.agents.timex import TimexSymbolicSyscall
+from repro.agents.trace import TraceSymbolicSyscall
+from repro.agents.union_dirs import UnionAgent
+from repro.kernel.proc import WEXITSTATUS
+from repro.toolkit import run_under_agent
+from repro.workloads import (
+    afs_bench,
+    boot_world,
+    format_dissertation,
+    make_programs,
+)
+
+
+def test_format_workload_profile():
+    """Moderate system call use, single process (paper: 716 calls)."""
+    kernel = boot_world()
+    format_dissertation.setup(kernel)
+    status = format_dissertation.run(kernel)
+    assert WEXITSTATUS(status) == 0
+    assert 500 <= kernel.trap_total <= 1100
+    assert kernel.fork_total == 0  # single process
+    doc = kernel.read_file(format_dissertation.OUTPUT)
+    assert len(doc) > 100_000
+
+
+def test_make_workload_profile():
+    """Heavy system call use, 64 fork/execve pairs (paper Table 3-3)."""
+    kernel = boot_world()
+    make_programs.setup(kernel)
+    status = make_programs.run(kernel)
+    assert WEXITSTATUS(status) == 0
+    assert kernel.fork_total == 64
+    assert kernel.exec_total == 64
+    assert kernel.trap_total > 500
+
+
+def test_afs_workload_runs():
+    kernel = boot_world()
+    afs_bench.setup(kernel)
+    status = afs_bench.run(kernel)
+    assert WEXITSTATUS(status) == 0
+    # All five phases left their marks.
+    tree = kernel.lookup_host(afs_bench.TREE)
+    assert tree.is_dir()
+    assert kernel.lookup_host(afs_bench.TREE + "/s1").is_dir()
+    assert kernel.read_file(afs_bench.TREE + "/andrew1").startswith(b"!executable")
+
+
+@pytest.mark.parametrize("agent_factory", [
+    TimeSymbolic,
+    lambda: TimexSymbolicSyscall(offset=3600),
+    lambda: TraceSymbolicSyscall("/tmp/trace.out"),
+])
+def test_format_output_identical_under_agents(agent_factory):
+    """The formatter's output is byte-identical under interposition."""
+    bare = boot_world()
+    format_dissertation.setup(bare)
+    format_dissertation.run(bare)
+    expected = bare.read_file(format_dissertation.OUTPUT)
+
+    agented = boot_world()
+    format_dissertation.setup(agented)
+    status = run_under_agent(
+        agented,
+        agent_factory(),
+        "/usr/bin/scribe",
+        ["scribe", format_dissertation.MANUSCRIPT, format_dissertation.OUTPUT],
+    )
+    assert WEXITSTATUS(status) == 0
+    assert agented.read_file(format_dissertation.OUTPUT) == expected
+
+
+def test_make_outputs_identical_under_union():
+    """make over a union view produces the same binaries."""
+    bare = boot_world()
+    make_programs.setup(bare)
+    make_programs.run(bare)
+    expected = {
+        "prog%d" % i: bare.read_file("%s/prog%d" % (make_programs.SRC_DIR, i))
+        for i in range(1, 9)
+    }
+
+    agented = boot_world()
+    make_programs.setup(agented)
+    agent = UnionAgent()
+    agent.pset.add_union(
+        make_programs.SRC_DIR, [make_programs.SRC_DIR, "/usr/tmp"]
+    )
+    status = run_under_agent(
+        agented, agent, "/bin/sh",
+        ["sh", "-c", "cd %s; make" % make_programs.SRC_DIR],
+    )
+    assert WEXITSTATUS(status) == 0
+    for name, image in expected.items():
+        assert agented.read_file(
+            "%s/%s" % (make_programs.SRC_DIR, name)
+        ) == image
+
+
+def test_syscall_counts_unchanged_under_passthrough_agent():
+    """Pay-per-use: the agent adds overhead, not system calls — the
+    application's trap count is identical."""
+    bare = boot_world()
+    format_dissertation.setup(bare)
+    format_dissertation.run(bare)
+    bare_traps = bare.trap_total
+
+    agented = boot_world()
+    format_dissertation.setup(agented)
+    before = agented.trap_total
+    run_under_agent(
+        agented, TimeSymbolic(), "/usr/bin/scribe",
+        ["scribe", format_dissertation.MANUSCRIPT, format_dissertation.OUTPUT],
+    )
+    agent_traps = agented.trap_total - before
+    # The loader adds a handful of setup traps; the client's profile is
+    # otherwise identical.
+    assert abs(agent_traps - bare_traps) < 20
+
+
+def test_afs_bench_identical_under_dfs_trace():
+    from repro.agents.dfs_trace import DfsTraceAgent
+
+    bare = boot_world()
+    afs_bench.setup(bare)
+    afs_bench.run(bare)
+    expected = bare.console.take_output()
+
+    agented = boot_world()
+    afs_bench.setup(agented)
+    status = run_under_agent(
+        agented, DfsTraceAgent("/tmp/dfs.log"), "/bin/sh",
+        ["sh", afs_bench.BASE + "/run_andrew.sh"],
+    )
+    assert WEXITSTATUS(status) == 0
+    assert agented.console.take_output() == expected

@@ -1,0 +1,143 @@
+"""Tests for kernel host-side APIs, crash reporting, and bookkeeping."""
+
+import pytest
+
+from repro.kernel import Kernel, SyscallError
+from repro.kernel.kernel import ProgramCrash
+from repro.kernel.proc import WEXITSTATUS
+from repro.kernel.sysent import number_of
+
+
+def test_boot_tree_layout(kernel):
+    for path in ("/dev/null", "/dev/zero", "/dev/tty", "/dev/console",
+                 "/etc/passwd", "/bin", "/usr/lib", "/tmp", "/home/mbj"):
+        assert kernel.lookup_host(path)
+    assert kernel.lookup_host("/tmp").mode & 0o1777 == 0o1777
+
+
+def test_write_and_read_file_roundtrip(kernel):
+    kernel.write_file("/tmp/h", b"host bytes")
+    assert kernel.read_file("/tmp/h") == b"host bytes"
+    kernel.write_file("/tmp/h", "replaced")  # overwrite
+    assert kernel.read_file("/tmp/h") == b"replaced"
+
+
+def test_read_file_of_directory_rejected(kernel):
+    with pytest.raises(SyscallError):
+        kernel.read_file("/tmp")
+
+
+def test_mkdir_p_idempotent(kernel):
+    kernel.mkdir_p("/a/b/c")
+    kernel.mkdir_p("/a/b/c")
+    assert kernel.lookup_host("/a/b/c").is_dir()
+
+
+def test_install_binary_requires_registration(kernel):
+    with pytest.raises(KeyError):
+        kernel.install_binary("/bin/ghost", "ghost")
+
+
+def test_register_program_validates(kernel):
+    with pytest.raises(TypeError):
+        kernel.register_program("bad", "not callable")
+
+
+def test_program_crash_reported(kernel):
+    def buggy(ctx):
+        raise ValueError("a host-level bug in a simulated program")
+
+    with pytest.raises(ProgramCrash) as exc:
+        kernel.run_entry(buggy)
+    assert "ValueError" in str(exc.value)
+    assert kernel.panics
+
+
+def test_crash_in_child_reported(kernel):
+    def main(ctx):
+        def child(cctx):
+            raise RuntimeError("child bug")
+
+        ctx.trap(number_of("fork"), child)
+        ctx.trap(number_of("wait"))
+        return 0
+
+    with pytest.raises(ProgramCrash):
+        kernel.run_entry(main)
+
+
+def test_run_returns_status_and_cleans_process_table(world):
+    status = world.run("/bin/sh", ["sh", "-c", "exit 3"])
+    assert WEXITSTATUS(status) == 3
+    assert world.process_count() == 0
+
+
+def test_run_missing_binary(world):
+    with pytest.raises(SyscallError):
+        world.run("/bin/not-installed")
+
+
+def test_interpreter_prefix_applied_by_run(world):
+    world.write_file("/tmp/s.sh", "#!/bin/sh\necho via interp\n", mode=0o755)
+    world.lookup_host("/tmp/s.sh").mode |= 0o111
+    world.run("/tmp/s.sh", ["s.sh"])
+    assert "via interp" in world.console.take_output().decode()
+
+
+def test_trap_totals_accumulate(world):
+    before = world.trap_total
+    world.run("/bin/true", ["true"])
+    assert world.trap_total > before
+
+
+def test_new_filesystem_gets_unique_dev(kernel):
+    fs1 = kernel.new_filesystem()
+    fs2 = kernel.new_filesystem()
+    assert fs1.dev != fs2.dev != kernel.rootfs.dev
+
+
+def test_idle_loop_fires_alarm_for_lone_sleeper(kernel):
+    """A single process sleeping in sigpause with an armed alarm must be
+    woken by the idle loop advancing virtual time."""
+    from repro.kernel import signals as sig
+
+    def main(ctx):
+        fired = []
+        ctx.trap(number_of("sigvec"), sig.SIGALRM, lambda s: fired.append(s), 0)
+        ctx.trap(number_of("alarm"), 5)
+        try:
+            ctx.trap(number_of("sigpause"), 0)
+        except SyscallError:
+            pass
+        return 0 if fired else 1
+
+    assert WEXITSTATUS(kernel.run_entry(main)) == 0
+
+
+def test_console_reads_block_until_feed(kernel):
+    """The console blocks readers until input arrives from the host."""
+    import threading
+
+    kernel.console.feed("late input\n")
+
+    def main(ctx):
+        fd = ctx.trap(number_of("open"), "/dev/tty", 0, 0)
+        data = ctx.trap(number_of("read"), fd, 100)
+        return 0 if data == b"late input\n" else 1
+
+    assert WEXITSTATUS(kernel.run_entry(main)) == 0
+
+
+def test_dev_null_and_zero_registered(kernel):
+    null = kernel.devswitch.lookup(kernel._null_rdev)
+    zero = kernel.devswitch.lookup(kernel._zero_rdev)
+    assert null.name == "null"
+    assert zero.name == "zero"
+
+
+def test_hostname_and_pagesize_defaults(kernel):
+    assert kernel.hostname == "mach25.repro"
+    assert kernel.page_size == 4096
+    custom = Kernel(hostname="vax.cs.cmu.edu", page_size=8192)
+    assert custom.hostname == "vax.cs.cmu.edu"
+    assert custom.page_size == 8192

@@ -1,0 +1,133 @@
+"""Tests for the simulated libc (Sys)."""
+
+import pytest
+
+from repro.kernel.errno import ENOENT, SyscallError
+from repro.kernel.proc import WEXITSTATUS
+from repro.programs.libc import Sys, exit_code
+
+
+def _with_sys(kernel, body):
+    """Run *body(sys)* in a simulated process; returns its exit code."""
+
+    def main(ctx):
+        return body(Sys(ctx))
+
+    return WEXITSTATUS(kernel.run_entry(main))
+
+
+def test_read_write_whole(world):
+    def body(sys):
+        sys.write_whole("/tmp/whole", b"A" * 20000)
+        assert sys.read_whole("/tmp/whole") == b"A" * 20000
+        return 0
+
+    assert _with_sys(world, body) == 0
+
+
+def test_append_whole(world):
+    def body(sys):
+        sys.write_whole("/tmp/app", "one\n")
+        sys.append_whole("/tmp/app", "two\n")
+        assert sys.read_whole("/tmp/app") == b"one\ntwo\n"
+        return 0
+
+    assert _with_sys(world, body) == 0
+
+
+def test_listdir_excludes_dots(world):
+    world.mkdir_p("/tmp/ld")
+    world.write_file("/tmp/ld/a", "")
+    world.write_file("/tmp/ld/b", "")
+
+    def body(sys):
+        assert sorted(sys.listdir("/tmp/ld")) == ["a", "b"]
+        return 0
+
+    assert _with_sys(world, body) == 0
+
+
+def test_exists(world):
+    world.write_file("/tmp/yes", "")
+
+    def body(sys):
+        assert sys.exists("/tmp/yes")
+        assert not sys.exists("/tmp/no")
+        return 0
+
+    assert _with_sys(world, body) == 0
+
+
+def test_spawn_wait_runs_binary(world):
+    def body(sys):
+        status = sys.spawn_wait("/bin/echo", ["echo", "spawned"])
+        return exit_code(status)
+
+    assert _with_sys(world, body) == 0
+    assert "spawned" in world.console.take_output().decode()
+
+
+def test_spawn_wait_missing_binary_127(world):
+    def body(sys):
+        return exit_code(sys.spawn_wait("/bin/not-a-thing"))
+
+    assert _with_sys(world, body) == 127
+
+
+def test_spawn_wait_fd_moves(world):
+    def body(sys):
+        fd = sys.creat("/tmp/redirected")
+        status = sys.spawn_wait(
+            "/bin/echo", ["echo", "into file"], fd_moves=[(fd, 1)]
+        )
+        sys.close(fd)
+        return exit_code(status)
+
+    assert _with_sys(world, body) == 0
+    assert world.read_file("/tmp/redirected") == b"into file\n"
+
+
+def test_fork_helper(world):
+    def body(sys):
+        pid = sys.fork(lambda child: 9)
+        reaped, status = sys.wait()
+        assert reaped == pid
+        return exit_code(status)
+
+    assert _with_sys(world, body) == 9
+
+
+def test_sleep_advances_virtual_time(world):
+    def body(sys):
+        before = sys.gettimeofday()
+        sys.sleep(2.5)
+        after = sys.gettimeofday()
+        assert after.to_usec() - before.to_usec() >= 2_500_000
+        return 0
+
+    assert _with_sys(world, body) == 0
+
+
+def test_uncaught_syscall_error_becomes_exit_126(world):
+    # A program that hits an uncaught error exits 126 via the crt0 shim.
+    def crasher(ctx, argv, envp):
+        sys = Sys(ctx)
+        try:
+            sys.open("/definitely/not/here")
+            return 0
+        except SyscallError as err:
+            sys.print_err("crasher: uncaught ENOENT: %s\n" % err)
+            return 126
+
+    world.register_program("crasher", crasher)
+    world.install_binary("/bin/crasher", "crasher")
+    status = world.run("/bin/crasher", ["crasher"])
+    assert WEXITSTATUS(status) == 126
+    assert "ENOENT" in world.console.take_output().decode()
+
+
+def test_exit_code_decodes_signals():
+    from repro.kernel.proc import wait_status_exited, wait_status_signaled
+
+    assert exit_code(wait_status_exited(3)) == 3
+    assert exit_code(wait_status_signaled(9)) == 137

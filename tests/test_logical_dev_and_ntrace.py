@@ -1,0 +1,143 @@
+"""Tests for the logical-device agent and the numeric-layer tracer."""
+
+import pytest
+
+from repro.agents.logical_dev import (
+    CounterDevice,
+    LogicalDeviceAgent,
+    SinkDevice,
+)
+from repro.agents.ntrace import NumericTraceAgent
+from repro.kernel.proc import WEXITSTATUS
+from repro.toolkit import run_under_agent
+
+
+def _dev_agent():
+    agent = LogicalDeviceAgent()
+    return agent
+
+
+def test_fortune_device_serves_reads(world):
+    status = run_under_agent(
+        world, _dev_agent(), "/bin/sh",
+        ["sh", "-c", "cat /dev/fortune; cat /dev/fortune"],
+    )
+    assert WEXITSTATUS(status) == 0
+    lines = world.console.take_output().decode().splitlines()
+    assert len(lines) == 2
+    assert lines[0] != lines[1]  # successive fortunes differ
+
+
+def test_counter_device_read_write(world):
+    agent = LogicalDeviceAgent()
+    counter = CounterDevice()
+    agent.add_device("/dev/mycounter", counter)
+    status = run_under_agent(
+        world, agent, "/bin/sh",
+        ["sh", "-c",
+         "echo 41 > /dev/mycounter; cat /dev/mycounter; cat /dev/mycounter"],
+    )
+    out = world.console.take_output().decode().split()
+    # "echo 41" set it; each read returns the value and then bumps it.
+    assert out == ["41", "42"]
+    assert counter.value == 43
+
+
+def test_sink_device_counts_bytes(world):
+    agent = LogicalDeviceAgent()
+    sink = SinkDevice()
+    agent.add_device("/dev/blackhole", sink)
+    run_under_agent(
+        world, agent, "/bin/sh",
+        ["sh", "-c", "echo 0123456789 > /dev/blackhole"],
+    )
+    assert sink.bytes_sunk == 11
+
+
+def test_device_never_touches_kernel_fs(world):
+    """The logical device exists only in the agent: the kernel's /dev has
+    no such entry, and programs without the agent get ENOENT."""
+    run_under_agent(
+        world, _dev_agent(), "/bin/sh", ["sh", "-c", "cat /dev/fortune"]
+    )
+    world.console.take_output()
+    assert not world.lookup_host("/dev").contains("fortune")
+    status = world.run("/bin/sh", ["sh", "-c", "cat /dev/fortune"])
+    assert "ENOENT" in world.console.take_output().decode()
+
+
+def test_device_stat_is_character_special(world):
+    from repro.kernel import stat as st
+    from repro.kernel.sysent import number_of
+
+    agent = _dev_agent()
+
+    def main(ctx):
+        agent.attach(ctx)
+        record = ctx.trap(number_of("stat"), "/dev/fortune")
+        assert st.S_ISCHR(record.st_mode)
+        return 0
+
+    assert WEXITSTATUS(world.run_entry(main)) == 0
+
+
+def test_real_files_unaffected_by_device_agent(world):
+    status = run_under_agent(
+        world, _dev_agent(), "/bin/sh",
+        ["sh", "-c", "echo real > /tmp/real; cat /tmp/real"],
+    )
+    assert world.console.take_output().decode() == "real\n"
+
+
+# -- ntrace ---------------------------------------------------------------
+
+def test_ntrace_logs_raw_calls(world):
+    agent = NumericTraceAgent("/tmp/n.out")
+    status = run_under_agent(
+        world, agent, "/bin/sh", ["sh", "-c", "echo traced > /tmp/t"]
+    )
+    assert WEXITSTATUS(status) == 0
+    log = world.read_file("/tmp/n.out").decode()
+    assert "open<5>(" in log
+    assert "write<4>(" in log
+    assert "close<6>(" in log
+
+
+def test_ntrace_logs_errors_symbolically(world):
+    agent = NumericTraceAgent("/tmp/n.out")
+    run_under_agent(world, agent, "/bin/sh", ["sh", "-c", "cat /gone; true"])
+    log = world.read_file("/tmp/n.out").decode()
+    assert "-> ENOENT" in log
+
+
+def test_ntrace_survives_exec(world):
+    agent = NumericTraceAgent("/tmp/n.out")
+    run_under_agent(world, agent, "/bin/sh", ["sh", "-c", "sh -c 'echo deep'"])
+    log = world.read_file("/tmp/n.out").decode()
+    assert log.count("execve<59>") >= 2
+    assert "deep" in world.console.take_output().decode()
+
+
+def test_ntrace_much_smaller_than_trace():
+    from repro.bench.loc import module_statements
+    import repro.agents.ntrace as ntrace_mod
+    import repro.agents.trace as trace_mod
+
+    assert module_statements(ntrace_mod) * 3 < module_statements(trace_mod)
+
+
+def test_ntrace_signals_logged(world):
+    from repro.kernel import signals as sig
+    from repro.kernel.sysent import number_of
+
+    agent = NumericTraceAgent("/tmp/n.out")
+
+    def main(ctx):
+        agent.attach(ctx)
+        ctx.trap(number_of("sigvec"), sig.SIGUSR1, lambda s: None, 0)
+        ctx.trap(number_of("kill"), ctx.proc.pid, sig.SIGUSR1)
+        return 0
+
+    world.run_entry(main)
+    log = world.read_file("/tmp/n.out").decode()
+    assert "signal<%d>" % sig.SIGUSR1 in log

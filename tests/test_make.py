@@ -1,0 +1,170 @@
+"""Tests for make."""
+
+import pytest
+
+from repro.programs.make_prog import _expand, _parse_makefile
+
+
+# -- unit: parsing -----------------------------------------------------
+
+def test_expand_macros():
+    macros = {"CC": "cc", "NAME": "prog"}
+    assert _expand("$(CC) -o $(NAME)", macros) == "cc -o prog"
+    assert _expand("${CC}", macros) == "cc"
+    assert _expand("$(MISSING)", macros) == ""
+    assert _expand("$$", macros) == "$"
+
+
+def test_parse_rules_and_macros():
+    macros, rules = _parse_makefile(
+        "CC = cc\n"
+        "OBJS = a.o b.o\n"
+        "\n"
+        "prog: $(OBJS)\n"
+        "\t$(CC) -o prog $(OBJS)\n"
+        "\n"
+        "# comment\n"
+        "a.o: a.c\n"
+        "\tcc -c a.c\n"
+    )
+    assert macros["CC"] == "cc"
+    assert [r.target for r in rules] == ["prog", "a.o"]
+    assert rules[0].deps == ["a.o", "b.o"]
+    assert rules[0].recipe == ["$(CC) -o prog $(OBJS)"]
+
+
+def test_macro_expansion_in_definitions():
+    macros, _ = _parse_makefile("A = x\nB = $(A)y\n")
+    assert macros["B"] == "xy"
+
+
+# -- end-to-end ---------------------------------------------------------------
+
+@pytest.fixture
+def build_world(world):
+    world.mkdir_p("/home/mbj/build")
+    world.write_file("/home/mbj/build/in.txt", "source data\n")
+    world.write_file(
+        "/home/mbj/build/Makefile",
+        "out.txt: in.txt\n"
+        "\tcp in.txt out.txt\n",
+    )
+    return world
+
+
+def test_make_builds_missing_target(build_world, sh):
+    code, out = sh("cd /home/mbj/build; make")
+    assert code == 0
+    assert "cp in.txt out.txt" in out
+    assert build_world.read_file("/home/mbj/build/out.txt") == b"source data\n"
+
+
+def test_make_up_to_date_skips(build_world, sh):
+    sh("cd /home/mbj/build; make")
+    code, out = sh("cd /home/mbj/build; make")
+    assert code == 0
+    assert "up to date" in out
+
+
+def test_make_rebuilds_after_touch(build_world, sh):
+    sh("cd /home/mbj/build; make")
+    build_world.clock.advance(5_000_000)
+    sh("cd /home/mbj/build; touch in.txt")
+    code, out = sh("cd /home/mbj/build; make")
+    assert "cp in.txt out.txt" in out
+
+
+def test_make_missing_rule_fails(build_world, sh):
+    code, out = sh("cd /home/mbj/build; make nonsense")
+    assert code == 2
+    assert "don't know how to make" in out
+
+
+def test_make_recipe_failure_stops(build_world, sh):
+    build_world.write_file(
+        "/home/mbj/build/Makefile",
+        "out: \n"
+        "\tfalse\n"
+        "\techo never reached > /home/mbj/build/never\n",
+    )
+    code, out = sh("cd /home/mbj/build; make")
+    assert code == 1
+    assert "Error code 1" in out
+    assert not build_world.lookup_host("/home/mbj/build").contains("never")
+
+
+def test_make_silent_recipes(build_world, sh):
+    build_world.write_file(
+        "/home/mbj/build/Makefile",
+        "quiet:\n"
+        "\t@echo silent recipe output\n",
+    )
+    code, out = sh("cd /home/mbj/build; make")
+    assert "silent recipe output" in out
+    # the command line itself is not echoed
+    assert "@echo" not in out
+
+
+def test_make_automatic_variables(build_world, sh):
+    build_world.write_file(
+        "/home/mbj/build/Makefile",
+        "target.txt: in.txt\n"
+        "\techo building $@ from $< > target.txt\n",
+    )
+    sh("cd /home/mbj/build; make")
+    assert build_world.read_file("/home/mbj/build/target.txt") == (
+        b"building target.txt from in.txt\n"
+    )
+
+
+def test_make_dependency_chain(build_world, sh):
+    build_world.write_file(
+        "/home/mbj/build/Makefile",
+        "final: middle\n"
+        "\tcp middle final\n"
+        "middle: in.txt\n"
+        "\tcp in.txt middle\n",
+    )
+    code, out = sh("cd /home/mbj/build; make")
+    assert code == 0
+    assert out.index("cp in.txt middle") < out.index("cp middle final")
+    assert build_world.read_file("/home/mbj/build/final") == b"source data\n"
+
+
+def test_make_f_flag(build_world, sh):
+    build_world.write_file(
+        "/home/mbj/build/Other.mk", "it:\n\techo from other makefile\n"
+    )
+    code, out = sh("cd /home/mbj/build; make -f Other.mk")
+    assert "from other makefile" in out
+
+
+def test_make_explicit_targets(build_world, sh):
+    build_world.write_file(
+        "/home/mbj/build/Makefile",
+        "a:\n\techo made a\nb:\n\techo made b\n",
+    )
+    code, out = sh("cd /home/mbj/build; make b")
+    assert "made b" in out
+    assert "made a" not in out
+
+
+def test_make_workload_end_to_end(world):
+    from repro.kernel.proc import WEXITSTATUS
+    from repro.workloads import make_programs
+
+    make_programs.setup(world)
+    status = make_programs.run(world)
+    assert WEXITSTATUS(status) == 0
+    world.console.take_output()  # drain the first build's output
+    # All eight programs exist and are executables.
+    for i in range(1, 9):
+        image = world.read_file("%s/prog%d" % (make_programs.SRC_DIR, i))
+        assert image.startswith(b"!executable")
+    # Exactly the paper's 64 fork/execve pairs.
+    assert world.fork_total == 64
+    assert world.exec_total == 64
+    # A second make is a no-op.
+    status = world.run("/bin/sh", ["sh", "-c", "cd %s; make" % make_programs.SRC_DIR])
+    out = world.console.take_output().decode()
+    assert "up to date" in out

@@ -1,0 +1,112 @@
+"""Tests for the monitor agent and the generic agent loader."""
+
+import pytest
+
+from repro.agents.monitor import MonitorAgent
+from repro.kernel.proc import WEXITSTATUS
+from repro.toolkit import run_under_agent
+
+
+def test_monitor_counts_calls(world):
+    agent = MonitorAgent("/tmp/mon.out")
+    status = run_under_agent(
+        world, agent, "/bin/sh",
+        ["sh", "-c", "echo hi; cat /etc/passwd > /dev/null"],
+    )
+    assert WEXITSTATUS(status) == 0
+    assert agent.call_counts["fork"] == 2
+    assert agent.call_counts["open"] >= 2
+    assert agent.bytes_written > 0
+    assert agent.bytes_read > 0
+    assert agent.opens_by_path.get("/etc/passwd") == 1
+
+
+def test_monitor_counts_errors(world):
+    agent = MonitorAgent("/tmp/mon.out")
+    run_under_agent(world, agent, "/bin/sh", ["sh", "-c", "cat /missing; true"])
+    assert any(name == "open" for name, _ in agent.error_counts)
+
+
+def test_monitor_report_written_at_exit(world):
+    run_under_agent(
+        world, MonitorAgent("/tmp/mon.out"), "/bin/sh", ["sh", "-c", "echo x"]
+    )
+    report = world.read_file("/tmp/mon.out").decode()
+    assert "system call usage:" in report
+    assert "bytes written:" in report
+    assert "forks:" in report
+
+
+def test_monitor_counts_signals(world):
+    from repro.kernel import signals as sig
+    from repro.kernel.sysent import number_of
+
+    agent = MonitorAgent("/tmp/mon.out")
+
+    def main(ctx):
+        agent.attach(ctx)
+        ctx.trap(number_of("sigvec"), sig.SIGUSR1, lambda s: None, 0)
+        ctx.trap(number_of("kill"), ctx.proc.pid, sig.SIGUSR1)
+        return 0
+
+    world.run_entry(main)
+    assert agent.signals == {sig.SIGUSR1: 1}
+
+
+# -- the agent loader program --------------------------------------------
+
+def test_loader_usage_lists_agents(world):
+    status = world.run("/bin/agentrun", ["agentrun"])
+    assert WEXITSTATUS(status) == 2
+    out = world.console.take_output().decode()
+    assert "usage:" in out
+    for name in ("timex", "trace", "union", "dfs_trace", "sandbox", "txn"):
+        assert name in out
+
+
+def test_loader_unknown_agent(world):
+    status = world.run("/bin/agentrun", ["agentrun", "bogus", "--", "true"])
+    assert WEXITSTATUS(status) == 2
+    assert "unknown agent" in world.console.take_output().decode()
+
+
+def test_loader_no_program(world):
+    status = world.run("/bin/agentrun", ["agentrun", "timex", "--"])
+    assert WEXITSTATUS(status) == 2
+
+
+def test_loader_without_separator(world):
+    status = world.run("/bin/agentrun", ["agentrun", "monitor", "echo", "hi"])
+    assert WEXITSTATUS(status) == 0
+    assert "hi" in world.console.take_output().decode()
+
+
+def test_loader_path_search(world):
+    status = world.run(
+        "/bin/sh", ["sh", "-c", "agentrun monitor /tmp/m2.out -- echo found"]
+    )
+    assert WEXITSTATUS(status) == 0
+    assert "found" in world.console.take_output().decode()
+
+
+def test_loader_stacks_agents(world):
+    """agentrun under agentrun: both agents observe the client."""
+    status = world.run(
+        "/bin/sh",
+        ["sh", "-c",
+         "agentrun monitor /tmp/outer.out -- "
+         "agentrun monitor /tmp/inner.out -- echo stacked"],
+    )
+    assert WEXITSTATUS(status) == 0
+    assert "stacked" in world.console.take_output().decode()
+    outer = world.read_file("/tmp/outer.out").decode()
+    inner = world.read_file("/tmp/inner.out").decode()
+    assert "system call usage:" in outer
+    assert "system call usage:" in inner
+
+
+def test_client_exit_status_preserved_through_loader(world):
+    status = world.run(
+        "/bin/sh", ["sh", "-c", "agentrun monitor /tmp/m3.out -- sh -c 'exit 5'"]
+    )
+    assert WEXITSTATUS(status) == 5

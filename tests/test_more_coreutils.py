@@ -1,0 +1,126 @@
+"""Tests for tee, sort, cmp, and resource-exhaustion behaviour."""
+
+import pytest
+
+from repro.kernel.errno import EMFILE, ENOSPC, SyscallError
+from repro.kernel.proc import WEXITSTATUS
+from repro.programs.libc import O_RDONLY, Sys
+
+
+def test_tee_duplicates_stream(world, sh):
+    world.write_file("/tmp/in", "teed line\n")
+    code, out = sh("cat /tmp/in | tee /tmp/copy1 /tmp/copy2")
+    assert code == 0
+    assert out == "teed line\n"
+    assert world.read_file("/tmp/copy1") == b"teed line\n"
+    assert world.read_file("/tmp/copy2") == b"teed line\n"
+
+
+def test_tee_append(world, sh):
+    sh("echo first | tee /tmp/tlog")
+    sh("echo second | tee -a /tmp/tlog")
+    assert world.read_file("/tmp/tlog") == b"first\nsecond\n"
+
+
+def test_sort_basic(world, sh):
+    world.write_file("/tmp/unsorted", "pear\napple\nmango\n")
+    code, out = sh("sort /tmp/unsorted")
+    assert out == "apple\nmango\npear\n"
+
+
+def test_sort_reverse_and_unique(world, sh):
+    world.write_file("/tmp/dups", "b\na\nb\nc\na\n")
+    code, out = sh("sort -u /tmp/dups")
+    assert out == "a\nb\nc\n"
+    code, out = sh("sort -r /tmp/dups")
+    assert out == "c\nb\nb\na\na\n"
+
+
+def test_sort_stdin(world, sh):
+    world.write_file("/tmp/s", "2\n1\n3\n")
+    code, out = sh("cat /tmp/s | sort")
+    assert out == "1\n2\n3\n"
+
+
+def test_cmp_equal_and_different(world, sh):
+    world.write_file("/tmp/c1", "same content")
+    world.write_file("/tmp/c2", "same content")
+    world.write_file("/tmp/c3", "same cXntent")
+    assert sh("cmp /tmp/c1 /tmp/c2")[0] == 0
+    code, out = sh("cmp /tmp/c1 /tmp/c3")
+    assert code == 1
+    assert "differ: char 7" in out
+
+
+def test_cmp_eof(world, sh):
+    world.write_file("/tmp/c4", "short")
+    world.write_file("/tmp/c5", "short but longer")
+    code, out = sh("cmp /tmp/c4 /tmp/c5")
+    assert code == 1
+    assert "EOF" in out
+
+
+def test_cmp_missing_file(world, sh):
+    assert sh("cmp /tmp/absent /etc/passwd")[0] == 2
+
+
+# -- resource exhaustion ---------------------------------------------------
+
+def test_descriptor_table_exhaustion(world):
+    def main(ctx):
+        sys = Sys(ctx)
+        fds = []
+        try:
+            while True:
+                fds.append(sys.open("/dev/null", O_RDONLY))
+        except SyscallError as err:
+            assert err.errno == EMFILE
+        assert len(fds) == 61  # 64 slots minus stdin/stdout/stderr
+        # Closing one slot makes the table usable again.
+        sys.close(fds.pop())
+        sys.open("/dev/null", O_RDONLY)
+        return 0
+
+    assert WEXITSTATUS(world.run_entry(main)) == 0
+
+
+def test_inode_exhaustion():
+    from repro.kernel import Kernel
+
+    kernel = Kernel()
+    kernel.rootfs.max_inodes = kernel.rootfs.live_inode_count() + 2
+
+    def main(ctx):
+        sys = Sys(ctx)
+        sys.write_whole("/tmp/one", "x")
+        sys.write_whole("/tmp/two", "x")
+        try:
+            sys.write_whole("/tmp/three", "x")
+            return 1
+        except SyscallError as err:
+            assert err.errno == ENOSPC
+        # Freeing an inode makes room.
+        sys.unlink("/tmp/one")
+        sys.write_whole("/tmp/three", "x")
+        return 0
+
+    assert WEXITSTATUS(kernel.run_entry(main)) == 0
+
+
+def test_exhaustion_surfaces_cleanly_through_shell(world):
+    """A shell loop that leaks descriptors gets EMFILE, not a crash."""
+
+    def main(ctx):
+        sys = Sys(ctx)
+        for _ in range(61):
+            sys.open("/dev/null", O_RDONLY)
+        # Now even the shell's own machinery is constrained; spawn_wait
+        # still reports rather than crashing the world.
+        from repro.programs.libc import exit_code
+
+        status = sys.spawn_wait("/bin/echo", ["echo", "hi"])
+        return exit_code(status)
+
+    # The child inherits the full table; echo's write still works since
+    # it needs no new descriptors.
+    assert WEXITSTATUS(world.run_entry(main)) == 0

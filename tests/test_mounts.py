@@ -1,0 +1,114 @@
+"""Tests for mount support and cross-filesystem rules."""
+
+import pytest
+
+from repro.kernel.errno import EBUSY, EINVAL, EXDEV, SyscallError
+from repro.kernel.sysent import number_of
+
+NR = {n: number_of(n) for n in ("stat", "link", "rename", "open", "write",
+                                "close", "mkdir")}
+
+
+@pytest.fixture
+def mounted(kernel):
+    fs = kernel.new_filesystem()
+    kernel.mkdir_p("/mnt")
+    kernel.mount(fs, "/mnt")
+    return kernel, fs
+
+
+def test_mounted_fs_has_distinct_dev(mounted, run_entry):
+    kernel, fs = mounted
+
+    def main(ctx):
+        root_dev = ctx.trap(NR["stat"], "/").st_dev
+        mnt_dev = ctx.trap(NR["stat"], "/mnt").st_dev
+        assert root_dev != mnt_dev
+        return 0
+
+    assert run_entry(main) == 0
+
+
+def test_files_land_in_mounted_fs(mounted, run_entry):
+    kernel, fs = mounted
+
+    def main(ctx):
+        fd = ctx.trap(NR["open"], "/mnt/newfile", 0x0201 | 0x0200, 0o644)
+        ctx.trap(NR["write"], fd, b"on the new volume")
+        ctx.trap(NR["close"], fd)
+        return 0
+
+    run_entry(main)
+    node = kernel.lookup_host("/mnt/newfile")
+    assert node.fs is fs
+
+
+def test_mount_hides_underlying_contents(kernel):
+    kernel.mkdir_p("/mnt")
+    kernel.write_file("/mnt/underneath", "hidden")
+    fs = kernel.new_filesystem()
+    kernel.mount(fs, "/mnt")
+    with pytest.raises(SyscallError):
+        kernel.lookup_host("/mnt/underneath")
+    kernel.umount("/mnt")
+    assert kernel.read_file("/mnt/underneath") == b"hidden"
+
+
+def test_double_mount_rejected(mounted):
+    kernel, fs = mounted
+    another = kernel.new_filesystem()
+    with pytest.raises(SyscallError) as exc:
+        kernel.mount(another, "/mnt")
+    assert exc.value.errno == EBUSY
+    kernel.mkdir_p("/mnt2")
+    with pytest.raises(SyscallError) as exc:
+        kernel.mount(fs, "/mnt2")  # fs already mounted elsewhere
+    assert exc.value.errno == EBUSY
+
+
+def test_umount_non_mountpoint(kernel):
+    kernel.mkdir_p("/plain")
+    with pytest.raises(SyscallError) as exc:
+        kernel.umount("/plain")
+    assert exc.value.errno == EINVAL
+
+
+def test_link_across_filesystems_exdev(mounted, run_entry):
+    kernel, fs = mounted
+    kernel.write_file("/tmp/src", "x")
+
+    def main(ctx):
+        try:
+            ctx.trap(NR["link"], "/tmp/src", "/mnt/dst")
+        except SyscallError as err:
+            return 10 if err.errno == EXDEV else 1
+        return 1
+
+    assert run_entry(main) == 10
+
+
+def test_rename_across_filesystems_exdev(mounted, run_entry):
+    kernel, fs = mounted
+    kernel.write_file("/tmp/src2", "x")
+
+    def main(ctx):
+        try:
+            ctx.trap(NR["rename"], "/tmp/src2", "/mnt/dst2")
+        except SyscallError as err:
+            return 10 if err.errno == EXDEV else 1
+        return 1
+
+    assert run_entry(main) == 10
+
+
+def test_mkdir_inside_mounted_fs(mounted, run_entry):
+    kernel, fs = mounted
+
+    def main(ctx):
+        ctx.trap(NR["mkdir"], "/mnt/sub", 0o755)
+        assert ctx.trap(NR["stat"], "/mnt/sub").st_dev == ctx.trap(
+            NR["stat"], "/mnt"
+        ).st_dev
+        return 0
+
+    assert run_entry(main) == 0

@@ -1,0 +1,187 @@
+"""Unit tests for pathname resolution (namei)."""
+
+import pytest
+
+from repro.kernel import Kernel
+from repro.kernel.cred import Cred
+from repro.kernel.errno import (
+    EACCES,
+    ELOOP,
+    ENAMETOOLONG,
+    ENOENT,
+    ENOTDIR,
+    SyscallError,
+)
+from repro.kernel.namei import MAXPATHLEN, lookup, namei
+
+
+class Ctx:
+    def __init__(self, kernel, cwd=None, root=None, cred=None):
+        self.kernel = kernel
+        self.cwd = cwd if cwd is not None else kernel.rootfs.root
+        self.root_dir = root if root is not None else kernel.rootfs.root
+        self.cred = cred if cred is not None else Cred(0, 0)
+
+
+@pytest.fixture
+def kernel():
+    k = Kernel()
+    k.mkdir_p("/a/b/c")
+    k.write_file("/a/b/c/file.txt", "data")
+    k.write_file("/a/top.txt", "top")
+    return k
+
+
+@pytest.fixture
+def ctx(kernel):
+    return Ctx(kernel)
+
+
+def test_absolute_lookup(ctx):
+    node = lookup(ctx, "/a/b/c/file.txt")
+    assert node.is_reg()
+    assert bytes(node.data) == b"data"
+
+
+def test_relative_lookup(kernel):
+    ctx = Ctx(kernel, cwd=kernel.lookup_host("/a/b"))
+    assert lookup(ctx, "c/file.txt").is_reg()
+
+
+def test_dot_and_dotdot(ctx, kernel):
+    assert lookup(ctx, "/a/./b/../b/c") is kernel.lookup_host("/a/b/c")
+
+
+def test_root_dotdot_stays_at_root(ctx, kernel):
+    assert lookup(ctx, "/../../..") is kernel.rootfs.root
+
+
+def test_slash_resolves_to_root(ctx, kernel):
+    result = namei(ctx, "/")
+    assert result.inode is kernel.rootfs.root
+
+
+def test_empty_path_enoent(ctx):
+    with pytest.raises(SyscallError) as exc:
+        lookup(ctx, "")
+    assert exc.value.errno == ENOENT
+
+
+def test_missing_component(ctx):
+    with pytest.raises(SyscallError) as exc:
+        lookup(ctx, "/a/nope/c")
+    assert exc.value.errno == ENOENT
+
+
+def test_notdir_midpath(ctx):
+    with pytest.raises(SyscallError) as exc:
+        lookup(ctx, "/a/top.txt/deeper")
+    assert exc.value.errno == ENOTDIR
+
+
+def test_trailing_slash_requires_directory(ctx):
+    assert lookup(ctx, "/a/b/")
+    with pytest.raises(SyscallError) as exc:
+        lookup(ctx, "/a/top.txt/")
+    assert exc.value.errno == ENOTDIR
+
+
+def test_path_too_long(ctx):
+    with pytest.raises(SyscallError) as exc:
+        lookup(ctx, "/" + "a/" * (MAXPATHLEN // 2 + 10))
+    assert exc.value.errno == ENAMETOOLONG
+
+
+def test_component_too_long(ctx):
+    with pytest.raises(SyscallError) as exc:
+        lookup(ctx, "/" + "x" * 300)
+    assert exc.value.errno == ENAMETOOLONG
+
+
+def test_want_parent_missing_final(ctx, kernel):
+    result = namei(ctx, "/a/b/newfile", want_parent=True)
+    assert result.inode is None
+    assert result.name == "newfile"
+    assert result.parent is kernel.lookup_host("/a/b")
+
+
+def test_want_parent_existing_final(ctx, kernel):
+    result = namei(ctx, "/a/b/c", want_parent=True)
+    assert result.inode is kernel.lookup_host("/a/b/c")
+    assert result.parent is kernel.lookup_host("/a/b")
+
+
+def test_missing_middle_raises_even_with_want_parent(ctx):
+    with pytest.raises(SyscallError):
+        namei(ctx, "/a/nope/newfile", want_parent=True)
+
+
+def test_symlink_followed(kernel, ctx):
+    fs = kernel.rootfs
+    link = fs.create_symlink("/a/b/c/file.txt", Cred(0, 0))
+    fs.link(kernel.lookup_host("/a"), "lnk", link)
+    assert lookup(ctx, "/a/lnk") is kernel.lookup_host("/a/b/c/file.txt")
+
+
+def test_symlink_not_followed_when_asked(kernel, ctx):
+    fs = kernel.rootfs
+    link = fs.create_symlink("/a/b", Cred(0, 0))
+    fs.link(kernel.lookup_host("/a"), "lnk2", link)
+    assert lookup(ctx, "/a/lnk2", follow=False) is link
+
+
+def test_symlink_in_middle_always_followed(kernel, ctx):
+    fs = kernel.rootfs
+    link = fs.create_symlink("/a/b", Cred(0, 0))
+    fs.link(kernel.lookup_host("/a"), "mid", link)
+    assert lookup(ctx, "/a/mid/c", follow=False) is kernel.lookup_host("/a/b/c")
+
+
+def test_relative_symlink_target(kernel, ctx):
+    fs = kernel.rootfs
+    link = fs.create_symlink("b/c", Cred(0, 0))
+    fs.link(kernel.lookup_host("/a"), "rel", link)
+    assert lookup(ctx, "/a/rel/file.txt") is kernel.lookup_host("/a/b/c/file.txt")
+
+
+def test_symlink_loop_eloop(kernel, ctx):
+    fs = kernel.rootfs
+    one = fs.create_symlink("/two", Cred(0, 0))
+    two = fs.create_symlink("/one", Cred(0, 0))
+    fs.link(fs.root, "one", one)
+    fs.link(fs.root, "two", two)
+    with pytest.raises(SyscallError) as exc:
+        lookup(ctx, "/one")
+    assert exc.value.errno == ELOOP
+
+
+def test_search_permission_enforced(kernel):
+    locked = kernel.lookup_host("/a/b")
+    locked.mode = locked.mode & ~0o111
+    user = Ctx(kernel, cred=Cred(100, 100))
+    with pytest.raises(SyscallError) as exc:
+        lookup(user, "/a/b/c")
+    assert exc.value.errno == EACCES
+    # root is immune
+    lookup(Ctx(kernel), "/a/b/c")
+
+
+def test_chroot_confines_absolute_paths(kernel):
+    jail = kernel.lookup_host("/a")
+    ctx = Ctx(kernel, cwd=jail, root=jail)
+    assert lookup(ctx, "/b/c/file.txt") is kernel.lookup_host("/a/b/c/file.txt")
+    # ".." cannot escape the jail
+    assert lookup(ctx, "/../../b") is kernel.lookup_host("/a/b")
+
+
+def test_mount_crossing_down_and_up(kernel):
+    other = kernel.new_filesystem()
+    sub = other.mkdir_in(other.root, "inside", 0o755, Cred(0, 0))
+    kernel.mkdir_p("/mnt")
+    kernel.mount(other, "/mnt")
+    ctx = Ctx(kernel)
+    assert lookup(ctx, "/mnt") is other.root
+    assert lookup(ctx, "/mnt/inside") is sub
+    # ".." from the mounted root crosses back to the covering fs
+    assert lookup(ctx, "/mnt/..") is kernel.rootfs.root
+    assert lookup(ctx, "/mnt/inside/../..") is kernel.rootfs.root

@@ -1,0 +1,152 @@
+"""Tests for layer 0: the numeric system call layer."""
+
+import pytest
+
+from repro.kernel.errno import EINVAL, ENOENT, SyscallError
+from repro.kernel.proc import WEXITSTATUS
+from repro.kernel.sysent import number_of
+from repro.toolkit.numeric import (
+    EmulRegs,
+    NumericSyscall,
+    marshal_result,
+    unmarshal_result,
+)
+
+NR_GETPID = number_of("getpid")
+NR_FORK = number_of("fork")
+NR_PIPE = number_of("pipe")
+NR_WAIT = number_of("wait")
+NR_OPEN = number_of("open")
+
+
+def test_marshal_single_register():
+    rv = [0, 0]
+    marshal_result(NR_GETPID, 42, rv)
+    assert rv == [42, 0]
+    assert unmarshal_result(NR_GETPID, rv) == 42
+
+
+def test_marshal_two_registers():
+    rv = [0, 0]
+    marshal_result(NR_PIPE, (3, 4), rv)
+    assert rv == [3, 4]
+    assert unmarshal_result(NR_PIPE, rv) == (3, 4)
+
+
+def test_marshal_objects_pass_through():
+    record = object()
+    rv = [0, 0]
+    marshal_result(NR_OPEN, record, rv)
+    assert rv[0] is record
+
+
+def test_default_numeric_agent_is_transparent(world):
+    agent = NumericSyscall()
+
+    def main(ctx):
+        agent.attach(ctx)
+        agent.register_interest_many([NR_GETPID, NR_PIPE, NR_OPEN])
+        assert ctx.trap(NR_GETPID) == ctx.proc.pid
+        rfd, wfd = ctx.trap(NR_PIPE)
+        assert rfd != wfd
+        return 0
+
+    assert WEXITSTATUS(world.run_entry(main)) == 0
+
+
+def test_numeric_error_convention(world):
+    class Refuser(NumericSyscall):
+        def init(self, agentargv):
+            self.register_interest(NR_OPEN)
+
+        def syscall(self, number, args, rv, regs):
+            return EINVAL  # refuse every open
+
+    def main(ctx):
+        Refuser().attach(ctx)
+        try:
+            ctx.trap(NR_OPEN, "/etc/passwd", 0, 0)
+        except SyscallError as err:
+            return 10 if err.errno == EINVAL else 1
+        return 1
+
+    assert WEXITSTATUS(world.run_entry(main)) == 10
+
+
+def test_numeric_rewrites_arguments(world):
+    """The paper's example: an agent that rewrites untyped arguments."""
+
+    class Rewriter(NumericSyscall):
+        def init(self, agentargv):
+            self.register_interest(NR_OPEN)
+
+        def syscall(self, number, args, rv, regs):
+            args = ["/etc/passwd"] + list(args[1:])
+            return self.syscall_down_raw(number, args, rv)
+
+    def main(ctx):
+        Rewriter().attach(ctx)
+        fd = ctx.trap(NR_OPEN, "/no/such/file", 0, 0)  # rewritten!
+        data = ctx.trap(number_of("read"), fd, 4)
+        assert data == b"root"
+        return 0
+
+    assert WEXITSTATUS(world.run_entry(main)) == 0
+
+
+def test_number_range_remapping(world):
+    """The paper: "one range of system call numbers could be remapped to
+    calls on a different range at this level"."""
+
+    OFFSET = 500
+
+    class Remapper(NumericSyscall):
+        def init(self, agentargv):
+            self.register_interest_range(OFFSET + 1, OFFSET + 200)
+
+        def syscall(self, number, args, rv, regs):
+            return self.syscall_down_raw(number - OFFSET, args, rv)
+
+    def main(ctx):
+        Remapper().attach(ctx)
+        assert ctx.trap(OFFSET + NR_GETPID) == ctx.proc.pid
+        return 0
+
+    assert WEXITSTATUS(world.run_entry(main)) == 0
+
+
+def test_regs_carries_context(world):
+    seen = {}
+
+    class Inspector(NumericSyscall):
+        def init(self, agentargv):
+            self.register_interest(NR_GETPID)
+
+        def syscall(self, number, args, rv, regs):
+            seen["regs"] = regs
+            return self.syscall_down_raw(number, args, rv)
+
+    def main(ctx):
+        Inspector().attach(ctx)
+        ctx.trap(NR_GETPID)
+        assert isinstance(seen["regs"], EmulRegs)
+        assert seen["regs"].ctx.proc is ctx.proc
+        return 0
+
+    assert WEXITSTATUS(world.run_entry(main)) == 0
+
+
+def test_two_register_call_through_numeric_layer(world):
+    agent = NumericSyscall()
+
+    def main(ctx):
+        agent.attach(ctx)
+        agent.register_interest_many([NR_FORK, NR_WAIT])
+        pid, flag = ctx.trap(NR_FORK, lambda c: 3)
+        assert flag == 0
+        wpid, status = ctx.trap(NR_WAIT)
+        assert wpid == pid
+        assert WEXITSTATUS(status) == 3
+        return 0
+
+    assert WEXITSTATUS(world.run_entry(main)) == 0

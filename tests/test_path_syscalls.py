@@ -1,0 +1,397 @@
+"""Tests for pathname-based system calls."""
+
+import pytest
+
+from repro.kernel import stat as st
+from repro.kernel.errno import (
+    EACCES,
+    EEXIST,
+    EINVAL,
+    EISDIR,
+    ENOENT,
+    ENOTDIR,
+    ENOTEMPTY,
+    EPERM,
+    EXDEV,
+    SyscallError,
+)
+from repro.kernel.ofile import O_CREAT, O_EXCL, O_RDONLY, O_RDWR, O_TRUNC, O_WRONLY
+from repro.kernel.sysent import number_of
+
+NR = {n: number_of(n) for n in (
+    "open", "close", "read", "write", "link", "unlink", "rename", "chdir",
+    "chroot", "mknod", "chmod", "chown", "access", "stat", "lstat",
+    "symlink", "readlink", "truncate", "mkdir", "rmdir", "utimes",
+    "setuid", "fstat",
+)}
+
+
+def _expect(ctx, errno_value, call, *args):
+    try:
+        ctx.trap(call, *args)
+    except SyscallError as err:
+        assert err.errno == errno_value, (err.errno, errno_value)
+        return
+    raise AssertionError("expected errno %d" % errno_value)
+
+
+def test_creat_excl(kernel, run_entry):
+    def main(ctx):
+        fd = ctx.trap(NR["open"], "/tmp/x", O_WRONLY | O_CREAT | O_EXCL, 0o644)
+        ctx.trap(NR["close"], fd)
+        _expect(ctx, EEXIST, NR["open"], "/tmp/x", O_WRONLY | O_CREAT | O_EXCL, 0o644)
+        return 0
+
+    assert run_entry(main) == 0
+
+
+def test_open_trunc(kernel, run_entry):
+    kernel.write_file("/tmp/t", "old content")
+
+    def main(ctx):
+        fd = ctx.trap(NR["open"], "/tmp/t", O_WRONLY | O_TRUNC, 0)
+        ctx.trap(NR["write"], fd, b"new")
+        return 0
+
+    run_entry(main)
+    assert kernel.read_file("/tmp/t") == b"new"
+
+
+def test_open_missing_enoent(run_entry):
+    def main(ctx):
+        _expect(ctx, ENOENT, NR["open"], "/tmp/absent", O_RDONLY, 0)
+        return 0
+
+    assert run_entry(main) == 0
+
+
+def test_open_directory_for_write_eisdir(run_entry):
+    def main(ctx):
+        _expect(ctx, EISDIR, NR["open"], "/tmp", O_RDWR, 0)
+        return 0
+
+    assert run_entry(main) == 0
+
+
+def test_open_respects_permissions(kernel, run_entry):
+    kernel.write_file("/tmp/secret", "root only")
+    kernel.lookup_host("/tmp/secret").mode = st.S_IFREG | 0o600
+
+    def main(ctx):
+        ctx.trap(NR["setuid"], 100)
+        _expect(ctx, EACCES, NR["open"], "/tmp/secret", O_RDONLY, 0)
+        return 0
+
+    assert run_entry(main) == 0
+
+
+def test_link_and_unlink(kernel, run_entry):
+    kernel.write_file("/tmp/orig", "shared")
+
+    def main(ctx):
+        ctx.trap(NR["link"], "/tmp/orig", "/tmp/alias")
+        assert ctx.trap(NR["stat"], "/tmp/alias").st_nlink == 2
+        ctx.trap(NR["unlink"], "/tmp/orig")
+        assert ctx.trap(NR["stat"], "/tmp/alias").st_nlink == 1
+        fd = ctx.trap(NR["open"], "/tmp/alias", O_RDONLY, 0)
+        assert ctx.trap(NR["read"], fd, 100) == b"shared"
+        return 0
+
+    assert run_entry(main) == 0
+
+
+def test_link_to_directory_eperm(run_entry):
+    def main(ctx):
+        _expect(ctx, EPERM, NR["link"], "/tmp", "/tmp2link")
+        return 0
+
+    assert run_entry(main) == 0
+
+
+def test_link_existing_target_eexist(kernel, run_entry):
+    kernel.write_file("/tmp/a", "a")
+    kernel.write_file("/tmp/b", "b")
+
+    def main(ctx):
+        _expect(ctx, EEXIST, NR["link"], "/tmp/a", "/tmp/b")
+        return 0
+
+    assert run_entry(main) == 0
+
+
+def test_unlink_directory_eperm(run_entry):
+    def main(ctx):
+        _expect(ctx, EPERM, NR["unlink"], "/tmp")
+        return 0
+
+    assert run_entry(main) == 0
+
+
+def test_unlinked_open_file_still_readable(kernel, run_entry):
+    kernel.write_file("/tmp/ghost", "boo")
+
+    def main(ctx):
+        fd = ctx.trap(NR["open"], "/tmp/ghost", O_RDONLY, 0)
+        ctx.trap(NR["unlink"], "/tmp/ghost")
+        _expect(ctx, ENOENT, NR["stat"], "/tmp/ghost")
+        assert ctx.trap(NR["read"], fd, 10) == b"boo"
+        return 0
+
+    assert run_entry(main) == 0
+
+
+def test_rename_file(kernel, run_entry):
+    kernel.write_file("/tmp/from", "move me")
+
+    def main(ctx):
+        ctx.trap(NR["rename"], "/tmp/from", "/tmp/to")
+        _expect(ctx, ENOENT, NR["stat"], "/tmp/from")
+        assert ctx.trap(NR["stat"], "/tmp/to").st_size == 7
+        return 0
+
+    assert run_entry(main) == 0
+
+
+def test_rename_replaces_target(kernel, run_entry):
+    kernel.write_file("/tmp/src", "new")
+    kernel.write_file("/tmp/dst", "old old old")
+
+    def main(ctx):
+        ctx.trap(NR["rename"], "/tmp/src", "/tmp/dst")
+        assert ctx.trap(NR["stat"], "/tmp/dst").st_size == 3
+        return 0
+
+    assert run_entry(main) == 0
+
+
+def test_rename_directory_rewires_dotdot(kernel, run_entry):
+    kernel.mkdir_p("/tmp/d1/sub")
+    kernel.mkdir_p("/tmp/d2")
+
+    def main(ctx):
+        ctx.trap(NR["rename"], "/tmp/d1/sub", "/tmp/d2/moved")
+        parent = ctx.trap(NR["stat"], "/tmp/d2")
+        dotdot = ctx.trap(NR["stat"], "/tmp/d2/moved/..")
+        assert dotdot.st_ino == parent.st_ino
+        return 0
+
+    assert run_entry(main) == 0
+
+
+def test_rename_into_own_subtree_einval(kernel, run_entry):
+    kernel.mkdir_p("/tmp/outer/inner")
+
+    def main(ctx):
+        _expect(ctx, EINVAL, NR["rename"], "/tmp/outer", "/tmp/outer/inner/bad")
+        return 0
+
+    assert run_entry(main) == 0
+
+
+def test_rename_file_over_directory_eisdir(kernel, run_entry):
+    kernel.write_file("/tmp/plain2", "x")
+    kernel.mkdir_p("/tmp/dir2")
+
+    def main(ctx):
+        _expect(ctx, EISDIR, NR["rename"], "/tmp/plain2", "/tmp/dir2")
+        return 0
+
+    assert run_entry(main) == 0
+
+
+def test_rename_onto_self_is_noop(kernel, run_entry):
+    kernel.write_file("/tmp/same", "x")
+
+    def main(ctx):
+        ctx.trap(NR["rename"], "/tmp/same", "/tmp/same")
+        assert ctx.trap(NR["stat"], "/tmp/same").st_size == 1
+        return 0
+
+    assert run_entry(main) == 0
+
+
+def test_mkdir_rmdir(kernel, run_entry):
+    def main(ctx):
+        ctx.trap(NR["mkdir"], "/tmp/newdir", 0o755)
+        record = ctx.trap(NR["stat"], "/tmp/newdir")
+        assert st.S_ISDIR(record.st_mode)
+        assert record.st_nlink == 2
+        ctx.trap(NR["rmdir"], "/tmp/newdir")
+        _expect(ctx, ENOENT, NR["stat"], "/tmp/newdir")
+        return 0
+
+    assert run_entry(main) == 0
+
+
+def test_rmdir_nonempty(kernel, run_entry):
+    kernel.mkdir_p("/tmp/full")
+    kernel.write_file("/tmp/full/f", "x")
+
+    def main(ctx):
+        _expect(ctx, ENOTEMPTY, NR["rmdir"], "/tmp/full")
+        return 0
+
+    assert run_entry(main) == 0
+
+
+def test_rmdir_updates_parent_nlink(kernel, run_entry):
+    def main(ctx):
+        before = ctx.trap(NR["stat"], "/tmp").st_nlink
+        ctx.trap(NR["mkdir"], "/tmp/counted", 0o755)
+        assert ctx.trap(NR["stat"], "/tmp").st_nlink == before + 1
+        ctx.trap(NR["rmdir"], "/tmp/counted")
+        assert ctx.trap(NR["stat"], "/tmp").st_nlink == before
+        return 0
+
+    assert run_entry(main) == 0
+
+
+def test_rmdir_dot_einval(run_entry):
+    def main(ctx):
+        ctx.trap(NR["chdir"], "/tmp")
+        _expect(ctx, EINVAL, NR["rmdir"], ".")
+        return 0
+
+    assert run_entry(main) == 0
+
+
+def test_symlink_and_readlink(kernel, run_entry):
+    kernel.write_file("/tmp/real", "pointed at")
+
+    def main(ctx):
+        ctx.trap(NR["symlink"], "/tmp/real", "/tmp/ln")
+        assert ctx.trap(NR["readlink"], "/tmp/ln", 1024) == "/tmp/real"
+        assert ctx.trap(NR["stat"], "/tmp/ln").st_size == 10  # follows
+        assert st.S_ISLNK(ctx.trap(NR["lstat"], "/tmp/ln").st_mode)
+        _expect(ctx, EINVAL, NR["readlink"], "/tmp/real", 1024)
+        return 0
+
+    assert run_entry(main) == 0
+
+
+def test_dangling_symlink(kernel, run_entry):
+    def main(ctx):
+        ctx.trap(NR["symlink"], "/nowhere", "/tmp/dangling")
+        _expect(ctx, ENOENT, NR["stat"], "/tmp/dangling")
+        assert st.S_ISLNK(ctx.trap(NR["lstat"], "/tmp/dangling").st_mode)
+        return 0
+
+    assert run_entry(main) == 0
+
+
+def test_chmod_chown(kernel, run_entry):
+    kernel.write_file("/tmp/perm", "x")
+
+    def main(ctx):
+        ctx.trap(NR["chmod"], "/tmp/perm", 0o751)
+        assert ctx.trap(NR["stat"], "/tmp/perm").st_mode & 0o777 == 0o751
+        ctx.trap(NR["chown"], "/tmp/perm", 42, 43)
+        record = ctx.trap(NR["stat"], "/tmp/perm")
+        assert (record.st_uid, record.st_gid) == (42, 43)
+        return 0
+
+    assert run_entry(main) == 0
+
+
+def test_chmod_requires_ownership(kernel, run_entry):
+    kernel.write_file("/tmp/notmine", "x")
+
+    def main(ctx):
+        ctx.trap(NR["setuid"], 100)
+        _expect(ctx, EPERM, NR["chmod"], "/tmp/notmine", 0o777)
+        _expect(ctx, EPERM, NR["chown"], "/tmp/notmine", 100, 100)
+        return 0
+
+    assert run_entry(main) == 0
+
+
+def test_access_uses_real_uid(kernel, run_entry):
+    kernel.write_file("/tmp/rootfile", "x")
+    kernel.lookup_host("/tmp/rootfile").mode = st.S_IFREG | 0o600
+
+    def main(ctx):
+        ctx.trap(NR["setuid"], 100)
+        _expect(ctx, EACCES, NR["access"], "/tmp/rootfile", 4)
+        ctx.trap(NR["access"], "/tmp/rootfile", 0)  # F_OK passes
+        return 0
+
+    assert run_entry(main) == 0
+
+
+def test_truncate_path(kernel, run_entry):
+    kernel.write_file("/tmp/tr", "0123456789")
+
+    def main(ctx):
+        ctx.trap(NR["truncate"], "/tmp/tr", 4)
+        assert ctx.trap(NR["stat"], "/tmp/tr").st_size == 4
+        _expect(ctx, EINVAL, NR["truncate"], "/tmp/tr", -1)
+        return 0
+
+    assert run_entry(main) == 0
+
+
+def test_utimes(kernel, run_entry):
+    kernel.write_file("/tmp/stamp", "x")
+
+    def main(ctx):
+        ctx.trap(NR["utimes"], "/tmp/stamp", 1_000_000, 2_000_000)
+        record = ctx.trap(NR["stat"], "/tmp/stamp")
+        assert record.st_atime == 1
+        assert record.st_mtime == 2
+        return 0
+
+    assert run_entry(main) == 0
+
+
+def test_chdir_affects_relative_paths(kernel, run_entry):
+    kernel.mkdir_p("/tmp/workdir")
+    kernel.write_file("/tmp/workdir/here", "found")
+
+    def main(ctx):
+        ctx.trap(NR["chdir"], "/tmp/workdir")
+        assert ctx.trap(NR["stat"], "here").st_size == 5
+        _expect(ctx, ENOTDIR, NR["chdir"], "/tmp/workdir/here")
+        return 0
+
+    assert run_entry(main) == 0
+
+
+def test_chroot_requires_root_and_confines(kernel, run_entry):
+    kernel.mkdir_p("/tmp/jail/inside")
+    kernel.write_file("/tmp/jail/inside/f", "jailed")
+
+    def main(ctx):
+        ctx.trap(NR["chroot"], "/tmp/jail")
+        assert ctx.trap(NR["stat"], "/inside/f").st_size == 6
+        _expect(ctx, ENOENT, NR["stat"], "/etc")
+        return 0
+
+    assert run_entry(main) == 0
+
+    def unprivileged(ctx):
+        ctx.trap(NR["setuid"], 100)
+        _expect(ctx, EPERM, NR["chroot"], "/tmp")
+        return 0
+
+    assert run_entry(unprivileged) == 0
+
+
+def test_mknod_fifo_by_user(kernel, run_entry):
+    def main(ctx):
+        ctx.trap(NR["setuid"], 100)
+        ctx.trap(NR["chdir"], "/tmp")
+        ctx.trap(NR["mknod"], "fifo1", st.S_IFIFO | 0o644, 0)
+        assert st.S_ISFIFO(ctx.trap(NR["stat"], "fifo1").st_mode)
+        _expect(ctx, EPERM, NR["mknod"], "dev1", st.S_IFCHR | 0o644, 1)
+        return 0
+
+    assert run_entry(main) == 0
+
+
+def test_mode_bits_masked_by_umask(kernel, run_entry):
+    def main(ctx):
+        ctx.trap(NR["mkdir"], "/tmp/dmode", 0o777)
+        assert ctx.trap(NR["stat"], "/tmp/dmode").st_mode & 0o777 == 0o755
+        return 0
+
+    assert run_entry(main) == 0

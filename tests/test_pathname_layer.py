@@ -1,0 +1,198 @@
+"""Tests for layer 2 (pathname side) and layer 3 (directories)."""
+
+import pytest
+
+from repro.kernel.errno import EISDIR, SyscallError
+from repro.kernel.ofile import O_CREAT, O_RDONLY, O_WRONLY, SEEK_SET
+from repro.kernel.proc import WEXITSTATUS
+from repro.kernel.sysent import number_of
+from repro.toolkit import run_under_agent
+from repro.toolkit.directory import Directory
+from repro.toolkit.pathnames import (
+    Pathname,
+    PathnameSet,
+    PathSymbolicSyscall,
+)
+
+NR = {n: number_of(n) for n in (
+    "open", "read", "write", "close", "stat", "unlink", "mkdir",
+    "getdirentries", "lseek", "rename", "chdir", "link", "symlink",
+    "readlink",
+)}
+
+
+class PrefixPathname(Pathname):
+    pass
+
+
+class PrefixPathnameSet(PathnameSet):
+    """Remaps /virtual/... to /tmp/real/... — a toy name space agent."""
+
+    def getpn(self, path, flags=0):
+        if path.startswith("/virtual/"):
+            return Pathname(self, "/tmp/real/" + path[len("/virtual/"):])
+        return Pathname(self, path)
+
+
+class PrefixAgent(PathSymbolicSyscall):
+    DESCRIPTOR_SET_CLASS = PrefixPathnameSet
+
+
+@pytest.fixture
+def remap_world(world):
+    world.mkdir_p("/tmp/real")
+    world.write_file("/tmp/real/data.txt", "relocated")
+    return world
+
+
+def test_getpn_is_the_central_remap_point(remap_world):
+    """Supplying a new getpn() changes the treatment of all pathnames."""
+
+    def main(ctx):
+        PrefixAgent().attach(ctx)
+        fd = ctx.trap(NR["open"], "/virtual/data.txt", O_RDONLY, 0)
+        assert ctx.trap(NR["read"], fd, 100) == b"relocated"
+        record = ctx.trap(NR["stat"], "/virtual/data.txt")
+        assert record.st_size == 9
+        return 0
+
+    assert WEXITSTATUS(remap_world.run_entry(main)) == 0
+
+
+def test_remap_covers_creation_and_removal(remap_world):
+    def main(ctx):
+        PrefixAgent().attach(ctx)
+        fd = ctx.trap(NR["open"], "/virtual/new.txt", O_WRONLY | O_CREAT, 0o644)
+        ctx.trap(NR["write"], fd, b"made")
+        ctx.trap(NR["close"], fd)
+        ctx.trap(NR["unlink"], "/virtual/data.txt")
+        return 0
+
+    remap_world.run_entry(main)
+    assert remap_world.read_file("/tmp/real/new.txt") == b"made"
+    assert not remap_world.lookup_host("/tmp/real").contains("data.txt")
+
+
+def test_two_pathname_calls_remap_both(remap_world):
+    def main(ctx):
+        PrefixAgent().attach(ctx)
+        ctx.trap(NR["rename"], "/virtual/data.txt", "/virtual/renamed.txt")
+        return 0
+
+    remap_world.run_entry(main)
+    real = remap_world.lookup_host("/tmp/real")
+    assert real.contains("renamed.txt")
+    assert not real.contains("data.txt")
+
+
+def test_pathname_agent_transparent(world):
+    status = run_under_agent(
+        world, PrefixAgent(), "/bin/sh",
+        ["sh", "-c", "echo hi > /tmp/x; cat /tmp/x"],
+    )
+    assert WEXITSTATUS(status) == 0
+    assert world.console.take_output().decode() == "hi\n"
+
+
+# -- directory layer --------------------------------------------------------
+
+class HidingDirectory(Directory):
+    """Filters entries beginning with '.' plus a configured name."""
+
+    HIDE = "secret"
+
+    def next_direntry(self, fd):
+        while True:
+            status = super().next_direntry(fd)
+            if not status:
+                return 0
+            if self.direntry.d_name == self.HIDE:
+                continue
+            return 1
+
+
+class DirAgentSet(PathnameSet):
+    DIRECTORY_CLASS = HidingDirectory
+
+
+class DirAgent(PathSymbolicSyscall):
+    DESCRIPTOR_SET_CLASS = DirAgentSet
+
+
+def test_directory_layer_wraps_opened_directories(world):
+    world.mkdir_p("/tmp/d")
+    world.write_file("/tmp/d/visible", "")
+    world.write_file("/tmp/d/secret", "")
+
+    def main(ctx):
+        agent = DirAgent()
+        agent.attach(ctx)
+        fd = ctx.trap(NR["open"], "/tmp/d", O_RDONLY, 0)
+        names = [e.d_name for e in ctx.trap(NR["getdirentries"], fd, 100)]
+        assert "visible" in names
+        assert "secret" not in names
+        # read() on a directory is refused by the layer
+        try:
+            ctx.trap(NR["read"], fd, 10)
+        except SyscallError as err:
+            assert err.errno == EISDIR
+        else:
+            return 1
+        return 0
+
+    assert WEXITSTATUS(world.run_entry(main)) == 0
+
+
+def test_directory_rewind(world):
+    world.mkdir_p("/tmp/rw")
+    world.write_file("/tmp/rw/one", "")
+
+    def main(ctx):
+        agent = DirAgent()
+        agent.attach(ctx)
+        fd = ctx.trap(NR["open"], "/tmp/rw", O_RDONLY, 0)
+        first = ctx.trap(NR["getdirentries"], fd, 100)
+        assert ctx.trap(NR["getdirentries"], fd, 100) == []
+        ctx.trap(NR["lseek"], fd, 0, SEEK_SET)
+        again = ctx.trap(NR["getdirentries"], fd, 100)
+        assert [e.d_name for e in again] == [e.d_name for e in first]
+        return 0
+
+    assert WEXITSTATUS(world.run_entry(main)) == 0
+
+
+def test_default_directory_iteration_matches_kernel(world):
+    """The default next_direntry must reproduce the kernel's listing."""
+    world.mkdir_p("/tmp/cmp")
+    for name in ("b", "a", "c"):
+        world.write_file("/tmp/cmp/" + name, "")
+
+    class PlainDirSet(PathnameSet):
+        DIRECTORY_CLASS = Directory
+
+    class PlainDirAgent(PathSymbolicSyscall):
+        DESCRIPTOR_SET_CLASS = PlainDirSet
+
+    def with_agent(ctx):
+        PlainDirAgent().attach(ctx)
+        fd = ctx.trap(NR["open"], "/tmp/cmp", O_RDONLY, 0)
+        return [e.d_name for e in ctx.trap(NR["getdirentries"], fd, 100)]
+
+    def bare(ctx):
+        fd = ctx.trap(NR["open"], "/tmp/cmp", O_RDONLY, 0)
+        return [e.d_name for e in ctx.trap(NR["getdirentries"], fd, 100)]
+
+    results = {}
+
+    def main(ctx):
+        results["bare"] = bare(ctx)
+        return 0
+
+    world.run_entry(main)
+
+    def main2(ctx):
+        results["agent"] = with_agent(ctx)
+        return 0
+
+    world.run_entry(main2)
+    assert results["agent"] == results["bare"]

@@ -1,0 +1,139 @@
+"""Tests for pipes: ordering, EOF, EPIPE/SIGPIPE, blocking."""
+
+import pytest
+
+from repro.kernel import signals as sig
+from repro.kernel.errno import EPIPE, SyscallError
+from repro.kernel.pipe import PIPE_BUF
+from repro.kernel.sysent import number_of
+
+NR_PIPE = number_of("pipe")
+NR_READ = number_of("read")
+NR_WRITE = number_of("write")
+NR_CLOSE = number_of("close")
+NR_FORK = number_of("fork")
+NR_WAIT = number_of("wait")
+NR_SIGVEC = number_of("sigvec")
+
+
+def test_pipe_fifo_order(run_entry):
+    def main(ctx):
+        rfd, wfd = ctx.trap(NR_PIPE)
+        ctx.trap(NR_WRITE, wfd, b"one ")
+        ctx.trap(NR_WRITE, wfd, b"two ")
+        ctx.trap(NR_WRITE, wfd, b"three")
+        assert ctx.trap(NR_READ, rfd, 4) == b"one "
+        assert ctx.trap(NR_READ, rfd, 100) == b"two three"
+        return 0
+
+    assert run_entry(main) == 0
+
+
+def test_pipe_eof_after_writers_close(run_entry):
+    def main(ctx):
+        rfd, wfd = ctx.trap(NR_PIPE)
+        ctx.trap(NR_WRITE, wfd, b"tail")
+        ctx.trap(NR_CLOSE, wfd)
+        assert ctx.trap(NR_READ, rfd, 100) == b"tail"
+        assert ctx.trap(NR_READ, rfd, 100) == b""  # EOF, not block
+        return 0
+
+    assert run_entry(main) == 0
+
+
+def test_write_with_no_readers_epipe_and_sigpipe(run_entry):
+    def main(ctx):
+        seen = []
+        ctx.trap(NR_SIGVEC, sig.SIGPIPE, lambda s: seen.append(s), 0)
+        rfd, wfd = ctx.trap(NR_PIPE)
+        ctx.trap(NR_CLOSE, rfd)
+        try:
+            ctx.trap(NR_WRITE, wfd, b"doomed")
+        except SyscallError as err:
+            assert err.errno == EPIPE
+        else:
+            raise AssertionError("expected EPIPE")
+        assert seen == [sig.SIGPIPE]
+        return 0
+
+    assert run_entry(main) == 0
+
+
+def test_pipe_blocks_until_child_writes(run_entry):
+    def main(ctx):
+        rfd, wfd = ctx.trap(NR_PIPE)
+
+        def child(cctx):
+            cctx.trap(NR_CLOSE, rfd)
+            cctx.trap(NR_WRITE, wfd, b"from child")
+            return 0
+
+        ctx.trap(NR_FORK, child)
+        ctx.trap(NR_CLOSE, wfd)
+        data = ctx.trap(NR_READ, rfd, 100)  # blocks until the child runs
+        assert data == b"from child"
+        assert ctx.trap(NR_READ, rfd, 100) == b""  # child's end closed
+        ctx.trap(NR_WAIT)
+        return 0
+
+    assert run_entry(main) == 0
+
+
+def test_large_transfer_through_bounded_buffer(run_entry):
+    payload = bytes(range(256)) * 64  # 16K, 4x the pipe buffer
+
+    def main(ctx):
+        rfd, wfd = ctx.trap(NR_PIPE)
+
+        def child(cctx):
+            cctx.trap(NR_CLOSE, rfd)
+            cctx.trap(NR_WRITE, wfd, payload)  # must block repeatedly
+            cctx.trap(NR_CLOSE, wfd)
+            return 0
+
+        ctx.trap(NR_FORK, child)
+        ctx.trap(NR_CLOSE, wfd)
+        received = b""
+        while True:
+            chunk = ctx.trap(NR_READ, rfd, 1000)
+            if not chunk:
+                break
+            received += chunk
+        assert received == payload
+        ctx.trap(NR_WAIT)
+        return 0
+
+    assert run_entry(main) == 0
+
+
+def test_pipe_capacity_constant():
+    assert PIPE_BUF == 4096
+
+
+def test_pipe_fstat_is_fifo(run_entry):
+    from repro.kernel import stat as st
+
+    NR_FSTAT = number_of("fstat")
+
+    def main(ctx):
+        rfd, wfd = ctx.trap(NR_PIPE)
+        record = ctx.trap(NR_FSTAT, rfd)
+        assert st.S_ISFIFO(record.st_mode)
+        return 0
+
+    assert run_entry(main) == 0
+
+
+def test_dup_keeps_pipe_alive(run_entry):
+    def main(ctx):
+        NR_DUP = number_of("dup")
+        rfd, wfd = ctx.trap(NR_PIPE)
+        wfd2 = ctx.trap(NR_DUP, wfd)
+        ctx.trap(NR_CLOSE, wfd)
+        ctx.trap(NR_WRITE, wfd2, b"still open")
+        ctx.trap(NR_CLOSE, wfd2)
+        assert ctx.trap(NR_READ, rfd, 100) == b"still open"
+        assert ctx.trap(NR_READ, rfd, 100) == b""
+        return 0
+
+    assert run_entry(main) == 0

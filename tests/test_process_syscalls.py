@@ -1,0 +1,290 @@
+"""Tests for process lifecycle: fork, wait, exit, identity, status codes."""
+
+import pytest
+
+from repro.kernel.errno import ECHILD, EPERM, SyscallError
+from repro.kernel.proc import (
+    WEXITSTATUS,
+    WIFEXITED,
+    WIFSIGNALED,
+    WTERMSIG,
+    wait_status_exited,
+    wait_status_signaled,
+)
+from repro.kernel.sysent import number_of
+
+NR = {n: number_of(n) for n in (
+    "fork", "wait", "exit", "getpid", "getppid", "getuid", "geteuid",
+    "getgid", "getegid", "setuid", "getgroups", "setgroups", "getpgrp",
+    "setpgrp", "umask", "brk", "getpagesize", "gethostname", "open",
+    "write", "read", "close", "getrusage",
+)}
+
+
+def test_wait_status_macros():
+    status = wait_status_exited(7)
+    assert WIFEXITED(status) and WEXITSTATUS(status) == 7
+    assert not WIFSIGNALED(status)
+    status = wait_status_signaled(9)
+    assert WIFSIGNALED(status) and WTERMSIG(status) == 9
+    assert not WIFEXITED(status)
+
+
+def test_fork_returns_child_pid_and_zero(run_entry):
+    def main(ctx):
+        pid, second = ctx.trap(NR["fork"], None)
+        assert second == 0
+        assert pid > ctx.trap(NR["getpid"])
+        ctx.trap(NR["wait"])
+        return 0
+
+    assert run_entry(main) == 0
+
+
+def test_wait_returns_pid_and_status(run_entry):
+    def main(ctx):
+        pid, _ = ctx.trap(NR["fork"], lambda c: 42)
+        wpid, status = ctx.trap(NR["wait"])
+        assert wpid == pid
+        assert WEXITSTATUS(status) == 42
+        return 0
+
+    assert run_entry(main) == 0
+
+
+def test_wait_no_children_echild(run_entry):
+    def main(ctx):
+        try:
+            ctx.trap(NR["wait"])
+        except SyscallError as err:
+            assert err.errno == ECHILD
+            return 0
+        return 1
+
+    assert run_entry(main) == 0
+
+
+def test_child_sees_parent_pid(run_entry):
+    def main(ctx):
+        me = ctx.trap(NR["getpid"])
+        result = []
+
+        def child(cctx):
+            result.append(cctx.trap(number_of("getppid")))
+            return 0
+
+        ctx.trap(NR["fork"], child)
+        ctx.trap(NR["wait"])
+        assert result == [me]
+        return 0
+
+    assert run_entry(main) == 0
+
+
+def test_multiple_children_all_reaped(run_entry):
+    def main(ctx):
+        pids = set()
+        for code in (1, 2, 3):
+            pid, _ = ctx.trap(NR["fork"], lambda c, code=code: code)
+            pids.add(pid)
+        codes = set()
+        for _ in range(3):
+            wpid, status = ctx.trap(NR["wait"])
+            assert wpid in pids
+            codes.add(WEXITSTATUS(status))
+        assert codes == {1, 2, 3}
+        return 0
+
+    assert run_entry(main) == 0
+
+
+def test_child_inherits_descriptors(kernel, run_entry):
+    def main(ctx):
+        fd = ctx.trap(NR["open"], "/tmp/shared", 0x0201 | 0x0200, 0o644)
+        ctx.trap(NR["write"], fd, b"parent")
+
+        def child(cctx):
+            cctx.trap(NR["write"], fd, b"+child")
+            return 0
+
+        ctx.trap(NR["fork"], child)
+        ctx.trap(NR["wait"])
+        ctx.trap(NR["write"], fd, b"+more")
+        return 0
+
+    run_entry(main)
+    assert kernel.read_file("/tmp/shared") == b"parent+child+more"
+
+
+def test_child_fd_close_does_not_affect_parent(kernel, run_entry):
+    kernel.write_file("/tmp/keep", "content")
+
+    def main(ctx):
+        fd = ctx.trap(NR["open"], "/tmp/keep", 0, 0)
+
+        def child(cctx):
+            cctx.trap(NR["close"], fd)
+            return 0
+
+        ctx.trap(NR["fork"], child)
+        ctx.trap(NR["wait"])
+        assert ctx.trap(NR["read"], fd, 100) == b"content"
+        return 0
+
+    assert run_entry(main) == 0
+
+
+def test_identity_calls(run_entry):
+    def main(ctx):
+        assert ctx.trap(NR["getuid"]) == 0
+        assert ctx.trap(NR["geteuid"]) == 0
+        assert ctx.trap(NR["getgid"]) == 0
+        assert ctx.trap(NR["getegid"]) == 0
+        assert ctx.trap(NR["getgroups"]) == [0]
+        assert ctx.trap(NR["getpgrp"]) == ctx.trap(NR["getpid"])
+        return 0
+
+    assert run_entry(main) == 0
+
+
+def test_setuid_drops_privilege_one_way(run_entry):
+    def main(ctx):
+        ctx.trap(NR["setuid"], 100)
+        assert ctx.trap(NR["getuid"]) == 100
+        try:
+            ctx.trap(NR["setuid"], 0)
+        except SyscallError as err:
+            assert err.errno == EPERM
+            return 0
+        return 1
+
+    assert run_entry(main) == 0
+
+
+def test_setgroups_requires_root(run_entry):
+    def main(ctx):
+        ctx.trap(NR["setgroups"], [1, 2, 3])
+        assert ctx.trap(NR["getgroups"]) == [1, 2, 3]
+        return 0
+
+    assert run_entry(main) == 0
+
+    def unprivileged(ctx):
+        try:
+            ctx.trap(NR["setgroups"], [1])
+        except SyscallError as err:
+            assert err.errno == EPERM
+            return 0
+        return 1
+
+    assert run_entry(unprivileged, uid=50) == 0
+
+
+def test_umask_returns_previous(run_entry):
+    def main(ctx):
+        old = ctx.trap(NR["umask"], 0o027)
+        assert old == 0o022
+        assert ctx.trap(NR["umask"], 0o022) == 0o027
+        return 0
+
+    assert run_entry(main) == 0
+
+
+def test_umask_applies_to_creation(kernel, run_entry):
+    def main(ctx):
+        ctx.trap(NR["umask"], 0o077)
+        fd = ctx.trap(NR["open"], "/tmp/masked", 0x0201 | 0x0200, 0o666)
+        ctx.trap(NR["close"], fd)
+        return 0
+
+    run_entry(main)
+    assert kernel.lookup_host("/tmp/masked").mode & 0o777 == 0o600
+
+
+def test_setpgrp(run_entry):
+    def main(ctx):
+        ctx.trap(NR["setpgrp"], 0, 77)
+        assert ctx.trap(NR["getpgrp"]) == 77
+        return 0
+
+    assert run_entry(main) == 0
+
+
+def test_child_inherits_pgrp(run_entry):
+    def main(ctx):
+        ctx.trap(NR["setpgrp"], 0, 55)
+        seen = []
+
+        def child(cctx):
+            seen.append(cctx.trap(NR["getpgrp"]))
+            return 0
+
+        ctx.trap(NR["fork"], child)
+        ctx.trap(NR["wait"])
+        assert seen == [55]
+        return 0
+
+    assert run_entry(main) == 0
+
+
+def test_misc_info_calls(run_entry):
+    def main(ctx):
+        assert ctx.trap(NR["getpagesize"]) == 4096
+        assert "repro" in ctx.trap(NR["gethostname"])
+        ctx.trap(NR["brk"], 0x20000)
+        return 0
+
+    assert run_entry(main) == 0
+
+
+def test_rusage_counts_syscalls(run_entry):
+    def main(ctx):
+        before = ctx.trap(NR["getrusage"], 0).ru_nsyscalls
+        for _ in range(10):
+            ctx.trap(NR["getpid"])
+        after = ctx.trap(NR["getrusage"], 0).ru_nsyscalls
+        assert after - before >= 10
+        return 0
+
+    assert run_entry(main) == 0
+
+
+def test_child_rusage_accumulated(run_entry):
+    def main(ctx):
+        def child(cctx):
+            for _ in range(25):
+                cctx.trap(NR["getpid"])
+            return 0
+
+        ctx.trap(NR["fork"], child)
+        ctx.trap(NR["wait"])
+        children = ctx.trap(NR["getrusage"], -1)
+        assert children.ru_nsyscalls >= 25
+        return 0
+
+    assert run_entry(main) == 0
+
+
+def test_orphans_reparented_to_init(kernel):
+    from repro.kernel.sysent import number_of
+
+    def main(ctx):
+        def middle(mctx):
+            # Grandchild outlives its parent.
+            def grandchild(gctx):
+                gctx.trap(number_of("select"), 100)
+                return 0
+
+            mctx.trap(NR["fork"], grandchild)
+            return 0  # middle exits without waiting
+
+        ctx.trap(NR["fork"], middle)
+        ctx.trap(NR["wait"])  # reap middle
+        # The grandchild is now init's (ours); we can reap it too.
+        wpid, _ = ctx.trap(NR["wait"])
+        assert wpid > 0
+        return 0
+
+    status = kernel.run_entry(main)
+    assert WEXITSTATUS(status) == 0
+    assert kernel.process_count() == 0

@@ -1,0 +1,131 @@
+"""Stateful property test: the descriptor table against a model.
+
+A hypothesis rule-based machine drives open/close/dup/dup2/read/write
+against one simulated process and mirrors every operation in a plain
+Python model (fd -> [shared offset cell, file name]), then checks that
+reads observe identical bytes and that fd allocation follows the
+lowest-free rule.
+"""
+
+from hypothesis import HealthCheck, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.kernel import Kernel
+from repro.kernel.ofile import O_CREAT, O_RDWR, SEEK_SET
+from repro.kernel.sysent import number_of
+from repro.kernel.trap import UserContext
+
+NR = {n: number_of(n) for n in (
+    "open", "close", "read", "write", "lseek", "dup", "dup2",
+)}
+
+FILES = ("alpha", "beta")
+
+
+class FdTableMachine(RuleBasedStateMachine):
+    @initialize()
+    def boot(self):
+        self.kernel = Kernel()
+        for name in FILES:
+            self.kernel.write_file("/tmp/" + name, name + "-contents")
+        proc = self.kernel._create_initial_process()
+        self.ctx = UserContext(self.kernel, proc)
+        # model: fd -> entry; entry = {"offset": int, "name": str}
+        # entries are shared between dup'd fds (same dict object)
+        self.model = {}
+        self.contents = {
+            name: bytearray((name + "-contents").encode()) for name in FILES
+        }
+
+    def _free_fds(self):
+        used = set(self.model) | {0, 1, 2}
+        return [fd for fd in range(64) if fd not in used]
+
+    @rule(name=st.sampled_from(FILES))
+    def open_file(self, name):
+        expected_fd = min(self._free_fds())
+        fd = self.ctx.trap(NR["open"], "/tmp/" + name, O_RDWR, 0)
+        assert fd == expected_fd  # lowest-free allocation
+        self.model[fd] = {"offset": 0, "name": name}
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def close_fd(self, data):
+        fd = data.draw(st.sampled_from(sorted(self.model)))
+        self.ctx.trap(NR["close"], fd)
+        del self.model[fd]
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def dup_fd(self, data):
+        fd = data.draw(st.sampled_from(sorted(self.model)))
+        expected_fd = min(self._free_fds())
+        new_fd = self.ctx.trap(NR["dup"], fd)
+        assert new_fd == expected_fd
+        self.model[new_fd] = self.model[fd]  # shared entry
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data(), target_fd=st.integers(min_value=3, max_value=12))
+    def dup2_fd(self, data, target_fd):
+        fd = data.draw(st.sampled_from(sorted(self.model)))
+        if target_fd in (0, 1, 2):
+            return
+        self.ctx.trap(NR["dup2"], fd, target_fd)
+        if target_fd != fd:
+            self.model[target_fd] = self.model[fd]
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data(), count=st.integers(min_value=0, max_value=30))
+    def read_fd(self, data, count):
+        fd = data.draw(st.sampled_from(sorted(self.model)))
+        entry = self.model[fd]
+        got = self.ctx.trap(NR["read"], fd, count)
+        blob = self.contents[entry["name"]]
+        expected = bytes(blob[entry["offset"]: entry["offset"] + count])
+        assert got == expected
+        entry["offset"] += len(got)
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data(), payload=st.binary(min_size=1, max_size=20))
+    def write_fd(self, data, payload):
+        fd = data.draw(st.sampled_from(sorted(self.model)))
+        entry = self.model[fd]
+        wrote = self.ctx.trap(NR["write"], fd, payload)
+        assert wrote == len(payload)
+        blob = self.contents[entry["name"]]
+        offset = entry["offset"]
+        if offset > len(blob):
+            blob.extend(b"\0" * (offset - len(blob)))
+        blob[offset: offset + len(payload)] = payload
+        entry["offset"] += len(payload)
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data(), offset=st.integers(min_value=0, max_value=40))
+    def seek_fd(self, data, offset):
+        fd = data.draw(st.sampled_from(sorted(self.model)))
+        self.ctx.trap(NR["lseek"], fd, offset, SEEK_SET)
+        self.model[fd]["offset"] = offset
+
+    @invariant()
+    def files_match_model(self):
+        if not hasattr(self, "kernel"):
+            return
+        for name, blob in self.contents.items():
+            assert self.kernel.read_file("/tmp/" + name) == bytes(blob)
+
+
+FdTableMachine.TestCase.settings = settings(
+    max_examples=25,
+    stateful_step_count=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+TestFdTable = FdTableMachine.TestCase

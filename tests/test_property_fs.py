@@ -1,0 +1,138 @@
+"""Property-based tests: the filesystem against simple reference models."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.kernel import Kernel
+from repro.kernel.ofile import (
+    O_CREAT,
+    O_RDWR,
+    SEEK_SET,
+)
+from repro.kernel.sysent import number_of
+
+NR = {n: number_of(n) for n in (
+    "open", "read", "write", "lseek", "close", "ftruncate", "mkdir",
+    "unlink", "stat", "rename", "getdirentries",
+)}
+
+_settings = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+write_ops = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=300),  # offset
+        st.binary(min_size=0, max_size=120),      # data
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+@given(ops=write_ops)
+@_settings
+def test_writes_match_bytearray_model(ops):
+    """Random seek+write sequences equal the obvious bytearray model."""
+    kernel = Kernel()
+    model = bytearray()
+    result = {}
+
+    def main(ctx):
+        fd = ctx.trap(NR["open"], "/tmp/model", O_RDWR | O_CREAT, 0o644)
+        for offset, data in ops:
+            ctx.trap(NR["lseek"], fd, offset, SEEK_SET)
+            ctx.trap(NR["write"], fd, data)
+            if offset > len(model):
+                model.extend(b"\0" * (offset - len(model)))
+            model[offset : offset + len(data)] = data
+        ctx.trap(NR["lseek"], fd, 0, SEEK_SET)
+        result["data"] = ctx.trap(NR["read"], fd, 10_000)
+        result["size"] = ctx.trap(NR["stat"], "/tmp/model").st_size
+        return 0
+
+    kernel.run_entry(main)
+    assert result["data"] == bytes(model)
+    assert result["size"] == len(model)
+
+
+@given(
+    truncations=st.lists(st.integers(min_value=0, max_value=400), min_size=1,
+                         max_size=8),
+    initial=st.binary(min_size=0, max_size=300),
+)
+@_settings
+def test_truncate_matches_model(truncations, initial):
+    kernel = Kernel()
+    model = bytearray(initial)
+    result = {}
+
+    def main(ctx):
+        fd = ctx.trap(NR["open"], "/tmp/t", O_RDWR | O_CREAT, 0o644)
+        ctx.trap(NR["write"], fd, initial)
+        for length in truncations:
+            ctx.trap(NR["ftruncate"], fd, length)
+            if length < len(model):
+                del model[length:]
+            else:
+                model.extend(b"\0" * (length - len(model)))
+        ctx.trap(NR["lseek"], fd, 0, SEEK_SET)
+        result["data"] = ctx.trap(NR["read"], fd, 10_000)
+        return 0
+
+    kernel.run_entry(main)
+    assert result["data"] == bytes(model)
+
+
+_names = st.text(
+    alphabet=st.sampled_from("abcdefg"), min_size=1, max_size=4
+)
+
+
+@given(names=st.lists(_names, min_size=1, max_size=10, unique=True))
+@_settings
+def test_directory_listing_matches_created_names(names):
+    kernel = Kernel()
+    result = {}
+
+    def main(ctx):
+        ctx.trap(NR["mkdir"], "/tmp/d", 0o755)
+        for name in names:
+            fd = ctx.trap(NR["open"], "/tmp/d/" + name, O_CREAT, 0o644)
+            ctx.trap(NR["close"], fd)
+        fd = ctx.trap(NR["open"], "/tmp/d", 0, 0)
+        entries = ctx.trap(NR["getdirentries"], fd, 1000)
+        result["names"] = [
+            e.d_name for e in entries if e.d_name not in (".", "..")
+        ]
+        return 0
+
+    kernel.run_entry(main)
+    assert sorted(result["names"]) == sorted(names)
+
+
+@given(
+    names=st.lists(_names, min_size=2, max_size=6, unique=True),
+    data=st.data(),
+)
+@_settings
+def test_rename_preserves_contents(names, data):
+    kernel = Kernel()
+    source = names[0]
+    target = names[1]
+    payload = data.draw(st.binary(min_size=0, max_size=100))
+    result = {}
+
+    def main(ctx):
+        fd = ctx.trap(NR["open"], "/tmp/" + source, O_RDWR | O_CREAT, 0o644)
+        ctx.trap(NR["write"], fd, payload)
+        ctx.trap(NR["close"], fd)
+        ctx.trap(NR["rename"], "/tmp/" + source, "/tmp/" + target)
+        fd = ctx.trap(NR["open"], "/tmp/" + target, 0, 0)
+        result["data"] = ctx.trap(NR["read"], fd, 10_000)
+        return 0
+
+    kernel.run_entry(main)
+    assert result["data"] == payload

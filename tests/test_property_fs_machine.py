@@ -1,0 +1,200 @@
+"""Stateful property test: name-space operations against a model tree.
+
+A hypothesis rule machine drives mkdir/rmdir/create/unlink/rename on
+the simulated filesystem and mirrors each operation in a nested-dict
+model; after every step the two views of the tree must agree, including
+which operations fail and why.
+"""
+
+from hypothesis import HealthCheck, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.kernel import Kernel
+from repro.kernel.cred import Cred
+from repro.kernel.errno import SyscallError
+from repro.kernel.namei import lookup
+from repro.kernel.sysent import number_of
+from repro.kernel.trap import UserContext
+
+NR = {n: number_of(n) for n in (
+    "mkdir", "rmdir", "open", "close", "unlink", "rename",
+    "getdirentries", "stat",
+)}
+
+O_CREAT = 0x0200
+O_WRONLY = 1
+
+NAMES = ("n1", "n2", "n3")
+DIRS = ("", "d1", "d1/d2")  # candidate parent directories under /w
+
+
+class FsMachine(RuleBasedStateMachine):
+    @initialize()
+    def boot(self):
+        self.kernel = Kernel()
+        self.kernel.mkdir_p("/w")
+        proc = self.kernel._create_initial_process()
+        self.ctx = UserContext(self.kernel, proc)
+        # model: nested dicts for directories, None for files
+        self.model = {}
+
+    # -- model helpers -----------------------------------------------
+
+    def _model_dir(self, rel):
+        node = self.model
+        if rel:
+            for part in rel.split("/"):
+                node = node.get(part)
+                if not isinstance(node, dict):
+                    return None
+        return node
+
+    def _path(self, rel, name):
+        base = "/w/" + rel if rel else "/w"
+        return base + "/" + name
+
+    # -- rules ---------------------------------------------------------------
+
+    @rule(rel=st.sampled_from(DIRS), name=st.sampled_from(NAMES + ("d2",)))
+    def mkdir(self, rel, name):
+        parent = self._model_dir(rel)
+        try:
+            self.ctx.trap(NR["mkdir"], self._path(rel, name), 0o755)
+            real_ok = True
+        except SyscallError:
+            real_ok = False
+        model_ok = parent is not None and name not in parent
+        assert real_ok == model_ok, ("mkdir", rel, name)
+        if model_ok:
+            parent[name] = {}
+
+    @rule(rel=st.sampled_from(DIRS), name=st.sampled_from(NAMES))
+    def create(self, rel, name):
+        parent = self._model_dir(rel)
+        try:
+            fd = self.ctx.trap(
+                NR["open"], self._path(rel, name), O_WRONLY | O_CREAT, 0o644
+            )
+            self.ctx.trap(NR["close"], fd)
+            real_ok = True
+        except SyscallError:
+            real_ok = False
+        model_ok = parent is not None and not isinstance(
+            parent.get(name), dict
+        )
+        assert real_ok == model_ok, ("create", rel, name)
+        if model_ok:
+            parent[name] = None
+
+    @rule(rel=st.sampled_from(DIRS), name=st.sampled_from(NAMES + ("d2",)))
+    def unlink(self, rel, name):
+        parent = self._model_dir(rel)
+        try:
+            self.ctx.trap(NR["unlink"], self._path(rel, name))
+            real_ok = True
+        except SyscallError:
+            real_ok = False
+        model_ok = parent is not None and name in parent and parent[name] is None
+        assert real_ok == model_ok, ("unlink", rel, name)
+        if model_ok:
+            del parent[name]
+
+    @rule(rel=st.sampled_from(DIRS), name=st.sampled_from(NAMES + ("d2",)))
+    def rmdir(self, rel, name):
+        parent = self._model_dir(rel)
+        try:
+            self.ctx.trap(NR["rmdir"], self._path(rel, name))
+            real_ok = True
+        except SyscallError:
+            real_ok = False
+        entry = parent.get(name) if parent is not None else None
+        model_ok = isinstance(entry, dict) and not entry
+        assert real_ok == model_ok, ("rmdir", rel, name)
+        if model_ok:
+            del parent[name]
+
+    @rule(
+        src_rel=st.sampled_from(DIRS),
+        src_name=st.sampled_from(NAMES),
+        dst_rel=st.sampled_from(DIRS),
+        dst_name=st.sampled_from(NAMES),
+    )
+    def rename_file(self, src_rel, src_name, dst_rel, dst_name):
+        src_parent = self._model_dir(src_rel)
+        dst_parent = self._model_dir(dst_rel)
+        if src_parent is None or src_parent.get(src_name, "?") is not None:
+            # Only plain-file renames are modelled here; directory
+            # renames (with their subtree and emptiness rules) are
+            # covered by the unit tests.
+            return
+        try:
+            self.ctx.trap(
+                NR["rename"],
+                self._path(src_rel, src_name),
+                self._path(dst_rel, dst_name),
+            )
+            real_ok = True
+        except SyscallError:
+            real_ok = False
+        source_is_file = (
+            src_parent is not None and src_parent.get(src_name, "?") is None
+        )
+        target = dst_parent.get(dst_name, "missing") if dst_parent is not None else "?"
+        model_ok = (
+            source_is_file
+            and dst_parent is not None
+            and not isinstance(target, dict)
+        )
+        # Renaming a file onto itself succeeds and changes nothing.
+        same = src_rel == dst_rel and src_name == dst_name
+        assert real_ok == model_ok, ("rename", src_rel, src_name, dst_rel, dst_name)
+        if model_ok and not same:
+            del src_parent[src_name]
+            dst_parent[dst_name] = None
+
+    # -- the big invariant ------------------------------------------------------
+
+    @invariant()
+    def trees_agree(self):
+        if not hasattr(self, "kernel"):
+            return
+
+        def walk(path, model_node):
+            real = lookup(_Ctx(self.kernel), path)
+            names = sorted(
+                name for name in real.entries if name not in (".", "..")
+            ) if real.is_dir() else None
+            assert names == sorted(model_node), (path, names, model_node)
+            for name, child in model_node.items():
+                child_path = path + "/" + name
+                node = lookup(_Ctx(self.kernel), child_path)
+                if isinstance(child, dict):
+                    assert node.is_dir(), child_path
+                    walk(child_path, child)
+                else:
+                    assert node.is_reg(), child_path
+
+        walk("/w", self.model)
+
+
+class _Ctx:
+    def __init__(self, kernel):
+        self.cwd = kernel.rootfs.root
+        self.root_dir = kernel.rootfs.root
+        self.cred = Cred(0, 0)
+
+
+FsMachine.TestCase.settings = settings(
+    max_examples=30,
+    stateful_step_count=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+TestFsMachine = FsMachine.TestCase

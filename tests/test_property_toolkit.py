@@ -1,0 +1,92 @@
+"""Property-based tests on toolkit and agent invariants."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.agents.transform import _keystream_xor
+from repro.agents.union_dirs import normalize
+from repro.kernel.sysent import TWO_REGISTER_CALLS, bsd_numbers
+from repro.toolkit.numeric import marshal_result, unmarshal_result
+from repro.workloads.textgen import Lcg, paragraph, sentence
+
+_settings = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+_path_segment = st.sampled_from(["a", "bb", "ccc", ".", "..", ""])
+
+
+@given(segments=st.lists(_path_segment, max_size=8),
+       absolute=st.booleans())
+@_settings
+def test_normalize_is_idempotent_and_absolute(segments, absolute):
+    path = ("/" if absolute else "") + "/".join(segments)
+    if not path:
+        path = "."
+    normalized = normalize(path)
+    assert normalized.startswith("/")
+    assert normalize(normalized) == normalized
+    assert "//" not in normalized
+    assert ".." not in normalized.split("/")
+    assert "." not in [p for p in normalized.split("/") if p]
+
+
+@given(segments=st.lists(st.sampled_from(["x", "y", "z"]), min_size=1,
+                         max_size=5))
+@_settings
+def test_normalize_relative_equals_join(segments):
+    cwd = "/base/dir"
+    path = "/".join(segments)
+    assert normalize(path, cwd) == cwd + "/" + path
+
+
+@given(number=st.sampled_from(sorted(bsd_numbers())),
+       value=st.one_of(st.integers(), st.binary(max_size=20), st.text(max_size=10)))
+@_settings
+def test_marshal_unmarshal_roundtrip_single(number, value):
+    if number in TWO_REGISTER_CALLS:
+        return
+    rv = [0, 0]
+    marshal_result(number, value, rv)
+    assert unmarshal_result(number, rv) == value
+
+
+@given(number=st.sampled_from(sorted(TWO_REGISTER_CALLS)),
+       pair=st.tuples(st.integers(), st.integers()))
+@_settings
+def test_marshal_unmarshal_roundtrip_pair(number, pair):
+    rv = [0, 0]
+    marshal_result(number, pair, rv)
+    assert unmarshal_result(number, rv) == pair
+
+
+@given(data=st.binary(max_size=500),
+       key=st.text(min_size=1, max_size=10))
+@_settings
+def test_keystream_is_an_involution(data, key):
+    assert _keystream_xor(_keystream_xor(data, key), key) == data
+
+
+@given(data=st.binary(min_size=1, max_size=500),
+       key=st.text(min_size=1, max_size=10))
+@_settings
+def test_keystream_preserves_length(data, key):
+    assert len(_keystream_xor(data, key)) == len(data)
+
+
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+@_settings
+def test_textgen_deterministic(seed):
+    assert sentence(Lcg(seed)) == sentence(Lcg(seed))
+    assert paragraph(Lcg(seed)) == paragraph(Lcg(seed))
+
+
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+@_settings
+def test_textgen_sentences_well_formed(seed):
+    text = sentence(Lcg(seed))
+    assert text.endswith(".")
+    assert text[0].isupper()
+    assert 2 <= len(text.split()) <= 20

@@ -1,0 +1,133 @@
+"""Property-based tests for the transactional agent.
+
+Two equivalences over random operation sequences:
+
+* committed transaction == running the same operations directly;
+* aborted transaction   == not running them at all.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.agents.txn import TxnAgent
+from repro.kernel.errno import SyscallError
+from repro.kernel.proc import WEXITSTATUS
+from repro.programs.libc import Sys
+from repro.toolkit import run_under_agent
+from repro.workloads import boot_world
+
+_settings = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+_names = st.sampled_from(["a", "b", "c", "d"])
+
+_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("write"), _names, st.binary(min_size=1, max_size=30)),
+        st.tuples(st.just("append"), _names, st.binary(min_size=1, max_size=20)),
+        st.tuples(st.just("unlink"), _names, st.just(b"")),
+    ),
+    min_size=1,
+    max_size=10,
+)
+
+BASE = "/home/mbj/txnprop"
+
+
+def _apply(sys, ops):
+    for op, name, payload in ops:
+        path = BASE + "/" + name
+        try:
+            if op == "write":
+                sys.write_whole(path, payload)
+            elif op == "append":
+                sys.append_whole(path, payload)
+            elif op == "unlink":
+                sys.unlink(path)
+        except SyscallError:
+            pass  # unlink of a missing name etc.
+    return 0
+
+
+def _snapshot(kernel):
+    state = {}
+    try:
+        node = kernel.lookup_host(BASE)
+    except SyscallError:
+        return state
+    for name in node.entries:
+        if name in (".", ".."):
+            continue
+        state[name] = kernel.read_file(BASE + "/" + name)
+    return state
+
+
+def _seed_world():
+    kernel = boot_world()
+    kernel.mkdir_p(BASE)
+    kernel.write_file(BASE + "/a", "initial-a")
+    kernel.write_file(BASE + "/b", "initial-b")
+    return kernel
+
+
+@given(ops=_ops)
+@_settings
+def test_commit_equals_direct_execution(ops):
+    direct = _seed_world()
+    direct.run_entry(lambda ctx: _apply(Sys(ctx), ops))
+    expected = _snapshot(direct)
+
+    txn = _seed_world()
+    agent = TxnAgent(scratch_dir="/tmp/txnprop", outcome="commit")
+
+    def loader(ctx):
+        agent.attach(ctx)
+        return _apply(Sys(ctx), ops)
+
+    status = txn.run_entry(loader)
+    assert WEXITSTATUS(status) == 0
+    assert _snapshot(txn) == expected
+
+
+@given(ops=_ops)
+@_settings
+def test_abort_equals_no_execution(ops):
+    kernel = _seed_world()
+    before = _snapshot(kernel)
+    agent = TxnAgent(scratch_dir="/tmp/txnprop", outcome="abort")
+
+    def loader(ctx):
+        agent.attach(ctx)
+        return _apply(Sys(ctx), ops)
+
+    status = kernel.run_entry(loader)
+    assert WEXITSTATUS(status) == 0
+    assert _snapshot(kernel) == before
+
+
+@given(ops=_ops)
+@_settings
+def test_client_view_inside_txn_matches_direct(ops):
+    """While the transaction runs, the client's view of the directory
+    matches what direct execution would have produced."""
+    direct = _seed_world()
+    direct.run_entry(lambda ctx: _apply(Sys(ctx), ops))
+    expected = _snapshot(direct)
+
+    txn = _seed_world()
+    agent = TxnAgent(scratch_dir="/tmp/txnprop", outcome="abort")
+    observed = {}
+
+    def loader(ctx):
+        agent.attach(ctx)
+        sys = Sys(ctx)
+        _apply(sys, ops)
+        for name in sys.listdir(BASE):
+            observed[name] = sys.read_whole(BASE + "/" + name)
+        return 0
+
+    txn.run_entry(loader)
+    assert observed == expected

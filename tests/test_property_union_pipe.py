@@ -1,0 +1,123 @@
+"""Property-based tests: union listing semantics and pipe byte streams."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.kernel import Kernel
+from repro.kernel.proc import WEXITSTATUS
+from repro.kernel.sysent import number_of
+from repro.toolkit import run_under_agent
+
+NR = {n: number_of(n) for n in (
+    "open", "read", "write", "close", "pipe", "fork", "wait",
+    "getdirentries", "mkdir",
+)}
+
+_settings = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+_names = st.sets(
+    st.text(alphabet=st.sampled_from("abcdef"), min_size=1, max_size=3),
+    max_size=6,
+)
+
+
+@given(member1=_names, member2=_names, member3=_names)
+@_settings
+def test_union_listing_is_ordered_set_union(member1, member2, member3):
+    """The union directory's listing equals first-wins set union."""
+    from repro.agents.union_dirs import UnionAgent
+
+    kernel = Kernel()
+    members = [sorted(member1), sorted(member2), sorted(member3)]
+    for index, names in enumerate(members, 1):
+        kernel.mkdir_p("/m%d" % index)
+        for name in names:
+            kernel.write_file("/m%d/%s" % (index, name), "m%d" % index)
+    kernel.mkdir_p("/u")
+
+    agent = UnionAgent()
+    agent.pset.add_union("/u", ["/m1", "/m2", "/m3"])
+    listing = {}
+
+    def main(ctx):
+        fd = ctx.trap(NR["open"], "/u", 0, 0)
+        entries = ctx.trap(NR["getdirentries"], fd, 1000)
+        listing["names"] = [
+            e.d_name for e in entries if e.d_name not in (".", "..")
+        ]
+        return 0
+
+    def loader(ctx):
+        agent.attach(ctx)
+        return main(ctx)
+
+    kernel.run_entry(loader)
+    expected = set(member1) | set(member2) | set(member3)
+    assert sorted(listing["names"]) == sorted(expected)
+    assert len(listing["names"]) == len(set(listing["names"]))  # no dups
+
+
+@given(member1=_names, member2=_names)
+@_settings
+def test_union_lookup_prefers_first_member(member1, member2):
+    from repro.agents.union_dirs import UnionAgent
+
+    kernel = Kernel()
+    for index, names in enumerate((member1, member2), 1):
+        kernel.mkdir_p("/m%d" % index)
+        for name in names:
+            kernel.write_file("/m%d/%s" % (index, name), "m%d" % index)
+    kernel.mkdir_p("/u")
+    agent = UnionAgent()
+    agent.pset.add_union("/u", ["/m1", "/m2"])
+    contents = {}
+
+    def loader(ctx):
+        agent.attach(ctx)
+        for name in member1 | member2:
+            fd = ctx.trap(NR["open"], "/u/" + name, 0, 0)
+            contents[name] = ctx.trap(NR["read"], fd, 10)
+            ctx.trap(NR["close"], fd)
+        return 0
+
+    kernel.run_entry(loader)
+    for name in member1 | member2:
+        expected = b"m1" if name in member1 else b"m2"
+        assert contents[name] == expected
+
+
+@given(chunks=st.lists(st.binary(min_size=0, max_size=2000), min_size=1,
+                       max_size=10))
+@_settings
+def test_pipe_preserves_byte_stream(chunks):
+    """Whatever chunking the writer uses, the reader sees the same bytes."""
+    kernel = Kernel()
+    received = []
+
+    def main(ctx):
+        rfd, wfd = ctx.trap(NR["pipe"])
+
+        def child(cctx):
+            cctx.trap(NR["close"], rfd)
+            for chunk in chunks:
+                cctx.trap(NR["write"], wfd, chunk)
+            cctx.trap(NR["close"], wfd)
+            return 0
+
+        ctx.trap(NR["fork"], child)
+        ctx.trap(NR["close"], wfd)
+        while True:
+            data = ctx.trap(NR["read"], rfd, 777)
+            if not data:
+                break
+            received.append(data)
+        ctx.trap(NR["wait"])
+        return 0
+
+    status = kernel.run_entry(main)
+    assert WEXITSTATUS(status) == 0
+    assert b"".join(received) == b"".join(chunks)

@@ -1,0 +1,104 @@
+"""Tests for scatter/gather I/O (readv/writev)."""
+
+import pytest
+
+from repro.kernel.errno import EINVAL, SyscallError
+from repro.kernel.proc import WEXITSTATUS
+from repro.programs.libc import O_CREAT, O_RDONLY, O_RDWR, Sys
+from repro.toolkit import run_under_agent
+
+
+def _with_sys(kernel, body):
+    def main(ctx):
+        return body(Sys(ctx))
+
+    return WEXITSTATUS(kernel.run_entry(main))
+
+
+def test_writev_gathers(world):
+    def body(sys):
+        fd = sys.open("/tmp/gather", O_RDWR | O_CREAT, 0o644)
+        total = sys.writev(fd, [b"one ", b"two ", b"three"])
+        assert total == 13
+        return 0
+
+    assert _with_sys(world, body) == 0
+    assert world.read_file("/tmp/gather") == b"one two three"
+
+
+def test_readv_scatters(world):
+    world.write_file("/tmp/scatter", "abcdefghij")
+
+    def body(sys):
+        fd = sys.open("/tmp/scatter", O_RDONLY)
+        parts = sys.readv(fd, [3, 4, 10])
+        assert parts == [b"abc", b"defg", b"hij"]
+        return 0
+
+    assert _with_sys(world, body) == 0
+
+
+def test_readv_stops_at_eof(world):
+    world.write_file("/tmp/short", "ab")
+
+    def body(sys):
+        fd = sys.open("/tmp/short", O_RDONLY)
+        parts = sys.readv(fd, [1, 5, 5])
+        assert parts == [b"a", b"b"]  # second buffer short; third skipped
+        return 0
+
+    assert _with_sys(world, body) == 0
+
+
+def test_vector_calls_share_offset(world):
+    world.write_file("/tmp/off", "0123456789")
+
+    def body(sys):
+        fd = sys.open("/tmp/off", O_RDONLY)
+        sys.readv(fd, [2, 2])
+        assert sys.read(fd, 2) == b"45"  # offset advanced by the vector
+        return 0
+
+    assert _with_sys(world, body) == 0
+
+
+def test_empty_iovec_rejected(world):
+    world.write_file("/tmp/e", "x")
+
+    def body(sys):
+        fd = sys.open("/tmp/e", O_RDONLY)
+        for bad in ([], "nope"):
+            try:
+                sys.readv(fd, bad)
+                return 1
+            except SyscallError as err:
+                assert err.errno == EINVAL
+        return 0
+
+    assert _with_sys(world, body) == 0
+
+
+def test_vector_io_through_transform_agent(world):
+    """The descriptor layer builds readv/writev on read/write, so agents
+    that change read/write behaviour cover the vector forms for free."""
+    from repro.agents.transform import CompressAgent
+
+    world.mkdir_p("/zip")
+    agent = CompressAgent("/zip")
+
+    def loader(ctx):
+        agent.attach(ctx)
+        sys = Sys(ctx)
+        fd = sys.open("/zip/v", O_RDWR | O_CREAT, 0o644)
+        sys.writev(fd, [b"compressed ", b"vector ", b"write"])
+        sys.close(fd)
+        fd = sys.open("/zip/v", O_RDONLY)
+        parts = sys.readv(fd, [11, 7, 5])
+        assert b"".join(parts) == b"compressed vector write"
+        sys.close(fd)
+        return 0
+
+    status = world.run_entry(loader)
+    assert WEXITSTATUS(status) == 0
+    stored = world.read_file("/zip/v")
+    assert stored.startswith(b"#xform1\n")  # stored compressed

@@ -1,0 +1,197 @@
+"""Tests for the sandbox agent (protected environments, paper Section 1.4)."""
+
+import pytest
+
+from repro.agents.sandbox import SandboxAgent, SandboxPolicy, SandboxViolation
+from repro.kernel.proc import WEXITSTATUS, WIFSIGNALED
+from repro.toolkit import run_under_agent
+
+
+def run_sandboxed(world, policy, command):
+    agent = SandboxAgent(policy)
+    status = run_under_agent(world, agent, "/bin/sh", ["sh", "-c", command])
+    return agent, status, world.console.take_output().decode()
+
+
+def test_hidden_paths_appear_missing(world):
+    agent, status, out = run_sandboxed(
+        world, SandboxPolicy(hidden=("/etc",)), "cat /etc/passwd; true"
+    )
+    assert "ENOENT" in out
+    assert ("lookup", "/etc/passwd") in agent.violations
+
+
+def test_write_outside_writable_denied(world):
+    agent, status, out = run_sandboxed(
+        world, SandboxPolicy(writable=("/tmp",)),
+        "echo x > /home/mbj/file; true",
+    )
+    assert not world.lookup_host("/home/mbj").contains("file")
+    assert ("write", "/home/mbj/file") in agent.violations
+
+
+def test_write_inside_writable_allowed(world):
+    agent, status, out = run_sandboxed(
+        world, SandboxPolicy(writable=("/tmp",)), "echo ok > /tmp/fine"
+    )
+    assert WEXITSTATUS(status) == 0
+    assert world.read_file("/tmp/fine") == b"ok\n"
+    assert agent.violations == []
+
+
+def test_mutations_checked(world):
+    world.write_file("/home/mbj/precious", "keep me")
+    agent, status, out = run_sandboxed(
+        world, SandboxPolicy(writable=("/tmp",)),
+        "rm /home/mbj/precious; mkdir /home/mbj/lair; true",
+    )
+    assert world.read_file("/home/mbj/precious") == b"keep me"
+    assert not world.lookup_host("/home/mbj").contains("lair")
+    assert len(agent.violations) == 2
+
+
+def test_emulated_writes_fool_the_client(world):
+    world.mkdir_p("/tmp/shadow")
+    world.write_file("/home/mbj/target", "original")
+    policy = SandboxPolicy(writable=("/tmp/nowhere",),
+                           emulate_writes_to="/tmp/shadow")
+    agent, status, out = run_sandboxed(
+        world, policy,
+        "echo overwritten > /home/mbj/target; cat /home/mbj/target",
+    )
+    assert WEXITSTATUS(status) == 0
+    assert "overwritten" in out  # the client sees its own write
+    assert world.read_file("/home/mbj/target") == b"original"
+
+
+def test_emulated_write_seeds_original_contents(world):
+    world.mkdir_p("/tmp/shadow2")
+    world.write_file("/home/mbj/seeded", "AAAABBBB")
+    policy = SandboxPolicy(writable=("/tmp/none",),
+                           emulate_writes_to="/tmp/shadow2")
+
+    def patcher(sys, argv, envp):
+        from repro.programs.libc import O_WRONLY
+
+        fd = sys.open("/home/mbj/seeded", O_WRONLY)
+        sys.write(fd, b"XX")  # partial overwrite
+        sys.close(fd)
+        sys.print_out(sys.read_whole("/home/mbj/seeded").decode())
+        return 0
+
+    from tests.conftest import install_program
+
+    install_program(world, "patcher", patcher)
+    agent = SandboxAgent(policy)
+    status = run_under_agent(world, agent, "/bin/patcher", ["patcher"])
+    out = world.console.take_output().decode()
+    assert out == "XXAABBBB"  # seeded from the original, then patched
+    assert world.read_file("/home/mbj/seeded") == b"AAAABBBB"
+
+
+def test_syscall_limit_enforced(world):
+    policy = SandboxPolicy(max_syscalls=10)
+    agent, status, out = run_sandboxed(
+        world, policy, "echo a; echo b; echo c; echo d; echo e; echo f"
+    )
+    assert any(op.startswith("limit:syscalls") for op, _ in agent.violations)
+
+
+def test_fork_limit(world):
+    policy = SandboxPolicy(max_forks=1)
+    agent, status, out = run_sandboxed(world, policy, "echo one; echo two")
+    assert any(op == "limit:forks" for op, _ in agent.violations)
+
+
+def test_open_limit(world):
+    policy = SandboxPolicy(max_opens=1)
+    agent, status, out = run_sandboxed(
+        world, policy, "cat /etc/passwd /etc/passwd > /dev/null; true"
+    )
+    assert any(op == "limit:opens" for op, _ in agent.violations)
+
+
+def test_bytes_written_limit(world):
+    policy = SandboxPolicy(max_bytes_written=10, writable=("/tmp",))
+    agent, status, out = run_sandboxed(
+        world, policy,
+        "echo 0123456789abcdef > /tmp/big; true",
+    )
+    assert any(op == "limit:bytes" for op, _ in agent.violations)
+
+
+def test_privileged_calls_denied(world):
+    agent, status, out = run_sandboxed(
+        world, SandboxPolicy(), "true"
+    )
+
+    # Drive setuid/chroot directly through a custom binary.
+    def villain(sys, argv, envp):
+        from repro.kernel.errno import EPERM, SyscallError
+
+        for op in (lambda: sys.setuid(0), lambda: sys.chroot("/tmp"),
+                   lambda: sys.settimeofday(0, 0)):
+            try:
+                op()
+                return 1
+            except SyscallError as err:
+                if err.errno != EPERM:
+                    return 1
+        return 0
+
+    from tests.conftest import install_program
+
+    install_program(world, "villain", villain)
+    agent = SandboxAgent(SandboxPolicy())
+    status = run_under_agent(world, agent, "/bin/villain", ["villain"])
+    assert WEXITSTATUS(status) == 0
+    assert len(agent.violations) == 3
+
+
+def test_kill_outside_family_denied(world):
+    def sniper(sys, argv, envp):
+        from repro.kernel.errno import EPERM, SyscallError
+
+        try:
+            sys.kill(1, 9)
+            return 1
+        except SyscallError as err:
+            return 0 if err.errno == EPERM else 1
+
+    from tests.conftest import install_program
+
+    install_program(world, "sniper", sniper)
+
+    # Keep a long-lived victim around as pid 1's sibling... simply use a
+    # foreign pid that exists: the loader process itself is the client's
+    # ancestor, so pick pid 1 (init) — outside the family once forked.
+    agent = SandboxAgent(SandboxPolicy())
+    status = run_under_agent(world, agent, "/bin/sh", ["sh", "-c", "sniper"])
+    assert WEXITSTATUS(status) == 0
+
+
+def test_reviewer_hook_consulted(world):
+    asked = []
+
+    def reviewer(op, path):
+        asked.append((op, path))
+        return not path.endswith("forbidden.txt")
+
+    world.write_file("/tmp/allowed.txt", "yes")
+    world.write_file("/tmp/forbidden.txt", "no")
+    policy = SandboxPolicy(writable=("/tmp",), reviewer=reviewer)
+    agent, status, out = run_sandboxed(
+        world, policy, "cat /tmp/allowed.txt; cat /tmp/forbidden.txt; true"
+    )
+    assert "yes" in out
+    assert "no\n" not in out
+    assert ("open", "/tmp/forbidden.txt") in asked
+
+
+def test_loader_spec(world):
+    status = world.run(
+        "/bin/sh",
+        ["sh", "-c", "agentrun sandbox hide=/etc -- sh -c 'cat /etc/passwd; true'"],
+    )
+    out = world.console.take_output().decode()
+    assert "root:" not in out

@@ -1,0 +1,192 @@
+"""Tests for the Scribe-like document formatter."""
+
+import pytest
+
+from repro.kernel.proc import WEXITSTATUS
+from repro.programs.scribe import (
+    LINE_WIDTH,
+    _fill_paragraph,
+    _hyphenation_points,
+    _justify,
+    _parse_directive,
+)
+
+
+# -- unit: the formatting primitives ---------------------------------------
+
+def test_parse_directive():
+    assert _parse_directive("@chapter(Introduction)") == ("chapter", "Introduction")
+    assert _parse_directive("@begin(itemize)") == ("begin", "itemize")
+    assert _parse_directive("@sync") == ("sync", "")
+    assert _parse_directive("plain text") is None
+
+
+def test_justify_fills_exact_width():
+    line = _justify(["alpha", "beta", "gamma"], 30)
+    assert len(line) == 30
+    assert line.startswith("alpha") and line.endswith("gamma")
+
+
+def test_justify_single_word():
+    assert _justify(["word"], 20) == "word"
+    assert _justify([], 20) == ""
+
+
+def test_justify_distributes_extra_left_first():
+    line = _justify(["a", "b", "c"], 9)
+    # 3 letters + 6 spaces over 2 gaps -> 3 each
+    assert line == "a    b   c" [: len(line)] or len(line) == 9
+
+
+def test_fill_paragraph_respects_width():
+    words = "word " * 60
+    lines = _fill_paragraph(words, LINE_WIDTH)
+    assert all(len(line) <= LINE_WIDTH for line in lines)
+    # All full lines are exactly justified to the width.
+    for line in lines[:-1]:
+        assert len(line) == LINE_WIDTH
+
+
+def test_fill_paragraph_indent():
+    lines = _fill_paragraph("word " * 40, LINE_WIDTH, indent=5)
+    assert all(line.startswith("     ") for line in lines)
+
+
+def test_fill_paragraph_empty():
+    assert _fill_paragraph("", LINE_WIDTH) == []
+
+
+def test_hyphenation_points_found():
+    points = _hyphenation_points("interposition")
+    assert points
+    assert all(2 <= i < len("interposition") - 2 for i, _ in points)
+
+
+def test_hyphenation_short_word():
+    assert _hyphenation_points("cat") == []
+
+
+# -- end-to-end formatting --------------------------------------------------------
+
+@pytest.fixture
+def formatted(world):
+    world.mkdir_p("/home/mbj/doc")
+    world.write_file(
+        "/home/mbj/doc/test.mss",
+        "@make(report)\n"
+        "\n"
+        "@chapter(First Things)\n"
+        "@label(ch1)\n"
+        "\n"
+        "This chapter cites the toolkit paper @cite(jones93) and points\n"
+        "at itself via section @ref(ch1). @index(toolkit)\n"
+        "\n"
+        "@section(Details)\n"
+        "\n"
+        "@begin(itemize)\n"
+        "First item text.\n"
+        "\n"
+        "Second item text.\n"
+        "@end(itemize)\n"
+        "\n"
+        "@begin(verbatim)\n"
+        "    exact   spacing   kept\n"
+        "@end(verbatim)\n"
+        "\n"
+        "@chapter(Second Things)\n"
+        "\n"
+        "Closing words about agents and interposition systems of interest.\n",
+    )
+    status = world.run(
+        "/usr/bin/scribe",
+        ["scribe", "/home/mbj/doc/test.mss", "/home/mbj/doc/test.doc"],
+    )
+    assert WEXITSTATUS(status) == 0
+    return world, world.read_file("/home/mbj/doc/test.doc").decode()
+
+
+def test_chapters_numbered(formatted):
+    _, doc = formatted
+    assert "Chapter 1.  First Things" in doc
+    assert "Chapter 2.  Second Things" in doc
+
+
+def test_sections_numbered(formatted):
+    _, doc = formatted
+    assert "1.1  Details" in doc
+
+
+def test_citations_numbered(formatted):
+    _, doc = formatted
+    assert "[1]" in doc
+    assert "@cite" not in doc
+
+
+def test_references_resolved(formatted):
+    _, doc = formatted
+    assert "@ref" not in doc
+    assert "References" in doc
+    assert "Jones" in doc  # the bibliography entry for jones93
+
+
+def test_index_rendered(formatted):
+    _, doc = formatted
+    assert "Index" in doc
+    assert "toolkit" in doc
+    assert "@index" not in doc
+
+
+def test_verbatim_preserved(formatted):
+    _, doc = formatted
+    assert "    exact   spacing   kept" in doc
+
+
+def test_itemize_bullets(formatted):
+    _, doc = formatted
+    assert "   - First item text." in doc
+
+
+def test_toc_written(formatted):
+    world, _ = formatted
+    toc = world.read_file("/home/mbj/doc/test.doc.toc").decode()
+    assert "Table of Contents" in toc
+    assert "Chapter 1." in toc
+
+
+def test_includes_resolved(world):
+    world.mkdir_p("/home/mbj/inc")
+    world.write_file("/home/mbj/inc/part.mss", "@chapter(Included)\nBody text.\n")
+    world.write_file(
+        "/home/mbj/inc/top.mss", "@make(report)\n@include(part.mss)\n"
+    )
+    status = world.run(
+        "/usr/bin/scribe",
+        ["scribe", "/home/mbj/inc/top.mss", "/home/mbj/inc/top.doc"],
+    )
+    assert WEXITSTATUS(status) == 0
+    assert b"Included" in world.read_file("/home/mbj/inc/top.doc")
+
+
+def test_formatting_is_deterministic(world):
+    from repro.workloads import boot_world, format_dissertation
+
+    k1 = boot_world()
+    format_dissertation.setup(k1)
+    format_dissertation.run(k1)
+    doc1 = k1.read_file(format_dissertation.OUTPUT)
+
+    k2 = boot_world()
+    format_dissertation.setup(k2)
+    format_dissertation.run(k2)
+    doc2 = k2.read_file(format_dissertation.OUTPUT)
+    assert doc1 == doc2
+
+
+def test_missing_manuscript_fails(world):
+    status = world.run("/usr/bin/scribe", ["scribe", "/no/such.mss"])
+    assert WEXITSTATUS(status) != 0
+
+
+def test_usage_without_args(world):
+    status = world.run("/usr/bin/scribe", ["scribe"])
+    assert WEXITSTATUS(status) == 2

@@ -1,0 +1,132 @@
+"""Tests for the separate-address-space agent placement."""
+
+import pytest
+
+from repro.agents.monitor import MonitorAgent
+from repro.agents.timex import TimexSymbolicSyscall
+from repro.agents.trace import TraceSymbolicSyscall
+from repro.agents.union_dirs import UnionAgent
+from repro.kernel.proc import WEXITSTATUS
+from repro.toolkit import run_under_agent
+from repro.toolkit.remote import SeparateSpaceAgent, _marshal
+from repro.workloads import boot_world
+
+
+def test_marshal_copies_plain_data():
+    source = {"key": [1, "two", b"three"]}
+    copied = _marshal(source)
+    assert copied == source
+    assert copied is not source
+    assert copied["key"] is not source["key"]
+
+
+def test_marshal_passes_callables_by_reference():
+    fn = lambda: None  # noqa: E731
+    assert _marshal((fn, 1))[0] is fn
+
+
+def test_marshal_copies_stat_records():
+    from repro.kernel.stat import Stat
+
+    record = Stat(st_ino=5, st_size=10)
+    copied = _marshal(record)
+    assert copied == record
+    copied.st_size = 99
+    assert record.st_size == 10
+
+
+def test_timex_identical_in_either_placement(world):
+    remote = SeparateSpaceAgent(TimexSymbolicSyscall(offset=7777))
+    status = run_under_agent(world, remote, "/bin/date", ["date"])
+    assert WEXITSTATUS(status) == 0
+    shown = int(world.console.take_output().decode().split(".")[0])
+    assert shown - world.clock.now().tv_sec >= 7770
+    assert remote.ipc_round_trips > 0
+    remote.shutdown()
+
+
+def test_trace_across_fork_and_exec_remotely(world):
+    inner = TraceSymbolicSyscall("/tmp/remote.trace")
+    remote = SeparateSpaceAgent(inner)
+    status = run_under_agent(
+        world, remote, "/bin/sh", ["sh", "-c", "echo a | cat; echo done"]
+    )
+    assert WEXITSTATUS(status) == 0
+    out = world.console.take_output().decode()
+    assert "a" in out and "done" in out
+    log = world.read_file("/tmp/remote.trace").decode()
+    assert "execve(" in log
+    assert "(child of fork starts)" in log
+    remote.shutdown()
+
+
+def test_remote_output_matches_local(world):
+    script = "mkdir /tmp/rw; echo x > /tmp/rw/f; ls /tmp/rw; cat /tmp/rw/f"
+    local_world = boot_world()
+    run_under_agent(
+        local_world, TimexSymbolicSyscall(offset=5), "/bin/sh",
+        ["sh", "-c", script],
+    )
+    expected = local_world.console.take_output()
+
+    remote = SeparateSpaceAgent(TimexSymbolicSyscall(offset=5))
+    status = run_under_agent(world, remote, "/bin/sh", ["sh", "-c", script])
+    assert WEXITSTATUS(status) == 0
+    assert world.console.take_output() == expected
+    remote.shutdown()
+
+
+def test_union_semantics_preserved_remotely(world):
+    world.mkdir_p("/m1")
+    world.mkdir_p("/m2")
+    world.write_file("/m1/a", "A")
+    world.write_file("/m2/b", "B")
+    world.mkdir_p("/u")
+    inner = UnionAgent()
+    inner.pset.add_union("/u", ["/m1", "/m2"])
+    remote = SeparateSpaceAgent(inner)
+    status = run_under_agent(
+        world, remote, "/bin/sh", ["sh", "-c", "ls /u; cat /u/b"]
+    )
+    assert WEXITSTATUS(status) == 0
+    out = world.console.take_output().decode()
+    assert out.split() == ["a", "b", "B"]
+    remote.shutdown()
+
+
+def test_concurrent_clients_not_serialized(world):
+    """A client blocked inside the agent must not stall other clients:
+    a pipe producer and consumer both run interposed."""
+    remote = SeparateSpaceAgent(MonitorAgent("/tmp/remote.mon"))
+    status = run_under_agent(
+        world, remote, "/bin/sh", ["sh", "-c", "echo through | cat | wc"]
+    )
+    assert WEXITSTATUS(status) == 0
+    assert world.console.take_output().decode().split()[:2] == ["1", "1"]
+    remote.shutdown()
+
+
+def test_signals_cross_the_boundary(world):
+    from repro.kernel import signals as sig
+    from repro.kernel.sysent import number_of
+
+    seen = []
+
+    class SignalWatcher(TimexSymbolicSyscall):
+        def signal_handler(self, signum, code, context):
+            seen.append(signum)
+            super().signal_handler(signum, code, context)
+
+    remote = SeparateSpaceAgent(SignalWatcher())
+    caught = []
+
+    def main(ctx):
+        remote.attach(ctx)
+        ctx.trap(number_of("sigvec"), sig.SIGUSR1, lambda s: caught.append(s), 0)
+        ctx.trap(number_of("kill"), ctx.proc.pid, sig.SIGUSR1)
+        return 0
+
+    assert WEXITSTATUS(world.run_entry(main)) == 0
+    assert seen == [sig.SIGUSR1]  # agent upcall ran (in the agent task)
+    assert caught == [sig.SIGUSR1]  # and was forwarded to the client
+    remote.shutdown()

@@ -1,0 +1,201 @@
+"""Tests for the shell."""
+
+import pytest
+
+from repro.kernel.proc import WEXITSTATUS
+from repro.programs.sh import Shell, _parse_pipeline, _substitute, _tokenize
+
+
+# -- tokenizer units ------------------------------------------------------
+
+def test_tokenize_simple():
+    assert _tokenize("echo hello world") == ["echo", "hello", "world"]
+
+
+def test_tokenize_quotes():
+    assert _tokenize("echo 'a b' \"c d\"") == ["echo", "a b", "c d"]
+
+
+def test_tokenize_redirection_operators():
+    assert _tokenize("a>b") == ["a", ">", "b"]
+    assert _tokenize("a >> b") == ["a", ">>", "b"]
+    assert _tokenize("a|b<c") == ["a", "|", "b", "<", "c"]
+
+
+def test_tokenize_comments():
+    assert _tokenize("echo hi # a comment") == ["echo", "hi"]
+    assert _tokenize("# only comment") == []
+
+
+def test_substitute_positionals():
+    assert _substitute("$1-$2", ["sh", "one", "two"], 0) == "one-two"
+    assert _substitute("$9", ["sh"], 0) == ""
+    assert _substitute("rc=$?", ["sh"], 3) == "rc=3"
+
+
+def test_parse_pipeline():
+    stages = _parse_pipeline(_tokenize("cat < in | grep x | wc > out"))
+    assert len(stages) == 3
+    assert stages[0].argv == ["cat"] and stages[0].stdin == "in"
+    assert stages[1].argv == ["grep", "x"]
+    assert stages[2].argv == ["wc"] and stages[2].stdout == "out"
+    assert stages[2].append is False
+
+
+# -- end-to-end behaviour ------------------------------------------------------
+
+def test_simple_command(sh):
+    code, out = sh("echo hello")
+    assert code == 0
+    assert out == "hello\n"
+
+
+def test_sequencing_and_status(sh):
+    code, out = sh("false; echo ran; true")
+    assert code == 0
+    assert "ran" in out
+
+
+def test_exit_status_propagates(sh):
+    code, _ = sh("false")
+    assert code == 1
+    code, _ = sh("exit 7")
+    assert code == 7
+
+
+def test_not_found_127(sh):
+    code, out = sh("no-such-command")
+    assert code == 127
+    assert "not found" in out
+
+
+def test_output_redirection(world, sh):
+    code, _ = sh("echo to file > /tmp/out.txt")
+    assert code == 0
+    assert world.read_file("/tmp/out.txt") == b"to file\n"
+
+
+def test_append_redirection(world, sh):
+    sh("echo one > /tmp/log")
+    sh("echo two >> /tmp/log")
+    assert world.read_file("/tmp/log") == b"one\ntwo\n"
+
+
+def test_input_redirection(world, sh):
+    world.write_file("/tmp/in.txt", "redirected input\n")
+    code, out = sh("cat < /tmp/in.txt")
+    assert code == 0
+    assert out == "redirected input\n"
+
+
+def test_pipeline_two_stages(world, sh):
+    world.write_file("/tmp/words", "apple\nbanana\napricot\n")
+    code, out = sh("cat /tmp/words | grep ap")
+    assert code == 0
+    assert out == "apple\napricot\n"
+
+
+def test_pipeline_three_stages(world, sh):
+    world.write_file("/tmp/w2", "a\nb\nc\n")
+    code, out = sh("cat /tmp/w2 | grep a | wc")
+    assert code == 0
+    assert out.split()[:3] == ["1", "1", "2"]
+
+
+def test_pipeline_status_is_last_stage(world, sh):
+    world.write_file("/tmp/w3", "xyz\n")
+    code, _ = sh("cat /tmp/w3 | grep nothere")
+    assert code == 1  # grep found nothing
+
+
+def test_cd_builtin(world, sh):
+    world.mkdir_p("/tmp/somewhere")
+    world.write_file("/tmp/somewhere/marker", "found me")
+    code, out = sh("cd /tmp/somewhere; cat marker")
+    assert code == 0
+    assert out == "found me"
+
+
+def test_cd_missing_directory(sh):
+    code, out = sh("cd /no/where; echo after $?")
+    assert "after 1" in out
+
+
+def test_umask_builtin(world, sh):
+    code, out = sh("umask 077; echo x > /tmp/masked.txt")
+    assert code == 0
+    assert world.lookup_host("/tmp/masked.txt").mode & 0o777 == 0o600
+
+
+def test_quoted_arguments_preserved(sh):
+    code, out = sh("echo 'one  two'")
+    assert out == "one  two\n"
+
+
+def test_script_execution(world):
+    world.write_file(
+        "/tmp/script.sh",
+        "#!/bin/sh\necho script $1 $2\nexit 3\n",
+        mode=0o755,
+    )
+    world.lookup_host("/tmp/script.sh").mode |= 0o111
+    status = world.run("/tmp/script.sh", ["script.sh", "a", "b"])
+    assert WEXITSTATUS(status) == 3
+    assert world.console.take_output().decode() == "script a b\n"
+
+
+def test_interactive_mode_reads_stdin(world):
+    world.console.feed("echo interactive\nexit 4\n")
+    world.console.mark_eof()
+    status = world.run("/bin/sh", ["sh"])
+    assert WEXITSTATUS(status) == 4
+    assert "interactive" in world.console.take_output().decode()
+
+
+def test_dash_c_positional_params(world):
+    status = world.run("/bin/sh", ["sh", "-c", "echo p1=$1", "x", "argone"])
+    # Our sh -c grammar: everything after the command string is $1...
+    out = world.console.take_output().decode()
+    assert "p1=" in out
+
+
+def test_redirection_failure_exits_nonzero(world, sh):
+    code, out = sh("echo x > /etc/passwd/not-a-dir")
+    assert code != 0
+
+
+def test_and_operator(sh):
+    code, out = sh("true && echo yes")
+    assert out == "yes\n"
+    code, out = sh("false && echo never")
+    assert "never" not in out
+    assert code == 1  # status of the skipped chain is the left side's
+
+
+def test_or_operator(sh):
+    code, out = sh("false || echo fallback")
+    assert out == "fallback\n"
+    assert code == 0
+    code, out = sh("true || echo never")
+    assert "never" not in out
+
+
+def test_chained_conditionals_left_to_right(sh):
+    code, out = sh("false && echo a || echo b")
+    assert out == "b\n"
+    code, out = sh("true && echo a || echo b")
+    assert out == "a\n"
+
+
+def test_conditionals_with_pipelines(world, sh):
+    world.write_file("/tmp/cw", "needle\n")
+    code, out = sh("grep needle /tmp/cw > /dev/null && echo found")
+    assert out == "found\n"
+    code, out = sh("grep missing /tmp/cw > /dev/null || echo not-found")
+    assert out == "not-found\n"
+
+
+def test_tokenize_conditionals():
+    assert _tokenize("a&&b") == ["a", "&&", "b"]
+    assert _tokenize("a || b") == ["a", "||", "b"]
+    assert _tokenize("a|b") == ["a", "|", "b"]

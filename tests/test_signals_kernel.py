@@ -1,0 +1,310 @@
+"""Tests for kernel signal semantics."""
+
+import pytest
+
+from repro.kernel import signals as sig
+from repro.kernel.errno import EINTR, EINVAL, EPERM, ESRCH, SyscallError
+from repro.kernel.proc import WIFSIGNALED, WTERMSIG, WEXITSTATUS
+from repro.kernel.sysent import number_of
+
+NR = {n: number_of(n) for n in (
+    "kill", "killpg", "sigvec", "sigblock", "sigsetmask", "sigpause",
+    "alarm", "fork", "wait", "getpid", "setpgrp", "getpgrp", "pipe",
+    "read", "close", "select", "setuid",
+)}
+
+
+def test_self_kill_runs_handler(run_entry):
+    def main(ctx):
+        seen = []
+        ctx.trap(NR["sigvec"], sig.SIGUSR1, lambda s: seen.append(s), 0)
+        ctx.trap(NR["kill"], ctx.trap(NR["getpid"]), sig.SIGUSR1)
+        assert seen == [sig.SIGUSR1]
+        return 0
+
+    assert run_entry(main) == 0
+
+
+def test_default_action_terminates(kernel):
+    def main(ctx):
+        ctx.trap(NR["kill"], ctx.trap(NR["getpid"]), sig.SIGTERM)
+        return 0  # never reached
+
+    status = kernel.run_entry(main)
+    assert WIFSIGNALED(status)
+    assert WTERMSIG(status) == sig.SIGTERM
+
+
+def test_ignored_signal_has_no_effect(run_entry):
+    def main(ctx):
+        ctx.trap(NR["sigvec"], sig.SIGTERM, sig.SIG_IGN, 0)
+        ctx.trap(NR["kill"], ctx.trap(NR["getpid"]), sig.SIGTERM)
+        return 0
+
+    assert run_entry(main) == 0
+
+
+def test_default_ignored_signals(run_entry):
+    def main(ctx):
+        ctx.trap(NR["kill"], ctx.trap(NR["getpid"]), sig.SIGCHLD)
+        ctx.trap(NR["kill"], ctx.trap(NR["getpid"]), sig.SIGWINCH)
+        return 0
+
+    assert run_entry(main) == 0
+
+
+def test_sigvec_returns_previous_handler(run_entry):
+    def main(ctx):
+        handler = lambda s: None  # noqa: E731
+        old = ctx.trap(NR["sigvec"], sig.SIGUSR2, handler, 0)
+        assert old == sig.SIG_DFL
+        old = ctx.trap(NR["sigvec"], sig.SIGUSR2, sig.SIG_IGN, 0)
+        assert old is handler
+        return 0
+
+    assert run_entry(main) == 0
+
+
+def test_cannot_catch_sigkill(run_entry):
+    def main(ctx):
+        for bad in (sig.SIGKILL, sig.SIGSTOP):
+            try:
+                ctx.trap(NR["sigvec"], bad, lambda s: None, 0)
+            except SyscallError as err:
+                assert err.errno == EINVAL
+            else:
+                return 1
+        return 0
+
+    assert run_entry(main) == 0
+
+
+def test_bad_signal_numbers(run_entry):
+    def main(ctx):
+        for call, args in (
+            (NR["kill"], (ctx.trap(NR["getpid"]), 99)),
+            (NR["sigvec"], (0, sig.SIG_IGN, 0)),
+        ):
+            try:
+                ctx.trap(call, *args)
+            except SyscallError as err:
+                assert err.errno == EINVAL
+            else:
+                return 1
+        return 0
+
+    assert run_entry(main) == 0
+
+
+def test_kill_missing_process_esrch(run_entry):
+    def main(ctx):
+        try:
+            ctx.trap(NR["kill"], 9999, sig.SIGTERM)
+        except SyscallError as err:
+            assert err.errno == ESRCH
+            return 0
+        return 1
+
+    assert run_entry(main) == 0
+
+
+def test_kill_zero_checks_existence(run_entry):
+    def main(ctx):
+        rfd, wfd = ctx.trap(NR["pipe"])
+
+        def child(cctx):
+            cctx.trap(NR["close"], wfd)
+            cctx.trap(NR["read"], rfd, 1)  # parks until parent closes
+            return 0
+
+        pid, _ = ctx.trap(NR["fork"], child)
+        ctx.trap(NR["kill"], pid, 0)  # exists: no error, no signal
+        ctx.trap(NR["close"], wfd)  # release the child
+        ctx.trap(NR["wait"])
+        return 0
+
+    assert run_entry(main) == 0
+
+
+def test_kill_permission_checked(run_entry):
+    def main(ctx):
+        # Become uid 50; init (pid 1)... there is no other process, so
+        # fork a root child? We are uid 0 here; drop privilege in a child
+        # and have it try to signal us.
+        me = ctx.trap(NR["getpid"])
+
+        def child(cctx):
+            cctx.trap(NR["setuid"], 50)
+            try:
+                cctx.trap(NR["kill"], me, sig.SIGUSR1)
+            except SyscallError as err:
+                return 7 if err.errno == EPERM else 1
+            return 1
+
+        ctx.trap(NR["fork"], child)
+        _, status = ctx.trap(NR["wait"])
+        assert WEXITSTATUS(status) == 7
+        return 0
+
+    assert run_entry(main) == 0
+
+
+def test_sigblock_defers_delivery(run_entry):
+    def main(ctx):
+        seen = []
+        ctx.trap(NR["sigvec"], sig.SIGUSR1, lambda s: seen.append(s), 0)
+        ctx.trap(NR["sigblock"], sig.sigmask(sig.SIGUSR1))
+        ctx.trap(NR["kill"], ctx.trap(NR["getpid"]), sig.SIGUSR1)
+        assert seen == []  # blocked, still pending
+        ctx.trap(NR["sigsetmask"], 0)
+        ctx.trap(NR["getpid"])  # any trap boundary delivers
+        assert seen == [sig.SIGUSR1]
+        return 0
+
+    assert run_entry(main) == 0
+
+
+def test_sigsetmask_returns_old(run_entry):
+    def main(ctx):
+        mask = sig.sigmask(sig.SIGUSR1) | sig.sigmask(sig.SIGUSR2)
+        assert ctx.trap(NR["sigsetmask"], mask) == 0
+        assert ctx.trap(NR["sigblock"], sig.sigmask(sig.SIGHUP)) == mask
+        return 0
+
+    assert run_entry(main) == 0
+
+
+def test_kill_cannot_block_sigkill(run_entry):
+    def main(ctx):
+        ctx.trap(NR["sigsetmask"], 0xFFFFFFFF)
+        ctx.trap(NR["kill"], ctx.trap(NR["getpid"]), sig.SIGKILL)
+        return 0
+
+    from repro.kernel import Kernel
+
+    kernel = Kernel()
+    status = kernel.run_entry(main)
+    assert WIFSIGNALED(status) and WTERMSIG(status) == sig.SIGKILL
+
+
+def test_handler_runs_with_signal_blocked(run_entry):
+    def main(ctx):
+        depth = []
+
+        def handler(signum):
+            depth.append(signum)
+            if len(depth) == 1:
+                # Re-raise inside the handler: must NOT recurse now.
+                ctx.trap(NR["kill"], ctx.trap(NR["getpid"]), sig.SIGUSR1)
+                assert len(depth) == 1
+
+        ctx.trap(NR["sigvec"], sig.SIGUSR1, handler, 0)
+        ctx.trap(NR["kill"], ctx.trap(NR["getpid"]), sig.SIGUSR1)
+        ctx.trap(NR["getpid"])  # deliver the pended one after unmasking
+        assert len(depth) == 2
+        return 0
+
+    assert run_entry(main) == 0
+
+
+def test_blocking_read_interrupted_eintr(run_entry):
+    def main(ctx):
+        rfd, wfd = ctx.trap(NR["pipe"])
+        me = ctx.trap(NR["getpid"])
+        ctx.trap(NR["sigvec"], sig.SIGALRM, lambda s: None, 0)
+
+        def child(cctx):
+            cctx.trap(NR["kill"], me, sig.SIGALRM)
+            return 0
+
+        ctx.trap(NR["fork"], child)
+        try:
+            ctx.trap(NR["read"], rfd, 10)  # blocks; child signals us
+        except SyscallError as err:
+            assert err.errno == EINTR
+            ctx.trap(NR["wait"])
+            return 0
+        return 1
+
+    assert run_entry(main) == 0
+
+
+def test_alarm_and_sigpause(run_entry):
+    def main(ctx):
+        fired = []
+        ctx.trap(NR["sigvec"], sig.SIGALRM, lambda s: fired.append(s), 0)
+        remaining = ctx.trap(NR["alarm"], 2)
+        assert remaining == 0
+        try:
+            ctx.trap(NR["sigpause"], 0)
+        except SyscallError as err:
+            assert err.errno == EINTR
+        assert fired == [sig.SIGALRM]
+        return 0
+
+    assert run_entry(main) == 0
+
+
+def test_alarm_returns_remaining(run_entry):
+    def main(ctx):
+        ctx.trap(NR["alarm"], 100)
+        remaining = ctx.trap(NR["alarm"], 0)  # cancel
+        assert 0 < remaining <= 100
+        assert ctx.trap(NR["alarm"], 0) == 0
+        return 0
+
+    assert run_entry(main) == 0
+
+
+def test_killpg_signals_group(run_entry):
+    def main(ctx):
+        seen = []
+        ctx.trap(NR["setpgrp"], 0, 0)  # own group = own pid
+        group = ctx.trap(NR["getpgrp"])
+        ctx.trap(NR["sigvec"], sig.SIGUSR2, lambda s: seen.append(s), 0)
+        ctx.trap(NR["killpg"], group, sig.SIGUSR2)
+        assert seen == [sig.SIGUSR2]
+        return 0
+
+    assert run_entry(main) == 0
+
+
+def test_killpg_empty_group_esrch(run_entry):
+    def main(ctx):
+        try:
+            ctx.trap(NR["killpg"], 4242, sig.SIGTERM)
+        except SyscallError as err:
+            assert err.errno == ESRCH
+            return 0
+        return 1
+
+    assert run_entry(main) == 0
+
+
+def test_sig_ign_discards_pending(run_entry):
+    def main(ctx):
+        seen = []
+        ctx.trap(NR["sigvec"], sig.SIGUSR1, lambda s: seen.append(s), 0)
+        ctx.trap(NR["sigblock"], sig.sigmask(sig.SIGUSR1))
+        ctx.trap(NR["kill"], ctx.trap(NR["getpid"]), sig.SIGUSR1)
+        ctx.trap(NR["sigvec"], sig.SIGUSR1, sig.SIG_IGN, 0)  # discards
+        ctx.trap(NR["sigsetmask"], 0)
+        ctx.trap(NR["getpid"])
+        assert seen == []
+        return 0
+
+    assert run_entry(main) == 0
+
+
+def test_signal_helpers():
+    assert sig.signal_name(sig.SIGKILL) == "SIGKILL"
+    assert sig.signal_name(99) == "SIG?99?"
+    assert sig.sigmask(1) == 1
+    assert sig.sigmask(9) == 0x100
+    assert sig.default_action(sig.SIGCHLD) == "ignore"
+    assert sig.default_action(sig.SIGSTOP) == "stop"
+    assert sig.default_action(sig.SIGTERM) == "terminate"
+    with pytest.raises(SyscallError):
+        sig.check_signal(0)
+    with pytest.raises(SyscallError):
+        sig.check_signal(32)

@@ -1,0 +1,70 @@
+"""Unit tests for mode bits and the Stat record."""
+
+from repro.kernel import stat as st
+
+
+def test_type_predicates_are_exclusive():
+    modes = {
+        st.S_IFREG: st.S_ISREG,
+        st.S_IFDIR: st.S_ISDIR,
+        st.S_IFLNK: st.S_ISLNK,
+        st.S_IFCHR: st.S_ISCHR,
+        st.S_IFBLK: st.S_ISBLK,
+        st.S_IFIFO: st.S_ISFIFO,
+        st.S_IFSOCK: st.S_ISSOCK,
+    }
+    for fmt, predicate in modes.items():
+        mode = fmt | 0o644
+        assert predicate(mode)
+        for other_fmt, other_pred in modes.items():
+            if other_fmt != fmt:
+                assert not other_pred(mode)
+
+
+def test_permission_constants():
+    assert st.S_IRWXU == 0o700
+    assert st.S_IRUSR | st.S_IWUSR | st.S_IXUSR == st.S_IRWXU
+    assert st.ACCESSPERMS == 0o777
+    assert st.DEFFILEMODE == 0o666
+
+
+def test_setid_bits():
+    assert st.S_ISUID == 0o4000
+    assert st.S_ISGID == 0o2000
+    assert st.S_ISVTX == 0o1000
+
+
+def test_stat_defaults_zero():
+    record = st.Stat()
+    assert record.st_ino == 0
+    assert record.st_size == 0
+    assert record.st_mode == 0
+
+
+def test_stat_fields_settable():
+    record = st.Stat(st_ino=7, st_size=100, st_mode=st.S_IFREG | 0o644)
+    assert record.st_ino == 7
+    assert record.st_size == 100
+    assert st.S_ISREG(record.st_mode)
+
+
+def test_stat_copy_is_independent():
+    record = st.Stat(st_ino=1, st_size=10)
+    clone = record.copy()
+    clone.st_size = 99
+    assert record.st_size == 10
+    assert clone.st_ino == 1
+
+
+def test_stat_equality():
+    a = st.Stat(st_ino=1, st_size=5)
+    b = st.Stat(st_ino=1, st_size=5)
+    c = st.Stat(st_ino=2, st_size=5)
+    assert a == b
+    assert a != c
+
+
+def test_stat_repr_names_kind():
+    assert "reg" in repr(st.Stat(st_mode=st.S_IFREG))
+    assert "dir" in repr(st.Stat(st_mode=st.S_IFDIR))
+    assert "lnk" in repr(st.Stat(st_mode=st.S_IFLNK))

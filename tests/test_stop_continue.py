@@ -1,0 +1,96 @@
+"""Tests for job-control style stop/continue signal semantics."""
+
+import pytest
+
+from repro.kernel import signals as sig
+from repro.kernel.proc import WEXITSTATUS, WIFSIGNALED, WTERMSIG
+from repro.kernel.sysent import number_of
+
+NR = {n: number_of(n) for n in (
+    "fork", "wait", "kill", "pipe", "read", "write", "close", "getpid",
+    "sigvec", "select",
+)}
+
+
+def test_sigstop_suspends_until_sigcont(kernel):
+    import time
+
+    def main(ctx):
+        rfd, wfd = ctx.trap(NR["pipe"])
+        stop_rfd, stop_wfd = ctx.trap(NR["pipe"])
+
+        def child(cctx):
+            cctx.trap(NR["close"], rfd)
+            cctx.trap(NR["close"], stop_wfd)
+            # Stop ourselves; SIGCONT resumes execution right here.
+            cctx.trap(NR["kill"], cctx.proc.pid, sig.SIGSTOP)
+            cctx.trap(NR["write"], wfd, b"resumed")
+            cctx.trap(NR["close"], wfd)
+            return 0
+
+        pid, _ = ctx.trap(NR["fork"], child)
+        ctx.trap(NR["close"], wfd)
+        ctx.trap(NR["close"], stop_rfd)
+        # Wait (host-side) until the child has actually suspended.
+        child_proc = ctx.kernel._procs[pid]
+        deadline = time.time() + 10
+        while not child_proc.suspended:
+            assert time.time() < deadline, "child never stopped"
+            time.sleep(0.005)
+        ctx.trap(NR["kill"], pid, sig.SIGCONT)
+        assert ctx.trap(NR["read"], rfd, 10) == b"resumed"
+        ctx.trap(NR["wait"])
+        return 0
+
+    assert WEXITSTATUS(kernel.run_entry(main)) == 0
+
+
+def test_sigkill_terminates_stopped_process(kernel):
+    def main(ctx):
+        def child(cctx):
+            cctx.trap(NR["kill"], cctx.proc.pid, sig.SIGSTOP)
+            return 0
+
+        pid, _ = ctx.trap(NR["fork"], child)
+        # Give the child a chance to stop itself, then kill it outright.
+        ctx.trap(NR["select"], 1000)
+        ctx.trap(NR["kill"], pid, sig.SIGKILL)
+        _, status = ctx.trap(NR["wait"])
+        assert WIFSIGNALED(status)
+        assert WTERMSIG(status) == sig.SIGKILL
+        return 0
+
+    assert WEXITSTATUS(kernel.run_entry(main)) == 0
+
+
+def test_sigcont_default_is_resume_not_terminate(kernel):
+    def main(ctx):
+        ctx.trap(NR["kill"], ctx.proc.pid, sig.SIGCONT)
+        return 0  # still alive
+
+    assert WEXITSTATUS(kernel.run_entry(main)) == 0
+
+
+def test_sigtstp_catchable(kernel):
+    def main(ctx):
+        caught = []
+        ctx.trap(NR["sigvec"], sig.SIGTSTP, lambda s: caught.append(s), 0)
+        ctx.trap(NR["kill"], ctx.trap(NR["getpid"]), sig.SIGTSTP)
+        assert caught == [sig.SIGTSTP]  # handled, not stopped
+        return 0
+
+    assert WEXITSTATUS(kernel.run_entry(main)) == 0
+
+
+def test_cont_clears_pending_stop(kernel):
+    """Posting SIGCONT discards a pending (blocked) stop signal."""
+    from repro.kernel.proc import Process
+
+    def main(ctx):
+        proc = ctx.proc
+        proc.post(sig.SIGTSTP)
+        proc.post(sig.SIGCONT)
+        assert not proc.pending & sig.sigmask(sig.SIGTSTP)
+        return 0
+
+    assert WEXITSTATUS(kernel.run_entry(main)) == 0

@@ -1,0 +1,140 @@
+"""Tests for layer 1: the symbolic system call layer."""
+
+import pytest
+
+from repro.agents.time_symbolic import TimeSymbolic
+from repro.kernel.proc import WEXITSTATUS
+from repro.kernel.sysent import bsd_numbers, number_of
+from repro.toolkit import run_under_agent
+from repro.toolkit.symbolic import SymbolicSyscall
+from repro.workloads import boot_world
+
+
+def test_default_agent_is_fully_transparent_for_shell_session(world):
+    """The unmodified-applications goal: same behaviour with and without."""
+    script = (
+        "mkdir /tmp/w; echo data > /tmp/w/f; cat /tmp/w/f; "
+        "ln /tmp/w/f /tmp/w/g; ls /tmp/w; rm /tmp/w/f /tmp/w/g; rmdir /tmp/w"
+    )
+    bare = boot_world()
+    bare_status = bare.run("/bin/sh", ["sh", "-c", script])
+    bare_out = bare.console.take_output()
+
+    agented = boot_world()
+    status = run_under_agent(
+        agented, TimeSymbolic(), "/bin/sh", ["sh", "-c", script]
+    )
+    agent_out = agented.console.take_output()
+    assert WEXITSTATUS(status) == WEXITSTATUS(bare_status)
+    assert agent_out == bare_out
+
+
+def test_every_bsd_call_has_a_sys_method():
+    """Completeness: the symbolic layer covers the whole interface."""
+    from repro.kernel.sysent import SYSCALLS
+
+    agent = TimeSymbolic()
+    for number in bsd_numbers():
+        name = SYSCALLS[number].name
+        assert hasattr(agent, "sys_" + name), name
+
+
+def test_registers_whole_interface_on_init(world):
+    agent = TimeSymbolic()
+
+    def main(ctx):
+        agent.attach(ctx)
+        vector = ctx.proc.emulation_vector
+        for number in bsd_numbers():
+            assert number in vector
+        assert ctx.proc.signal_redirect is not None
+        return 0
+
+    assert WEXITSTATUS(world.run_entry(main)) == 0
+
+
+def test_single_method_override(world):
+    class FixedPid(SymbolicSyscall):
+        def sys_getpid(self):
+            return 12345
+
+    def main(ctx):
+        FixedPid().attach(ctx)
+        assert ctx.trap(number_of("getpid")) == 12345
+        # Everything else still behaves.
+        assert ctx.trap(number_of("getuid")) == 0
+        return 0
+
+    assert WEXITSTATUS(world.run_entry(main)) == 0
+
+
+def test_unknown_syscall_hook(world):
+    hits = []
+
+    class Watcher(SymbolicSyscall):
+        def unknown_syscall(self, number, args, regs):
+            hits.append(number)
+            return self.syscall_down_numeric(number, args)
+
+    def main(ctx):
+        agent = Watcher()
+        agent.attach(ctx)
+        # Redirect a Mach trap that has no sys_* method.
+        agent.register_interest(number_of("task_get_descriptors"))
+        ctx.trap(number_of("task_get_descriptors"))
+        return 0
+
+    world.run_entry(main)
+    assert hits == [number_of("task_get_descriptors")]
+
+
+def test_init_child_called_in_forked_children(world):
+    children = []
+
+    class ChildWatcher(SymbolicSyscall):
+        def init_child(self):
+            children.append(self.ctx.proc.pid)
+
+    status = run_under_agent(
+        world, ChildWatcher(), "/bin/sh",
+        ["sh", "-c", "echo a; echo b | cat"],
+    )
+    assert WEXITSTATUS(status) == 0
+    assert len(children) >= 3  # echo, echo, cat
+
+
+def test_agent_survives_exec_chain(world):
+    """The agent must still be interposed after several execs."""
+
+    class Counter(SymbolicSyscall):
+        def __init__(self):
+            super().__init__()
+            self.execs = 0
+
+        def sys_execve(self, path, argv=None, envp=None):
+            self.execs += 1
+            return super().sys_execve(path, argv, envp)
+
+    agent = Counter()
+    status = run_under_agent(
+        world, agent, "/bin/sh",
+        ["sh", "-c", "sh -c 'sh -c \"echo deep\"'"],
+    )
+    assert WEXITSTATUS(status) == 0
+    assert "deep" in world.console.take_output().decode()
+    assert agent.execs >= 3
+
+
+def test_symbolic_agent_on_make_workload(world):
+    from repro.workloads import make_programs
+
+    make_programs.setup(world)
+    status = run_under_agent(
+        world, TimeSymbolic(), "/bin/sh",
+        ["sh", "-c", "cd %s; make" % make_programs.SRC_DIR],
+    )
+    assert WEXITSTATUS(status) == 0
+    for i in range(1, 9):
+        assert world.read_file(
+            "%s/prog%d" % (make_programs.SRC_DIR, i)
+        ).startswith(b"!executable")

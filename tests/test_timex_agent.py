@@ -1,0 +1,72 @@
+"""Tests for the timex agent (paper Section 3.3.1)."""
+
+import pytest
+
+from repro.agents.timex import TimexSymbolicSyscall
+from repro.kernel.proc import WEXITSTATUS
+from repro.kernel.sysent import number_of
+from repro.toolkit import run_under_agent
+
+NR_GETTIMEOFDAY = number_of("gettimeofday")
+
+
+def test_time_shifted_forward(world):
+    def main(ctx):
+        agent = TimexSymbolicSyscall(offset=86400)
+        real = ctx.htg(NR_GETTIMEOFDAY)
+        agent.attach(ctx)
+        funky = ctx.trap(NR_GETTIMEOFDAY)
+        assert funky.tv_sec - real.tv_sec >= 86400
+        return 0
+
+    assert WEXITSTATUS(world.run_entry(main)) == 0
+
+
+def test_time_shifted_backward(world):
+    def main(ctx):
+        agent = TimexSymbolicSyscall(offset=-1000)
+        real = ctx.htg(NR_GETTIMEOFDAY)
+        agent.attach(ctx)
+        funky = ctx.trap(NR_GETTIMEOFDAY)
+        assert real.tv_sec - funky.tv_sec >= 999
+        return 0
+
+    assert WEXITSTATUS(world.run_entry(main)) == 0
+
+
+def test_offset_from_agent_command_line(world):
+    status = run_under_agent(
+        world, TimexSymbolicSyscall(), "/bin/date", ["date"],
+        agentargv=["500000"],
+    )
+    assert WEXITSTATUS(status) == 0
+    shifted = int(world.console.take_output().decode().split(".")[0])
+    assert shifted - world.clock.now().tv_sec >= 499_990
+
+
+def test_kernel_clock_not_affected(world):
+    before = world.clock.now().tv_sec
+    run_under_agent(
+        world, TimexSymbolicSyscall(offset=10**6), "/bin/date", ["date"]
+    )
+    world.console.take_output()
+    assert world.clock.now().tv_sec - before < 100
+
+
+def test_date_under_loader(world):
+    status = world.run(
+        "/bin/sh", ["sh", "-c", "agentrun timex 7777777 -- date"]
+    )
+    assert WEXITSTATUS(status) == 0
+    shifted = int(world.console.take_output().decode().split(".")[0])
+    assert shifted > world.clock.now().tv_sec + 7_000_000
+
+
+def test_everything_else_unchanged(world):
+    status = run_under_agent(
+        world, TimexSymbolicSyscall(offset=1000), "/bin/sh",
+        ["sh", "-c", "echo side effects > /tmp/tx; cat /tmp/tx"],
+    )
+    assert WEXITSTATUS(status) == 0
+    assert "side effects" in world.console.take_output().decode()
+    assert world.read_file("/tmp/tx") == b"side effects\n"

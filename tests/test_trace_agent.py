@@ -1,0 +1,113 @@
+"""Tests for the trace agent (paper Section 3.3.2)."""
+
+import pytest
+
+from repro.agents.trace import TraceSymbolicSyscall
+from repro.kernel.proc import WEXITSTATUS
+from repro.toolkit import run_under_agent
+
+
+@pytest.fixture
+def traced(world):
+    def run(command):
+        status = run_under_agent(
+            world,
+            TraceSymbolicSyscall("/tmp/trace.out"),
+            "/bin/sh",
+            ["sh", "-c", command],
+        )
+        return status, world.read_file("/tmp/trace.out").decode()
+
+    return run
+
+
+def test_calls_logged_with_arguments_and_results(traced):
+    status, log = traced("echo hello > /tmp/t.txt")
+    assert WEXITSTATUS(status) == 0
+    assert "open('/tmp/t.txt'" in log.replace('"', "'")
+    assert "-> 3" in log  # the returned descriptor
+    assert "write(1, [6 bytes])" in log
+    assert "exit(0)" in log
+
+
+def test_two_lines_per_call(traced):
+    status, log = traced("true")
+    lines = log.splitlines()
+    pre = [l for l in lines if l.endswith("...")]
+    post = [l for l in lines if "->" in l]
+    # Every completed call has both a pre and a post line (execve has no
+    # post line: it does not return; fork's children add start markers).
+    assert len(pre) >= len(post) > 0
+
+
+def test_errors_logged_symbolically(traced):
+    status, log = traced("cat /tmp/no-such-file; true")
+    assert "-> ENOENT" in log
+
+
+def test_children_traced_with_pids(traced):
+    status, log = traced("echo via child")
+    assert "(child of fork starts)" in log
+    pids = {line.split("]")[0] for line in log.splitlines() if line.startswith("[")}
+    assert len(pids) >= 2
+
+
+def test_signals_logged(world):
+    from repro.kernel import signals as sig
+    from repro.kernel.sysent import number_of
+
+    agent = TraceSymbolicSyscall("/tmp/trace.out")
+
+    def main(ctx):
+        agent.attach(ctx)
+        ctx.trap(number_of("sigvec"), sig.SIGUSR1, lambda s: None, 0)
+        ctx.trap(number_of("kill"), ctx.proc.pid, sig.SIGUSR1)
+        return 0
+
+    world.run_entry(main)
+    log = world.read_file("/tmp/trace.out").decode()
+    assert "signal SIGUSR1 received" in log
+    assert "sigvec(SIGUSR1" in log
+    assert "kill(" in log
+
+
+def test_trace_survives_exec(traced):
+    status, log = traced("sh -c 'echo inner'")
+    assert "execve(" in log
+    # calls from the exec'd inner shell are still traced
+    assert log.count("execve(") >= 2
+
+
+def test_log_to_stderr(world):
+    status = run_under_agent(
+        world, TraceSymbolicSyscall("-"), "/bin/true", ["true"]
+    )
+    out = world.console.take_output().decode()
+    assert "exit(0)" in out
+
+
+def test_log_fd_parked_high(world):
+    agent = TraceSymbolicSyscall("/tmp/trace.out")
+    status = run_under_agent(
+        world, agent, "/bin/sh", ["sh", "-c", "echo x > /tmp/a; cat /tmp/a"]
+    )
+    assert WEXITSTATUS(status) == 0
+    assert agent.log_fd >= 48
+    # The application's own descriptor numbering was unaffected: its
+    # first open still got fd 3 (visible in the trace).
+    log = world.read_file("/tmp/trace.out").decode()
+    assert "-> 3" in log
+
+
+def test_workload_output_unchanged_under_trace(world):
+    from repro.workloads import boot_world
+
+    bare = boot_world()
+    bare.run("/bin/sh", ["sh", "-c", "ls /bin | wc"])
+    expected = bare.console.take_output()
+
+    run_under_agent(
+        world, TraceSymbolicSyscall("/tmp/trace.out"), "/bin/sh",
+        ["sh", "-c", "ls /bin | wc"],
+    )
+    assert world.console.take_output() == expected

@@ -1,0 +1,109 @@
+"""Golden-format test for the trace agent, plus small robustness checks."""
+
+import pytest
+
+from repro.agents.trace import TraceSymbolicSyscall
+from repro.kernel.errno import ENOEXEC, SyscallError
+from repro.kernel.proc import WEXITSTATUS
+from repro.kernel.sysent import number_of
+from repro.programs.libc import O_CREAT, O_RDONLY, O_WRONLY, Sys
+
+
+def test_trace_log_exact_format(world):
+    """The trace format is part of the tool's interface: pin it down."""
+    world.write_file("/tmp/fixed", "0123456789")
+    agent = TraceSymbolicSyscall("/tmp/golden.trace")
+
+    def main(ctx):
+        agent.attach(ctx)
+        sys = Sys(ctx)
+        fd = sys.open("/tmp/fixed", O_RDONLY)
+        sys.read(fd, 4)
+        sys.close(fd)
+        try:
+            sys.open("/tmp/absent", O_RDONLY)
+        except SyscallError:
+            pass
+        return 0
+
+    world.run_entry(main)
+    log = world.read_file("/tmp/golden.trace").decode()
+    pid = log.split("]")[0].lstrip("[")
+    expected = (
+        "[{p}] open('/tmp/fixed', O_RDONLY, 666) ...\n"
+        "[{p}] ... open -> 3\n"
+        "[{p}] read(3, 4) ...\n"
+        "[{p}] ... read -> [4 bytes]\n"
+        "[{p}] close(3) ...\n"
+        "[{p}] ... close -> 0\n"
+        "[{p}] open('/tmp/absent', O_RDONLY, 666) ...\n"
+        "[{p}] ... open -> ENOENT\n"
+        "[{p}] exit(0) ...\n"
+    ).format(p=pid)
+    assert log == expected
+
+
+def test_watchdog_surfaces_deadlocks(kernel):
+    """A process sleeping forever is reported, not hung."""
+    kernel._watchdog_seconds = 0.3
+
+    def main(ctx):
+        rfd, wfd = ctx.trap(number_of("pipe"))
+        ctx.trap(number_of("read"), rfd, 1)  # nobody will ever write
+        return 0
+
+    from repro.kernel.kernel import ProgramCrash
+
+    with pytest.raises(ProgramCrash) as exc:
+        kernel.run_entry(main)
+    assert "watchdog" in str(exc.value)
+
+
+def test_interpreter_of_interpreter_rejected(world):
+    """One level of #! indirection is supported, as in 4.3BSD; a script
+    whose interpreter is itself a script fails with ENOEXEC."""
+    world.write_file("/tmp/level1.sh", "#!/bin/sh\necho level1\n", mode=0o755)
+    world.lookup_host("/tmp/level1.sh").mode |= 0o111
+    world.write_file("/tmp/level2.sh", "#!/tmp/level1.sh\n", mode=0o755)
+    world.lookup_host("/tmp/level2.sh").mode |= 0o111
+
+    def main(ctx):
+        try:
+            ctx.trap(number_of("execve"), "/tmp/level2.sh", ["level2"], {})
+        except SyscallError as err:
+            return 10 if err.errno == ENOEXEC else 1
+        return 1
+
+    assert WEXITSTATUS(world.run_entry(main)) == 10
+
+
+def test_trace_agent_reuse_rejected_gracefully(world):
+    """One agent instance can serve one client tree per attach; a second
+    attach in a fresh world still works (fresh log)."""
+    agent = TraceSymbolicSyscall("/tmp/reuse.trace")
+    from repro.toolkit import run_under_agent
+
+    status = run_under_agent(world, agent, "/bin/true", ["true"])
+    assert WEXITSTATUS(status) == 0
+    first = world.read_file("/tmp/reuse.trace")
+    status = run_under_agent(world, agent, "/bin/true", ["true"])
+    assert WEXITSTATUS(status) == 0
+    second = world.read_file("/tmp/reuse.trace")
+    assert b"exit(0)" in second
+    assert len(second) >= len(first)
+
+
+def test_trace_overrides_every_bsd_call():
+    """Maintenance guard: adding a system call without a trace printer
+    would silently fall back to unformatted tracing."""
+    from repro.kernel.sysent import SYSCALLS, bsd_numbers
+    from repro.toolkit.symbolic import SymbolicSyscall
+
+    missing = []
+    for number in bsd_numbers():
+        name = "sys_" + SYSCALLS[number].name
+        if getattr(TraceSymbolicSyscall, name) is getattr(
+            SymbolicSyscall, name
+        ):
+            missing.append(name)
+    assert not missing, "trace has no printer for: %s" % missing

@@ -1,0 +1,89 @@
+"""Tests for the tracedump log summariser."""
+
+import pytest
+
+from repro.agents.trace import TraceSymbolicSyscall
+from repro.kernel.proc import WEXITSTATUS
+from repro.programs.tracedump import parse_trace_lines, summarize
+from repro.toolkit import run_under_agent
+
+
+SAMPLE = (
+    "[3] open('/tmp/x', O_RDONLY, 666) ...\n"
+    "[3] ... open -> 3\n"
+    "[3] read(3, 10) ...\n"
+    "[3] ... read -> [10 bytes]\n"
+    "[3] open('/gone', O_RDONLY, 666) ...\n"
+    "[3] ... open -> ENOENT\n"
+    "[4] signal SIGUSR1 received\n"
+    "[4] exit(0) ...\n"
+)
+
+
+def test_parse_trace_lines():
+    events = list(parse_trace_lines(SAMPLE))
+    assert (3, "open", None) in events
+    assert (3, "open", "3") in events
+    assert (3, "open", "ENOENT") in events
+    assert (4, "exit", None) in events
+
+
+def test_summarize_counts():
+    calls, errors, per_pid, signals = summarize(SAMPLE)
+    assert calls == {"open": 2, "read": 1, "exit": 1}
+    assert errors == {("open", "ENOENT"): 1}
+    assert per_pid == {3: 3, 4: 1}
+    assert signals == 1
+
+
+def test_tracedump_end_to_end(world):
+    agent = TraceSymbolicSyscall("/tmp/session.trace")
+    run_under_agent(
+        world, agent, "/bin/sh",
+        ["sh", "-c", "echo x > /tmp/td; cat /tmp/td; cat /missing; true"],
+    )
+    world.console.take_output()
+    status = world.run("/bin/tracedump", ["tracedump", "/tmp/session.trace"])
+    assert WEXITSTATUS(status) == 0
+    out = world.console.take_output().decode()
+    assert "calls" in out.splitlines()[0]
+    assert "open" in out
+    assert "ENOENT" in out
+
+
+def test_tracedump_errors_only(world):
+    agent = TraceSymbolicSyscall("/tmp/session2.trace")
+    run_under_agent(
+        world, agent, "/bin/sh", ["sh", "-c", "cat /definitely/gone; true"]
+    )
+    world.console.take_output()
+    status = world.run(
+        "/bin/tracedump", ["tracedump", "-e", "/tmp/session2.trace"]
+    )
+    out = world.console.take_output().decode()
+    assert "open -> ENOENT" in out
+    # Successful calls are not listed in errors-only mode.
+    assert "exit" not in out
+
+
+def test_tracedump_missing_file(world):
+    status = world.run("/bin/tracedump", ["tracedump", "/tmp/absent.trace"])
+    assert WEXITSTATUS(status) == 1
+
+
+def test_tracedump_usage(world):
+    status = world.run("/bin/tracedump", ["tracedump"])
+    assert WEXITSTATUS(status) == 2
+
+
+def test_tracedump_can_run_under_trace(world):
+    """The summariser itself is an unmodified binary: trace the tracer."""
+    agent = TraceSymbolicSyscall("/tmp/inner.trace")
+    run_under_agent(world, agent, "/bin/true", ["true"])
+    world.console.take_output()
+    outer = TraceSymbolicSyscall("/tmp/outer.trace")
+    status = run_under_agent(
+        world, outer, "/bin/tracedump", ["tracedump", "/tmp/inner.trace"]
+    )
+    assert WEXITSTATUS(status) == 0
+    assert b"read(" in world.read_file("/tmp/outer.trace")

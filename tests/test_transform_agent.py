@@ -1,0 +1,155 @@
+"""Tests for the compression and encryption agents (paper Section 1.4)."""
+
+import zlib
+
+import pytest
+
+from repro.agents.transform import MAGIC, CompressAgent, CryptAgent, _keystream_xor
+from repro.kernel.proc import WEXITSTATUS
+from repro.toolkit import run_under_agent
+
+SUBTREE = "/home/mbj/store"
+
+
+@pytest.fixture
+def store_world(world):
+    world.mkdir_p(SUBTREE)
+    return world
+
+
+def run_compressed(world, command):
+    agent = CompressAgent(SUBTREE)
+    status = run_under_agent(world, agent, "/bin/sh", ["sh", "-c", command])
+    return status, world.console.take_output().decode()
+
+
+def test_write_then_read_roundtrip(store_world):
+    status, out = run_compressed(
+        store_world,
+        "echo the quick brown fox > %s/f; cat %s/f" % (SUBTREE, SUBTREE),
+    )
+    assert WEXITSTATUS(status) == 0
+    assert out == "the quick brown fox\n"
+
+
+def test_stored_form_is_compressed(store_world):
+    text = "squeeze me " * 200
+    run_compressed(store_world, "echo %s > %s/big" % (text.strip(), SUBTREE))
+    stored = store_world.read_file(SUBTREE + "/big")
+    assert stored.startswith(MAGIC)
+    assert len(stored) < len(text)
+    assert zlib.decompress(stored[len(MAGIC):]).decode().strip() == text.strip()
+
+
+def test_roundtrip_across_sessions(store_world):
+    run_compressed(store_world, "echo persisted > %s/p" % SUBTREE)
+    status, out = run_compressed(store_world, "cat %s/p" % SUBTREE)
+    assert out == "persisted\n"
+
+
+def test_stat_reports_decoded_size(store_world):
+    run_compressed(store_world, "echo 12345 > %s/sz" % SUBTREE)
+    status, out = run_compressed(store_world, "ls -l %s/sz" % SUBTREE)
+    assert " 6 " in out  # "12345\n" is six decoded bytes
+
+
+def test_plain_preexisting_file_readable(store_world):
+    store_world.write_file(SUBTREE + "/legacy", "never compressed")
+    status, out = run_compressed(store_world, "cat %s/legacy" % SUBTREE)
+    assert out == "never compressed"
+
+
+def test_files_outside_subtree_untouched(store_world):
+    status, out = run_compressed(
+        store_world, "echo outside > /tmp/plain; cat /tmp/plain"
+    )
+    assert out == "outside\n"
+    assert store_world.read_file("/tmp/plain") == b"outside\n"
+
+
+def test_append_mode(store_world):
+    run_compressed(store_world, "echo one > %s/log" % SUBTREE)
+    run_compressed(store_world, "echo two >> %s/log" % SUBTREE)
+    status, out = run_compressed(store_world, "cat %s/log" % SUBTREE)
+    assert out == "one\ntwo\n"
+
+
+def test_seek_and_partial_read(store_world):
+    def seeker(sys, argv, envp):
+        sys.write_whole(SUBTREE + "/seek", b"0123456789")
+        fd = sys.open(SUBTREE + "/seek")
+        sys.lseek(fd, 4)
+        sys.print_out(sys.read(fd, 3).decode())
+        sys.close(fd)
+        return 0
+
+    from tests.conftest import install_program
+
+    install_program(store_world, "seeker", seeker)
+    agent = CompressAgent(SUBTREE)
+    status = run_under_agent(store_world, agent, "/bin/seeker", ["seeker"])
+    assert store_world.console.take_output().decode() == "456"
+
+
+def test_ftruncate_through_agent(store_world):
+    def shrinker(sys, argv, envp):
+        sys.write_whole(SUBTREE + "/sh", b"abcdefgh")
+        from repro.programs.libc import O_RDWR
+
+        fd = sys.open(SUBTREE + "/sh", O_RDWR)
+        sys.ftruncate(fd, 3)
+        sys.close(fd)
+        sys.print_out(sys.read_whole(SUBTREE + "/sh").decode())
+        return 0
+
+    from tests.conftest import install_program
+
+    install_program(store_world, "shrinker", shrinker)
+    agent = CompressAgent(SUBTREE)
+    run_under_agent(store_world, agent, "/bin/shrinker", ["shrinker"])
+    assert store_world.console.take_output().decode() == "abc"
+
+
+# -- encryption --------------------------------------------------------------
+
+def test_keystream_xor_involution():
+    data = b"some secret bytes" * 10
+    assert _keystream_xor(_keystream_xor(data, "k"), "k") == data
+    assert _keystream_xor(data, "k") != data
+    assert _keystream_xor(data, "k") != _keystream_xor(data, "other")
+
+
+def test_keystream_rejects_empty_key():
+    with pytest.raises(ValueError):
+        _keystream_xor(b"x", "")
+
+
+def test_crypt_roundtrip_and_ciphertext(store_world):
+    agent = CryptAgent(SUBTREE, key="sekrit")
+    run_under_agent(
+        store_world, agent, "/bin/sh",
+        ["sh", "-c", "echo classified > %s/c" % SUBTREE],
+    )
+    stored = store_world.read_file(SUBTREE + "/c")
+    assert b"classified" not in stored
+
+    agent2 = CryptAgent(SUBTREE, key="sekrit")
+    run_under_agent(
+        store_world, agent2, "/bin/sh", ["sh", "-c", "cat %s/c" % SUBTREE]
+    )
+    assert store_world.console.take_output().decode() == "classified\n"
+
+
+def test_crypt_wrong_key_garbage(store_world):
+    agent = CryptAgent(SUBTREE, key="right")
+    run_under_agent(
+        store_world, agent, "/bin/sh",
+        ["sh", "-c", "echo classified > %s/w" % SUBTREE],
+    )
+    store_world.console.take_output()
+    wrong = CryptAgent(SUBTREE, key="wrong")
+    run_under_agent(
+        store_world, wrong, "/bin/sh", ["sh", "-c", "cat %s/w" % SUBTREE]
+    )
+    garbage = store_world.console.take_output().decode(errors="replace")
+    assert "classified" not in garbage

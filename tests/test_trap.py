@@ -1,0 +1,212 @@
+"""Tests for the trap layer: emulation vectors, htg, signal redirection."""
+
+import pytest
+
+from repro.kernel import signals as sig
+from repro.kernel.errno import EINVAL, ENOSYS, SyscallError
+from repro.kernel.proc import WEXITSTATUS
+from repro.kernel.sysent import number_of
+
+NR = {n: number_of(n) for n in (
+    "getpid", "gettimeofday", "open", "kill", "sigvec", "fork", "wait",
+    "task_set_emulation", "task_get_emulation", "task_set_signal_redirect",
+    "task_get_descriptors",
+)}
+
+
+def test_redirected_call_reaches_handler(run_entry):
+    def main(ctx):
+        calls = []
+
+        def handler(hctx, number, args):
+            calls.append((number, args))
+            return 4242
+
+        ctx.trap(NR["task_set_emulation"], [NR["getpid"]], handler)
+        assert ctx.trap(NR["getpid"]) == 4242
+        assert calls == [(NR["getpid"], ())]
+        return 0
+
+    assert run_entry(main) == 0
+
+
+def test_unredirected_calls_unaffected(run_entry):
+    def main(ctx):
+        ctx.trap(NR["task_set_emulation"], [NR["getpid"]],
+                 lambda c, n, a: 99)
+        tv = ctx.trap(NR["gettimeofday"])  # not redirected
+        assert tv.tv_sec > 0
+        return 0
+
+    assert run_entry(main) == 0
+
+
+def test_htg_bypasses_redirection(run_entry):
+    def main(ctx):
+        ctx.trap(NR["task_set_emulation"], [NR["getpid"]],
+                 lambda c, n, a: -1)
+        real = ctx.htg(NR["getpid"])
+        assert real == ctx.proc.pid
+        assert ctx.trap(NR["getpid"]) == -1
+        return 0
+
+    assert run_entry(main) == 0
+
+
+def test_handler_errors_surface_as_syscall_errors(run_entry):
+    def main(ctx):
+        def failing(hctx, number, args):
+            raise SyscallError(EINVAL, "agent says no")
+
+        ctx.trap(NR["task_set_emulation"], [NR["getpid"]], failing)
+        try:
+            ctx.trap(NR["getpid"])
+        except SyscallError as err:
+            assert err.errno == EINVAL
+            return 0
+        return 1
+
+    assert run_entry(main) == 0
+
+
+def test_remove_redirection(run_entry):
+    def main(ctx):
+        ctx.trap(NR["task_set_emulation"], [NR["getpid"]],
+                 lambda c, n, a: -1)
+        ctx.trap(NR["task_set_emulation"], [NR["getpid"]], None)
+        assert ctx.trap(NR["getpid"]) == ctx.proc.pid
+        return 0
+
+    assert run_entry(main) == 0
+
+
+def test_task_get_emulation(run_entry):
+    def main(ctx):
+        handler = lambda c, n, a: 0  # noqa: E731
+        assert ctx.trap(NR["task_get_emulation"], NR["getpid"]) is None
+        ctx.trap(NR["task_set_emulation"], [NR["getpid"]], handler)
+        assert ctx.trap(NR["task_get_emulation"], NR["getpid"]) is handler
+        return 0
+
+    assert run_entry(main) == 0
+
+
+def test_emulation_vector_inherited_by_fork(run_entry):
+    def main(ctx):
+        def handler(hctx, number, args):
+            return 777
+
+        ctx.trap(NR["task_set_emulation"], [NR["getpid"]], handler)
+
+        def child(cctx):
+            return 0 if cctx.trap(NR["getpid"]) == 777 else 1
+
+        ctx.trap(NR["fork"], child)
+        _, status = ctx.trap(NR["wait"])
+        return WEXITSTATUS(status)
+
+    assert run_entry(main) == 0
+
+
+def test_bad_handler_rejected(run_entry):
+    def main(ctx):
+        try:
+            ctx.trap(NR["task_set_emulation"], [NR["getpid"]], "not callable")
+        except SyscallError as err:
+            assert err.errno == EINVAL
+            return 0
+        return 1
+
+    assert run_entry(main) == 0
+
+
+def test_unknown_syscall_enosys(run_entry):
+    def main(ctx):
+        try:
+            ctx.trap(987)
+        except SyscallError as err:
+            assert err.errno == ENOSYS
+            return 0
+        return 1
+
+    assert run_entry(main) == 0
+
+
+def test_too_many_args_einval(run_entry):
+    def main(ctx):
+        try:
+            ctx.trap(NR["getpid"], 1, 2, 3)
+        except SyscallError as err:
+            assert err.errno == EINVAL
+            return 0
+        return 1
+
+    assert run_entry(main) == 0
+
+
+def test_signal_redirect_gets_upcall_first(run_entry):
+    def main(ctx):
+        order = []
+        ctx.trap(NR["sigvec"], sig.SIGUSR1, lambda s: order.append("app"), 0)
+
+        def redirect(rctx, signum, action):
+            order.append("agent")
+            # Forward to the application handler.
+            action.handler(signum)
+
+        ctx.trap(NR["task_set_signal_redirect"], redirect)
+        ctx.trap(NR["kill"], ctx.proc.pid, sig.SIGUSR1)
+        assert order == ["agent", "app"]
+        return 0
+
+    assert run_entry(main) == 0
+
+
+def test_signal_redirect_can_suppress(run_entry):
+    def main(ctx):
+        seen = []
+        ctx.trap(NR["sigvec"], sig.SIGUSR1, lambda s: seen.append(s), 0)
+        ctx.trap(NR["task_set_signal_redirect"], lambda c, s, a: None)
+        ctx.trap(NR["kill"], ctx.proc.pid, sig.SIGUSR1)
+        assert seen == []  # the agent swallowed it
+        return 0
+
+    assert run_entry(main) == 0
+
+
+def test_task_get_descriptors(run_entry, kernel):
+    kernel.write_file("/tmp/f", "x")
+
+    def main(ctx):
+        from repro.kernel.ofile import F_SETFD, FD_CLOEXEC, O_RDONLY
+
+        fd = ctx.trap(NR["open"], "/tmp/f", O_RDONLY, 0)
+        ctx.trap(number_of("fcntl"), fd, F_SETFD, FD_CLOEXEC)
+        table = dict(ctx.trap(NR["task_get_descriptors"]))
+        assert table[0] is False  # console
+        assert table[fd] is True
+        return 0
+
+    assert run_entry(main) == 0
+
+
+def test_trap_counts_tracked(kernel, run_entry):
+    def main(ctx):
+        for _ in range(5):
+            ctx.trap(NR["getpid"])
+        return 0
+
+    before = kernel.trap_total
+    run_entry(main)
+    assert kernel.trap_total - before >= 6  # 5 getpids + exit
+
+
+def test_consume_cpu_advances_clock_and_rusage(kernel, run_entry):
+    def main(ctx):
+        before = ctx.kernel.clock.usec()
+        ctx.consume_cpu(50_000)
+        assert ctx.kernel.clock.usec() - before == 50_000
+        assert ctx.proc.rusage.ru_utime_usec >= 50_000
+        return 0
+
+    assert run_entry(main) == 0

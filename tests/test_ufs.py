@@ -1,0 +1,105 @@
+"""Unit tests for the filesystem object: links, refcounts, reclamation."""
+
+import pytest
+
+from repro.kernel.clock import Clock
+from repro.kernel.cred import Cred
+from repro.kernel.errno import ENOENT, ENOSPC, SyscallError
+from repro.kernel.ufs import Filesystem, ROOT_INO
+
+ROOT = Cred(0, 0)
+
+
+@pytest.fixture
+def fs():
+    return Filesystem(Clock())
+
+
+def test_root_is_ino_2(fs):
+    assert fs.root.ino == ROOT_INO
+    assert fs.root.lookup(".") == ROOT_INO
+    assert fs.root.lookup("..") == ROOT_INO
+    assert fs.root.nlink == 2
+
+
+def test_link_bumps_nlink(fs):
+    node = fs.create_file(0o644, ROOT)
+    assert node.nlink == 0
+    fs.link(fs.root, "a", node)
+    assert node.nlink == 1
+    fs.link(fs.root, "b", node)
+    assert node.nlink == 2
+
+
+def test_unlink_reclaims_when_unreferenced(fs):
+    node = fs.create_file(0o644, ROOT)
+    fs.link(fs.root, "f", node)
+    ino = node.ino
+    fs.unlink(fs.root, "f", node)
+    with pytest.raises(SyscallError):
+        fs.inode(ino)
+
+
+def test_unlink_while_open_defers_reclaim(fs):
+    node = fs.create_file(0o644, ROOT)
+    fs.link(fs.root, "f", node)
+    fs.incref(node)  # an open file holds it
+    fs.unlink(fs.root, "f", node)
+    assert fs.inode(node.ino) is node  # still alive
+    node.write_at(0, b"still writable")
+    fs.decref(node)
+    with pytest.raises(SyscallError):
+        fs.inode(node.ino)
+
+
+def test_second_link_keeps_inode(fs):
+    node = fs.create_file(0o644, ROOT)
+    fs.link(fs.root, "a", node)
+    fs.link(fs.root, "b", node)
+    fs.unlink(fs.root, "a", node)
+    assert fs.inode(node.ino) is node
+    assert node.nlink == 1
+
+
+def test_mkdir_in_nlink_accounting(fs):
+    before = fs.root.nlink
+    sub = fs.mkdir_in(fs.root, "d", 0o755, ROOT)
+    assert sub.nlink == 2  # "." plus the entry in root
+    assert fs.root.nlink == before + 1  # the child's ".."
+    assert sub.lookup("..") == fs.root.ino
+
+
+def test_inode_numbers_unique(fs):
+    inos = {fs.create_file(0o644, ROOT).ino for _ in range(50)}
+    assert len(inos) == 50
+
+
+def test_out_of_inodes(fs):
+    small = Filesystem(Clock(), max_inodes=3)
+    small.create_file(0o644, ROOT)
+    small.create_file(0o644, ROOT)
+    with pytest.raises(SyscallError) as exc:
+        small.create_file(0o644, ROOT)
+    assert exc.value.errno == ENOSPC
+
+
+def test_creation_uses_effective_ids(fs):
+    cred = Cred(10, 20, euid=30, egid=40)
+    node = fs.create_file(0o644, cred)
+    assert node.uid == 30
+    assert node.gid == 40
+
+
+def test_live_inode_count(fs):
+    base = fs.live_inode_count()
+    node = fs.create_file(0o644, ROOT)
+    fs.link(fs.root, "f", node)
+    assert fs.live_inode_count() == base + 1
+    fs.unlink(fs.root, "f", node)
+    assert fs.live_inode_count() == base
+
+
+def test_stale_inode_lookup_raises(fs):
+    with pytest.raises(SyscallError) as exc:
+        fs.inode(99999)
+    assert exc.value.errno == ENOENT

@@ -1,0 +1,150 @@
+"""Tests for the union directories agent (paper Section 3.3.3)."""
+
+import pytest
+
+from repro.agents.union_dirs import UnionAgent, normalize
+from repro.kernel.proc import WEXITSTATUS
+from repro.toolkit import run_under_agent
+
+
+# -- unit: path normalization ------------------------------------------
+
+def test_normalize_absolute():
+    assert normalize("/a/b/../c") == "/a/c"
+    assert normalize("/a//b/./c/") == "/a/b/c"
+    assert normalize("/..") == "/"
+    assert normalize("/") == "/"
+
+
+def test_normalize_relative_with_cwd():
+    assert normalize("x/y", "/home") == "/home/x/y"
+    assert normalize("../y", "/home/sub") == "/home/y"
+    assert normalize(".", "/home") == "/home"
+
+
+# -- behaviour --------------------------------------------------------------
+
+@pytest.fixture
+def union_world(world):
+    world.mkdir_p("/src")
+    world.mkdir_p("/obj")
+    world.mkdir_p("/view")
+    world.write_file("/src/main.c", "int main(){}\n")
+    world.write_file("/src/shared.txt", "from src\n")
+    world.write_file("/obj/main.o", "!object\n")
+    world.write_file("/obj/shared.txt", "from obj\n")
+    return world
+
+
+def _agent():
+    agent = UnionAgent()
+    agent.pset.add_union("/view", ["/src", "/obj"])
+    return agent
+
+
+def run_union(world, command):
+    status = run_under_agent(
+        world, _agent(), "/bin/sh", ["sh", "-c", command]
+    )
+    return WEXITSTATUS(status), world.console.take_output().decode()
+
+
+def test_merged_listing(union_world):
+    code, out = run_union(union_world, "ls /view")
+    assert code == 0
+    assert out.splitlines() == ["main.c", "main.o", "shared.txt"]
+
+
+def test_first_member_shadows(union_world):
+    code, out = run_union(union_world, "cat /view/shared.txt")
+    assert out == "from src\n"
+
+
+def test_fallthrough_to_second_member(union_world):
+    code, out = run_union(union_world, "cat /view/main.o")
+    assert out == "!object\n"
+
+
+def test_creation_goes_to_first_member(union_world):
+    code, _ = run_union(union_world, "echo fresh > /view/new.txt")
+    assert code == 0
+    assert union_world.read_file("/src/new.txt") == b"fresh\n"
+    assert not union_world.lookup_host("/obj").contains("new.txt")
+
+
+def test_unlink_through_union(union_world):
+    code, _ = run_union(union_world, "rm /view/main.o")
+    assert code == 0
+    assert not union_world.lookup_host("/obj").contains("main.o")
+
+
+def test_stat_through_union(union_world):
+    code, out = run_union(union_world, "ls -l /view/shared.txt")
+    assert code == 0
+    assert "9" in out  # size of "from src\n"
+
+
+def test_missing_name_enoent(union_world):
+    code, out = run_union(union_world, "cat /view/absent")
+    assert code == 1
+    assert "ENOENT" in out or "absent" in out
+
+
+def test_relative_paths_through_cwd(union_world):
+    code, out = run_union(union_world, "cd /view; cat shared.txt")
+    assert out == "from src\n"
+
+
+def test_non_union_paths_untouched(union_world):
+    code, out = run_union(union_world, "cat /etc/passwd")
+    assert code == 0
+    assert "root:" in out
+
+
+def test_make_over_union_view(union_world):
+    """The paper's motivating case: distinct source and object
+    directories appear as a single directory when running make."""
+    union_world.write_file(
+        "/src/Makefile",
+        "prog: main.c\n"
+        "\tcc -o prog main.c\n",
+    )
+    code, out = run_union(union_world, "cd /view; make")
+    assert code == 0, out
+    # The output landed in the first member, visible through the view.
+    assert union_world.lookup_host("/src").contains("prog")
+    code, out = run_union(union_world, "ls /view")
+    assert "prog" in out.split()
+
+
+def test_dot_entries_come_from_first_member_only(union_world):
+    code, out = run_union(union_world, "ls -a /view")
+    names = out.split()
+    assert names.count(".") == 1
+    assert names.count("..") == 1
+
+
+def test_loader_spec_parsing(world):
+    world.mkdir_p("/m1")
+    world.mkdir_p("/m2")
+    world.write_file("/m1/a", "")
+    world.write_file("/m2/b", "")
+    world.mkdir_p("/u")
+    status = world.run(
+        "/bin/sh",
+        ["sh", "-c", "agentrun union /u=/m1:/m2 -- ls /u"],
+    )
+    assert WEXITSTATUS(status) == 0
+    assert world.console.take_output().decode().split() == ["a", "b"]
+
+
+def test_union_of_three_members(world):
+    for i, name in ((1, "one"), (2, "two"), (3, "three")):
+        world.mkdir_p("/m%d" % i)
+        world.write_file("/m%d/%s" % (i, name), "")
+    agent = UnionAgent()
+    agent.pset.add_union("/all", ["/m1", "/m2", "/m3"])
+    status = run_under_agent(world, agent, "/bin/sh", ["sh", "-c", "ls /all"])
+    assert world.console.take_output().decode().split() == [
+        "one", "three", "two"
+    ]

@@ -1,0 +1,72 @@
+"""Tests for workload setup/clean helpers and world bootstrap."""
+
+import pytest
+
+from repro.kernel.proc import WEXITSTATUS
+from repro.workloads import (
+    afs_bench,
+    boot_world,
+    format_dissertation,
+    make_programs,
+)
+
+
+def test_boot_world_installs_binaries(world):
+    for path in ("/bin/sh", "/bin/cat", "/bin/make", "/bin/cc",
+                 "/usr/lib/cpp", "/usr/lib/cc1", "/bin/as", "/bin/ld",
+                 "/usr/bin/scribe", "/bin/agentrun", "/bin/sort",
+                 "/bin/tee"):
+        node = world.lookup_host(path)
+        assert node.is_reg() and node.mode & 0o111, path
+
+
+def test_boot_world_support_files(world):
+    assert world.read_file("/usr/lib/libc.o").startswith(b"!object")
+    assert b"report" in world.read_file("/usr/lib/scribe/report.fmt")
+    assert b"jones93" in world.read_file("/usr/lib/scribe/bibliography.bib")
+    assert b"#define" in world.read_file("/usr/include/stdio.h")
+
+
+def test_dissertation_setup_paths(world):
+    path = format_dissertation.setup(world)
+    assert path == format_dissertation.MANUSCRIPT
+    top = world.read_file(path).decode()
+    assert top.count("@include") == len(format_dissertation.CHAPTERS)
+    for number in range(1, len(format_dissertation.CHAPTERS) + 1):
+        assert world.lookup_host(
+            "/home/mbj/diss/chapter%d.mss" % number
+        ).is_reg()
+
+
+def test_dissertation_setup_deterministic(world):
+    format_dissertation.setup(world)
+    first = world.read_file("/home/mbj/diss/chapter1.mss")
+    other = boot_world()
+    format_dissertation.setup(other)
+    assert other.read_file("/home/mbj/diss/chapter1.mss") == first
+
+
+def test_make_clean_allows_rebuild(world):
+    make_programs.setup(world)
+    assert WEXITSTATUS(make_programs.run(world)) == 0
+    world.console.take_output()
+    make_programs.clean(world)
+    src = world.lookup_host(make_programs.SRC_DIR)
+    assert not src.contains("prog1")
+    assert WEXITSTATUS(make_programs.run(world)) == 0
+    assert "cc -o prog1" in world.console.take_output().decode()
+
+
+def test_afs_clean_allows_rerun(world):
+    afs_bench.setup(world)
+    assert WEXITSTATUS(afs_bench.run(world)) == 0
+    afs_bench.clean(world)
+    assert not world.lookup_host(afs_bench.BASE).contains("tree")
+    assert WEXITSTATUS(afs_bench.run(world)) == 0
+
+
+def test_afs_setup_writes_script(world):
+    script_path = afs_bench.setup(world)
+    script = world.read_file(script_path).decode()
+    for phase_marker in ("mkdir", "cp ", "ls -l", "grep", "wc", "cc -o"):
+        assert phase_marker in script

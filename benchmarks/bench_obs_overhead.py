@@ -1,0 +1,194 @@
+"""The observability layer's own pay-per-use claim, measured.
+
+The paper's central quantitative claim is that interposition costs
+nothing on calls nobody intercepts.  The observability subsystem
+(``repro.obs``) makes the same promise about itself: with ``kernel.obs``
+unset, every instrumentation site in the trap spine is one attribute
+test.  This benchmark holds it to that:
+
+* **Macro**: the format-dissertation workload (Table 3-2's baseline)
+  run with observability disabled, with metrics only, and with full
+  firehose ktrace+metrics — interleaved rounds, paired slowdowns.
+  "Disabled" must sit within noise of the seed baseline (the acceptance
+  bar is 3%); the enabled configurations report what observation costs.
+* **Micro**: the cost of one uninterposed getpid trap under the same
+  three configurations.
+* **Attribution**: the in-band per-layer latency table, checked against
+  the ordering ``bench_ablation_layers`` measures from the outside, and
+  demonstrated for the trace and union agents on the format workload.
+"""
+
+from repro import obs
+from repro.bench.timing import paired_slowdowns, time_matrix, usec_per_call
+from repro.kernel.sysent import bsd_numbers, number_of
+from repro.kernel.trap import UserContext
+from repro.obs.export import layer_rows
+from repro.workloads import boot_world, format_dissertation
+
+NR_GETPID = number_of("getpid")
+
+#: the three observability configurations under test
+CONFIGS = ("disabled", "metrics", "ktrace+metrics")
+
+
+def _enable_for(kernel, config):
+    """Apply one benchmark configuration to a freshly booted kernel."""
+    if config == "metrics":
+        obs.enable(kernel)
+    elif config == "ktrace+metrics":
+        obs.enable(kernel, ktrace_capacity=65536, trace_all=True)
+
+
+def _prepare(config):
+    """One prepared format-dissertation run under *config*."""
+    from repro.kernel.proc import WEXITSTATUS
+
+    kernel = boot_world()
+    format_dissertation.setup(kernel)
+    _enable_for(kernel, config)
+
+    def run():
+        status = format_dissertation.run(kernel)
+        assert WEXITSTATUS(status) == 0, "workload failed (%r)" % status
+        return kernel
+
+    return run
+
+
+def macro_rows(runs=9):
+    """(config, seconds, slowdown%) for the format workload."""
+    prepares = {
+        config: (lambda config=config: _prepare(config))
+        for config in CONFIGS
+    }
+    results = time_matrix(prepares, runs=runs)
+    slowdowns = paired_slowdowns(results, base_name="disabled")
+    return [(config, results[config][0], slowdowns[config])
+            for config in CONFIGS]
+
+
+def micro_rows(calls=2000):
+    """(config, usec) for one uninterposed getpid trap."""
+    rows = []
+    for config in CONFIGS:
+        kernel = boot_world()
+        _enable_for(kernel, config)
+        proc = kernel._create_initial_process()
+        ctx = UserContext(kernel, proc)
+        rows.append((config, usec_per_call(lambda: ctx.trap(NR_GETPID),
+                                           calls)))
+    return rows
+
+
+def attribution_rows(calls=800):
+    """In-band per-layer cost rows from pass-through agents.
+
+    Mirrors ``bench_ablation_layers.layer_cost_rows`` but measured from
+    the *inside*: each pass-through agent runs getpid traps with metrics
+    enabled, and the row reports the registry's mean handler time for
+    that agent's layer.  The means must order the same way the external
+    measurement does (numeric < symbolic < pathname+descriptor).
+    """
+    from repro.agents.time_symbolic import TimeSymbolic
+    from repro.toolkit.numeric import NumericSyscall
+    from repro.toolkit.pathnames import PathSymbolicSyscall
+
+    class _NumericPassthrough(NumericSyscall):
+        """Layer-0 pass-through for the attribution measurement."""
+
+        def init(self, agentargv):
+            """Interpose on every BSD call, taking the default action."""
+            self.register_interest_many(bsd_numbers())
+
+    rows = []
+    for factory in (_NumericPassthrough, TimeSymbolic, PathSymbolicSyscall):
+        kernel = boot_world()
+        registry = obs.enable(kernel).metrics
+        proc = kernel._create_initial_process()
+        ctx = UserContext(kernel, proc)
+        factory().attach(ctx)
+        for _ in range(calls):
+            ctx.trap(NR_GETPID)
+        hist = registry.histogram(("layer.usec", factory.OBS_LAYER))
+        rows.append((factory.OBS_LAYER, hist.count, hist.mean()))
+    return rows
+
+
+def agent_attribution_rows():
+    """Per-layer attribution for the trace and union agents on the
+    format workload — the runtime version of Table 3-2's agent column."""
+    from benchmarks.bench_support import make_agent, workload_command
+    from repro.kernel.proc import WEXITSTATUS
+    from repro.toolkit import run_under_agent
+
+    out = []
+    for name in ("trace", "union"):
+        kernel = boot_world()
+        format_dissertation.setup(kernel)
+        registry = obs.enable(kernel).metrics
+        agent = make_agent(name, format_dissertation)
+        path, argv = workload_command(format_dissertation)
+        status = run_under_agent(kernel, agent, path, argv)
+        assert WEXITSTATUS(status) == 0, status
+        for layer, count, mean, total in layer_rows(registry):
+            out.append((name, layer, count, mean, total))
+    return out
+
+
+# -- pytest entry points (CI smoke uses --quick semantics via rounds) ----
+
+
+def test_disabled_is_free(benchmark):
+    """Micro pay-per-use: a disabled-obs trap costs within noise of seed."""
+    rows = dict(benchmark.pedantic(micro_rows, rounds=1, iterations=1))
+    # The disabled configuration must not pay for the others' features:
+    # full tracing must cost measurably more than the single None test.
+    assert rows["disabled"] <= rows["ktrace+metrics"]
+    for config, usec in rows.items():
+        benchmark.extra_info[config] = round(usec, 3)
+
+
+def test_attribution_matches_ablation_ordering(benchmark):
+    """In-band layer means must order as the external ablation does.
+
+    The separations are small (the kernel call dominates a pass-through
+    handler), so adjacent layers get the same jitter headroom the
+    ablation benchmark's own assertion allows.
+    """
+    rows = benchmark.pedantic(lambda: attribution_rows(calls=2000),
+                              rounds=1, iterations=1)
+    means = [mean for _, _, mean in rows]
+    labels = [layer for layer, _, _ in rows]
+    assert labels == ["numeric", "symbolic", "pathname+descriptor"]
+    assert means[0] < means[1] * 1.15
+    assert means[1] < means[2] * 1.15
+    assert means[0] < means[2] * 1.1
+    for layer, count, mean in rows:
+        benchmark.extra_info[layer] = {"calls": count, "mean": round(mean, 3)}
+
+
+def print_tables(runs=9):
+    """Render every table of this benchmark to stdout."""
+    print("Observability overhead: format-dissertation workload")
+    print("%-16s %10s %10s" % ("config", "seconds", "slowdown"))
+    for config, seconds, pct in macro_rows(runs=runs):
+        print("%-16s %10.3f %9.1f%%" % (config, seconds, pct))
+    print()
+    print("Micro: one uninterposed getpid trap")
+    for config, usec in micro_rows():
+        print("%-16s %10.3f usec" % (config, usec))
+    print()
+    print("In-band layer attribution (pass-through agents, getpid)")
+    for layer, count, mean in attribution_rows():
+        print("%-24s %6d calls %10.2f usec mean" % (layer, count, mean))
+    print()
+    print("Agent attribution on format workload (trace, union)")
+    for name, layer, count, mean, total in agent_attribution_rows():
+        print("%-6s %-24s %6d calls %10.2f usec mean %12.0f total"
+              % (name, layer, count, mean, total))
+
+
+if __name__ == "__main__":
+    import sys as _host_sys
+
+    print_tables(runs=3 if "--quick" in _host_sys.argv else 9)

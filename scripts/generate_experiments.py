@@ -18,6 +18,7 @@ load_all()
 from benchmarks import (  # noqa: E402
     bench_ablation_layers as ablation,
     bench_agent_placement as placement,
+    bench_obs_overhead as obs_bench,
     bench_sec_3_5_3_dfstrace as dfs,
     bench_table_3_1_agent_sizes as t31,
     bench_table_3_2_format as t32,
@@ -200,6 +201,50 @@ def ablation_section(out):
               "the reason the Mach same-space design matters.\n\n")
 
 
+def obs_overhead_section(out):
+    out.write("## Observability overhead (ours) — the observer's own "
+              "pay-per-use\n\n")
+    out.write("Not a paper table; the kernel's observability layer "
+              "(`repro.obs`: event bus, metrics registry, ktrace ring "
+              "buffer) applied the paper's pay-per-use standard to "
+              "itself.  Disabled — the default — every instrumentation "
+              "site is a single `is None` test; the acceptance bar is "
+              "the disabled format-dissertation run staying within 3% "
+              "of the pre-observability baseline.\n\n**A. Format "
+              "workload** (no agent; interleaved rounds, paired "
+              "slowdowns against the disabled configuration):\n\n")
+    rows = [(c, "%.3f s" % s, "%+.1f%%" % p)
+            for c, s, p in obs_bench.macro_rows()]
+    out.write(_rows_to_md(("observability", "seconds", "slowdown"),
+                          rows, _fmt))
+    out.write("\n\n**B. One uninterposed getpid trap**:\n\n")
+    rows = [(c, "%.3f" % u) for c, u in obs_bench.micro_rows()]
+    out.write(_rows_to_md(("observability", "usec"), rows, _fmt))
+    out.write("\n\n**C. In-band layer attribution** (pass-through "
+              "agents; must order as the external ablation table "
+              "does):\n\n")
+    rows = [(layer, count, "%.2f" % mean)
+            for layer, count, mean in obs_bench.attribution_rows()]
+    out.write(_rows_to_md(("layer", "calls", "mean handler usec"),
+                          rows, _fmt))
+    out.write("\n\n**D. Agent attribution on the format workload** "
+              "(what the trace and union agents' layers cost, read "
+              "from the registry after the run):\n\n")
+    rows = [(name, layer, count, "%.2f" % mean, "%.0f" % total)
+            for name, layer, count, mean, total
+            in obs_bench.agent_attribution_rows()]
+    out.write(_rows_to_md(("agent", "layer", "calls", "mean usec",
+                           "total usec"), rows, _fmt))
+    out.write("\n\nShape: the disabled configuration is indistinguishable "
+              "from the Table 3-2 baseline (pay-per-use holds for the "
+              "observer); metrics cost single-digit percent on this "
+              "CPU-dominated workload and full firehose tracing a few "
+              "points more; the in-band layer means reproduce the "
+              "ablation's external ordering; and the trace agent's "
+              "per-call handler time exceeds union's (it formats and "
+              "logs every call), matching Table 3-3's agent ordering.\n\n")
+
+
 def main():
     out = io.StringIO()
     out.write(HEADER)
@@ -220,6 +265,8 @@ def main():
     section_3_5_3(out)
     print("Ablation ...", flush=True)
     ablation_section(out)
+    print("Observability overhead ...", flush=True)
+    obs_overhead_section(out)
     path = "EXPERIMENTS.md"
     if len(sys.argv) > 1:
         path = sys.argv[1]

@@ -4,12 +4,24 @@ The paper's first demonstration agent (Section 2.4): intercepts the
 full system call interface and accumulates per-call counts, error
 counts, bytes read/written, per-file open counts, and child process
 statistics.  A report is written when the client exits.
+
+The counters live in a private :class:`repro.obs.metrics.MetricsRegistry`
+(the same machinery the kernel's observability layer uses), with the
+original attribute surface — ``call_counts``, ``error_counts`` and
+friends — preserved as read-only views.  Passing ``--json`` in the
+agent's ``agentargv`` switches the exit report from the classic text
+rendering to a machine-readable JSON document; any non-flag argument
+still names the report path.
 """
 
+import json
+
 from repro.agents import agent
+from repro.kernel import signals as sig
 from repro.kernel.errno import SyscallError, errno_name
 from repro.kernel.ofile import F_DUPFD, O_CREAT, O_TRUNC, O_WRONLY
 from repro.kernel.sysent import name_of
+from repro.obs.metrics import MetricsRegistry
 from repro.toolkit.symbolic import SymbolicSyscall
 
 LOG_FD = 44
@@ -23,17 +35,52 @@ class MonitorAgent(SymbolicSyscall):
         super().__init__()
         self.report_path = report_path
         self.report_fd = None
-        self.call_counts = {}
-        self.error_counts = {}
-        self.bytes_read = 0
-        self.bytes_written = 0
-        self.opens_by_path = {}
-        self.forks = 0
-        self.signals = {}
+        self.json_report = False
+        self.metrics = MetricsRegistry()
+
+    # -- the classic counter attributes, now registry views ---------------
+
+    @property
+    def call_counts(self):
+        """Per-call invocation counts (``{"open": 3, ...}``)."""
+        return self.metrics.group("call")
+
+    @property
+    def error_counts(self):
+        """Failed-call counts keyed by ``(name, errno_name)``."""
+        return self.metrics.group("error")
+
+    @property
+    def bytes_read(self):
+        """Total bytes the client read."""
+        return self.metrics.counter(("bytes.read",))
+
+    @property
+    def bytes_written(self):
+        """Total bytes the client wrote."""
+        return self.metrics.counter(("bytes.written",))
+
+    @property
+    def opens_by_path(self):
+        """Open counts per pathname."""
+        return self.metrics.group("open.path")
+
+    @property
+    def forks(self):
+        """How many children the client forked."""
+        return self.metrics.counter(("fork",))
+
+    @property
+    def signals(self):
+        """Delivered signal counts keyed by signal number."""
+        return self.metrics.group("signal")
 
     def init(self, agentargv):
-        if agentargv:
-            self.report_path = agentargv[0]
+        for arg in agentargv:
+            if arg == "--json":
+                self.json_report = True
+            else:
+                self.report_path = arg
         fd = self.syscall_down(
             "open", self.report_path, O_WRONLY | O_CREAT | O_TRUNC, 0o644
         )
@@ -45,65 +92,87 @@ class MonitorAgent(SymbolicSyscall):
 
     def handle_syscall(self, number, args):
         name = name_of(number)
-        self.call_counts[name] = self.call_counts.get(name, 0) + 1
+        self.metrics.inc(("call", name))
         try:
             return super().handle_syscall(number, args)
         except SyscallError as err:
-            key = (name, errno_name(err.errno))
-            self.error_counts[key] = self.error_counts.get(key, 0) + 1
+            self.metrics.inc(("error", name, errno_name(err.errno)))
             raise
 
     # -- detail hooks ---------------------------------------------------------
 
     def sys_open(self, path, flags=0, mode=0o666):
         fd = super().sys_open(path, flags, mode)
-        self.opens_by_path[path] = self.opens_by_path.get(path, 0) + 1
+        self.metrics.inc(("open.path", path))
         return fd
 
     def sys_read(self, fd, count):
         data = super().sys_read(fd, count)
-        self.bytes_read += len(data)
+        self.metrics.inc(("bytes.read",), len(data))
         return data
 
     def sys_write(self, fd, data):
         written = super().sys_write(fd, data)
-        self.bytes_written += written
+        self.metrics.inc(("bytes.written",), written)
         return written
 
     def sys_fork(self, entry=None):
-        self.forks += 1
+        self.metrics.inc(("fork",))
         return super().sys_fork(entry)
 
     def signal_handler(self, signum, code, context):
-        self.signals[signum] = self.signals.get(signum, 0) + 1
+        self.metrics.inc(("signal", signum))
         super().signal_handler(signum, code, context)
 
     # -- reporting ----------------------------------------------------------------
 
     def report_text(self):
         """Render the accumulated counters as the exit report."""
+        call_counts = self.call_counts
+        error_counts = self.error_counts
+        opens_by_path = self.opens_by_path
         lines = ["system call usage:"]
-        for name in sorted(self.call_counts, key=lambda n: -self.call_counts[n]):
-            lines.append("  %6d %s" % (self.call_counts[name], name))
-        if self.error_counts:
+        for name in sorted(call_counts, key=lambda n: -call_counts[n]):
+            lines.append("  %6d %s" % (call_counts[name], name))
+        if error_counts:
             lines.append("errors:")
-            for (name, err), count in sorted(self.error_counts.items()):
+            for (name, err), count in sorted(error_counts.items()):
                 lines.append("  %6d %s -> %s" % (count, name, err))
         lines.append("bytes read: %d" % self.bytes_read)
         lines.append("bytes written: %d" % self.bytes_written)
         lines.append("forks: %d" % self.forks)
-        if self.opens_by_path:
+        if opens_by_path:
             lines.append("most-opened files:")
-            ranked = sorted(self.opens_by_path.items(), key=lambda kv: -kv[1])
+            ranked = sorted(opens_by_path.items(), key=lambda kv: -kv[1])
             for path, count in ranked[:10]:
                 lines.append("  %6d %s" % (count, path))
         return "\n".join(lines) + "\n"
+
+    def report_json(self):
+        """The same report as a machine-readable JSON document."""
+        doc = {
+            "calls": dict(self.call_counts),
+            "errors": {
+                "%s %s" % key: count
+                for key, count in self.error_counts.items()
+            },
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
+            "forks": self.forks,
+            "opens_by_path": dict(self.opens_by_path),
+            "signals": {
+                sig.signal_name(signum): count
+                for signum, count in self.signals.items()
+            },
+        }
+        return json.dumps(doc, indent=2, sort_keys=True) + "\n"
 
     def sys_exit(self, status=0):
         if self.report_fd is not None:
             # Rewrite the cumulative report; the last exiting client wins.
             self.syscall_down("lseek", self.report_fd, 0, 0)
-            text = self.report_text().encode()
+            render = self.report_json if self.json_report else self.report_text
+            text = render().encode()
             self.syscall_down("write", self.report_fd, text)
             self.syscall_down("ftruncate", self.report_fd, len(text))
         return super().sys_exit(status)

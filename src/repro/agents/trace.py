@@ -14,6 +14,12 @@ across system calls so it will not be lost if the process is killed.
 from repro.agents import agent
 from repro.kernel.errno import SyscallError, errno_name
 from repro.kernel.inode import Dirent
+from repro.kernel.ktrace import (
+    KTROP_CLEAR,
+    KTROP_CLEARALL,
+    KTROP_CLEARBUF,
+    KTROP_SET,
+)
 from repro.kernel.ofile import (
     F_DUPFD,
     F_GETFD,
@@ -54,6 +60,10 @@ _WHENCE_NAMES = {SEEK_SET: "SEEK_SET", SEEK_CUR: "SEEK_CUR",
 
 _FCNTL_NAMES = {F_DUPFD: "F_DUPFD", F_GETFD: "F_GETFD", F_SETFD: "F_SETFD",
                 F_GETFL: "F_GETFL", F_SETFL: "F_SETFL"}
+
+_KTROP_NAMES = {KTROP_SET: "KTROP_SET", KTROP_CLEAR: "KTROP_CLEAR",
+                KTROP_CLEARALL: "KTROP_CLEARALL",
+                KTROP_CLEARBUF: "KTROP_CLEARBUF"}
 
 
 def _open_flags(flags):
@@ -366,6 +376,11 @@ class TraceSymbolicSyscall(SymbolicSyscall):
     def sys_umask(self, mask):
         self._pre("umask(%03o)" % mask)
         return super().sys_umask(mask)
+
+    def sys_ktrace(self, op, pid=0, arg=0):
+        self._pre("ktrace(%s, %d, %d)"
+                  % (_KTROP_NAMES.get(op, op), pid, arg))
+        return super().sys_ktrace(op, pid, arg)
 
     def sys_brk(self, addr):
         self._pre("brk(%#x)" % addr)

@@ -127,6 +127,23 @@ def usec_per_call(fn, calls=2000, repeats=5):
     return best / calls * 1_000_000
 
 
+def time_with_snapshot(prepare, collect):
+    """Time one prepared run and gather an in-band snapshot after it.
+
+    ``prepare()`` returns the zero-argument run callable (as in
+    :func:`time_prepared_runs`); ``collect(result)`` is called with the
+    run's return value after the clock stops — typically it reads the
+    observability registry (``kernel.obs.snapshot()``), pairing the
+    wall-clock measurement with the in-band counters gathered during
+    that same run.  Returns ``(seconds, collected)``.
+    """
+    run = prepare()
+    start = time.perf_counter()
+    result = run()
+    elapsed = time.perf_counter() - start
+    return elapsed, collect(result)
+
+
 def slowdown(base_seconds, with_seconds):
     """Percent slowdown relative to a base time."""
     if base_seconds <= 0:

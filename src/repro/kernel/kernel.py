@@ -48,6 +48,7 @@ from repro.kernel.sysent import entry_for, number_of
 from repro.kernel.syscalls import DISPATCH
 from repro.kernel.trap import UserContext
 from repro.kernel.ufs import Filesystem
+from repro.obs import events as obs_events
 
 SYS_EXIT = number_of("exit")
 
@@ -112,6 +113,11 @@ class Kernel:
         #: in-kernel DFSTrace collector (None unless enabled); the
         #: monolithic baseline for the Section 3.5.3 comparison
         self.dfstrace = None
+
+        #: observability switchboard (see :mod:`repro.obs`); None — the
+        #: default — keeps every instrumentation site down to a single
+        #: ``is None`` test, the subsystem's own pay-per-use guarantee
+        self.obs = None
 
         self._host = _HostContext(self)
         self._make_dev_tree()
@@ -429,8 +435,18 @@ class Kernel:
         child.comm = parent.comm
         child.argv = list(parent.argv)
         child.envp = dict(parent.envp)
+        # ktrace participation is inherited, like BSD's ktrace -i: this
+        # is what lets the in-world ktrace program cover a whole pipeline.
+        child.ktrace_on = parent.ktrace_on
         self._procs[child.pid] = child
         parent.children.append(child)
+        obs = self.obs
+        if obs is not None:
+            if obs.metrics_on:
+                obs.metrics.inc(("proc.fork",))
+            if obs.wants(parent):
+                obs.emit(obs_events.PROC_FORK, parent,
+                         detail="child pid %d" % child.pid)
         if entry is None:
             entry = lambda ctx: 0  # noqa: E731 - a child that just exits
         self._start_process_thread(child, ("entry", entry))
@@ -440,6 +456,14 @@ class Kernel:
         """Exit bookkeeping: close, reparent, zombify, notify."""
         if proc.state == ZOMBIE:
             return
+        obs = self.obs
+        if obs is not None:
+            if obs.metrics_on:
+                obs.metrics.inc(("proc.exit",))
+            if obs.wants(proc):
+                detail = ("signal %d" % term_signal if term_signal
+                          else "status %d" % exit_code)
+                obs.emit(obs_events.PROC_EXIT, proc, detail=detail)
         for fd in list(proc.fdtable.descriptors()):
             proc.fdtable.remove(fd).decref(self)
         proc.alarm_deadline = 0

@@ -1,0 +1,78 @@
+"""4.3BSD-style kernel trace facility: the ring buffer and its ops.
+
+Real 4.3BSD's ``ktrace(2)`` attaches a trace point stream to a vnode;
+our simulated kernel keeps one global ring buffer of
+:class:`repro.obs.events.Event` records instead, sized at observability
+enable time.  Per-process participation mirrors BSD semantics:
+
+* ``ktrace(KTROP_SET, pid)`` turns tracing on for a process (0 = self);
+* the flag is **inherited across fork** (like BSD's ``KTRFAC_INHERIT``
+  behaviour under ``ktrace -i``, which is what makes tracing a shell
+  pipeline useful);
+* a **native execve clears it** (the same conservative reset applied to
+  the emulation vector — a fresh image starts untraced), while the
+  toolkit's ``jump_to_image`` preserves it, which is exactly how the
+  in-world ``ktrace`` program survives into the command it runs.
+
+When the buffer is full the *oldest* record is overwritten and the
+``dropped`` counter is bumped, so a reader can always tell how much
+history it lost — the ring never blocks the traced process.
+"""
+
+from collections import deque
+
+#: enable tracing for a process (pid 0 = the caller)
+KTROP_SET = 0
+#: disable tracing for a process (pid 0 = the caller)
+KTROP_CLEAR = 1
+#: disable tracing for every process
+KTROP_CLEARALL = 2
+#: discard buffered records and reset the dropped counter
+KTROP_CLEARBUF = 3
+
+
+class KtraceBuffer:
+    """A bounded ring of trace events with overwrite-oldest semantics."""
+
+    def __init__(self, capacity=4096):
+        if capacity < 1:
+            raise ValueError("ktrace capacity must be >= 1")
+        self.capacity = capacity
+        self._ring = deque()
+        #: records overwritten before anyone read them
+        self.dropped = 0
+        #: records ever appended (drained + buffered + dropped)
+        self.total = 0
+
+    def __len__(self):
+        return len(self._ring)
+
+    def append(self, event):
+        """Add *event*, evicting (and counting) the oldest when full."""
+        if len(self._ring) >= self.capacity:
+            self._ring.popleft()
+            self.dropped += 1
+        self._ring.append(event)
+        self.total += 1
+
+    def snapshot(self):
+        """The buffered events, oldest first, without consuming them."""
+        return list(self._ring)
+
+    def drain(self, limit=None):
+        """Remove and return up to *limit* events, oldest first.
+
+        ``limit`` of ``None`` (or 0) drains everything — this is what
+        ``ktrace_read`` uses, so records are delivered exactly once.
+        """
+        if not limit:
+            limit = len(self._ring)
+        out = []
+        while self._ring and len(out) < limit:
+            out.append(self._ring.popleft())
+        return out
+
+    def clear(self):
+        """Discard buffered records and reset the dropped counter."""
+        self._ring.clear()
+        self.dropped = 0

@@ -12,9 +12,30 @@ from repro.kernel import stat as st
 from repro.kernel.errno import EINVAL, EPIPE, SyscallError
 from repro.kernel.ofile import FREAD, FWRITE
 from repro.kernel.stat import Stat
+from repro.obs import events as obs_events
 
 #: 4.3BSD pipe buffer size
 PIPE_BUF = 4096
+
+
+def _note_block(kernel, proc, end):
+    """Record that *proc* is about to block on a pipe *end*."""
+    obs = kernel.obs
+    if obs is not None:
+        if obs.metrics_on:
+            obs.metrics.inc(("pipe.block", end))
+        if obs.wants(proc):
+            obs.emit(obs_events.PIPE_BLOCK, proc, end)
+
+
+def _note_wakeup(kernel, proc, end):
+    """Record that *proc* woke from a pipe block on *end*."""
+    obs = kernel.obs
+    if obs is not None:
+        if obs.metrics_on:
+            obs.metrics.inc(("pipe.wakeup", end))
+        if obs.wants(proc):
+            obs.emit(obs_events.PIPE_WAKEUP, proc, end)
 
 
 class Pipe:
@@ -41,9 +62,14 @@ class Pipe:
         """Take up to *count* bytes; blocks while writers remain."""
         if count == 0:
             return b""
+        would_block = not self.buffer and self.writers > 0
+        if would_block:
+            _note_block(kernel, proc, "read")
         kernel.sleep_until(
             lambda: self.buffer or self.writers == 0, proc, "piperd"
         )
+        if would_block:
+            _note_wakeup(kernel, proc, "read")
         if not self.buffer:
             return b""  # EOF: all writers gone
         data = bytes(self.buffer[:count])
@@ -63,11 +89,16 @@ class Pipe:
                 proc.post(sig.SIGPIPE)
                 kernel.wakeup()
                 raise SyscallError(EPIPE)
+            would_block = len(self.buffer) >= self.capacity and self.readers > 0
+            if would_block:
+                _note_block(kernel, proc, "write")
             kernel.sleep_until(
                 lambda: len(self.buffer) < self.capacity or self.readers == 0,
                 proc,
                 "pipewr",
             )
+            if would_block:
+                _note_wakeup(kernel, proc, "write")
             if self.readers == 0:
                 continue  # re-check at loop top: raises EPIPE
             room = self.capacity - len(self.buffer)

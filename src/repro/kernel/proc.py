@@ -207,6 +207,10 @@ class Process:
         # emulation (interposition) state
         self.emulation_vector = {}
 
+        #: ktrace participation (see repro.kernel.ktrace): inherited
+        #: across fork, cleared by native execve, kept by jump_to_image
+        self.ktrace_on = False
+
         # exec/program state
         self.program = None
         self.argv = []

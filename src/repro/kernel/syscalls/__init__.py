@@ -34,6 +34,7 @@ def _load_all():
         file_io,
         flock_itimer,
         mach,
+        obscalls,
         pathcalls,
         process,
         sigcalls,

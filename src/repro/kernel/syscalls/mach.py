@@ -14,6 +14,7 @@ from repro.kernel.errno import EINVAL, SyscallError
 from repro.kernel.proc import ExecImage
 from repro.kernel.sysent import SYSCALLS
 from repro.kernel.syscalls import implements
+from repro.obs import events as obs_events
 
 
 @implements("task_set_emulation")
@@ -100,5 +101,12 @@ def sys_jump_to_image(kernel, proc, path, argv=None, envp=None):
     factory, base_argv = kernel.load_image_locked(proc, path)
     given = list(argv if argv is not None else [path])
     argv = base_argv + given[1:] if base_argv else given
+    obs = kernel.obs
+    if obs is not None:
+        if obs.metrics_on:
+            obs.metrics.inc(("proc.execve",))
+        if obs.wants(proc):
+            obs.emit(obs_events.PROC_EXECVE, proc,
+                     detail="jump_to_image %s" % path)
     proc.comm = argv[0] if argv else path
     raise ExecImage(factory, argv, dict(envp or {}))

@@ -1,0 +1,97 @@
+"""The ``ktrace``/``ktrace_read`` system calls: in-world observability.
+
+``ktrace(2)`` (BSD number 45, matching real 4.3BSD's slot) flips the
+per-process trace flag; ``ktrace_read`` (extension trap 206) drains the
+kernel ring buffer — our stand-in for BSD's trace vnode.  Together they
+let the in-world ``ktrace``/``kdump`` programs work without any host
+cooperation: enabling tracing on a kernel without observability installs
+it on demand (metrics on, ring buffer sized by the ``arg`` hint).
+"""
+
+from repro.kernel.errno import EINVAL, EPERM, SyscallError
+from repro.kernel.ktrace import (
+    KTROP_CLEAR,
+    KTROP_CLEARALL,
+    KTROP_CLEARBUF,
+    KTROP_SET,
+)
+from repro.kernel.syscalls import implements
+
+#: ring capacity when ktrace(2) itself has to install observability
+DEFAULT_CAPACITY = 4096
+
+
+def _may_trace(tracer, target):
+    """BSD's rule: root traces anyone, others only their own uid."""
+    cred = tracer.cred
+    return (
+        cred.is_superuser()
+        or cred.uid == target.cred.uid
+        or cred.euid == target.cred.uid
+    )
+
+
+def _target(kernel, proc, pid):
+    """Resolve a ktrace target pid (0 = the caller), checking permission."""
+    if pid == 0:
+        return proc
+    target = kernel.find_process_locked(pid)
+    if not _may_trace(proc, target):
+        raise SyscallError(EPERM, "ktrace pid %d" % pid)
+    return target
+
+
+@implements("ktrace")
+def sys_ktrace(kernel, proc, op, pid=0, arg=0):
+    """ktrace(2): manipulate per-process kernel tracing.
+
+    ``op`` is one of ``KTROP_SET`` (enable tracing for *pid*, 0 = self;
+    installs observability with a ring of ``arg`` records — default
+    4096 — if the kernel has none), ``KTROP_CLEAR`` (disable for
+    *pid*), ``KTROP_CLEARALL`` (disable for every process), or
+    ``KTROP_CLEARBUF`` (discard buffered records and the dropped
+    counter).  Returns 0.
+    """
+    if op == KTROP_SET:
+        target = _target(kernel, proc, pid)
+        if kernel.obs is None:
+            # Imported here: repro.obs.core pulls in the ktrace buffer,
+            # and syscall modules load before the obs package is needed.
+            from repro.obs import core as obs_core
+
+            obs_core.enable(kernel, ktrace_capacity=arg or DEFAULT_CAPACITY)
+        target.ktrace_on = True
+        return 0
+    if op == KTROP_CLEAR:
+        _target(kernel, proc, pid).ktrace_on = False
+        return 0
+    if op == KTROP_CLEARALL:
+        if not proc.cred.is_superuser():
+            raise SyscallError(EPERM, "ktrace clearall")
+        for target in kernel.live_processes_locked():
+            target.ktrace_on = False
+        return 0
+    if op == KTROP_CLEARBUF:
+        if kernel.obs is not None:
+            kernel.obs.ktrace.clear()
+        return 0
+    raise SyscallError(EINVAL, "ktrace op %r" % (op,))
+
+
+@implements("ktrace_read")
+def sys_ktrace_read(kernel, proc, limit=0):
+    """Drain up to *limit* trace records (0 = all) from the ring buffer.
+
+    Returns ``(records, dropped)`` where each record is an event tuple
+    (see :meth:`repro.obs.events.Event.to_tuple`) and *dropped* is how
+    many records were overwritten before being read.  Draining consumes:
+    each record is delivered exactly once across all readers.  With
+    observability disabled the answer is simply ``([], 0)``.
+    """
+    obs = kernel.obs
+    if obs is None:
+        return ([], 0)
+    ring = obs.ktrace
+    dropped = ring.dropped
+    ring.dropped = 0
+    return ([event.to_tuple() for event in ring.drain(limit)], dropped)

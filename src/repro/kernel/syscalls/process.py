@@ -17,6 +17,7 @@ from repro.kernel.proc import (
     ZOMBIE,
 )
 from repro.kernel.syscalls import implements
+from repro.obs import events as obs_events
 
 
 @implements("exit")
@@ -89,6 +90,15 @@ def sys_execve(kernel, proc, path, argv=None, envp=None):
     # The new image replaces the address space: interposition is gone.
     proc.emulation_vector.clear()
     proc.signal_redirect = None
+    # ktrace is reset with it: a fresh image starts untraced (the
+    # toolkit's jump_to_image, which replaces only the image, keeps it).
+    obs = kernel.obs
+    if obs is not None:
+        if obs.metrics_on:
+            obs.metrics.inc(("proc.execve",))
+        if obs.wants(proc):
+            obs.emit(obs_events.PROC_EXECVE, proc, detail=path)
+    proc.ktrace_on = False
 
     proc.comm = argv[0] if argv else path
     raise ExecImage(factory, argv, envp)

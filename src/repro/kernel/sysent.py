@@ -76,6 +76,9 @@ _TABLE = [
     _entry(41, "dup", "fd:fd"),
     _entry(42, "pipe"),
     _entry(43, "getegid"),
+    # 4.3BSD's kernel trace facility, backed by repro.obs (number 45
+    # matches real 4.3BSD's ktrace slot).
+    _entry(45, "ktrace", "op:int", "pid:int", "arg:int"),
     _entry(47, "getgid"),
     _entry(48, "killpg", "pgrp:int", "sig:sig"),
     _entry(54, "ioctl", "fd:fd", "request:int", "arg:any"),
@@ -126,6 +129,9 @@ _TABLE = [
     _entry(203, "image_header", "path:str"),
     _entry(204, "task_get_emulation", "number:int"),
     _entry(205, "task_get_descriptors"),
+    # Our stand-in for ktrace's vnode stream: readers drain the kernel
+    # ring buffer through a trap instead of a file.
+    _entry(206, "ktrace_read", "limit:int"),
 ]
 
 SYSCALLS = {entry.number: entry for entry in _TABLE}

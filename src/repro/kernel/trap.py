@@ -13,11 +13,40 @@ mechanism the paper builds on:
 * Pending signals are delivered at trap boundaries.  If the process has
   a signal redirection installed, the agent's handler gets the *upcall*
   before any application handler — the paper's completeness goal.
+
+**rusage accounting.** ``ru_nsyscalls`` counts *kernel crossings*, not
+application-level calls: both :meth:`UserContext.trap` and
+:func:`htg_unix_syscall` increment it, so a call that an agent
+intercepts and forwards with the downcall is charged **twice** — once
+for the client's trap into the agent, once for the agent's bypass trap
+into the kernel.  That is deliberate and matches the paper's model
+(Table 3-4 treats ``htg_unix_syscall`` as a trap in its own right with
+its own crossing cost).  Consumers who want application-level call
+counts should use ``kernel.trap_total`` (traps issued, regardless of
+path) or the observability counters ``("trap", name)`` /
+``("htg", name)``, which keep the two populations separate.
+
+**Observability.** When ``kernel.obs`` is set (see :mod:`repro.obs`),
+the trap path records per-call counters, virtual-clock latency
+histograms, and — for traced processes — ``trap.agent`` /
+``trap.kernel`` / ``trap.ret`` events.  Disabled, the entire hook is
+one ``is None`` test, preserving the pay-per-use property this module
+exists to demonstrate.
 """
 
 from repro.kernel import signals as sig
-from repro.kernel.errno import SyscallError
+from repro.kernel import sysent
+from repro.kernel.errno import SyscallError, errno_name
 from repro.kernel.proc import ExecImage, ProcessExit
+from repro.obs import events as ev
+
+
+def _brief(args, limit=48):
+    """A short, single-line rendering of trap arguments for event details."""
+    text = ", ".join(repr(a) for a in args)
+    if len(text) > limit:
+        text = text[:limit] + "..."
+    return text
 
 
 def htg_unix_syscall(kernel, proc, number, args):
@@ -27,12 +56,21 @@ def htg_unix_syscall(kernel, proc, number, args):
     to slip past the emulation vector (Mach measured 37 µs for this on a
     25 MHz i486, the same order as interception itself), and then the
     call proper is performed.  Modelling the bypass as a real kernel
-    crossing keeps the overhead measurable, as in Table 3-4.
+    crossing keeps the overhead measurable, as in Table 3-4 — and is why
+    ``ru_nsyscalls`` legitimately counts a forwarded call twice (see the
+    module docstring).
     """
     proc.rusage.ru_nsyscalls += 1
     with kernel._sleepq:
         if number in proc.emulation_vector:
             proc.rusage.ru_stime_usec += 1
+    obs = kernel.obs
+    if obs is not None:
+        name = sysent.name_of(number)
+        if obs.metrics_on:
+            obs.metrics.inc(("htg", name))
+        if obs.wants(proc):
+            obs.emit(ev.HTG, proc, name, _brief(args))
     return kernel.do_syscall(proc, number, args)
 
 
@@ -54,7 +92,11 @@ class UserContext:
         system interface, whether that interface is the kernel or an agent."""
         proc = self.proc
         proc.rusage.ru_nsyscalls += 1
-        self.kernel.trap_total += 1
+        kernel = self.kernel
+        kernel.trap_total += 1
+        obs = kernel.obs
+        if obs is not None:
+            return self._trap_observed(obs, number, args)
         handler = proc.emulation_vector.get(number)
         try:
             if handler is not None:
@@ -62,10 +104,68 @@ class UserContext:
                 # client's own context (same address space, same thread).
                 result = handler(self, number, args)
             else:
-                result = self.kernel.do_syscall(proc, number, args)
+                result = kernel.do_syscall(proc, number, args)
         except SyscallError:
             deliver_pending_signals(self)
             raise
+        deliver_pending_signals(self)
+        return result
+
+    def _trap_observed(self, obs, number, args):
+        """The trap path with observability enabled.
+
+        Mirrors :meth:`trap` exactly (redirect decision, signal delivery
+        on return and on :class:`SyscallError`, clean unwind for
+        ``ExecImage``/``ProcessExit``) while recording counters, the
+        virtual-clock latency histogram, and — when the process is
+        traced or the bus has subscribers — enter/return events.
+        """
+        proc = self.proc
+        kernel = self.kernel
+        name = sysent.name_of(number)
+        handler = proc.emulation_vector.get(number)
+        metrics = obs.metrics if obs.metrics_on else None
+        if metrics is not None:
+            metrics.inc(("trap", name))
+            if handler is not None:
+                metrics.inc(("trap.agent", name))
+            else:
+                metrics.inc(("trap.kernel", name))
+            metrics.inc(("trap.pid", proc.pid, name))
+        wants = obs.wants(proc)
+        if wants:
+            obs.emit(ev.TRAP_AGENT if handler is not None else ev.TRAP_KERNEL,
+                     proc, name, _brief(args))
+        start = kernel.clock.usec()
+        try:
+            if handler is not None:
+                result = handler(self, number, args)
+            else:
+                result = kernel.do_syscall(proc, number, args)
+        except SyscallError as err:
+            elapsed = kernel.clock.usec() - start
+            errname = errno_name(err.errno)
+            if metrics is not None:
+                metrics.observe(("trap.vusec", name), elapsed)
+                metrics.inc(("trap.error", name, errname))
+            if wants:
+                obs.emit(ev.TRAP_RET, proc, name,
+                         "err %s (%d vusec)" % (errname, elapsed))
+            deliver_pending_signals(self)
+            raise
+        except (ExecImage, ProcessExit):
+            # The trap never returns (exec replaces the image, exit tears
+            # the process down): no signal delivery, matching the plain
+            # path's unwind, but do record that the call did not return.
+            if wants:
+                obs.emit(ev.TRAP_RET, proc, name, "unwound")
+            raise
+        elapsed = kernel.clock.usec() - start
+        if metrics is not None:
+            metrics.observe(("trap.vusec", name), elapsed)
+        if wants:
+            obs.emit(ev.TRAP_RET, proc, name,
+                     "-> %s (%d vusec)" % (_brief((result,)), elapsed))
         deliver_pending_signals(self)
         return result
 
@@ -90,6 +190,14 @@ def deliver_pending_signals(ctx):
         if signum is None:
             return
         redirect = proc.signal_redirect
+        obs = kernel.obs
+        if obs is not None:
+            kind = ev.SIG_UPCALL if redirect is not None else ev.SIG_DELIVER
+            signame = sig.signal_name(signum)
+            if obs.metrics_on:
+                obs.metrics.inc((kind, signame))
+            if obs.wants(proc):
+                obs.emit(kind, proc, signame)
         if redirect is not None:
             redirect(ctx, signum, proc.dispositions[signum])
         else:

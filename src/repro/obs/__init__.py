@@ -1,0 +1,36 @@
+"""Pay-per-use observability for the simulated kernel.
+
+The package is the runtime answer to the paper's cost-attribution
+tables: an event bus with a fixed taxonomy of trap-spine events
+(:mod:`repro.obs.events`), a tuple-keyed metrics registry with
+virtual-clock latency histograms (:mod:`repro.obs.metrics`), the
+:class:`Observability` switchboard that the kernel consults
+(:mod:`repro.obs.core`), and exporters for kdump text / JSON lines /
+experiment tables (:mod:`repro.obs.export`).
+
+Disabled — the default, ``kernel.obs is None`` — the whole subsystem
+costs one attribute test per trap; ``benchmarks/bench_obs_overhead.py``
+holds it to that claim.  Enable with::
+
+    from repro import obs
+    obs.enable(kernel)                 # metrics only
+    obs.enable(kernel, trace_all=True) # plus firehose ktrace
+
+or from inside the world with the ``ktrace`` program / syscall.
+"""
+
+from repro.obs.core import Observability, disable, enable, is_enabled
+from repro.obs.events import Event, EventBus, KINDS
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+__all__ = [
+    "Observability",
+    "enable",
+    "disable",
+    "is_enabled",
+    "Event",
+    "EventBus",
+    "KINDS",
+    "Histogram",
+    "MetricsRegistry",
+]

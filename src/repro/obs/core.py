@@ -1,0 +1,118 @@
+"""The kernel-wide observability switchboard.
+
+One :class:`Observability` instance per kernel, installed as
+``kernel.obs`` by :func:`enable`.  Everything hangs off it: the event
+bus, the metrics registry, and the ktrace ring buffer.  The design rule
+is the paper's own pay-per-use claim applied to the observer itself:
+
+* **Disabled** (``kernel.obs is None``, the default): every
+  instrumentation site in the trap spine is guarded by a single
+  attribute load and ``is None`` test — the same order of cost as the
+  emulation-vector lookup that makes uninterposed calls free.
+* **Enabled**: metrics are updated on every trap, and :class:`Event`
+  objects are built only when someone is listening — a bus subscriber,
+  a ktrace'd process, or the ``trace_all`` firehose.
+
+``benchmarks/bench_obs_overhead.py`` measures both sides of that claim.
+"""
+
+import itertools
+
+from repro.kernel.ktrace import KtraceBuffer
+from repro.obs.events import Event, EventBus
+from repro.obs.metrics import MetricsRegistry
+
+
+class Observability:
+    """Event bus + metrics registry + ktrace buffer for one kernel."""
+
+    def __init__(self, kernel, ktrace_capacity=4096, metrics=True,
+                 trace_all=False):
+        self.kernel = kernel
+        self.bus = EventBus()
+        self.metrics = MetricsRegistry()
+        #: when False, the trap spine skips counter/histogram updates
+        self.metrics_on = metrics
+        self.ktrace = KtraceBuffer(ktrace_capacity)
+        #: trace every process, ignoring per-process ktrace flags
+        self.trace_all = trace_all
+        self._seq = itertools.count(1)
+
+    # -- emission (called from the instrumented kernel paths) ------------
+
+    def wants(self, proc):
+        """True when an event about *proc* would reach any consumer.
+
+        The trap path asks this once per call so that event objects are
+        never built just to be dropped.
+        """
+        return (bool(self.bus._subs) or self.trace_all
+                or proc.ktrace_on)
+
+    def emit(self, kind, proc, name="", detail=""):
+        """Build an event about *proc* and route it to ring + bus."""
+        event = Event(next(self._seq), self.kernel.clock.usec(),
+                      proc.pid, proc.comm, kind, name, detail)
+        if self.trace_all or proc.ktrace_on:
+            self.ktrace.append(event)
+        if self.bus._subs:
+            self.bus.publish(event)
+        return event
+
+    def layer_usec(self, layer, name, usec):
+        """Attribute *usec* of host time inside an agent handler to a layer.
+
+        Recorded at both aggregation levels: ``("layer.usec", layer)``
+        and ``("layer.usec", layer, name)``, plus the call counter
+        ``("agent.call", layer, name)``.  Host (wall-clock) time is used
+        because agent handlers burn real CPU the virtual clock never
+        sees — this is the same quantity ``bench_ablation_layers``
+        measures from the outside.
+        """
+        if not self.metrics_on:
+            return
+        metrics = self.metrics
+        metrics.observe(("layer.usec", layer), usec)
+        metrics.observe(("layer.usec", layer, name), usec)
+        metrics.inc(("agent.call", layer, name))
+
+    # -- convenience reads ----------------------------------------------
+
+    def snapshot(self):
+        """The metrics registry snapshot plus ktrace buffer statistics."""
+        snap = self.metrics.snapshot()
+        snap["ktrace"] = {
+            "buffered": len(self.ktrace),
+            "dropped": self.ktrace.dropped,
+            "total": self.ktrace.total,
+            "capacity": self.ktrace.capacity,
+        }
+        return snap
+
+
+def enable(kernel, ktrace_capacity=4096, metrics=True, trace_all=False):
+    """Switch observability on for *kernel*; returns the instance.
+
+    Idempotent: an already-enabled kernel keeps its instance (the
+    capacity and flags of the existing instance win).
+    """
+    if kernel.obs is None:
+        kernel.obs = Observability(kernel, ktrace_capacity=ktrace_capacity,
+                                   metrics=metrics, trace_all=trace_all)
+    return kernel.obs
+
+
+def disable(kernel):
+    """Switch observability off; returns the detached instance (or None).
+
+    After this the trap spine is back to the single ``is None`` check —
+    the detached instance keeps its collected data for inspection.
+    """
+    obs = kernel.obs
+    kernel.obs = None
+    return obs
+
+
+def is_enabled(kernel):
+    """True when *kernel* currently has observability installed."""
+    return kernel.obs is not None

@@ -1,0 +1,130 @@
+"""Typed kernel events and the event bus.
+
+The observability layer describes everything the trap spine does as a
+small taxonomy of *events* — the in-band record of where time and calls
+go, which the paper's tables reconstruct from the outside.  One event is
+one :class:`Event`; the set of kinds is fixed (``KINDS``) so consumers
+can switch on them without string guessing:
+
+``trap.agent``
+    A system call trap entered and was redirected to an agent handler
+    (the ``task_set_emulation`` path).
+``trap.kernel``
+    A trap entered and went straight to the kernel (the pay-per-use
+    fast path — no agent registered for the number).
+``trap.ret``
+    The trap returned (detail carries the result or errno, and the
+    virtual-clock latency in microseconds).
+``htg.downcall``
+    An agent bypassed interposition with ``htg_unix_syscall``.
+``signal.upcall``
+    An incoming signal was routed to an agent's redirection first.
+``signal.deliver``
+    A signal reached the application's own disposition.
+``proc.fork`` / ``proc.execve`` / ``proc.exit``
+    Process lifecycle; ``proc.execve`` distinguishes the native call
+    from the toolkit's ``jump_to_image`` in its detail field.
+``pipe.block`` / ``pipe.wakeup``
+    A process blocked on (and was later woken from) a pipe end.
+
+Events are deliberately flat — integers and strings only — so the same
+object serves the ktrace ring buffer, bus subscribers, and the JSON-lines
+exporter without translation.
+"""
+
+TRAP_AGENT = "trap.agent"
+TRAP_KERNEL = "trap.kernel"
+TRAP_RET = "trap.ret"
+HTG = "htg.downcall"
+SIG_UPCALL = "signal.upcall"
+SIG_DELIVER = "signal.deliver"
+PROC_FORK = "proc.fork"
+PROC_EXECVE = "proc.execve"
+PROC_EXIT = "proc.exit"
+PIPE_BLOCK = "pipe.block"
+PIPE_WAKEUP = "pipe.wakeup"
+
+#: every event kind the kernel emits, in rough trap-spine order
+KINDS = (
+    TRAP_AGENT,
+    TRAP_KERNEL,
+    TRAP_RET,
+    HTG,
+    SIG_UPCALL,
+    SIG_DELIVER,
+    PROC_FORK,
+    PROC_EXECVE,
+    PROC_EXIT,
+    PIPE_BLOCK,
+    PIPE_WAKEUP,
+)
+
+
+class Event:
+    """One observability event (also the ktrace record format).
+
+    ``seq`` is a global sequence number assigned at emission, so records
+    drained from the ring buffer or collected from the bus can be put in
+    emission order even across processes.  ``time_usec`` is the virtual
+    clock; ``pid``/``comm`` identify the process; ``name`` is the system
+    call or signal name (empty for lifecycle events); ``detail`` is a
+    short pre-formatted string.
+    """
+
+    __slots__ = ("seq", "time_usec", "pid", "comm", "kind", "name", "detail")
+
+    def __init__(self, seq, time_usec, pid, comm, kind, name="", detail=""):
+        self.seq = seq
+        self.time_usec = time_usec
+        self.pid = pid
+        self.comm = comm
+        self.kind = kind
+        self.name = name
+        self.detail = detail
+
+    def to_tuple(self):
+        """The event as a plain tuple (the ``ktrace_read`` wire format)."""
+        return (self.seq, self.time_usec, self.pid, self.comm,
+                self.kind, self.name, self.detail)
+
+    @classmethod
+    def from_tuple(cls, record):
+        """Rebuild an event from its :meth:`to_tuple` form."""
+        return cls(*record)
+
+    def __repr__(self):
+        return "<Event #%d %s pid=%d %s %s>" % (
+            self.seq, self.kind, self.pid, self.name, self.detail)
+
+
+class EventBus:
+    """Synchronous fan-out of events to registered subscribers.
+
+    Subscribers are plain callables ``fn(event)`` run inline at the
+    emission site (the kernel's threads), so they must be fast and must
+    not call back into the kernel.  With no subscribers the bus costs
+    one truthiness test per emission decision.
+    """
+
+    __slots__ = ("_subs",)
+
+    def __init__(self):
+        self._subs = []
+
+    def subscribe(self, fn):
+        """Register *fn* to receive every subsequent event."""
+        self._subs.append(fn)
+        return fn
+
+    def unsubscribe(self, fn):
+        """Remove a subscriber previously registered with :meth:`subscribe`."""
+        self._subs.remove(fn)
+
+    def active(self):
+        """True when at least one subscriber is registered."""
+        return bool(self._subs)
+
+    def publish(self, event):
+        """Deliver *event* to every subscriber, in registration order."""
+        for fn in self._subs:
+            fn(event)

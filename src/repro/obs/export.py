@@ -1,0 +1,122 @@
+"""Exporters: JSON-lines event dumps, kdump text, and table helpers.
+
+Three consumers share the event/metric formats and all of them live
+here so they cannot drift apart:
+
+* the in-world ``kdump`` program (``repro.programs.ktrace_prog``) prints
+  :func:`format_record` lines;
+* benchmarks and ``scripts/generate_experiments.py`` build per-layer /
+  per-syscall tables from :func:`layer_rows` and :func:`syscall_rows`;
+* host-side tooling serialises event streams with
+  :func:`events_to_jsonl` and metric snapshots with
+  :func:`snapshot_to_json`.
+"""
+
+import json
+
+from repro.obs import events as ev
+
+#: kdump's short mnemonic for each event kind (BSD kdump uses CALL/RET/...)
+KIND_SHORT = {
+    ev.TRAP_AGENT: "CALL*",
+    ev.TRAP_KERNEL: "CALL",
+    ev.TRAP_RET: "RET",
+    ev.HTG: "HTG",
+    ev.SIG_UPCALL: "SIGU",
+    ev.SIG_DELIVER: "SIG",
+    ev.PROC_FORK: "FORK",
+    ev.PROC_EXECVE: "EXEC",
+    ev.PROC_EXIT: "EXIT",
+    ev.PIPE_BLOCK: "BLOCK",
+    ev.PIPE_WAKEUP: "WAKE",
+}
+
+
+def event_to_dict(event):
+    """One event as a plain dict (accepts an Event or its tuple form)."""
+    if isinstance(event, tuple):
+        event = ev.Event.from_tuple(event)
+    return {
+        "seq": event.seq,
+        "time_usec": event.time_usec,
+        "pid": event.pid,
+        "comm": event.comm,
+        "kind": event.kind,
+        "name": event.name,
+        "detail": event.detail,
+    }
+
+
+def events_to_jsonl(records):
+    """Serialise *records* (Events or tuples) as one JSON object per line."""
+    return "\n".join(
+        json.dumps(event_to_dict(record), sort_keys=True)
+        for record in records)
+
+
+def snapshot_to_json(snapshot, indent=2):
+    """A metrics/obs snapshot dict rendered as deterministic JSON."""
+    return json.dumps(snapshot, indent=indent, sort_keys=True)
+
+
+def format_record(record):
+    """One kdump output line for *record* (an Event or its tuple form).
+
+    The layout follows BSD ``kdump``: pid and command, then a short kind
+    mnemonic (``CALL*`` marks a trap redirected to an agent, ``CALL``
+    the uninterposed kernel path), then the call name and detail.
+    """
+    if isinstance(record, tuple):
+        record = ev.Event.from_tuple(record)
+    short = KIND_SHORT.get(record.kind, record.kind)
+    rest = record.name
+    if record.detail:
+        rest = (rest + " " if rest else "") + record.detail
+    stamp = "%d.%06d" % divmod(record.time_usec, 1_000_000)
+    return "%6d %s %5d %-8s %-6s %s" % (
+        record.seq, stamp, record.pid, record.comm, short, rest.rstrip())
+
+
+def kdump_lines(records, dropped=0):
+    """kdump's full output: one line per record plus a trailing summary."""
+    lines = [format_record(record) for record in records]
+    lines.append("%d events, %d dropped" % (len(records), dropped))
+    return lines
+
+
+def layer_rows(metrics):
+    """Per-toolkit-layer latency attribution rows from *metrics*.
+
+    Returns ``(layer, calls, mean_usec, total_usec)`` tuples sorted by
+    mean cost ascending — the runtime, in-band version of what
+    ``benchmarks/bench_ablation_layers.py`` measures from outside, so
+    the orderings can be compared directly.
+    """
+    rows = []
+    for layer, hist in metrics.histogram_group("layer.usec",
+                                               label_len=1).items():
+        rows.append((layer, hist.count, hist.mean(), hist.total))
+    rows.sort(key=lambda row: row[2])
+    return rows
+
+
+def syscall_rows(metrics, top=None):
+    """Per-syscall rows: ``(name, calls, agent, kernel, mean_vusec)``.
+
+    ``calls`` counts traps entered; ``agent``/``kernel`` split them by
+    path taken; ``mean_vusec`` is the mean virtual-clock latency.  Rows
+    are sorted by call count descending and truncated to *top* if given.
+    """
+    traps = metrics.group("trap")
+    agent = metrics.group("trap.agent")
+    kernel = metrics.group("trap.kernel")
+    vusec = metrics.histogram_group("trap.vusec", label_len=1)
+    rows = []
+    for name, calls in traps.items():
+        hist = vusec.get(name)
+        rows.append((name, calls, agent.get(name, 0), kernel.get(name, 0),
+                     hist.mean() if hist else 0.0))
+    rows.sort(key=lambda row: (-row[1], row[0]))
+    if top is not None:
+        rows = rows[:top]
+    return rows

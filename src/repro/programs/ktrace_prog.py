@@ -1,0 +1,91 @@
+"""``ktrace`` and ``kdump`` — the in-world kernel trace user interface.
+
+``ktrace command [args...]`` enables kernel tracing on itself and then
+transfers control into *command* with ``jump_to_image`` — the toolkit's
+exec-without-replacing-interposition-state trap — so the trace flag
+survives into the command.  (A native execve deliberately clears the
+flag, the same conservative reset applied to the emulation vector; this
+program sidesteps it exactly the way agents survive exec, paper Section
+3.5.1.)  Because the flag is inherited across fork, tracing a shell
+pipeline element covers everything that element spawns.
+
+``kdump`` drains the kernel's ring buffer with ``ktrace_read`` and
+prints one line per record in BSD kdump style, ending with an
+``N events, M dropped`` summary line.
+
+    ktrace cat /etc/passwd          # run traced
+    ktrace -c                       # stop tracing the caller
+    ktrace -C                       # stop tracing everyone (root)
+    kdump                           # dump and empty the buffer
+    kdump -n 20                     # dump at most 20 records
+"""
+
+from repro.kernel.errno import ENOENT, SyscallError
+from repro.kernel.ktrace import (
+    KTROP_CLEAR,
+    KTROP_CLEARALL,
+    KTROP_CLEARBUF,
+    KTROP_SET,
+)
+from repro.obs.export import kdump_lines
+from repro.programs.registry import program
+
+#: the shell's binary search path, for bare command names
+_PATH = ("/bin", "/usr/bin")
+
+
+def _find_binary(sys, name):
+    """Resolve a command name against the standard binary directories."""
+    if "/" in name:
+        return name
+    for prefix in _PATH:
+        candidate = prefix + "/" + name
+        if sys.exists(candidate):
+            return candidate
+    raise SyscallError(ENOENT, name)
+
+
+@program("ktrace", install="/bin/ktrace")
+def ktrace_main(sys, argv, envp):
+    """ktrace(1): run a command with kernel tracing enabled."""
+    args = argv[1:]
+    if args and args[0] == "-c":
+        sys.ktrace(KTROP_CLEAR, 0)
+        return 0
+    if args and args[0] == "-C":
+        sys.ktrace(KTROP_CLEARALL)
+        sys.ktrace(KTROP_CLEARBUF)
+        return 0
+    if not args:
+        sys.print_err("usage: ktrace [-c | -C | command [args...]]\n")
+        return 2
+    try:
+        path = _find_binary(sys, args[0])
+    except SyscallError:
+        sys.print_err("ktrace: %s: not found\n" % args[0])
+        return 127
+    sys.ktrace(KTROP_SET, 0)
+    # jump_to_image, not execve: the native exec resets the trace flag
+    # along with the rest of the interposition state.
+    sys.syscall("jump_to_image", path, args, envp)
+    raise AssertionError("jump_to_image returned")
+
+
+@program("kdump", install="/bin/kdump")
+def kdump_main(sys, argv, envp):
+    """kdump(1): print and drain the kernel trace buffer."""
+    args = argv[1:]
+    limit = 0
+    if args and args[0] == "-n":
+        if len(args) < 2 or not args[1].isdigit():
+            sys.print_err("usage: kdump [-n limit]\n")
+            return 2
+        limit = int(args[1])
+        args = args[2:]
+    if args:
+        sys.print_err("usage: kdump [-n limit]\n")
+        return 2
+    records, dropped = sys.ktrace_read(limit)
+    for line in kdump_lines(records, dropped):
+        sys.print_out(line + "\n")
+    return 0

@@ -51,6 +51,7 @@ _NR = {
         "settimeofday", "fchown", "fchmod", "rename", "truncate",
         "ftruncate", "mkdir", "rmdir", "utimes", "getdirentries",
         "flock", "setitimer", "getitimer", "readv", "writev",
+        "ktrace", "ktrace_read", "jump_to_image",
     )
 }
 
@@ -320,6 +321,14 @@ class Sys:
     def getrusage(self, who=0):
         """getrusage(2): resource usage for self or children."""
         return self.syscall("getrusage", who)
+
+    def ktrace(self, op, pid=0, arg=0):
+        """ktrace(2): manipulate kernel tracing (see repro.kernel.ktrace)."""
+        return self.syscall("ktrace", op, pid, arg)
+
+    def ktrace_read(self, limit=0):
+        """Drain kernel trace records; returns ``(records, dropped)``."""
+        return self.syscall("ktrace_read", limit)
 
     def brk(self, addr):
         """brk(2): set the address-space break."""

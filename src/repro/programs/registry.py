@@ -51,6 +51,7 @@ def install_world(kernel):
     from repro.programs import (  # noqa: F401
         cc,
         coreutils,
+        ktrace_prog,
         make_prog,
         scribe,
         sh,

@@ -10,11 +10,12 @@ symbolic layers, which are built on it.
 """
 
 import threading
+import time
 
 from repro.kernel import signals as sig
 from repro.kernel.errno import EBADF, SyscallError
 from repro.kernel.ofile import F_GETFD, FD_CLOEXEC
-from repro.kernel.sysent import number_of
+from repro.kernel.sysent import name_of, number_of
 from repro.kernel.trap import deliver_signal_to_application
 
 _NR_TASK_SET_EMULATION = number_of("task_set_emulation")
@@ -39,6 +40,10 @@ class Agent:
     ``self.ctx`` is the context of the process whose call is being
     handled.
     """
+
+    #: which toolkit layer this agent is written at, for the observability
+    #: registry's per-layer cost attribution (each layer class overrides)
+    OBS_LAYER = "boilerplate"
 
     def __init__(self):
         self._tls = threading.local()
@@ -82,7 +87,19 @@ class Agent:
 
     def _emulation_entry(self, ctx, number, args):
         self._bind(ctx)
-        return self.handle_syscall(number, args)
+        obs = ctx.kernel.obs
+        if obs is None:
+            return self.handle_syscall(number, args)
+        # Attribute the agent handler's *host* time to this agent's
+        # toolkit layer — the virtual clock cannot see agent Python code,
+        # so wall-clock is the honest measure (it is also what
+        # bench_ablation_layers measures from outside).
+        start = time.perf_counter()
+        try:
+            return self.handle_syscall(number, args)
+        finally:
+            usec = (time.perf_counter() - start) * 1e6
+            obs.layer_usec(self.OBS_LAYER, name_of(number), usec)
 
     def _signal_entry(self, ctx, signum, action):
         self._bind(ctx)

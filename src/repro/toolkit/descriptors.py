@@ -302,6 +302,8 @@ class DescSymbolicSyscall(SymbolicSyscall):
     inherits the plain symbolic behaviour.
     """
 
+    OBS_LAYER = "descriptor"
+
     DESCRIPTOR_SET_CLASS = DescriptorSet
 
     def __init__(self, dset=None):

@@ -47,6 +47,9 @@ def unmarshal_result(number, rv):
 class NumericSyscall(Agent):
     """The lowest agent-visible layer: untyped numeric system calls.
 
+    ``OBS_LAYER`` is ``"numeric"``: agents derived here are charged to
+    the numeric layer in the observability registry's cost attribution.
+
     Subclasses override :meth:`syscall` (and/or :meth:`signal_handler`)
     and call :meth:`register_interest` for the numbers they want.  The
     method signature follows the paper —
@@ -56,6 +59,8 @@ class NumericSyscall(Agent):
     — returning 0 with ``rv`` filled on success, or an errno value on
     failure.
     """
+
+    OBS_LAYER = "numeric"
 
     # -- the paper's interface ---------------------------------------------
 

@@ -235,6 +235,8 @@ class PathnameSet(DescriptorSet):
 class PathSymbolicSyscall(DescSymbolicSyscall):
     """Routes pathname-using system calls through the pathname layer."""
 
+    OBS_LAYER = "pathname+descriptor"
+
     DESCRIPTOR_SET_CLASS = PathnameSet
 
     def __init__(self, pset=None):

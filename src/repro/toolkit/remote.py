@@ -70,6 +70,8 @@ class _Request:
 class SeparateSpaceAgent(Agent):
     """Run *inner* in its own agent task, reached by message passing."""
 
+    OBS_LAYER = "remote"
+
     def __init__(self, inner):
         super().__init__()
         self.inner = inner

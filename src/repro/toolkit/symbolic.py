@@ -22,6 +22,8 @@ from repro.toolkit.numeric import BSDNumericSyscall
 class SymbolicSyscall(Agent):
     """The system interface as one method per 4.3BSD system call."""
 
+    OBS_LAYER = "symbolic"
+
     #: the numeric-layer class used to decode application calls; derived
     #: toolkits may substitute their own (the emulation agent does)
     NUMERIC_CLASS = BSDNumericSyscall
@@ -155,6 +157,14 @@ class SymbolicSyscall(Agent):
     def sys_getdtablesize(self):
         """Return the size of the descriptor table."""
         return self.syscall_down("getdtablesize")
+
+    def sys_ktrace(self, op, pid=0, arg=0):
+        """Manipulate kernel tracing for a process (see ``repro.kernel.ktrace``)."""
+        return self.syscall_down("ktrace", op, pid, arg)
+
+    def sys_ktrace_read(self, limit=0):
+        """Drain buffered kernel trace records; returns ``(records, dropped)``."""
+        return self.syscall_down("ktrace_read", limit)
 
     # Descriptor operations.
 

@@ -129,6 +129,15 @@ def _exercise(sys, results):
     out(("settimeofday", sys.settimeofday(tv.tv_sec, tv.tv_usec)))
     out(("getrusage", sys.getrusage(0).ru_nsyscalls > 0))
 
+    # ktrace: enable on self, disable, and clear the buffer.  Only the
+    # return codes are observables — the records themselves carry
+    # clock/seq values that legitimately differ under an agent.
+    from repro.kernel.ktrace import KTROP_CLEAR, KTROP_CLEARBUF, KTROP_SET
+
+    out(("ktrace-on", sys.ktrace(KTROP_SET, 0)))
+    out(("ktrace-off", sys.ktrace(KTROP_CLEAR, 0)))
+    out(("ktrace-clearbuf", sys.ktrace(KTROP_CLEARBUF)))
+
     # exit(1) and execve/vfork are exercised by the run itself and by
     # dedicated tests; chroot last (it confines the rest).
     out(("chroot", sys.chroot("/tmp")))

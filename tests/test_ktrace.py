@@ -1,0 +1,319 @@
+"""Tests for the ktrace ring buffer, ktrace(2), and the ktrace/kdump programs."""
+
+import pytest
+
+from repro import obs
+from repro.kernel.errno import EINVAL, EPERM, ESRCH, SyscallError
+from repro.kernel.ktrace import (
+    KTROP_CLEAR,
+    KTROP_CLEARALL,
+    KTROP_CLEARBUF,
+    KTROP_SET,
+    KtraceBuffer,
+)
+from repro.kernel.sysent import number_of
+
+NR_GETPID = number_of("getpid")
+NR_FORK = number_of("fork")
+NR_WAIT = number_of("wait")
+NR_SETUID = number_of("setuid")
+NR_EXECVE = number_of("execve")
+NR_JUMP = number_of("jump_to_image")
+NR_KTRACE = number_of("ktrace")
+NR_KTRACE_READ = number_of("ktrace_read")
+
+
+# -- the ring buffer ------------------------------------------------------
+
+
+def test_ring_wraparound_counts_dropped():
+    ring = KtraceBuffer(capacity=4)
+    for i in range(10):
+        ring.append(i)
+    assert len(ring) == 4
+    assert ring.dropped == 6
+    assert ring.total == 10
+    assert ring.snapshot() == [6, 7, 8, 9]  # oldest were evicted
+
+
+def test_ring_drain_limit_and_all():
+    ring = KtraceBuffer(capacity=8)
+    for i in range(5):
+        ring.append(i)
+    assert ring.drain(2) == [0, 1]
+    assert len(ring) == 3
+    assert ring.drain() == [2, 3, 4]  # falsy limit drains everything
+    assert ring.drain(0) == []
+    assert ring.total == 5  # draining does not touch the append count
+
+
+def test_ring_clear_resets_dropped():
+    ring = KtraceBuffer(capacity=2)
+    for i in range(5):
+        ring.append(i)
+    assert ring.dropped == 3
+    ring.clear()
+    assert len(ring) == 0
+    assert ring.dropped == 0
+
+
+def test_ring_rejects_silly_capacity():
+    with pytest.raises(ValueError):
+        KtraceBuffer(capacity=0)
+
+
+# -- the system calls -----------------------------------------------------
+
+
+def test_ktrace_set_installs_observability_on_demand(kernel, run_entry):
+    assert kernel.obs is None
+
+    def main(ctx):
+        ctx.trap(NR_KTRACE, KTROP_SET, 0, 32)
+        ctx.trap(NR_GETPID)
+        return 0
+
+    assert run_entry(main) == 0
+    assert kernel.obs is not None
+    assert kernel.obs.ktrace.capacity == 32
+    # The getpid trapped after enabling landed in the ring (the enabling
+    # ktrace call itself raced ahead on the fast path: obs was still None
+    # when its trap entered).
+    names = [event.name for event in kernel.obs.ktrace.snapshot()]
+    assert "getpid" in names
+
+
+def test_ktrace_flag_inherited_across_fork(kernel, run_entry):
+    def main(ctx):
+        ctx.trap(NR_KTRACE, KTROP_SET)
+
+        def child(cctx):
+            return 0 if cctx.proc.ktrace_on else 1
+
+        ctx.trap(NR_FORK, child)
+        _, status = ctx.trap(NR_WAIT)
+        return status >> 8
+
+    assert run_entry(main) == 0
+    # The child's own getpid-free life still traced: fork + exit events
+    # from the child pid are in the ring.
+    pids = {event.pid for event in kernel.obs.ktrace.snapshot()}
+    assert len(pids) >= 2
+
+
+def test_ktrace_cleared_by_native_execve(world):
+    from repro.kernel.proc import WEXITSTATUS
+
+    holder = []
+
+    def main(ctx):
+        holder.append(ctx.proc)
+        ctx.trap(NR_KTRACE, KTROP_SET)
+        assert ctx.proc.ktrace_on
+        ctx.trap(NR_EXECVE, "/bin/true", ["true"], [])
+
+    status = world.run_entry(main)
+    assert WEXITSTATUS(status) == 0
+    assert holder[0].ktrace_on is False  # fresh image starts untraced
+
+
+def test_ktrace_preserved_by_jump_to_image(world):
+    from repro.kernel.proc import WEXITSTATUS
+
+    holder = []
+
+    def main(ctx):
+        holder.append(ctx.proc)
+        ctx.trap(NR_KTRACE, KTROP_SET)
+        ctx.trap(NR_JUMP, "/bin/true", ["true"], [])
+
+    status = world.run_entry(main)
+    assert WEXITSTATUS(status) == 0
+    assert holder[0].ktrace_on is True  # how ktrace(1) survives the exec
+
+
+def test_ktrace_clear_and_clearall(kernel, run_entry):
+    def main(ctx):
+        ctx.trap(NR_KTRACE, KTROP_SET)
+        assert ctx.proc.ktrace_on
+        ctx.trap(NR_KTRACE, KTROP_CLEAR)
+        assert not ctx.proc.ktrace_on
+        ctx.trap(NR_KTRACE, KTROP_SET)
+        ctx.trap(NR_KTRACE, KTROP_CLEARALL)  # we run as root
+        assert not ctx.proc.ktrace_on
+        return 0
+
+    assert run_entry(main) == 0
+
+
+def test_ktrace_clearbuf_empties_ring(kernel, run_entry):
+    def main(ctx):
+        ctx.trap(NR_KTRACE, KTROP_SET)
+        for _ in range(5):
+            ctx.trap(NR_GETPID)
+        # Stop tracing first, or CLEARBUF's own return event refills
+        # the ring we just emptied.
+        ctx.trap(NR_KTRACE, KTROP_CLEAR)
+        ctx.trap(NR_KTRACE, KTROP_CLEARBUF)
+        records, dropped = ctx.trap(NR_KTRACE_READ)
+        return 0 if (records == [] and dropped == 0) else 1
+
+    assert run_entry(main) == 0
+
+
+def test_ktrace_read_drains_exactly_once(kernel, run_entry):
+    counts = []
+
+    def main(ctx):
+        ctx.trap(NR_KTRACE, KTROP_SET)
+        for _ in range(3):
+            ctx.trap(NR_GETPID)
+        ctx.trap(NR_KTRACE, KTROP_CLEAR)
+        records, _ = ctx.trap(NR_KTRACE_READ)
+        counts.append(len(records))
+        records, _ = ctx.trap(NR_KTRACE_READ)
+        counts.append(len(records))
+        return 0
+
+    assert run_entry(main) == 0
+    first, second = counts
+    assert first > 0
+    assert second <= 2  # only the first read's own enter/return remain
+
+
+def test_ktrace_read_reports_dropped(kernel, run_entry):
+    dropped_seen = []
+
+    def main(ctx):
+        ctx.trap(NR_KTRACE, KTROP_SET, 0, 4)  # tiny ring
+        for _ in range(20):
+            ctx.trap(NR_GETPID)
+        ctx.trap(NR_KTRACE, KTROP_CLEAR)
+        records, dropped = ctx.trap(NR_KTRACE_READ)
+        dropped_seen.append((len(records), dropped))
+        _, dropped = ctx.trap(NR_KTRACE_READ)
+        dropped_seen.append(dropped)
+        return 0
+
+    assert run_entry(main) == 0
+    (buffered, dropped), dropped_after = dropped_seen
+    assert buffered <= 4
+    assert dropped > 0
+    assert dropped_after == 0  # reading resets the loss accounting
+
+
+def test_ktrace_read_disabled_returns_empty(kernel, run_entry):
+    def main(ctx):
+        records, dropped = ctx.trap(NR_KTRACE_READ)
+        return 0 if (records == [] and dropped == 0) else 1
+
+    assert run_entry(main) == 0
+    assert kernel.obs is None  # reading alone never installs obs
+
+
+def test_ktrace_permissions(kernel, run_entry):
+    """Non-root may not trace other uids; clearall is root-only."""
+    errnos = []
+
+    def main(ctx):
+        parent_pid = ctx.proc.pid
+
+        def child(cctx):
+            cctx.trap(NR_SETUID, 1000)
+            try:
+                cctx.trap(NR_KTRACE, KTROP_SET, parent_pid)
+            except SyscallError as exc:
+                errnos.append(("set", exc.errno))
+            try:
+                cctx.trap(NR_KTRACE, KTROP_CLEARALL)
+            except SyscallError as exc:
+                errnos.append(("clearall", exc.errno))
+            return 0
+
+        ctx.trap(NR_FORK, child)
+        _, status = ctx.trap(NR_WAIT)
+        return status >> 8
+
+    assert run_entry(main) == 0
+    assert ("set", EPERM) in errnos
+    assert ("clearall", EPERM) in errnos
+
+
+def test_ktrace_bad_pid_and_bad_op(kernel, run_entry):
+    errnos = []
+
+    def main(ctx):
+        try:
+            ctx.trap(NR_KTRACE, KTROP_SET, 9999)
+        except SyscallError as exc:
+            errnos.append(exc.errno)
+        try:
+            ctx.trap(NR_KTRACE, 77)
+        except SyscallError as exc:
+            errnos.append(exc.errno)
+        return 0
+
+    assert run_entry(main) == 0
+    assert errnos == [ESRCH, EINVAL]
+
+
+def test_trace_all_ignores_per_process_flag(kernel, run_entry):
+    """The host-side firehose traces untraced processes too."""
+    obs.enable(kernel, ktrace_capacity=256, trace_all=True)
+
+    def main(ctx):
+        ctx.trap(NR_GETPID)
+        return 0
+
+    assert run_entry(main) == 0
+    names = [event.name for event in kernel.obs.ktrace.snapshot()]
+    assert "getpid" in names
+
+
+# -- the in-world programs, end to end ------------------------------------
+
+
+def test_ktrace_kdump_pipeline_end_to_end(sh, world):
+    code, out = sh("ktrace cat /etc/passwd | ktrace wc; kdump")
+    assert code == 0
+    # wc's counts line from the pipeline came through first ...
+    assert "ktrace" not in out.splitlines()[0]
+    # ... then the kdump records: agent-free kernel calls for cat's open
+    # of the traced file, and the trailing summary line.
+    assert " CALL " in out
+    assert " RET " in out
+    assert "open" in out
+    assert "'/etc/passwd'" in out
+    assert "cat" in out and "wc" in out  # both pipeline elements traced
+    assert out.rstrip().splitlines()[-1].endswith("dropped")
+    # The kdump drained the ring: a second dump is empty.
+    code, out = sh("kdump")
+    assert code == 0
+    lines = [line for line in out.splitlines() if line]
+    assert lines[-1].startswith("0 events")
+
+
+def test_ktrace_c_flag_stops_tracing(sh):
+    code, out = sh("ktrace -c; kdump")
+    assert code == 0
+
+
+def test_ktrace_usage_errors(sh):
+    code, out = sh("ktrace")
+    assert code == 2
+    assert "usage" in out
+    code, out = sh("ktrace no-such-binary-anywhere")
+    assert code == 127
+    assert "not found" in out
+    code, out = sh("kdump -n nope")
+    assert code == 2
+    assert "usage" in out
+
+
+def test_kdump_limit(sh):
+    code, out = sh("ktrace cat /etc/passwd; kdump -n 3")
+    assert code == 0
+    lines = [line for line in out.splitlines() if " CALL" in line
+             or " RET " in line or " EXEC " in line or " EXIT " in line
+             or " FORK " in line]
+    assert len(lines) <= 3

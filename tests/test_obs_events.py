@@ -1,0 +1,251 @@
+"""Tests for the event bus, trap-spine instrumentation, and exporters."""
+
+import json
+import time
+
+from repro import obs
+from repro.kernel.errno import SyscallError
+from repro.kernel.sysent import number_of
+from repro.obs import events as ev
+from repro.obs.export import (
+    event_to_dict,
+    events_to_jsonl,
+    format_record,
+    kdump_lines,
+    syscall_rows,
+)
+
+NR_GETPID = number_of("getpid")
+NR_OPEN = number_of("open")
+NR_KILL = number_of("kill")
+NR_SIGVEC = number_of("sigvec")
+NR_FORK = number_of("fork")
+NR_WAIT = number_of("wait")
+NR_PIPE = number_of("pipe")
+NR_READ = number_of("read")
+NR_WRITE = number_of("write")
+NR_CLOSE = number_of("close")
+NR_SET_EMULATION = number_of("task_set_emulation")
+
+
+def test_event_tuple_roundtrip():
+    event = ev.Event(7, 123456, 2, "sh", ev.TRAP_KERNEL, "open", "'/etc'")
+    rebuilt = ev.Event.from_tuple(event.to_tuple())
+    assert rebuilt.to_tuple() == event.to_tuple()
+    assert rebuilt.kind == ev.TRAP_KERNEL
+
+
+def test_bus_subscribe_publish_unsubscribe():
+    bus = ev.EventBus()
+    seen = []
+    assert not bus.active()
+    fn = bus.subscribe(seen.append)
+    assert bus.active()
+    event = ev.Event(1, 0, 1, "sh", ev.PROC_FORK)
+    bus.publish(event)
+    assert seen == [event]
+    bus.unsubscribe(fn)
+    assert not bus.active()
+
+
+def test_disabled_kernel_records_nothing(kernel, run_entry):
+    """Pay-per-use: with obs disabled the kernel keeps no obs state."""
+    assert kernel.obs is None
+
+    def main(ctx):
+        for _ in range(10):
+            ctx.trap(NR_GETPID)
+        return 0
+
+    assert run_entry(main) == 0
+    assert kernel.obs is None  # running does not conjure one up
+
+
+def test_trap_metrics_split_agent_and_kernel_paths(kernel, run_entry):
+    registry = obs.enable(kernel).metrics
+
+    def main(ctx):
+        ctx.trap(NR_GETPID)  # kernel path
+        ctx.trap(NR_SET_EMULATION, [NR_GETPID], lambda c, n, a: 42)
+        assert ctx.trap(NR_GETPID) == 42  # agent path
+        return 0
+
+    assert run_entry(main) == 0
+    assert registry.counter(("trap", "getpid")) == 2
+    assert registry.counter(("trap.kernel", "getpid")) == 1
+    assert registry.counter(("trap.agent", "getpid")) == 1
+    hist = registry.histogram(("trap.vusec", "getpid"))
+    assert hist is not None and hist.count == 2
+
+
+def test_trap_error_metrics(kernel, run_entry):
+    registry = obs.enable(kernel).metrics
+
+    def main(ctx):
+        try:
+            ctx.trap(NR_OPEN, "/definitely/missing", 0, 0)
+        except SyscallError:
+            pass
+        return 0
+
+    assert run_entry(main) == 0
+    assert registry.counter(("trap.error", "open", "ENOENT")) == 1
+
+
+def test_htg_metrics(kernel, run_entry):
+    registry = obs.enable(kernel).metrics
+
+    def main(ctx):
+        ctx.trap(NR_SET_EMULATION, [NR_GETPID],
+                 lambda hctx, n, a: hctx.htg(n, *a))
+        ctx.trap(NR_GETPID)
+        return 0
+
+    assert run_entry(main) == 0
+    assert registry.counter(("htg", "getpid")) == 1
+
+
+def test_signal_metrics_upcall_vs_deliver(kernel, run_entry):
+    registry = obs.enable(kernel).metrics
+
+    def main(ctx):
+        from repro.kernel import signals as sig
+
+        ctx.trap(NR_SIGVEC, sig.SIGUSR1, lambda s: None, 0)
+        ctx.trap(NR_KILL, ctx.proc.pid, sig.SIGUSR1)  # app delivery
+        ctx.trap(number_of("task_set_signal_redirect"),
+                 lambda c, s, a: None)
+        ctx.trap(NR_KILL, ctx.proc.pid, sig.SIGUSR1)  # agent upcall
+        return 0
+
+    assert run_entry(main) == 0
+    assert registry.counter(("signal.deliver", "SIGUSR1")) == 1
+    assert registry.counter(("signal.upcall", "SIGUSR1")) == 1
+
+
+def test_bus_sees_lifecycle_events(kernel, run_entry):
+    switchboard = obs.enable(kernel)
+    kinds = []
+    switchboard.bus.subscribe(lambda event: kinds.append(event.kind))
+
+    def main(ctx):
+        ctx.trap(NR_FORK, lambda child: 0)
+        ctx.trap(NR_WAIT)
+        return 0
+
+    assert run_entry(main) == 0
+    assert ev.PROC_FORK in kinds
+    assert ev.PROC_EXIT in kinds
+    assert ev.TRAP_KERNEL in kinds and ev.TRAP_RET in kinds
+
+
+def test_event_ordering_under_pipe_blocking(kernel, run_entry):
+    """A blocked pipe reader's block event precedes the writer's write,
+    and its wakeup follows it, in global sequence order."""
+    switchboard = obs.enable(kernel)
+    events = []
+    switchboard.bus.subscribe(events.append)
+    child_holder = []
+
+    def main(ctx):
+        rfd, wfd = ctx.trap(NR_PIPE)
+
+        def child(cctx):
+            data = cctx.trap(NR_READ, rfd, 100)
+            return 0 if data == b"ping" else 1
+
+        pid, _ = ctx.trap(NR_FORK, child)
+        child_holder.append(pid)
+        # Wait (in host time) until the child is asleep on the pipe.
+        deadline = time.time() + 5.0
+        child_proc = ctx.kernel._procs[pid]
+        while not child_proc.state.startswith("sleeping"):
+            assert time.time() < deadline, child_proc.state
+            time.sleep(0.001)
+        ctx.trap(NR_WRITE, wfd, b"ping")
+        ctx.trap(NR_CLOSE, wfd)
+        _, status = ctx.trap(NR_WAIT)
+        return status >> 8
+
+    assert run_entry(main) == 0
+    child_pid = child_holder[0]
+    blocks = [e for e in events
+              if e.kind == ev.PIPE_BLOCK and e.pid == child_pid]
+    wakeups = [e for e in events
+               if e.kind == ev.PIPE_WAKEUP and e.pid == child_pid]
+    writes = [e for e in events
+              if e.kind == ev.TRAP_KERNEL and e.name == "write"
+              and e.pid != child_pid]
+    assert blocks and wakeups and writes
+    assert blocks[0].name == "read"
+    assert blocks[0].seq < writes[0].seq < wakeups[0].seq
+
+
+def test_layer_usec_attribution(kernel, run_entry):
+    from repro.agents.time_symbolic import TimeSymbolic
+
+    registry = obs.enable(kernel).metrics
+
+    def main(ctx):
+        TimeSymbolic().attach(ctx)
+        for _ in range(5):
+            ctx.trap(NR_GETPID)
+        return 0
+
+    assert run_entry(main) == 0
+    hist = registry.histogram(("layer.usec", "symbolic"))
+    assert hist is not None and hist.count >= 5
+    per_call = registry.histogram(("layer.usec", "symbolic", "getpid"))
+    assert per_call is not None and per_call.count == 5
+    assert registry.counter(("agent.call", "symbolic", "getpid")) == 5
+
+
+def test_exporters_format_and_jsonl():
+    event = ev.Event(3, 1_500_000, 2, "cat", ev.TRAP_AGENT, "open",
+                     "'/etc/passwd'")
+    line = format_record(event)
+    assert "CALL*" in line and "open" in line and "cat" in line
+    assert "1.500000" in line
+    lines = kdump_lines([event], dropped=4)
+    assert lines[-1] == "1 events, 4 dropped"
+    parsed = json.loads(events_to_jsonl([event.to_tuple()]))
+    assert parsed == event_to_dict(event)
+
+
+def test_syscall_rows_ordering():
+    from repro.obs.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    registry.inc(("trap", "read"), 10)
+    registry.inc(("trap.kernel", "read"), 10)
+    registry.inc(("trap", "open"), 3)
+    registry.inc(("trap.agent", "open"), 3)
+    registry.observe(("trap.vusec", "read"), 100)
+    rows = syscall_rows(registry)
+    assert rows[0][0] == "read" and rows[0][1] == 10
+    assert rows[1][0] == "open" and rows[1][2] == 3
+    assert syscall_rows(registry, top=1) == rows[:1]
+
+
+def test_enable_disable_roundtrip(kernel):
+    first = obs.enable(kernel)
+    assert obs.is_enabled(kernel)
+    assert obs.enable(kernel) is first  # idempotent
+    detached = obs.disable(kernel)
+    assert detached is first
+    assert not obs.is_enabled(kernel)
+    assert obs.disable(kernel) is None
+
+
+def test_snapshot_includes_ktrace_stats(kernel, run_entry):
+    switchboard = obs.enable(kernel, ktrace_capacity=8, trace_all=True)
+
+    def main(ctx):
+        ctx.trap(NR_GETPID)
+        return 0
+
+    assert run_entry(main) == 0
+    snap = switchboard.snapshot()
+    assert snap["ktrace"]["capacity"] == 8
+    assert snap["ktrace"]["total"] > 0
+    assert "counters" in snap and "histograms" in snap

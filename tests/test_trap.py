@@ -201,6 +201,38 @@ def test_trap_counts_tracked(kernel, run_entry):
     assert kernel.trap_total - before >= 6  # 5 getpids + exit
 
 
+def test_ru_nsyscalls_counts_kernel_crossings(run_entry):
+    """Pin the documented rusage semantics: ``ru_nsyscalls`` counts
+    kernel *crossings*, so a call an agent intercepts and forwards via
+    the htg downcall is charged twice (trap + bypass trap), while an
+    intercepted call the agent answers itself is charged once."""
+
+    def main(ctx):
+        ru = ctx.proc.rusage
+
+        # Uninterposed: one crossing per call.
+        base = ru.ru_nsyscalls
+        ctx.trap(NR["getpid"])
+        assert ru.ru_nsyscalls - base == 1
+
+        # Intercepted and forwarded: trap + htg = two crossings.
+        ctx.trap(NR["task_set_emulation"], [NR["getpid"]],
+                 lambda hctx, number, args: hctx.htg(number, *args))
+        base = ru.ru_nsyscalls
+        ctx.trap(NR["getpid"])
+        assert ru.ru_nsyscalls - base == 2
+
+        # Intercepted and answered in the agent: one crossing.
+        ctx.trap(NR["task_set_emulation"], [NR["getpid"]],
+                 lambda hctx, number, args: 4242)
+        base = ru.ru_nsyscalls
+        assert ctx.trap(NR["getpid"]) == 4242
+        assert ru.ru_nsyscalls - base == 1
+        return 0
+
+    assert run_entry(main) == 0
+
+
 def test_consume_cpu_advances_clock_and_rusage(kernel, run_entry):
     def main(ctx):
         before = ctx.kernel.clock.usec()

@@ -1,0 +1,249 @@
+"""The kernel fast paths measured: name cache, trap dispatch, zero-copy.
+
+PR 2 adds three flag-gated fast paths to the simulated kernel (see
+:mod:`repro.kernel.fastpath`): the 4.3BSD directory name lookup cache,
+precomputed trap dispatch for uninterposed calls, and a zero-copy read
+path.  This benchmark holds them to the paper's own measurement
+standard, and to the transparency bar interposition itself is held to:
+
+* **Macro**: each evaluation workload (format-dissertation, make-8,
+  AFS-like) timed per flag configuration — interleaved rounds, paired
+  per-round slowdowns, minimum over rounds (the protocol of
+  ``bench_obs_overhead``).  The honest caveat, recorded in
+  ``docs/PERFORMANCE.md``: the format workload is ~98% user-mode
+  formatter CPU by design, so whole-workload wins are bounded by
+  Amdahl's law no matter how much faster the kernel paths get.
+* **Micro**: the per-operation costs the fast paths actually target —
+  one uninterposed getpid trap (trap_fast), one four-component stat
+  (namecache), one 1 MiB read (zero_copy).
+* **In-band**: the name cache's own hit/miss counters after a format
+  run, cross-checked against the host-side timings.
+
+The ``off`` configuration is the seed kernel: every fast path disabled,
+byte-for-byte identical behaviour (``tests/test_fastpath_equivalence``
+checks that claim; this module checks the prices).
+"""
+
+from repro.bench.timing import paired_slowdowns, time_matrix, usec_per_call
+from repro.kernel.fastpath import FastPathConfig
+from repro.kernel.sysent import number_of
+from repro.kernel.trap import UserContext
+from repro.workloads import afs_bench, boot_world, format_dissertation, make_programs
+
+NR_GETPID = number_of("getpid")
+NR_STAT = number_of("stat")
+
+#: the flag configurations under test; "off" is the seed kernel
+CONFIGS = ("off", "namecache", "trap_fast", "zero_copy", "all")
+
+#: a path deep enough to make per-component costs visible
+DEEP_PATH = "/usr/lib/scribe/report.fmt"
+
+WORKLOADS = {
+    "format": format_dissertation,
+    "make": make_programs,
+    "afs": afs_bench,
+}
+
+
+def fastpath_config(name):
+    """The :class:`FastPathConfig` for one benchmark configuration.
+
+    ``all`` opts into the stdio readahead as well — the benchmark wants
+    the full fast-path story, while the kernel default keeps readahead
+    off so workload trap counts match the seed.
+    """
+    if name == "off":
+        return FastPathConfig.none()
+    if name == "all":
+        return FastPathConfig.all_on()
+    return FastPathConfig.only(name)
+
+
+def _prepare(workload, config):
+    """One prepared run of *workload* under flag configuration *config*."""
+    from repro.kernel.proc import WEXITSTATUS
+
+    module = WORKLOADS[workload]
+    kernel = boot_world(fastpaths=fastpath_config(config))
+    module.setup(kernel)
+
+    def run():
+        status = module.run(kernel)
+        assert WEXITSTATUS(status) == 0, "workload failed (%r)" % status
+        return kernel
+
+    return run
+
+
+def macro_rows(workload="format", runs=9, configs=CONFIGS):
+    """(config, min_seconds, slowdown%-vs-off) for one workload."""
+    prepares = {
+        config: (lambda config=config: _prepare(workload, config))
+        for config in configs
+    }
+    results = time_matrix(prepares, runs=runs)
+    slowdowns = paired_slowdowns(results, base_name="off")
+    return [(config, results[config][0], slowdowns[config])
+            for config in configs]
+
+
+def _micro_world(config):
+    """A booted world plus a process context under *config*."""
+    kernel = boot_world(fastpaths=fastpath_config(config))
+    kernel.write_file("/tmp/big.dat", b"x" * (1 << 20))
+    proc = kernel._create_initial_process()
+    return kernel, UserContext(kernel, proc)
+
+
+def _interleaved_usec(fns, calls, rounds=7):
+    """Per-call microseconds for each named callable, interleaved.
+
+    The micro equivalent of ``time_matrix``: one warm-up pass, then each
+    round times every configuration back to back and the per-config
+    estimate is the best round.  Sequential measurement would let host
+    drift (CPU frequency, the allocator's large-block strategy) bias
+    whichever configuration happened to run first.
+    """
+    import time
+
+    for fn in fns.values():
+        for _ in range(calls // 10 + 1):
+            fn()
+    best = {}
+    for _ in range(rounds):
+        for name, fn in fns.items():
+            start = time.perf_counter()
+            for _ in range(calls):
+                fn()
+            usec = (time.perf_counter() - start) / calls * 1_000_000
+            if name not in best or usec < best[name]:
+                best[name] = usec
+    return best
+
+
+def micro_rows(calls=2000, configs=CONFIGS):
+    """Per-operation costs: (operation, config, usec)."""
+    from repro.programs.libc import O_RDONLY, Sys
+
+    worlds = {config: _micro_world(config) for config in configs}
+
+    def _read_1m(sys):
+        def read_1m():
+            fd = sys.open("/tmp/big.dat", O_RDONLY)
+            data = sys.read(fd, 1 << 20)
+            sys.close(fd)
+            assert len(data) == 1 << 20
+        return read_1m
+
+    operations = (
+        ("getpid trap", calls,
+         {config: (lambda ctx=ctx: ctx.trap(NR_GETPID))
+          for config, (kernel, ctx) in worlds.items()}),
+        ("stat %s" % DEEP_PATH, calls,
+         {config: (lambda ctx=ctx: ctx.trap(NR_STAT, DEEP_PATH))
+          for config, (kernel, ctx) in worlds.items()}),
+        ("open+read 1MiB+close", max(50, calls // 20),
+         {config: _read_1m(Sys(ctx))
+          for config, (kernel, ctx) in worlds.items()}),
+    )
+    rows = []
+    for op, op_calls, fns in operations:
+        best = _interleaved_usec(fns, op_calls)
+        for config in configs:
+            rows.append((op, config, best[config]))
+    return rows
+
+
+def cache_stats_after(workload="format", config="all"):
+    """The name cache's own counters after one workload run."""
+    kernel = _prepare(workload, config)()
+    cache = kernel.namecache
+    stats = cache.stats() if cache is not None else {"enabled": False}
+    stats["trap_total"] = kernel.trap_total
+    stats["trap_fast_total"] = kernel.trap_fast_total
+    return stats
+
+
+# -- pytest entry points (CI perf smoke) ---------------------------------
+
+
+def test_cache_on_not_slower_format(benchmark):
+    """The gate the CI perf-smoke job enforces: with every fast path on,
+    the format workload must not be slower than the seed configuration.
+
+    Paired per-round ratios over nine interleaved rounds, with a 6%
+    allowance: this 0.2-second CPU-dominated workload jitters ±5% on a
+    shared CI host even comparing a configuration against itself, so
+    the gate is sized to catch a systematic regression (a cache that
+    costs more than it saves), not round-to-round noise.  The
+    per-operation gate below is the tight one.
+    """
+    rows = benchmark.pedantic(
+        lambda: macro_rows(workload="format", runs=9,
+                           configs=("off", "namecache", "all")),
+        rounds=1, iterations=1)
+    by_config = {config: (seconds, pct) for config, seconds, pct in rows}
+    for config in ("namecache", "all"):
+        seconds, pct = by_config[config]
+        benchmark.extra_info[config] = {
+            "seconds": round(seconds, 4), "slowdown_pct": round(pct, 2)}
+        assert pct <= 6.0, (
+            "%s configuration slower than seed: %+.1f%%" % (config, pct))
+
+
+def test_micro_fast_paths_win(benchmark):
+    """The per-operation fast paths must beat the seed configuration.
+
+    The getpid trap (fast dispatch, ~20% locally) and the 1 MiB read
+    (zero-copy, ~50%) have margins far above host jitter and are gated
+    strictly.  The deep stat's win is a few percent (the walk is
+    permission-check bound once lookups are dict hits either way), so it
+    only has to stay within 2% of seed — the gate catches a regressed
+    cache, not measurement noise.
+    """
+    rows = benchmark.pedantic(
+        lambda: micro_rows(calls=2000, configs=("off", "all")),
+        rounds=1, iterations=1)
+    by_op = {}
+    for op, config, usec in rows:
+        by_op.setdefault(op.split()[0], {})[config] = usec
+    for op, times in by_op.items():
+        benchmark.extra_info[op] = {
+            config: round(usec, 3) for config, usec in times.items()}
+    assert by_op["getpid"]["all"] < by_op["getpid"]["off"], by_op["getpid"]
+    assert by_op["open+read"]["all"] < by_op["open+read"]["off"] * 0.8, (
+        by_op["open+read"])
+    assert by_op["stat"]["all"] < by_op["stat"]["off"] * 1.02, by_op["stat"]
+
+
+def test_cache_hit_rate_on_format():
+    """The format workload's lookups must mostly hit after warm-up."""
+    stats = cache_stats_after("format", "all")
+    assert stats["hits"] > 0
+    assert stats["hit_rate"] > 0.5, stats
+    assert stats["trap_fast_total"] > 0
+
+
+def print_tables(runs=9):
+    """Render every table of this benchmark to stdout."""
+    for workload in WORKLOADS:
+        print("Fast paths: %s workload" % workload)
+        print("%-12s %10s %10s" % ("config", "seconds", "vs off"))
+        for config, seconds, pct in macro_rows(workload, runs=runs):
+            print("%-12s %10.3f %9.1f%%" % (config, seconds, pct))
+        print()
+    print("Micro: per-operation cost by configuration")
+    print("%-28s %-12s %10s" % ("operation", "config", "usec"))
+    for op, config, usec in micro_rows():
+        print("%-28s %-12s %10.3f" % (op, config, usec))
+    print()
+    print("Name cache counters after one format run (config=all)")
+    for key, value in sorted(cache_stats_after().items()):
+        print("  %-18s %s" % (key, value))
+
+
+if __name__ == "__main__":
+    import sys as _host_sys
+
+    print_tables(runs=3 if "--quick" in _host_sys.argv else 9)

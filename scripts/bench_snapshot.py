@@ -1,0 +1,78 @@
+"""Snapshot the PR's headline benchmark numbers into BENCH_PR2.json.
+
+Run with:  python scripts/bench_snapshot.py [--quick] [output.json]
+
+Records, for the kernel fast paths added in PR 2 (name cache, trap
+fast-path dispatch, zero-copy read), the macro workload timings per
+flag configuration, the per-operation micro costs, and the name cache's
+own counters after a format run — plus enough machine information to
+interpret the numbers later.
+"""
+
+import datetime
+import json
+import os
+import platform
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+sys.path.insert(0, os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+
+from benchmarks import bench_kernel_fastpath as bench  # noqa: E402
+
+
+def snapshot(runs=9, micro_calls=2000):
+    """Collect every headline number as one JSON-ready document."""
+    doc = {
+        "pr": 2,
+        "title": "kernel fast paths: name cache, trap dispatch, zero-copy",
+        "generated": datetime.datetime.now().isoformat(timespec="seconds"),
+        "machine": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "processor": platform.processor() or "unknown",
+        },
+        "protocol": {
+            "macro_runs": runs,
+            "micro_calls": micro_calls,
+            "method": "interleaved rounds, paired per-round slowdowns, "
+                      "minimum over rounds (see repro.bench.timing)",
+        },
+        "macro": {},
+        "micro": [],
+        "namecache_after_format": None,
+    }
+    for workload in bench.WORKLOADS:
+        print("macro: %s ..." % workload, flush=True)
+        doc["macro"][workload] = [
+            {"config": config, "seconds": round(seconds, 4),
+             "slowdown_vs_off_pct": round(pct, 2)}
+            for config, seconds, pct in bench.macro_rows(workload, runs=runs)
+        ]
+    print("micro ...", flush=True)
+    doc["micro"] = [
+        {"operation": op, "config": config, "usec": round(usec, 3)}
+        for op, config, usec in bench.micro_rows(calls=micro_calls)
+    ]
+    print("namecache counters ...", flush=True)
+    doc["namecache_after_format"] = bench.cache_stats_after("format", "all")
+    return doc
+
+
+def main():
+    argv = [a for a in sys.argv[1:]]
+    quick = "--quick" in argv
+    if quick:
+        argv.remove("--quick")
+    path = argv[0] if argv else "BENCH_PR2.json"
+    doc = snapshot(runs=3 if quick else 9,
+                   micro_calls=500 if quick else 2000)
+    with open(path, "w") as f:
+        json.dump(doc, f, indent=2, sort_keys=False)
+        f.write("\n")
+    print("wrote", path)
+
+
+if __name__ == "__main__":
+    main()

@@ -18,6 +18,7 @@ load_all()
 from benchmarks import (  # noqa: E402
     bench_ablation_layers as ablation,
     bench_agent_placement as placement,
+    bench_kernel_fastpath as fastpath_bench,
     bench_obs_overhead as obs_bench,
     bench_sec_3_5_3_dfstrace as dfs,
     bench_table_3_1_agent_sizes as t31,
@@ -245,6 +246,44 @@ def obs_overhead_section(out):
               "logs every call), matching Table 3-3's agent ordering.\n\n")
 
 
+def fastpath_section(out):
+    out.write("## Kernel fast paths (ours) — name cache, trap dispatch, "
+              "zero-copy\n\n")
+    out.write("Not a paper table; PR 2's flag-gated kernel fast paths "
+              "(`repro.kernel.fastpath`), measured against the seed code "
+              "paths (`off` = every flag disabled, bit-for-bit the seed "
+              "kernel — `tests/test_fastpath_equivalence.py` checks "
+              "that).  See docs/PERFORMANCE.md for the design.\n\n"
+              "**A. Whole workloads per flag configuration** (interleaved "
+              "rounds, paired slowdowns vs `off`; negative = faster):\n\n")
+    for workload in fastpath_bench.WORKLOADS:
+        rows = [(c, "%.3f s" % s, "%+.1f%%" % p)
+                for c, s, p in fastpath_bench.macro_rows(workload)]
+        out.write("*%s*:\n\n" % workload)
+        out.write(_rows_to_md(("config", "seconds", "vs off"), rows, _fmt))
+        out.write("\n\n")
+    out.write("**B. Per-operation costs** (the operations the fast paths "
+              "actually target):\n\n")
+    rows = [(op, c, "%.3f" % u) for op, c, u in fastpath_bench.micro_rows()]
+    out.write(_rows_to_md(("operation", "config", "usec"), rows, _fmt))
+    out.write("\n\n**C. Name cache counters after one format run** "
+              "(config `all`):\n\n")
+    stats = fastpath_bench.cache_stats_after("format", "all")
+    out.write(_rows_to_md(("counter", "value"),
+                          sorted(stats.items()), _fmt))
+    out.write("\n\nShape: the per-operation wins are real and targeted — "
+              "the uninterposed trap and the large read get markedly "
+              "cheaper, the deep stat slightly (component lookups were "
+              "already dict hits; the cache mostly removes inode-probe "
+              "and symlink-test work, and permission checks remain "
+              "per-component by design).  Whole-workload effect is "
+              "bounded by Amdahl's law: format is ~98% formatter CPU, "
+              "and make's wall clock is dominated by process joins, so "
+              "single-digit macro deltas are the honest expectation — "
+              "the pay-per-use shape (Tables 3-2/3-3, obs overhead) is "
+              "unchanged by the fast paths.\n\n")
+
+
 def main():
     out = io.StringIO()
     out.write(HEADER)
@@ -267,6 +306,8 @@ def main():
     ablation_section(out)
     print("Observability overhead ...", flush=True)
     obs_overhead_section(out)
+    print("Kernel fast paths ...", flush=True)
+    fastpath_section(out)
     path = "EXPERIMENTS.md"
     if len(sys.argv) > 1:
         path = sys.argv[1]

@@ -165,6 +165,13 @@ class MonitorAgent(SymbolicSyscall):
                 for signum, count in self.signals.items()
             },
         }
+        try:
+            # Kernel-side fast-path counters (name cache hit rate, fast
+            # dispatch) ride along so one report covers both sides of
+            # the interface.  Fetched in-world via extension trap 207.
+            doc["kernel"] = self.syscall_down("kernel_stats")
+        except SyscallError:
+            pass
         return json.dumps(doc, indent=2, sort_keys=True) + "\n"
 
     def sys_exit(self, status=0):

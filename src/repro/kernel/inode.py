@@ -36,6 +36,12 @@ class Inode:
 
     IFMT = 0
 
+    #: filesystem mounted on this inode; only directories ever set it,
+    #: but keeping the default on the base class lets namei's
+    #: mount-crossing loop test one attribute instead of isinstance
+    #: per pathname component.
+    mounted = None
+
     def __init__(self, fs, ino, mode, uid, gid, now_usec):
         self.fs = fs
         self.ino = ino
@@ -81,9 +87,8 @@ class Inode:
 
     def stat_record(self):
         """Build the ``struct stat`` for this inode."""
-        from repro.kernel.stat import Stat
-
-        return Stat(
+        size = self.size
+        return st.Stat(
             st_dev=self.fs.dev,
             st_ino=self.ino,
             st_mode=self.mode,
@@ -91,12 +96,12 @@ class Inode:
             st_uid=self.uid,
             st_gid=self.gid,
             st_rdev=self.rdev,
-            st_size=self.size,
+            st_size=size,
             st_atime=self.atime // 1_000_000,
             st_mtime=self.mtime // 1_000_000,
             st_ctime=self.ctime // 1_000_000,
             st_blksize=self.fs.block_size,
-            st_blocks=-(-self.size // 512),
+            st_blocks=-(-size // 512),
         )
 
     def __repr__(self):
@@ -112,14 +117,36 @@ class RegularFile(Inode):
         super().__init__(fs, ino, mode, uid, gid, now_usec)
         self.data = bytearray()
 
+    def is_dir(self):
+        """Regular files are not directories (constant per class)."""
+        return False
+
+    def is_reg(self):
+        """True: this is a regular file."""
+        return True
+
+    def is_symlink(self):
+        """Regular files are not symlinks."""
+        return False
+
     @property
     def size(self):
         return len(self.data)
 
     def read_at(self, offset, count):
-        """Bytes at [*offset*, *offset*+*count*), short at EOF."""
+        """Bytes at [*offset*, *offset*+*count*), short at EOF.
+
+        With the volume's ``zero_copy`` fast path on, the return value
+        is a :class:`memoryview` over the file's buffer — zero copies
+        here; the open-file layer (``InodeFile.read``) materialises it
+        into ``bytes`` exactly once at the kernel/user boundary, before
+        anything can resize the underlying ``bytearray``.  Off, this is
+        the seed's slice-then-bytes double copy.
+        """
         if offset >= len(self.data):
             return b""
+        if getattr(self.fs, "zero_copy", False):
+            return memoryview(self.data)[offset : offset + count]
         return bytes(self.data[offset : offset + count])
 
     def write_at(self, offset, data):
@@ -153,6 +180,18 @@ class Directory(Inode):
         #: filesystem mounted on this directory, if any
         self.mounted = None
 
+    def is_dir(self):
+        """True: this is a directory (constant per class)."""
+        return True
+
+    def is_reg(self):
+        """Directories are not regular files."""
+        return False
+
+    def is_symlink(self):
+        """Directories are not symlinks."""
+        return False
+
     @property
     def size(self):
         # Rough UFS-flavoured accounting: a fixed cost per entry.
@@ -170,10 +209,20 @@ class Directory(Inode):
         return name in self.entries
 
     def enter(self, name, ino):
-        """Add *name* -> *ino* (EEXIST if taken)."""
+        """Add *name* -> *ino* (EEXIST if taken).
+
+        Every directory mutation (here, :meth:`remove`, :meth:`replace`)
+        invalidates the kernel's name cache entry for the touched name —
+        this is the single funnel that keeps the cache coherent for all
+        callers, agents included (they mutate through these same kernel
+        paths via ``htg_unix_syscall``).
+        """
         if name in self.entries:
             raise SyscallError(EEXIST, name)
         self.entries[name] = ino
+        cache = getattr(self.fs, "namecache", None)
+        if cache is not None:
+            cache.invalidate(self, name)
 
     def remove(self, name):
         """Delete the entry *name* (ENOENT)."""
@@ -181,10 +230,16 @@ class Directory(Inode):
             del self.entries[name]
         except KeyError:
             raise SyscallError(ENOENT, name) from None
+        cache = getattr(self.fs, "namecache", None)
+        if cache is not None:
+            cache.invalidate(self, name)
 
     def replace(self, name, ino):
         """Point an existing (or new) entry at *ino* (used by rename)."""
         self.entries[name] = ino
+        cache = getattr(self.fs, "namecache", None)
+        if cache is not None:
+            cache.invalidate(self, name)
 
     def is_empty(self):
         """True when only . and .. remain."""
@@ -215,6 +270,18 @@ class Symlink(Inode):
     def __init__(self, fs, ino, mode, uid, gid, now_usec, target=""):
         super().__init__(fs, ino, mode | 0o777, uid, gid, now_usec)
         self.target = target
+
+    def is_dir(self):
+        """Symlinks are not directories (constant per class)."""
+        return False
+
+    def is_reg(self):
+        """Symlinks are not regular files."""
+        return False
+
+    def is_symlink(self):
+        """True: this is a symbolic link."""
+        return True
 
     @property
     def size(self):

@@ -26,6 +26,8 @@ from repro.kernel.errno import (
     ESRCH,
     SyscallError,
 )
+from repro.kernel.fastpath import FastPathConfig
+from repro.kernel.namecache import NameCache
 from repro.kernel.namei import namei
 from repro.kernel.ofile import (
     DeviceFile,
@@ -79,11 +81,22 @@ class _HostContext:
 class Kernel:
     """A booted simulated machine."""
 
-    def __init__(self, hostname="mach25.repro", page_size=4096):
+    def __init__(self, hostname="mach25.repro", page_size=4096,
+                 fastpaths=None):
         self.hostname = hostname
         self.page_size = page_size
         self.clock = Clock()
-        self.rootfs = Filesystem(self.clock, dev=1)
+        #: flag word for the kernel fast paths (see repro.kernel.fastpath);
+        #: accepts a FastPathConfig, a spec string ("none", "namecache,..."),
+        #: or None for the $REPRO_FASTPATH / all-on default
+        self.fastpaths = FastPathConfig.parse(fastpaths)
+        #: the 4.3BSD directory name lookup cache, shared by every volume
+        #: this kernel creates (None when the fast path is off)
+        self.namecache = (NameCache(self.fastpaths.namecache_capacity)
+                          if self.fastpaths.namecache else None)
+        self.rootfs = Filesystem(self.clock, dev=1,
+                                 namecache=self.namecache,
+                                 zero_copy=self.fastpaths.zero_copy)
         self._next_dev = 2
 
         self._lock = threading.Lock()
@@ -98,6 +111,9 @@ class Kernel:
         #: application system calls issued (trap instructions, not htg
         #: downcalls) — the paper's per-workload syscall counts
         self.trap_total = 0
+        #: traps dispatched through the precomputed fast path (a subset
+        #: of trap_total; see repro.kernel.trap.build_fast_dispatch)
+        self.trap_fast_total = 0
         #: fork/execve accounting for the make workload's "64 pairs"
         self.fork_total = 0
         self.exec_total = 0
@@ -548,7 +564,9 @@ class Kernel:
 
     def new_filesystem(self):
         """A fresh volume with a unique device number."""
-        fs = Filesystem(self.clock, dev=self._next_dev)
+        fs = Filesystem(self.clock, dev=self._next_dev,
+                        namecache=self.namecache,
+                        zero_copy=self.fastpaths.zero_copy)
         self._next_dev += 1
         return fs
 
@@ -564,6 +582,10 @@ class Kernel:
             raise SyscallError(EBUSY, "filesystem is already mounted")
         node.mounted = fs
         fs.covered = node
+        # The name cache stores post-mount-crossing children, so any
+        # change to the mount topology invalidates it wholesale.
+        if self.namecache is not None:
+            self.namecache.purge()
 
     def umount(self, path):
         """Detach the filesystem mounted at *path*."""
@@ -574,6 +596,8 @@ class Kernel:
             raise SyscallError(EINVAL, "%s is not a mount point" % path)
         fs.covered.mounted = None
         fs.covered = None
+        if self.namecache is not None:
+            self.namecache.purge()
 
     # ------------------------------------------------------------------
     # running programs

@@ -7,6 +7,8 @@ toolkit's ``pathname_set.getpn()`` sits directly above this: every
 pathname an agent sees was (or will be) resolved here.
 """
 
+import functools
+
 from repro.kernel import cred as credmod
 from repro.kernel import stat as st
 from repro.kernel.errno import (
@@ -17,7 +19,7 @@ from repro.kernel.errno import (
     ENOTDIR,
     SyscallError,
 )
-from repro.kernel.inode import MAXNAMLEN
+from repro.kernel.inode import MAXNAMLEN, Directory
 from repro.kernel.ufs import ROOT_INO
 
 #: 4.3BSD limits
@@ -47,17 +49,29 @@ class NameiResult:
 def _split(path):
     """Split a path into components, validating length limits.
 
-    Returns ``(absolute, components, trailing_slash)``.
+    Returns ``(absolute, components, trailing_slash)`` with the
+    components in a tuple.  Splitting is pure (no filesystem state), so
+    results are memoised across calls — workloads stat and open the
+    same handful of paths over and over.  Raising calls (overlong
+    paths) are never cached by ``lru_cache``, so errors repeat exactly
+    as uncached; the type check stays outside the memo because an
+    unhashable argument must produce EINVAL, not a ``TypeError`` from
+    the cache machinery.
     """
     if not isinstance(path, str):
         raise SyscallError(EINVAL, "pathname must be a string")
+    return _split_str(path)
+
+
+@functools.lru_cache(maxsize=8192)
+def _split_str(path):
     if path == "":
         raise SyscallError(ENOENT, "empty pathname")
     if len(path) > MAXPATHLEN:
         raise SyscallError(ENAMETOOLONG, path[:32] + "...")
     absolute = path.startswith("/")
     trailing = path.endswith("/") and path != "/"
-    components = [c for c in path.split("/") if c]
+    components = tuple(c for c in path.split("/") if c)
     for component in components:
         if len(component) > MAXNAMLEN:
             raise SyscallError(ENAMETOOLONG, component[:32] + "...")
@@ -65,15 +79,20 @@ def _split(path):
 
 
 def _cross_down(inode):
-    """Descend through any filesystems mounted on a directory."""
-    while isinstance(inode, _dir_type()) and inode.mounted is not None:
+    """Descend through any filesystems mounted on a directory.
+
+    Every inode carries ``mounted`` (a class attribute ``None`` on
+    non-directories), so the crossing test is one attribute load — this
+    loop used to re-import ``Directory`` and run ``isinstance`` on every
+    component of every lookup.
+    """
+    while inode.mounted is not None:
         inode = inode.mounted.root
     return inode
 
 
 def _dir_type():
-    from repro.kernel.inode import Directory
-
+    """The ``Directory`` class (kept for callers of the old lazy hook)."""
     return Directory
 
 
@@ -97,10 +116,20 @@ def namei(ctx, path, follow=True, want_parent=False):
     the result carries ``inode=None`` in that case so callers implementing
     creat/mkdir/rename can act on the parent.  Without it a dangling final
     component raises ``ENOENT``.
+
+    When the walked volume carries a name cache (``fs.namecache``, see
+    :mod:`repro.kernel.namecache`), each non-``..`` component is looked
+    up there first; a hit yields the already-mount-crossed child and its
+    symlink flag.  Search permission is checked per component either
+    way, and ``..`` always takes the slow path (its chroot and upward
+    mount-crossing logic depends on the calling context, not just the
+    directory).
     """
     absolute, components, trailing = _split(path)
-    current = ctx.root_dir if absolute else ctx.cwd
-    current = _cross_down(current)
+    root_dir = ctx.root_dir
+    current = root_dir if absolute else ctx.cwd
+    if current.mounted is not None:
+        current = _cross_down(current)
     if not current.is_dir():
         raise SyscallError(ENOTDIR, "cwd is not a directory")
 
@@ -108,47 +137,76 @@ def namei(ctx, path, follow=True, want_parent=False):
         # Path was "/" (or all slashes): the root itself.
         return NameiResult(current, ".", current)
 
+    cred = ctx.cred
+    check_access = credmod.check_access
+    X_OK = credmod.X_OK
     link_budget = MAXSYMLINKS
     index = 0
+    count = len(components)
     parent = current
-    while index < len(components):
+    while index < count:
         name = components[index]
-        last = index == len(components) - 1
+        last = index == count - 1
         if not current.is_dir():
             raise SyscallError(ENOTDIR, name)
-        credmod.check_access(current, ctx.cred, credmod.X_OK)
+        check_access(current, cred, X_OK)
 
         if name == "..":
-            current = _dotdot_start(current, ctx.root_dir)
-            if current is ctx.root_dir:
+            current = _dotdot_start(current, root_dir)
+            if current is root_dir:
                 # ".." at the process's root stays put (chroot confinement).
                 child_ino = current.ino
             else:
                 child_ino = current.lookup(name)
+            child = current.fs.inode(child_ino)
+            is_link = False
+            if child.mounted is not None:
+                child = _cross_down(child)
         else:
-            try:
-                child_ino = current.lookup(name)
-            except SyscallError:
-                if last and want_parent:
-                    return NameiResult(current, name, None)
-                raise SyscallError(ENOENT, path)
-        child = current.fs.inode(child_ino)
+            # The name cache probe, inlined (see NameCache.get): one
+            # dict.get per component on the hit path, no method call.
+            cache = current.fs.namecache
+            hit = None
+            if cache is not None:
+                key = (current, name)
+                hit = cache._entries.get(key)
+                if hit is not None:
+                    cache.hits += 1
+                    if cache.lru_live:
+                        cache._entries.move_to_end(key)
+                else:
+                    cache.misses += 1
+            if hit is not None:
+                child, is_link = hit
+            else:
+                try:
+                    child_ino = current.lookup(name)
+                except SyscallError:
+                    if last and want_parent:
+                        return NameiResult(current, name, None)
+                    raise SyscallError(ENOENT, path)
+                child = current.fs.inode(child_ino)
+                is_link = child.is_symlink()
+                if not is_link and child.mounted is not None:
+                    child = _cross_down(child)
+                if cache is not None:
+                    cache.put(current, name, child, is_link)
 
-        if child.is_symlink() and (follow or not last):
+        if is_link and (follow or not last):
             if link_budget == 0:
                 raise SyscallError(ELOOP, path)
             link_budget -= 1
             t_abs, t_components, t_trailing = _split(child.target or "/")
             components = t_components + components[index + 1 :]
+            count = len(components)
             index = 0
             trailing = trailing or (t_trailing and not components)
             if t_abs:
-                current = _cross_down(ctx.root_dir)
+                current = _cross_down(root_dir)
             # else: continue from `current`
             parent = current
             continue
 
-        child = _cross_down(child)
         if last:
             if trailing and not child.is_dir():
                 raise SyscallError(ENOTDIR, name)

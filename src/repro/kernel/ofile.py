@@ -169,6 +169,14 @@ class InodeFile(OpenFile):
             # getdirentries() and refuse here to keep formats private.
             raise SyscallError(EISDIR)
         data = self.inode.read_at(self.offset, count)
+        if type(data) is memoryview:
+            # Zero-copy fast path: read_at handed out a view over the
+            # file's buffer.  Materialise it into bytes exactly once,
+            # here at the kernel/user boundary — the view must not
+            # escape (a later write could resize the bytearray under a
+            # live export) and user code, agents, and dfstrace must all
+            # keep seeing immutable bytes.
+            data = bytes(data)
         self.offset += len(data)
         self.inode.touch_atime(kernel.clock.usec())
         return data

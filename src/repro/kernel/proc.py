@@ -206,6 +206,11 @@ class Process:
 
         # emulation (interposition) state
         self.emulation_vector = {}
+        #: precomputed syscall dispatch for traps with no interposition
+        #: to consult (see repro.kernel.trap.build_fast_dispatch);
+        #: ``None`` means "rebuild lazily on the next trap" — every
+        #: emulation-vector change resets it to None
+        self.fast_dispatch = None
 
         #: ktrace participation (see repro.kernel.ktrace): inherited
         #: across fork, cleared by native execve, kept by jump_to_image

@@ -89,9 +89,24 @@ class Stat:
         "st_blocks",
     )
 
-    def __init__(self, **fields):
-        for name in self.__slots__:
-            setattr(self, name, fields.get(name, 0))
+    def __init__(self, st_dev=0, st_ino=0, st_mode=0, st_nlink=0, st_uid=0,
+                 st_gid=0, st_rdev=0, st_size=0, st_atime=0, st_mtime=0,
+                 st_ctime=0, st_blksize=0, st_blocks=0):
+        # Direct slot assignment: this constructor runs on every stat,
+        # lstat, and fstat, so it must not loop setattr over the slots.
+        self.st_dev = st_dev
+        self.st_ino = st_ino
+        self.st_mode = st_mode
+        self.st_nlink = st_nlink
+        self.st_uid = st_uid
+        self.st_gid = st_gid
+        self.st_rdev = st_rdev
+        self.st_size = st_size
+        self.st_atime = st_atime
+        self.st_mtime = st_mtime
+        self.st_ctime = st_ctime
+        self.st_blksize = st_blksize
+        self.st_blocks = st_blocks
 
     def copy(self):
         """An independent copy agents may rewrite."""

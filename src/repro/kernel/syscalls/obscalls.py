@@ -95,3 +95,23 @@ def sys_ktrace_read(kernel, proc, limit=0):
     dropped = ring.dropped
     ring.dropped = 0
     return ([event.to_tuple() for event in ring.drain(limit)], dropped)
+
+
+@implements("kernel_stats")
+def sys_kernel_stats(kernel, proc):
+    """Report the kernel's fast-path configuration and counters.
+
+    Extension trap 207.  The in-world route to the numbers the host sees
+    on ``kernel.namecache`` — agents (the monitor in particular) call
+    this instead of reaching around the system interface.  Always
+    available; with a fast path off, its section reports accordingly.
+    """
+    cache = kernel.namecache
+    return {
+        "fastpaths": kernel.fastpaths.describe(),
+        "trap": {
+            "total": kernel.trap_total,
+            "fast": kernel.trap_fast_total,
+        },
+        "namecache": cache.stats() if cache is not None else {"enabled": False},
+    }

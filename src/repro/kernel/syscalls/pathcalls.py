@@ -265,6 +265,14 @@ def sys_rmdir(kernel, proc, path):
     inode.nlink -= 1  # the "." self-link
     result.parent.nlink -= 1  # our ".." link into the parent
     fs.unlink(result.parent, result.name, inode)
+    # Entry-level invalidation through remove() above already covered
+    # "." and ".." (an empty directory can have cached nothing else);
+    # the whole-directory purge is the backstop that keeps a future
+    # mutator that bypasses the Directory funnel from leaving stale
+    # translations under a dead directory.
+    cache = fs.namecache
+    if cache is not None:
+        cache.purge_dir(inode)
     return 0
 
 

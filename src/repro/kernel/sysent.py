@@ -132,6 +132,7 @@ _TABLE = [
     # Our stand-in for ktrace's vnode stream: readers drain the kernel
     # ring buffer through a trap instead of a file.
     _entry(206, "ktrace_read", "limit:int"),
+    _entry(207, "kernel_stats"),
 ]
 
 SYSCALLS = {entry.number: entry for entry in _TABLE}

@@ -36,9 +36,57 @@ exists to demonstrate.
 
 from repro.kernel import signals as sig
 from repro.kernel import sysent
-from repro.kernel.errno import SyscallError, errno_name
+from repro.kernel.errno import EINVAL, SyscallError, errno_name
 from repro.kernel.proc import ExecImage, ProcessExit
 from repro.obs import events as ev
+
+#: shared sentinel installed as ``proc.fast_dispatch`` when the trap
+#: fast path is configured off: an empty table makes every lookup miss,
+#: so the disabled path costs exactly one ``dict.get`` per trap
+_FAST_DISABLED = {}
+
+#: the shared full table for processes with an empty emulation vector —
+#: the overwhelmingly common case; built once, never mutated, so every
+#: fork and execve "rebuilds" it for free
+_FULL_TABLE = None
+
+
+def build_fast_dispatch(kernel, proc):
+    """Precompute *proc*'s fast dispatch table.
+
+    The table maps syscall number → ``(impl, sysent entry)`` for every
+    call the kernel implements **and** the process has not redirected
+    through its emulation vector.  A trap that finds its number here
+    (and no ktrace/dfstrace/obs consumer live) skips the per-call
+    handler lookup, ``entry_for``, and ``DISPATCH.get`` of the slow
+    path.  The table is invalidated (set back to ``None``) whenever the
+    emulation vector changes — ``task_set_emulation`` and ``execve``;
+    fork gives the child a fresh Process, so it rebuilds naturally.
+
+    Uninterposed processes all share one read-only table: building a
+    ~200-entry dict per fork would cost more than the fast path saves
+    on short-lived children (the make workload's 64 cc/ld pairs).
+    """
+    if not kernel.fastpaths.trap_fast:
+        return _FAST_DISABLED
+    # Imported here: repro.kernel.syscalls imports this module's
+    # SyscallError re-raisers transitively, so a top-level import cycles.
+    from repro.kernel.syscalls import DISPATCH
+
+    global _FULL_TABLE
+    if _FULL_TABLE is None:
+        _FULL_TABLE = {
+            number: (impl, sysent.entry_for(number))
+            for number, impl in DISPATCH.items()
+        }
+    vector = proc.emulation_vector
+    if not vector:
+        return _FULL_TABLE
+    return {
+        number: row
+        for number, row in _FULL_TABLE.items()
+        if number not in vector
+    }
 
 
 def _brief(args, limit=48):
@@ -97,6 +145,38 @@ class UserContext:
         obs = kernel.obs
         if obs is not None:
             return self._trap_observed(obs, number, args)
+
+        # Fast path: no emulation-vector entry for this number, no
+        # tracing consumer live.  One dict.get decides; a hit dispatches
+        # straight to the kernel implementation with the sysent row in
+        # hand, skipping the slow path's per-call lookups.  Signals are
+        # still delivered at the boundary — outside the kernel lock,
+        # which take_signal re-acquires.
+        table = proc.fast_dispatch
+        if table is None:
+            table = proc.fast_dispatch = build_fast_dispatch(kernel, proc)
+        row = table.get(number)
+        if (row is not None and kernel.dfstrace is None
+                and not proc.ktrace_on):
+            impl, entry = row
+            kernel.trap_fast_total += 1
+            try:
+                if len(args) > entry.nargs:
+                    raise SyscallError(
+                        EINVAL, "%s takes %d args" % (entry.name, entry.nargs)
+                    )
+                with kernel._sleepq:
+                    kernel.clock.tick()
+                    proc.rusage.ru_stime_usec += 100
+                    kernel._check_alarm_locked(proc)
+                    result = impl(kernel, proc, *args)
+            except SyscallError:
+                deliver_pending_signals(self)
+                raise
+            if proc.pending:
+                deliver_pending_signals(self)
+            return result
+
         handler = proc.emulation_vector.get(number)
         try:
             if handler is not None:

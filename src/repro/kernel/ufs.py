@@ -26,13 +26,22 @@ ROOT_INO = 2
 class Filesystem:
     """A volume of inodes with a root directory."""
 
-    def __init__(self, clock, dev=1, block_size=8192, max_inodes=1 << 20):
+    def __init__(self, clock, dev=1, block_size=8192, max_inodes=1 << 20,
+                 namecache=None, zero_copy=False):
         self.clock = clock
         self.dev = dev
         self.block_size = block_size
         self.max_inodes = max_inodes
         self._inodes = {}
         self._next_ino = ROOT_INO
+        #: the kernel-wide name lookup cache, shared by every volume the
+        #: kernel creates; ``None`` (the default for volumes built by
+        #: hand in tests) means lookups in this volume are uncached —
+        #: the seed behaviour (see repro.kernel.namecache)
+        self.namecache = namecache
+        #: when true, ``RegularFile.read_at`` hands out memoryview-backed
+        #: slices instead of copying twice (see repro.kernel.fastpath)
+        self.zero_copy = zero_copy
         #: directory inode (in another fs) this volume is mounted on
         self.covered = None
         self.root = self._make(Directory, mode=0o755, uid=0, gid=0)

@@ -79,13 +79,29 @@ class Observability:
     # -- convenience reads ----------------------------------------------
 
     def snapshot(self):
-        """The metrics registry snapshot plus ktrace buffer statistics."""
+        """The metrics registry snapshot plus ktrace buffer statistics.
+
+        Also exports the kernel fast-path counters (name cache hit/miss
+        rates, fast-dispatch traps) so one snapshot answers both "what
+        did the workload do" and "what did the kernel's caches do".
+        The fast-path counters are plain attributes kept hot-path-cheap;
+        they are merely *reported* through the registry snapshot here.
+        """
         snap = self.metrics.snapshot()
         snap["ktrace"] = {
             "buffered": len(self.ktrace),
             "dropped": self.ktrace.dropped,
             "total": self.ktrace.total,
             "capacity": self.ktrace.capacity,
+        }
+        kernel = self.kernel
+        cache = kernel.namecache
+        snap["namecache"] = (cache.stats() if cache is not None
+                             else {"enabled": False})
+        snap["fastpath"] = {
+            "flags": kernel.fastpaths.describe(),
+            "trap_total": kernel.trap_total,
+            "trap_fast_total": kernel.trap_fast_total,
         }
         return snap
 

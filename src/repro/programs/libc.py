@@ -51,7 +51,7 @@ _NR = {
         "settimeofday", "fchown", "fchmod", "rename", "truncate",
         "ftruncate", "mkdir", "rmdir", "utimes", "getdirentries",
         "flock", "setitimer", "getitimer", "readv", "writev",
-        "ktrace", "ktrace_read", "jump_to_image",
+        "ktrace", "ktrace_read", "kernel_stats", "jump_to_image",
     )
 }
 
@@ -67,6 +67,26 @@ class Sys:
 
     def __init__(self, ctx):
         self._ctx = ctx
+        # Buffered-stdio readahead hint, in bytes.  Nonzero only when the
+        # kernel advertises a zero-copy read path with a configured
+        # readahead (FastPathConfig.stdio_readahead); the default kernel
+        # leaves it 0 so chunk sizes — and hence trap counts — match the
+        # seed exactly.  stdio_bufsiz() folds it in for callers.
+        fastpaths = getattr(getattr(ctx, "kernel", None), "fastpaths", None)
+        if fastpaths is not None and fastpaths.zero_copy:
+            self.readahead = fastpaths.stdio_readahead
+        else:
+            self.readahead = 0
+
+    def stdio_bufsiz(self, default=8192):
+        """The buffer size stdio-style helpers should use.
+
+        The larger of *default* and the kernel's advertised readahead:
+        sizing buffers up is only profitable once reads are zero-copy,
+        and never sizes below what the caller already used.
+        """
+        readahead = self.readahead
+        return readahead if readahead > default else default
 
     # -- raw access -----------------------------------------------------
 
@@ -330,6 +350,10 @@ class Sys:
         """Drain kernel trace records; returns ``(records, dropped)``."""
         return self.syscall("ktrace_read", limit)
 
+    def kernel_stats(self):
+        """Fast-path configuration and counters (extension trap 207)."""
+        return self.syscall("kernel_stats")
+
     def brk(self, addr):
         """brk(2): set the address-space break."""
         return self.syscall("brk", addr)
@@ -406,11 +430,12 @@ class Sys:
 
     def read_whole(self, path):
         """Read an entire file, as stdio would: open, read loop, close."""
+        bufsiz = self.stdio_bufsiz(8192)
         fd = self.open(path, O_RDONLY)
         try:
             chunks = []
             while True:
-                chunk = self.read(fd, 8192)
+                chunk = self.read(fd, bufsiz)
                 if not chunk:
                     break
                 chunks.append(chunk)
@@ -422,11 +447,12 @@ class Sys:
         """Create/overwrite *path* with *data*, chunked like stdio."""
         if isinstance(data, str):
             data = data.encode()
+        bufsiz = self.stdio_bufsiz(8192)
         fd = self.open(path, O_WRONLY | O_CREAT | O_TRUNC, mode)
         try:
             offset = 0
             while offset < len(data):
-                offset += self.write(fd, data[offset : offset + 8192])
+                offset += self.write(fd, data[offset : offset + bufsiz])
             return offset
         finally:
             self.close(fd)

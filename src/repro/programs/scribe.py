@@ -43,12 +43,19 @@ BUFSIZ = 1024
 
 
 def _read_buffered(sys, path):
-    """Read a whole file through a BUFSIZ stdio buffer, as fread would."""
+    """Read a whole file through a BUFSIZ stdio buffer, as fread would.
+
+    When the kernel advertises a zero-copy readahead (see
+    ``Sys.stdio_bufsiz``), the buffer sizes up to it — the 1989 BUFSIZ
+    stands whenever the advertisement is absent, keeping the seed's
+    per-file trap counts.
+    """
+    bufsiz = sys.stdio_bufsiz(BUFSIZ)
     fd = sys.open(path)
     try:
         chunks = []
         while True:
-            chunk = sys.read(fd, BUFSIZ)
+            chunk = sys.read(fd, bufsiz)
             if not chunk:
                 return b"".join(chunks)
             chunks.append(chunk)
@@ -57,12 +64,13 @@ def _read_buffered(sys, path):
 
 
 class _OutputBuffer:
-    """stdio: buffer writes into BUFSIZ chunks."""
+    """stdio: buffer writes into BUFSIZ chunks (or the kernel's
+    advertised readahead, when larger — see ``Sys.stdio_bufsiz``)."""
 
-    def __init__(self, sys, fd, chunk=BUFSIZ):
+    def __init__(self, sys, fd, chunk=None):
         self.sys = sys
         self.fd = fd
-        self.chunk = chunk
+        self.chunk = chunk if chunk is not None else sys.stdio_bufsiz(BUFSIZ)
         self.pending = []
         self.pending_len = 0
         self.lines_written = 0

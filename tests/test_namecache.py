@@ -1,0 +1,335 @@
+"""Tests for the 4.3BSD name lookup cache (repro.kernel.namecache).
+
+Unit behaviour (capacity, LRU, counters), the invalidation points that
+keep it coherent (unlink, rename, rmdir, symlink replacement, mount and
+unmount), and the export paths (obs snapshot, the ``kernel_stats``
+trap, the monitor agent's JSON report).
+"""
+
+import json
+
+import pytest
+
+from repro.kernel import Kernel
+from repro.kernel.errno import ENOENT, SyscallError
+from repro.kernel.namecache import NameCache
+from repro.kernel.proc import WEXITSTATUS
+from repro.kernel.sysent import number_of
+
+NR = {n: number_of(n) for n in (
+    "stat", "lstat", "open", "close", "read", "unlink", "rename", "mkdir",
+    "rmdir", "symlink", "chdir", "kernel_stats",
+)}
+
+
+class _StubDir:
+    """A stand-in directory for pure NameCache unit tests."""
+
+    __slots__ = ("fs", "label")
+
+    def __init__(self, fs=None, label=""):
+        self.fs = fs
+        self.label = label
+
+    def __repr__(self):
+        return "<dir %s>" % self.label
+
+
+# -- unit behaviour -------------------------------------------------------
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        NameCache(0)
+
+
+def test_hit_miss_counters():
+    cache = NameCache(8)
+    d = _StubDir()
+    assert cache.get(d, "a") is None
+    cache.put(d, "a", "child-a", False)
+    assert cache.get(d, "a") == ("child-a", False)
+    assert cache.hits == 1
+    assert cache.misses == 1
+    assert cache.hit_rate() == 0.5
+
+
+def test_capacity_bound_evicts_oldest():
+    cache = NameCache(2)
+    d = _StubDir()
+    cache.put(d, "a", 1, False)
+    cache.put(d, "b", 2, False)
+    cache.put(d, "c", 3, False)
+    assert len(cache) == 2
+    assert cache.evictions == 1
+    assert cache.get(d, "a") is None  # the oldest entry went
+    assert cache.get(d, "b") == (2, False)
+    assert cache.get(d, "c") == (3, False)
+
+
+def test_lru_refresh_under_pressure():
+    # Capacity 2: the pressure floor is crossed immediately, so a hit
+    # refreshes recency and eviction picks the least recently used.
+    cache = NameCache(2)
+    d = _StubDir()
+    cache.put(d, "a", 1, False)
+    cache.put(d, "b", 2, False)
+    assert cache.get(d, "a") == (1, False)  # refresh "a"
+    cache.put(d, "c", 3, False)             # evicts "b", not "a"
+    assert cache.get(d, "a") == (1, False)
+    assert cache.get(d, "b") is None
+
+
+def test_invalidate_and_purge_dir():
+    cache = NameCache(8)
+    d1, d2 = _StubDir(label="d1"), _StubDir(label="d2")
+    cache.put(d1, "x", 1, False)
+    cache.put(d1, "y", 2, False)
+    cache.put(d2, "x", 3, False)
+    cache.invalidate(d1, "x")
+    assert cache.get(d1, "x") is None
+    assert cache.invalidations == 1
+    cache.purge_dir(d1)
+    assert cache.get(d1, "y") is None
+    assert cache.get(d2, "x") == (3, False)
+
+
+def test_purge_fs_drops_only_that_volume():
+    fs1, fs2 = object(), object()
+    cache = NameCache(8)
+    d1, d2 = _StubDir(fs=fs1), _StubDir(fs=fs2)
+    cache.put(d1, "a", 1, False)
+    cache.put(d2, "a", 2, False)
+    cache.purge_fs(fs1)
+    assert cache.get(d1, "a") is None
+    assert cache.get(d2, "a") == (2, False)
+
+
+def test_stats_shape():
+    cache = NameCache(4)
+    stats = cache.stats()
+    for key in ("size", "capacity", "hits", "misses", "hit_rate",
+                "evictions", "invalidations", "purges"):
+        assert key in stats
+
+
+# -- in-kernel behaviour --------------------------------------------------
+
+
+@pytest.fixture
+def cached_kernel():
+    k = Kernel()
+    assert k.namecache is not None, "default kernel must carry the cache"
+    k.mkdir_p("/a/b")
+    k.write_file("/a/b/f.txt", "payload")
+    return k
+
+
+def _trap(kernel, entry):
+    status = kernel.run_entry(entry)
+    return WEXITSTATUS(status)
+
+
+def test_repeated_stat_hits_cache(cached_kernel):
+    k = cached_kernel
+
+    def main(ctx):
+        ctx.trap(NR["stat"], "/a/b/f.txt")
+        before = k.namecache.hits
+        ctx.trap(NR["stat"], "/a/b/f.txt")
+        assert k.namecache.hits >= before + 3  # a, b, f.txt all hit
+        return 0
+
+    assert _trap(k, main) == 0
+
+
+def test_unlink_invalidates(cached_kernel):
+    k = cached_kernel
+
+    def main(ctx):
+        ctx.trap(NR["stat"], "/a/b/f.txt")  # warm the cache
+        ctx.trap(NR["unlink"], "/a/b/f.txt")
+        try:
+            ctx.trap(NR["stat"], "/a/b/f.txt")
+        except SyscallError as err:
+            assert err.errno == ENOENT
+            return 0
+        return 1
+
+    assert _trap(k, main) == 0
+
+
+def test_rename_invalidates_both_names(cached_kernel):
+    k = cached_kernel
+    k.write_file("/a/b/old.txt", "v1")
+
+    def main(ctx):
+        ctx.trap(NR["stat"], "/a/b/old.txt")  # warm old name
+        ctx.trap(NR["rename"], "/a/b/old.txt", "/a/b/new.txt")
+        st_new = ctx.trap(NR["stat"], "/a/b/new.txt")
+        assert st_new.st_size == 2
+        try:
+            ctx.trap(NR["stat"], "/a/b/old.txt")
+        except SyscallError as err:
+            assert err.errno == ENOENT
+            return 0
+        return 1
+
+    assert _trap(k, main) == 0
+
+
+def test_rename_over_existing_target(cached_kernel):
+    k = cached_kernel
+    k.write_file("/a/b/src.txt", "source!")
+    k.write_file("/a/b/dst.txt", "x")
+
+    def main(ctx):
+        # Warm the cache on the target that is about to be replaced.
+        old = ctx.trap(NR["stat"], "/a/b/dst.txt")
+        ctx.trap(NR["rename"], "/a/b/src.txt", "/a/b/dst.txt")
+        new = ctx.trap(NR["stat"], "/a/b/dst.txt")
+        assert new.st_ino != old.st_ino
+        assert new.st_size == 7
+        return 0
+
+    assert _trap(k, main) == 0
+
+
+def test_rmdir_then_recreate(cached_kernel):
+    k = cached_kernel
+
+    def main(ctx):
+        ctx.trap(NR["mkdir"], "/a/victim", 0o755)
+        ctx.trap(NR["stat"], "/a/victim")  # warm
+        old_ino = ctx.trap(NR["stat"], "/a/victim").st_ino
+        ctx.trap(NR["rmdir"], "/a/victim")
+        ctx.trap(NR["mkdir"], "/a/victim", 0o755)
+        assert ctx.trap(NR["stat"], "/a/victim").st_ino != old_ino
+        return 0
+
+    assert _trap(k, main) == 0
+
+
+def test_symlink_replacing_file_is_followed(cached_kernel):
+    k = cached_kernel
+    k.write_file("/a/real.txt", "the real content")
+
+    def main(ctx):
+        ctx.trap(NR["stat"], "/a/b/f.txt")  # warm the plain-file entry
+        ctx.trap(NR["unlink"], "/a/b/f.txt")
+        ctx.trap(NR["symlink"], "/a/real.txt", "/a/b/f.txt")
+        # stat follows the new link; lstat sees the link itself.
+        assert ctx.trap(NR["stat"], "/a/b/f.txt").st_size == 16
+        lst = ctx.trap(NR["lstat"], "/a/b/f.txt")
+        assert lst.st_size == len("/a/real.txt")
+        return 0
+
+    assert _trap(k, main) == 0
+
+
+def test_mount_purges_cached_crossings(cached_kernel):
+    k = cached_kernel
+    k.mkdir_p("/mnt")
+    k.write_file("/mnt/plain.txt", "under")
+
+    def warm(ctx):
+        assert ctx.trap(NR["stat"], "/mnt/plain.txt").st_size == 5
+        return 0
+
+    assert _trap(k, warm) == 0
+
+    fs = k.new_filesystem()
+    k.mount(fs, "/mnt")  # purges: /mnt now resolves to the new volume
+    assert k.namecache.purges >= 1
+
+    def over(ctx):
+        assert ctx.trap(NR["stat"], "/mnt").st_dev == fs.dev
+        try:
+            ctx.trap(NR["stat"], "/mnt/plain.txt")
+        except SyscallError as err:
+            assert err.errno == ENOENT
+            return 0
+        return 1
+
+    assert _trap(k, over) == 0
+
+    k.umount("/mnt")
+
+    def back(ctx):
+        assert ctx.trap(NR["stat"], "/mnt/plain.txt").st_size == 5
+        return 0
+
+    assert _trap(k, back) == 0
+
+
+def test_cache_disabled_config_has_no_cache():
+    k = Kernel(fastpaths="none")
+    assert k.namecache is None
+    assert k.rootfs.namecache is None
+    fs = k.new_filesystem()
+    assert fs.namecache is None
+
+
+def test_volumes_share_the_kernel_cache(cached_kernel):
+    k = cached_kernel
+    fs = k.new_filesystem()
+    assert fs.namecache is k.namecache
+    assert k.rootfs.namecache is k.namecache
+
+
+# -- export paths ---------------------------------------------------------
+
+
+def test_obs_snapshot_carries_namecache_and_fastpath_sections(cached_kernel):
+    from repro import obs
+
+    k = cached_kernel
+    snapshot = obs.enable(k).snapshot()
+    assert "namecache" in snapshot
+    assert snapshot["namecache"]["capacity"] == k.namecache.capacity
+    assert snapshot["fastpath"]["flags"]["namecache"] is True
+    assert snapshot["fastpath"]["trap_total"] == k.trap_total
+
+
+def test_kernel_stats_trap(cached_kernel):
+    k = cached_kernel
+
+    def main(ctx):
+        ctx.trap(NR["stat"], "/a/b/f.txt")
+        stats = ctx.trap(NR["kernel_stats"])
+        assert stats["fastpaths"]["namecache"] is True
+        assert stats["trap"]["total"] >= 2
+        assert stats["namecache"]["size"] > 0
+        return 0
+
+    assert _trap(k, main) == 0
+
+
+def test_kernel_stats_trap_without_cache():
+    k = Kernel(fastpaths="none")
+
+    def main(ctx):
+        stats = ctx.trap(NR["kernel_stats"])
+        assert stats["namecache"] == {"enabled": False}
+        assert stats["trap"]["fast"] == 0
+        return 0
+
+    assert _trap(k, main) == 0
+
+
+def test_monitor_json_report_includes_kernel_section():
+    from repro.agents.monitor import MonitorAgent
+    from repro.toolkit import run_under_agent
+    from repro.workloads import boot_world
+
+    world = boot_world()
+    agent = MonitorAgent("/tmp/mon.json")
+    status = run_under_agent(
+        world, agent, "/bin/sh", ["sh", "-c", "cat /etc/passwd > /dev/null"],
+        agentargv=["--json"],
+    )
+    assert WEXITSTATUS(status) == 0
+    doc = json.loads(world.read_file("/tmp/mon.json").decode())
+    assert doc["kernel"]["fastpaths"]["namecache"] is True
+    assert doc["kernel"]["trap"]["total"] > 0
+    assert "hit_rate" in doc["kernel"]["namecache"]

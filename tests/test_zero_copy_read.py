@@ -1,0 +1,166 @@
+"""Tests for the zero-copy read path (inode.read_at + InodeFile.read).
+
+With ``zero_copy`` on, ``RegularFile.read_at`` returns a memoryview
+over the file's own buffer and the open-file layer materialises it into
+``bytes`` exactly once, at the kernel/user boundary.  Userland must be
+unable to tell: reads return ``bytes``, later writes and truncates must
+neither raise ``BufferError`` (exports pinned on a resizing bytearray)
+nor mutate data a previous read already returned.
+"""
+
+import pytest
+
+from repro.kernel import Kernel
+from repro.kernel.fastpath import FastPathConfig
+from repro.kernel.ofile import O_CREAT, O_RDONLY, O_RDWR, O_TRUNC, O_WRONLY
+from repro.kernel.proc import WEXITSTATUS
+from repro.kernel.sysent import number_of
+
+NR = {n: number_of(n) for n in (
+    "open", "close", "read", "write", "readv", "lseek", "ftruncate",
+)}
+
+
+def _run(kernel, entry):
+    return WEXITSTATUS(kernel.run_entry(entry))
+
+
+@pytest.fixture
+def zc_kernel():
+    k = Kernel()
+    assert k.fastpaths.zero_copy
+    k.mkdir_p("/data")
+    k.write_file("/data/f.bin", bytes(range(256)) * 64)  # 16 KiB
+    return k
+
+
+def test_read_returns_bytes_not_memoryview(zc_kernel):
+    k = zc_kernel
+
+    def main(ctx):
+        fd = ctx.trap(NR["open"], "/data/f.bin", O_RDONLY)
+        data = ctx.trap(NR["read"], fd, 1000)
+        assert type(data) is bytes
+        assert data == (bytes(range(256)) * 64)[:1000]
+        ctx.trap(NR["close"], fd)
+        return 0
+
+    assert _run(k, main) == 0
+
+
+def test_readv_returns_bytes(zc_kernel):
+    k = zc_kernel
+
+    def main(ctx):
+        fd = ctx.trap(NR["open"], "/data/f.bin", O_RDONLY)
+        chunks = ctx.trap(NR["readv"], fd, [100, 200, 300])
+        flat = b"".join(bytes(c) for c in chunks)
+        assert flat == (bytes(range(256)) * 64)[:600]
+        for chunk in chunks:
+            assert not isinstance(chunk, memoryview)
+        ctx.trap(NR["close"], fd)
+        return 0
+
+    assert _run(k, main) == 0
+
+
+def test_write_after_read_does_not_mutate_returned_bytes(zc_kernel):
+    k = zc_kernel
+
+    def main(ctx):
+        fd = ctx.trap(NR["open"], "/data/f.bin", O_RDWR)
+        before = ctx.trap(NR["read"], fd, 64)
+        snapshot = bytes(before)
+        ctx.trap(NR["lseek"], fd, 0, 0)
+        ctx.trap(NR["write"], fd, b"\xff" * 64)
+        assert before == snapshot  # the overwrite must not reach it
+        ctx.trap(NR["lseek"], fd, 0, 0)
+        assert ctx.trap(NR["read"], fd, 64) == b"\xff" * 64
+        ctx.trap(NR["close"], fd)
+        return 0
+
+    assert _run(k, main) == 0
+
+
+def test_truncate_after_read_raises_no_buffererror(zc_kernel):
+    """A pinned memoryview export would make bytearray truncation raise
+    BufferError; materialising at the boundary must prevent that."""
+    k = zc_kernel
+
+    def main(ctx):
+        fd = ctx.trap(NR["open"], "/data/f.bin", O_RDWR)
+        data = ctx.trap(NR["read"], fd, 16384)
+        assert len(data) == 16384
+        ctx.trap(NR["ftruncate"], fd, 10)  # shrinks the backing bytearray
+        assert len(data) == 16384          # already-returned bytes keep theirs
+        ctx.trap(NR["lseek"], fd, 0, 0)
+        assert ctx.trap(NR["read"], fd, 16384) == data[:10]
+        ctx.trap(NR["close"], fd)
+        return 0
+
+    assert _run(k, main) == 0
+
+
+def test_seed_config_never_builds_memoryviews():
+    k = Kernel(fastpaths="none")
+    k.write_file("/f", b"abc" * 100)
+    inode = k.rootfs.inode(k.rootfs.root.lookup("f"))
+    assert type(inode.read_at(0, 50)) is bytes
+    assert not getattr(k.rootfs, "zero_copy", False)
+
+
+def test_zero_copy_read_at_is_a_view(zc_kernel):
+    k = zc_kernel
+    inode = k.rootfs.inode(
+        k.rootfs.inode(k.rootfs.root.lookup("data")).lookup("f.bin"))
+    view = inode.read_at(0, 50)
+    assert type(view) is memoryview
+    assert bytes(view) == (bytes(range(256)) * 64)[:50]
+    view.release()  # tests must not leave the bytearray pinned
+
+
+# -- stdio readahead sizing ----------------------------------------------
+
+
+def test_stdio_bufsiz_defaults_to_seed():
+    from repro.programs.libc import Sys
+    from repro.workloads import boot_world
+
+    world = boot_world()  # default config: readahead off
+    proc = world._create_initial_process()
+    from repro.kernel.trap import UserContext
+
+    sys = Sys(UserContext(world, proc))
+    assert sys.readahead == 0
+    assert sys.stdio_bufsiz(8192) == 8192
+    assert sys.stdio_bufsiz(1024) == 1024
+
+
+def test_stdio_bufsiz_with_readahead():
+    from repro.kernel.trap import UserContext
+    from repro.programs.libc import Sys
+    from repro.workloads import boot_world
+
+    world = boot_world(fastpaths=FastPathConfig.all_on())
+    proc = world._create_initial_process()
+    sys = Sys(UserContext(world, proc))
+    assert sys.readahead == world.fastpaths.stdio_readahead > 8192
+    assert sys.stdio_bufsiz(8192) == world.fastpaths.stdio_readahead
+    assert sys.stdio_bufsiz(1024) == world.fastpaths.stdio_readahead
+
+
+def test_format_output_identical_with_readahead():
+    """The buffered-stdio readahead changes the trap pattern (far fewer,
+    larger reads) but must not change a single output byte."""
+    from repro.workloads import boot_world, format_dissertation
+
+    outputs = []
+    traps = []
+    for config in (FastPathConfig.none(), FastPathConfig.all_on()):
+        world = boot_world(fastpaths=config)
+        format_dissertation.setup(world)
+        assert WEXITSTATUS(format_dissertation.run(world)) == 0
+        outputs.append(world.read_file(format_dissertation.OUTPUT))
+        traps.append(world.trap_total)
+    assert outputs[0] == outputs[1]
+    assert traps[1] < traps[0]  # the readahead really did batch the reads

@@ -7,12 +7,13 @@ unset, every instrumentation site in the trap spine is one attribute
 test.  This benchmark holds it to that:
 
 * **Macro**: the format-dissertation workload (Table 3-2's baseline)
-  run with observability disabled, with metrics only, and with full
-  firehose ktrace+metrics — interleaved rounds, paired slowdowns.
-  "Disabled" must sit within noise of the seed baseline (the acceptance
-  bar is 3%); the enabled configurations report what observation costs.
+  run with observability disabled, with metrics only, with full
+  firehose ktrace+metrics, and with causal span assembly on top —
+  interleaved rounds, paired slowdowns.  "Disabled" must sit within
+  noise of the seed baseline (the acceptance bar is 3%); the enabled
+  configurations report what observation costs.
 * **Micro**: the cost of one uninterposed getpid trap under the same
-  three configurations.
+  configurations.
 * **Attribution**: the in-band per-layer latency table, checked against
   the ordering ``bench_ablation_layers`` measures from the outside, and
   demonstrated for the trace and union agents on the format workload.
@@ -27,8 +28,8 @@ from repro.workloads import boot_world, format_dissertation
 
 NR_GETPID = number_of("getpid")
 
-#: the three observability configurations under test
-CONFIGS = ("disabled", "metrics", "ktrace+metrics")
+#: the observability configurations under test, cheapest first
+CONFIGS = ("disabled", "metrics", "ktrace+metrics", "spans")
 
 
 def _enable_for(kernel, config):
@@ -37,6 +38,10 @@ def _enable_for(kernel, config):
         obs.enable(kernel)
     elif config == "ktrace+metrics":
         obs.enable(kernel, ktrace_capacity=65536, trace_all=True)
+    elif config == "spans":
+        # Causal span assembly on top of metrics: every event is built
+        # (the assembler is a consumer) and folded into the trace.
+        obs.enable(kernel, spans=True)
 
 
 def _prepare(config):
@@ -144,6 +149,24 @@ def test_disabled_is_free(benchmark):
     # The disabled configuration must not pay for the others' features:
     # full tracing must cost measurably more than the single None test.
     assert rows["disabled"] <= rows["ktrace+metrics"]
+    for config, usec in rows.items():
+        benchmark.extra_info[config] = round(usec, 3)
+
+
+def test_spans_pay_per_use(benchmark):
+    """Span assembly costs only when installed.
+
+    The disabled configuration runs the exact same trap path as before
+    the span layer existed (one ``is None`` test), so it must not be
+    measurably slower than the spans configuration is — the cost of
+    assembling a causal trace lands only on kernels that asked for it.
+    """
+    rows = dict(benchmark.pedantic(micro_rows, rounds=1, iterations=1))
+    assert rows["disabled"] <= rows["spans"]
+    # And spans really do cost more than bare metrics (every event is
+    # built and folded into the trace): if this ever fails, the spans
+    # configuration silently stopped assembling anything.
+    assert rows["metrics"] <= rows["spans"] * 1.5
     for config, usec in rows.items():
         benchmark.extra_info[config] = round(usec, 3)
 

@@ -1,0 +1,77 @@
+"""A tour of causal span tracing: timelines, Perfetto export, critical path.
+
+Run with:  python examples/trace_timeline.py
+
+Four stops:
+
+1. Boot a world with span tracing on (``Kernel(obs="spans")``) and run
+   a 3-stage ``sh`` pipeline whose stages genuinely block on the pipes.
+2. Look at the assembled trace: spans per kind, and the cross-process
+   causal edges (fork -> child, exec, pipe waker -> sleeper wakeup).
+3. Export the Chrome trace-event JSON and validate it against the spec
+   — the same file loads in https://ui.perfetto.dev with one track per
+   pid and flow arrows for the causal edges.
+4. Walk the critical path: the longest dependency chain behind the
+   pipeline's completion, every microsecond attributed to a bucket.
+"""
+
+import json
+
+from repro.kernel.proc import WEXITSTATUS
+from repro.obs.critical import critical_path
+from repro.obs.export import chrome_trace, validate_chrome_trace
+from repro.workloads import boot_world
+
+
+def main():
+    # -- stop 1: a pipeline worth tracing -------------------------------
+    world = boot_world(obs="spans")
+    world.mkdir_p("/data")
+    world.write_file("/data/corpus", b"all problems in computer science\n" * 2000)
+    status = world.run(
+        "/bin/sh", ["sh", "-c", "cat /data/corpus | sort | wc"])
+    print("pipeline exit status:", WEXITSTATUS(status))
+    print("console:", world.console.take_output().decode().strip())
+
+    # -- stop 2: what the assembler built -------------------------------
+    assembler = world.obs.spans
+    assembler.close_open()
+    by_kind = {}
+    for span in assembler.finished():
+        by_kind[span.kind] = by_kind.get(span.kind, 0) + 1
+    print("\nspans by kind:", by_kind)
+    print("causal edges:")
+    for edge in assembler.all_edges()[:8]:
+        print("  %-6s pid %d -> pid %d (event #%d -> #%d)"
+              % (edge.kind, edge.src_pid, edge.dst_pid,
+                 edge.src_seq, edge.dst_seq))
+    print("  ... %d edges total" % len(assembler.all_edges()))
+
+    # -- stop 3: Chrome trace-event export ------------------------------
+    doc = chrome_trace(assembler, workload="example pipeline")
+    summary = validate_chrome_trace(doc)
+    out = "/tmp/pipeline_trace.json"
+    with open(out, "w") as fh:
+        json.dump(doc, fh, indent=1, sort_keys=True)
+    print("\nwrote %s: %d slices on %d tracks, %d flow arrows "
+          "(spec-valid; load it in ui.perfetto.dev)"
+          % (out, summary["X"], summary["tracks"], summary["flows"]))
+
+    # -- stop 4: the critical path --------------------------------------
+    report = critical_path(assembler)
+    print()
+    print(report.render())
+    chain = []
+    for seg in report.segments:
+        if not chain or chain[-1] != seg.pid:
+            chain.append(seg.pid)
+    print("pid chain (latest first):",
+          " -> ".join(str(p) for p in chain))
+    print("\nThe chain starts at the shell, hops to wc (the last stage "
+          "to finish),\nand follows pipe wakeups upstream through sort "
+          "to cat — fork, exec and\npipe causality recovered entirely "
+          "from the in-band event stream.")
+
+
+if __name__ == "__main__":
+    main()

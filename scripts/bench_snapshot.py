@@ -1,12 +1,14 @@
-"""Snapshot the PR's headline benchmark numbers into BENCH_PR2.json.
+"""Snapshot the PR's headline benchmark numbers into BENCH_PR3.json.
 
 Run with:  python scripts/bench_snapshot.py [--quick] [output.json]
 
-Records, for the kernel fast paths added in PR 2 (name cache, trap
-fast-path dispatch, zero-copy read), the macro workload timings per
-flag configuration, the per-operation micro costs, and the name cache's
-own counters after a format run — plus enough machine information to
-interpret the numbers later.
+Records, for the causal span tracing added in PR 3, the observability
+overhead matrix (disabled / metrics / ktrace+metrics / spans) on the
+format-dissertation workload, the per-trap micro costs, and the
+critical-path reports for the traced workloads (the 3-stage sh
+pipeline bare and under a union+txn stack, and the format run under
+the monitor agent) — plus enough machine information to interpret the
+numbers later.
 """
 
 import datetime
@@ -15,18 +17,49 @@ import os
 import platform
 import sys
 
-sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
-sys.path.insert(0, os.path.join(
-    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+_HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, os.path.dirname(_HERE))
+sys.path.insert(0, os.path.join(os.path.dirname(_HERE), "src"))
+sys.path.insert(0, _HERE)
 
-from benchmarks import bench_kernel_fastpath as bench  # noqa: E402
+import trace_timeline  # noqa: E402  (sibling script: workload runners)
+from benchmarks import bench_obs_overhead as bench  # noqa: E402
+from repro.kernel.proc import WEXITSTATUS  # noqa: E402
+from repro.obs import critical as obs_critical  # noqa: E402
+from repro.obs import export as obs_export  # noqa: E402
+from repro.workloads import boot_world  # noqa: E402
 
 
-def snapshot(runs=9, micro_calls=2000):
+def _critical_report(workload, agent_spec, lines):
+    """Run one traced workload; return its critical-path summary."""
+    world = boot_world(obs="spans")
+    agents = trace_timeline.build_agents(agent_spec, workload)
+    if workload == "pipeline":
+        status, label = trace_timeline.run_pipeline(world, agents, lines)
+    else:
+        status, label = trace_timeline.run_format(world, agents)
+    assert WEXITSTATUS(status) == 0, "workload failed (%r)" % status
+    assembler = world.obs.spans
+    assembler.close_open()
+    doc = obs_export.chrome_trace(assembler, workload=label)
+    summary = obs_export.validate_chrome_trace(doc)
+    report = obs_critical.critical_path(assembler)
+    return {
+        "workload": label,
+        "agents": agent_spec,
+        "spans": assembler.counts()["spans"],
+        "edges": assembler.counts()["edges_by_kind"],
+        "trace_export": summary,
+        "critical_path": report.to_dict(),
+    }
+
+
+def snapshot(runs=9, micro_calls=2000, lines=2000):
     """Collect every headline number as one JSON-ready document."""
     doc = {
-        "pr": 2,
-        "title": "kernel fast paths: name cache, trap dispatch, zero-copy",
+        "pr": 3,
+        "title": "causal span tracing: timelines, Chrome export, "
+                 "critical path",
         "generated": datetime.datetime.now().isoformat(timespec="seconds"),
         "machine": {
             "python": platform.python_version(),
@@ -36,38 +69,45 @@ def snapshot(runs=9, micro_calls=2000):
         "protocol": {
             "macro_runs": runs,
             "micro_calls": micro_calls,
+            "pipeline_lines": lines,
             "method": "interleaved rounds, paired per-round slowdowns, "
                       "minimum over rounds (see repro.bench.timing)",
         },
-        "macro": {},
+        "macro": [],
         "micro": [],
-        "namecache_after_format": None,
+        "critical_paths": [],
     }
-    for workload in bench.WORKLOADS:
-        print("macro: %s ..." % workload, flush=True)
-        doc["macro"][workload] = [
-            {"config": config, "seconds": round(seconds, 4),
-             "slowdown_vs_off_pct": round(pct, 2)}
-            for config, seconds, pct in bench.macro_rows(workload, runs=runs)
-        ]
+    print("macro: format workload x %s ..." % (bench.CONFIGS,), flush=True)
+    doc["macro"] = [
+        {"config": config, "seconds": round(seconds, 4),
+         "slowdown_vs_disabled_pct": round(pct, 2)}
+        for config, seconds, pct in bench.macro_rows(runs=runs)
+    ]
     print("micro ...", flush=True)
     doc["micro"] = [
-        {"operation": op, "config": config, "usec": round(usec, 3)}
-        for op, config, usec in bench.micro_rows(calls=micro_calls)
+        {"config": config, "usec": round(usec, 3)}
+        for config, usec in bench.micro_rows(calls=micro_calls)
     ]
-    print("namecache counters ...", flush=True)
-    doc["namecache_after_format"] = bench.cache_stats_after("format", "all")
+    for workload, agent_spec in (("pipeline", "none"),
+                                 ("pipeline", "union+txn"),
+                                 ("format", "monitor")):
+        print("critical path: %s under %s ..." % (workload, agent_spec),
+              flush=True)
+        doc["critical_paths"].append(
+            _critical_report(workload, agent_spec, lines))
     return doc
 
 
 def main():
+    """CLI entry point: parse flags, run, write the JSON snapshot."""
     argv = [a for a in sys.argv[1:]]
     quick = "--quick" in argv
     if quick:
         argv.remove("--quick")
-    path = argv[0] if argv else "BENCH_PR2.json"
+    path = argv[0] if argv else "BENCH_PR3.json"
     doc = snapshot(runs=3 if quick else 9,
-                   micro_calls=500 if quick else 2000)
+                   micro_calls=500 if quick else 2000,
+                   lines=500 if quick else 2000)
     with open(path, "w") as f:
         json.dump(doc, f, indent=2, sort_keys=False)
         f.write("\n")

@@ -1,0 +1,175 @@
+"""Record a causal span trace of a workload and export it for Perfetto.
+
+Run with:
+
+    PYTHONPATH=src python scripts/trace_timeline.py
+    PYTHONPATH=src python scripts/trace_timeline.py --workload format \\
+        --agent monitor --out format_trace.json
+    PYTHONPATH=src python scripts/trace_timeline.py --agent union+txn --quick
+
+Boots a fresh world with span tracing on (``Kernel(obs="spans")``),
+runs the chosen workload — the 3-stage ``sh`` pipeline or the paper's
+format-dissertation run — optionally under a stack of agents, then:
+
+* writes the Chrome trace-event JSON (one track per simulated pid, flow
+  arrows for fork/exec/pipe/signal causality) to ``--out``; load the
+  file in https://ui.perfetto.dev or ``chrome://tracing``;
+* validates the export against the trace-event spec before writing;
+* prints the critical-path report (longest dependency chain, bucketed
+  virtual-clock attribution) and, when agents were interposed, the
+  per-layer host-time attribution table.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+
+from repro.kernel.proc import WEXITSTATUS  # noqa: E402
+from repro.obs import critical as obs_critical  # noqa: E402
+from repro.obs import export as obs_export  # noqa: E402
+from repro.workloads import boot_world  # noqa: E402
+
+#: pipeline sizes: enough lines that every stage genuinely blocks
+LINES = 3000
+LINES_QUICK = 400
+
+
+def build_agents(spec, workload):
+    """Agent instances (bottom-up) from a ``+``-separated spec string."""
+    from repro.agents.monitor import MonitorAgent
+    from repro.agents.trace import TraceSymbolicSyscall
+    from repro.agents.txn import TxnAgent
+    from repro.agents.union_dirs import UnionAgent
+
+    agents = []
+    for name in spec.split("+"):
+        name = name.strip()
+        if name in ("", "none"):
+            continue
+        if name == "monitor":
+            agents.append(MonitorAgent())
+        elif name == "trace":
+            agents.append(TraceSymbolicSyscall("/tmp/timeline.trace"))
+        elif name == "union":
+            union = UnionAgent()
+            if workload == "format":
+                union.pset.add_union("/home/mbj/diss",
+                                     ["/home/mbj/diss", "/usr/tmp"])
+            else:
+                union.pset.add_union("/view", ["/data"])
+            agents.append(union)
+        elif name == "txn":
+            agents.append(TxnAgent(scratch_dir="/tmp/timeline.txn",
+                                   outcome="commit"))
+        else:
+            raise SystemExit("unknown agent %r (monitor, trace, union, txn)"
+                             % name)
+    return agents
+
+
+def run_stacked(kernel, agents, path, argv):
+    """Attach *agents* bottom-up, then exec the client through the top."""
+
+    def loader(ctx):
+        for agent in agents:
+            agent.attach(ctx)
+        agents[-1].exec_client(path, argv, {})
+
+    return kernel.run_entry(loader)
+
+
+def run_pipeline(world, agents, lines):
+    """The 3-stage ``cat | sort | wc`` pipeline, big enough to block."""
+    world.mkdir_p("/data")
+    world.write_file("/data/corpus", b"interpose all the things\n" * lines)
+    source = "/view/corpus" if any(
+        type(a).__name__ == "UnionAgent" for a in agents) else "/data/corpus"
+    command = "cat %s | sort | wc" % source
+    argv = ["sh", "-c", command]
+    if agents:
+        return run_stacked(world, agents, "/bin/sh", argv), command
+    return world.run("/bin/sh", argv), command
+
+
+def run_format(world, agents):
+    """The paper's format-dissertation workload (Table 3-2)."""
+    import repro.workloads.format_dissertation as fmt
+
+    fmt.setup(world)
+    if not agents:
+        return fmt.run(world), "scribe (format dissertation)"
+    argv = ["scribe", fmt.MANUSCRIPT, fmt.OUTPUT]
+    return (run_stacked(world, agents, "/usr/bin/scribe", argv),
+            "scribe (format dissertation)")
+
+
+def main(argv=None):
+    """Parse arguments, run the workload, export and report."""
+    parser = argparse.ArgumentParser(
+        description="record and export a causal span timeline")
+    parser.add_argument("--workload", choices=("pipeline", "format"),
+                        default="pipeline")
+    parser.add_argument("--agent", default="none",
+                        help="'+'-separated stack, bottom-up: "
+                             "monitor, trace, union, txn (default none)")
+    parser.add_argument("--out", default=None,
+                        help="Chrome trace JSON path "
+                             "(default trace_<workload>.json)")
+    parser.add_argument("--lines", type=int, default=None,
+                        help="pipeline corpus size in lines")
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller corpus for CI smoke runs")
+    args = parser.parse_args(argv)
+
+    world = boot_world(obs="spans")
+    agents = build_agents(args.agent, args.workload)
+    if args.workload == "pipeline":
+        lines = args.lines or (LINES_QUICK if args.quick else LINES)
+        status, label = run_pipeline(world, agents, lines)
+    else:
+        status, label = run_format(world, agents)
+    code = WEXITSTATUS(status)
+    if code != 0:
+        raise SystemExit("workload failed with exit code %d" % code)
+
+    assembler = world.obs.spans
+    assembler.close_open()
+    doc = obs_export.chrome_trace(assembler, workload=label)
+    summary = obs_export.validate_chrome_trace(doc)
+    out = args.out or ("trace_%s.json" % args.workload)
+    with open(out, "w") as fh:
+        json.dump(doc, fh, indent=1, sort_keys=True)
+
+    counts = assembler.counts()
+    print("workload: %s (exit 0)" % label)
+    print("spans: %(spans)d closed, %(edges)d causal edges, "
+          "%(events)d events" % counts)
+    print("chrome trace: %s (%d slices, %d flow arrows, %d tracks; "
+          "spec-valid)" % (out, summary["X"], summary["flows"],
+                           summary["tracks"]))
+    print()
+    report = obs_critical.critical_path(assembler)
+    print(report.render())
+    chain = []
+    for seg in report.segments:
+        if not chain or chain[-1] != seg.pid:
+            chain.append(seg.pid)
+    print("pid chain (latest first): %s"
+          % " -> ".join(str(p) for p in chain))
+    rows = obs_export.layer_rows(world.obs.metrics)
+    if rows:
+        print()
+        print("agent-layer host-time attribution:")
+        print("%-24s %8s %10s %12s" % ("layer", "calls", "mean usec",
+                                       "total usec"))
+        for layer, calls, mean, total in rows:
+            print("%-24s %8d %10.1f %12.0f" % (layer, calls, mean, total))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

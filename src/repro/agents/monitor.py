@@ -149,8 +149,16 @@ class MonitorAgent(SymbolicSyscall):
         return "\n".join(lines) + "\n"
 
     def report_json(self):
-        """The same report as a machine-readable JSON document."""
+        """The same report as a machine-readable JSON document.
+
+        ``schema_version`` is bumped whenever a key is added, renamed,
+        or changes meaning (see the golden test in
+        ``tests/test_monitor_and_loader.py``); version 2 added it along
+        with the ``spans`` section, a copy of the kernel's causal span
+        counters (``{"enabled": false}`` when span tracing is off).
+        """
         doc = {
+            "schema_version": 2,
             "calls": dict(self.call_counts),
             "errors": {
                 "%s %s" % key: count
@@ -170,8 +178,9 @@ class MonitorAgent(SymbolicSyscall):
             # dispatch) ride along so one report covers both sides of
             # the interface.  Fetched in-world via extension trap 207.
             doc["kernel"] = self.syscall_down("kernel_stats")
+            doc["spans"] = doc["kernel"].get("spans", {"enabled": False})
         except SyscallError:
-            pass
+            doc["spans"] = {"enabled": False}
         return json.dumps(doc, indent=2, sort_keys=True) + "\n"
 
     def sys_exit(self, status=0):

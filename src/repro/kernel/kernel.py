@@ -82,7 +82,7 @@ class Kernel:
     """A booted simulated machine."""
 
     def __init__(self, hostname="mach25.repro", page_size=4096,
-                 fastpaths=None):
+                 fastpaths=None, obs=None):
         self.hostname = hostname
         self.page_size = page_size
         self.clock = Clock()
@@ -132,8 +132,14 @@ class Kernel:
 
         #: observability switchboard (see :mod:`repro.obs`); None — the
         #: default — keeps every instrumentation site down to a single
-        #: ``is None`` test, the subsystem's own pay-per-use guarantee
+        #: ``is None`` test, the subsystem's own pay-per-use guarantee.
+        #: The *obs* constructor argument enables it at boot: ``True``
+        #: for metrics, or a comma-separated feature spec out of
+        #: ``"metrics"`` / ``"trace"`` / ``"spans"``.
         self.obs = None
+        if obs:
+            from repro.obs.core import enable_from_spec
+            enable_from_spec(self, obs)
 
         self._host = _HostContext(self)
         self._make_dev_tree()
@@ -462,7 +468,8 @@ class Kernel:
                 obs.metrics.inc(("proc.fork",))
             if obs.wants(parent):
                 obs.emit(obs_events.PROC_FORK, parent,
-                         detail="child pid %d" % child.pid)
+                         detail="child pid %d" % child.pid,
+                         link_pid=child.pid)
         if entry is None:
             entry = lambda ctx: 0  # noqa: E731 - a child that just exits
         self._start_process_thread(child, ("entry", entry))

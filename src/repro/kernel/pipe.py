@@ -28,14 +28,21 @@ def _note_block(kernel, proc, end):
             obs.emit(obs_events.PIPE_BLOCK, proc, end)
 
 
-def _note_wakeup(kernel, proc, end):
-    """Record that *proc* woke from a pipe block on *end*."""
+def _note_wakeup(kernel, proc, end, waker_pid=0):
+    """Record that *proc* woke from a pipe block on *end*.
+
+    *waker_pid* names the process whose read/write released the sleeper
+    when the pipe knows one (it is 0 for close-caused EOF wakeups, which
+    span tracing then honestly reports as unattributed blocking).
+    """
     obs = kernel.obs
     if obs is not None:
         if obs.metrics_on:
             obs.metrics.inc(("pipe.wakeup", end))
         if obs.wants(proc):
-            obs.emit(obs_events.PIPE_WAKEUP, proc, end)
+            if waker_pid == proc.pid:
+                waker_pid = 0
+            obs.emit(obs_events.PIPE_WAKEUP, proc, end, link_pid=waker_pid)
 
 
 class Pipe:
@@ -49,6 +56,11 @@ class Pipe:
         #: monotonic open counts, for FIFO open's edge-triggered blocking
         self.total_readers = 0
         self.total_writers = 0
+        #: pids of the last processes to move bytes through the pipe,
+        #: kept (under the kernel lock) so a wakeup can name its waker
+        #: for causal span tracing
+        self.last_writer_pid = 0
+        self.last_reader_pid = 0
 
     def close_end(self, kernel, mode_bits):
         """An end closed: fix the counts and wake sleepers."""
@@ -69,11 +81,15 @@ class Pipe:
             lambda: self.buffer or self.writers == 0, proc, "piperd"
         )
         if would_block:
-            _note_wakeup(kernel, proc, "read")
+            # Data present means a writer released us; an empty buffer
+            # means every writer closed, and the closer is unknown.
+            _note_wakeup(kernel, proc, "read",
+                         self.last_writer_pid if self.buffer else 0)
         if not self.buffer:
             return b""  # EOF: all writers gone
         data = bytes(self.buffer[:count])
         del self.buffer[: len(data)]
+        self.last_reader_pid = proc.pid
         kernel.wakeup()
         return data
 
@@ -98,13 +114,18 @@ class Pipe:
                 "pipewr",
             )
             if would_block:
-                _note_wakeup(kernel, proc, "write")
+                # Room appearing means a reader drained the pipe; a full
+                # buffer means the last reader closed (EPIPE ahead).
+                drained = len(self.buffer) < self.capacity
+                _note_wakeup(kernel, proc, "write",
+                             self.last_reader_pid if drained else 0)
             if self.readers == 0:
                 continue  # re-check at loop top: raises EPIPE
             room = self.capacity - len(self.buffer)
             chunk = view[total : total + room]
             self.buffer.extend(chunk)
             total += len(chunk)
+            self.last_writer_pid = proc.pid
             kernel.wakeup()
             if len(view) == 0:
                 break

@@ -105,8 +105,14 @@ def sys_kernel_stats(kernel, proc):
     on ``kernel.namecache`` — agents (the monitor in particular) call
     this instead of reaching around the system interface.  Always
     available; with a fast path off, its section reports accordingly.
+    The ``spans`` section carries the causal span assembler's counters
+    (``{"enabled": False}`` when span tracing is off), so agents can
+    introspect the trace being built about them.
     """
     cache = kernel.namecache
+    obs = kernel.obs
+    spans = (obs.spans.counts() if obs is not None and obs.spans is not None
+             else {"enabled": False})
     return {
         "fastpaths": kernel.fastpaths.describe(),
         "trap": {
@@ -114,4 +120,5 @@ def sys_kernel_stats(kernel, proc):
             "fast": kernel.trap_fast_total,
         },
         "namecache": cache.stats() if cache is not None else {"enabled": False},
+        "spans": spans,
     }

@@ -270,15 +270,18 @@ def deliver_pending_signals(ctx):
         if signum is None:
             return
         redirect = proc.signal_redirect
-        obs = kernel.obs
-        if obs is not None:
-            kind = ev.SIG_UPCALL if redirect is not None else ev.SIG_DELIVER
-            signame = sig.signal_name(signum)
-            if obs.metrics_on:
-                obs.metrics.inc((kind, signame))
-            if obs.wants(proc):
-                obs.emit(kind, proc, signame)
         if redirect is not None:
+            # Upcall here; signal.deliver is emitted by
+            # deliver_signal_to_application itself iff the agent
+            # forwards, so forwarded signals produce an upcall→deliver
+            # pair and swallowed ones a lone upcall.
+            obs = kernel.obs
+            if obs is not None:
+                signame = sig.signal_name(signum)
+                if obs.metrics_on:
+                    obs.metrics.inc((ev.SIG_UPCALL, signame))
+                if obs.wants(proc):
+                    obs.emit(ev.SIG_UPCALL, proc, signame)
             redirect(ctx, signum, proc.dispositions[signum])
         else:
             deliver_signal_to_application(kernel, proc, signum)
@@ -289,8 +292,18 @@ def deliver_signal_to_application(kernel, proc, signum):
 
     This is also the toolkit's "send a signal from an agent up to the
     application" path: an agent's signal redirection calls it (directly
-    or via the boilerplate) to forward.
+    or via the boilerplate) to forward.  The ``signal.deliver`` event is
+    emitted here — the moment the application's own disposition is
+    reached — which is what pairs it with a preceding ``signal.upcall``
+    when an interposed signal was forwarded through an agent.
     """
+    obs = kernel.obs
+    if obs is not None:
+        signame = sig.signal_name(signum)
+        if obs.metrics_on:
+            obs.metrics.inc((ev.SIG_DELIVER, signame))
+        if obs.wants(proc):
+            obs.emit(ev.SIG_DELIVER, proc, signame)
     action = proc.dispositions[signum]
     handler = action.handler
     if handler == sig.SIG_IGN:

@@ -5,7 +5,10 @@ tables: an event bus with a fixed taxonomy of trap-spine events
 (:mod:`repro.obs.events`), a tuple-keyed metrics registry with
 virtual-clock latency histograms (:mod:`repro.obs.metrics`), the
 :class:`Observability` switchboard that the kernel consults
-(:mod:`repro.obs.core`), and exporters for kdump text / JSON lines /
+(:mod:`repro.obs.core`), the causal span assembler that turns the flat
+stream into a cross-process trace (:mod:`repro.obs.spans`), the
+critical-path analyzer over that trace (:mod:`repro.obs.critical`),
+and exporters for kdump text / JSON lines / Chrome trace-event JSON /
 experiment tables (:mod:`repro.obs.export`).
 
 Disabled — the default, ``kernel.obs is None`` — the whole subsystem
@@ -15,17 +18,23 @@ holds it to that claim.  Enable with::
     from repro import obs
     obs.enable(kernel)                 # metrics only
     obs.enable(kernel, trace_all=True) # plus firehose ktrace
+    obs.enable(kernel, spans=True)     # plus causal span assembly
 
-or from inside the world with the ``ktrace`` program / syscall.
+or at construction time with ``Kernel(obs="metrics,trace,spans")``, or
+from inside the world with the ``ktrace`` program / syscall.
 """
 
-from repro.obs.core import Observability, disable, enable, is_enabled
+from repro.obs.core import (Observability, disable, enable,
+                            enable_from_spec, is_enabled)
+from repro.obs.critical import CriticalPathReport, critical_path
 from repro.obs.events import Event, EventBus, KINDS
 from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.spans import Edge, Span, SpanAssembler
 
 __all__ = [
     "Observability",
     "enable",
+    "enable_from_spec",
     "disable",
     "is_enabled",
     "Event",
@@ -33,4 +42,9 @@ __all__ = [
     "KINDS",
     "Histogram",
     "MetricsRegistry",
+    "Span",
+    "Edge",
+    "SpanAssembler",
+    "CriticalPathReport",
+    "critical_path",
 ]

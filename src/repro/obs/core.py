@@ -21,13 +21,14 @@ import itertools
 from repro.kernel.ktrace import KtraceBuffer
 from repro.obs.events import Event, EventBus
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import SpanAssembler
 
 
 class Observability:
     """Event bus + metrics registry + ktrace buffer for one kernel."""
 
     def __init__(self, kernel, ktrace_capacity=4096, metrics=True,
-                 trace_all=False):
+                 trace_all=False, spans=False):
         self.kernel = kernel
         self.bus = EventBus()
         self.metrics = MetricsRegistry()
@@ -36,6 +37,8 @@ class Observability:
         self.ktrace = KtraceBuffer(ktrace_capacity)
         #: trace every process, ignoring per-process ktrace flags
         self.trace_all = trace_all
+        #: the causal span assembler, or None when span tracing is off
+        self.spans = SpanAssembler() if spans else None
         self._seq = itertools.count(1)
 
     # -- emission (called from the instrumented kernel paths) ------------
@@ -47,17 +50,45 @@ class Observability:
         never built just to be dropped.
         """
         return (bool(self.bus._subs) or self.trace_all
-                or proc.ktrace_on)
+                or proc.ktrace_on or self.spans is not None)
 
-    def emit(self, kind, proc, name="", detail=""):
-        """Build an event about *proc* and route it to ring + bus."""
+    def emit(self, kind, proc, name="", detail="", link_pid=0):
+        """Build an event about *proc* and route it to spans + ring + bus.
+
+        *link_pid* names the other process the event causally involves,
+        when the emission site knows one: the child pid on ``proc.fork``,
+        the waker's pid on ``pipe.wakeup``.  The span assembler (when
+        installed) consumes it — and runs *first*, so the span/cause ids
+        it stamps onto the event are already present in the record the
+        ring buffer keeps and the bus publishes.
+        """
         event = Event(next(self._seq), self.kernel.clock.usec(),
                       proc.pid, proc.comm, kind, name, detail)
+        if self.spans is not None:
+            self.spans.observe(event, link_pid)
         if self.trace_all or proc.ktrace_on:
             self.ktrace.append(event)
         if self.bus._subs:
             self.bus.publish(event)
         return event
+
+    # -- span tracing ----------------------------------------------------
+
+    def enable_spans(self):
+        """Install a span assembler (idempotent); returns the assembler."""
+        if self.spans is None:
+            self.spans = SpanAssembler()
+        return self.spans
+
+    def disable_spans(self):
+        """Stop span assembly; returns the detached assembler (or None).
+
+        The detached assembler keeps its collected spans and edges for
+        export or critical-path analysis.
+        """
+        spans = self.spans
+        self.spans = None
+        return spans
 
     def layer_usec(self, layer, name, usec):
         """Attribute *usec* of host time inside an agent handler to a layer.
@@ -103,19 +134,47 @@ class Observability:
             "trap_total": kernel.trap_total,
             "trap_fast_total": kernel.trap_fast_total,
         }
+        snap["spans"] = (self.spans.counts() if self.spans is not None
+                         else {"enabled": False})
         return snap
 
 
-def enable(kernel, ktrace_capacity=4096, metrics=True, trace_all=False):
+def enable(kernel, ktrace_capacity=4096, metrics=True, trace_all=False,
+           spans=False):
     """Switch observability on for *kernel*; returns the instance.
 
     Idempotent: an already-enabled kernel keeps its instance (the
-    capacity and flags of the existing instance win).
+    capacity and flags of the existing instance win, except *spans*,
+    which is additive: asking for spans on an enabled kernel installs
+    an assembler via :meth:`Observability.enable_spans`).
     """
     if kernel.obs is None:
         kernel.obs = Observability(kernel, ktrace_capacity=ktrace_capacity,
-                                   metrics=metrics, trace_all=trace_all)
+                                   metrics=metrics, trace_all=trace_all,
+                                   spans=spans)
+    elif spans:
+        kernel.obs.enable_spans()
     return kernel.obs
+
+
+def enable_from_spec(kernel, spec):
+    """Enable observability from a ``Kernel(obs=...)`` spec string.
+
+    *spec* is a comma-separated feature list: ``"metrics"`` (counters
+    and histograms only), ``"trace"`` (plus trace_all into the ring
+    buffer), ``"spans"`` (plus causal span assembly).  ``True`` means
+    ``"metrics"``; features compose (``"trace,spans"``).  Unknown
+    feature names raise ``ValueError`` so typos fail loudly at boot.
+    """
+    if spec is True:
+        spec = "metrics"
+    features = {part.strip() for part in spec.split(",") if part.strip()}
+    unknown = features - {"metrics", "trace", "spans"}
+    if unknown:
+        raise ValueError("unknown obs feature(s): %s"
+                         % ", ".join(sorted(unknown)))
+    return enable(kernel, trace_all="trace" in features,
+                  spans="spans" in features)
 
 
 def disable(kernel):

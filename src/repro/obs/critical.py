@@ -1,0 +1,325 @@
+"""Critical-path analysis over an assembled span trace.
+
+Given a finished workload's :class:`~repro.obs.spans.SpanAssembler`,
+:func:`critical_path` walks the causal trace *backward* from its last
+event and reports the longest dependency chain — the sequence of
+intervals that actually gated completion — with every microsecond of
+virtual-clock time on that chain attributed to one of five buckets:
+
+``kernel``
+    Uninterposed trap handling and agents' ``htg_unix_syscall``
+    downcalls (real kernel work, whoever asked for it).
+``agent``
+    Time inside interposed (``trap.agent``) spans not covered by a
+    nested downcall — the interposition machinery itself.  Agent Python
+    code is free on the virtual clock (only syscall ticks advance it),
+    so this bucket is the *structural* agent cost; the host-time cost
+    per toolkit layer lives in the ``("layer.usec", ...)`` histograms
+    and is reported alongside (see :func:`repro.obs.export.layer_rows`).
+``pipe-blocked``
+    Time asleep on a pipe end that the walk could not hand off to the
+    waker (no waker known — e.g. woken by a close — or a causal cycle
+    guard fired).  When the waker *is* known, the walk jumps to the
+    waker's timeline instead, which is the whole point: the blocked
+    process was not the critical path, the process it waited for was.
+``signal-blocked``
+    Time between an agent ``signal.upcall`` and the application-level
+    ``signal.deliver`` not covered by other activity of the pid.
+``user``
+    Gaps between spans on the chain (expected ~0 here: simulated
+    programs consume no virtual time between traps).
+
+The walk tiles the report's window ``[start_usec, end_usec]`` with
+contiguous, non-overlapping segments, so the bucket totals always sum
+to exactly the path's elapsed virtual time — attribution is 100% by
+construction, the in-band analogue of the paper's ablation tables that
+account for every microsecond of measured overhead.
+"""
+
+from bisect import bisect_left
+
+from repro.obs import events as ev
+
+#: span kind -> critical-path bucket
+SPAN_BUCKET = {
+    ev.TRAP_KERNEL: "kernel",
+    ev.TRAP_AGENT: "agent",
+    "htg": "kernel",
+    "pipe.blocked": "pipe-blocked",
+    "signal.blocked": "signal-blocked",
+}
+
+#: every bucket a report can contain, in display order
+BUCKETS = ("kernel", "agent", "pipe-blocked", "signal-blocked", "user")
+
+#: trap names that park the caller until a child finishes — the walk
+#: hands off from a waiting parent to the child that was actually
+#: running, the same way it hands a pipe sleeper off to its waker
+WAIT_NAMES = frozenset({"wait", "wait4", "waitpid"})
+
+
+class Segment:
+    """One contiguous piece of the critical path on one pid's timeline."""
+
+    __slots__ = ("start_usec", "end_usec", "pid", "bucket", "name")
+
+    def __init__(self, start_usec, end_usec, pid, bucket, name=""):
+        self.start_usec = start_usec
+        self.end_usec = end_usec
+        self.pid = pid
+        self.bucket = bucket
+        self.name = name
+
+    def duration_usec(self):
+        """The segment's length on the virtual clock."""
+        return self.end_usec - self.start_usec
+
+    def __repr__(self):
+        return "<Segment pid=%d %s %s [%d..%d]>" % (
+            self.pid, self.bucket, self.name,
+            self.start_usec, self.end_usec)
+
+
+class CriticalPathReport:
+    """The result of :func:`critical_path`.
+
+    ``segments`` run backward in walk order (latest first) and tile
+    ``[start_usec, end_usec]`` exactly; ``buckets`` maps bucket name to
+    total virtual microseconds; ``hops`` counts cross-process jumps the
+    walk took (pipe-waker, wait-to-child, and fork-parent handoffs).
+    """
+
+    def __init__(self, start_usec, end_usec, segments, hops):
+        self.start_usec = start_usec
+        self.end_usec = end_usec
+        self.segments = segments
+        self.hops = hops
+        self.buckets = {}
+        for seg in segments:
+            self.buckets[seg.bucket] = (self.buckets.get(seg.bucket, 0)
+                                        + seg.duration_usec())
+
+    def total_usec(self):
+        """The path's elapsed virtual time (equals the bucket sum)."""
+        return self.end_usec - self.start_usec
+
+    def to_dict(self):
+        """The report as a plain JSON-ready dict."""
+        return {
+            "start_usec": self.start_usec,
+            "end_usec": self.end_usec,
+            "total_usec": self.total_usec(),
+            "hops": self.hops,
+            "buckets": {name: self.buckets.get(name, 0) for name in BUCKETS
+                        if self.buckets.get(name, 0) or name in self.buckets},
+            "segments": len(self.segments),
+        }
+
+    def render(self):
+        """A small fixed-width text table of the bucket attribution."""
+        total = self.total_usec() or 1
+        lines = ["critical path: %d usec across %d segment(s), %d hop(s)"
+                 % (self.total_usec(), len(self.segments), self.hops)]
+        lines.append("%-16s %12s %7s" % ("bucket", "vusec", "share"))
+        for name in BUCKETS:
+            usec = self.buckets.get(name, 0)
+            if not usec and name not in self.buckets:
+                continue
+            lines.append("%-16s %12d %6.1f%%"
+                         % (name, usec, 100.0 * usec / total))
+        return "\n".join(lines)
+
+
+class _Timeline:
+    """One pid's flattened, non-overlapping activity intervals."""
+
+    __slots__ = ("intervals", "starts")
+
+    def __init__(self, intervals):
+        # (start, end, bucket, name, close_seq, kind) sorted by start
+        self.intervals = intervals
+        self.starts = [iv[0] for iv in intervals]
+
+    def latest_before(self, t):
+        """The last interval starting strictly before *t* (or None)."""
+        idx = bisect_left(self.starts, t) - 1
+        if idx < 0:
+            return None
+        return self.intervals[idx]
+
+
+def _flatten(spans):
+    """Per-pid flattened atomic intervals from a list of closed spans.
+
+    Each span is cut into the pieces not covered by its children, so
+    every instant of a pid's active time belongs to exactly one
+    interval.  ``signal.blocked`` spans can straddle sibling traps
+    (delivery happens at trap boundaries), so they are overlaid last
+    and claim only time no other span covers.
+    """
+    by_pid = {}
+    for span in spans:
+        if span.end_usec is None:
+            continue
+        by_pid.setdefault(span.pid, []).append(span)
+    timelines = {}
+    for pid, pid_spans in by_pid.items():
+        nested = [s for s in pid_spans if s.kind != "signal.blocked"]
+        overlay = [s for s in pid_spans if s.kind == "signal.blocked"]
+        children = {}
+        for span in nested:
+            children.setdefault(span.parent, []).append(span)
+        intervals = []
+        for span in nested:
+            kids = sorted(children.get(span.sid, ()),
+                          key=lambda s: s.start_usec)
+            bucket = SPAN_BUCKET.get(span.kind, "user")
+            cursor = span.start_usec
+            for kid in kids:
+                if kid.start_usec > cursor:
+                    intervals.append((cursor, kid.start_usec, bucket,
+                                      span.name, span.close_seq, span.kind))
+                cursor = max(cursor, kid.end_usec)
+            if span.end_usec > cursor:
+                intervals.append((cursor, span.end_usec, bucket,
+                                  span.name, span.close_seq, span.kind))
+        intervals.sort()
+        for span in overlay:
+            cursor = span.start_usec
+            pieces = []
+            for iv in intervals:
+                if iv[1] <= cursor or iv[0] >= span.end_usec:
+                    continue
+                if iv[0] > cursor:
+                    pieces.append((cursor, iv[0]))
+                cursor = max(cursor, iv[1])
+            if span.end_usec > cursor:
+                pieces.append((cursor, span.end_usec))
+            for start, end in pieces:
+                intervals.append((start, end, "signal-blocked", span.name,
+                                  span.close_seq, span.kind))
+        intervals.sort()
+        timelines[pid] = _Timeline(intervals)
+    return timelines
+
+
+def critical_path(assembler, max_steps=1_000_000):
+    """Walk the trace backward and attribute the longest dependency chain.
+
+    *assembler* is a :class:`~repro.obs.spans.SpanAssembler` whose
+    workload has finished (call :meth:`close_open` first if processes
+    never exited).  Returns a :class:`CriticalPathReport`; returns a
+    zero-length report when the trace is empty.
+
+    The walk starts at the latest span end anywhere in the trace and
+    moves backward through that pid's intervals.  At a pipe-blocked
+    interval whose waker is known it *hops* to the waker's timeline
+    (the waker was the critical work); at a ``wait``-family trap it
+    hops to the forked child with the most recent activity (what the
+    parent was parked on); at the start of a pid's life it hops to the
+    forking parent.  A visited-set guard breaks causal cycles by
+    falling back to honest blocked attribution.
+    """
+    spans = assembler.finished()
+    edges = assembler.all_edges()
+    closed = [s for s in spans if s.end_usec is not None]
+    if not closed:
+        return CriticalPathReport(0, 0, [], 0)
+    timelines = _flatten(closed)
+    # pipe wakeups: the closing event's seq -> (waker pid, waker usec)
+    waker_by_close = {e.dst_seq: (e.src_pid, e.src_usec)
+                      for e in edges if e.kind == "pipe"}
+    fork_parent = {e.dst_pid: (e.src_pid, e.src_usec)
+                   for e in edges if e.kind == "fork"}
+    children = {}
+    for e in edges:
+        if e.kind == "fork":
+            children.setdefault(e.src_pid, []).append(e.dst_pid)
+
+    def _busiest(pids, skip, t, floor):
+        # The candidate pid with the most recent *productive* activity
+        # in (floor, t] — blocked intervals and wait-parks don't count.
+        best_pid, best_end = 0, floor
+        for pid in pids:
+            if pid == skip:
+                continue
+            timeline = timelines.get(pid)
+            iv = timeline.latest_before(t) if timeline is not None else None
+            if iv is None:
+                continue
+            if iv[5] in ("pipe.blocked", "signal.blocked"):
+                continue
+            if iv[3] in WAIT_NAMES:
+                continue
+            if min(iv[1], t) > best_end:
+                best_pid, best_end = pid, min(iv[1], t)
+        return best_pid
+
+    def busiest_child(pid, t, floor):
+        # What a parent parked in wait() was actually waiting on.
+        return _busiest(children.get(pid, ()), None, t, floor)
+
+    def busiest_other(pid, t, floor):
+        # Agent Python is free on the virtual clock, so virtual time
+        # inside an agent-residue interval can only be other processes'
+        # syscall ticks — find the process that was doing the work.
+        return _busiest(timelines, pid, t, floor)
+    anchor = max(closed, key=lambda s: (s.end_usec, s.close_seq))
+    cur_pid, t = anchor.pid, anchor.end_usec
+    end_usec = t
+    segments = []
+    hops = 0
+    visited = set()
+    for _ in range(max_steps):
+        timeline = timelines.get(cur_pid)
+        iv = timeline.latest_before(t) if timeline is not None else None
+        if iv is None:
+            parent = fork_parent.get(cur_pid)
+            if parent is None or parent[1] > t:
+                break
+            if parent[1] < t:
+                segments.append(Segment(parent[1], t, cur_pid, "user"))
+                t = parent[1]
+            cur_pid = parent[0]
+            hops += 1
+            continue
+        start, end, bucket, name, close_seq, kind = iv
+        seg_end = min(end, t)
+        if seg_end < t:
+            # A gap: this pid was outside every span, so if the clock
+            # moved, some other process moved it — follow that process,
+            # or attribute honestly to "user" when nobody else was on.
+            other = busiest_other(cur_pid, t, seg_end)
+            if other and (other, t) not in visited:
+                visited.add((other, t))
+                cur_pid = other
+                hops += 1
+                continue
+            segments.append(Segment(seg_end, t, cur_pid, "user"))
+            t = seg_end
+            continue
+        if kind == "pipe.blocked":
+            waker = waker_by_close.get(close_seq)
+            if waker is not None and (waker[0], t) not in visited:
+                visited.add((waker[0], t))
+                cur_pid = waker[0]
+                hops += 1
+                continue
+        elif name in WAIT_NAMES:
+            child = busiest_child(cur_pid, t, start)
+            if child and (child, t) not in visited:
+                visited.add((child, t))
+                cur_pid = child
+                hops += 1
+                continue
+        elif bucket == "agent":
+            other = busiest_other(cur_pid, t, start)
+            if other and (other, t) not in visited:
+                visited.add((other, t))
+                cur_pid = other
+                hops += 1
+                continue
+        if start < t:
+            segments.append(Segment(start, t, cur_pid, bucket, name))
+        t = start
+    return CriticalPathReport(t, end_usec, segments, hops)

@@ -30,6 +30,15 @@ can switch on them without string guessing:
 Events are deliberately flat — integers and strings only — so the same
 object serves the ktrace ring buffer, bus subscribers, and the JSON-lines
 exporter without translation.
+
+When span tracing is on (see :mod:`repro.obs.spans`), two extra integer
+fields are stamped at emission: ``span`` (the id of the causal span this
+event opens, closes, or belongs to) and ``cause`` (the sequence number
+of the event that causally precedes this one across processes — the
+``proc.fork`` behind a child's first event, the waker's call behind a
+``pipe.wakeup``, the ``signal.upcall`` behind a ``signal.deliver``).
+Both default to 0 and stay 0 with tracing off, so the record format —
+ring buffer, bus, and JSON lines alike — is unchanged when unused.
 """
 
 TRAP_AGENT = "trap.agent"
@@ -68,12 +77,16 @@ class Event:
     emission order even across processes.  ``time_usec`` is the virtual
     clock; ``pid``/``comm`` identify the process; ``name`` is the system
     call or signal name (empty for lifecycle events); ``detail`` is a
-    short pre-formatted string.
+    short pre-formatted string.  ``span`` and ``cause`` are the span id
+    and causal-predecessor sequence number stamped by span tracing
+    (both 0 when tracing is off — see the module docstring).
     """
 
-    __slots__ = ("seq", "time_usec", "pid", "comm", "kind", "name", "detail")
+    __slots__ = ("seq", "time_usec", "pid", "comm", "kind", "name", "detail",
+                 "span", "cause")
 
-    def __init__(self, seq, time_usec, pid, comm, kind, name="", detail=""):
+    def __init__(self, seq, time_usec, pid, comm, kind, name="", detail="",
+                 span=0, cause=0):
         self.seq = seq
         self.time_usec = time_usec
         self.pid = pid
@@ -81,15 +94,25 @@ class Event:
         self.kind = kind
         self.name = name
         self.detail = detail
+        self.span = span
+        self.cause = cause
 
     def to_tuple(self):
-        """The event as a plain tuple (the ``ktrace_read`` wire format)."""
-        return (self.seq, self.time_usec, self.pid, self.comm,
+        """The event as a plain tuple (the ``ktrace_read`` wire format).
+
+        Span tracing off (span and cause both 0) keeps the historic
+        7-field record; with ids stamped the tuple grows to 9 fields.
+        Either form round-trips through :meth:`from_tuple`.
+        """
+        base = (self.seq, self.time_usec, self.pid, self.comm,
                 self.kind, self.name, self.detail)
+        if self.span or self.cause:
+            return base + (self.span, self.cause)
+        return base
 
     @classmethod
     def from_tuple(cls, record):
-        """Rebuild an event from its :meth:`to_tuple` form."""
+        """Rebuild an event from its :meth:`to_tuple` form (7 or 9 fields)."""
         return cls(*record)
 
     def __repr__(self):

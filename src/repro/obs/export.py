@@ -9,7 +9,12 @@ here so they cannot drift apart:
   per-syscall tables from :func:`layer_rows` and :func:`syscall_rows`;
 * host-side tooling serialises event streams with
   :func:`events_to_jsonl` and metric snapshots with
-  :func:`snapshot_to_json`.
+  :func:`snapshot_to_json`;
+* span traces (see :mod:`repro.obs.spans`) become Chrome trace-event
+  JSON via :func:`chrome_trace` — one track per simulated pid, flow
+  arrows for the cross-process causal edges — which loads directly in
+  Perfetto or ``chrome://tracing``; :func:`validate_chrome_trace`
+  checks a document against the spec so exports never silently break.
 """
 
 import json
@@ -44,6 +49,8 @@ def event_to_dict(event):
         "kind": event.kind,
         "name": event.name,
         "detail": event.detail,
+        "span": event.span,
+        "cause": event.cause,
     }
 
 
@@ -64,7 +71,10 @@ def format_record(record):
 
     The layout follows BSD ``kdump``: pid and command, then a short kind
     mnemonic (``CALL*`` marks a trap redirected to an agent, ``CALL``
-    the uninterposed kernel path), then the call name and detail.
+    the uninterposed kernel path), then the call name and detail.  When
+    span tracing stamped causal ids onto the record, they are appended
+    as a ``[span=N cause=M]`` suffix; with tracing off (both ids zero)
+    the line is byte-identical to the historic format.
     """
     if isinstance(record, tuple):
         record = ev.Event.from_tuple(record)
@@ -73,8 +83,12 @@ def format_record(record):
     if record.detail:
         rest = (rest + " " if rest else "") + record.detail
     stamp = "%d.%06d" % divmod(record.time_usec, 1_000_000)
-    return "%6d %s %5d %-8s %-6s %s" % (
+    line = "%6d %s %5d %-8s %-6s %s" % (
         record.seq, stamp, record.pid, record.comm, short, rest.rstrip())
+    if record.span or record.cause:
+        line = "%s [span=%d cause=%d]" % (line.rstrip(), record.span,
+                                          record.cause)
+    return line
 
 
 def kdump_lines(records, dropped=0):
@@ -82,6 +96,141 @@ def kdump_lines(records, dropped=0):
     lines = [format_record(record) for record in records]
     lines.append("%d events, %d dropped" % (len(records), dropped))
     return lines
+
+
+def chrome_trace(assembler, workload=""):
+    """Render an assembled span trace as a Chrome trace-event document.
+
+    *assembler* is a :class:`repro.obs.spans.SpanAssembler` (close open
+    spans with :meth:`~repro.obs.spans.SpanAssembler.close_open` first
+    for a tidy timeline).  Returns a dict ready for ``json.dump``: the
+    JSON-object trace format with a ``traceEvents`` array that Perfetto
+    and ``chrome://tracing`` load directly.
+
+    Layout: one track per simulated pid (``pid`` and ``tid`` both carry
+    the simulated pid; a ``process_name`` metadata event labels each
+    with pid and command), one complete ``"X"`` slice per span (``ts``
+    and ``dur`` in virtual-clock microseconds, normalised so the trace
+    starts at 0), and one ``"s"``/``"f"`` flow-event pair per causal
+    edge so fork/exec/pipe/signal causality renders as arrows between
+    tracks.
+    """
+    spans = assembler.finished()
+    edges = assembler.all_edges()
+    closed = [s for s in spans if s.end_usec is not None]
+    t0 = min([s.start_usec for s in closed]
+             + [e.src_usec for e in edges], default=0)
+    trace_events = []
+    comms = {}
+    for span in closed:
+        comms[span.pid] = span.comm  # latest wins (comm changes on exec)
+        args = {"sid": span.sid, "kind": span.kind}
+        if span.detail:
+            args["detail"] = span.detail
+        if span.cause:
+            args["cause"] = span.cause
+        trace_events.append({
+            "name": span.name or span.kind,
+            "cat": span.kind,
+            "ph": "X",
+            "ts": span.start_usec - t0,
+            "dur": span.end_usec - span.start_usec,
+            "pid": span.pid,
+            "tid": span.pid,
+            "args": args,
+        })
+    for flow_id, edge in enumerate(edges, start=1):
+        common = {"name": edge.kind, "cat": "edge." + edge.kind,
+                  "id": flow_id}
+        trace_events.append(dict(common, ph="s", pid=edge.src_pid,
+                                 tid=edge.src_pid,
+                                 ts=edge.src_usec - t0))
+        trace_events.append(dict(common, ph="f", bp="e", pid=edge.dst_pid,
+                                 tid=edge.dst_pid,
+                                 ts=edge.dst_usec - t0))
+    trace_events.sort(key=lambda e: (e["ts"], e["pid"], e["ph"] != "s"))
+    meta = [{"name": "process_name", "ph": "M", "pid": pid, "tid": pid,
+             "args": {"name": "pid %d (%s)" % (pid, comm)}}
+            for pid, comm in sorted(comms.items())]
+    doc = {
+        "traceEvents": meta + trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {"clock": "virtual-usec", "spans": len(closed),
+                      "edges": len(edges)},
+    }
+    if workload:
+        doc["otherData"]["workload"] = workload
+    return doc
+
+
+def validate_chrome_trace(doc):
+    """Check *doc* against the Chrome trace-event spec; raise on error.
+
+    Validates what Perfetto actually depends on: a ``traceEvents``
+    array; required keys per phase (``ph``/``pid``/``tid``/``ts`` on
+    slices and flows, non-negative ``dur`` on complete ``"X"`` events);
+    per-track monotone non-decreasing timestamps; matched ``B``/``E``
+    begin/end pairs; and ``s``/``f`` flow ids that pair up exactly.
+    Raises :class:`ValueError` naming the first offending event;
+    returns a summary dict of counts on success.
+    """
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        raise ValueError("trace document must be a dict with traceEvents")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        raise ValueError("traceEvents must be a list")
+    counts = {"X": 0, "M": 0, "flows": 0, "tracks": 0}
+    last_ts = {}
+    begin_stacks = {}
+    flow_starts = {}
+    flow_ends = {}
+    for idx, event in enumerate(events):
+        if not isinstance(event, dict) or "ph" not in event:
+            raise ValueError("event %d: not a dict with a ph" % idx)
+        ph = event["ph"]
+        if ph == "M":
+            if "name" not in event or "pid" not in event:
+                raise ValueError("event %d: metadata needs name+pid" % idx)
+            counts["M"] += 1
+            continue
+        for key in ("pid", "tid", "ts", "name"):
+            if key not in event:
+                raise ValueError("event %d (ph=%s): missing %s"
+                                 % (idx, ph, key))
+        track = (event["pid"], event["tid"])
+        if event["ts"] < last_ts.get(track, 0):
+            raise ValueError("event %d: ts %s goes backward on track %s"
+                             % (idx, event["ts"], track))
+        last_ts[track] = event["ts"]
+        if ph == "X":
+            if event.get("dur", -1) < 0:
+                raise ValueError("event %d: X needs dur >= 0" % idx)
+            counts["X"] += 1
+        elif ph == "B":
+            begin_stacks.setdefault(track, []).append(event["name"])
+        elif ph == "E":
+            stack = begin_stacks.get(track)
+            if not stack:
+                raise ValueError("event %d: E without B on track %s"
+                                 % (idx, track))
+            stack.pop()
+        elif ph in ("s", "f"):
+            if "id" not in event:
+                raise ValueError("event %d: flow event needs an id" % idx)
+            store = flow_starts if ph == "s" else flow_ends
+            store[event["id"]] = store.get(event["id"], 0) + 1
+        else:
+            raise ValueError("event %d: unknown phase %r" % (idx, ph))
+    for track, stack in begin_stacks.items():
+        if stack:
+            raise ValueError("unclosed B event(s) %s on track %s"
+                             % (stack, track))
+    if set(flow_starts) != set(flow_ends):
+        raise ValueError("unpaired flow ids: starts %s vs finishes %s"
+                         % (sorted(flow_starts), sorted(flow_ends)))
+    counts["flows"] = len(flow_starts)
+    counts["tracks"] = len(last_ts)
+    return counts
 
 
 def layer_rows(metrics):

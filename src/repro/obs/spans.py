@@ -1,0 +1,359 @@
+"""Causal spans: assembling the flat event stream into a trace.
+
+The event bus (:mod:`repro.obs.events`) tells you *what* happened; this
+module reconstructs *why*.  A :class:`SpanAssembler` installed on the
+observability switchboard (``obs.enable(kernel, spans=True)`` or
+``Kernel(obs="spans")``) watches every emitted event and assembles:
+
+* **Spans** — intervals of virtual-clock time with a kind, a pid, and a
+  parent.  Every trap becomes a span (``trap.kernel`` or ``trap.agent``
+  by the path it took); an agent's ``htg_unix_syscall`` downcalls become
+  ``htg`` child spans inside the agent span; a pipe sleep becomes a
+  ``pipe.blocked`` child span from ``pipe.block`` to ``pipe.wakeup``;
+  an agent's signal routing becomes a ``signal.blocked`` span from
+  ``signal.upcall`` to the matching ``signal.deliver``.
+* **Edges** — cross-process causal links: ``fork`` (the parent's
+  ``proc.fork`` to the child's first event), ``exec`` (a ``proc.execve``
+  or ``jump_to_image`` to the new image's first trap), ``pipe`` (the
+  *waker's* last call to the sleeper's ``pipe.wakeup``), and ``signal``
+  (``signal.upcall`` to ``signal.deliver``).
+
+Every observed event is stamped in place: ``event.span`` gets the id of
+the span it opens, closes, or marks, and ``event.cause`` the sequence
+number of its causal predecessor — so the same ids ride along into the
+ktrace ring buffer, ``kdump`` output, and the JSON-lines export.
+
+Pay-per-use: the assembler only runs when installed (``obs.spans`` is
+``None`` by default and the trap spine's probes are unchanged); when
+installed it costs one dict-driven state update per event, under its own
+leaf lock (events arrive concurrently from every simulated process's
+host thread).
+
+Consumers: :func:`repro.obs.export.chrome_trace` renders spans + edges
+as Chrome trace-event JSON (Perfetto/chrome://tracing load it directly)
+and :func:`repro.obs.critical.critical_path` walks the edges backward to
+attribute the workload's longest dependency chain.
+"""
+
+import itertools
+import threading
+
+from repro.obs import events as ev
+
+#: span kinds an assembler produces, in rough nesting order
+SPAN_KINDS = (
+    ev.TRAP_KERNEL,   # an uninterposed trap handled by the kernel
+    ev.TRAP_AGENT,    # a trap redirected to an agent handler
+    "htg",            # an agent's htg_unix_syscall downcall
+    "pipe.blocked",   # a sleep on a pipe end (block -> wakeup)
+    "signal.blocked", # agent signal routing (upcall -> deliver)
+)
+
+#: causal edge kinds (cross-process arrows in the exported timeline)
+EDGE_KINDS = ("fork", "exec", "pipe", "signal")
+
+
+class Span:
+    """One interval of a process's life on the virtual clock.
+
+    ``sid`` is the assembler-local span id (also stamped into the
+    opening/closing events); ``parent`` is the enclosing span's sid (0
+    for a top-level span); ``cause`` is the sequence number of the event
+    that causally released this span (the upcall behind a
+    ``signal.blocked`` span, the waker's call behind a ``pipe.blocked``
+    one — 0 when unknown).  ``end_usec`` is ``None`` while the span is
+    still open.
+    """
+
+    __slots__ = ("sid", "pid", "comm", "kind", "name", "detail",
+                 "start_usec", "end_usec", "parent", "cause",
+                 "open_seq", "close_seq")
+
+    def __init__(self, sid, pid, comm, kind, name="", detail="",
+                 start_usec=0, parent=0, open_seq=0):
+        self.sid = sid
+        self.pid = pid
+        self.comm = comm
+        self.kind = kind
+        self.name = name
+        self.detail = detail
+        self.start_usec = start_usec
+        self.end_usec = None
+        self.parent = parent
+        self.cause = 0
+        self.open_seq = open_seq
+        self.close_seq = 0
+
+    def duration_usec(self):
+        """The span's virtual-clock length (0 while still open)."""
+        if self.end_usec is None:
+            return 0
+        return self.end_usec - self.start_usec
+
+    def __repr__(self):
+        return "<Span #%d %s pid=%d %s [%s..%s]>" % (
+            self.sid, self.kind, self.pid, self.name,
+            self.start_usec, self.end_usec)
+
+
+class Edge:
+    """A causal link from one process's event to another's.
+
+    ``kind`` is one of :data:`EDGE_KINDS`; the source is the causing
+    event (``src_seq`` may be 0 when the cause could not be resolved,
+    e.g. a pipe wakeup whose waker was a close on an unobserved path).
+    """
+
+    __slots__ = ("kind", "src_seq", "src_pid", "src_usec",
+                 "dst_seq", "dst_pid", "dst_usec")
+
+    def __init__(self, kind, src_seq, src_pid, src_usec,
+                 dst_seq, dst_pid, dst_usec):
+        self.kind = kind
+        self.src_seq = src_seq
+        self.src_pid = src_pid
+        self.src_usec = src_usec
+        self.dst_seq = dst_seq
+        self.dst_pid = dst_pid
+        self.dst_usec = dst_usec
+
+    def __repr__(self):
+        return "<Edge %s #%d pid=%d -> #%d pid=%d>" % (
+            self.kind, self.src_seq, self.src_pid,
+            self.dst_seq, self.dst_pid)
+
+
+class SpanAssembler:
+    """Builds the cross-process span trace from the live event stream.
+
+    One instance per observability switchboard; installed via
+    ``obs.enable(kernel, spans=True)`` /
+    ``Observability.enable_spans``.  All state is guarded by one leaf
+    lock, so events may arrive from any simulated process's thread.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._sid = itertools.count(1)
+        #: finished spans, in close order
+        self.spans = []
+        #: cross-process causal edges, in creation order
+        self.edges = []
+        #: events observed (all kinds, all pids)
+        self.events = 0
+        # per-pid open-span stacks and causal bookkeeping
+        self._stacks = {}         # pid -> [open Span, ...] innermost last
+        self._pending_fork = {}   # child pid -> parent's proc.fork Event
+        self._pending_exec = {}   # pid -> its proc.execve Event
+        self._pending_upcall = {} # (pid, signame) -> signal.upcall Event
+        self._last = {}           # pid -> (seq, usec) of the pid's last event
+
+    # -- emission-side entry point ---------------------------------------
+
+    def observe(self, event, link_pid=0):
+        """Fold one event into the trace, stamping ``span``/``cause``.
+
+        Called synchronously from ``Observability.emit`` *before* the
+        event reaches the ring buffer and the bus, so the stamped ids
+        are visible to every downstream consumer.  ``link_pid`` names
+        the other process involved, when the emitter knows one (the
+        fork child, the pipe waker).
+        """
+        with self._lock:
+            self.events += 1
+            pid = event.pid
+            kind = event.kind
+            # A pid's very first event resolves a pending fork edge.
+            pending = self._pending_fork.pop(pid, None)
+            if pending is not None:
+                self._edge("fork", pending, event)
+                if not event.cause:
+                    event.cause = pending.seq
+            if kind == ev.TRAP_AGENT or kind == ev.TRAP_KERNEL:
+                self._on_trap_enter(event)
+            elif kind == ev.TRAP_RET:
+                self._on_trap_ret(event)
+            elif kind == ev.HTG:
+                self._on_htg(event)
+            elif kind == ev.PIPE_BLOCK:
+                self._on_pipe_block(event)
+            elif kind == ev.PIPE_WAKEUP:
+                self._on_pipe_wakeup(event, link_pid)
+            elif kind == ev.SIG_UPCALL:
+                self._on_sig_upcall(event)
+            elif kind == ev.SIG_DELIVER:
+                self._on_sig_deliver(event)
+            elif kind == ev.PROC_FORK:
+                if link_pid:
+                    self._pending_fork[link_pid] = event
+            elif kind == ev.PROC_EXECVE:
+                self._close_top_htg(pid, event.time_usec, event.seq)
+                self._pending_exec[pid] = event
+            elif kind == ev.PROC_EXIT:
+                self._on_exit(event)
+            self._last[pid] = (event.seq, event.time_usec)
+
+    # -- per-kind assembly (lock held) -----------------------------------
+
+    def _open(self, event, kind, name, detail=""):
+        stack = self._stacks.setdefault(event.pid, [])
+        span = Span(next(self._sid), event.pid, event.comm, kind, name,
+                    detail, start_usec=event.time_usec,
+                    parent=stack[-1].sid if stack else 0,
+                    open_seq=event.seq)
+        stack.append(span)
+        return span
+
+    def _close(self, span, usec, seq):
+        span.end_usec = usec
+        span.close_seq = seq
+        self.spans.append(span)
+
+    def _close_top_htg(self, pid, usec, seq):
+        # An htg downcall has no return event of its own; it ends when
+        # the process's next event arrives (exact in virtual time: agent
+        # Python between the downcall's return and that event ticks no
+        # virtual clock).  A pipe.block nests *inside* the downcall, so
+        # its handler does not call this.
+        stack = self._stacks.get(pid)
+        if stack and stack[-1].kind == "htg":
+            self._close(stack.pop(), usec, seq)
+
+    def _edge(self, kind, src_event, dst_event):
+        self.edges.append(Edge(kind, src_event.seq, src_event.pid,
+                               src_event.time_usec, dst_event.seq,
+                               dst_event.pid, dst_event.time_usec))
+
+    def _on_trap_enter(self, event):
+        pid = event.pid
+        self._close_top_htg(pid, event.time_usec, event.seq)
+        pending = self._pending_exec.pop(pid, None)
+        if pending is not None:
+            self._edge("exec", pending, event)
+            if not event.cause:
+                event.cause = pending.seq
+        span = self._open(event, event.kind, event.name, event.detail)
+        event.span = span.sid
+
+    def _on_trap_ret(self, event):
+        # Close the matching trap span, and with it anything still open
+        # above it (an htg cut short by an unwind, an orphaned block).
+        stack = self._stacks.get(event.pid)
+        if not stack:
+            return
+        match = None
+        for span in reversed(stack):
+            if (span.kind in (ev.TRAP_AGENT, ev.TRAP_KERNEL)
+                    and span.name == event.name):
+                match = span
+                break
+        if match is None:
+            return
+        while True:
+            span = stack.pop()
+            self._close(span, event.time_usec, event.seq)
+            if span is match:
+                break
+        event.span = match.sid
+
+    def _on_htg(self, event):
+        self._close_top_htg(event.pid, event.time_usec, event.seq)
+        span = self._open(event, "htg", event.name, event.detail)
+        event.span = span.sid
+
+    def _on_pipe_block(self, event):
+        span = self._open(event, "pipe.blocked", event.name, event.detail)
+        event.span = span.sid
+
+    def _on_pipe_wakeup(self, event, waker_pid):
+        stack = self._stacks.get(event.pid)
+        if not (stack and stack[-1].kind == "pipe.blocked"):
+            return
+        span = stack.pop()
+        if waker_pid and waker_pid != event.pid:
+            last = self._last.get(waker_pid)
+            if last is not None:
+                span.cause = last[0]
+                event.cause = last[0]
+                self.edges.append(Edge("pipe", last[0], waker_pid, last[1],
+                                       event.seq, event.pid,
+                                       event.time_usec))
+        self._close(span, event.time_usec, event.seq)
+        event.span = span.sid
+
+    def _on_sig_upcall(self, event):
+        self._pending_upcall[(event.pid, event.name)] = event
+
+    def _on_sig_deliver(self, event):
+        upcall = self._pending_upcall.pop((event.pid, event.name), None)
+        if upcall is None:
+            return
+        # The routing interval is a closed span in its own right: the
+        # time between the kernel handing the signal to the agent and
+        # the application's disposition finally running.
+        stack = self._stacks.get(event.pid)
+        span = Span(next(self._sid), event.pid, event.comm,
+                    "signal.blocked", event.name,
+                    start_usec=upcall.time_usec,
+                    parent=stack[-1].sid if stack else 0,
+                    open_seq=upcall.seq)
+        span.cause = upcall.seq
+        self._close(span, event.time_usec, event.seq)
+        event.span = span.sid
+        event.cause = upcall.seq
+        self._edge("signal", upcall, event)
+
+    def _on_exit(self, event):
+        # The exit trap never returns; its "unwound" trap.ret will still
+        # arrive and close the exit span itself.  Close anything the
+        # process leaves open besides that, and drop its causal state.
+        pid = event.pid
+        stack = self._stacks.get(pid, [])
+        while len(stack) > 1:
+            self._close(stack.pop(), event.time_usec, event.seq)
+        self._pending_exec.pop(pid, None)
+        for key in [k for k in self._pending_upcall if k[0] == pid]:
+            del self._pending_upcall[key]
+
+    # -- consumer-side reads ---------------------------------------------
+
+    def close_open(self, at_usec=None):
+        """Close every still-open span (e.g. a process that never
+        exited) at *at_usec* (default: each pid's last event time)."""
+        with self._lock:
+            for pid, stack in self._stacks.items():
+                last = self._last.get(pid, (0, at_usec or 0))
+                usec = at_usec if at_usec is not None else last[1]
+                while stack:
+                    self._close(stack.pop(), usec, last[0])
+
+    def finished(self):
+        """A snapshot list of the closed spans, in close order."""
+        with self._lock:
+            return list(self.spans)
+
+    def all_edges(self):
+        """A snapshot list of the causal edges, in creation order."""
+        with self._lock:
+            return list(self.edges)
+
+    def open_count(self):
+        """How many spans are currently open across all processes."""
+        with self._lock:
+            return sum(len(stack) for stack in self._stacks.values())
+
+    def counts(self):
+        """Summary counters (the ``kernel_stats`` / monitor section)."""
+        with self._lock:
+            open_spans = sum(len(s) for s in self._stacks.values())
+            by_kind = {}
+            for edge in self.edges:
+                by_kind[edge.kind] = by_kind.get(edge.kind, 0) + 1
+            return {
+                "enabled": True,
+                "events": self.events,
+                "spans": len(self.spans),
+                "open": open_spans,
+                "edges": len(self.edges),
+                "edges_by_kind": by_kind,
+            }

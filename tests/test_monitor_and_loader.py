@@ -1,10 +1,18 @@
 """Tests for the monitor agent and the generic agent loader."""
 
+import json
+
 import pytest
 
 from repro.agents.monitor import MonitorAgent
 from repro.kernel.proc import WEXITSTATUS
 from repro.toolkit import run_under_agent
+
+#: the pinned key set of the --json report; bump schema_version on change
+MONITOR_JSON_SCHEMA_V2 = frozenset({
+    "schema_version", "calls", "errors", "bytes_read", "bytes_written",
+    "forks", "opens_by_path", "signals", "kernel", "spans",
+})
 
 
 def test_monitor_counts_calls(world):
@@ -51,6 +59,48 @@ def test_monitor_counts_signals(world):
 
     world.run_entry(main)
     assert agent.signals == {sig.SIGUSR1: 1}
+
+
+def test_monitor_json_report_schema_golden(world):
+    """The --json report's top-level shape is a frozen contract."""
+    agent = MonitorAgent("/tmp/mon.json")
+    agent.json_report = True
+    status = run_under_agent(world, agent, "/bin/sh", ["sh", "-c", "echo hi"])
+    assert WEXITSTATUS(status) == 0
+    doc = json.loads(world.read_file("/tmp/mon.json").decode())
+    assert set(doc) == MONITOR_JSON_SCHEMA_V2
+    assert doc["schema_version"] == 2
+    assert doc["calls"]["write"] >= 1
+    # Span tracing was off, and the report says so explicitly.
+    assert doc["spans"] == {"enabled": False}
+    assert doc["kernel"]["spans"] == {"enabled": False}
+
+
+def test_monitor_json_report_spans_section(world):
+    """With span tracing on, the report carries the kernel's span counts."""
+    from repro import obs
+
+    obs.enable(world, spans=True)
+    agent = MonitorAgent("/tmp/mon_spans.json")
+    agent.json_report = True
+    status = run_under_agent(world, agent, "/bin/sh", ["sh", "-c", "echo hi"])
+    assert WEXITSTATUS(status) == 0
+    doc = json.loads(world.read_file("/tmp/mon_spans.json").decode())
+    assert set(doc) == MONITOR_JSON_SCHEMA_V2
+    assert doc["spans"]["enabled"] is True
+    assert doc["spans"]["spans"] > 0
+    assert set(doc["spans"]["edges_by_kind"]) <= {"fork", "exec", "pipe",
+                                                  "signal"}
+
+
+def test_loader_monitor_json_flag(world):
+    """agentrun forwards --json to the monitor agent."""
+    status = world.run(
+        "/bin/sh",
+        ["sh", "-c", "agentrun monitor /tmp/m4.json --json -- echo hi"])
+    assert WEXITSTATUS(status) == 0
+    doc = json.loads(world.read_file("/tmp/m4.json").decode())
+    assert doc["schema_version"] == 2 and "spans" in doc
 
 
 # -- the agent loader program --------------------------------------------

@@ -1,0 +1,383 @@
+"""Tests for causal span assembly, cross-process edges, and the critical path.
+
+Covers the span layer end to end: per-trap spans on both dispatch paths,
+htg downcalls as children of agent spans, the four causal edge kinds
+(fork, exec, pipe, signal), the same edges recovered under union+txn
+agent stacks, the pay-per-use guarantee with spans off, the
+``Kernel(obs=...)`` boot spec, in-world introspection via
+``kernel_stats``, and the critical-path walk's 100%-attribution
+invariant.
+"""
+
+import pytest
+
+from repro import obs
+from repro.agents.monitor import MonitorAgent
+from repro.agents.txn import TxnAgent
+from repro.agents.union_dirs import UnionAgent
+from repro.kernel import Kernel
+from repro.kernel.proc import WEXITSTATUS
+from repro.kernel.sysent import number_of
+from repro.obs import events as ev
+from repro.obs.critical import BUCKETS, critical_path
+from repro.obs.spans import SpanAssembler
+from repro.workloads import boot_world
+
+NR_GETPID = number_of("getpid")
+NR_FORK = number_of("fork")
+NR_WAIT = number_of("wait")
+NR_KILL = number_of("kill")
+NR_SIGVEC = number_of("sigvec")
+NR_KERNEL_STATS = number_of("kernel_stats")
+NR_SET_REDIRECT = number_of("task_set_signal_redirect")
+
+#: corpus big enough that every pipeline stage genuinely blocks
+CORPUS = b"interposition agents compose\n" * 2000
+
+
+def _spans_by_kind(assembler):
+    out = {}
+    for span in assembler.finished():
+        out.setdefault(span.kind, []).append(span)
+    return out
+
+
+def _edges_by_kind(assembler):
+    out = {}
+    for edge in assembler.all_edges():
+        out.setdefault(edge.kind, []).append(edge)
+    return out
+
+
+def _run_pipeline(stack):
+    """The 3-stage pipeline, bare or under a union+txn agent stack."""
+    world = boot_world(obs="spans")
+    world.mkdir_p("/data")
+    world.write_file("/data/corpus", CORPUS)
+    if stack == "bare":
+        status = world.run("/bin/sh", ["sh", "-c",
+                                       "cat /data/corpus | sort | wc"])
+    else:
+        union = UnionAgent()
+        union.pset.add_union("/view", ["/data"])
+        txn = TxnAgent(scratch_dir="/tmp/spans.txn", outcome="commit")
+        agents = [union, txn]
+
+        def loader(ctx):
+            for agent in agents:
+                agent.attach(ctx)
+            agents[-1].exec_client(
+                "/bin/sh", ["sh", "-c", "cat /view/corpus | sort | wc"], {})
+
+        status = world.run_entry(loader)
+    assert WEXITSTATUS(status) == 0
+    world.obs.spans.close_open()
+    return world
+
+
+# -- span assembly on the two dispatch paths -----------------------------
+
+
+def test_kernel_path_traps_become_spans(kernel, run_entry):
+    obs.enable(kernel, spans=True)
+
+    def main(ctx):
+        ctx.trap(NR_GETPID)
+        ctx.trap(NR_GETPID)
+        return 0
+
+    assert run_entry(main) == 0
+    kernel.obs.spans.close_open()
+    by_kind = _spans_by_kind(kernel.obs.spans)
+    getpids = [s for s in by_kind[ev.TRAP_KERNEL] if s.name == "getpid"]
+    assert len(getpids) == 2
+    for span in getpids:
+        assert span.parent == 0
+        assert span.end_usec is not None and span.end_usec > span.start_usec
+        assert span.close_seq > span.open_seq
+
+
+def test_agent_path_nests_htg_downcalls(kernel, run_entry):
+    obs.enable(kernel, spans=True)
+
+    def main(ctx):
+        ctx.trap(number_of("task_set_emulation"), [NR_GETPID],
+                 lambda hctx, n, a: hctx.htg(n, *a))
+        ctx.trap(NR_GETPID)
+        return 0
+
+    assert run_entry(main) == 0
+    kernel.obs.spans.close_open()
+    by_kind = _spans_by_kind(kernel.obs.spans)
+    agent_spans = [s for s in by_kind[ev.TRAP_AGENT] if s.name == "getpid"]
+    assert len(agent_spans) == 1
+    htg_children = [s for s in by_kind["htg"]
+                    if s.parent == agent_spans[0].sid]
+    assert len(htg_children) == 1 and htg_children[0].name == "getpid"
+    # The downcall nests inside the agent trap span in time too.
+    assert agent_spans[0].start_usec <= htg_children[0].start_usec
+    assert htg_children[0].end_usec <= agent_spans[0].end_usec
+
+
+# -- fork -> child causal linkage ----------------------------------------
+
+
+def test_fork_edge_links_child_first_event(kernel, run_entry):
+    obs.enable(kernel, spans=True)
+    seen = []
+    kernel.obs.bus.subscribe(seen.append)
+
+    def main(ctx):
+        ctx.trap(NR_FORK, lambda child: 0)
+        ctx.trap(NR_WAIT)
+        return 0
+
+    assert run_entry(main) == 0
+    kernel.obs.spans.close_open()
+    forks = _edges_by_kind(kernel.obs.spans)["fork"]
+    assert len(forks) == 1
+    edge = forks[0]
+    fork_events = [e for e in seen if e.kind == ev.PROC_FORK]
+    assert edge.src_seq == fork_events[0].seq
+    assert edge.src_pid == fork_events[0].pid
+    assert edge.dst_pid != edge.src_pid
+    # The child's first event is stamped with the fork as its cause.
+    child_first = min((e for e in seen if e.pid == edge.dst_pid),
+                      key=lambda e: e.seq)
+    assert child_first.seq == edge.dst_seq
+    assert child_first.cause == edge.src_seq
+
+
+# -- the 3-stage pipeline: pipe edges, bare and stacked ------------------
+
+
+@pytest.mark.parametrize("stack", ["bare", "union+txn"])
+def test_pipeline_pipe_edges(stack):
+    world = _run_pipeline(stack)
+    assembler = world.obs.spans
+    edges = _edges_by_kind(assembler)
+    # sh forks three stages, each execs its program.
+    assert len(edges["fork"]) == 3
+    assert len(edges["exec"]) >= 3
+    # The corpus exceeds PIPE_BUF, so stages really blocked: every pipe
+    # edge links a sleeper to a *different* process (its waker), both
+    # members of the pipeline.
+    assert edges.get("pipe"), "pipeline never blocked on its pipes"
+    pids = {e.dst_pid for e in edges["fork"]} | {edges["fork"][0].src_pid}
+    for edge in edges["pipe"]:
+        assert edge.src_pid != edge.dst_pid
+        assert edge.src_pid in pids and edge.dst_pid in pids
+        assert edge.src_seq < edge.dst_seq
+    # Every pipe edge closes a pipe.blocked span whose cause names the
+    # waker's event.
+    blocked = {s.close_seq: s for s in assembler.finished()
+               if s.kind == "pipe.blocked"}
+    linked = [blocked[e.dst_seq] for e in edges["pipe"]
+              if e.dst_seq in blocked]
+    assert linked, "pipe edges did not pair with pipe.blocked spans"
+    for span, edge in zip(linked, edges["pipe"]):
+        assert span.cause == edge.src_seq
+
+
+@pytest.mark.parametrize("stack", ["bare", "union+txn"])
+def test_pipeline_critical_path_fully_attributed(stack):
+    world = _run_pipeline(stack)
+    report = critical_path(world.obs.spans)
+    assert report.total_usec() > 0
+    # 100% attribution: the bucket totals tile the path exactly.
+    assert sum(report.buckets.values()) == report.total_usec()
+    assert set(report.buckets) <= set(BUCKETS)
+    # The walk crossed processes (wait handoff + pipe wakers).
+    assert report.hops > 0
+    chain_pids = {seg.pid for seg in report.segments}
+    assert len(chain_pids) >= 3
+    # Segments tile [start, end] contiguously, latest first.
+    cursor = report.end_usec
+    for seg in report.segments:
+        assert seg.end_usec == cursor
+        assert seg.start_usec < seg.end_usec
+        cursor = seg.start_usec
+    assert cursor == report.start_usec
+
+
+# -- signal upcall -> deliver, bare and stacked --------------------------
+
+
+def test_signal_edge_bare_redirect(kernel, run_entry):
+    obs.enable(kernel, spans=True)
+    seen = []
+    kernel.obs.bus.subscribe(seen.append)
+
+    def main(ctx):
+        from repro.kernel import signals as sig
+        from repro.kernel.trap import deliver_signal_to_application
+
+        ctx.trap(NR_SIGVEC, sig.SIGUSR1, lambda s: None, 0)
+        ctx.trap(NR_SET_REDIRECT,
+                 lambda c, s, a: deliver_signal_to_application(
+                     c.kernel, c.proc, s))
+        ctx.trap(NR_KILL, ctx.proc.pid, sig.SIGUSR1)
+        return 0
+
+    assert run_entry(main) == 0
+    kernel.obs.spans.close_open()
+    signal_edges = _edges_by_kind(kernel.obs.spans).get("signal", [])
+    assert len(signal_edges) == 1
+    upcalls = [e for e in seen if e.kind == ev.SIG_UPCALL]
+    delivers = [e for e in seen if e.kind == ev.SIG_DELIVER]
+    assert len(upcalls) == 1 and len(delivers) == 1
+    assert upcalls[0].seq < delivers[0].seq
+    assert signal_edges[0].src_seq == upcalls[0].seq
+    assert signal_edges[0].dst_seq == delivers[0].seq
+    assert delivers[0].cause == upcalls[0].seq
+    blocked = [s for s in kernel.obs.spans.finished()
+               if s.kind == "signal.blocked"]
+    assert len(blocked) == 1 and blocked[0].name == "SIGUSR1"
+
+
+@pytest.mark.parametrize("stack", ["monitor", "union+txn"])
+def test_signal_edge_under_agent_stack(stack, world):
+    """Symbolic-layer agents route signals; forwarding must produce the
+    upcall -> deliver pair (and edge) under single agents and stacks."""
+    from tests.conftest import install_program
+
+    obs.enable(world, spans=True)
+
+    def selfkill(s, argv, envp):
+        from repro.kernel import signals as sig
+
+        hits = []
+        s.sigvec(sig.SIGUSR1, lambda signum: hits.append(signum))
+        s.kill(s.getpid(), sig.SIGUSR1)
+        return 0 if hits == [sig.SIGUSR1] else 1
+
+    install_program(world, "selfkill", selfkill)
+    if stack == "monitor":
+        agents = [MonitorAgent("/tmp/spans_mon.out")]
+    else:
+        union = UnionAgent()
+        union.pset.add_union("/view", ["/bin"])
+        agents = [union, TxnAgent(scratch_dir="/tmp/spans_sig.txn",
+                                  outcome="commit")]
+
+    def loader(ctx):
+        for agent in agents:
+            agent.attach(ctx)
+        agents[-1].exec_client("/bin/selfkill", ["selfkill"], {})
+
+    status = world.run_entry(loader)
+    assert WEXITSTATUS(status) == 0
+    world.obs.spans.close_open()
+    edges = _edges_by_kind(world.obs.spans).get("signal", [])
+    assert [  # exactly the one SIGUSR1 routing, upcall before deliver
+        (e.src_pid == e.dst_pid and e.src_seq < e.dst_seq) for e in edges
+    ] == [True]
+    blocked = [s for s in world.obs.spans.finished()
+               if s.kind == "signal.blocked"]
+    assert len(blocked) == 1 and blocked[0].name == "SIGUSR1"
+    assert blocked[0].cause == edges[0].src_seq
+
+
+# -- pay-per-use and wiring ----------------------------------------------
+
+
+def test_spans_off_leaves_events_unstamped(kernel, run_entry):
+    switchboard = obs.enable(kernel)  # metrics, no spans
+    assert switchboard.spans is None
+    seen = []
+    switchboard.bus.subscribe(seen.append)
+
+    def main(ctx):
+        ctx.trap(NR_GETPID)
+        return 0
+
+    assert run_entry(main) == 0
+    assert seen
+    for event in seen:
+        assert event.span == 0 and event.cause == 0
+        assert len(event.to_tuple()) == 7
+
+
+def test_spans_alone_make_wants_true(kernel):
+    switchboard = obs.enable(kernel, spans=True)
+    proc = kernel._create_initial_process()
+    assert not switchboard.bus.active() and not proc.ktrace_on
+    assert switchboard.wants(proc)
+    switchboard.disable_spans()
+    assert not switchboard.wants(proc)
+
+
+def test_enable_disable_spans_roundtrip(kernel):
+    switchboard = obs.enable(kernel)
+    assert switchboard.spans is None
+    first = switchboard.enable_spans()
+    assert switchboard.enable_spans() is first  # idempotent
+    detached = switchboard.disable_spans()
+    assert detached is first and switchboard.spans is None
+    # enable() with spans=True on an already-enabled kernel is additive.
+    assert obs.enable(kernel, spans=True) is switchboard
+    assert switchboard.spans is not None
+
+
+def test_kernel_obs_spec():
+    assert Kernel().obs is None
+    metrics_only = Kernel(obs=True).obs
+    assert metrics_only is not None and metrics_only.spans is None
+    spanned = Kernel(obs="spans").obs
+    assert spanned.spans is not None
+    both = Kernel(obs="trace,spans").obs
+    assert both.trace_all and both.spans is not None
+    with pytest.raises(ValueError):
+        Kernel(obs="sporks")
+
+
+def test_kernel_stats_reports_span_counts(kernel, run_entry):
+    obs.enable(kernel, spans=True)
+    stats_holder = []
+
+    def main(ctx):
+        ctx.trap(NR_GETPID)
+        stats_holder.append(ctx.trap(NR_KERNEL_STATS))
+        return 0
+
+    assert run_entry(main) == 0
+    stats = stats_holder[0]["spans"]
+    assert stats["enabled"] is True
+    assert stats["events"] > 0 and stats["spans"] > 0
+    # And with spans off the section says so.
+    bare = Kernel()
+    holder = []
+    bare.run_entry(lambda ctx: holder.append(ctx.trap(NR_KERNEL_STATS)) or 0)
+    assert holder[0]["spans"] == {"enabled": False}
+
+
+def test_snapshot_includes_spans_section(kernel, run_entry):
+    switchboard = obs.enable(kernel, spans=True)
+
+    def main(ctx):
+        ctx.trap(NR_GETPID)
+        return 0
+
+    assert run_entry(main) == 0
+    snap = switchboard.snapshot()
+    assert snap["spans"]["enabled"] is True
+    assert snap["spans"]["events"] > 0
+    switchboard.disable_spans()
+    assert switchboard.snapshot()["spans"] == {"enabled": False}
+
+
+def test_close_open_closes_dangling_spans():
+    assembler = SpanAssembler()
+    event = ev.Event(1, 1000, 7, "prog", ev.TRAP_KERNEL, "read")
+    assembler.observe(event)
+    assert assembler.open_count() == 1
+    assembler.close_open(at_usec=2500)
+    assert assembler.open_count() == 0
+    span = assembler.finished()[-1]
+    assert span.name == "read" and span.end_usec == 2500
+
+
+def test_critical_path_empty_trace():
+    report = critical_path(SpanAssembler())
+    assert report.total_usec() == 0
+    assert report.segments == [] and report.buckets == {}

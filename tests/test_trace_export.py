@@ -1,0 +1,222 @@
+"""Tests for the Chrome trace export, its validator, and kdump stability.
+
+Satellite guarantees of the span-tracing PR: the exported trace-event
+JSON obeys what Perfetto depends on (required keys per phase, monotone
+per-track timestamps, matched begin/end, paired flow ids); the
+validator rejects each class of malformed document; and ``kdump``
+output is *byte-identical* to the historic format whenever span tracing
+never stamped a record — golden strings pin that down.
+"""
+
+import pytest
+
+from repro.kernel.proc import WEXITSTATUS
+from repro.obs import events as ev
+from repro.obs.export import (chrome_trace, event_to_dict, format_record,
+                              kdump_lines, validate_chrome_trace)
+from repro.workloads import boot_world
+
+
+@pytest.fixture(scope="module")
+def pipeline_trace():
+    """One traced 3-stage pipeline, shared by the export tests."""
+    world = boot_world(obs="spans")
+    world.mkdir_p("/data")
+    world.write_file("/data/corpus", b"sort me please, i am a corpus\n" * 1500)
+    status = world.run("/bin/sh", ["sh", "-c", "cat /data/corpus | sort | wc"])
+    assert WEXITSTATUS(status) == 0
+    world.obs.spans.close_open()
+    return world.obs.spans, chrome_trace(world.obs.spans, workload="pipeline")
+
+
+# -- the real export passes the spec -------------------------------------
+
+
+def test_pipeline_export_is_spec_valid(pipeline_trace):
+    assembler, doc = pipeline_trace
+    summary = validate_chrome_trace(doc)
+    assert summary["X"] == sum(1 for s in assembler.finished()
+                               if s.end_usec is not None)
+    assert summary["flows"] == len(assembler.all_edges())
+    assert summary["flows"] > 0
+
+
+def test_one_track_and_metadata_per_pid(pipeline_trace):
+    assembler, doc = pipeline_trace
+    pids = {s.pid for s in assembler.finished()}
+    slices = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    assert {e["pid"] for e in slices} == pids
+    for entry in slices:
+        assert entry["tid"] == entry["pid"]  # one track per process
+    meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+    assert {e["pid"] for e in meta} == pids
+    for entry in meta:
+        assert entry["name"] == "process_name"
+        assert entry["args"]["name"].startswith("pid %d (" % entry["pid"])
+
+
+def test_flow_arrows_cross_processes(pipeline_trace):
+    assembler, doc = pipeline_trace
+    flows = {}
+    for entry in doc["traceEvents"]:
+        if entry["ph"] in ("s", "f"):
+            flows.setdefault(entry["id"], {})[entry["ph"]] = entry
+    assert len(flows) == len(assembler.all_edges())
+    cats = set()
+    for pair in flows.values():
+        assert set(pair) == {"s", "f"}
+        assert pair["f"]["bp"] == "e"
+        assert pair["s"]["ts"] <= pair["f"]["ts"]
+        cats.add(pair["s"]["cat"])
+    # fork and pipe causality both render as arrows, between processes.
+    assert {"edge.fork", "edge.pipe"} <= cats
+    assert any(pair["s"]["pid"] != pair["f"]["pid"]
+               for pair in flows.values())
+
+
+def test_timestamps_normalised_to_trace_start(pipeline_trace):
+    _, doc = pipeline_trace
+    timed = [e for e in doc["traceEvents"] if "ts" in e]
+    assert min(e["ts"] for e in timed) == 0
+    assert doc["otherData"]["clock"] == "virtual-usec"
+    assert doc["otherData"]["workload"] == "pipeline"
+
+
+# -- validator negative cases --------------------------------------------
+
+
+def _minimal():
+    return {"traceEvents": [
+        {"name": "a", "ph": "X", "ts": 0, "dur": 5, "pid": 1, "tid": 1},
+        {"name": "b", "ph": "X", "ts": 2, "dur": 1, "pid": 1, "tid": 1},
+    ]}
+
+
+def test_validator_accepts_minimal_doc():
+    assert validate_chrome_trace(_minimal())["X"] == 2
+
+
+@pytest.mark.parametrize("mangle, message", [
+    (lambda d: d.pop("traceEvents"), "traceEvents"),
+    (lambda d: d.__setitem__("traceEvents", "nope"), "must be a list"),
+    (lambda d: d["traceEvents"][0].pop("ph"), "not a dict with a ph"),
+    (lambda d: d["traceEvents"][0].pop("ts"), "missing ts"),
+    (lambda d: d["traceEvents"][0].pop("pid"), "missing pid"),
+    (lambda d: d["traceEvents"][0].pop("name"), "missing name"),
+    (lambda d: d["traceEvents"][1].__setitem__("ts", -1), "goes backward"),
+    (lambda d: d["traceEvents"][0].pop("dur"), "dur >= 0"),
+    (lambda d: d["traceEvents"][0].__setitem__("ph", "Z"), "unknown phase"),
+])
+def test_validator_rejects_malformed(mangle, message):
+    doc = _minimal()
+    mangle(doc)
+    with pytest.raises(ValueError, match=message):
+        validate_chrome_trace(doc)
+
+
+def test_validator_rejects_unmatched_begin_end():
+    doc = {"traceEvents": [
+        {"name": "a", "ph": "B", "ts": 0, "pid": 1, "tid": 1},
+    ]}
+    with pytest.raises(ValueError, match="unclosed B"):
+        validate_chrome_trace(doc)
+    doc = {"traceEvents": [
+        {"name": "a", "ph": "E", "ts": 0, "pid": 1, "tid": 1},
+    ]}
+    with pytest.raises(ValueError, match="E without B"):
+        validate_chrome_trace(doc)
+
+
+def test_validator_rejects_unpaired_flow_ids():
+    doc = {"traceEvents": [
+        {"name": "x", "ph": "s", "id": 1, "ts": 0, "pid": 1, "tid": 1},
+        {"name": "x", "ph": "f", "id": 2, "ts": 1, "pid": 2, "tid": 2},
+    ]}
+    with pytest.raises(ValueError, match="unpaired flow ids"):
+        validate_chrome_trace(doc)
+
+
+def test_validator_rejects_metadata_without_pid():
+    doc = {"traceEvents": [{"ph": "M", "name": "process_name"}]}
+    with pytest.raises(ValueError, match="metadata needs name"):
+        validate_chrome_trace(doc)
+
+
+# -- kdump golden: byte-identical when spans never stamped ----------------
+
+
+def test_format_record_golden_unstamped():
+    event = ev.Event(3, 715_000_000_000_100, 1, "sh",
+                     ev.TRAP_KERNEL, "read", "fd=3")
+    assert format_record(event) == (
+        "     3 715000000.000100     1 sh       CALL   read fd=3")
+    agent = ev.Event(4, 715_000_000_000_200, 2, "cat", ev.TRAP_AGENT, "open")
+    assert format_record(agent) == (
+        "     4 715000000.000200     2 cat      CALL*  open")
+
+
+def test_format_record_golden_stamped():
+    event = ev.Event(3, 715_000_000_000_100, 1, "sh",
+                     ev.TRAP_KERNEL, "read", "fd=3", span=2, cause=7)
+    assert format_record(event) == (
+        "     3 715000000.000100     1 sh       CALL   read fd=3"
+        " [span=2 cause=7]")
+    # Either id alone is enough to earn the suffix.
+    cause_only = ev.Event(5, 715_000_000_000_300, 9, "wc",
+                          ev.PIPE_WAKEUP, "", "pipe", cause=12)
+    assert format_record(cause_only).endswith(" [span=0 cause=12]")
+
+
+def test_kdump_lines_golden():
+    records = [
+        ev.Event(1, 715_000_000_000_000, 1, "init", ev.PROC_FORK, "", "->2"),
+        ev.Event(2, 715_000_000_000_100, 2, "sh", ev.TRAP_KERNEL, "getpid"),
+    ]
+    assert kdump_lines(records) == [
+        "     1 715000000.000000     1 init     FORK   ->2",
+        "     2 715000000.000100     2 sh       CALL   getpid",
+        "2 events, 0 dropped",
+    ]
+
+
+def test_kdump_identical_with_and_without_span_fields():
+    """A record that spans never touched renders the same whether it was
+    stored as the historic 7-tuple or the widened 9-tuple."""
+    event = ev.Event(8, 715_000_000_001_000, 3, "sort",
+                     ev.TRAP_RET, "read", "=4096")
+    seven = event.to_tuple()
+    assert len(seven) == 7
+    nine = seven + (0, 0)
+    assert format_record(seven) == format_record(nine) == format_record(event)
+
+
+# -- serialisation round-trips -------------------------------------------
+
+
+def test_event_to_dict_always_has_span_fields():
+    plain = ev.Event(1, 1000, 1, "sh", ev.TRAP_KERNEL, "getpid")
+    doc = event_to_dict(plain)
+    assert doc["span"] == 0 and doc["cause"] == 0
+    stamped = ev.Event(2, 2000, 1, "sh", ev.TRAP_KERNEL, "read",
+                       span=4, cause=1)
+    doc = event_to_dict(stamped.to_tuple())
+    assert doc["span"] == 4 and doc["cause"] == 1
+
+
+def test_to_tuple_roundtrip_both_widths():
+    plain = ev.Event(1, 1000, 1, "sh", ev.TRAP_KERNEL, "getpid", "d")
+    assert ev.Event.from_tuple(plain.to_tuple()).to_tuple() == plain.to_tuple()
+    stamped = ev.Event(2, 2000, 1, "sh", ev.HTG, "read", span=3, cause=9)
+    wide = stamped.to_tuple()
+    assert len(wide) == 9
+    back = ev.Event.from_tuple(wide)
+    assert back.span == 3 and back.cause == 9
+    assert back.to_tuple() == wide
+
+
+def test_empty_assembler_exports_empty_valid_doc():
+    from repro.obs.spans import SpanAssembler
+
+    doc = chrome_trace(SpanAssembler())
+    summary = validate_chrome_trace(doc)
+    assert summary == {"X": 0, "M": 0, "flows": 0, "tracks": 0}

@@ -1,0 +1,20 @@
+#!/usr/bin/env python3
+"""agentlint — run repro.lint from a checkout without installing.
+
+Equivalent to the ``repro-lint`` console script::
+
+    PYTHONPATH=src python scripts/agentlint.py src/repro/agents src/repro/toolkit
+
+See docs/LINTING.md for the rule catalog.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+
+from repro.lint.cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,5 +21,8 @@ setup(
     package_dir={"": "src"},
     packages=find_packages(where="src"),
     extras_require={"test": ["pytest", "pytest-benchmark", "hypothesis"]},
+    entry_points={
+        "console_scripts": ["repro-lint=repro.lint.cli:main"],
+    },
     keywords="operating-systems interposition system-calls 4.3BSD mach",
 )

@@ -1,0 +1,40 @@
+"""repro.lint — agentlint, the static agent-protocol analyzer.
+
+The paper's Goal 2 requires that an agent "both use and provide the
+entire system interface"; until now that invariant was checked only
+dynamically (one representative call per syscall in
+``tests/test_completeness_sweep.py``).  This package proves the
+protocol obligations *statically* — agent modules are parsed, never
+executed — so a typo'd ``sys_*`` override, a swallowed signal, or a
+leaked open-object reference is caught at review time, before any
+workload happens to hit it.
+
+Seven rules, each with a stable id usable in
+``# repro-lint: disable=RULE`` suppressions (see
+:mod:`repro.lint.rules` and docs/LINTING.md):
+
+====  =================================================================
+L001  every ``sys_*`` override names a real syscall in sysent
+L002  ``init`` overrides chain to ``super().init`` or register
+L003  open-object incref/decref pair on every path through a method
+L004  error paths raise ``SyscallError`` with a known errno
+L005  signal-path overrides forward via ``signal_up``
+L006  agent code never imports ``repro.kernel`` internals
+L007  sysent ↔ SymbolicSyscall parity, in both directions
+====  =================================================================
+
+Entry points: the ``repro-lint`` console script (or
+``python scripts/agentlint.py``), and programmatically
+:func:`repro.lint.run_lint`.
+"""
+
+from repro.lint.engine import LintError, LintResult, run_lint
+from repro.lint.findings import ERROR, WARNING, Finding
+from repro.lint.protocol import ProtocolModel, load_protocol
+from repro.lint.rules import RULES, Rule, rule_ids
+
+__all__ = [
+    "ERROR", "WARNING", "Finding", "LintError", "LintResult",
+    "ProtocolModel", "RULES", "Rule", "load_protocol", "rule_ids",
+    "run_lint",
+]

@@ -1,0 +1,454 @@
+"""The rule implementations: AST passes over one parsed module.
+
+Everything here is static — agent modules are *parsed*, never imported,
+so linting cannot boot the world or run agent side effects (the same
+reason :mod:`repro.lint.protocol` reads the toolkit contract from
+source).  The per-file entry point is :func:`check_module`; the
+project-wide sysent ↔ symbolic parity pass is :func:`check_protocol`.
+
+Scope decisions each rule makes:
+
+* "agent-like" classes are found by base-name heuristics plus
+  in-module inheritance (see :func:`agent_like_classes`) — agents
+  derive from the toolkit layers by name, and the linter must work
+  without resolving imports.
+* L003 counts reference traffic in *every* function: open-object
+  refcounts are the cross-cutting invariant the paper calls out, and
+  the ownership-transfer points in the toolkit carry explicit
+  suppressions rather than a blanket exemption.
+* L006 applies only to modules under an ``agents`` directory: the
+  toolkit's boilerplate *is* the sanctioned kernel-facing mechanism.
+"""
+
+import ast
+import difflib
+import re
+
+from repro.lint.findings import Finding
+from repro.lint.rules import severity_of
+
+#: toolkit base classes whose subclasses are interposition agents
+AGENT_BASE_NAMES = frozenset({
+    "Agent",
+    "NumericSyscall",
+    "BSDNumericSyscall",
+    "SymbolicSyscall",
+    "DescSymbolicSyscall",
+    "PathSymbolicSyscall",
+    "SeparateSpaceAgent",
+})
+
+#: kernel modules that are agent-visible ABI (value types and constants);
+#: anything else under repro.kernel is interposition-bypassing machinery
+ALLOWED_KERNEL_MODULES = frozenset({
+    "errno",      # errno values and SyscallError
+    "sysent",     # the system call table (numbers and names)
+    "stat",       # struct stat and S_IS* predicates
+    "signals",    # signal numbers and names
+    "ofile",      # open(2)/fcntl(2) flag constants
+    "clock",      # the Timeval value type
+    "inode",      # the Dirent value type returned by getdirentries
+    "ktrace",     # ktrace(2) op constants and record layout
+    "dfstrace",   # DFSTrace record layout (the comparison format)
+    "devices",    # ioctl request constants
+})
+
+#: calls that install interception; an init doing one of these (or
+#: chaining to super().init) satisfies L002
+_REGISTRATION_CALLS = frozenset({
+    "register_all",
+    "register_interest",
+    "register_interest_many",
+    "register_interest_range",
+    "register_signal_interest",
+})
+
+#: signal overrides must reach one of these somewhere in the body
+_SIGNAL_FORWARDERS = frozenset({
+    "signal_up", "signal_handler", "handle_signal",
+})
+
+_ERRNO_LOOKING = re.compile(r"^E[A-Z0-9]+$")
+
+SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=([A-Z]\d+(?:\s*,\s*[A-Z]\d+)*)")
+
+
+def _base_name(node):
+    """The rightmost name of a base-class expression (``a.b.C`` -> C)."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _looks_like_agent_base(name):
+    return (name in AGENT_BASE_NAMES
+            or name.endswith("Syscall")
+            or name.endswith("Agent"))
+
+
+def agent_like_classes(tree):
+    """The module's agent classes: ``{class_name: ClassDef}``.
+
+    A class is agent-like when a base name matches the toolkit layer
+    classes (or the ``*Syscall``/``*Agent`` naming convention), when it
+    derives — transitively, within this module — from such a class, or
+    when it defines ``sys_*`` methods itself while having any base
+    (an agent reached through an imported intermediate subclass).
+    """
+    classes = [node for node in ast.walk(tree)
+               if isinstance(node, ast.ClassDef)]
+    agentish = {}
+    changed = True
+    while changed:
+        changed = False
+        for node in classes:
+            if node.name in agentish:
+                continue
+            bases = [_base_name(base) for base in node.bases]
+            bases = [name for name in bases if name]
+            hit = any(_looks_like_agent_base(name) or name in agentish
+                      for name in bases)
+            if not hit and bases:
+                hit = any(isinstance(item, ast.FunctionDef)
+                          and item.name.startswith("sys_")
+                          for item in node.body)
+            if hit:
+                agentish[node.name] = node
+                changed = True
+    return agentish
+
+
+def _calls_in(node):
+    """Every Call node under *node*, including nested ones."""
+    return [child for child in ast.walk(node)
+            if isinstance(child, ast.Call)]
+
+
+def _finding(rule, path, node, symbol, message):
+    return Finding(rule, severity_of(rule), path, node.lineno,
+                   getattr(node, "col_offset", 0), symbol, message)
+
+
+# -- L001: sys_* overrides name real system calls -----------------------
+
+
+def _check_sys_names(path, agentish, model, out):
+    for class_name, node in sorted(agentish.items()):
+        for item in node.body:
+            if not (isinstance(item, ast.FunctionDef)
+                    and item.name.startswith("sys_")):
+                continue
+            call_name = item.name[4:]
+            if model.is_syscall(call_name):
+                continue
+            hint = ""
+            close = difflib.get_close_matches(
+                call_name, list(model.syscalls), n=1)
+            if close:
+                hint = " (did you mean sys_%s?)" % close[0]
+            out(_finding(
+                "L001", path, item, "%s.%s" % (class_name, item.name),
+                "%s overrides %s, but %r is not a system call in "
+                "repro.kernel.sysent — the override will never be "
+                "invoked%s" % (class_name, item.name, call_name, hint)))
+
+
+# -- L002: init overrides chain or register -----------------------------
+
+
+def _is_super_call(call, method):
+    """True for ``super().method(...)`` / ``super(C, self).method(...)``."""
+    func = call.func
+    return (isinstance(func, ast.Attribute)
+            and func.attr == method
+            and isinstance(func.value, ast.Call)
+            and isinstance(func.value.func, ast.Name)
+            and func.value.func.id == "super")
+
+
+def _check_init_overrides(path, agentish, out):
+    for class_name, node in sorted(agentish.items()):
+        for item in node.body:
+            if not (isinstance(item, ast.FunctionDef)
+                    and item.name == "init"):
+                continue
+            satisfied = False
+            for call in _calls_in(item):
+                if _is_super_call(call, "init"):
+                    satisfied = True
+                    break
+                func = call.func
+                if (isinstance(func, ast.Attribute)
+                        and func.attr in _REGISTRATION_CALLS):
+                    satisfied = True
+                    break
+            if not satisfied:
+                out(_finding(
+                    "L002", path, item, "%s.init" % class_name,
+                    "%s.init neither calls super().init(...) nor "
+                    "registers interception itself — the agent will "
+                    "attach but intercept nothing" % class_name))
+
+
+# -- L003: balanced open-object reference traffic per method ------------
+
+
+class _FunctionCollector(ast.NodeVisitor):
+    """Collect every function/method with its enclosing symbol name."""
+
+    def __init__(self):
+        self.functions = []  # (symbol, FunctionDef)
+        self._stack = []
+
+    def visit_ClassDef(self, node):
+        """Track the class name while descending."""
+        self._stack.append(node.name)
+        self.generic_visit(node)
+        self._stack.pop()
+
+    def _visit_function(self, node):
+        symbol = ".".join(self._stack + [node.name])
+        self.functions.append((symbol, node))
+        self._stack.append(node.name)
+        self.generic_visit(node)
+        self._stack.pop()
+
+    def visit_FunctionDef(self, node):
+        """Record a function and recurse for nested definitions."""
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node):
+        """Async defs are collected the same way."""
+        self._visit_function(node)
+
+
+def _own_calls(func):
+    """Calls lexically inside *func* but not inside a nested def."""
+    calls = []
+
+    def walk(node):
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if isinstance(child, ast.Call):
+                calls.append(child)
+            walk(child)
+
+    walk(func)
+    return calls
+
+
+def _check_refcount_pairing(path, tree, out):
+    collector = _FunctionCollector()
+    collector.visit(tree)
+    for symbol, func in collector.functions:
+        if func.name in ("incref", "decref"):
+            continue  # the counters' own definitions
+        increfs = decrefs = 0
+        for call in _own_calls(func):
+            if isinstance(call.func, ast.Attribute):
+                if call.func.attr == "incref":
+                    increfs += 1
+                elif call.func.attr == "decref":
+                    decrefs += 1
+        if increfs != decrefs and (increfs or decrefs):
+            out(_finding(
+                "L003", path, func, symbol,
+                "%s takes %d open-object reference(s) (incref) but "
+                "releases %d (decref); references must pair on every "
+                "path through an override" % (symbol, increfs, decrefs)))
+
+
+# -- L004: errno discipline ---------------------------------------------
+
+
+def _check_error_returns(path, agentish, out):
+    for class_name, node in sorted(agentish.items()):
+        for item in node.body:
+            if not (isinstance(item, ast.FunctionDef)
+                    and item.name.startswith("sys_")):
+                continue
+            symbol = "%s.%s" % (class_name, item.name)
+            for child in ast.walk(item):
+                if not isinstance(child, ast.Return) or child.value is None:
+                    continue
+                value = child.value
+                if (isinstance(value, ast.UnaryOp)
+                        and isinstance(value.op, ast.USub)
+                        and isinstance(value.operand, ast.Constant)
+                        and isinstance(value.operand.value, int)):
+                    out(_finding(
+                        "L004", path, child, symbol,
+                        "%s returns a raw negative int; failures must "
+                        "raise SyscallError(errno) — a plain return is "
+                        "marshalled as success" % symbol))
+                elif (isinstance(value, ast.Constant)
+                        and value.value is None):
+                    out(_finding(
+                        "L004", path, child, symbol,
+                        "%s returns None explicitly; failures must "
+                        "raise SyscallError(errno), and successes "
+                        "should return the call's real value" % symbol))
+
+
+def _check_syscallerror_args(path, tree, model, out):
+    for call in _calls_in(tree):
+        func = call.func
+        name = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        if name != "SyscallError":
+            continue
+        if not call.args:
+            out(_finding(
+                "L004", path, call, "SyscallError",
+                "SyscallError raised without an errno; pass a value "
+                "from repro.kernel.errno"))
+            continue
+        arg = call.args[0]
+        if (isinstance(arg, ast.Constant) and isinstance(arg.value, int)
+                and arg.value not in model.errno_values):
+            out(_finding(
+                "L004", path, call, "SyscallError",
+                "SyscallError raised with raw int %r, which is not a "
+                "known errno value" % arg.value))
+        elif (isinstance(arg, ast.Name)
+                and _ERRNO_LOOKING.match(arg.id)
+                and arg.id not in model.errno_names):
+            out(_finding(
+                "L004", path, call, "SyscallError",
+                "SyscallError raised with %s, which is not an errno "
+                "defined in repro.kernel.errno" % arg.id))
+
+
+# -- L005: signal overrides forward -------------------------------------
+
+
+def _check_signal_forwarding(path, agentish, out):
+    for class_name, node in sorted(agentish.items()):
+        for item in node.body:
+            if not (isinstance(item, ast.FunctionDef)
+                    and item.name in ("signal_handler", "handle_signal")):
+                continue
+            forwards = any(
+                isinstance(call.func, ast.Attribute)
+                and call.func.attr in _SIGNAL_FORWARDERS
+                for call in _calls_in(item))
+            if not forwards:
+                out(_finding(
+                    "L005", path, item,
+                    "%s.%s" % (class_name, item.name),
+                    "%s.%s neither forwards via signal_up nor delegates "
+                    "to another handler — signals die here and the "
+                    "client's dispositions never run"
+                    % (class_name, item.name)))
+
+
+# -- L006: no kernel internals from agent code --------------------------
+
+
+def _kernel_submodule(dotted):
+    """The first component under ``repro.kernel`` in a dotted path."""
+    parts = dotted.split(".")
+    if parts[:2] != ["repro", "kernel"]:
+        return None
+    return parts[2] if len(parts) > 2 else ""
+
+
+def _check_layer_bypass(path, tree, out):
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                sub = _kernel_submodule(alias.name)
+                if sub is None:
+                    continue
+                if sub == "" or sub not in ALLOWED_KERNEL_MODULES:
+                    out(_finding(
+                        "L006", path, node, alias.name,
+                        "agent code imports %s; go through "
+                        "syscall_down/toolkit objects — only kernel "
+                        "value types and constants (%s) are "
+                        "agent-visible" % (alias.name, "repro.kernel."
+                        + "/".join(sorted(ALLOWED_KERNEL_MODULES)))))
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            if node.level:
+                continue  # relative imports cannot reach repro.kernel
+            parts = node.module.split(".")
+            if parts[:2] != ["repro", "kernel"]:
+                continue
+            if len(parts) == 2:
+                subs = [(alias.name, "repro.kernel." + alias.name)
+                        for alias in node.names]
+            else:
+                subs = [(parts[2], node.module)]
+            for sub, shown in subs:
+                if sub not in ALLOWED_KERNEL_MODULES:
+                    out(_finding(
+                        "L006", path, node, shown,
+                        "agent code imports repro.kernel internals "
+                        "(%s); go through syscall_down/toolkit objects "
+                        "instead" % shown))
+
+
+# -- the per-file entry point -------------------------------------------
+
+
+def check_module(path, tree, model, in_agents_package):
+    """Run every per-file rule over one parsed module.
+
+    *path* is the display path for findings, *tree* the parsed AST,
+    *model* the :class:`~repro.lint.protocol.ProtocolModel`, and
+    *in_agents_package* selects the L006 layering rule (it applies to
+    ``repro.agents.*`` code only).
+    """
+    findings = []
+    out = findings.append
+    agentish = agent_like_classes(tree)
+    _check_sys_names(path, agentish, model, out)
+    _check_init_overrides(path, agentish, out)
+    _check_refcount_pairing(path, tree, out)
+    _check_error_returns(path, agentish, out)
+    _check_syscallerror_args(path, tree, model, out)
+    _check_signal_forwarding(path, agentish, out)
+    if in_agents_package:
+        _check_layer_bypass(path, tree, out)
+    return findings
+
+
+# -- L007: table <-> symbolic layer parity (project-wide) ---------------
+
+
+def check_protocol(model, sysent_display=None, symbolic_display=None):
+    """Bidirectional sysent ↔ SymbolicSyscall parity, statically.
+
+    Every BSD-range table entry must have a ``sys_*`` method on
+    :class:`~repro.toolkit.symbolic.SymbolicSyscall` (Mach extension
+    traps above ``MAX_BSD_SYSCALL`` are boilerplate machinery and may
+    be method-less), and every ``sys_*`` method must name some table
+    entry.  Display paths default to the model's source files.
+    """
+    findings = []
+    sysent_path = sysent_display or model.sysent_path
+    symbolic_path = symbolic_display or model.symbolic_path
+    for name in model.bsd_names():
+        info = model.syscalls[name]
+        if ("sys_" + name) not in model.symbolic_methods:
+            findings.append(Finding(
+                "L007", severity_of("L007"), sysent_path, info.line, 0,
+                name,
+                "sysent entry %d (%s) has no sys_%s method on "
+                "SymbolicSyscall — agents cannot provide this call"
+                % (info.number, name, name)))
+    for method, line in sorted(model.symbolic_methods.items()):
+        if not model.is_syscall(method[4:]):
+            findings.append(Finding(
+                "L007", severity_of("L007"), symbolic_path, line, 0,
+                "SymbolicSyscall.%s" % method,
+                "SymbolicSyscall.%s names no sysent entry — the method "
+                "is unreachable dead interface" % method))
+    return findings

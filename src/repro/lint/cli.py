@@ -1,0 +1,122 @@
+"""The ``repro-lint`` command line interface.
+
+Usage::
+
+    repro-lint [--json] [--baseline FILE] [--write-baseline FILE]
+               [--rules L001,L006] [--show-suppressed]
+               [--protocol-root DIR] [--no-parity] PATH [PATH ...]
+
+Exit codes: 0 — no active error findings; 1 — at least one; 2 — the
+run itself failed (bad path, unparseable file).  Suppressed and
+baselined findings never affect the exit code.  The same checks are
+importable as :func:`repro.lint.engine.run_lint`.
+"""
+
+import argparse
+import json
+import sys
+
+from repro.lint import engine
+from repro.lint.rules import RULES, rule_ids
+
+#: exit code when the lint run completed and found nothing actionable
+EXIT_CLEAN = 0
+#: exit code when active error-severity findings remain
+EXIT_FINDINGS = 1
+#: exit code when the run itself failed
+EXIT_USAGE = 2
+
+
+def build_parser():
+    """The argparse parser (exposed for --help tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Statically check interposition agents against the "
+                    "toolkit protocol (rules L001-L007; see "
+                    "docs/LINTING.md).")
+    parser.add_argument("paths", nargs="*", metavar="PATH",
+                        help="files or directories to lint")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit the findings document as JSON")
+    parser.add_argument("--rules", metavar="IDS",
+                        help="comma-separated rule ids to run "
+                             "(default: all of %s)" % ",".join(rule_ids()))
+    parser.add_argument("--baseline", metavar="FILE",
+                        help="tolerate findings fingerprinted in FILE")
+    parser.add_argument("--write-baseline", metavar="FILE",
+                        help="record current findings to FILE and exit 0")
+    parser.add_argument("--show-suppressed", action="store_true",
+                        help="also print suppressed/baselined findings")
+    parser.add_argument("--protocol-root", metavar="DIR",
+                        help="read sysent/symbolic/errno from DIR instead "
+                             "of the installed repro package")
+    parser.add_argument("--no-parity", action="store_true",
+                        help="skip the project-wide L007 parity pass")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule table and exit")
+    return parser
+
+
+def _list_rules(out):
+    for rule_id in rule_ids():
+        rule = RULES[rule_id]
+        out.write("%s %s: %s\n" % (rule_id, rule.severity, rule.summary))
+
+
+def main(argv=None):
+    """Run the linter; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    out = sys.stdout
+    if args.list_rules:
+        _list_rules(out)
+        return EXIT_CLEAN
+    if not args.paths:
+        parser.error("the following arguments are required: PATH")
+
+    only_rules = None
+    if args.rules:
+        only_rules = {r.strip() for r in args.rules.split(",") if r.strip()}
+        unknown = only_rules - set(rule_ids())
+        if unknown:
+            sys.stderr.write("unknown rule id(s): %s\n"
+                             % ", ".join(sorted(unknown)))
+            return EXIT_USAGE
+
+    try:
+        baseline = (engine.load_baseline(args.baseline)
+                    if args.baseline else None)
+        result = engine.run_lint(
+            args.paths,
+            protocol_root=args.protocol_root,
+            check_parity=not args.no_parity,
+            baseline=baseline,
+            only_rules=only_rules)
+    except engine.LintError as err:
+        sys.stderr.write("repro-lint: %s\n" % err)
+        return EXIT_USAGE
+
+    if args.write_baseline:
+        fingerprints = engine.write_baseline(args.write_baseline, result)
+        out.write("wrote %d fingerprint(s) to %s\n"
+                  % (len(fingerprints), args.write_baseline))
+        return EXIT_CLEAN
+
+    if args.as_json:
+        json.dump(result.to_dict(), out, indent=1)
+        out.write("\n")
+    else:
+        shown = [f for f in result.findings
+                 if args.show_suppressed
+                 or not (f.suppressed or f.baselined)]
+        for finding in shown:
+            out.write(finding.render() + "\n")
+        out.write("%d file(s) checked: %d finding(s), %d suppressed, "
+                  "%d baselined\n"
+                  % (len(result.files), len(result.active),
+                     len(result.suppressed), len(result.baselined)))
+    return EXIT_FINDINGS if result.active else EXIT_CLEAN
+
+
+if __name__ == "__main__":
+    sys.exit(main())

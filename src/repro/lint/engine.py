@@ -1,0 +1,217 @@
+"""The lint engine: discovery, suppression, baselines, and orchestration.
+
+:func:`run_lint` is the programmatic entry point the CLI, the tests,
+and ``scripts/generate_experiments.py`` all share.  It walks the given
+paths, parses each Python file once, runs the per-file rules from
+:mod:`repro.lint.checks`, runs the project-wide L007 parity pass, then
+applies ``# repro-lint: disable=RULE`` suppressions and any baseline
+before returning a :class:`LintResult`.
+
+Suppression comments are honored on the finding's own line or on the
+line directly above it, and should carry a one-line justification::
+
+    # repro-lint: disable=L003  -- ownership transfers to Descriptor
+    def install(self, fd, open_object):
+        ...
+
+A baseline file (``--baseline``) is a JSON list of finding
+fingerprints (rule:path:symbol, no line numbers); matching findings
+are reported but do not affect the exit code — the adoption path for
+linting a codebase with known debt.
+"""
+
+import ast
+import json
+import os
+
+from repro.lint import checks
+from repro.lint.findings import sort_findings
+from repro.lint.protocol import load_protocol
+
+
+class LintError(Exception):
+    """A problem with the lint run itself (bad path, unparseable file)."""
+
+
+class LintResult:
+    """Everything one lint run produced."""
+
+    def __init__(self, findings, files):
+        #: every finding, sorted, including suppressed/baselined ones
+        self.findings = sort_findings(findings)
+        #: the files that were scanned, in scan order
+        self.files = list(files)
+
+    @property
+    def active(self):
+        """Findings that count toward the exit code."""
+        return [f for f in self.findings if f.active]
+
+    @property
+    def suppressed(self):
+        """Findings silenced by ``# repro-lint: disable=`` comments."""
+        return [f for f in self.findings if f.suppressed]
+
+    @property
+    def baselined(self):
+        """Findings silenced by the baseline file."""
+        return [f for f in self.findings if f.baselined]
+
+    def counts(self):
+        """``{rule_id: active finding count}`` (zero-count rules omitted)."""
+        table = {}
+        for finding in self.active:
+            table[finding.rule] = table.get(finding.rule, 0) + 1
+        return table
+
+    def suppressed_counts(self):
+        """``{rule_id: suppressed finding count}``."""
+        table = {}
+        for finding in self.suppressed:
+            table[finding.rule] = table.get(finding.rule, 0) + 1
+        return table
+
+    def to_dict(self):
+        """The ``--json`` document (schema pinned by tests/test_lint.py)."""
+        return {
+            "version": 1,
+            "files": len(self.files),
+            "findings": [f.to_dict() for f in self.findings],
+            "summary": {
+                "active": len(self.active),
+                "suppressed": len(self.suppressed),
+                "baselined": len(self.baselined),
+                "by_rule": self.counts(),
+                "suppressed_by_rule": self.suppressed_counts(),
+            },
+        }
+
+
+def discover_files(paths):
+    """Expand files and directories into a sorted list of ``.py`` files."""
+    files = []
+    for path in paths:
+        if os.path.isfile(path):
+            files.append(path)
+        elif os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(
+                    d for d in dirnames if d != "__pycache__")
+                for name in sorted(filenames):
+                    if name.endswith(".py"):
+                        files.append(os.path.join(dirpath, name))
+        else:
+            raise LintError("no such file or directory: %s" % path)
+    return files
+
+
+def _display_path(path):
+    relative = os.path.relpath(path)
+    return path if relative.startswith("..") else relative
+
+
+def suppressions_for(source):
+    """Map line number -> set of rule ids disabled on that line.
+
+    A trailing comment suppresses its own line.  A comment-only line
+    suppresses the first following code line, so a justification may
+    continue over several comment lines between the directive and the
+    ``def`` it covers.
+    """
+    lines = source.splitlines()
+    table = {}
+
+    def note(lineno, rules):
+        table.setdefault(lineno, set()).update(rules)
+
+    for lineno, line in enumerate(lines, start=1):
+        match = checks.SUPPRESS_RE.search(line)
+        if not match:
+            continue
+        rules = {part.strip() for part in match.group(1).split(",")}
+        rules = {r for r in rules if r}
+        note(lineno, rules)
+        if line.lstrip().startswith("#"):
+            # Comment-only directive: carry it to the code line below,
+            # past any continuation comment lines.
+            for ahead in range(lineno, len(lines)):
+                text = lines[ahead].strip()
+                if text and not text.startswith("#"):
+                    note(ahead + 1, rules)
+                    break
+    return table
+
+
+def _apply_suppressions(findings, table):
+    for finding in findings:
+        if finding.rule in table.get(finding.line, ()):
+            finding.suppressed = True
+
+
+def load_baseline(path):
+    """Read a baseline file: a JSON list of finding fingerprints."""
+    with open(path) as handle:
+        data = json.load(handle)
+    if not isinstance(data, list):
+        raise LintError("baseline %s is not a JSON list" % path)
+    return set(data)
+
+
+def write_baseline(path, result):
+    """Record every active finding's fingerprint as the new baseline."""
+    fingerprints = sorted({f.fingerprint() for f in result.active})
+    with open(path, "w") as handle:
+        json.dump(fingerprints, handle, indent=1)
+        handle.write("\n")
+    return fingerprints
+
+
+def _in_agents_package(path):
+    parts = os.path.normpath(os.path.abspath(path)).split(os.sep)
+    return "agents" in parts
+
+
+def run_lint(paths, protocol_root=None, check_parity=True, baseline=None,
+             only_rules=None):
+    """Lint *paths* and return a :class:`LintResult`.
+
+    *protocol_root* overrides where the sysent/symbolic/errno sources
+    are read from (tests point it at fixture trees); *check_parity*
+    gates the project-wide L007 pass; *baseline* is a set of
+    fingerprints to tolerate; *only_rules* restricts reporting to the
+    given rule ids.
+    """
+    model = load_protocol(protocol_root)
+    files = discover_files(paths)
+    findings = []
+    for path in files:
+        with open(path) as handle:
+            source = handle.read()
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as err:
+            raise LintError("cannot parse %s: %s" % (path, err)) from None
+        display = _display_path(path)
+        file_findings = checks.check_module(
+            display, tree, model, _in_agents_package(path))
+        _apply_suppressions(file_findings, suppressions_for(source))
+        findings.extend(file_findings)
+    if check_parity:
+        parity = checks.check_protocol(
+            model,
+            sysent_display=_display_path(model.sysent_path),
+            symbolic_display=_display_path(model.symbolic_path))
+        for source_path in (model.sysent_path, model.symbolic_path):
+            with open(source_path) as handle:
+                table = suppressions_for(handle.read())
+            matching = [f for f in parity
+                        if f.path == _display_path(source_path)]
+            _apply_suppressions(matching, table)
+        findings.extend(parity)
+    if only_rules is not None:
+        findings = [f for f in findings if f.rule in only_rules]
+    if baseline:
+        for finding in findings:
+            if finding.fingerprint() in baseline:
+                finding.baselined = True
+    return LintResult(findings, files)

@@ -1,0 +1,79 @@
+"""The findings model: what a lint rule reports and how it serializes.
+
+A :class:`Finding` is one diagnostic — a rule id, a severity, a
+``file:line`` location, the enclosing symbol, and a message.  Findings
+are value objects: the engine produces them, the CLI renders them (text
+or JSON), and the baseline machinery compares them by
+:meth:`Finding.fingerprint`, which deliberately omits line numbers so a
+recorded baseline survives unrelated edits to the same file.
+"""
+
+#: severity for findings that must fail CI (and the default exit code)
+ERROR = "error"
+#: severity for advisory findings (reported, but never fail the run)
+WARNING = "warning"
+
+SEVERITIES = (ERROR, WARNING)
+
+
+class Finding:
+    """One diagnostic produced by a lint rule."""
+
+    __slots__ = ("rule", "severity", "path", "line", "col", "symbol",
+                 "message", "suppressed", "baselined")
+
+    def __init__(self, rule, severity, path, line, col, symbol, message,
+                 suppressed=False, baselined=False):
+        self.rule = rule
+        self.severity = severity
+        self.path = path
+        self.line = line
+        self.col = col
+        self.symbol = symbol
+        self.message = message
+        self.suppressed = suppressed
+        self.baselined = baselined
+
+    def __repr__(self):
+        return "<Finding %s %s:%d %s>" % (
+            self.rule, self.path, self.line, self.symbol)
+
+    @property
+    def active(self):
+        """True when this finding counts toward the exit code."""
+        return (not self.suppressed and not self.baselined
+                and self.severity == ERROR)
+
+    def fingerprint(self):
+        """The line-number-free identity used by baseline files."""
+        return "%s:%s:%s" % (self.rule, self.path, self.symbol)
+
+    def to_dict(self):
+        """The JSON-ready form (the ``--json`` output schema)."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "symbol": self.symbol,
+            "message": self.message,
+            "suppressed": self.suppressed,
+            "baselined": self.baselined,
+        }
+
+    def render(self):
+        """The one-line text form (``path:line: RULE severity: message``)."""
+        note = ""
+        if self.suppressed:
+            note = " [suppressed]"
+        elif self.baselined:
+            note = " [baselined]"
+        return "%s:%d: %s %s: %s%s" % (
+            self.path, self.line, self.rule, self.severity, self.message,
+            note)
+
+
+def sort_findings(findings):
+    """Order findings for stable output: by path, line, then rule id."""
+    return sorted(findings, key=lambda f: (f.path, f.line, f.rule, f.symbol))

@@ -1,0 +1,162 @@
+"""The static protocol model: what the toolkit promises, read from source.
+
+agentlint must judge agent code *without executing the world* (no
+kernel boot, no module import side effects), so the protocol it checks
+against is recovered from the abstract syntax trees of the three files
+that define it:
+
+* ``repro/kernel/sysent.py`` — the system call table (``_entry(number,
+  "name", ...)`` calls and the ``MAX_BSD_SYSCALL`` boundary);
+* ``repro/toolkit/symbolic.py`` — the ``sys_*`` methods of
+  :class:`~repro.toolkit.symbolic.SymbolicSyscall`;
+* ``repro/kernel/errno.py`` — the known errno names and values.
+
+``tests/test_completeness_sweep.py`` cross-checks this static view
+against the imported runtime objects, so the linter's model and the
+dynamic sweep can never drift apart silently.
+"""
+
+import ast
+import os
+
+
+class SyscallInfo:
+    """One statically-recovered system call table row."""
+
+    __slots__ = ("number", "name", "line")
+
+    def __init__(self, number, name, line):
+        self.number = number
+        self.name = name
+        self.line = line
+
+    def __repr__(self):
+        return "<SyscallInfo %d %s>" % (self.number, self.name)
+
+
+class ProtocolModel:
+    """The toolkit protocol as recovered from source, plus file paths."""
+
+    def __init__(self, syscalls, max_bsd, symbolic_methods, errno_names,
+                 errno_values, sysent_path, symbolic_path):
+        #: ``{name: SyscallInfo}`` for every table entry
+        self.syscalls = syscalls
+        #: highest BSD call number (entries above it are Mach traps)
+        self.max_bsd = max_bsd
+        #: ``{method_name: line}`` for every ``sys_*`` on SymbolicSyscall
+        self.symbolic_methods = symbolic_methods
+        #: known errno identifier names (``EPERM`` ...)
+        self.errno_names = errno_names
+        #: known errno integer values
+        self.errno_values = errno_values
+        self.sysent_path = sysent_path
+        self.symbolic_path = symbolic_path
+
+    def is_syscall(self, name):
+        """True when *name* is a system call the table defines."""
+        return name in self.syscalls
+
+    def bsd_names(self):
+        """Names of the BSD-range table entries (Mach traps excluded)."""
+        return sorted(info.name for info in self.syscalls.values()
+                      if info.number <= self.max_bsd)
+
+
+def _parse(path):
+    with open(path) as handle:
+        return ast.parse(handle.read(), filename=path)
+
+
+def _load_sysent(path):
+    """Recover ``{name: SyscallInfo}`` and MAX_BSD_SYSCALL from sysent.py."""
+    tree = _parse(path)
+    syscalls = {}
+    max_bsd = None
+    for node in ast.walk(tree):
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "_entry"
+                and len(node.args) >= 2
+                and isinstance(node.args[0], ast.Constant)
+                and isinstance(node.args[0].value, int)
+                and isinstance(node.args[1], ast.Constant)
+                and isinstance(node.args[1].value, str)):
+            info = SyscallInfo(node.args[0].value, node.args[1].value,
+                               node.lineno)
+            syscalls[info.name] = info
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if (isinstance(target, ast.Name)
+                        and target.id == "MAX_BSD_SYSCALL"
+                        and isinstance(node.value, ast.Constant)):
+                    max_bsd = node.value.value
+    if not syscalls:
+        raise ValueError("no _entry(...) rows found in %s" % path)
+    if max_bsd is None:
+        raise ValueError("MAX_BSD_SYSCALL not found in %s" % path)
+    return syscalls, max_bsd
+
+
+def _load_symbolic_methods(path):
+    """Recover ``{sys_* name: line}`` from class SymbolicSyscall."""
+    tree = _parse(path)
+    methods = {}
+    for node in tree.body:
+        if (isinstance(node, ast.ClassDef)
+                and node.name == "SymbolicSyscall"):
+            for item in node.body:
+                if (isinstance(item, ast.FunctionDef)
+                        and item.name.startswith("sys_")):
+                    methods[item.name] = item.lineno
+    if not methods:
+        raise ValueError("no SymbolicSyscall sys_* methods found in %s"
+                         % path)
+    return methods
+
+
+def _load_errnos(path):
+    """Recover errno names and values from errno.py's assignments."""
+    tree = _parse(path)
+    names = {}
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if not (isinstance(target, ast.Name)
+                    and target.id.startswith("E")
+                    and target.id.isupper()):
+                continue
+            value = node.value
+            if isinstance(value, ast.Constant) and isinstance(value.value,
+                                                              int):
+                names[target.id] = value.value
+            elif isinstance(value, ast.Name) and value.id in names:
+                # aliases like EAGAIN = EWOULDBLOCK
+                names[target.id] = names[value.id]
+    if not names:
+        raise ValueError("no errno assignments found in %s" % path)
+    return set(names), set(names.values())
+
+
+def default_root():
+    """The installed ``repro`` package directory (the default tree)."""
+    return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def load_protocol(root=None):
+    """Build the :class:`ProtocolModel` for the tree rooted at *root*.
+
+    *root* is a directory containing ``kernel/sysent.py``,
+    ``kernel/errno.py``, and ``toolkit/symbolic.py`` — by default the
+    ``repro`` package this linter ships inside, so the model always
+    matches the code under test; tests point it at fixture trees.
+    """
+    if root is None:
+        root = default_root()
+    sysent_path = os.path.join(root, "kernel", "sysent.py")
+    errno_path = os.path.join(root, "kernel", "errno.py")
+    symbolic_path = os.path.join(root, "toolkit", "symbolic.py")
+    syscalls, max_bsd = _load_sysent(sysent_path)
+    errno_names, errno_values = _load_errnos(errno_path)
+    symbolic_methods = _load_symbolic_methods(symbolic_path)
+    return ProtocolModel(syscalls, max_bsd, symbolic_methods, errno_names,
+                         errno_values, sysent_path, symbolic_path)

@@ -1,0 +1,103 @@
+"""The rule registry: stable ids, severities, and one-line contracts.
+
+Every agentlint rule has a stable id (``L001`` .. ``L007``) used in
+output, in ``# repro-lint: disable=`` suppressions, and in baseline
+files.  The registry is the single source of truth the CLI, the docs
+test, and ``docs/LINTING.md`` draw on; rule *implementations* live in
+:mod:`repro.lint.checks`.
+"""
+
+from repro.lint.findings import ERROR
+
+
+class Rule:
+    """One registered rule: id, severity, and its contract in one line."""
+
+    __slots__ = ("rule_id", "severity", "summary", "rationale")
+
+    def __init__(self, rule_id, severity, summary, rationale):
+        self.rule_id = rule_id
+        self.severity = severity
+        self.summary = summary
+        self.rationale = rationale
+
+    def __repr__(self):
+        return "<Rule %s %s>" % (self.rule_id, self.severity)
+
+
+#: id -> :class:`Rule` for every rule agentlint implements
+RULES = {}
+
+
+def _register(rule_id, severity, summary, rationale):
+    RULES[rule_id] = Rule(rule_id, severity, summary, rationale)
+
+
+_register(
+    "L001", ERROR,
+    "every sys_* override names a real syscall in repro.kernel.sysent",
+    "a typo'd override is silently never called: BSDNumericSyscall "
+    "binds methods by name, so the call falls through to the default "
+    "behaviour and the agent is un-interposed on that call (paper "
+    "Goal 2: agents must provide the entire interface).",
+)
+_register(
+    "L002", ERROR,
+    "init overrides call super().init(...) or register interception "
+    "themselves",
+    "an init that neither chains nor registers leaves the agent "
+    "attached but intercepting nothing — every call bypasses it "
+    "(paper Section 2.3: agent invocation installs interception).",
+)
+_register(
+    "L003", ERROR,
+    "OpenObject references taken and released in balanced pairs per "
+    "method",
+    "an incref without a matching decref (or vice versa) leaks or "
+    "over-frees the shared open object; the paper names refcount "
+    "mistakes as its hardest agent bugs (Section 4.2).",
+)
+_register(
+    "L004", ERROR,
+    "error paths raise SyscallError with a known errno, never raw "
+    "ints/None",
+    "the symbolic protocol carries failure as SyscallError; a raw -1 "
+    "or None return is marshalled as a *successful* result and the "
+    "client never sees the error (kernel errno convention, "
+    "repro.kernel.errno).",
+)
+_register(
+    "L005", ERROR,
+    "signal-path overrides forward via signal_up (or delegate to a "
+    "handler that does)",
+    "an agent that intercepts signals without forwarding swallows "
+    "them: the client's own dispositions never run (paper Section "
+    "2.3, the upward path).",
+)
+_register(
+    "L006", ERROR,
+    "agent code goes through syscall_down/toolkit objects, not "
+    "repro.kernel internals",
+    "importing kernel machinery from an agent bypasses the layering "
+    "that makes agents stackable and placement-independent; only the "
+    "kernel's value types and constants are agent-visible ABI.",
+)
+_register(
+    "L007", ERROR,
+    "sysent and SymbolicSyscall agree bidirectionally (every BSD "
+    "table entry has a sys_* method and vice versa)",
+    "a table entry without a method is a call agents cannot provide; "
+    "a method without an entry can never be reached — either way "
+    "completeness (paper Goal 2, Section 3.2) is broken before "
+    "anything runs.",
+)
+
+
+def rule_ids():
+    """All registered rule ids in sorted order."""
+    return sorted(RULES)
+
+
+def severity_of(rule_id):
+    """The registered severity for *rule_id* (KeyError if unknown)."""
+    return RULES[rule_id].severity

@@ -168,6 +168,8 @@ class SeparateSpaceAgent(Agent):
     def handle_syscall(self, number, args):
         return self._rpc("syscall", (number, args))
 
+    # repro-lint: disable=L005 -- forwards by IPC: the inner agent's
+    # handle_signal runs in the agent task and does the signal_up there.
     def handle_signal(self, signum, action):
         self._rpc("signal", (signum, action))
 

@@ -13,8 +13,12 @@ from repro.agents.time_symbolic import TimeSymbolic
 from repro.kernel import signals as sig
 from repro.kernel import stat as st
 from repro.kernel.proc import WEXITSTATUS
-from repro.kernel.sysent import bsd_numbers, SYSCALLS, number_of
+from repro.kernel.sysent import (
+    bsd_numbers, BY_NAME, MAX_BSD_SYSCALL, SYSCALLS, number_of)
+from repro.lint.checks import check_protocol
+from repro.lint.protocol import load_protocol
 from repro.programs.libc import Sys
+from repro.toolkit.symbolic import SymbolicSyscall
 from repro.workloads import boot_world
 
 
@@ -178,6 +182,45 @@ def test_sweep_covers_every_bsd_call():
         if call not in mentioned:
             missing.append(call)
     assert not missing, "sweep does not exercise: %s" % missing
+
+
+def test_static_protocol_model_matches_runtime():
+    """agentlint's parsed view of sysent must equal the imported table.
+
+    The linter (repro.lint) judges agents against a *statically*
+    recovered protocol; if its model ever drifted from the runtime
+    objects, it could pass agents the sweep would fail or vice versa.
+    """
+    model = load_protocol()
+    static = {name: info.number for name, info in model.syscalls.items()}
+    runtime = {entry.name: entry.number for entry in SYSCALLS.values()}
+    assert static == runtime
+    assert model.max_bsd == MAX_BSD_SYSCALL
+    static_methods = set(model.symbolic_methods)
+    runtime_methods = {name for name in dir(SymbolicSyscall)
+                       if name.startswith("sys_")}
+    assert static_methods == runtime_methods
+
+
+def test_sysent_and_symbolic_layer_agree_bidirectionally():
+    """The static L007 cross-check: table ↔ methods, both directions.
+
+    Every BSD table entry must have a sys_* method on the symbolic
+    layer (or agents cannot provide that call) and every sys_* method
+    must name a table entry (or it is unreachable) — checked here
+    against the *runtime* objects and through the linter's static pass,
+    so the dynamic sweep and agentlint can never drift apart.
+    """
+    runtime_methods = {name for name in dir(SymbolicSyscall)
+                       if name.startswith("sys_")}
+    for number in bsd_numbers():
+        assert "sys_" + SYSCALLS[number].name in runtime_methods, (
+            "sysent entry %d (%s) has no SymbolicSyscall method"
+            % (number, SYSCALLS[number].name))
+    for method in runtime_methods:
+        assert method[len("sys_"):] in BY_NAME, (
+            "%s names no sysent entry" % method)
+    assert check_protocol(load_protocol()) == []
 
 
 def test_agent_is_observably_transparent_for_every_call():

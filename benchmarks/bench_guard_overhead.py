@@ -1,0 +1,161 @@
+"""The guard layer's pay-per-use claim, measured.
+
+Fault containment follows the repo's standing discipline: with
+``kernel.guard`` unset and no :class:`GuardedAgent` in the stack, the
+trap spine runs exactly the seed instructions — one ``is None``
+attribute test per guarded seam.  This benchmark holds it to that:
+
+* **Micro (uninterposed)**: one getpid trap that no agent intercepts,
+  with guarding disabled and with the machine-wide rail armed.  A call
+  nobody guards must not pay for guarding.
+* **Micro (interposed)**: one getpid trap through a pass-through agent,
+  bare versus wrapped in a :class:`GuardedAgent` versus under the rail —
+  the price of containment where it *is* bought.
+* **Macro**: the format-dissertation workload under a pass-through
+  agent in the same three configurations, interleaved rounds and paired
+  slowdowns; "disabled" must sit within noise of the seed baseline.
+"""
+
+from repro.bench.timing import paired_slowdowns, time_matrix, usec_per_call
+from repro.kernel.proc import WEXITSTATUS
+from repro.kernel.sysent import bsd_numbers, number_of
+from repro.kernel.trap import UserContext
+from repro.toolkit import run_under_agent
+from repro.toolkit.guard import GuardedAgent, install_guard
+from repro.toolkit.numeric import NumericSyscall
+from repro.workloads import boot_world, format_dissertation
+
+NR_GETPID = number_of("getpid")
+
+#: the containment configurations under test, cheapest first
+CONFIGS = ("disabled", "railed", "wrapper")
+
+
+class _Passthrough(NumericSyscall):
+    """Interposes on every BSD call and takes the default action."""
+
+    def init(self, agentargv):
+        """Register interest in the whole BSD range."""
+        self.register_interest_many(bsd_numbers())
+
+
+def _make_agent(config):
+    """The agent a client runs under in *config* (None = no agent)."""
+    if config == "wrapper":
+        return GuardedAgent(_Passthrough(), policy="fail-open")
+    return _Passthrough()
+
+
+def _make_kernel(config):
+    kernel = boot_world()
+    if config == "railed":
+        install_guard(kernel, "fail-open")
+    return kernel
+
+
+def micro_uninterposed_rows(calls=2000):
+    """(config, usec) for one getpid trap no agent intercepts.
+
+    Only the rail can even be present on this path (a wrapper guards a
+    specific agent), so the wrapper configuration is skipped.
+    """
+    rows = []
+    for config in ("disabled", "railed"):
+        kernel = _make_kernel(config)
+        proc = kernel._create_initial_process()
+        ctx = UserContext(kernel, proc)
+        rows.append((config, usec_per_call(lambda: ctx.trap(NR_GETPID),
+                                           calls)))
+    return rows
+
+
+def micro_interposed_rows(calls=2000):
+    """(config, usec) for one getpid trap through a pass-through agent."""
+    rows = []
+    for config in CONFIGS:
+        kernel = _make_kernel(config)
+        proc = kernel._create_initial_process()
+        ctx = UserContext(kernel, proc)
+        _make_agent(config).attach(ctx)
+        rows.append((config, usec_per_call(lambda: ctx.trap(NR_GETPID),
+                                           calls)))
+    return rows
+
+
+def _prepare(config):
+    """One prepared format-dissertation run under *config*."""
+    from benchmarks.bench_support import workload_command
+
+    kernel = _make_kernel(config)
+    format_dissertation.setup(kernel)
+    agent = _make_agent(config)
+    path, argv = workload_command(format_dissertation)
+
+    def run():
+        status = run_under_agent(kernel, agent, path, argv)
+        assert WEXITSTATUS(status) == 0, "workload failed (%r)" % status
+        return kernel
+
+    return run
+
+
+def macro_rows(runs=9):
+    """(config, seconds, slowdown%) for the format workload."""
+    prepares = {
+        config: (lambda config=config: _prepare(config))
+        for config in CONFIGS
+    }
+    results = time_matrix(prepares, runs=runs)
+    slowdowns = paired_slowdowns(results, base_name="disabled")
+    return [(config, results[config][0], slowdowns[config])
+            for config in CONFIGS]
+
+
+# -- pytest entry points (the CI gate) -----------------------------------
+
+
+def test_unguarded_traps_pay_nothing(benchmark):
+    """The pay-per-use gate: an unguarded, uninterposed trap must not be
+    measurably slower than the same trap with the rail armed — both run
+    one attribute test at each guard seam, and a fault-free handler adds
+    nothing else."""
+    rows = dict(benchmark.pedantic(micro_uninterposed_rows,
+                                   rounds=1, iterations=1))
+    # Generous jitter bound: the two paths differ by at most the rail's
+    # fault-free bookkeeping, which must stay within noise.
+    assert rows["disabled"] <= rows["railed"] * 1.25
+    for config, usec in rows.items():
+        benchmark.extra_info[config] = round(usec, 3)
+
+
+def test_containment_costs_only_where_bought(benchmark):
+    """Interposed traps: the guarded configurations may pay (the wrapper
+    adds one Python frame per call), but the unguarded agent must not."""
+    rows = dict(benchmark.pedantic(micro_interposed_rows,
+                                   rounds=1, iterations=1))
+    assert rows["disabled"] <= rows["railed"] * 1.25
+    assert rows["disabled"] <= rows["wrapper"] * 1.25
+    for config, usec in rows.items():
+        benchmark.extra_info[config] = round(usec, 3)
+
+
+def print_tables(runs=9):
+    """Render every table of this benchmark to stdout."""
+    print("Guard overhead: format-dissertation workload")
+    print("%-16s %10s %10s" % ("config", "seconds", "slowdown"))
+    for config, seconds, pct in macro_rows(runs=runs):
+        print("%-16s %10.3f %9.1f%%" % (config, seconds, pct))
+    print()
+    print("Micro: one uninterposed getpid trap")
+    for config, usec in micro_uninterposed_rows():
+        print("%-16s %10.3f usec" % (config, usec))
+    print()
+    print("Micro: one getpid trap through a pass-through agent")
+    for config, usec in micro_interposed_rows():
+        print("%-16s %10.3f usec" % (config, usec))
+
+
+if __name__ == "__main__":
+    import sys as _host_sys
+
+    print_tables(runs=3 if "--quick" in _host_sys.argv else 9)

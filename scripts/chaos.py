@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""chaos — run seeded fault-containment scenarios and check invariants.
+
+The CI entry point for the chaos harness (:mod:`repro.workloads.chaos`).
+Runs a suite of seeded scenarios — each a workload driven under a
+randomly-crashing agent with kernel fault sites armed — and fails
+loudly if any machine invariant is violated afterwards::
+
+    PYTHONPATH=src python scripts/chaos.py --count 25
+
+Every scenario is deterministic in its seed, so a failing report line
+can be replayed exactly::
+
+    PYTHONPATH=src python scripts/chaos.py --seed 21 \\
+        --policy fail-open --mechanism rail --workload files
+
+See docs/ROBUSTNESS.md for what the invariants are and why.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+
+from repro.workloads.chaos import (  # noqa: E402
+    MECHANISMS,
+    POLICIES,
+    WORKLOADS,
+    run_scenario,
+    run_suite,
+)
+
+
+def _parse_args(argv):
+    """The chaos CLI's argument parser (suite mode vs. replay mode)."""
+    parser = argparse.ArgumentParser(
+        prog="chaos", description=__doc__.splitlines()[0])
+    parser.add_argument("--count", type=int, default=25,
+                        help="scenarios to run in suite mode (default 25)")
+    parser.add_argument("--base-seed", type=int, default=0,
+                        help="seed of the first scenario (default 0)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="replay a single scenario with this seed")
+    parser.add_argument("--policy", choices=POLICIES, default="fail-open",
+                        help="guard policy for --seed replay")
+    parser.add_argument("--mechanism", choices=MECHANISMS, default="wrapper",
+                        help="containment mechanism for --seed replay")
+    parser.add_argument("--workload", choices=sorted(WORKLOADS),
+                        default="files", help="workload for --seed replay")
+    parser.add_argument("--workloads", default="files,pipes,procs",
+                        help="comma-separated workload cycle for suite mode")
+    parser.add_argument("--agent-rate", type=float, default=0.05,
+                        help="per-call agent fault probability")
+    parser.add_argument("--site-rate", type=float, default=0.01,
+                        help="per-check kernel fault-site probability")
+    parser.add_argument("--json", action="store_true",
+                        help="emit one JSON report per line")
+    return parser.parse_args(argv)
+
+
+def _show(report, as_json):
+    """Print one scenario report in the chosen format."""
+    if as_json:
+        print(json.dumps(report.to_dict(), sort_keys=True))
+    else:
+        print(report)
+        for violation in report.violations:
+            print("   ", violation)
+
+
+def main(argv=None):
+    """Run the suite (or one replay); exit 1 on any invariant violation."""
+    args = _parse_args(argv)
+    if args.seed is not None:
+        reports = [run_scenario(
+            args.seed, policy=args.policy, mechanism=args.mechanism,
+            workload=args.workload, agent_rate=args.agent_rate,
+            site_rate=args.site_rate)]
+    else:
+        workloads = tuple(w for w in args.workloads.split(",") if w)
+        for workload in workloads:
+            if workload not in WORKLOADS:
+                print("chaos: unknown workload %r" % workload, file=sys.stderr)
+                return 2
+        reports = run_suite(
+            count=args.count, base_seed=args.base_seed,
+            workloads=workloads, agent_rate=args.agent_rate,
+            site_rate=args.site_rate)
+    failed = 0
+    for report in reports:
+        _show(report, args.json)
+        if not report.passed:
+            failed += 1
+    faults = sum(r.agent_faults for r in reports)
+    fired = sum(sum(r.site_stats.get("fired", {}).values()) for r in reports)
+    if not args.json:
+        print("%d scenario(s), %d agent fault(s), %d site fault(s), "
+              "%d violation(s)" % (len(reports), faults, fired, failed))
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -39,6 +39,7 @@ def create(name, *args, **kwargs):
 def load_all():
     """Import every agent module (for registration side effects)."""
     from repro.agents import (  # noqa: F401
+        chaos,
         dfs_trace,
         emul,
         faults,

@@ -1,0 +1,86 @@
+"""A deliberately faulty agent: seeded random crashes at the boundary.
+
+Every other agent in this package tries to be correct; this one tries
+to be *incorrect on schedule*.  :class:`ChaosAgent` interposes on a
+broad set of calls, forwards them untouched — and, with seeded
+probability, raises a :class:`ChaosFault` (a plain ``RuntimeError``
+subclass, deliberately **not** a ``SyscallError``) from inside the
+handler instead.  That is precisely the misbehaviour the containment
+subsystem (:mod:`repro.toolkit.guard`) exists to absorb, and the chaos
+harness (:mod:`repro.workloads.chaos`) drives workloads under this
+agent to prove machine invariants survive it.
+
+The fault stream is a pure function of the seed, so any chaos scenario
+replays exactly.  With ``rate=0`` the agent is a pass-through
+interposer, useful as a guarded-but-never-faulting baseline.
+"""
+
+import random
+
+from repro.agents import agent
+from repro.kernel.sysent import name_of, number_of
+from repro.toolkit.boilerplate import Agent
+
+
+class ChaosFault(RuntimeError):
+    """The unexpected exception a chaotic agent handler raises."""
+
+
+#: the calls chaos interposes on by default: the traffic real workloads
+#: generate, covering files, directories, descriptors, processes, pipes
+DEFAULT_CALLS = tuple(number_of(name) for name in (
+    "read", "write", "open", "close", "stat", "lstat", "fstat",
+    "lseek", "dup", "dup2", "pipe", "link", "unlink", "rename",
+    "mkdir", "rmdir", "chdir", "access", "chmod", "getpid",
+    "fork", "wait", "kill", "sigvec",
+))
+
+
+@agent("chaos")
+class ChaosAgent(Agent):
+    """Forward every intercepted call, failing at random per the seed.
+
+    *rate* is the per-call probability of raising :class:`ChaosFault`
+    instead of forwarding; *numbers* overrides the intercepted call set.
+    ``agentargv`` accepts ``seed=N`` / ``rate=F`` words so the generic
+    agent loader can configure it from a command line.
+    """
+
+    OBS_LAYER = "chaos"
+
+    def __init__(self, seed=0, rate=0.02, numbers=None):
+        super().__init__()
+        self.seed = seed
+        self.rate = rate
+        self.numbers = tuple(numbers) if numbers is not None else DEFAULT_CALLS
+        self._rng = random.Random(seed)
+        #: how many faults this agent has raised so far
+        self.faults_raised = 0
+
+    def init(self, agentargv):
+        """Parse ``seed=``/``rate=`` words, then register interception."""
+        for word in agentargv:
+            if word.startswith("seed="):
+                self.seed = int(word[5:])
+                self._rng = random.Random(self.seed)
+            elif word.startswith("rate="):
+                self.rate = float(word[5:])
+        self.register_interest_many(self.numbers)
+        self.register_signal_interest()
+
+    def _misbehave(self, what):
+        """Draw from the seeded stream; raise when chaos strikes."""
+        if self._rng.random() < self.rate:
+            self.faults_raised += 1
+            raise ChaosFault("chaos fault #%d in %s"
+                             % (self.faults_raised, what))
+
+    def handle_syscall(self, number, args):
+        """Forward the call — unless the seed says to crash here."""
+        self._misbehave(name_of(number))
+        return self.syscall_down_numeric(number, args)
+
+    def handle_signal(self, signum, action):
+        """Forward the signal — unless the seed says to crash here."""
+        self._misbehave("signal %d" % signum)
+        self.signal_up(signum)

@@ -1,0 +1,205 @@
+"""Tagged, seed-scheduled fault-injection points inside kernel internals.
+
+The syscall-level :mod:`repro.agents.faults` agent injects errors at the
+*system interface* — useful for testing applications, useless for
+testing the kernel itself, because the kernel's own error-unwind paths
+(inode allocation failing mid-create, a pipe transfer erroring under a
+sleeper, a lookup dying between components) never run.  This module puts
+the errors *inside*: kernel internals consult an armed
+:class:`FaultSet` at tagged sites and raise the site's errno before
+mutating any state, so the unwind that follows must leave every machine
+invariant intact — exactly what the chaos harness
+(:mod:`repro.workloads.chaos`) asserts afterwards.
+
+Sites are pay-per-use in the repo's standing discipline: each one is a
+single ``is None`` attribute test until :meth:`Kernel.arm_faults`
+installs a set, and ``disarm_faults`` restores the seed paths exactly.
+Boot and world-building run before arming, so setup never faults.
+
+Scheduling is deterministic: explicit per-tag rules (``"once"``,
+``"always"``, ``after-N``, ``every-N``) or a seeded random mode
+(:meth:`FaultSet.random`) whose firing sequence is a pure function of
+the seed — the property that makes a chaos scenario replayable from its
+seed alone.  Every injection is counted per tag and surfaced through
+the obs bus as a ``fault.inject`` metric (plus a full event when the
+site knows the faulting process).
+"""
+
+import random
+
+from repro.kernel.errno import EIO, ENOSPC, SyscallError, errno_name
+from repro.obs import events as ev
+
+#: every fault site the kernel defines: tag -> default errno.  Tags are
+#: hierarchical (``subsystem.operation``) so specs and reports group
+#: naturally; the errno is what the site raises unless a rule overrides.
+SITES = {
+    "ufs.make": ENOSPC,     # inode allocation, before the inode exists
+    "ufs.link": EIO,        # directory entry + nlink bump, before either
+    "ufs.unlink": EIO,      # directory entry removal, before it happens
+    "pipe.read": EIO,       # pipe transfer toward the reader, at entry
+    "pipe.write": EIO,      # pipe transfer from the writer, at entry
+    "namei.lookup": EIO,    # pathname resolution, before any walking
+}
+
+
+class FaultRule:
+    """When one tagged site fires: a schedule plus an errno override.
+
+    Schedules (mirroring the syscall-level faults agent):
+
+    ``"always"``
+        every consultation
+    ``"once"``
+        the first consultation only
+    ``("after", n)``
+        every consultation from the *n*-th on (1-based)
+    ``("every", n)``
+        every *n*-th consultation
+    """
+
+    __slots__ = ("schedule", "errno", "hits")
+
+    def __init__(self, schedule="always", errno=None):
+        if isinstance(schedule, str) and schedule not in ("always", "once"):
+            raise ValueError("bad fault schedule %r" % (schedule,))
+        self.schedule = schedule
+        self.errno = errno
+        self.hits = 0
+
+    @classmethod
+    def parse(cls, text):
+        """A rule from spec text: ``always``, ``once``, ``after-3``,
+        ``every-2`` (already-built rules pass through)."""
+        if isinstance(text, cls):
+            return text
+        text = text.strip().lower()
+        if text in ("always", "once"):
+            return cls(text)
+        for word in ("after", "every"):
+            prefix = word + "-"
+            if text.startswith(prefix):
+                return cls((word, int(text[len(prefix):])))
+        raise ValueError("bad fault schedule %r" % (text,))
+
+    def should_fire(self):
+        """Consult the rule once; True when this consultation faults."""
+        self.hits += 1
+        schedule = self.schedule
+        if schedule == "always":
+            return True
+        if schedule == "once":
+            return self.hits == 1
+        kind, n = schedule
+        if kind == "after":
+            return self.hits >= n
+        return self.hits % n == 0  # "every"
+
+
+class FaultSet:
+    """The armed fault configuration a kernel (and its volumes) consult.
+
+    Two composable modes: explicit per-tag *rules* (deterministic
+    schedules) and a seeded *random* mode that fires any known site with
+    probability *rate* using its default errno.  The random stream is
+    drawn from one :class:`random.Random` seeded at construction, so a
+    scenario's entire fault sequence replays from its seed.
+    """
+
+    def __init__(self, rules=None, seed=None, rate=0.0, tags=None):
+        self.rules = {}
+        for tag, rule in (rules or {}).items():
+            if tag not in SITES:
+                raise ValueError("unknown fault site %r (know %s)"
+                                 % (tag, ", ".join(sorted(SITES))))
+            self.rules[tag] = FaultRule.parse(rule)
+        self.seed = seed
+        self.rate = rate
+        #: restrict random-mode firing to these tags (None = all sites)
+        if tags is not None:
+            for tag in tags:
+                if tag not in SITES:
+                    raise ValueError("unknown fault site %r (know %s)"
+                                     % (tag, ", ".join(sorted(SITES))))
+        self.tags = frozenset(tags) if tags is not None else None
+        self._rng = random.Random(seed) if seed is not None else None
+        #: injections so far, per tag
+        self.fired = {}
+        #: consultations so far, per tag
+        self.checked = {}
+
+    @classmethod
+    def parse(cls, spec):
+        """A fault set from *spec*.
+
+        Accepts a :class:`FaultSet` (returned as is), a mapping of tag →
+        schedule, or a spec string of comma/semicolon-separated
+        ``tag:schedule`` entries — ``"ufs.make:once,pipe.write:every-3"``
+        (a bare ``tag`` means ``always``).
+        """
+        if isinstance(spec, cls):
+            return spec
+        if isinstance(spec, dict):
+            return cls(rules=spec)
+        if not isinstance(spec, str):
+            raise TypeError("fault spec must be a FaultSet, dict, or str")
+        rules = {}
+        for part in spec.replace(";", ",").split(","):
+            part = part.strip()
+            if not part:
+                continue
+            tag, _, schedule = part.partition(":")
+            rules[tag.strip()] = FaultRule.parse(schedule or "always")
+        return cls(rules=rules)
+
+    @classmethod
+    def random(cls, seed, rate=0.05, tags=None):
+        """A seeded random fault set firing each site at *rate*."""
+        return cls(seed=seed, rate=rate, tags=tags)
+
+    def check(self, tag, errno=None, kernel=None, proc=None):
+        """One site consultation: raise the injected error if armed.
+
+        *errno* is the site's default (``SITES[tag]`` when omitted); a
+        deterministic rule's own errno wins over it.  *kernel* and
+        *proc*, when the site has them, route the injection through the
+        obs bus as a full ``fault.inject`` event; otherwise only the
+        metrics counter and the set's own per-tag counts record it.
+        """
+        self.checked[tag] = self.checked.get(tag, 0) + 1
+        rule = self.rules.get(tag)
+        if rule is not None:
+            fire = rule.should_fire()
+            if fire and rule.errno is not None:
+                errno = rule.errno
+        elif self._rng is not None and (self.tags is None or tag in self.tags):
+            fire = self._rng.random() < self.rate
+        else:
+            fire = False
+        if not fire:
+            return
+        if errno is None:
+            errno = SITES[tag]
+        self.fired[tag] = self.fired.get(tag, 0) + 1
+        if kernel is not None:
+            obs = kernel.obs
+            if obs is not None:
+                if obs.metrics_on:
+                    obs.metrics.inc((ev.FAULT_INJECT, tag))
+                if proc is not None and obs.wants(proc):
+                    obs.emit(ev.FAULT_INJECT, proc, tag,
+                             "injected %s" % errno_name(errno))
+        raise SyscallError(errno, "injected fault at %s" % tag)
+
+    def stats(self):
+        """Per-tag consultation and injection counts (plain dicts)."""
+        return {
+            "checked": dict(self.checked),
+            "fired": dict(self.fired),
+            "seed": self.seed,
+            "rate": self.rate,
+        }
+
+    def total_fired(self):
+        """How many injections this set has performed altogether."""
+        return sum(self.fired.values())

@@ -82,7 +82,7 @@ class Kernel:
     """A booted simulated machine."""
 
     def __init__(self, hostname="mach25.repro", page_size=4096,
-                 fastpaths=None, obs=None):
+                 fastpaths=None, obs=None, guard=None):
         self.hostname = hostname
         self.page_size = page_size
         self.clock = Clock()
@@ -98,6 +98,10 @@ class Kernel:
                                  namecache=self.namecache,
                                  zero_copy=self.fastpaths.zero_copy)
         self._next_dev = 2
+        #: every volume this kernel created, for machine-wide toggles
+        #: (fault-site arming); umount does not remove entries — a
+        #: detached volume keeps its inodes and may be re-mounted
+        self._volumes = [self.rootfs]
 
         self._lock = threading.Lock()
         self._sleepq = threading.Condition(self._lock)
@@ -140,6 +144,21 @@ class Kernel:
         if obs:
             from repro.obs.core import enable_from_spec
             enable_from_spec(self, obs)
+
+        #: trap-spine agent fault containment (see
+        #: :mod:`repro.toolkit.guard`); None — the default — keeps the
+        #: guard hook to one ``is None`` test on interposed calls, the
+        #: same pay-per-use discipline as obs.  The *guard* constructor
+        #: argument installs a rail at boot from a policy spec
+        #: (``"fail-stop"``, ``"fail-open"``, ``"quarantine:3"``).
+        self.guard = None
+        if guard:
+            from repro.toolkit.guard import install_guard
+            install_guard(self, guard)
+
+        #: armed kernel fault sites (see :mod:`repro.kernel.faultsite`);
+        #: None — the default — keeps every site to one ``is None`` test
+        self.faultsites = None
 
         self._host = _HostContext(self)
         self._make_dev_tree()
@@ -574,8 +593,33 @@ class Kernel:
         fs = Filesystem(self.clock, dev=self._next_dev,
                         namecache=self.namecache,
                         zero_copy=self.fastpaths.zero_copy)
+        fs.faultsites = self.faultsites
         self._next_dev += 1
+        self._volumes.append(fs)
         return fs
+
+    def arm_faults(self, sites):
+        """Arm seed-scheduled kernel fault sites on the whole machine.
+
+        *sites* is a :class:`repro.kernel.faultsite.FaultSet` (or a spec
+        accepted by its ``parse``); it is installed on the kernel and on
+        every volume, so ufs/pipe/namei internals consult it.  Returns
+        the installed set.  ``disarm_faults`` restores the seed paths.
+        """
+        from repro.kernel.faultsite import FaultSet
+        sites = FaultSet.parse(sites)
+        self.faultsites = sites
+        for fs in self._volumes:
+            fs.faultsites = sites
+        return sites
+
+    def disarm_faults(self):
+        """Disarm every kernel fault site; returns the detached set."""
+        sites = self.faultsites
+        self.faultsites = None
+        for fs in self._volumes:
+            fs.faultsites = None
+        return sites
 
     def mount(self, fs, path):
         """Mount *fs* on the directory at *path* (host-side operation)."""
@@ -673,9 +717,15 @@ class Kernel:
             self.finish_exit_locked(proc, term_signal=sig.SIGSEGV)
 
     def _join_all(self, timeout):
-        deadline = timeout
-        for thread in list(self._threads):
-            thread.join(timeout=deadline)
+        # Re-read the list each pass: joining a parent can reveal threads
+        # it forked after this call started.  A plain snapshot would miss
+        # orphans whose parent died without waiting (e.g. a fail-stop
+        # kill mid-pipeline), letting callers observe a half-dead world.
+        joined = 0
+        while joined < len(self._threads):
+            thread = self._threads[joined]
+            joined += 1
+            thread.join(timeout=timeout)
             if thread.is_alive():
                 raise RuntimeError("simulated process %s did not exit" % thread.name)
         self._threads = []

@@ -125,6 +125,13 @@ def namei(ctx, path, follow=True, want_parent=False):
     mount-crossing logic depends on the calling context, not just the
     directory).
     """
+    kernel = getattr(ctx, "kernel", None)
+    if kernel is not None:
+        sites = getattr(kernel, "faultsites", None)
+        if sites is not None:
+            # Before any walking: no permission checks done, no cache
+            # entries touched, no mount crossed.
+            sites.check("namei.lookup", kernel=kernel)
     absolute, components, trailing = _split(path)
     root_dir = ctx.root_dir
     current = root_dir if absolute else ctx.cwd

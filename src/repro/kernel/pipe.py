@@ -72,6 +72,11 @@ class Pipe:
 
     def read(self, kernel, proc, count):
         """Take up to *count* bytes; blocks while writers remain."""
+        sites = kernel.faultsites
+        if sites is not None:
+            # At entry, before sleeping or consuming: the buffer and the
+            # end counts are untouched by an injected error.
+            sites.check("pipe.read", kernel=kernel, proc=proc)
         if count == 0:
             return b""
         would_block = not self.buffer and self.writers > 0
@@ -97,6 +102,10 @@ class Pipe:
         """Append *data*, blocking when full; EPIPE + SIGPIPE with no readers."""
         if not isinstance(data, (bytes, bytearray)):
             raise SyscallError(EINVAL, "pipe write wants bytes")
+        sites = kernel.faultsites
+        if sites is not None:
+            # At entry: nothing buffered yet, no sleeper disturbed.
+            sites.check("pipe.write", kernel=kernel, proc=proc)
         total = 0
         view = memoryview(bytes(data))
         while total < len(view) or (len(view) == 0 and total == 0):

@@ -107,12 +107,20 @@ def sys_kernel_stats(kernel, proc):
     available; with a fast path off, its section reports accordingly.
     The ``spans`` section carries the causal span assembler's counters
     (``{"enabled": False}`` when span tracing is off), so agents can
-    introspect the trace being built about them.
+    introspect the trace being built about them.  The ``guard`` and
+    ``faultsites`` sections do the same for agent fault containment and
+    armed kernel fault sites (``{"enabled": False}`` when off).
     """
     cache = kernel.namecache
     obs = kernel.obs
     spans = (obs.spans.counts() if obs is not None and obs.spans is not None
              else {"enabled": False})
+    rail = kernel.guard
+    if rail is not None:
+        guard = dict(rail.stats.snapshot(), policy=rail.policy.mode)
+    else:
+        guard = {"enabled": False}
+    sites = kernel.faultsites
     return {
         "fastpaths": kernel.fastpaths.describe(),
         "trap": {
@@ -121,4 +129,6 @@ def sys_kernel_stats(kernel, proc):
         },
         "namecache": cache.stats() if cache is not None else {"enabled": False},
         "spans": spans,
+        "guard": guard,
+        "faultsites": sites.stats() if sites is not None else {"enabled": False},
     }

@@ -44,7 +44,13 @@ def sys_open(kernel, proc, path, flags=0, mode=0o666):
         credmod.check_access(parent, proc.cred, credmod.W_OK)
         fs = parent.fs
         inode = fs.create_file((mode & 0o7777) & ~proc.umask, proc.cred)
-        fs.link(parent, result.name, inode)
+        try:
+            fs.link(parent, result.name, inode)
+        except SyscallError:
+            # Unwind the creat: the fresh inode (nlink 0, never opened)
+            # must not survive a failed link, or it leaks in the table.
+            fs.maybe_reclaim(inode)
+            raise
     else:
         if flags & O_CREAT and flags & O_EXCL:
             raise SyscallError(EEXIST, path)
@@ -134,7 +140,12 @@ def sys_mknod(kernel, proc, path, mode, dev=0):
         inode = fs.create_file(perm, proc.cred)
     else:
         raise SyscallError(EINVAL, "mknod type %o" % fmt)
-    fs.link(parent, result.name, inode)
+    try:
+        fs.link(parent, result.name, inode)
+    except SyscallError:
+        # Same unwind as creat: never leak the just-allocated node.
+        fs.maybe_reclaim(inode)
+        raise
     return 0
 
 
@@ -204,7 +215,12 @@ def sys_symlink(kernel, proc, target, path):
     credmod.check_access(parent, proc.cred, credmod.W_OK)
     fs = parent.fs
     inode = fs.create_symlink(target, proc.cred)
-    fs.link(parent, result.name, inode)
+    try:
+        fs.link(parent, result.name, inode)
+    except SyscallError:
+        # Same unwind as creat: never leak the just-allocated node.
+        fs.maybe_reclaim(inode)
+        raise
     return 0
 
 

@@ -182,7 +182,15 @@ class UserContext:
             if handler is not None:
                 # Redirected: the agent's handler runs here, in the
                 # client's own context (same address space, same thread).
-                result = handler(self, number, args)
+                # With a guard rail installed, the invocation goes
+                # through it so agent faults are contained per policy;
+                # fast-path traps for interposed numbers fall through to
+                # this same site, so one hook covers every dispatch path.
+                guard = kernel.guard
+                if guard is not None:
+                    result = guard.run_handler(self, handler, number, args)
+                else:
+                    result = handler(self, number, args)
             else:
                 result = kernel.do_syscall(proc, number, args)
         except SyscallError:
@@ -219,7 +227,11 @@ class UserContext:
         start = kernel.clock.usec()
         try:
             if handler is not None:
-                result = handler(self, number, args)
+                guard = kernel.guard
+                if guard is not None:
+                    result = guard.run_handler(self, handler, number, args)
+                else:
+                    result = handler(self, number, args)
             else:
                 result = kernel.do_syscall(proc, number, args)
         except SyscallError as err:
@@ -282,7 +294,12 @@ def deliver_pending_signals(ctx):
                     obs.metrics.inc((ev.SIG_UPCALL, signame))
                 if obs.wants(proc):
                     obs.emit(ev.SIG_UPCALL, proc, signame)
-            redirect(ctx, signum, proc.dispositions[signum])
+            guard = kernel.guard
+            if guard is not None:
+                guard.run_signal(ctx, redirect, signum,
+                                 proc.dispositions[signum])
+            else:
+                redirect(ctx, signum, proc.dispositions[signum])
         else:
             deliver_signal_to_application(kernel, proc, signum)
 

@@ -42,6 +42,10 @@ class Filesystem:
         #: when true, ``RegularFile.read_at`` hands out memoryview-backed
         #: slices instead of copying twice (see repro.kernel.fastpath)
         self.zero_copy = zero_copy
+        #: armed kernel fault sites (see repro.kernel.faultsite), set by
+        #: Kernel.arm_faults; ``None`` — always the case during volume
+        #: construction — keeps every site to one ``is None`` test
+        self.faultsites = None
         #: directory inode (in another fs) this volume is mounted on
         self.covered = None
         self.root = self._make(Directory, mode=0o755, uid=0, gid=0)
@@ -53,6 +57,11 @@ class Filesystem:
     # -- inode table ------------------------------------------------------
 
     def _make(self, cls, mode, uid, gid, **extra):
+        sites = self.faultsites
+        if sites is not None:
+            # Before the inode exists: a fault here must leave the table
+            # exactly as it was.
+            sites.check("ufs.make")
         if len(self._inodes) >= self.max_inodes:
             raise SyscallError(ENOSPC, "out of inodes")
         ino = self._next_ino
@@ -104,6 +113,10 @@ class Filesystem:
 
     def link(self, dirnode, name, inode):
         """Enter *name* → *inode* in *dirnode*, bumping the link count."""
+        sites = self.faultsites
+        if sites is not None:
+            # Before the entry and the nlink bump, so neither happens.
+            sites.check("ufs.link")
         if inode.nlink >= LINK_MAX:
             raise SyscallError(EMLINK)
         dirnode.enter(name, inode.ino)
@@ -113,6 +126,10 @@ class Filesystem:
 
     def unlink(self, dirnode, name, inode):
         """Remove *name* from *dirnode* and drop the inode's link count."""
+        sites = self.faultsites
+        if sites is not None:
+            # Before the removal, so entry and nlink stay consistent.
+            sites.check("ufs.unlink")
         dirnode.remove(name)
         inode.nlink -= 1
         inode.touch_ctime(self.clock.usec())

@@ -18,6 +18,10 @@ Scope decisions each rule makes:
   suppressions rather than a blanket exemption.
 * L006 applies only to modules under an ``agents`` directory: the
   toolkit's boilerplate *is* the sanctioned kernel-facing mechanism.
+* L008 looks only at handler methods (``sys_*``, ``handle_syscall``,
+  ``handle_signal``): those are where an escaping ``SyscallError`` *is*
+  the call's errno result, so a broad ``except`` that fails to re-raise
+  silently converts failure into success.
 """
 
 import ast
@@ -349,6 +353,95 @@ def _check_signal_forwarding(path, agentish, out):
                     % (class_name, item.name)))
 
 
+# -- L008: broad except clauses must not swallow SyscallError -----------
+
+#: handler methods whose exceptions are protocol-bearing: a SyscallError
+#: escaping one IS the call's errno result
+_HANDLER_METHOD_RE = re.compile(r"^(sys_\w+|handle_syscall|handle_signal)$")
+
+_BROAD_EXC_NAMES = frozenset({"Exception", "BaseException"})
+
+
+def _is_broad_handler(handler):
+    """True for ``except:``, ``except Exception``, ``except BaseException``."""
+    if handler.type is None:
+        return True
+    name = _base_name(handler.type)
+    return name in _BROAD_EXC_NAMES
+
+
+def _reraises(handler):
+    """True when the except clause's body contains any ``raise``."""
+    return any(isinstance(child, ast.Raise) for child in ast.walk(handler))
+
+
+def _names_syscallerror(type_node):
+    """True when an except type plausibly includes SyscallError.
+
+    Matches ``SyscallError`` itself (bare, dotted, or inside a tuple)
+    and ALL_CAPS alias names — the convention for module-level
+    exception tuples like the guard layer's ``PASS_THROUGH``.  A
+    concrete foreign exception (``ValueError``, ...) does not match:
+    re-raising *that* still lets a broad later clause eat SyscallError.
+    """
+    for node in ast.walk(type_node):
+        name = None
+        if isinstance(node, ast.Name):
+            name = node.id
+        elif isinstance(node, ast.Attribute):
+            name = node.attr
+        if name is None:
+            continue
+        if name == "SyscallError" or name.isupper():
+            return True
+    return False
+
+
+def _check_error_swallowing(path, agentish, out):
+    """L008: in handler methods, a broad except that swallows.
+
+    A broad clause is fine when its own body re-raises (bare ``raise``
+    or a translated error), or when an *earlier* clause of the same
+    ``try`` re-raises — the guard layer's ``except PASS_THROUGH: raise``
+    followed by ``except BaseException`` is the sanctioned containment
+    shape, and the earlier clause is what keeps SyscallError flowing.
+    Anything else turns the protocol's failure signal into a silent
+    success the client cannot distinguish from a real result.
+    """
+    for class_name, node in sorted(agentish.items()):
+        for item in node.body:
+            if not (isinstance(item, ast.FunctionDef)
+                    and _HANDLER_METHOD_RE.match(item.name)):
+                continue
+            symbol = "%s.%s" % (class_name, item.name)
+            for child in ast.walk(item):
+                if not isinstance(child, ast.Try):
+                    continue
+                protected = False
+                for handler in child.handlers:
+                    if _is_broad_handler(handler):
+                        if protected or _reraises(handler):
+                            continue
+                        shown = ("except:" if handler.type is None
+                                 else "except %s"
+                                 % _base_name(handler.type))
+                        out(_finding(
+                            "L008", path, handler, symbol,
+                            "%s catches SyscallError in a broad %r "
+                            "clause and never re-raises — the call's "
+                            "errno result is swallowed and marshalled "
+                            "as success; re-raise the protocol "
+                            "exceptions first (see repro.toolkit.guard "
+                            "PASS_THROUGH), then contain the rest"
+                            % (symbol, shown)))
+                    elif (_reraises(handler)
+                            and _names_syscallerror(handler.type)):
+                        # An earlier clause that catches the protocol
+                        # exceptions and re-raises them: broad clauses
+                        # after it can no longer see SyscallError.
+                        protected = True
+
+
 # -- L006: no kernel internals from agent code --------------------------
 
 
@@ -415,6 +508,7 @@ def check_module(path, tree, model, in_agents_package):
     _check_error_returns(path, agentish, out)
     _check_syscallerror_args(path, tree, model, out)
     _check_signal_forwarding(path, agentish, out)
+    _check_error_swallowing(path, agentish, out)
     if in_agents_package:
         _check_layer_bypass(path, tree, out)
     return findings

@@ -1,6 +1,6 @@
 """The rule registry: stable ids, severities, and one-line contracts.
 
-Every agentlint rule has a stable id (``L001`` .. ``L007``) used in
+Every agentlint rule has a stable id (``L001`` .. ``L008``) used in
 output, in ``# repro-lint: disable=`` suppressions, and in baseline
 files.  The registry is the single source of truth the CLI, the docs
 test, and ``docs/LINTING.md`` draw on; rule *implementations* live in
@@ -90,6 +90,18 @@ _register(
     "a method without an entry can never be reached — either way "
     "completeness (paper Goal 2, Section 3.2) is broken before "
     "anything runs.",
+)
+_register(
+    "L008", ERROR,
+    "broad except clauses in handler methods re-raise or are preceded "
+    "by a handler that does — SyscallError must not be swallowed",
+    "a bare ``except:`` (or ``except Exception``/``BaseException``) in "
+    "a sys_*/handle_syscall/handle_signal body catches SyscallError "
+    "too; if nothing in the clause re-raises, the protocol's failure "
+    "signal is converted into a silent success and the client sees a "
+    "wrong result instead of an errno (the containment layer, "
+    "repro.toolkit.guard, shows the sanctioned shape: re-raise the "
+    "protocol exceptions first, then contain the rest).",
 )
 
 

@@ -26,6 +26,18 @@ can switch on them without string guessing:
     from the toolkit's ``jump_to_image`` in its detail field.
 ``pipe.block`` / ``pipe.wakeup``
     A process blocked on (and was later woken from) a pipe end.
+``guard.fault`` / ``guard.kill`` / ``guard.quarantine``
+    Agent fault containment (see :mod:`repro.toolkit.guard`): an agent
+    handler raised an unexpected exception and was contained; the
+    containment policy killed the client process; an agent crossed its
+    fault budget and was ejected from the interposition stack.
+``remote.stall``
+    A :class:`~repro.toolkit.remote.SeparateSpaceAgent` IPC watchdog
+    fired: the agent task died mid-call, missed its reply deadline, or
+    failed to stop at shutdown.
+``fault.inject``
+    A kernel fault site (see :mod:`repro.kernel.faultsite`) injected an
+    error; the name field carries the site tag.
 
 Events are deliberately flat — integers and strings only — so the same
 object serves the ktrace ring buffer, bus subscribers, and the JSON-lines
@@ -52,6 +64,11 @@ PROC_EXECVE = "proc.execve"
 PROC_EXIT = "proc.exit"
 PIPE_BLOCK = "pipe.block"
 PIPE_WAKEUP = "pipe.wakeup"
+GUARD_FAULT = "guard.fault"
+GUARD_KILL = "guard.kill"
+GUARD_QUARANTINE = "guard.quarantine"
+REMOTE_STALL = "remote.stall"
+FAULT_INJECT = "fault.inject"
 
 #: every event kind the kernel emits, in rough trap-spine order
 KINDS = (
@@ -66,6 +83,11 @@ KINDS = (
     PROC_EXIT,
     PIPE_BLOCK,
     PIPE_WAKEUP,
+    GUARD_FAULT,
+    GUARD_KILL,
+    GUARD_QUARANTINE,
+    REMOTE_STALL,
+    FAULT_INJECT,
 )
 
 

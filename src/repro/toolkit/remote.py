@@ -27,8 +27,25 @@ other agents like any other.
 import copy
 import queue
 import threading
+import time
 
+from repro.kernel.errno import EIO, SyscallError
+from repro.obs import events as ev
 from repro.toolkit.boilerplate import Agent
+
+#: default reply deadline, in host seconds.  Deliberately generous: an
+#: agent legitimately holding a client's blocking call (a pipe read,
+#: say) is not a failure, and the kernel's own sleep watchdog (30s)
+#: converts a genuinely stuck sleep into an exception that flows back
+#: as a reply long before this fires.  The watchdog is the backstop for
+#: an agent task that is alive but wedged outside the kernel.
+DEFAULT_WATCHDOG = 60.0
+
+#: reply-poll backoff bounds, in host seconds: the wait starts hot (an
+#: IPC round trip is normally microseconds) and backs off exponentially
+#: so a long-blocked call costs no busy spin
+_POLL_MIN = 0.005
+_POLL_MAX = 0.25
 
 
 def _marshal(value, _depth=0):
@@ -58,13 +75,17 @@ def _marshal(value, _depth=0):
 
 
 class _Request:
-    __slots__ = ("kind", "ctx", "payload", "reply")
+    __slots__ = ("kind", "ctx", "payload", "reply", "claimed")
 
     def __init__(self, kind, ctx, payload):
         self.kind = kind
         self.ctx = ctx
         self.payload = payload
         self.reply = queue.Queue(maxsize=1)
+        #: set by the dispatcher the moment a service thread takes the
+        #: request: an unclaimed request whose dispatcher died will
+        #: never be served, and the client can say so immediately
+        self.claimed = False
 
 
 class SeparateSpaceAgent(Agent):
@@ -72,16 +93,21 @@ class SeparateSpaceAgent(Agent):
 
     OBS_LAYER = "remote"
 
-    def __init__(self, inner):
+    def __init__(self, inner, watchdog=DEFAULT_WATCHDOG):
         super().__init__()
         self.inner = inner
+        #: reply deadline in host seconds (None disables the watchdog)
+        self.watchdog = watchdog
         self._requests = queue.Queue()
+        self._stopping = False
         self._dispatcher = threading.Thread(
             target=self._dispatch, name="agent-task", daemon=True
         )
         self._dispatcher.start()
         #: IPC round trips paid so far (two hops each)
         self.ipc_round_trips = 0
+        #: IPC failures surfaced (dead dispatcher or watchdog expiry)
+        self.stalls = 0
 
     # -- the agent task ---------------------------------------------------
 
@@ -92,11 +118,21 @@ class SeparateSpaceAgent(Agent):
         blocking call (a pipe read held in the agent, say) from stalling
         every other client — the concurrency an in-space agent gets for
         free from running on its clients' own threads.
+
+        The accept loop wakes periodically rather than blocking forever,
+        so a shutdown whose ``None`` sentinel was lost (or raced) still
+        stops the task via the ``_stopping`` flag.
         """
         while True:
-            request = self._requests.get()
+            try:
+                request = self._requests.get(timeout=0.5)
+            except queue.Empty:
+                if self._stopping:
+                    return
+                continue
             if request is None:
                 return
+            request.claimed = True
             threading.Thread(
                 target=self._serve_one, args=(request,), daemon=True
             ).start()
@@ -132,20 +168,86 @@ class SeparateSpaceAgent(Agent):
         except BaseException as exc:  # errors AND control transfers
             request.reply.put(("raise", exc))
 
+    def _stall(self, name, detail):
+        """Record one IPC failure: counter, obs event, clean error."""
+        self.stalls += 1
+        ctx = getattr(self._tls, "ctx", None)
+        if ctx is not None:
+            obs = ctx.kernel.obs
+            if obs is not None:
+                if obs.metrics_on:
+                    obs.metrics.inc((ev.REMOTE_STALL, name))
+                if obs.wants(ctx.proc):
+                    obs.emit(ev.REMOTE_STALL, ctx.proc, name, detail)
+        return SyscallError(EIO, "agent task: %s" % detail)
+
+    def _await_reply(self, request, kind):
+        """Wait for *request*'s reply with watchdog + liveness checks.
+
+        The wait polls with exponential backoff rather than blocking
+        unboundedly: every miss rechecks the dispatcher, so a crashed
+        agent task surfaces as a clean :class:`SyscallError` instead of
+        hanging the client forever.  After any failure verdict, a final
+        non-blocking drain catches a reply that raced in — a late
+        answer always beats a fabricated error.
+        """
+        deadline = (time.monotonic() + self.watchdog
+                    if self.watchdog is not None else None)
+        delay = _POLL_MIN
+        while True:
+            try:
+                return request.reply.get(timeout=delay)
+            except queue.Empty:
+                pass
+            delay = min(delay * 2, _POLL_MAX)
+            if not self._dispatcher.is_alive() and not request.claimed:
+                # The accept loop is gone and never took this request:
+                # no reply can ever come.  (A claimed request may still
+                # be served by its service thread — keep waiting.)
+                try:
+                    return request.reply.get_nowait()
+                except queue.Empty:
+                    raise self._stall(
+                        kind, "dispatcher dead before %r was served" % kind
+                    ) from None
+            if deadline is not None and time.monotonic() > deadline:
+                try:
+                    return request.reply.get_nowait()
+                except queue.Empty:
+                    raise self._stall(
+                        kind,
+                        "no reply to %r within %gs watchdog"
+                        % (kind, self.watchdog),
+                    ) from None
+
     def _rpc(self, kind, payload):
         request = _Request(kind, self.ctx, _marshal(payload))
         self._requests.put(request)
-        status, value = request.reply.get()
+        status, value = self._await_reply(request, kind)
         self.ipc_round_trips += 1
         if status == "raise":
             raise value  # SyscallError, ProcessExit, ExecImage, ...
         return value
 
-    def shutdown(self):
-        """Stop the dispatcher (idempotent; service threads are daemons)."""
+    def shutdown(self, timeout=5.0):
+        """Stop the dispatcher (idempotent; service threads are daemons).
+
+        Returns True when the agent task stopped (or had already
+        stopped) within *timeout*; a stuck dispatcher returns False and
+        is reported with a ``remote.stall`` event rather than silently
+        ignored.
+        """
+        self._stopping = True
         if self._dispatcher.is_alive():
             self._requests.put(None)
-            self._dispatcher.join(timeout=5)
+            self._dispatcher.join(timeout=timeout)
+            if self._dispatcher.is_alive():
+                self._stall(
+                    "shutdown",
+                    "dispatcher still running %gs after shutdown" % timeout,
+                )
+                return False
+        return True
 
     # -- the client-side stubs --------------------------------------------
 

@@ -1,0 +1,274 @@
+"""The seeded chaos harness: faulty agents + kernel faults + invariants.
+
+A chaos *scenario* is a pure function of its seed: boot a world, arm
+seeded kernel fault sites (:mod:`repro.kernel.faultsite`), run a
+workload under a seeded randomly-crashing agent
+(:mod:`repro.agents.chaos`) contained by one of the guard policies
+(:mod:`repro.toolkit.guard`), and then — whatever happened — assert the
+*machine invariants* that fault containment exists to protect:
+
+* no process left running or stopped (everything exited or zombified);
+* every exited process's descriptor table fully closed;
+* no inode on any volume still holding open references;
+* every inode reachable from its volume root, with a link count exactly
+  equal to the directory entries that name it (directories included,
+  ``.``/``..`` and all);
+* no thread asleep in the kernel (nobody stuck on a pipe or wait);
+* no host-level panics — a contained agent fault must never surface as
+  a client crash.
+
+A scenario *passes* when the invariants hold; the workload's own exit
+status is free to be a failure (fail-stop deliberately kills clients).
+The harness is the PR's acceptance instrument: ``scripts/chaos.py``
+runs a suite of seeds in CI and fails loudly on the first violation.
+"""
+
+from repro.agents.chaos import ChaosAgent
+from repro.kernel import stat as st
+from repro.kernel.errno import SyscallError
+from repro.kernel.faultsite import FaultSet
+from repro.kernel.kernel import ProgramCrash
+from repro.kernel.proc import RUNNING, STOPPED, WEXITSTATUS, WIFSIGNALED
+from repro.toolkit.boilerplate import run_under_agent
+from repro.toolkit.guard import GuardedAgent
+from repro.workloads.world import boot_world
+
+#: the three policies a suite cycles through
+POLICIES = ("fail-open", "quarantine", "fail-stop")
+
+#: both containment mechanisms a suite alternates between
+MECHANISMS = ("wrapper", "rail")
+
+
+def _script_files(kernel):
+    """A short file/dir churn: create, link, unlink, read back."""
+    return ("/bin/sh", ["sh", "-c",
+            "mkdir /tmp/chaos; echo data > /tmp/chaos/a; "
+            "ln /tmp/chaos/a /tmp/chaos/b; cat /tmp/chaos/b > /tmp/chaos/c; "
+            "rm /tmp/chaos/a; rm /tmp/chaos/b; rm /tmp/chaos/c; "
+            "rmdir /tmp/chaos"])
+
+
+def _script_pipes(kernel):
+    """A pipeline: fork, pipe traffic, wait, under chaos."""
+    return ("/bin/sh", ["sh", "-c",
+            "echo one > /tmp/p.txt; echo two >> /tmp/p.txt; "
+            "cat /tmp/p.txt | wc -l | cat; rm /tmp/p.txt"])
+
+
+def _script_procs(kernel):
+    """Process churn: conditionals, redirection, small pipeline fan-out."""
+    return ("/bin/sh", ["sh", "-c",
+            "echo x | cat > /tmp/q.txt && cat /tmp/q.txt | cat | wc -c; "
+            "rm /tmp/q.txt || echo missed"])
+
+
+def _format_workload(kernel):
+    """The paper's dissertation-formatting workload, under chaos."""
+    from repro.workloads import format_dissertation
+    manuscript = format_dissertation.setup(kernel)
+    return ("/usr/bin/scribe",
+            ["scribe", manuscript, format_dissertation.OUTPUT])
+
+
+#: workload name -> builder(kernel) -> (path, argv); builders may write
+#: setup files (setup runs before fault sites are armed)
+WORKLOADS = {
+    "files": _script_files,
+    "pipes": _script_pipes,
+    "procs": _script_procs,
+    "format": _format_workload,
+}
+
+
+def check_invariants(kernel):
+    """Machine invariants after a scenario; returns violation strings.
+
+    Everything here must hold *no matter what* the chaos did — these
+    are the properties fault containment promises to preserve.  Clean
+    descriptor tables plus an empty sleep queue together imply no stuck
+    pipes: nothing references a pipe end, and nothing is blocked on one.
+    """
+    violations = []
+    with kernel._sleepq:
+        procs = list(kernel._procs.values())
+        sleepers = kernel._sleepers
+    for proc in procs:
+        if proc.state in (RUNNING, STOPPED):
+            violations.append("pid %d (%s) still %s"
+                              % (proc.pid, proc.comm, proc.state))
+        open_fds = proc.fdtable.descriptors()
+        if open_fds:
+            violations.append("pid %d (%s) left descriptors open: %r"
+                              % (proc.pid, proc.comm, open_fds))
+    if sleepers:
+        violations.append("%d thread(s) still asleep in the kernel"
+                          % sleepers)
+    for pid, comm, exc, _ in kernel.panics:
+        violations.append("host panic in pid %d (%s): %r" % (pid, comm, exc))
+    for fs in kernel._volumes:
+        violations.extend(_check_volume(fs))
+    return violations
+
+
+def _check_volume(fs):
+    """Reference-count invariants for one volume.
+
+    Walks every directory reachable from the root, counting the entries
+    that name each inode (``.`` and ``..`` included), then demands the
+    count equal each inode's ``nlink``, that no inode still has open
+    references, and that nothing unreachable survives in the table —
+    an unreachable inode with no open file is a leak the reclamation
+    rule (``nlink <= 0 and open_count == 0``) should have freed.
+    """
+    violations = []
+    refs = {}
+    seen = set()
+    stack = [fs.root]
+    while stack:
+        node = stack.pop()
+        if node.ino in seen:
+            continue
+        seen.add(node.ino)
+        for name, ino in node.entries.items():
+            refs[ino] = refs.get(ino, 0) + 1
+            child = fs._inodes.get(ino)
+            if child is None:
+                violations.append(
+                    "dev %d: dangling entry %r -> ino %d in ino %d"
+                    % (fs.dev, name, ino, node.ino))
+            elif st.S_ISDIR(child.mode) and name not in (".", ".."):
+                stack.append(child)
+    for ino, inode in fs._inodes.items():
+        if inode.open_count != 0:
+            violations.append("dev %d: ino %d open_count %d after quiesce"
+                              % (fs.dev, ino, inode.open_count))
+        expected = refs.get(ino, 0)
+        if ino not in seen and not st.S_ISDIR(inode.mode):
+            if expected == 0:
+                violations.append("dev %d: orphaned ino %d (nlink %d)"
+                                  % (fs.dev, ino, inode.nlink))
+                continue
+        if inode.nlink != expected:
+            violations.append(
+                "dev %d: ino %d nlink %d but %d reachable entr%s"
+                % (fs.dev, ino, inode.nlink, expected,
+                   "y" if expected == 1 else "ies"))
+    return violations
+
+
+class ChaosReport:
+    """Outcome of one scenario: what ran, what faulted, what held."""
+
+    def __init__(self, seed, policy, mechanism, workload):
+        self.seed = seed
+        self.policy = policy
+        self.mechanism = mechanism
+        self.workload = workload
+        #: "exit" (normal status), "killed" (fail-stop took the client),
+        #: "error" (the run itself raised SyscallError), or "panic"
+        self.outcome = None
+        self.status = None
+        self.agent_faults = 0
+        self.guard_stats = {}
+        self.site_stats = {}
+        self.violations = []
+
+    @property
+    def passed(self):
+        """True when every machine invariant held (the pass criterion)."""
+        return not self.violations
+
+    def to_dict(self):
+        """A JSON-ready rendering for reports and the CLI."""
+        return {
+            "seed": self.seed,
+            "policy": self.policy,
+            "mechanism": self.mechanism,
+            "workload": self.workload,
+            "outcome": self.outcome,
+            "status": self.status,
+            "agent_faults": self.agent_faults,
+            "guard": self.guard_stats,
+            "faultsites": self.site_stats,
+            "violations": list(self.violations),
+            "passed": self.passed,
+        }
+
+    def __repr__(self):
+        verdict = "ok" if self.passed else "VIOLATED"
+        return ("<ChaosReport seed=%d %s/%s/%s %s faults=%d %s>"
+                % (self.seed, self.policy, self.mechanism, self.workload,
+                   self.outcome, self.agent_faults, verdict))
+
+
+def run_scenario(seed, policy="fail-open", mechanism="wrapper",
+                 workload="files", agent_rate=0.05, site_rate=0.01,
+                 timeout=60.0):
+    """Run one seeded chaos scenario; returns its :class:`ChaosReport`.
+
+    The scenario is deterministic in *seed* (plus the knob arguments):
+    the agent's fault stream and the kernel sites' fault stream are both
+    drawn from generators seeded by it.  Setup (world boot, workload
+    files) happens before fault sites are armed, so scenarios always
+    start from an intact machine.
+    """
+    if workload not in WORKLOADS:
+        raise ValueError("unknown workload %r (know %s)"
+                         % (workload, ", ".join(sorted(WORKLOADS))))
+    report = ChaosReport(seed, policy, mechanism, workload)
+    inner = ChaosAgent(seed=seed, rate=agent_rate)
+    if mechanism == "wrapper":
+        kernel = boot_world()
+        agent = GuardedAgent(inner, policy)
+    elif mechanism == "rail":
+        kernel = boot_world(guard=policy)
+        agent = inner
+    else:
+        raise ValueError("unknown mechanism %r" % (mechanism,))
+    path, argv = WORKLOADS[workload](kernel)
+    sites = kernel.arm_faults(FaultSet.random(seed, rate=site_rate))
+    try:
+        status = run_under_agent(kernel, agent, path, argv, timeout=timeout)
+        report.status = status
+        report.outcome = "killed" if WIFSIGNALED(status) else "exit"
+    except ProgramCrash:
+        # Containment failed: an agent exception reached the client.
+        # check_invariants reports the panic as a violation too.
+        report.outcome = "panic"
+    except SyscallError as err:
+        report.outcome = "error"
+        report.status = -err.errno
+    finally:
+        kernel.disarm_faults()
+    report.agent_faults = inner.faults_raised
+    if mechanism == "wrapper":
+        report.guard_stats = agent.stats.snapshot()
+    else:
+        report.guard_stats = kernel.guard.stats.snapshot()
+    report.site_stats = sites.stats()
+    report.violations = check_invariants(kernel)
+    return report
+
+
+def run_suite(count=25, base_seed=0, policies=POLICIES,
+              mechanisms=MECHANISMS, workloads=("files", "pipes", "procs"),
+              agent_rate=0.05, site_rate=0.01):
+    """Run *count* scenarios cycling seeds, policies, mechanisms, and
+    workloads; returns the list of reports.
+
+    Scenario *i* uses seed ``base_seed + i`` and the ``i``-th element
+    (mod length) of each axis, so any failing combination is rerunnable
+    from its report alone.
+    """
+    reports = []
+    for i in range(count):
+        reports.append(run_scenario(
+            seed=base_seed + i,
+            policy=policies[i % len(policies)],
+            mechanism=mechanisms[i % len(mechanisms)],
+            workload=workloads[i % len(workloads)],
+            agent_rate=agent_rate,
+            site_rate=site_rate,
+        ))
+    return reports

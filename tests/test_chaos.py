@@ -1,0 +1,179 @@
+"""The chaos harness: the acceptance instrument, tested itself.
+
+Scenarios must be deterministic in their seed, the invariant checker
+must actually catch corruption (proven by breaking a world by hand),
+and a representative suite must pass — agent faults and kernel faults
+together never violate machine invariants under any guard policy.
+"""
+
+import pytest
+
+from repro.agents.chaos import ChaosAgent, ChaosFault
+from repro.kernel.proc import WEXITSTATUS
+from repro.toolkit import run_under_agent
+from repro.workloads import boot_world
+from repro.workloads.chaos import (
+    MECHANISMS,
+    POLICIES,
+    WORKLOADS,
+    check_invariants,
+    run_scenario,
+    run_suite,
+)
+
+
+# -- the chaos agent ---------------------------------------------------------
+
+
+def test_chaos_agent_fault_stream_replays_from_the_seed():
+    def stream(seed):
+        agent = ChaosAgent(seed=seed, rate=0.3)
+        fired = []
+        for i in range(300):
+            try:
+                agent._misbehave("call")
+            except ChaosFault:
+                fired.append(i)
+        return fired
+
+    assert stream(5) == stream(5)
+    assert stream(5) != stream(6)
+
+
+def test_chaos_agent_at_rate_zero_is_a_pass_through():
+    kernel = boot_world()
+    agent = ChaosAgent(seed=1, rate=0.0)
+    status = run_under_agent(kernel, agent, "/bin/echo", ["echo", "calm"])
+    assert WEXITSTATUS(status) == 0
+    assert b"calm" in kernel.console.take_output()
+    assert agent.faults_raised == 0
+
+
+def test_chaos_agent_loader_args():
+    agent = ChaosAgent()
+    agent.register_interest_many = lambda numbers: None
+    agent.register_signal_interest = lambda: None
+    agent.init(["seed=42", "rate=0.5"])
+    assert agent.seed == 42
+    assert agent.rate == 0.5
+
+
+# -- the invariant checker ---------------------------------------------------
+
+
+def test_invariants_hold_on_a_clean_world():
+    kernel = boot_world()
+    assert WEXITSTATUS(kernel.run("/bin/echo", ["echo", "x"])) == 0
+    kernel.console.take_output()
+    assert check_invariants(kernel) == []
+
+
+def test_invariants_catch_an_orphaned_inode():
+    kernel = boot_world()
+    fs = kernel.rootfs
+    node = fs.create_file(0o644, kernel._host.cred)  # never linked
+    violations = check_invariants(kernel)
+    assert any("orphaned ino %d" % node.ino in v for v in violations)
+
+
+def test_invariants_catch_a_bad_link_count():
+    kernel = boot_world()
+    kernel.write_file("/tmp/f.txt", "x")
+    kernel.lookup_host("/tmp/f.txt").nlink += 1
+    violations = check_invariants(kernel)
+    assert any("nlink 2 but 1 reachable entry" in v for v in violations)
+
+
+def test_invariants_catch_a_dangling_directory_entry():
+    kernel = boot_world()
+    kernel.write_file("/tmp/f.txt", "x")
+    node = kernel.lookup_host("/tmp/f.txt")
+    kernel.rootfs._inodes.pop(node.ino)
+    violations = check_invariants(kernel)
+    assert any("dangling entry" in v for v in violations)
+
+
+def test_invariants_catch_a_leaked_open_count():
+    kernel = boot_world()
+    kernel.write_file("/tmp/f.txt", "x")
+    kernel.lookup_host("/tmp/f.txt").open_count += 1
+    violations = check_invariants(kernel)
+    assert any("open_count 1 after quiesce" in v for v in violations)
+
+
+def test_invariants_catch_a_host_panic():
+    kernel = boot_world()
+
+    def main(ctx):
+        raise RuntimeError("simulated program bug")
+
+    with pytest.raises(Exception):
+        kernel.run_entry(main)
+    violations = check_invariants(kernel)
+    assert any("host panic" in v for v in violations)
+
+
+# -- scenarios ---------------------------------------------------------------
+
+
+def test_scenario_reports_are_deterministic_in_the_seed():
+    first = run_scenario(11, policy="fail-open", mechanism="wrapper",
+                         workload="files")
+    second = run_scenario(11, policy="fail-open", mechanism="wrapper",
+                          workload="files")
+    assert first.passed and second.passed
+    assert first.agent_faults == second.agent_faults
+    assert first.site_stats["fired"] == second.site_stats["fired"]
+    assert first.outcome == second.outcome
+
+
+def test_scenario_report_shape():
+    report = run_scenario(3, policy="quarantine", mechanism="rail",
+                          workload="pipes")
+    doc = report.to_dict()
+    assert sorted(doc) == [
+        "agent_faults", "faultsites", "guard", "mechanism", "outcome",
+        "passed", "policy", "seed", "status", "violations", "workload"]
+    assert doc["policy"] == "quarantine"
+    assert doc["mechanism"] == "rail"
+    assert "ChaosReport" in repr(report)
+    with pytest.raises(ValueError):
+        run_scenario(0, workload="nonsense")
+    with pytest.raises(ValueError):
+        run_scenario(0, mechanism="telepathy")
+
+
+def test_fail_stop_scenarios_leave_the_machine_clean():
+    # High agent fault rate + fail-stop: clients die mid-workload, yet
+    # every invariant holds afterwards (the orphan-join and creat-unwind
+    # regressions live exactly here).
+    for seed in range(4):
+        report = run_scenario(seed, policy="fail-stop", mechanism="rail",
+                              workload="procs", agent_rate=0.3)
+        assert report.passed, report.violations
+        assert report.outcome in ("exit", "killed", "error")
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+@pytest.mark.parametrize("mechanism", MECHANISMS)
+def test_every_policy_and_mechanism_passes_a_scenario(policy, mechanism):
+    report = run_scenario(17, policy=policy, mechanism=mechanism,
+                          workload="files", agent_rate=0.2)
+    assert report.passed, report.violations
+
+
+def test_suite_cycles_the_axes_and_passes():
+    reports = run_suite(count=9)
+    assert len(reports) == 9
+    assert {r.policy for r in reports} == set(POLICIES)
+    assert {r.mechanism for r in reports} == set(MECHANISMS)
+    assert [r.seed for r in reports] == list(range(9))
+    failures = [r for r in reports if not r.passed]
+    assert failures == [], [r.violations for r in failures]
+
+
+def test_format_workload_survives_chaos():
+    report = run_scenario(2, policy="fail-open", mechanism="wrapper",
+                          workload="format", agent_rate=0.02)
+    assert report.passed, report.violations
+    assert "format" in WORKLOADS

@@ -1,0 +1,379 @@
+"""Agent fault containment: policies, mechanisms, and dispatch paths.
+
+A deliberately crashing agent is driven under each guard policy
+(fail-stop, fail-open, quarantine), through both mechanisms (the
+:class:`~repro.toolkit.guard.GuardedAgent` wrapper and the machine-wide
+:class:`~repro.toolkit.guard.GuardRail`), and across all three trap
+dispatch configurations (plain, observed, fast-path) — containment must
+behave identically everywhere.  With no guard installed, the seed
+behaviour (an agent exception surfaces as a client crash) is pinned.
+"""
+
+import pytest
+
+from repro.kernel import signals as sig
+from repro.kernel.errno import EPERM, SyscallError
+from repro.kernel.fastpath import FastPathConfig
+from repro.kernel.kernel import ProgramCrash
+from repro.kernel.proc import WEXITSTATUS, WIFSIGNALED, WTERMSIG
+from repro.kernel.sysent import number_of
+from repro.toolkit import run_under_agent
+from repro.toolkit.boilerplate import Agent
+from repro.toolkit.guard import (
+    GuardedAgent,
+    GuardPolicy,
+    GuardRail,
+    install_guard,
+    uninstall_guard,
+)
+from repro.workloads import boot_world
+
+NR_WRITE = number_of("write")
+NR_GETPID = number_of("getpid")
+
+
+class AgentBug(RuntimeError):
+    """The unexpected (non-SyscallError) exception a buggy agent raises."""
+
+
+class CrashOnWrite(Agent):
+    """Interposes on write and raises a host exception every time."""
+
+    def __init__(self):
+        super().__init__()
+        self.calls = 0
+
+    def init(self, agentargv):
+        """Register interest in write(2)."""
+        self.register_interest_many([NR_WRITE])
+
+    def handle_syscall(self, number, args):
+        """Count the call, then blow up."""
+        self.calls += 1
+        raise AgentBug("bug #%d" % self.calls)
+
+
+class DenyOnWrite(Agent):
+    """Raises a *protocol* error (SyscallError) — not a fault."""
+
+    def init(self, agentargv):
+        """Register interest in write(2)."""
+        self.register_interest_many([NR_WRITE])
+
+    def handle_syscall(self, number, args):
+        """Refuse the write with a clean errno."""
+        raise SyscallError(EPERM, "writes denied")
+
+
+class CrashOnSignal(Agent):
+    """Forwards calls untouched but crashes on every signal upcall."""
+
+    def init(self, agentargv):
+        """Register for signal interposition only."""
+        self.register_signal_interest()
+
+    def handle_signal(self, signum, action):
+        """Blow up instead of forwarding."""
+        raise AgentBug("signal bug")
+
+
+#: the three dispatch configurations containment must cover: the plain
+#: trap, the observed trap, and the fast-path trap
+DISPATCH_CONFIGS = {
+    "plain": {},
+    "observed": {"obs": "metrics,trace"},
+    "fastpath": {"fastpaths": FastPathConfig.all_on()},
+}
+
+
+def run_crasher(agent, **kernel_kwargs):
+    """Run /bin/echo under *agent*; returns (kernel, status-or-crash)."""
+    kernel = boot_world(**kernel_kwargs)
+    try:
+        status = run_under_agent(kernel, agent, "/bin/echo",
+                                 ["echo", "hello"])
+    except ProgramCrash as crash:
+        return kernel, crash
+    return kernel, status
+
+
+# -- the seed behaviour, pinned ---------------------------------------------
+
+
+@pytest.mark.parametrize("config", sorted(DISPATCH_CONFIGS))
+def test_unguarded_agent_fault_is_a_client_crash(config):
+    kernel, result = run_crasher(CrashOnWrite(),
+                                 **DISPATCH_CONFIGS[config])
+    assert isinstance(result, ProgramCrash)
+    assert "AgentBug" in str(result)
+    assert kernel.guard is None
+
+
+# -- the wrapper mechanism, every policy x every dispatch path ---------------
+
+
+@pytest.mark.parametrize("config", sorted(DISPATCH_CONFIGS))
+def test_fail_stop_kills_only_the_client(config):
+    guarded = GuardedAgent(CrashOnWrite(), "fail-stop")
+    kernel, status = run_crasher(guarded, **DISPATCH_CONFIGS[config])
+    assert WIFSIGNALED(status)
+    assert WTERMSIG(status) == sig.SIGSYS
+    assert kernel.panics == []  # a clean kill, not a host panic
+    assert guarded.stats.kills == 1
+    # The machine survives: it can run another program normally.
+    assert WEXITSTATUS(kernel.run("/bin/echo", ["echo", "alive"])) == 0
+    assert b"alive" in kernel.console.take_output()
+
+
+@pytest.mark.parametrize("config", sorted(DISPATCH_CONFIGS))
+def test_fail_open_completes_the_call_without_the_agent(config):
+    inner = CrashOnWrite()
+    guarded = GuardedAgent(inner, "fail-open")
+    kernel, status = run_crasher(guarded, **DISPATCH_CONFIGS[config])
+    assert WEXITSTATUS(status) == 0
+    assert b"hello" in kernel.console.take_output()
+    assert guarded.stats.faults == inner.calls > 0
+    assert guarded.stats.kills == 0
+    assert not guarded.quarantined
+
+
+@pytest.mark.parametrize("config", sorted(DISPATCH_CONFIGS))
+def test_quarantine_ejects_after_the_fault_budget(config):
+    kernel = boot_world(**DISPATCH_CONFIGS[config])
+    inner = CrashOnWrite()
+    guarded = GuardedAgent(inner, "quarantine", max_faults=2)
+
+    def main(ctx):
+        guarded.attach(ctx)
+        assert ctx.trap(NR_WRITE, 1, b"a") == 1  # fault 1: delegated
+        assert ctx.trap(NR_WRITE, 1, b"b") == 1  # fault 2: ejection
+        assert ctx.trap(NR_WRITE, 1, b"c") == 1  # passes through
+        return 0
+
+    assert WEXITSTATUS(kernel.run_entry(main)) == 0
+    assert kernel.console.take_output() == b"abc"
+    assert guarded.quarantined
+    assert guarded.stats.snapshot() == {
+        "faults": 2, "kills": 0, "ejections": 1}
+    assert inner.calls == 2  # the third write never reached the agent
+
+
+def test_syscall_errors_pass_through_the_guard():
+    # Protocol errors are results, not faults: no policy may contain them.
+    kernel = boot_world()
+    guarded = GuardedAgent(DenyOnWrite(), "fail-stop")
+
+    def main(ctx):
+        guarded.attach(ctx)
+        with pytest.raises(SyscallError) as err:
+            ctx.trap(NR_WRITE, 1, b"x")
+        assert err.value.errno == EPERM
+        return 0
+
+    assert WEXITSTATUS(kernel.run_entry(main)) == 0
+    assert guarded.stats.faults == 0
+
+
+def test_guarded_signal_fault_still_delivers_the_signal():
+    kernel = boot_world()
+    guarded = GuardedAgent(CrashOnSignal(), "fail-open")
+    caught = []
+
+    def main(ctx):
+        guarded.attach(ctx)
+        ctx.trap(number_of("sigvec"), sig.SIGUSR1, caught.append, 0)
+        ctx.trap(number_of("kill"), ctx.proc.pid, sig.SIGUSR1)
+        return 0
+
+    assert WEXITSTATUS(kernel.run_entry(main)) == 0
+    assert caught == [sig.SIGUSR1]
+    assert guarded.stats.faults == 1
+
+
+def test_guard_contains_faults_under_union_and_txn_stacks():
+    # A crashing agent on top of real union + txn layers: containment
+    # delegates past it to the layer below, whose semantics survive.
+    from repro.agents.txn import TxnAgent
+    from repro.agents.union_dirs import UnionAgent
+
+    kernel = boot_world()
+    kernel.mkdir_p("/m1")
+    kernel.write_file("/m1/f.txt", "payload")
+    kernel.mkdir_p("/u")
+    union = UnionAgent()
+    union.pset.add_union("/u", ["/m1"])
+    txn = TxnAgent(scratch_dir="/tmp/guard.txn", outcome="commit")
+    inner = CrashOnWrite()
+    guarded = GuardedAgent(inner, "fail-open")
+
+    def loader(ctx):
+        union.attach(ctx)
+        txn.attach(ctx)
+        guarded.attach(ctx)
+        guarded.exec_client(
+            "/bin/sh", ["sh", "-c", "cat /u/f.txt; echo ok >> /u/f.txt"],
+            {})
+
+    assert WEXITSTATUS(kernel.run_entry(loader)) == 0
+    assert b"payload" in kernel.console.take_output()
+    # The union still resolved /u, the txn still committed the append.
+    assert b"ok" in kernel.read_file("/m1/f.txt")
+    assert guarded.stats.faults == inner.calls > 0
+
+
+# -- the rail mechanism ------------------------------------------------------
+
+
+@pytest.mark.parametrize("config", sorted(DISPATCH_CONFIGS))
+def test_rail_fail_stop_matches_the_wrapper(config):
+    kernel, status = run_crasher(
+        CrashOnWrite(), guard="fail-stop", **DISPATCH_CONFIGS[config])
+    assert WIFSIGNALED(status)
+    assert WTERMSIG(status) == sig.SIGSYS
+    assert kernel.panics == []
+    assert kernel.guard.stats.kills == 1
+
+
+@pytest.mark.parametrize("config", sorted(DISPATCH_CONFIGS))
+def test_rail_fail_open_matches_the_wrapper(config):
+    kernel, status = run_crasher(
+        CrashOnWrite(), guard="fail-open", **DISPATCH_CONFIGS[config])
+    assert WEXITSTATUS(status) == 0
+    assert b"hello" in kernel.console.take_output()
+    assert kernel.guard.stats.faults > 0
+
+
+def test_rail_quarantine_restores_the_vector_below_the_agent():
+    kernel = boot_world(guard="quarantine:2")
+    inner = CrashOnWrite()
+
+    def main(ctx):
+        inner.attach(ctx)
+        assert NR_WRITE in ctx.proc.emulation_vector
+        assert ctx.trap(NR_WRITE, 1, b"a") == 1  # fault 1
+        assert ctx.trap(NR_WRITE, 1, b"b") == 1  # fault 2: ejected
+        # The agent's vector entry is gone: write goes straight down.
+        assert NR_WRITE not in ctx.proc.emulation_vector
+        assert ctx.trap(NR_WRITE, 1, b"c") == 1
+        return 0
+
+    assert WEXITSTATUS(kernel.run_entry(main)) == 0
+    assert kernel.console.take_output() == b"abc"
+    assert kernel.guard.stats.snapshot() == {
+        "faults": 2, "kills": 0, "ejections": 1}
+    assert inner.calls == 2
+
+
+def test_rail_quarantine_spares_innocent_stacked_agents():
+    # Two agents interposed on write; only the crasher is ejected, and
+    # the survivor keeps seeing the call afterwards.
+    kernel = boot_world(guard="quarantine:1")
+    seen = []
+
+    class Witness(Agent):
+        def init(self, agentargv):
+            self.register_interest_many([NR_WRITE])
+
+        def handle_syscall(self, number, args):
+            seen.append(number)
+            return self.syscall_down_numeric(number, args)
+
+    witness = Witness()
+    crasher = CrashOnWrite()
+
+    def main(ctx):
+        witness.attach(ctx)
+        crasher.attach(ctx)  # stacked above the witness
+        assert ctx.trap(NR_WRITE, 1, b"a") == 1  # crasher faults, ejected
+        assert ctx.trap(NR_WRITE, 1, b"b") == 1  # witness still interposed
+        return 0
+
+    assert WEXITSTATUS(kernel.run_entry(main)) == 0
+    assert kernel.console.take_output() == b"ab"
+    # The witness saw both writes: the first via the rail's delegation
+    # through the crasher's downcall chain, the second directly.
+    assert seen == [NR_WRITE, NR_WRITE]
+    assert kernel.guard.stats.ejections == 1
+
+
+def test_rail_signal_fault_still_delivers_the_signal():
+    kernel = boot_world(guard="fail-open")
+    agent = CrashOnSignal()
+    caught = []
+
+    def main(ctx):
+        agent.attach(ctx)
+        ctx.trap(number_of("sigvec"), sig.SIGUSR1, caught.append, 0)
+        ctx.trap(number_of("kill"), ctx.proc.pid, sig.SIGUSR1)
+        return 0
+
+    assert WEXITSTATUS(kernel.run_entry(main)) == 0
+    assert caught == [sig.SIGUSR1]
+    assert kernel.guard.stats.faults == 1
+
+
+# -- observability + stats ---------------------------------------------------
+
+
+def test_guard_actions_flow_through_the_obs_bus():
+    kernel = boot_world(obs="metrics,trace", guard="fail-open")
+    kinds = []
+    kernel.obs.bus.subscribe(lambda event: kinds.append(event.kind))
+    status = run_under_agent(kernel, CrashOnWrite(), "/bin/echo",
+                             ["echo", "hi"])
+    assert WEXITSTATUS(status) == 0
+    counters = kernel.obs.metrics.snapshot()["counters"]
+    assert any("guard.fault" in str(key) for key in counters)
+    assert "guard.fault" in kinds
+
+
+def test_kernel_stats_reports_the_guard_section():
+    kernel = boot_world(guard="fail-open")
+
+    def main(ctx):
+        stats = ctx.trap(number_of("kernel_stats"))
+        assert stats["guard"] == {"faults": 0, "kills": 0, "ejections": 0,
+                                  "policy": "fail-open"}
+        return 0
+
+    assert WEXITSTATUS(kernel.run_entry(main)) == 0
+    plain = boot_world()
+
+    def main_plain(ctx):
+        assert ctx.trap(number_of("kernel_stats"))["guard"] == {
+            "enabled": False}
+        return 0
+
+    assert WEXITSTATUS(plain.run_entry(main_plain)) == 0
+
+
+# -- policy parsing and install/uninstall ------------------------------------
+
+
+def test_guard_policy_parsing():
+    assert GuardPolicy.parse("fail-stop").mode == "fail-stop"
+    policy = GuardPolicy.parse("quarantine:5")
+    assert policy.mode == "quarantine"
+    assert policy.max_faults == 5
+    assert GuardPolicy.parse(policy) is policy
+    with pytest.raises(ValueError):
+        GuardPolicy.parse("fail-banana")
+    with pytest.raises(ValueError):
+        GuardPolicy("quarantine", max_faults=0)
+    with pytest.raises(TypeError):
+        GuardPolicy.parse(42)
+
+
+def test_install_and_uninstall_guard():
+    kernel = boot_world()
+    assert kernel.guard is None
+    rail = install_guard(kernel, "quarantine:4")
+    assert kernel.guard is rail
+    assert rail.policy.max_faults == 4
+    same = GuardRail("fail-open")
+    assert install_guard(kernel, same) is same
+    assert uninstall_guard(kernel) is same
+    assert kernel.guard is None
+    # Back to seed behaviour: the next agent fault crashes the client.
+    with pytest.raises(ProgramCrash):
+        run_under_agent(kernel, CrashOnWrite(), "/bin/echo", ["echo", "x"])

@@ -1,6 +1,6 @@
 """agentlint (repro.lint): per-rule fixtures and engine behaviour.
 
-Each rule L001..L007 gets a failing fixture (true positive), a clean
+Each rule L001..L008 gets a failing fixture (true positive), a clean
 fixture (true negative), and the suppression mechanism is proven to
 silence exactly the suppressed rule.  The ``--json`` document schema is
 pinned, baseline files round-trip, and — the acceptance criterion — the
@@ -388,6 +388,123 @@ def test_l007_runs_from_engine(tmp_path, proto_root):
     assert "L007" in rules_fired(result)
 
 
+# -- L008: broad excepts must not swallow SyscallError ---------------------
+
+
+def test_l008_fires_on_swallowing_broad_excepts(tmp_path, proto_root):
+    result = lint_source(tmp_path, proto_root, """
+    from repro.toolkit.symbolic import SymbolicSyscall
+
+    class Swallower(SymbolicSyscall):
+        def sys_open(self, path, flags=0, mode=0o666):
+            try:
+                return super().sys_open(path, flags, mode)
+            except Exception:
+                return 0
+
+        def sys_read(self, fd, count):
+            try:
+                return super().sys_read(fd, count)
+            except:
+                return b""
+
+        def handle_signal(self, signum, action):
+            try:
+                self.signal_up(signum)
+            except BaseException:
+                pass
+    """)
+    l008 = [f for f in result.active if f.rule == "L008"]
+    assert len(l008) == 3
+    symbols = {f.symbol for f in l008}
+    assert symbols == {"Swallower.sys_open", "Swallower.sys_read",
+                       "Swallower.handle_signal"}
+    messages = "\n".join(f.message for f in l008)
+    assert "'except:'" in messages
+    assert "'except Exception'" in messages
+    assert "swallowed" in messages
+
+
+def test_l008_quiet_for_reraising_and_protected_shapes(tmp_path,
+                                                       proto_root):
+    # Three sanctioned shapes: a broad clause whose own body re-raises
+    # (bare or translated), the guard layer's pattern (an earlier
+    # clause re-raising the protocol exceptions — by name or via an
+    # ALL_CAPS alias tuple), and narrow clauses that never see
+    # SyscallError at all.
+    result = lint_source(tmp_path, proto_root, """
+    from repro.kernel.errno import EPERM, SyscallError
+    from repro.toolkit.symbolic import SymbolicSyscall
+
+    PASS_THROUGH = (SyscallError,)
+
+    class Careful(SymbolicSyscall):
+        def sys_open(self, path, flags=0, mode=0o666):
+            try:
+                return super().sys_open(path, flags, mode)
+            except Exception:
+                raise SyscallError(EPERM, path)
+
+        def sys_read(self, fd, count):
+            try:
+                return super().sys_read(fd, count)
+            except SyscallError:
+                raise
+            except Exception:
+                return b""
+
+        def sys_close(self, fd):
+            try:
+                return super().sys_close(fd)
+            except PASS_THROUGH:
+                raise
+            except BaseException:
+                return 0
+
+        def sys_getpid(self):
+            try:
+                return super().sys_getpid()
+            except ValueError:
+                return 0
+    """)
+    assert rules_fired(result) == set()
+
+
+def test_l008_earlier_foreign_reraise_does_not_protect(tmp_path,
+                                                       proto_root):
+    # Re-raising ValueError first is no shield: SyscallError still
+    # lands in (and dies in) the broad clause below it.
+    result = lint_source(tmp_path, proto_root, """
+    from repro.toolkit.symbolic import SymbolicSyscall
+
+    class FalseShield(SymbolicSyscall):
+        def sys_open(self, path, flags=0, mode=0o666):
+            try:
+                return super().sys_open(path, flags, mode)
+            except ValueError:
+                raise
+            except Exception:
+                return 0
+    """)
+    assert rules_fired(result) == {"L008"}
+
+
+def test_l008_ignores_non_handler_methods(tmp_path, proto_root):
+    # Helpers are free to absorb errors; only handler methods carry
+    # the errno protocol.
+    result = lint_source(tmp_path, proto_root, """
+    from repro.toolkit.symbolic import SymbolicSyscall
+
+    class Helpers(SymbolicSyscall):
+        def _best_effort(self, path):
+            try:
+                return self.cache[path]
+            except Exception:
+                return None
+    """)
+    assert rules_fired(result) == set()
+
+
 # -- suppressions ----------------------------------------------------------
 
 
@@ -522,9 +639,9 @@ def test_cli_list_rules_covers_every_registered_rule():
 # -- the registry and the repo itself --------------------------------------
 
 
-def test_registry_defines_l001_through_l007():
+def test_registry_defines_l001_through_l008():
     assert rule_ids() == ["L001", "L002", "L003", "L004", "L005", "L006",
-                          "L007"]
+                          "L007", "L008"]
     for rule in RULES.values():
         assert rule.summary and rule.rationale
         assert rule.severity in ("error", "warning")

@@ -1,13 +1,19 @@
 """Tests for the separate-address-space agent placement."""
 
+import threading
+import time
+
 import pytest
 
 from repro.agents.monitor import MonitorAgent
 from repro.agents.timex import TimexSymbolicSyscall
 from repro.agents.trace import TraceSymbolicSyscall
 from repro.agents.union_dirs import UnionAgent
+from repro.kernel.errno import EIO, SyscallError
 from repro.kernel.proc import WEXITSTATUS
+from repro.kernel.sysent import number_of
 from repro.toolkit import run_under_agent
+from repro.toolkit.boilerplate import Agent
 from repro.toolkit.remote import SeparateSpaceAgent, _marshal
 from repro.workloads import boot_world
 
@@ -130,3 +136,100 @@ def test_signals_cross_the_boundary(world):
     assert seen == [sig.SIGUSR1]  # agent upcall ran (in the agent task)
     assert caught == [sig.SIGUSR1]  # and was forwarded to the client
     remote.shutdown()
+
+
+# -- IPC failure containment (the watchdog and liveness paths) ---------------
+
+
+class _TimeOnly(Agent):
+    """Interposes on gettimeofday alone, delegating it downward — exit
+    stays un-interposed, so a dead agent task cannot also take the
+    client's exit path down with it."""
+
+    def init(self, agentargv):
+        """Register interest in gettimeofday(2) only."""
+        self.register_interest_many([number_of("gettimeofday")])
+
+
+def test_dead_dispatcher_surfaces_as_a_clean_error(world):
+    # Regression: the client's reply wait used to be an unbounded
+    # queue.get() — a dead agent task hung the client forever.  Now a
+    # killed dispatcher surfaces as SyscallError(EIO) well inside the
+    # watchdog, and the machine stays usable.
+    remote = SeparateSpaceAgent(_TimeOnly())
+
+    def main(ctx):
+        remote.attach(ctx)
+        assert remote.shutdown()  # the agent task dies mid-session
+        start = time.monotonic()
+        with pytest.raises(SyscallError) as err:
+            ctx.trap(number_of("gettimeofday"))
+        assert err.value.errno == EIO
+        assert "dispatcher dead" in str(err.value)
+        assert time.monotonic() - start < 5.0  # not the 60s watchdog
+        return 0
+
+    assert WEXITSTATUS(world.run_entry(main)) == 0
+    assert remote.stalls == 1
+    # The machine itself is fine: a fresh program still runs.
+    assert WEXITSTATUS(world.run("/bin/echo", ["echo", "alive"])) == 0
+    assert b"alive" in world.console.take_output()
+
+
+def test_watchdog_converts_a_wedged_agent_into_a_clean_error(world):
+    class Wedged(_TimeOnly):
+        def handle_syscall(self, number, args):
+            time.sleep(1.0)  # alive but stuck outside the kernel
+            return super().handle_syscall(number, args)
+
+    remote = SeparateSpaceAgent(Wedged(), watchdog=0.1)
+
+    def main(ctx):
+        remote.attach(ctx)
+        with pytest.raises(SyscallError) as err:
+            ctx.trap(number_of("gettimeofday"))
+        assert err.value.errno == EIO
+        assert "watchdog" in str(err.value)
+        return 0
+
+    assert WEXITSTATUS(world.run_entry(main)) == 0
+    assert remote.stalls == 1
+    remote.shutdown()
+
+
+def test_shutdown_is_idempotent_and_reports_success():
+    remote = SeparateSpaceAgent(TimexSymbolicSyscall())
+    assert remote.shutdown() is True
+    assert remote.shutdown() is True
+    assert remote.stalls == 0
+
+
+def test_shutdown_reports_a_stuck_dispatcher():
+    # Regression: shutdown used to join and silently return whatever
+    # happened.  A dispatcher that outlives the join must be reported.
+    remote = SeparateSpaceAgent(TimexSymbolicSyscall())
+    assert remote.shutdown()
+    wedged = threading.Thread(target=time.sleep, args=(30,), daemon=True)
+    wedged.start()
+    remote._dispatcher = wedged  # stand-in for a wedged accept loop
+    assert remote.shutdown(timeout=0.1) is False
+    assert remote.stalls == 1
+
+
+def test_ipc_stalls_flow_through_the_obs_bus():
+    kernel = boot_world(obs="metrics,trace")
+    remote = SeparateSpaceAgent(_TimeOnly())
+    kinds = []
+    kernel.obs.bus.subscribe(lambda event: kinds.append(event.kind))
+
+    def main(ctx):
+        remote.attach(ctx)
+        remote.shutdown()
+        with pytest.raises(SyscallError):
+            ctx.trap(number_of("gettimeofday"))
+        return 0
+
+    assert WEXITSTATUS(kernel.run_entry(main)) == 0
+    assert "remote.stall" in kinds
+    counters = kernel.obs.metrics.snapshot()["counters"]
+    assert any("remote.stall" in str(key) for key in counters)

@@ -1,0 +1,142 @@
+"""The recorder's pay-per-use claim, measured.
+
+Record/replay follows the repo's standing discipline: with
+``kernel.recorder`` unset the trap spine, the sleep queue, the clock
+reads, and the pid/fd allocators each run exactly one ``is None``
+attribute test more than the seed.  This benchmark holds it to that:
+
+* **Micro**: one getpid trap that nobody records, with the recorder
+  off versus attached in record mode.  A run nobody records must not
+  pay for recording; a recorded run pays the turn token and one log
+  append per trap.
+* **Macro**: the format-dissertation scenario with recording off, in
+  record mode, and replayed from its own log — interleaved rounds and
+  paired slowdowns against the disabled baseline, which must sit
+  within noise of the seed.
+"""
+
+from repro.bench.timing import paired_slowdowns, time_matrix, usec_per_call
+from repro.kernel.sysent import number_of
+from repro.kernel.trap import UserContext
+from repro.obs.recorder import RECORD, Recorder
+from repro.obs.timetravel import record_run, replay_run
+from repro.workloads import boot_world
+
+NR_GETPID = number_of("getpid")
+
+#: the recording configurations under test, cheapest first
+CONFIGS = ("disabled", "record", "replay")
+
+#: the macro scenario: the format workload, no chaos, fixed seed
+_FORMAT = dict(seed=0, workload="format", agent_rate=0.0, site_rate=0.0)
+
+
+def micro_rows(calls=2000):
+    """(config, usec) for one uninterposed getpid trap.
+
+    Replay is skipped at this level: a replayed trap consumes exactly
+    one recorded decision, so a timing loop would need a log the exact
+    length of its iteration count (warm-ups included) — the macro rows
+    measure replay on a real workload instead.
+    """
+    rows = []
+    for config in ("disabled", "record"):
+        kernel = boot_world()
+        proc = kernel._create_initial_process()
+        ctx = UserContext(kernel, proc)
+        if config == "record":
+            Recorder(mode=RECORD).attach(kernel)
+        rows.append((config, usec_per_call(lambda: ctx.trap(NR_GETPID),
+                                           calls)))
+    return rows
+
+
+def _prepare(config, log_holder):
+    """One prepared format-scenario run under *config*.
+
+    *log_holder* is a one-slot list carrying the decisions the replay
+    configuration re-executes; the record configuration refreshes it
+    each round so replay always has a log from the same code path.
+    """
+    if config == "disabled":
+        from repro.workloads.chaos import run_scenario
+
+        def run():
+            report = run_scenario(**_FORMAT)
+            assert report.outcome == "exit" and report.status == 0
+    elif config == "record":
+        def run():
+            result = record_run(**_FORMAT)
+            assert result.report.outcome == "exit"
+            log_holder[:] = [(result.meta, result.decisions)]
+    elif config == "replay":
+        if not log_holder:
+            result = record_run(**_FORMAT)
+            log_holder[:] = [(result.meta, result.decisions)]
+        meta, decisions = log_holder[0]
+
+        def run():
+            result = replay_run(meta, decisions)
+            assert result.report.outcome == "exit"
+    else:
+        raise ValueError(config)
+    return run
+
+
+def macro_rows(runs=9):
+    """(config, seconds, slowdown%) for the format scenario."""
+    log_holder = []
+    prepares = {
+        config: (lambda config=config: _prepare(config, log_holder))
+        for config in CONFIGS
+    }
+    results = time_matrix(prepares, runs=runs)
+    slowdowns = paired_slowdowns(results, base_name="disabled")
+    return [(config, results[config][0], slowdowns[config])
+            for config in CONFIGS]
+
+
+# -- pytest entry points (the CI gate) -----------------------------------
+
+
+def test_unrecorded_traps_pay_nothing(benchmark):
+    """The pay-per-use gate: a trap on a kernel with no recorder must
+    not be measurably slower than the same trap under record mode —
+    the unrecorded path is one attribute test, the recorded path adds
+    the turn token and a log append."""
+    rows = dict(benchmark.pedantic(micro_rows, rounds=1, iterations=1))
+    assert rows["disabled"] <= rows["record"] * 1.25
+    for config, usec in rows.items():
+        benchmark.extra_info[config] = round(usec, 3)
+
+
+def test_record_replay_roundtrip_stays_identical(benchmark):
+    """The determinism gate, run at benchmark scale: the macro
+    scenario's record → replay roundtrip must stay bit-identical (the
+    replay asserts its own fidelity via the consumed log)."""
+    def roundtrip():
+        result = record_run(**_FORMAT)
+        replayed = replay_run(result.meta, result.decisions)
+        assert replayed.recorder.position == len(result.decisions)
+        return len(result.decisions)
+
+    decisions = benchmark.pedantic(roundtrip, rounds=1, iterations=1)
+    benchmark.extra_info["decisions"] = decisions
+
+
+def print_tables(runs=9):
+    """Render every table of this benchmark to stdout."""
+    print("Record/replay overhead: format-dissertation scenario")
+    print("%-16s %10s %10s" % ("config", "seconds", "slowdown"))
+    for config, seconds, pct in macro_rows(runs=runs):
+        print("%-16s %10.3f %9.1f%%" % (config, seconds, pct))
+    print()
+    print("Micro: one uninterposed getpid trap")
+    for config, usec in micro_rows():
+        print("%-16s %10.3f usec" % (config, usec))
+
+
+if __name__ == "__main__":
+    import sys as _host_sys
+
+    print_tables(runs=3 if "--quick" in _host_sys.argv else 9)

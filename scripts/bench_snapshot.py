@@ -1,14 +1,13 @@
-"""Snapshot the PR's headline benchmark numbers into BENCH_PR3.json.
+"""Snapshot the PR's headline benchmark numbers into BENCH_PR6.json.
 
 Run with:  python scripts/bench_snapshot.py [--quick] [output.json]
 
-Records, for the causal span tracing added in PR 3, the observability
-overhead matrix (disabled / metrics / ktrace+metrics / spans) on the
-format-dissertation workload, the per-trap micro costs, and the
-critical-path reports for the traced workloads (the 3-stage sh
-pipeline bare and under a union+txn stack, and the format run under
-the monitor agent) — plus enough machine information to interpret the
-numbers later.
+Records, for the deterministic record/replay added in PR 6, the
+recording overhead matrix (disabled / record / replay) on the
+format-dissertation scenario, the per-trap micro costs, and a
+determinism proof sweep (record + bit-identical replay over the format
+run and a cycle of chaos seeds, with decision-log sizes) — plus enough
+machine information to interpret the numbers later.
 """
 
 import datetime
@@ -22,44 +21,47 @@ sys.path.insert(0, os.path.dirname(_HERE))
 sys.path.insert(0, os.path.join(os.path.dirname(_HERE), "src"))
 sys.path.insert(0, _HERE)
 
-import trace_timeline  # noqa: E402  (sibling script: workload runners)
-from benchmarks import bench_obs_overhead as bench  # noqa: E402
-from repro.kernel.proc import WEXITSTATUS  # noqa: E402
-from repro.obs import critical as obs_critical  # noqa: E402
-from repro.obs import export as obs_export  # noqa: E402
-from repro.workloads import boot_world  # noqa: E402
+from benchmarks import bench_record_overhead as bench  # noqa: E402
+from repro.obs.timetravel import (  # noqa: E402
+    compare_runs,
+    record_run,
+    replay_run,
+)
+from repro.workloads.chaos import MECHANISMS, POLICIES  # noqa: E402
 
 
-def _critical_report(workload, agent_spec, lines):
-    """Run one traced workload; return its critical-path summary."""
-    world = boot_world(obs="spans")
-    agents = trace_timeline.build_agents(agent_spec, workload)
-    if workload == "pipeline":
-        status, label = trace_timeline.run_pipeline(world, agents, lines)
-    else:
-        status, label = trace_timeline.run_format(world, agents)
-    assert WEXITSTATUS(status) == 0, "workload failed (%r)" % status
-    assembler = world.obs.spans
-    assembler.close_open()
-    doc = obs_export.chrome_trace(assembler, workload=label)
-    summary = obs_export.validate_chrome_trace(doc)
-    report = obs_critical.critical_path(assembler)
-    return {
-        "workload": label,
-        "agents": agent_spec,
-        "spans": assembler.counts()["spans"],
-        "edges": assembler.counts()["edges_by_kind"],
-        "trace_export": summary,
-        "critical_path": report.to_dict(),
-    }
+def _determinism_sweep(seeds):
+    """Record + replay the smoke matrix; returns per-scenario rows."""
+    cases = [dict(seed=0, workload="format", agent_rate=0.0, site_rate=0.0)]
+    for i in range(seeds):
+        cases.append(dict(
+            seed=i,
+            policy=POLICIES[i % len(POLICIES)],
+            mechanism=MECHANISMS[i % len(MECHANISMS)],
+            workload=("files", "pipes", "procs")[i % 3],
+        ))
+    rows = []
+    for case in cases:
+        recorded = record_run(**case)
+        replayed = replay_run(recorded.meta, recorded.decisions)
+        differences = compare_runs(recorded, replayed)
+        rows.append({
+            "scenario": recorded.meta,
+            "outcome": recorded.report.outcome,
+            "decisions": len(recorded.decisions),
+            "events": len(recorded.events),
+            "bit_identical": not differences,
+            "differences": differences,
+        })
+    return rows
 
 
-def snapshot(runs=9, micro_calls=2000, lines=2000):
+def snapshot(runs=9, micro_calls=2000, seeds=5):
     """Collect every headline number as one JSON-ready document."""
     doc = {
-        "pr": 3,
-        "title": "causal span tracing: timelines, Chrome export, "
-                 "critical path",
+        "pr": 6,
+        "title": "deterministic record/replay: nondeterminism log, "
+                 "recorder, time-travel debugging",
         "generated": datetime.datetime.now().isoformat(timespec="seconds"),
         "machine": {
             "python": platform.python_version(),
@@ -69,15 +71,15 @@ def snapshot(runs=9, micro_calls=2000, lines=2000):
         "protocol": {
             "macro_runs": runs,
             "micro_calls": micro_calls,
-            "pipeline_lines": lines,
+            "determinism_seeds": seeds,
             "method": "interleaved rounds, paired per-round slowdowns, "
                       "minimum over rounds (see repro.bench.timing)",
         },
         "macro": [],
         "micro": [],
-        "critical_paths": [],
+        "determinism": [],
     }
-    print("macro: format workload x %s ..." % (bench.CONFIGS,), flush=True)
+    print("macro: format scenario x %s ..." % (bench.CONFIGS,), flush=True)
     doc["macro"] = [
         {"config": config, "seconds": round(seconds, 4),
          "slowdown_vs_disabled_pct": round(pct, 2)}
@@ -88,13 +90,11 @@ def snapshot(runs=9, micro_calls=2000, lines=2000):
         {"config": config, "usec": round(usec, 3)}
         for config, usec in bench.micro_rows(calls=micro_calls)
     ]
-    for workload, agent_spec in (("pipeline", "none"),
-                                 ("pipeline", "union+txn"),
-                                 ("format", "monitor")):
-        print("critical path: %s under %s ..." % (workload, agent_spec),
-              flush=True)
-        doc["critical_paths"].append(
-            _critical_report(workload, agent_spec, lines))
+    print("determinism sweep: format + %d chaos seed(s) ..." % seeds,
+          flush=True)
+    doc["determinism"] = _determinism_sweep(seeds)
+    assert all(row["bit_identical"] for row in doc["determinism"]), \
+        "a replay was not bit-identical; see the differences field"
     return doc
 
 
@@ -104,10 +104,10 @@ def main():
     quick = "--quick" in argv
     if quick:
         argv.remove("--quick")
-    path = argv[0] if argv else "BENCH_PR3.json"
+    path = argv[0] if argv else "BENCH_PR6.json"
     doc = snapshot(runs=3 if quick else 9,
                    micro_calls=500 if quick else 2000,
-                   lines=500 if quick else 2000)
+                   seeds=3 if quick else 5)
     with open(path, "w") as f:
         json.dump(doc, f, indent=2, sort_keys=False)
         f.write("\n")

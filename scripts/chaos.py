@@ -61,6 +61,20 @@ def _parse_args(argv):
     return parser.parse_args(argv)
 
 
+def _record_hint(report, agent_rate, site_rate):
+    """A ready-to-paste record command for a failing scenario.
+
+    Every scenario is deterministic in its parameters, so re-running it
+    under the recorder captures the same failure into an ``.rrlog`` for
+    ``scripts/replay.py replay``/``bisect`` time travel.
+    """
+    return ("PYTHONPATH=src python scripts/replay.py record"
+            " --seed %d --policy %s --mechanism %s --workload %s"
+            " --agent-rate %s --site-rate %s"
+            % (report.seed, report.policy, report.mechanism, report.workload,
+               agent_rate, site_rate))
+
+
 def _show(report, as_json):
     """Print one scenario report in the chosen format."""
     if as_json:
@@ -94,6 +108,10 @@ def main(argv=None):
         _show(report, args.json)
         if not report.passed:
             failed += 1
+            print("    record this failure for time-travel debugging:",
+                  file=sys.stderr)
+            print("    " + _record_hint(report, args.agent_rate,
+                                        args.site_rate), file=sys.stderr)
     faults = sum(r.agent_faults for r in reports)
     fired = sum(sum(r.site_stats.get("fired", {}).values()) for r in reports)
     if not args.json:

@@ -155,10 +155,12 @@ class MonitorAgent(SymbolicSyscall):
         or changes meaning (see the golden test in
         ``tests/test_monitor_and_loader.py``); version 2 added it along
         with the ``spans`` section, a copy of the kernel's causal span
-        counters (``{"enabled": false}`` when span tracing is off).
+        counters (``{"enabled": false}`` when span tracing is off);
+        version 3 added ``recorder``, the record/replay counters
+        (``{"enabled": false}`` when no recorder is attached).
         """
         doc = {
-            "schema_version": 2,
+            "schema_version": 3,
             "calls": dict(self.call_counts),
             "errors": {
                 "%s %s" % key: count
@@ -179,8 +181,11 @@ class MonitorAgent(SymbolicSyscall):
             # the interface.  Fetched in-world via extension trap 207.
             doc["kernel"] = self.syscall_down("kernel_stats")
             doc["spans"] = doc["kernel"].get("spans", {"enabled": False})
+            doc["recorder"] = doc["kernel"].get("recorder",
+                                                {"enabled": False})
         except SyscallError:
             doc["spans"] = {"enabled": False}
+            doc["recorder"] = {"enabled": False}
         return json.dumps(doc, indent=2, sort_keys=True) + "\n"
 
     def sys_exit(self, status=0):

@@ -127,6 +127,10 @@ class FaultSet:
         self.fired = {}
         #: consultations so far, per tag
         self.checked = {}
+        #: record/replay hook (see :mod:`repro.obs.recorder`); wired by
+        #: ``Kernel.arm_faults``/``Recorder.attach``, None otherwise —
+        #: the standing one-``is None``-test discipline
+        self.recorder = None
 
     @classmethod
     def parse(cls, spec):
@@ -180,6 +184,11 @@ class FaultSet:
             return
         if errno is None:
             errno = SITES[tag]
+        if self.recorder is not None:
+            # Record the firing as an F decision — or, when this firing
+            # is a bisect probe's flip target, suppress the injection.
+            if not self.recorder.on_fault(tag, errno_name(errno), proc):
+                return
         self.fired[tag] = self.fired.get(tag, 0) + 1
         if kernel is not None:
             obs = kernel.obs

@@ -141,6 +141,18 @@ class Kernel:
         #: for metrics, or a comma-separated feature spec out of
         #: ``"metrics"`` / ``"trace"`` / ``"spans"``.
         self.obs = None
+
+        #: armed kernel fault sites (see :mod:`repro.kernel.faultsite`);
+        #: None — the default — keeps every site to one ``is None`` test
+        self.faultsites = None
+
+        #: deterministic record/replay (see :mod:`repro.obs.recorder`);
+        #: None — the default — keeps the trap spine, the sleep queue,
+        #: and every allocator down to one ``is None`` test.  Installed
+        #: by ``Recorder.attach`` or the ``obs="...,record"`` spec, so
+        #: it must exist before the spec below is processed.
+        self.recorder = None
+
         if obs:
             from repro.obs.core import enable_from_spec
             enable_from_spec(self, obs)
@@ -155,10 +167,6 @@ class Kernel:
         if guard:
             from repro.toolkit.guard import install_guard
             install_guard(self, guard)
-
-        #: armed kernel fault sites (see :mod:`repro.kernel.faultsite`);
-        #: None — the default — keeps every site to one ``is None`` test
-        self.faultsites = None
 
         self._host = _HostContext(self)
         self._make_dev_tree()
@@ -334,6 +342,9 @@ class Kernel:
         When every live process is asleep, the earliest armed alarm fires
         (the idle loop advancing virtual time).
         """
+        if self.recorder is not None:
+            return self._sleep_until_recorded(
+                self.recorder, predicate, proc, wchan, interruptible)
         self._sleepers += 1
         proc.state = "sleeping:" + wchan
         waited = 0.0
@@ -359,6 +370,81 @@ class Kernel:
             if proc.state.startswith("sleeping:"):
                 proc.state = RUNNING
 
+    def _sleep_until_recorded(self, rec, predicate, proc, wchan,
+                              interruptible):
+        """The sleep loop under record/replay's turn token.
+
+        Semantics match :meth:`sleep_until` exactly; what changes is
+        *admission*.  The caller entered holding the turn token (it is
+        inside a trap), so the first pass through the wait loop runs
+        inline — a deterministic continuation of the trap, logged as
+        nothing.  Before each ``wait`` the token is suspended so other
+        threads can take turns; each wakeup asks the recorder for a
+        *grant* (FCFS in record mode, log-head-driven in replay) and a
+        granted batch runs loop iterations until it either exits the
+        sleep (``W``), raises ``EINTR`` (``E``), or falls back to the
+        queue having fired an alarm or advanced the idle clock (``Y``).
+        A no-op batch — possible only under record's FCFS grants — is
+        released unlogged, which is what keeps host-timing-dependent
+        spurious wakeups out of the log.
+        """
+        self._sleepers += 1
+        proc.state = "sleeping:" + wchan
+        depth = rec.held_depth()
+        granted = True   # the inline first pass, under the trap's token
+        logged = False   # True when the current grant must commit a line
+        waited = 0.0
+        try:
+            while True:
+                if granted:
+                    dirty = False
+                    exit_kind = None
+                    while True:
+                        if predicate():
+                            exit_kind = "W"
+                            break
+                        if self._check_alarm_locked(proc):
+                            dirty = True
+                        if interruptible and proc.has_deliverable_signal():
+                            exit_kind = "E"
+                            break
+                        if self._sleepers >= self._live_count_locked():
+                            if self._fire_earliest_alarm_locked():
+                                dirty = True
+                                continue
+                        break  # nothing left to do: back to the queue
+                    if exit_kind is not None:
+                        if logged:
+                            rec.commit(proc, exit_kind, wchan)
+                        if exit_kind == "E":
+                            raise SyscallError(EINTR, wchan)
+                        return
+                    if logged:
+                        if dirty:
+                            rec.commit(proc, "Y", wchan)
+                        else:
+                            rec.release_grant(proc)
+                    else:
+                        rec.suspend()
+                    # Token released: let blocked kernel-world entries
+                    # and other sleepers take their turn promptly.
+                    self.wakeup()
+                if not self._sleepq.wait(timeout=0.05):
+                    waited += 0.05
+                    if waited >= self._watchdog_seconds:
+                        raise RuntimeError(
+                            "sleep_until watchdog: pid %d stuck on %r"
+                            % (proc.pid, wchan)
+                        )
+                else:
+                    waited = 0.0
+                granted = rec.try_resume(proc, depth)
+                logged = granted
+        finally:
+            self._sleepers -= 1
+            if proc.state.startswith("sleeping:"):
+                proc.state = RUNNING
+
     def wakeup(self):
         """Wake all sleepers to recheck their conditions (lock held)."""
         self._sleepq.notify_all()
@@ -374,6 +460,8 @@ class Kernel:
                 proc.alarm_deadline = 0
             proc.post(sig.SIGALRM)
             self.wakeup()
+            return True
+        return False
 
     def _fire_earliest_alarm_locked(self):
         armed = [
@@ -448,6 +536,8 @@ class Kernel:
     def _alloc_pid_locked(self):
         pid = self._next_pid
         self._next_pid += 1
+        if self.recorder is not None:
+            self.recorder.note("P", 0, str(pid))
         return pid
 
     def spawn_child_locked(self, parent, entry):
@@ -463,6 +553,7 @@ class Kernel:
         )
         child.pgrp = parent.pgrp
         child.fdtable = parent.fdtable.fork_copy()
+        child.fdtable.owner = child
         child.dispositions = {
             signum: action.copy()
             for signum, action in parent.dispositions.items()
@@ -608,6 +699,7 @@ class Kernel:
         """
         from repro.kernel.faultsite import FaultSet
         sites = FaultSet.parse(sites)
+        sites.recorder = self.recorder
         self.faultsites = sites
         for fs in self._volumes:
             fs.faultsites = sites

@@ -86,6 +86,9 @@ class FDTable:
         self.size = size
         self._slots = {}
         self._cloexec = set()
+        #: the owning Process, so descriptor allocation order can be
+        #: recorded (see repro.obs.recorder); None for detached tables
+        self.owner = None
 
     def descriptors(self):
         """The open descriptor numbers, sorted."""
@@ -120,6 +123,9 @@ class FDTable:
         """Install *ofile* at the lowest free slot; returns it."""
         fd = self.lowest_free(minfd)
         self.install(fd, ofile)
+        owner = self.owner
+        if owner is not None and owner.kernel.recorder is not None:
+            owner.kernel.recorder.note("D", owner.pid, str(fd))
         return fd
 
     def remove(self, fd):
@@ -193,6 +199,7 @@ class Process:
         self.root_dir = root_dir
         self.umask = umask
         self.fdtable = FDTable()
+        self.fdtable.owner = self
         self.state = RUNNING
         #: true while suspended by a stop signal (cleared by SIGCONT)
         self.suspended = False

@@ -106,6 +106,8 @@ def sys_setitimer(kernel, proc, which, interval_usec, value_usec):
     if interval_usec < 0 or value_usec < 0:
         raise SyscallError(EINVAL)
     now = kernel.clock.usec()
+    if kernel.recorder is not None:
+        kernel.recorder.note("K", proc.pid, str(now))
     old_value = max(0, proc.alarm_deadline - now) if proc.alarm_deadline else 0
     old_interval = proc.alarm_interval
     proc.alarm_deadline = now + value_usec if value_usec else 0
@@ -119,5 +121,7 @@ def sys_getitimer(kernel, proc, which):
     if which != ITIMER_REAL:
         raise SyscallError(EINVAL, "only ITIMER_REAL is provided")
     now = kernel.clock.usec()
+    if kernel.recorder is not None:
+        kernel.recorder.note("K", proc.pid, str(now))
     value = max(0, proc.alarm_deadline - now) if proc.alarm_deadline else 0
     return (proc.alarm_interval, value)

@@ -107,9 +107,10 @@ def sys_kernel_stats(kernel, proc):
     available; with a fast path off, its section reports accordingly.
     The ``spans`` section carries the causal span assembler's counters
     (``{"enabled": False}`` when span tracing is off), so agents can
-    introspect the trace being built about them.  The ``guard`` and
-    ``faultsites`` sections do the same for agent fault containment and
-    armed kernel fault sites (``{"enabled": False}`` when off).
+    introspect the trace being built about them.  The ``guard``,
+    ``faultsites``, and ``recorder`` sections do the same for agent
+    fault containment, armed kernel fault sites, and record/replay
+    (``{"enabled": False}`` when off).
     """
     cache = kernel.namecache
     obs = kernel.obs
@@ -121,6 +122,7 @@ def sys_kernel_stats(kernel, proc):
     else:
         guard = {"enabled": False}
     sites = kernel.faultsites
+    rec = kernel.recorder
     return {
         "fastpaths": kernel.fastpaths.describe(),
         "trap": {
@@ -131,4 +133,5 @@ def sys_kernel_stats(kernel, proc):
         "spans": spans,
         "guard": guard,
         "faultsites": sites.stats() if sites is not None else {"enabled": False},
+        "recorder": rec.stats() if rec is not None else {"enabled": False},
     }

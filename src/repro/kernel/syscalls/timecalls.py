@@ -11,6 +11,8 @@ RUSAGE_CHILDREN = -1
 @implements("gettimeofday")
 def sys_gettimeofday(kernel, proc):
     """Returns a fresh :class:`Timeval` — agents (timex!) may mutate it."""
+    if kernel.recorder is not None:
+        kernel.recorder.note("K", proc.pid, str(kernel.clock.usec()))
     return kernel.clock.now()
 
 
@@ -22,6 +24,8 @@ def sys_settimeofday(kernel, proc, sec, usec):
     if not 0 <= usec < 1_000_000:
         raise SyscallError(EINVAL)
     kernel.clock.set(Timeval(sec, usec))
+    if kernel.recorder is not None:
+        kernel.recorder.note("K", proc.pid, str(kernel.clock.usec()))
     return 0
 
 

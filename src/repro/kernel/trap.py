@@ -90,8 +90,16 @@ def build_fast_dispatch(kernel, proc):
 
 
 def _brief(args, limit=48):
-    """A short, single-line rendering of trap arguments for event details."""
-    text = ", ".join(repr(a) for a in args)
+    """A short, single-line rendering of trap arguments for event details.
+
+    Callables render by qualified name: their default repr embeds a
+    host memory address, which would make otherwise-identical runs
+    compare unequal under record/replay.
+    """
+    text = ", ".join(
+        "<%s>" % getattr(a, "__qualname__", type(a).__name__)
+        if callable(a) else repr(a)
+        for a in args)
     if len(text) > limit:
         text = text[:limit] + "..."
     return text
@@ -108,6 +116,21 @@ def htg_unix_syscall(kernel, proc, number, args):
     ``ru_nsyscalls`` legitimately counts a forwarded call twice (see the
     module docstring).
     """
+    rec = kernel.recorder
+    if rec is not None:
+        # Almost always nested under the calling trap's turn (an agent's
+        # downcall), where begin() just bumps the depth and logs
+        # nothing; a genuinely top-level htg records its own H turn.
+        rec.begin(proc, "H", sysent.name_of(number))
+        try:
+            return _htg_body(kernel, proc, number, args)
+        finally:
+            rec.end()
+    return _htg_body(kernel, proc, number, args)
+
+
+def _htg_body(kernel, proc, number, args):
+    """The downcall proper (see :func:`htg_unix_syscall`)."""
     proc.rusage.ru_nsyscalls += 1
     with kernel._sleepq:
         if number in proc.emulation_vector:
@@ -142,6 +165,8 @@ class UserContext:
         proc.rusage.ru_nsyscalls += 1
         kernel = self.kernel
         kernel.trap_total += 1
+        if kernel.recorder is not None:
+            return self._trap_recorded(kernel.recorder, number, args)
         obs = kernel.obs
         if obs is not None:
             return self._trap_observed(obs, number, args)
@@ -198,6 +223,44 @@ class UserContext:
             raise
         deliver_pending_signals(self)
         return result
+
+    def _trap_recorded(self, rec, number, args):
+        """The trap path under record/replay's turn token.
+
+        The whole trap — agent handler, kernel work, sleeps (which
+        suspend and re-acquire the token inside ``sleep_until``), and
+        boundary signal delivery — runs as one recorded *turn*; with
+        observability also enabled the observed path runs inside it, so
+        obs event order is part of what replay reproduces bit-for-bit.
+        Dispatch always takes the slow path: both record and replay use
+        the same code, so the fast-dispatch counters stay comparable
+        between the two runs.
+        """
+        proc = self.proc
+        kernel = self.kernel
+        rec.begin(proc, "T", sysent.name_of(number))
+        try:
+            obs = kernel.obs
+            if obs is not None:
+                return self._trap_observed(obs, number, args)
+            handler = proc.emulation_vector.get(number)
+            try:
+                if handler is not None:
+                    guard = kernel.guard
+                    if guard is not None:
+                        result = guard.run_handler(self, handler, number,
+                                                   args)
+                    else:
+                        result = handler(self, number, args)
+                else:
+                    result = kernel.do_syscall(proc, number, args)
+            except SyscallError:
+                deliver_pending_signals(self)
+                raise
+            deliver_pending_signals(self)
+            return result
+        finally:
+            rec.end()
 
     def _trap_observed(self, obs, number, args):
         """The trap path with observability enabled.
@@ -267,6 +330,18 @@ class UserContext:
 
     def consume_cpu(self, usec):
         """Charge user-mode CPU time (advances the virtual clock)."""
+        rec = self.kernel.recorder
+        if rec is not None:
+            # The clock advance happens outside any trap, so two
+            # processes burning CPU race on it: make it its own turn.
+            rec.begin(self.proc, "C", str(usec))
+            try:
+                self.proc.rusage.ru_utime_usec += usec
+                self.kernel.clock.advance(usec)
+                deliver_pending_signals(self)
+            finally:
+                rec.end()
+            return
         self.proc.rusage.ru_utime_usec += usec
         self.kernel.clock.advance(usec)
         deliver_pending_signals(self)

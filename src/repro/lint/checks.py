@@ -22,6 +22,10 @@ Scope decisions each rule makes:
   ``handle_signal``): those are where an escaping ``SyscallError`` *is*
   the call's errno result, so a broad ``except`` that fails to re-raise
   silently converts failure into success.
+* L009 shares L008's handler-method scope: host wall-clock and
+  interpreter-global RNG reads matter exactly where the agent decides
+  protocol outcomes, because those decisions are what record/replay
+  (:mod:`repro.obs.recorder`) has to reproduce.
 """
 
 import ast
@@ -442,6 +446,47 @@ def _check_error_swallowing(path, agentish, out):
                         protected = True
 
 
+# -- L009: no host nondeterminism in handler methods --------------------
+
+#: module names whose top-level functions read host nondeterminism
+_NONDET_MODULES = frozenset({"time", "random"})
+
+
+def _check_wallclock(path, agentish, out):
+    """L009: handler methods must not call time.*/random.* directly.
+
+    Flags any call whose function is an attribute of the *bare module
+    name* ``time`` or ``random`` (``time.time()``, ``random.choice``,
+    ...) inside a ``sys_*``/``handle_syscall``/``handle_signal`` body.
+    A seeded ``random.Random`` instance held on the agent
+    (``self._rng.random()``) does not match — that is the sanctioned
+    shape: its stream is a function of the seed and the call sequence,
+    which the record/replay recorder makes deterministic.
+    """
+    for class_name, node in sorted(agentish.items()):
+        for item in node.body:
+            if not (isinstance(item, ast.FunctionDef)
+                    and _HANDLER_METHOD_RE.match(item.name)):
+                continue
+            symbol = "%s.%s" % (class_name, item.name)
+            for child in ast.walk(item):
+                if not isinstance(child, ast.Call):
+                    continue
+                func = child.func
+                if not (isinstance(func, ast.Attribute)
+                        and isinstance(func.value, ast.Name)
+                        and func.value.id in _NONDET_MODULES):
+                    continue
+                shown = "%s.%s()" % (func.value.id, func.attr)
+                out(_finding(
+                    "L009", path, child, symbol,
+                    "%s calls %s — host nondeterminism in a handler "
+                    "makes the agent's decisions unreplayable; read "
+                    "virtual time with a gettimeofday downcall and "
+                    "draw randomness from a seeded random.Random "
+                    "instance instead" % (symbol, shown)))
+
+
 # -- L006: no kernel internals from agent code --------------------------
 
 
@@ -509,6 +554,7 @@ def check_module(path, tree, model, in_agents_package):
     _check_syscallerror_args(path, tree, model, out)
     _check_signal_forwarding(path, agentish, out)
     _check_error_swallowing(path, agentish, out)
+    _check_wallclock(path, agentish, out)
     if in_agents_package:
         _check_layer_bypass(path, tree, out)
     return findings

@@ -32,7 +32,7 @@ def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro-lint",
         description="Statically check interposition agents against the "
-                    "toolkit protocol (rules L001-L007; see "
+                    "toolkit protocol (rules L001-L009; see "
                     "docs/LINTING.md).")
     parser.add_argument("paths", nargs="*", metavar="PATH",
                         help="files or directories to lint")

@@ -1,6 +1,6 @@
 """The rule registry: stable ids, severities, and one-line contracts.
 
-Every agentlint rule has a stable id (``L001`` .. ``L008``) used in
+Every agentlint rule has a stable id (``L001`` .. ``L009``) used in
 output, in ``# repro-lint: disable=`` suppressions, and in baseline
 files.  The registry is the single source of truth the CLI, the docs
 test, and ``docs/LINTING.md`` draw on; rule *implementations* live in
@@ -102,6 +102,19 @@ _register(
     "wrong result instead of an errno (the containment layer, "
     "repro.toolkit.guard, shows the sanctioned shape: re-raise the "
     "protocol exceptions first, then contain the rest).",
+)
+_register(
+    "L009", ERROR,
+    "handler methods never read host nondeterminism: no time.*/"
+    "random.* module calls — use the virtual clock and seeded "
+    "generators",
+    "a sys_*/handle_syscall/handle_signal body that calls time.time() "
+    "or module-level random.random() makes the agent's decisions "
+    "depend on host wall clock and interpreter-global RNG state; such "
+    "runs cannot be captured by the record/replay recorder "
+    "(repro.obs.recorder) — read virtual time via gettimeofday "
+    "downcalls and draw randomness from a seeded instance the way "
+    "repro.agents.chaos does.",
 )
 
 

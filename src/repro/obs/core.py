@@ -136,6 +136,9 @@ class Observability:
         }
         snap["spans"] = (self.spans.counts() if self.spans is not None
                          else {"enabled": False})
+        recorder = kernel.recorder
+        snap["recorder"] = (recorder.stats() if recorder is not None
+                            else {"enabled": False})
         return snap
 
 
@@ -162,19 +165,27 @@ def enable_from_spec(kernel, spec):
 
     *spec* is a comma-separated feature list: ``"metrics"`` (counters
     and histograms only), ``"trace"`` (plus trace_all into the ring
-    buffer), ``"spans"`` (plus causal span assembly).  ``True`` means
-    ``"metrics"``; features compose (``"trace,spans"``).  Unknown
-    feature names raise ``ValueError`` so typos fail loudly at boot.
+    buffer), ``"spans"`` (plus causal span assembly), ``"record"``
+    (plus a :class:`~repro.obs.recorder.Recorder` in record mode
+    installed as ``kernel.recorder`` — read its ``decisions`` after the
+    run to write an ``.rrlog``).  ``True`` means ``"metrics"``;
+    features compose (``"trace,spans"``).  Unknown feature names raise
+    ``ValueError`` so typos fail loudly at boot.
     """
     if spec is True:
         spec = "metrics"
     features = {part.strip() for part in spec.split(",") if part.strip()}
-    unknown = features - {"metrics", "trace", "spans"}
+    unknown = features - {"metrics", "trace", "spans", "record"}
     if unknown:
         raise ValueError("unknown obs feature(s): %s"
                          % ", ".join(sorted(unknown)))
-    return enable(kernel, trace_all="trace" in features,
-                  spans="spans" in features)
+    obs = enable(kernel, trace_all="trace" in features,
+                 spans="spans" in features)
+    if "record" in features and kernel.recorder is None:
+        from repro.obs.recorder import Recorder
+
+        Recorder().attach(kernel)
+    return obs
 
 
 def disable(kernel):

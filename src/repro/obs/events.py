@@ -38,6 +38,13 @@ can switch on them without string guessing:
 ``fault.inject``
     A kernel fault site (see :mod:`repro.kernel.faultsite`) injected an
     error; the name field carries the site tag.
+``record.start`` / ``record.stop``
+    A :class:`~repro.obs.recorder.Recorder` attached to the kernel in
+    record mode (``start``) or replay mode (``stop`` — the log is being
+    consumed, not grown).
+``replay.diverge``
+    Replay departed from the recorded execution; the detail carries the
+    rendered :class:`~repro.obs.recorder.ReplayDivergence`.
 
 Events are deliberately flat — integers and strings only — so the same
 object serves the ktrace ring buffer, bus subscribers, and the JSON-lines
@@ -69,6 +76,9 @@ GUARD_KILL = "guard.kill"
 GUARD_QUARANTINE = "guard.quarantine"
 REMOTE_STALL = "remote.stall"
 FAULT_INJECT = "fault.inject"
+RECORD_START = "record.start"
+RECORD_STOP = "record.stop"
+REPLAY_DIVERGE = "replay.diverge"
 
 #: every event kind the kernel emits, in rough trap-spine order
 KINDS = (
@@ -88,6 +98,9 @@ KINDS = (
     GUARD_QUARANTINE,
     REMOTE_STALL,
     FAULT_INJECT,
+    RECORD_START,
+    RECORD_STOP,
+    REPLAY_DIVERGE,
 )
 
 

@@ -1,0 +1,136 @@
+"""The ``.rrlog`` nondeterminism log: one scheduling decision per line.
+
+A record/replay log is text-native and append-only, greppable exactly
+like a kdump: a versioned header, a block of ``# key: value`` metadata
+naming the scenario that produced it (enough to re-boot the same world),
+and then one :class:`Decision` per line.  The format is deliberately
+trivial — ``kind pid value`` separated by single spaces — because the
+log is a *debugging artifact first*: the whole point of recording at the
+system interface is that the resulting trace reads like the system's own
+story, not like a binary blob.
+
+Decision kinds (see :mod:`repro.obs.recorder` for the protocol):
+
+``T`` / ``H`` / ``C``
+    Turn-token acquisitions at kernel-world entry: a system call trap
+    (value = call name), a top-level ``htg_unix_syscall`` downcall, or a
+    ``consume_cpu`` clock advance (value = usec).
+``W`` / ``E`` / ``Y``
+    Sleep-queue admissions: a granted recheck batch that exited the
+    sleep (``W``), raised ``EINTR`` (``E``), or had side effects — an
+    alarm fired, the idle loop advanced the clock — and went back to
+    sleep (``Y``).  Value = the wait channel.
+``F`` / ``P`` / ``D`` / ``K``
+    Validation notes, recorded in turn order: a fault-site firing
+    (value = ``tag errno``), a pid allocation, a descriptor allocation,
+    and a virtual-clock read in ``timecalls``/``flock_itimer``.
+"""
+
+RRLOG_VERSION = 1
+
+#: decisions that acquire the turn token at kernel-world entry
+ENTRY_KINDS = ("T", "H", "C")
+#: decisions a sleeping thread's granted recheck batch can commit
+SLEEP_KINDS = ("W", "E", "Y")
+#: validation notes recorded under an already-held token
+NOTE_KINDS = ("F", "P", "D", "K")
+
+KINDS = ENTRY_KINDS + SLEEP_KINDS + NOTE_KINDS
+
+_KIND_SET = frozenset(KINDS)
+
+
+class Decision:
+    """One recorded nondeterminism decision: ``kind pid value``."""
+
+    __slots__ = ("kind", "pid", "value")
+
+    def __init__(self, kind, pid, value=""):
+        if kind not in _KIND_SET:
+            raise ValueError("unknown rrlog decision kind %r" % (kind,))
+        self.kind = kind
+        self.pid = pid
+        self.value = value
+
+    def line(self):
+        """This decision as one rrlog line (no newline)."""
+        if self.value:
+            return "%s %d %s" % (self.kind, self.pid, self.value)
+        return "%s %d" % (self.kind, self.pid)
+
+    @classmethod
+    def parse(cls, line):
+        """A decision from one log line (``ValueError`` on garbage)."""
+        parts = line.split(" ", 2)
+        if len(parts) < 2 or parts[0] not in KINDS:
+            raise ValueError("bad rrlog decision line %r" % (line,))
+        return cls(parts[0], int(parts[1]), parts[2] if len(parts) > 2 else "")
+
+    def matches(self, kind, pid, value):
+        """True when this decision is exactly (*kind*, *pid*, *value*)."""
+        return self.kind == kind and self.pid == pid and self.value == value
+
+    def __eq__(self, other):
+        if not isinstance(other, Decision):
+            return NotImplemented
+        return (self.kind, self.pid, self.value) == \
+            (other.kind, other.pid, other.value)
+
+    def __repr__(self):
+        return "<Decision %s>" % self.line()
+
+
+def dump(meta, decisions):
+    """Render a complete rrlog document as one string.
+
+    *meta* is a mapping of scenario parameters (seed, policy, ...)
+    written as ``# key: value`` header lines; values round-trip as
+    strings, so drivers coerce types themselves on read.
+    """
+    lines = ["# rrlog v%d" % RRLOG_VERSION]
+    for key in sorted(meta):
+        lines.append("# %s: %s" % (key, meta[key]))
+    for decision in decisions:
+        lines.append(decision.line())
+    return "\n".join(lines) + "\n"
+
+
+def parse(text):
+    """Parse an rrlog document; returns ``(meta, decisions)``.
+
+    Raises ``ValueError`` on a missing/mismatched version header or an
+    unparseable decision line — a truncated or hand-mangled log should
+    fail loudly at load time, not as a baffling mid-replay divergence.
+    """
+    lines = text.splitlines()
+    if not lines or not lines[0].startswith("# rrlog v"):
+        raise ValueError("not an rrlog: missing '# rrlog v<N>' header")
+    version = int(lines[0][len("# rrlog v"):])
+    if version != RRLOG_VERSION:
+        raise ValueError("rrlog version %d not supported (know v%d)"
+                         % (version, RRLOG_VERSION))
+    meta = {}
+    decisions = []
+    for line in lines[1:]:
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            key, sep, value = line[1:].partition(":")
+            if sep:
+                meta[key.strip()] = value.strip()
+            continue
+        decisions.append(Decision.parse(line))
+    return meta, decisions
+
+
+def write_file(path, meta, decisions):
+    """Write one rrlog document to *path* (host filesystem)."""
+    with open(path, "w") as f:
+        f.write(dump(meta, decisions))
+
+
+def read_file(path):
+    """Read the rrlog at *path*; returns ``(meta, decisions)``."""
+    with open(path, "r") as f:
+        return parse(f.read())

@@ -204,7 +204,7 @@ class ChaosReport:
 
 def run_scenario(seed, policy="fail-open", mechanism="wrapper",
                  workload="files", agent_rate=0.05, site_rate=0.01,
-                 timeout=60.0):
+                 timeout=60.0, obs=None, on_boot=None):
     """Run one seeded chaos scenario; returns its :class:`ChaosReport`.
 
     The scenario is deterministic in *seed* (plus the knob arguments):
@@ -212,21 +212,30 @@ def run_scenario(seed, policy="fail-open", mechanism="wrapper",
     drawn from generators seeded by it.  Setup (world boot, workload
     files) happens before fault sites are armed, so scenarios always
     start from an intact machine.
+
+    *obs* is forwarded to the kernel (``Kernel(obs=...)``); *on_boot*,
+    when given, is called with the booted kernel after world setup but
+    before fault sites are armed — the record/replay drivers use it to
+    attach a :class:`~repro.obs.recorder.Recorder` and subscribe event
+    collectors, so the recorder sees the armed fault set.
     """
     if workload not in WORKLOADS:
         raise ValueError("unknown workload %r (know %s)"
                          % (workload, ", ".join(sorted(WORKLOADS))))
     report = ChaosReport(seed, policy, mechanism, workload)
     inner = ChaosAgent(seed=seed, rate=agent_rate)
+    boot_kwargs = {} if obs is None else {"obs": obs}
     if mechanism == "wrapper":
-        kernel = boot_world()
+        kernel = boot_world(**boot_kwargs)
         agent = GuardedAgent(inner, policy)
     elif mechanism == "rail":
-        kernel = boot_world(guard=policy)
+        kernel = boot_world(guard=policy, **boot_kwargs)
         agent = inner
     else:
         raise ValueError("unknown mechanism %r" % (mechanism,))
     path, argv = WORKLOADS[workload](kernel)
+    if on_boot is not None:
+        on_boot(kernel)
     sites = kernel.arm_faults(FaultSet.random(seed, rate=site_rate))
     try:
         status = run_under_agent(kernel, agent, path, argv, timeout=timeout)

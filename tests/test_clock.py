@@ -39,6 +39,32 @@ def test_clock_advance_rejects_negative():
         clock.advance(-1)
 
 
+def test_clock_advance_zero_is_a_noop():
+    # advance(0) is legal (a degenerate sleep) and leaves time alone.
+    clock = Clock(epoch_usec=42)
+    clock.advance(0)
+    assert clock.usec() == 42
+
+
+def test_clock_rejects_backwards_even_after_set():
+    # settimeofday stepping backwards does not license advance() to:
+    # the monotonic rule is about the *delta*, not the absolute value.
+    clock = Clock()
+    clock.set(Timeval(50, 0))
+    with pytest.raises(ValueError):
+        clock.advance(-1)
+    assert clock.now() == Timeval(50, 0)
+
+
+def test_clock_ticks_resume_from_stepped_time():
+    # After a backwards step the clock ticks forward from the new base.
+    clock = Clock(epoch_usec=100 * 1_000_000)
+    clock.set(Timeval(50, 0))
+    clock.tick()
+    clock.advance(1_000_000)
+    assert clock.usec() == 51 * 1_000_000 + TRAP_TICK_USEC
+
+
 def test_clock_set_steps_absolute():
     clock = Clock()
     clock.set(Timeval(100, 7))

@@ -212,6 +212,40 @@ def test_getitimer_reports_remaining(world):
     assert _with_sys(world, body) == 0
 
 
+def test_settimeofday_forward_fires_pending_alarm(world):
+    # Alarm deadlines are absolute virtual times (4.3BSD semantics), so
+    # stepping the clock forward past a pending deadline makes the
+    # alarm due immediately.
+    def body(sys):
+        fired = []
+        sys.sigvec(sig.SIGALRM, lambda s: fired.append(s))
+        sys.setitimer(0, 0, 5_000_000)  # 5 virtual seconds out
+        now = sys.gettimeofday()
+        sys.settimeofday(now.tv_sec + 60, now.tv_usec)
+        sys.sigpause(0)
+        assert fired == [sig.SIGALRM]
+        interval, value = sys.getitimer(0)
+        assert (interval, value) == (0, 0)
+        return 0
+
+    assert _with_sys(world, body) == 0
+
+
+def test_settimeofday_backwards_stretches_pending_alarm(world):
+    # The flip side of the absolute deadline: stepping backwards moves
+    # the alarm *further away* — remaining time grows by the step.
+    def body(sys):
+        sys.setitimer(0, 0, 1_000_000)
+        now = sys.gettimeofday()
+        sys.settimeofday(now.tv_sec - 60, now.tv_usec)
+        _, value = sys.getitimer(0)
+        assert value > 60_000_000
+        sys.setitimer(0, 0, 0)
+        return 0
+
+    assert _with_sys(world, body) == 0
+
+
 def test_itimer_invalid_which(world):
     def body(sys):
         try:

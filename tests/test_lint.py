@@ -1,6 +1,6 @@
 """agentlint (repro.lint): per-rule fixtures and engine behaviour.
 
-Each rule L001..L008 gets a failing fixture (true positive), a clean
+Each rule L001..L009 gets a failing fixture (true positive), a clean
 fixture (true negative), and the suppression mechanism is proven to
 silence exactly the suppressed rule.  The ``--json`` document schema is
 pinned, baseline files round-trip, and — the acceptance criterion — the
@@ -505,6 +505,61 @@ def test_l008_ignores_non_handler_methods(tmp_path, proto_root):
     assert rules_fired(result) == set()
 
 
+# -- L009: no host nondeterminism in handler methods -----------------------
+
+
+def test_l009_fires_on_wallclock_and_global_rng(tmp_path, proto_root):
+    result = lint_source(tmp_path, proto_root, """
+    import random
+    import time
+
+    from repro.toolkit.symbolic import SymbolicSyscall
+
+    class Jittery(SymbolicSyscall):
+        def sys_open(self, path, flags=0, mode=0o666):
+            if random.random() < 0.5:
+                time.sleep(0.01)
+            return super().sys_open(path, flags, mode)
+
+        def sys_getpid(self):
+            return int(time.time())
+    """)
+    l009 = [f for f in result.active if f.rule == "L009"]
+    assert len(l009) == 3
+    symbols = {f.symbol for f in l009}
+    assert symbols == {"Jittery.sys_open", "Jittery.sys_getpid"}
+    messages = "\n".join(f.message for f in l009)
+    assert "time.time()" in messages
+    assert "random.random()" in messages
+    assert "unreplayable" in messages
+
+
+def test_l009_quiet_for_seeded_instances_and_helpers(tmp_path, proto_root):
+    # The sanctioned shapes: a seeded random.Random held on the agent,
+    # virtual time via downcall, and helpers outside the handler scope
+    # (the boilerplate's own perf_counter bookkeeping lives there).
+    result = lint_source(tmp_path, proto_root, """
+    import random
+    import time
+
+    from repro.toolkit.symbolic import SymbolicSyscall
+
+    class Seeded(SymbolicSyscall):
+        def init(self, interposed=0):
+            self._rng = random.Random(42)
+            return super().init(interposed)
+
+        def sys_open(self, path, flags=0, mode=0o666):
+            if self._rng.random() < 0.5:
+                now = self.syscall_down("gettimeofday")
+            return super().sys_open(path, flags, mode)
+
+        def _measure(self):
+            return time.perf_counter()
+    """)
+    assert rules_fired(result) == set()
+
+
 # -- suppressions ----------------------------------------------------------
 
 
@@ -639,9 +694,9 @@ def test_cli_list_rules_covers_every_registered_rule():
 # -- the registry and the repo itself --------------------------------------
 
 
-def test_registry_defines_l001_through_l008():
+def test_registry_defines_l001_through_l009():
     assert rule_ids() == ["L001", "L002", "L003", "L004", "L005", "L006",
-                          "L007", "L008"]
+                          "L007", "L008", "L009"]
     for rule in RULES.values():
         assert rule.summary and rule.rationale
         assert rule.severity in ("error", "warning")

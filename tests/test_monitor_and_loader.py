@@ -9,9 +9,10 @@ from repro.kernel.proc import WEXITSTATUS
 from repro.toolkit import run_under_agent
 
 #: the pinned key set of the --json report; bump schema_version on change
-MONITOR_JSON_SCHEMA_V2 = frozenset({
+MONITOR_JSON_SCHEMA_V3 = frozenset({
     "schema_version", "calls", "errors", "bytes_read", "bytes_written",
     "forks", "opens_by_path", "signals", "kernel", "spans",
+    "recorder",
 })
 
 
@@ -68,12 +69,14 @@ def test_monitor_json_report_schema_golden(world):
     status = run_under_agent(world, agent, "/bin/sh", ["sh", "-c", "echo hi"])
     assert WEXITSTATUS(status) == 0
     doc = json.loads(world.read_file("/tmp/mon.json").decode())
-    assert set(doc) == MONITOR_JSON_SCHEMA_V2
-    assert doc["schema_version"] == 2
+    assert set(doc) == MONITOR_JSON_SCHEMA_V3
+    assert doc["schema_version"] == 3
     assert doc["calls"]["write"] >= 1
     # Span tracing was off, and the report says so explicitly.
     assert doc["spans"] == {"enabled": False}
     assert doc["kernel"]["spans"] == {"enabled": False}
+    # No recorder attached, and the report says so explicitly.
+    assert doc["recorder"] == {"enabled": False}
 
 
 def test_monitor_json_report_spans_section(world):
@@ -86,7 +89,7 @@ def test_monitor_json_report_spans_section(world):
     status = run_under_agent(world, agent, "/bin/sh", ["sh", "-c", "echo hi"])
     assert WEXITSTATUS(status) == 0
     doc = json.loads(world.read_file("/tmp/mon_spans.json").decode())
-    assert set(doc) == MONITOR_JSON_SCHEMA_V2
+    assert set(doc) == MONITOR_JSON_SCHEMA_V3
     assert doc["spans"]["enabled"] is True
     assert doc["spans"]["spans"] > 0
     assert set(doc["spans"]["edges_by_kind"]) <= {"fork", "exec", "pipe",
@@ -100,7 +103,7 @@ def test_loader_monitor_json_flag(world):
         ["sh", "-c", "agentrun monitor /tmp/m4.json --json -- echo hi"])
     assert WEXITSTATUS(status) == 0
     doc = json.loads(world.read_file("/tmp/m4.json").decode())
-    assert doc["schema_version"] == 2 and "spans" in doc
+    assert doc["schema_version"] == 3 and "spans" in doc
 
 
 # -- the agent loader program --------------------------------------------

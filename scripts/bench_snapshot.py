@@ -1,13 +1,15 @@
-"""Snapshot the PR's headline benchmark numbers into BENCH_PR6.json.
+"""Snapshot the PR's headline benchmark numbers into BENCH_PR7.json.
 
 Run with:  python scripts/bench_snapshot.py [--quick] [output.json]
 
-Records, for the deterministic record/replay added in PR 6, the
-recording overhead matrix (disabled / record / replay) on the
-format-dissertation scenario, the per-trap micro costs, and a
-determinism proof sweep (record + bit-identical replay over the format
-run and a cycle of chaos seeds, with decision-log sizes) — plus enough
-machine information to interpret the numbers later.
+Records, for the compiled agent-stack dispatch added in PR 7, the
+per-operation micro costs and tower/compiled ratios (the flat-chain
+story), a macro row for the format-dissertation workload (honest and
+Amdahl-bound: the workload is formatter CPU, not dispatch), the
+compiled-off bit-for-bit equivalence check, and the record/replay
+determinism sweep re-run with the compiled dispatch enabled (the
+recorder must force a stand-down, so replays stay bit-identical) —
+plus enough machine information to interpret the numbers later.
 """
 
 import datetime
@@ -21,7 +23,8 @@ sys.path.insert(0, os.path.dirname(_HERE))
 sys.path.insert(0, os.path.join(os.path.dirname(_HERE), "src"))
 sys.path.insert(0, _HERE)
 
-from benchmarks import bench_record_overhead as bench  # noqa: E402
+from benchmarks import bench_compiled_dispatch as bench  # noqa: E402
+from repro.bench.timing import paired_slowdowns, time_matrix  # noqa: E402
 from repro.obs.timetravel import (  # noqa: E402
     compare_runs,
     record_run,
@@ -30,8 +33,54 @@ from repro.obs.timetravel import (  # noqa: E402
 from repro.workloads.chaos import MECHANISMS, POLICIES  # noqa: E402
 
 
+def _macro_rows(runs):
+    """Format workload, tower vs compiled: (config, seconds, pct)."""
+    from repro.kernel.proc import WEXITSTATUS
+    from repro.workloads import boot_world, format_dissertation
+
+    def _prepare(config):
+        kernel = boot_world(fastpaths=bench.fastpath_config(config))
+        format_dissertation.setup(kernel)
+
+        def run():
+            status = format_dissertation.run(kernel)
+            assert WEXITSTATUS(status) == 0, "workload failed (%r)" % status
+            return kernel
+
+        return run
+
+    prepares = {config: (lambda config=config: _prepare(config))
+                for config in bench.CONFIGS}
+    results = time_matrix(prepares, runs=runs)
+    slowdowns = paired_slowdowns(results, base_name="tower")
+    return [(config, results[config][0], slowdowns[config])
+            for config in bench.CONFIGS]
+
+
+def _equivalence():
+    """Compiled off == seed == compiled on, byte for byte (format run)."""
+    from repro.kernel.proc import WEXITSTATUS
+    from repro.workloads import boot_world, format_dissertation
+
+    outputs = {}
+    for label, flags in (("seed", "none"),
+                         ("tower", "namecache,trap_fast,zero_copy"),
+                         ("compiled", None)):
+        world = (boot_world() if flags is None
+                 else boot_world(fastpaths=flags))
+        format_dissertation.setup(world)
+        status = format_dissertation.run(world)
+        assert WEXITSTATUS(status) == 0
+        outputs[label] = world.read_file(format_dissertation.OUTPUT)
+    return {
+        "compiled_off_matches_seed": outputs["tower"] == outputs["seed"],
+        "compiled_on_matches_seed": outputs["compiled"] == outputs["seed"],
+        "output_bytes": len(outputs["seed"]),
+    }
+
+
 def _determinism_sweep(seeds):
-    """Record + replay the smoke matrix; returns per-scenario rows."""
+    """Record + replay the smoke matrix (compiled dispatch enabled)."""
     cases = [dict(seed=0, workload="format", agent_rate=0.0, site_rate=0.0)]
     for i in range(seeds):
         cases.append(dict(
@@ -59,9 +108,9 @@ def _determinism_sweep(seeds):
 def snapshot(runs=9, micro_calls=2000, seeds=5):
     """Collect every headline number as one JSON-ready document."""
     doc = {
-        "pr": 6,
-        "title": "deterministic record/replay: nondeterminism log, "
-                 "recorder, time-travel debugging",
+        "pr": 7,
+        "title": "compiled agent-stack dispatch: flat per-syscall chains, "
+                 "batched entry points",
         "generated": datetime.datetime.now().isoformat(timespec="seconds"),
         "machine": {
             "python": platform.python_version(),
@@ -75,23 +124,33 @@ def snapshot(runs=9, micro_calls=2000, seeds=5):
             "method": "interleaved rounds, paired per-round slowdowns, "
                       "minimum over rounds (see repro.bench.timing)",
         },
-        "macro": [],
         "micro": [],
+        "micro_ratios": {},
+        "macro": [],
+        "equivalence": {},
         "determinism": [],
     }
-    print("macro: format scenario x %s ..." % (bench.CONFIGS,), flush=True)
+    print("micro: %s ..." % (bench.CONFIGS,), flush=True)
+    rows = bench.micro_rows(calls=micro_calls)
+    doc["micro"] = [
+        {"operation": op, "config": config, "usec": round(usec, 3)}
+        for op, config, usec in rows
+    ]
+    doc["micro_ratios"] = {
+        op: round(ratio, 2) for op, ratio in bench.ratios(rows).items()
+    }
+    print("macro: format scenario, tower vs compiled ...", flush=True)
     doc["macro"] = [
         {"config": config, "seconds": round(seconds, 4),
-         "slowdown_vs_disabled_pct": round(pct, 2)}
-        for config, seconds, pct in bench.macro_rows(runs=runs)
+         "slowdown_vs_tower_pct": round(pct, 2)}
+        for config, seconds, pct in _macro_rows(runs)
     ]
-    print("micro ...", flush=True)
-    doc["micro"] = [
-        {"config": config, "usec": round(usec, 3)}
-        for config, usec in bench.micro_rows(calls=micro_calls)
-    ]
-    print("determinism sweep: format + %d chaos seed(s) ..." % seeds,
-          flush=True)
+    print("equivalence: compiled off/on vs seed ...", flush=True)
+    doc["equivalence"] = _equivalence()
+    assert doc["equivalence"]["compiled_off_matches_seed"]
+    assert doc["equivalence"]["compiled_on_matches_seed"]
+    print("determinism sweep: format + %d chaos seed(s), compiled on ..."
+          % seeds, flush=True)
     doc["determinism"] = _determinism_sweep(seeds)
     assert all(row["bit_identical"] for row in doc["determinism"]), \
         "a replay was not bit-identical; see the differences field"
@@ -104,7 +163,7 @@ def main():
     quick = "--quick" in argv
     if quick:
         argv.remove("--quick")
-    path = argv[0] if argv else "BENCH_PR6.json"
+    path = argv[0] if argv else "BENCH_PR7.json"
     doc = snapshot(runs=3 if quick else 9,
                    micro_calls=500 if quick else 2000,
                    seeds=3 if quick else 5)

@@ -128,6 +128,8 @@ def sys_kernel_stats(kernel, proc):
         "trap": {
             "total": kernel.trap_total,
             "fast": kernel.trap_fast_total,
+            "compiled": kernel.trap_compiled_total,
+            "down_compiled": kernel.down_compiled_total,
         },
         "namecache": cache.stats() if cache is not None else {"enabled": False},
         "spans": spans,

@@ -36,6 +36,7 @@ exists to demonstrate.
 
 from repro.kernel import signals as sig
 from repro.kernel import sysent
+from repro.kernel.compile import build_compiled_dispatch
 from repro.kernel.errno import EINVAL, SyscallError, errno_name
 from repro.kernel.proc import ExecImage, ProcessExit
 from repro.obs import events as ev
@@ -215,7 +216,23 @@ class UserContext:
                 if guard is not None:
                     result = guard.run_handler(self, handler, number, args)
                 else:
-                    result = handler(self, number, args)
+                    # Compiled agent-stack dispatch: a flat per-number
+                    # chain replaces the layer tower when every observer
+                    # that could tell the difference is quiet (recorder
+                    # and obs were dispatched above, the guard is the
+                    # branch we did not take, dfstrace/ktrace checked
+                    # here).  Same lazy-rebuild lifecycle as the fast
+                    # table above.
+                    ctable = proc.compiled_dispatch
+                    if ctable is None:
+                        ctable = proc.compiled_dispatch = \
+                            build_compiled_dispatch(kernel, proc)
+                    crow = ctable.get(number)
+                    if (crow is not None and kernel.dfstrace is None
+                            and not proc.ktrace_on):
+                        result = crow[0](self, args)
+                    else:
+                        result = handler(self, number, args)
             else:
                 result = kernel.do_syscall(proc, number, args)
         except SyscallError:
@@ -223,6 +240,98 @@ class UserContext:
             raise
         deliver_pending_signals(self)
         return result
+
+    def trap_many(self, number, calls):
+        """Issue a homogeneous batch of system call *number* traps.
+
+        *calls* is a sequence of argument tuples; the result is exactly
+        ``[self.trap(number, *args) for args in calls]`` — same results,
+        same per-call accounting, same signal delivery at every call
+        boundary, and a :class:`SyscallError` aborts the batch at the
+        failing call just as it would abort a sequential loop.  What the
+        batch buys is dispatch amortization: when nothing stands in the
+        way (no recorder/obs/guard/dfstrace/ktrace), the whole batch
+        runs through one compiled chain — or one fast-dispatch row —
+        under a single kernel lock acquisition, dropping the lock only
+        when a signal becomes pending so delivery interleaves exactly as
+        the sequential loop's would.
+        """
+        calls = list(calls)
+        kernel = self.kernel
+        proc = self.proc
+        if (kernel.recorder is None and kernel.obs is None
+                and kernel.guard is None and kernel.dfstrace is None
+                and not proc.ktrace_on):
+            if number in proc.emulation_vector:
+                ctable = proc.compiled_dispatch
+                if ctable is None:
+                    ctable = proc.compiled_dispatch = \
+                        build_compiled_dispatch(kernel, proc)
+                crow = ctable.get(number)
+                if crow is not None and crow[1] is not None:
+                    results = crow[1](self, calls)
+                    if results is not NotImplemented:
+                        return results
+            else:
+                results = self._trap_many_fast(number, calls)
+                if results is not NotImplemented:
+                    return results
+        return [self.trap(number, *args) for args in calls]
+
+    def _trap_many_fast(self, number, calls):
+        """Single-lock batch over an uninterposed fast-dispatch row.
+
+        The per-call work mirrors the fast path in :meth:`trap` —
+        crossing and trap counters, arity check (the fast path's
+        messageful EINVAL included), tick, system-time charge, alarm
+        check, implementation — with the lock held across calls instead
+        of per call.  Returns ``NotImplemented`` when the number has no
+        fast row (interposed, unimplemented, or the flag is off) so the
+        caller falls back to the sequential loop.
+        """
+        kernel = self.kernel
+        proc = self.proc
+        table = proc.fast_dispatch
+        if table is None:
+            table = proc.fast_dispatch = build_fast_dispatch(kernel, proc)
+        row = table.get(number)
+        if row is None:
+            return NotImplemented
+        impl, entry = row
+        nargs = entry.nargs
+        name = entry.name
+        rusage = proc.rusage
+        results = []
+        index = 0
+        total = len(calls)
+        while index < total:
+            error = None
+            with kernel._sleepq:
+                while index < total:
+                    args = calls[index]
+                    rusage.ru_nsyscalls += 1
+                    kernel.trap_total += 1
+                    kernel.trap_fast_total += 1
+                    try:
+                        if len(args) > nargs:
+                            raise SyscallError(
+                                EINVAL, "%s takes %d args" % (name, nargs))
+                        kernel.clock.tick()
+                        rusage.ru_stime_usec += 100
+                        kernel._check_alarm_locked(proc)
+                        results.append(impl(kernel, proc, *args))
+                    except SyscallError as exc:
+                        error = exc
+                        break
+                    index += 1
+                    if proc.pending:
+                        break
+            if error is not None:
+                deliver_pending_signals(self)
+                raise error
+            if proc.pending:
+                deliver_pending_signals(self)
+        return results
 
     def _trap_recorded(self, rec, number, args):
         """The trap path under record/replay's turn token.

@@ -26,6 +26,11 @@ Scope decisions each rule makes:
   interpreter-global RNG reads matter exactly where the agent decides
   protocol outcomes, because those decisions are what record/replay
   (:mod:`repro.obs.recorder`) has to reproduce.
+* L010 shares the same handler-method scope: a handler that writes
+  ``*.emulation_vector`` directly, instead of going through
+  ``task_set_emulation``, skips the invalidation funnel the kernel's
+  fast-dispatch and compiled-dispatch tables depend on
+  (:mod:`repro.kernel.compile`).
 """
 
 import ast
@@ -487,6 +492,73 @@ def _check_wallclock(path, agentish, out):
                     "instance instead" % (symbol, shown)))
 
 
+# -- L010: interception changes go through task_set_emulation -----------
+
+#: call-attribute names that mutate a dict in place
+_DICT_MUTATORS = frozenset({"pop", "clear", "update", "setdefault",
+                            "popitem"})
+
+
+def _is_emulation_vector(node):
+    """True for any ``<expr>.emulation_vector`` attribute access."""
+    return (isinstance(node, ast.Attribute)
+            and node.attr == "emulation_vector")
+
+
+def _check_vector_mutation(path, agentish, out):
+    """L010: handler methods must not mutate ``*.emulation_vector``.
+
+    Flags subscript assignment/deletion and the in-place dict mutators
+    (``pop``/``clear``/``update``/``setdefault``/``popitem``) applied
+    to any ``.emulation_vector`` attribute inside a handler body.
+    Reading the vector is fine — the rule is about the write funnel:
+    ``register_interest``/``unregister_interest`` route the change
+    through ``task_set_emulation``, which is where the kernel retires
+    its fast-dispatch row, the compiled per-syscall chains, and the
+    downcall-chain epoch (:mod:`repro.kernel.compile`).  A direct
+    mutation skips every one of those invalidations, so already-built
+    flat chains keep dispatching the *old* stack.
+    """
+    for class_name, node in sorted(agentish.items()):
+        for item in node.body:
+            if not (isinstance(item, ast.FunctionDef)
+                    and _HANDLER_METHOD_RE.match(item.name)):
+                continue
+            symbol = "%s.%s" % (class_name, item.name)
+
+            def flag(child, shown, symbol=symbol):
+                out(_finding(
+                    "L010", path, child, symbol,
+                    "%s mutates the emulation vector directly (%s) — "
+                    "this bypasses task_set_emulation, so the kernel's "
+                    "fast-dispatch and compiled-dispatch tables are "
+                    "never invalidated and stale flat chains keep "
+                    "running the old stack; change interception with "
+                    "register_interest/unregister_interest instead"
+                    % (symbol, shown)))
+
+            for child in ast.walk(item):
+                if isinstance(child, (ast.Assign, ast.AugAssign)):
+                    targets = (child.targets
+                               if isinstance(child, ast.Assign)
+                               else [child.target])
+                    for target in targets:
+                        if (isinstance(target, ast.Subscript)
+                                and _is_emulation_vector(target.value)):
+                            flag(child, "subscript assignment")
+                elif isinstance(child, ast.Delete):
+                    for target in child.targets:
+                        if (isinstance(target, ast.Subscript)
+                                and _is_emulation_vector(target.value)):
+                            flag(child, "del of a vector entry")
+                elif isinstance(child, ast.Call):
+                    func = child.func
+                    if (isinstance(func, ast.Attribute)
+                            and func.attr in _DICT_MUTATORS
+                            and _is_emulation_vector(func.value)):
+                        flag(child, "emulation_vector.%s()" % func.attr)
+
+
 # -- L006: no kernel internals from agent code --------------------------
 
 
@@ -555,6 +627,7 @@ def check_module(path, tree, model, in_agents_package):
     _check_signal_forwarding(path, agentish, out)
     _check_error_swallowing(path, agentish, out)
     _check_wallclock(path, agentish, out)
+    _check_vector_mutation(path, agentish, out)
     if in_agents_package:
         _check_layer_bypass(path, tree, out)
     return findings

@@ -1,6 +1,6 @@
 """The rule registry: stable ids, severities, and one-line contracts.
 
-Every agentlint rule has a stable id (``L001`` .. ``L009``) used in
+Every agentlint rule has a stable id (``L001`` .. ``L010``) used in
 output, in ``# repro-lint: disable=`` suppressions, and in baseline
 files.  The registry is the single source of truth the CLI, the docs
 test, and ``docs/LINTING.md`` draw on; rule *implementations* live in
@@ -115,6 +115,19 @@ _register(
     "(repro.obs.recorder) — read virtual time via gettimeofday "
     "downcalls and draw randomness from a seeded instance the way "
     "repro.agents.chaos does.",
+)
+_register(
+    "L010", ERROR,
+    "handler methods never mutate the emulation vector directly: "
+    "interception changes go through register_interest/"
+    "unregister_interest (task_set_emulation)",
+    "a sys_*/handle_syscall/handle_signal body that assigns into, "
+    "deletes from, or pops ``*.emulation_vector`` bypasses "
+    "task_set_emulation — the single funnel that invalidates the "
+    "kernel's fast-dispatch and compiled-dispatch tables "
+    "(repro.kernel.compile) and bumps the downcall-chain epoch; a "
+    "direct mutation leaves stale flat chains running the *old* stack "
+    "for every process the agent serves.",
 )
 
 

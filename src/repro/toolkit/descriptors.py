@@ -63,6 +63,15 @@ class OpenObject:
     def readv(self, fd, counts):
         """Scatter read, built on :meth:`read` so derived objects that
         change read behaviour cover the vector forms automatically."""
+        if (type(self).read is OpenObject.read
+                and self.dset.ctx.kernel.fastpaths.compiled):
+            # Stock reads reduce to the next level's own vectored call:
+            # one downcall — one compiled chain, when one is baked —
+            # instead of one per iovec.  The kernel's sys_readv applies
+            # the same short-read cutoff, so the buffers are identical;
+            # only block accounting coarsens (one ru_inblock per vector
+            # rather than per fragment — see docs/PERFORMANCE.md).
+            return self.dset.syscall_down("readv", fd, counts)
         buffers = []
         for count in counts:
             data = self.read(fd, count)
@@ -73,6 +82,9 @@ class OpenObject:
 
     def writev(self, fd, buffers):
         """Gather write, built on :meth:`write` (see :meth:`readv`)."""
+        if (type(self).write is OpenObject.write
+                and self.dset.ctx.kernel.fastpaths.compiled):
+            return self.dset.syscall_down("writev", fd, buffers)
         return sum(self.write(fd, buffer) for buffer in buffers)
 
     def lseek(self, fd, offset, whence):

@@ -1,0 +1,558 @@
+"""Tests for compiled agent-stack dispatch (repro.kernel.compile).
+
+A compiled chain may only fire when it is observably identical to the
+layer tower it replaces: no recorder, no obs, no guard, no dfstrace, no
+ktrace flag, and no staleness (vector or ``_down`` change since the
+build).  These tests pin the table's life cycle, every stand-down
+condition, exact behavioural parity (errnos, EINVAL wording, signal
+delivery), the batched ``trap_many``/``readv``/``writev`` entry points,
+and — via a hypothesis lockstep machine and a record/replay roundtrip —
+that compiled-on and compiled-off worlds are indistinguishable.
+"""
+
+import pytest
+
+from repro.kernel import Kernel
+from repro.kernel import signals as sig
+from repro.kernel.compile import _COMPILED_DISABLED, build_compiled_dispatch
+from repro.kernel.errno import EBADF, EINVAL, SyscallError
+from repro.kernel.ofile import O_CREAT, O_RDONLY, O_TRUNC, O_WRONLY
+from repro.kernel.proc import WEXITSTATUS
+from repro.kernel.sysent import number_of
+from repro.kernel.trap import UserContext
+from repro.toolkit.pathnames import PathSymbolicSyscall
+from repro.toolkit.symbolic import SymbolicSyscall
+
+NR = {n: number_of(n) for n in (
+    "getpid", "open", "close", "read", "write", "readv", "writev",
+    "unlink", "rename", "mkdir", "rmdir", "stat", "lseek",
+    "task_set_emulation", "sigvec", "kill", "exit",
+)}
+
+#: every fast path except compiled dispatch — the tower baseline
+TOWER = "namecache,trap_fast,zero_copy"
+
+
+def run(kernel, entry):
+    return WEXITSTATUS(kernel.run_entry(entry))
+
+
+def _attached(kernel, agent_cls=SymbolicSyscall):
+    """A persistent interposed context: agent attached, not exec'd."""
+    proc = kernel._create_initial_process()
+    ctx = UserContext(kernel, proc)
+    agent = agent_cls()
+    agent.attach(ctx, [])
+    return ctx, agent
+
+
+# -- life cycle ------------------------------------------------------------
+
+
+def test_compiled_fires_for_transparent_agent():
+    k = Kernel()
+    ctx, _ = _attached(k)
+    pid = ctx.trap(NR["getpid"])
+    for _ in range(4):
+        assert ctx.trap(NR["getpid"]) == pid
+    assert k.trap_compiled_total >= 5
+    assert ctx.proc.compiled_dispatch is not None
+    assert NR["getpid"] in ctx.proc.compiled_dispatch
+
+
+def test_disabled_flag_uses_sentinel():
+    k = Kernel(fastpaths=TOWER)
+    ctx, _ = _attached(k)
+    assert isinstance(ctx.trap(NR["getpid"]), int)
+    assert ctx.proc.compiled_dispatch is _COMPILED_DISABLED
+    assert k.trap_compiled_total == 0
+    assert k.down_compiled_total == 0
+
+
+def test_opaque_agent_entry_not_compiled_but_downcalls_are():
+    from repro.agents.trace import TraceSymbolicSyscall
+
+    k = Kernel()
+    ctx, _ = _attached(k, TraceSymbolicSyscall)
+    ctx.trap(NR["getpid"])
+    # The trace agent overrides handle_syscall — opaque at entry...
+    assert k.trap_compiled_total == 0
+    # ...but its log writes and forwards run through flattened chains.
+    assert k.down_compiled_total > 0
+
+
+def test_task_set_emulation_invalidates_table():
+    k = Kernel()
+    ctx, _ = _attached(k)
+    ctx.trap(NR["getpid"])
+    assert ctx.proc.compiled_dispatch is not None
+
+    def handler(handler_ctx, number, args):
+        return 4242
+
+    ctx.trap(NR["task_set_emulation"], [NR["getpid"]], handler)
+    assert ctx.proc.compiled_dispatch is None  # invalidated
+    assert ctx.trap(NR["getpid"]) == 4242      # opaque handler wins
+    table = ctx.proc.compiled_dispatch         # rebuilt lazily
+    assert NR["getpid"] not in table           # lambda is not boilerplate
+
+
+def test_execve_resets_table():
+    from repro.workloads import boot_world
+
+    world = boot_world()
+    seen = []
+
+    def probe(ctx, argv, envp):
+        seen.append(ctx.proc.compiled_dispatch)
+        return 0
+
+    world.register_program("probe", probe)
+    world.install_binary("/bin/probe", "probe")
+    assert WEXITSTATUS(world.run("/bin/probe", ["probe"])) == 0
+    assert seen[0] is None  # native exec dropped it with the vector
+
+
+def test_build_respects_flag():
+    on = Kernel()
+    off = Kernel(fastpaths=TOWER)
+    ctx, _ = _attached(on)
+    table = build_compiled_dispatch(on, ctx.proc)
+    assert table is not _COMPILED_DISABLED
+    assert NR["getpid"] in table
+    ctx_off, _ = _attached(off)
+    assert build_compiled_dispatch(off, ctx_off.proc) is _COMPILED_DISABLED
+
+
+def test_down_epoch_retires_stale_chains():
+    k = Kernel()
+    ctx, first = _attached(k)
+    ctx.trap(NR["getpid"])
+    assert k.trap_compiled_total >= 1
+    # Stacking a second agent re-registers the numbers: the vector
+    # change invalidates this proc's table, and the _down mutation bumps
+    # the global epoch so chains baked elsewhere also stand down.
+    second = SymbolicSyscall()
+    second.attach(ctx, [])
+    assert ctx.proc.compiled_dispatch is None
+    pid = ctx.trap(NR["getpid"])
+    assert isinstance(pid, int)
+    # The restacked chain compiles too (both layers are transparent).
+    assert NR["getpid"] in ctx.proc.compiled_dispatch
+
+
+# -- stand-down matrix -----------------------------------------------------
+
+
+def test_obs_stands_down():
+    from repro import obs
+
+    k = Kernel()
+    obs.enable(k)
+    ctx, _ = _attached(k)
+    ctx.trap(NR["getpid"])
+    assert k.trap_compiled_total == 0
+    assert k.down_compiled_total == 0
+    assert k.obs.metrics.counter(("trap", "getpid")) >= 1
+
+
+def test_ktrace_flag_stands_down():
+    k = Kernel()
+    ctx, _ = _attached(k)
+    ctx.trap(NR["getpid"])
+    before = k.trap_compiled_total
+    ctx.proc.ktrace_on = True
+    ctx.trap(NR["getpid"])
+    assert k.trap_compiled_total == before
+    ctx.proc.ktrace_on = False
+    ctx.trap(NR["getpid"])
+    assert k.trap_compiled_total == before + 1
+
+
+def test_dfstrace_stands_down():
+    from repro.kernel import dfstrace
+
+    k = Kernel()
+    ctx, _ = _attached(k)
+    ctx.trap(NR["getpid"])
+    before = (k.trap_compiled_total, k.down_compiled_total)
+    dfstrace.enable(k)
+    ctx.trap(NR["getpid"])
+    assert (k.trap_compiled_total, k.down_compiled_total) == before
+    dfstrace.disable(k)
+    ctx.trap(NR["getpid"])
+    assert k.trap_compiled_total == before[0] + 1
+
+
+def test_guard_stands_down():
+    k = Kernel(guard="fail-open")
+    ctx, _ = _attached(k)
+    assert isinstance(ctx.trap(NR["getpid"]), int)
+    assert k.trap_compiled_total == 0
+
+
+# -- behavioural parity ----------------------------------------------------
+
+
+def _interposed_outcome(fastpaths, name, *args):
+    k = Kernel() if fastpaths is None else Kernel(fastpaths=fastpaths)
+    ctx, _ = _attached(k)
+    try:
+        return ("ok", ctx.trap(NR[name], *args))
+    except SyscallError as err:
+        return ("err", err.errno, str(err))
+    except TypeError as err:
+        # The tower's symbolic layer crashes on over-arity (the method
+        # call itself fails); the compiled chain must crash identically.
+        return ("crash", str(err))
+
+
+@pytest.mark.parametrize("name,args", [
+    ("getpid", (1, 2, 3, 4, 5)),   # over-arity: the tower's TypeError
+    ("close", (99,)),              # EBADF through the descriptor layer
+    ("stat", ("/missing",)),       # ENOENT through the pathname layer
+    ("mkdir", ("/made",)),         # default mode filled by the layer
+])
+def test_outcome_parity(name, args):
+    compiled = _interposed_outcome(None, name, *args)
+    tower = _interposed_outcome(TOWER, name, *args)
+    if name == "stat" and compiled[0] == "ok":
+        pytest.fail("stat of /missing should fail")
+    if name == "mkdir":
+        assert compiled[0] == tower[0] == "ok"
+        return
+    assert compiled == tower
+
+
+def test_over_arity_crash_parity():
+    # Argument counts outside the sys_* signature's band are exactly
+    # where the tower raises TypeError; the compiled fill must bail to
+    # the original handler before any terminal work so the crash is
+    # byte-identical.
+    compiled = _interposed_outcome(None, "getpid", 1, 2, 3, 4, 5)
+    tower = _interposed_outcome(TOWER, "getpid", 1, 2, 3, 4, 5)
+    assert compiled == tower
+    assert compiled[0] == "crash"
+
+
+def test_kernel_einval_is_errno_only_both_ways():
+    # The kernel's messageful EINVAL (empty iovec) is consumed by the
+    # numeric layer on its way back up; the compiled normalization must
+    # strip it identically.
+    outcomes = {}
+    for flags in (None, TOWER):
+        k = Kernel() if flags is None else Kernel(fastpaths=flags)
+        k.write_file("/e.txt", b"payload")
+        ctx, _ = _attached(k)
+        fd = ctx.trap(NR["open"], "/e.txt", O_RDONLY)
+        try:
+            ctx.trap(NR["readv"], fd, [])
+        except SyscallError as err:
+            outcomes[flags] = (err.errno, str(err))
+        ctx.trap(NR["close"], fd)
+    assert outcomes[None] == outcomes[TOWER]
+    assert outcomes[None][0] == EINVAL
+    assert "iovec" not in outcomes[None][1]
+
+
+def test_signals_delivered_after_compiled_trap():
+    k = Kernel()
+    delivered = []
+
+    def main(ctx):
+        agent = SymbolicSyscall()
+        agent.attach(ctx, [])
+        ctx.trap(NR["sigvec"], sig.SIGUSR1,
+                 lambda s: delivered.append(s), 0)
+        before = k.trap_compiled_total
+        ctx.trap(NR["kill"], ctx.proc.pid, sig.SIGUSR1)
+        assert k.trap_compiled_total > before
+        assert delivered == [sig.SIGUSR1]
+        return 0
+
+    assert run(k, main) == 0
+
+
+# -- trap_many -------------------------------------------------------------
+
+
+def test_trap_many_matches_sequential_uninterposed():
+    k = Kernel()
+
+    def main(ctx):
+        fd = ctx.trap(NR["open"], "/batch.txt",
+                      O_WRONLY | O_CREAT | O_TRUNC, 0o644)
+        writes = [(fd, b"one "), (fd, b"two "), (fd, b"three")]
+        assert ctx.trap_many(NR["write"], writes) == [4, 4, 5]
+        ctx.trap(NR["close"], fd)
+        return 0
+
+    assert run(k, main) == 0
+    assert k.read_file("/batch.txt") == b"one two three"
+
+
+def test_trap_many_matches_sequential_interposed():
+    results = {}
+    for flags in (None, TOWER):
+        k = Kernel() if flags is None else Kernel(fastpaths=flags)
+        ctx, _ = _attached(k)
+        fd = ctx.trap(NR["open"], "/b.txt",
+                      O_WRONLY | O_CREAT | O_TRUNC, 0o644)
+        out = ctx.trap_many(NR["write"], [(fd, b"x" * n)
+                                          for n in (1, 2, 3, 4)])
+        ctx.trap(NR["close"], fd)
+        results[flags] = (out, k.read_file("/b.txt"))
+    assert results[None] == results[TOWER] == ([1, 2, 3, 4], b"x" * 10)
+
+
+def test_trap_many_error_aborts_at_failing_call():
+    k = Kernel()
+    ctx, _ = _attached(k)
+    fd = ctx.trap(NR["open"], "/part.txt",
+                  O_WRONLY | O_CREAT | O_TRUNC, 0o644)
+    with pytest.raises(SyscallError) as caught:
+        ctx.trap_many(NR["write"], [(fd, b"kept"), (99, b"lost")])
+    assert caught.value.errno == EBADF
+    ctx.trap(NR["close"], fd)
+    # The call before the failure completed, exactly as a loop would.
+    assert k.read_file("/part.txt") == b"kept"
+
+
+def test_trap_many_delivers_signal_mid_batch():
+    k = Kernel()
+    delivered = []
+
+    def main(ctx):
+        ctx.trap(NR["sigvec"], sig.SIGUSR1,
+                 lambda s: delivered.append(s), 0)
+        kills = [(ctx.proc.pid, sig.SIGUSR1)] * 3
+        assert ctx.trap_many(NR["kill"], kills) == [0, 0, 0]
+        # Each kill's pending signal was delivered at that call's
+        # boundary, not bunched at the end of the batch.
+        assert delivered == [sig.SIGUSR1] * 3
+        return 0
+
+    assert run(k, main) == 0
+
+
+def test_trap_many_falls_back_under_obs():
+    from repro import obs
+
+    k = Kernel()
+    obs.enable(k)
+    ctx, _ = _attached(k)
+    assert ctx.trap_many(NR["getpid"], [()] * 3) == [ctx.proc.pid] * 3
+    assert k.obs.metrics.counter(("trap", "getpid")) >= 3
+    assert k.trap_compiled_total == 0
+
+
+# -- readv / writev through agent stacks (satellite) -----------------------
+
+
+def _vector_io_run(fastpaths, agents_factory):
+    from repro.workloads import boot_world
+    from tests.test_agent_stacks import run_stacked
+
+    world = (boot_world() if fastpaths is None
+             else boot_world(fastpaths=fastpaths))
+    world.write_file("/data.bin", b"abcdefghijklmnopqrstuvwxyz")
+    outcome = {}
+
+    def vectored(ctx, argv, envp):
+        fd = ctx.trap(NR["open"], "/out.bin",
+                      O_WRONLY | O_CREAT | O_TRUNC, 0o644)
+        outcome["wrote"] = ctx.trap(
+            NR["writev"], fd, [b"alpha ", b"beta ", b"gamma"])
+        ctx.trap(NR["close"], fd)
+        rfd = ctx.trap(NR["open"], "/data.bin", O_RDONLY)
+        outcome["buffers"] = ctx.trap(NR["readv"], rfd, [5, 5, 100, 5])
+        ctx.trap(NR["close"], rfd)
+        return 0
+
+    world.register_program("vectored", vectored)
+    world.install_binary("/bin/vectored", "vectored")
+    status = run_stacked(world, agents_factory(), "/bin/vectored",
+                         ["vectored"])
+    outcome["status"] = WEXITSTATUS(status)
+    outcome["out"] = world.read_file("/out.bin")
+    return outcome
+
+
+def _trace_stack():
+    from repro.agents.trace import TraceSymbolicSyscall
+
+    return [TraceSymbolicSyscall(log_path="/dev/null")]
+
+
+def _union_txn_stack():
+    from repro.agents.txn import TxnAgent
+    from repro.agents.union_dirs import UnionAgent
+
+    return [UnionAgent(), TxnAgent(scratch_dir="/tmp/vec.txn",
+                                   outcome="commit")]
+
+
+@pytest.mark.parametrize("factory", [_trace_stack, _union_txn_stack],
+                         ids=["trace", "union+txn"])
+def test_vector_io_identical_compiled_on_off(factory):
+    compiled = _vector_io_run(None, factory)
+    tower = _vector_io_run(TOWER, factory)
+    assert compiled == tower
+    assert compiled["status"] == 0
+    assert compiled["wrote"] == 16
+    assert compiled["out"] == b"alpha beta gamma"
+    # Short-read cutoff: the 100-byte fragment drains the file, so the
+    # trailing fragment is never attempted.
+    assert compiled["buffers"] == [b"abcde", b"fghij",
+                                   b"klmnopqrstuvwxyz"]
+
+
+# -- hypothesis lockstep (satellite) ---------------------------------------
+
+try:
+    from hypothesis import HealthCheck, settings
+    from hypothesis.stateful import RuleBasedStateMachine, rule
+    import hypothesis.strategies as strat
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - hypothesis ships with the image
+    HAVE_HYPOTHESIS = False
+
+
+if HAVE_HYPOTHESIS:
+
+    _NAMES = strat.sampled_from(["a", "b", "dir1", "deep"])
+    _PARENTS = strat.sampled_from(["/", "/dir1", "/dir1/deep"])
+    _PATHS = strat.builds(
+        lambda parent, name: parent.rstrip("/") + "/" + name,
+        _PARENTS, _NAMES)
+
+    class CompiledEquivalence(RuleBasedStateMachine):
+        """Random syscall sequences against two interposed kernels —
+        compiled dispatch on vs off — in lock step; every outcome,
+        errno, and counter-visible piece of state must match.
+        """
+
+        def __init__(self):
+            super().__init__()
+            self.contexts = []
+            for flags in (None, TOWER):
+                kernel = (Kernel() if flags is None
+                          else Kernel(fastpaths=flags))
+                ctx, _ = _attached(kernel, PathSymbolicSyscall)
+                self.contexts.append(ctx)
+
+        def _both(self, name, *args):
+            outcomes = []
+            for ctx in self.contexts:
+                try:
+                    value = ctx.trap(NR[name], *args)
+                    if name == "stat":
+                        value = (value.st_ino, value.st_mode,
+                                 value.st_nlink, value.st_size)
+                    outcomes.append(("ok", value))
+                except SyscallError as err:
+                    outcomes.append(("err", err.errno))
+            assert outcomes[0] == outcomes[1], (
+                "%s%r diverged: compiled=%r tower=%r"
+                % (name, args, outcomes[0], outcomes[1]))
+            return outcomes[0]
+
+        @rule(path=_PATHS)
+        def creat(self, path):
+            outcomes = []
+            for ctx in self.contexts:
+                try:
+                    fd = ctx.trap(NR["open"], path,
+                                  O_WRONLY | O_CREAT | O_TRUNC, 0o644)
+                    ctx.trap(NR["close"], fd)
+                    outcomes.append(("ok", fd))
+                except SyscallError as err:
+                    outcomes.append(("err", err.errno))
+            assert outcomes[0] == outcomes[1], outcomes
+
+        @rule(path=_PATHS)
+        def mkdir(self, path):
+            self._both("mkdir", path, 0o755)
+
+        @rule(path=_PATHS)
+        def mkdir_default_mode(self, path):
+            # Exercises the compiled default-fill against the tower's.
+            self._both("mkdir", path)
+
+        @rule(path=_PATHS)
+        def unlink(self, path):
+            self._both("unlink", path)
+
+        @rule(path=_PATHS)
+        def rmdir(self, path):
+            self._both("rmdir", path)
+
+        @rule(src=_PATHS, dst=_PATHS)
+        def rename(self, src, dst):
+            self._both("rename", src, dst)
+
+        @rule(path=_PATHS)
+        def stat(self, path):
+            self._both("stat", path)
+
+        @rule(path=_PATHS, sizes=strat.lists(
+                strat.integers(min_value=1, max_value=64),
+                min_size=1, max_size=4))
+        def vector_read(self, path, sizes):
+            outcomes = []
+            for ctx in self.contexts:
+                try:
+                    fd = ctx.trap(NR["open"], path, O_RDONLY)
+                    buffers = ctx.trap(NR["readv"], fd, sizes)
+                    ctx.trap(NR["close"], fd)
+                    outcomes.append(("ok", buffers))
+                except SyscallError as err:
+                    outcomes.append(("err", err.errno))
+            assert outcomes[0] == outcomes[1], outcomes
+
+        def teardown(self):
+            for path in ("/", "/dir1", "/dir1/deep"):
+                self._both("stat", path)
+
+    CompiledEquivalence.TestCase.settings = settings(
+        max_examples=20, stateful_step_count=25, deadline=None,
+        suppress_health_check=[HealthCheck.too_slow])
+
+    TestCompiledEquivalence = CompiledEquivalence.TestCase
+
+
+# -- record/replay (satellite) ---------------------------------------------
+
+
+def test_record_replay_roundtrip_with_compiled_enabled():
+    """A chaos scenario on the default kernel (compiled dispatch on)
+    must still record and replay bit-identically: under the recorder
+    every compiled chain stands down, so the decision log and event
+    stream are exactly the tower's."""
+    from repro.obs.timetravel import verify_roundtrip
+
+    recorded, replayed = verify_roundtrip(seed=1107, workload="files")
+    assert recorded.report.outcome == replayed.report.outcome
+    assert recorded.events == replayed.events
+
+
+def test_obs_streams_identical_compiled_on_off():
+    """With tracing live the compiled path stands down entirely, so the
+    event streams of compiled-on and compiled-off kernels match tuple
+    for tuple."""
+    streams = []
+    for flags in (None, TOWER):
+        kernel = Kernel(obs="metrics,trace") if flags is None else \
+            Kernel(obs="metrics,trace", fastpaths=flags)
+        seen = []
+        kernel.obs.bus.subscribe(seen.append)
+        ctx, _ = _attached(kernel, PathSymbolicSyscall)
+        ctx.trap(NR["mkdir"], "/spot", 0o755)
+        try:
+            ctx.trap(NR["stat"], "/nope")
+        except SyscallError:
+            pass
+        streams.append([e.to_tuple() for e in seen])
+    assert streams[0] == streams[1]
+    assert streams[0], "expected a non-empty event stream"

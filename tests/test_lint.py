@@ -1,6 +1,6 @@
 """agentlint (repro.lint): per-rule fixtures and engine behaviour.
 
-Each rule L001..L009 gets a failing fixture (true positive), a clean
+Each rule L001..L010 gets a failing fixture (true positive), a clean
 fixture (true negative), and the suppression mechanism is proven to
 silence exactly the suppressed rule.  The ``--json`` document schema is
 pinned, baseline files round-trip, and — the acceptance criterion — the
@@ -560,6 +560,59 @@ def test_l009_quiet_for_seeded_instances_and_helpers(tmp_path, proto_root):
     assert rules_fired(result) == set()
 
 
+# -- L010: interception changes go through task_set_emulation --------------
+
+
+def test_l010_fires_on_direct_vector_mutation(tmp_path, proto_root):
+    result = lint_source(tmp_path, proto_root, """
+    from repro.toolkit.symbolic import SymbolicSyscall
+
+    class Hijacker(SymbolicSyscall):
+        def sys_open(self, path, flags=0, mode=0o666):
+            # Re-route close while handling open: behind the kernel's back.
+            self.ctx.proc.emulation_vector[6] = self._emulation_entry
+            return super().sys_open(path, flags, mode)
+
+        def sys_close(self, fd):
+            self.ctx.proc.emulation_vector.pop(6, None)
+            return super().sys_close(fd)
+
+        def handle_signal(self, signum, action):
+            del self.ctx.proc.emulation_vector[20]
+            self.signal_up(signum)
+    """)
+    l010 = [f for f in result.active if f.rule == "L010"]
+    assert len(l010) == 3
+    symbols = {f.symbol for f in l010}
+    assert symbols == {"Hijacker.sys_open", "Hijacker.sys_close",
+                       "Hijacker.handle_signal"}
+    messages = "\n".join(f.message for f in l010)
+    assert "task_set_emulation" in messages
+    assert "register_interest" in messages
+
+
+def test_l010_quiet_for_sanctioned_interception_changes(tmp_path,
+                                                        proto_root):
+    # The sanctioned shapes: register/unregister helpers (which funnel
+    # through task_set_emulation), and merely *reading* the vector.
+    result = lint_source(tmp_path, proto_root, """
+    from repro.toolkit.symbolic import SymbolicSyscall
+
+    class Narrowing(SymbolicSyscall):
+        def sys_open(self, path, flags=0, mode=0o666):
+            self.unregister_interest([6])
+            self.register_interest(3)
+            interposed = 6 in self.ctx.proc.emulation_vector
+            return super().sys_open(path, flags, mode)
+
+        def _install(self, numbers):
+            # Outside the handler scope: boilerplate-style plumbing is
+            # where the toolkit itself manipulates interception.
+            self.register_interest_many(numbers)
+    """)
+    assert rules_fired(result) == set()
+
+
 # -- suppressions ----------------------------------------------------------
 
 
@@ -694,9 +747,9 @@ def test_cli_list_rules_covers_every_registered_rule():
 # -- the registry and the repo itself --------------------------------------
 
 
-def test_registry_defines_l001_through_l009():
+def test_registry_defines_l001_through_l010():
     assert rule_ids() == ["L001", "L002", "L003", "L004", "L005", "L006",
-                          "L007", "L008", "L009"]
+                          "L007", "L008", "L009", "L010"]
     for rule in RULES.values():
         assert rule.summary and rule.rationale
         assert rule.severity in ("error", "warning")

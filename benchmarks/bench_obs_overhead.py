@@ -29,7 +29,7 @@ from repro.workloads import boot_world, format_dissertation
 NR_GETPID = number_of("getpid")
 
 #: the observability configurations under test, cheapest first
-CONFIGS = ("disabled", "metrics", "ktrace+metrics", "spans")
+CONFIGS = ("disabled", "profile", "metrics", "ktrace+metrics", "spans")
 
 
 def _enable_for(kernel, config):
@@ -42,6 +42,10 @@ def _enable_for(kernel, config):
         # Causal span assembly on top of metrics: every event is built
         # (the assembler is a consumer) and folded into the trace.
         obs.enable(kernel, spans=True)
+    elif config == "profile":
+        from repro.obs.profile import enable_profile
+
+        enable_profile(kernel)
 
 
 def _prepare(config):
@@ -140,6 +144,53 @@ def agent_attribution_rows():
     return out
 
 
+def procfs_read_rows(calls=400):
+    """(node, usec) per open+read+close of a /proc file, via the trap
+    interface — the latency an in-world ``top`` iteration pays per
+    sample."""
+    from repro.kernel.ofile import O_RDONLY
+    from repro.kernel.procfs import mount_procfs
+
+    nr_open, nr_read, nr_close = (number_of(n)
+                                  for n in ("open", "read", "close"))
+    kernel = boot_world()
+    mount_procfs(kernel, tools=False)
+    proc = kernel._create_initial_process()
+    ctx = UserContext(kernel, proc)
+    rows = []
+    for path in ("/proc/uptime", "/proc/kernel/stats"):
+        def one_read(path=path):
+            fd = ctx.trap(nr_open, path, O_RDONLY, 0)
+            ctx.trap(nr_read, fd, 4096)
+            ctx.trap(nr_close, fd)
+
+        rows.append((path, usec_per_call(one_read, calls)))
+    return rows
+
+
+def watch_eval_rows(rules=8, evals=200):
+    """(label, usec) per watch-set evaluation over a live registry."""
+    from repro.bench.timing import usec_per_call as _upc
+    from repro.obs.watch import WatchSet
+
+    kernel = boot_world()
+    registry = obs.enable(kernel).metrics
+    proc = kernel._create_initial_process()
+    ctx = UserContext(kernel, proc)
+    for _ in range(200):  # populate the counters the rules read
+        ctx.trap(NR_GETPID)
+    watches = WatchSet.random(1993, count=rules)
+    watches.attach(kernel)
+
+    def one_eval():
+        watches._next_eval = 0  # force evaluation on the next check
+        watches.maybe_evaluate(kernel, proc)
+
+    usec = _upc(one_eval, evals)
+    watches.detach()
+    return [("%d fuzzed rules" % rules, usec)]
+
+
 # -- pytest entry points (CI smoke uses --quick semantics via rounds) ----
 
 
@@ -167,6 +218,58 @@ def test_spans_pay_per_use(benchmark):
     # built and folded into the trace): if this ever fails, the spans
     # configuration silently stopped assembling anything.
     assert rows["metrics"] <= rows["spans"] * 1.5
+    for config, usec in rows.items():
+        benchmark.extra_info[config] = round(usec, 3)
+
+
+def test_procfs_unmounted_is_free(benchmark):
+    """The procfs pay-per-use gate: /proc adds no trap-spine hook, so
+    uninterposed traps must cost the same whether or not a procfs is
+    mounted (both directions, with the usual jitter headroom)."""
+    from repro.kernel.procfs import mount_procfs
+
+    def both():
+        rows = {}
+        for config in ("unmounted", "mounted"):
+            kernel = boot_world()
+            if config == "mounted":
+                mount_procfs(kernel, tools=False)
+            proc = kernel._create_initial_process()
+            ctx = UserContext(kernel, proc)
+            rows[config] = usec_per_call(lambda: ctx.trap(NR_GETPID), 2000)
+        return rows
+
+    rows = benchmark.pedantic(both, rounds=1, iterations=1)
+    assert rows["unmounted"] <= rows["mounted"] * 1.25
+    assert rows["mounted"] <= rows["unmounted"] * 1.25
+    for config, usec in rows.items():
+        benchmark.extra_info[config] = round(usec, 3)
+
+
+def test_profiler_within_record_budget(benchmark):
+    """The profiler overhead gate: sampling a trap must cost no more
+    than recording one does (the recorder's own gate allows +12%-class
+    overhead on the macro workload; the profiler does strictly less
+    work per trap — integer division plus an occasional dict bump
+    versus a turn token and a log append)."""
+    from repro.obs.recorder import Recorder
+
+    def both():
+        rows = {}
+        for config in ("disabled", "profile", "record"):
+            kernel = boot_world()
+            if config == "profile":
+                _enable_for(kernel, "profile")
+            elif config == "record":
+                Recorder(mode="record").attach(kernel)
+            proc = kernel._create_initial_process()
+            ctx = UserContext(kernel, proc)
+            rows[config] = usec_per_call(lambda: ctx.trap(NR_GETPID), 2000)
+        return rows
+
+    rows = benchmark.pedantic(both, rounds=1, iterations=1)
+    assert rows["profile"] <= rows["record"] * 1.25
+    assert rows["disabled"] <= rows["profile"] * 1.25
     for config, usec in rows.items():
         benchmark.extra_info[config] = round(usec, 3)
 
@@ -200,6 +303,14 @@ def print_tables(runs=9):
     print("Micro: one uninterposed getpid trap")
     for config, usec in micro_rows():
         print("%-16s %10.3f usec" % (config, usec))
+    print()
+    print("Micro: one /proc open+read+close through the trap interface")
+    for path, usec in procfs_read_rows():
+        print("%-24s %10.3f usec" % (path, usec))
+    print()
+    print("Micro: one watch-set evaluation over a live registry")
+    for label, usec in watch_eval_rows():
+        print("%-24s %10.3f usec" % (label, usec))
     print()
     print("In-band layer attribution (pass-through agents, getpid)")
     for layer, count, mean in attribution_rows():

@@ -1,15 +1,19 @@
-"""Snapshot the PR's headline benchmark numbers into BENCH_PR7.json.
+"""Snapshot the PR's headline benchmark numbers into BENCH_PR8.json.
 
 Run with:  python scripts/bench_snapshot.py [--quick] [output.json]
 
-Records, for the compiled agent-stack dispatch added in PR 7, the
-per-operation micro costs and tower/compiled ratios (the flat-chain
-story), a macro row for the format-dissertation workload (honest and
-Amdahl-bound: the workload is formatter CPU, not dispatch), the
-compiled-off bit-for-bit equivalence check, and the record/replay
-determinism sweep re-run with the compiled dispatch enabled (the
-recorder must force a stand-down, so replays stay bit-identical) —
-plus enough machine information to interpret the numbers later.
+Records, for the live-introspection stack added in PR 8, the macro and
+micro cost of the simulated-time sampling profiler alongside the other
+observability configs (the pay-per-use story: disabled must stay at
+seed cost, profiling must stay under the recorder's budget), the
+per-read latency of the /proc pseudo-files an in-world ``top``
+iteration pays, the cost of one watch-set evaluation over a live
+metric registry, the bit-for-bit equivalence checks (procfs mounted
+and profiler enabled must not change workload output), and the
+profiler's bit-identity across a record/replay round trip — plus
+enough machine information to interpret the numbers later.  Extends
+the PR2 (fast paths) / PR3 (obs) / PR6 (record) / PR7 (compiled
+dispatch) snapshot trajectory.
 """
 
 import datetime
@@ -23,94 +27,72 @@ sys.path.insert(0, os.path.dirname(_HERE))
 sys.path.insert(0, os.path.join(os.path.dirname(_HERE), "src"))
 sys.path.insert(0, _HERE)
 
-from benchmarks import bench_compiled_dispatch as bench  # noqa: E402
-from repro.bench.timing import paired_slowdowns, time_matrix  # noqa: E402
-from repro.obs.timetravel import (  # noqa: E402
-    compare_runs,
-    record_run,
-    replay_run,
-)
-from repro.workloads.chaos import MECHANISMS, POLICIES  # noqa: E402
-
-
-def _macro_rows(runs):
-    """Format workload, tower vs compiled: (config, seconds, pct)."""
-    from repro.kernel.proc import WEXITSTATUS
-    from repro.workloads import boot_world, format_dissertation
-
-    def _prepare(config):
-        kernel = boot_world(fastpaths=bench.fastpath_config(config))
-        format_dissertation.setup(kernel)
-
-        def run():
-            status = format_dissertation.run(kernel)
-            assert WEXITSTATUS(status) == 0, "workload failed (%r)" % status
-            return kernel
-
-        return run
-
-    prepares = {config: (lambda config=config: _prepare(config))
-                for config in bench.CONFIGS}
-    results = time_matrix(prepares, runs=runs)
-    slowdowns = paired_slowdowns(results, base_name="tower")
-    return [(config, results[config][0], slowdowns[config])
-            for config in bench.CONFIGS]
+from benchmarks import bench_obs_overhead as bench  # noqa: E402
 
 
 def _equivalence():
-    """Compiled off == seed == compiled on, byte for byte (format run)."""
+    """Procfs mounted / profiler on == seed, byte for byte (format run)."""
     from repro.kernel.proc import WEXITSTATUS
+    from repro.kernel.procfs import mount_procfs
+    from repro.obs.profile import enable_profile
     from repro.workloads import boot_world, format_dissertation
 
-    outputs = {}
-    for label, flags in (("seed", "none"),
-                         ("tower", "namecache,trap_fast,zero_copy"),
-                         ("compiled", None)):
-        world = (boot_world() if flags is None
-                 else boot_world(fastpaths=flags))
+    def _run(prepare=None):
+        world = boot_world()
+        if prepare is not None:
+            prepare(world)
         format_dissertation.setup(world)
         status = format_dissertation.run(world)
         assert WEXITSTATUS(status) == 0
-        outputs[label] = world.read_file(format_dissertation.OUTPUT)
+        return world.read_file(format_dissertation.OUTPUT)
+
+    seed = _run()
+    mounted = _run(lambda world: mount_procfs(world))
+    profiled = _run(lambda world: enable_profile(world))
     return {
-        "compiled_off_matches_seed": outputs["tower"] == outputs["seed"],
-        "compiled_on_matches_seed": outputs["compiled"] == outputs["seed"],
-        "output_bytes": len(outputs["seed"]),
+        "procfs_mounted_matches_seed": mounted == seed,
+        "profiler_on_matches_seed": profiled == seed,
+        "output_bytes": len(seed),
     }
 
 
-def _determinism_sweep(seeds):
-    """Record + replay the smoke matrix (compiled dispatch enabled)."""
-    cases = [dict(seed=0, workload="format", agent_rate=0.0, site_rate=0.0)]
-    for i in range(seeds):
-        cases.append(dict(
-            seed=i,
-            policy=POLICIES[i % len(POLICIES)],
-            mechanism=MECHANISMS[i % len(MECHANISMS)],
-            workload=("files", "pipes", "procs")[i % 3],
-        ))
-    rows = []
-    for case in cases:
-        recorded = record_run(**case)
-        replayed = replay_run(recorded.meta, recorded.decisions)
-        differences = compare_runs(recorded, replayed)
-        rows.append({
-            "scenario": recorded.meta,
-            "outcome": recorded.report.outcome,
-            "decisions": len(recorded.decisions),
-            "events": len(recorded.events),
-            "bit_identical": not differences,
-            "differences": differences,
-        })
-    return rows
+def _profile_replay():
+    """Profile under record, replay, compare: bit-identical stacks."""
+    from repro.kernel.proc import WEXITSTATUS
+    from repro.obs.recorder import Recorder
+    from repro.obs.profile import enable_profile
+    from repro.workloads import boot_world
+
+    command = "echo det; cat /etc/passwd | wc"
+
+    def _run(recorder):
+        world = boot_world()
+        recorder.attach(world)
+        prof = enable_profile(world, interval_usec=300)
+        status = world.run("/bin/sh", ["sh", "-c", command])
+        assert WEXITSTATUS(status) == 0
+        return world, prof
+
+    world1, prof1 = _run(Recorder(mode="record"))
+    _, prof2 = _run(Recorder(mode="replay",
+                             log=world1.recorder.decisions))
+    return {
+        "command": command,
+        "interval_usec": 300,
+        "samples": prof1.sample_total,
+        "decisions": len(world1.recorder.decisions),
+        "stacks_bit_identical":
+            prof1.collapsed(per_pid=True) == prof2.collapsed(per_pid=True),
+        "timeline_bit_identical": prof1.timeline == prof2.timeline,
+    }
 
 
-def snapshot(runs=9, micro_calls=2000, seeds=5):
+def snapshot(runs=9, micro_calls=2000, procfs_calls=400):
     """Collect every headline number as one JSON-ready document."""
     doc = {
-        "pr": 7,
-        "title": "compiled agent-stack dispatch: flat per-syscall chains, "
-                 "batched entry points",
+        "pr": 8,
+        "title": "live introspection: /proc pseudo-filesystem, "
+                 "simulated-time sampling profiler, watchpoint alerting",
         "generated": datetime.datetime.now().isoformat(timespec="seconds"),
         "machine": {
             "python": platform.python_version(),
@@ -120,40 +102,49 @@ def snapshot(runs=9, micro_calls=2000, seeds=5):
         "protocol": {
             "macro_runs": runs,
             "micro_calls": micro_calls,
-            "determinism_seeds": seeds,
+            "procfs_calls": procfs_calls,
             "method": "interleaved rounds, paired per-round slowdowns, "
                       "minimum over rounds (see repro.bench.timing)",
         },
-        "micro": [],
-        "micro_ratios": {},
         "macro": [],
+        "micro": [],
+        "procfs_read": [],
+        "watch_eval": [],
         "equivalence": {},
-        "determinism": [],
+        "profile_replay": {},
     }
-    print("micro: %s ..." % (bench.CONFIGS,), flush=True)
-    rows = bench.micro_rows(calls=micro_calls)
-    doc["micro"] = [
-        {"operation": op, "config": config, "usec": round(usec, 3)}
-        for op, config, usec in rows
-    ]
-    doc["micro_ratios"] = {
-        op: round(ratio, 2) for op, ratio in bench.ratios(rows).items()
-    }
-    print("macro: format scenario, tower vs compiled ...", flush=True)
+    print("macro: format scenario across %s ..." % (bench.CONFIGS,),
+          flush=True)
     doc["macro"] = [
         {"config": config, "seconds": round(seconds, 4),
-         "slowdown_vs_tower_pct": round(pct, 2)}
-        for config, seconds, pct in _macro_rows(runs)
+         "slowdown_vs_disabled_pct": round(pct, 2)}
+        for config, seconds, pct in bench.macro_rows(runs)
     ]
-    print("equivalence: compiled off/on vs seed ...", flush=True)
+    print("micro: one getpid trap per config ...", flush=True)
+    doc["micro"] = [
+        {"config": config, "usec": round(usec, 3)}
+        for config, usec in bench.micro_rows(calls=micro_calls)
+    ]
+    print("procfs: open+read+close latency per pseudo-file ...", flush=True)
+    doc["procfs_read"] = [
+        {"node": node, "usec": round(usec, 3)}
+        for node, usec in bench.procfs_read_rows(calls=procfs_calls)
+    ]
+    print("watch: one evaluation of a fuzzed rule set ...", flush=True)
+    doc["watch_eval"] = [
+        {"rules": label, "usec": round(usec, 3)}
+        for label, usec in bench.watch_eval_rows()
+    ]
+    print("equivalence: procfs mounted / profiler on vs seed ...",
+          flush=True)
     doc["equivalence"] = _equivalence()
-    assert doc["equivalence"]["compiled_off_matches_seed"]
-    assert doc["equivalence"]["compiled_on_matches_seed"]
-    print("determinism sweep: format + %d chaos seed(s), compiled on ..."
-          % seeds, flush=True)
-    doc["determinism"] = _determinism_sweep(seeds)
-    assert all(row["bit_identical"] for row in doc["determinism"]), \
-        "a replay was not bit-identical; see the differences field"
+    assert doc["equivalence"]["procfs_mounted_matches_seed"]
+    assert doc["equivalence"]["profiler_on_matches_seed"]
+    print("profiler determinism: record/replay round trip ...", flush=True)
+    doc["profile_replay"] = _profile_replay()
+    assert doc["profile_replay"]["stacks_bit_identical"], \
+        "profile stacks diverged across the record/replay round trip"
+    assert doc["profile_replay"]["timeline_bit_identical"]
     return doc
 
 
@@ -163,10 +154,10 @@ def main():
     quick = "--quick" in argv
     if quick:
         argv.remove("--quick")
-    path = argv[0] if argv else "BENCH_PR7.json"
+    path = argv[0] if argv else "BENCH_PR8.json"
     doc = snapshot(runs=3 if quick else 9,
                    micro_calls=500 if quick else 2000,
-                   seeds=3 if quick else 5)
+                   procfs_calls=100 if quick else 400)
     with open(path, "w") as f:
         json.dump(doc, f, indent=2, sort_keys=False)
         f.write("\n")

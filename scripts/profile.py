@@ -1,0 +1,188 @@
+"""Profile a workload on the simulated machine's virtual clock.
+
+Run with:
+
+    PYTHONPATH=src python scripts/profile.py
+    PYTHONPATH=src python scripts/profile.py --workload format \\
+        --agent monitor+trace --out format.folded
+    PYTHONPATH=src python scripts/profile.py --agent union+txn --quick
+
+Boots a fresh world, attaches the simulated-time sampling profiler
+(:mod:`repro.obs.profile`), runs the chosen workload — the 3-stage
+``sh`` pipeline or the paper's format-dissertation run — optionally
+under a stack of interposition agents, then:
+
+* writes Brendan-Gregg collapsed stacks (``user;agent:x;kernel:read
+  42``) to ``--out``; feed the file to flamegraph.pl or speedscope;
+* prints the per-frame self/total sample table, which shows where the
+  machine's virtual time went (agent frames appear when agents were
+  interposed);
+* with ``--chrome PATH``, writes the samples-per-bucket counter track
+  as Chrome trace-event JSON, loadable alongside ``trace_timeline``
+  output in https://ui.perfetto.dev.
+
+The profile is a pure function of the run: sample points come from the
+virtual clock and the per-pid agent stacks, never host time, so two
+runs of the same deterministic workload produce identical files.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+
+from repro.kernel.proc import WEXITSTATUS  # noqa: E402
+from repro.obs.profile import enable_profile  # noqa: E402
+from repro.workloads import boot_world  # noqa: E402
+
+#: pipeline sizes: enough lines that every stage genuinely blocks
+LINES = 3000
+LINES_QUICK = 400
+
+
+def build_agents(spec, workload):
+    """Agent instances (bottom-up) from a ``+``-separated spec string."""
+    from repro.agents.monitor import MonitorAgent
+    from repro.agents.trace import TraceSymbolicSyscall
+    from repro.agents.txn import TxnAgent
+    from repro.agents.union_dirs import UnionAgent
+
+    agents = []
+    for name in spec.split("+"):
+        name = name.strip()
+        if name in ("", "none"):
+            continue
+        if name == "monitor":
+            agents.append(MonitorAgent())
+        elif name == "trace":
+            agents.append(TraceSymbolicSyscall("/tmp/profile.trace"))
+        elif name == "union":
+            union = UnionAgent()
+            if workload == "format":
+                union.pset.add_union("/home/mbj/diss",
+                                     ["/home/mbj/diss", "/usr/tmp"])
+            else:
+                union.pset.add_union("/view", ["/data"])
+            agents.append(union)
+        elif name == "txn":
+            agents.append(TxnAgent(scratch_dir="/tmp/profile.txn",
+                                   outcome="commit"))
+        else:
+            raise SystemExit("unknown agent %r (monitor, trace, union, txn)"
+                             % name)
+    return agents
+
+
+def run_stacked(kernel, agents, path, argv):
+    """Attach *agents* bottom-up, then exec the client through the top."""
+
+    def loader(ctx):
+        for agent in agents:
+            agent.attach(ctx)
+        agents[-1].exec_client(path, argv, {})
+
+    return kernel.run_entry(loader)
+
+
+def run_pipeline(world, agents, lines):
+    """The 3-stage ``cat | sort | wc`` pipeline, big enough to block."""
+    world.mkdir_p("/data")
+    world.write_file("/data/corpus", b"interpose all the things\n" * lines)
+    source = "/view/corpus" if any(
+        type(a).__name__ == "UnionAgent" for a in agents) else "/data/corpus"
+    command = "cat %s | sort | wc" % source
+    argv = ["sh", "-c", command]
+    if agents:
+        return run_stacked(world, agents, "/bin/sh", argv), command
+    return world.run("/bin/sh", argv), command
+
+
+def run_format(world, agents):
+    """The paper's format-dissertation workload (Table 3-2)."""
+    import repro.workloads.format_dissertation as fmt
+
+    fmt.setup(world)
+    if not agents:
+        return fmt.run(world), "scribe (format dissertation)"
+    argv = ["scribe", fmt.MANUSCRIPT, fmt.OUTPUT]
+    return (run_stacked(world, agents, "/usr/bin/scribe", argv),
+            "scribe (format dissertation)")
+
+
+def render_table(prof, limit=20):
+    """The per-frame self/total table as printable lines."""
+    total = prof.sample_total or 1
+    lines = ["%7s %7s %6s  %s" % ("SELF", "TOTAL", "TOT%", "FRAME")]
+    for frame, self_count, total_count in prof.table()[:limit]:
+        lines.append("%7d %7d %5.1f%%  %s" % (
+            self_count, total_count, 100.0 * total_count / total, frame))
+    return lines
+
+
+def main(argv=None):
+    """Parse arguments, profile the workload, export and report."""
+    parser = argparse.ArgumentParser(
+        description="sample a workload on the virtual clock")
+    parser.add_argument("--workload", choices=("pipeline", "format"),
+                        default="pipeline")
+    parser.add_argument("--agent", default="none",
+                        help="'+'-separated stack, bottom-up: "
+                             "monitor, trace, union, txn (default none)")
+    parser.add_argument("--interval", type=int, default=1000,
+                        help="virtual usec between samples (default 1000)")
+    parser.add_argument("--out", default=None,
+                        help="collapsed-stack output path "
+                             "(default profile_<workload>.folded)")
+    parser.add_argument("--chrome", default=None,
+                        help="also write the counter track as Chrome "
+                             "trace JSON to this path")
+    parser.add_argument("--per-pid", action="store_true",
+                        help="prefix stacks with pid<N> instead of "
+                             "folding processes together")
+    parser.add_argument("--lines", type=int, default=None,
+                        help="pipeline corpus size in lines")
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller corpus for CI smoke runs")
+    args = parser.parse_args(argv)
+
+    world = boot_world()
+    prof = enable_profile(world, interval_usec=args.interval)
+    agents = build_agents(args.agent, args.workload)
+    if args.workload == "pipeline":
+        lines = args.lines or (LINES_QUICK if args.quick else LINES)
+        status, label = run_pipeline(world, agents, lines)
+    else:
+        status, label = run_format(world, agents)
+    code = WEXITSTATUS(status)
+    if code != 0:
+        raise SystemExit("workload failed with exit code %d" % code)
+
+    folded = prof.collapsed(per_pid=args.per_pid)
+    out = args.out or ("profile_%s.folded" % args.workload)
+    with open(out, "w") as fh:
+        fh.write("\n".join(folded) + "\n")
+
+    print("workload: %s (exit 0)" % label)
+    print("samples: %d over %d stacks (interval %d virtual usec)"
+          % (prof.sample_total, len(prof.samples), prof.interval_usec))
+    print("collapsed stacks: %s (%d lines; flamegraph.pl-compatible)"
+          % (out, len(folded)))
+    if args.chrome:
+        doc = {"traceEvents": prof.chrome_counters(),
+               "displayTimeUnit": "ms",
+               "otherData": {"workload": label}}
+        with open(args.chrome, "w") as fh:
+            json.dump(doc, fh, indent=1, sort_keys=True)
+        print("chrome counter track: %s (%d buckets)"
+              % (args.chrome, len(prof.timeline)))
+    print()
+    for line in render_table(prof):
+        print(line)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

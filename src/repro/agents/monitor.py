@@ -157,10 +157,13 @@ class MonitorAgent(SymbolicSyscall):
         with the ``spans`` section, a copy of the kernel's causal span
         counters (``{"enabled": false}`` when span tracing is off);
         version 3 added ``recorder``, the record/replay counters
-        (``{"enabled": false}`` when no recorder is attached).
+        (``{"enabled": false}`` when no recorder is attached); version
+        4 added ``procfs``, ``profile``, and ``watch``, copies of the
+        kernel's live-introspection sections (each ``{"enabled":
+        false}`` when the facility is off).
         """
         doc = {
-            "schema_version": 3,
+            "schema_version": 4,
             "calls": dict(self.call_counts),
             "errors": {
                 "%s %s" % key: count
@@ -183,9 +186,16 @@ class MonitorAgent(SymbolicSyscall):
             doc["spans"] = doc["kernel"].get("spans", {"enabled": False})
             doc["recorder"] = doc["kernel"].get("recorder",
                                                 {"enabled": False})
+            doc["procfs"] = doc["kernel"].get("procfs", {"enabled": False})
+            doc["profile"] = doc["kernel"].get("profile",
+                                               {"enabled": False})
+            doc["watch"] = doc["kernel"].get("watch", {"enabled": False})
         except SyscallError:
             doc["spans"] = {"enabled": False}
             doc["recorder"] = {"enabled": False}
+            doc["procfs"] = {"enabled": False}
+            doc["profile"] = {"enabled": False}
+            doc["watch"] = {"enabled": False}
         return json.dumps(doc, indent=2, sort_keys=True) + "\n"
 
     def sys_exit(self, status=0):

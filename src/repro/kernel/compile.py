@@ -255,7 +255,8 @@ def _make_down(chain, fallback, cache, number):
     def down(ctx, args):
         kernel = ctx.kernel
         if (DOWN_EPOCH[0] == epoch and kernel.recorder is None
-                and kernel.obs is None and kernel.dfstrace is None):
+                and kernel.obs is None and kernel.dfstrace is None
+                and kernel.profiler is None):
             kernel.down_compiled_total += 1
             return chain(ctx, tuple(args))
         if DOWN_EPOCH[0] != epoch:

@@ -160,6 +160,25 @@ class Kernel:
         #: it must exist before the spec below is processed.
         self.recorder = None
 
+        #: virtual-clock sampling profiler (see :mod:`repro.obs.profile`);
+        #: None — the default — keeps the clock-advance sample hooks to
+        #: one ``is None`` test.  Must exist before the obs spec below
+        #: (``obs="...,profile"`` attaches one at boot).
+        self.profiler = None
+
+        #: declarative watchpoints (see :mod:`repro.obs.watch`); None —
+        #: the default — keeps the metric-flush hook to one ``is None``
+        #: test per trap
+        self.watches = None
+
+        #: the mounted /proc pseudo-filesystem (see
+        #: :mod:`repro.kernel.procfs`), or None when not mounted; set
+        #: and cleared by ``mount_procfs``/``umount_procfs``
+        self.procfs = None
+
+        #: virtual time at boot, for /proc/uptime
+        self.boot_usec = self.clock.usec()
+
         if obs:
             from repro.obs.core import enable_from_spec
             enable_from_spec(self, obs)
@@ -320,6 +339,10 @@ class Kernel:
             self.clock.tick()
             proc.rusage.ru_stime_usec += 100
             self._check_alarm_locked(proc)
+            if self.profiler is not None:
+                self.profiler.sample_tick(proc, "kernel:" + entry.name)
+            if self.watches is not None:
+                self.watches.maybe_evaluate(self, proc)
             error = None
             result = None
             try:
@@ -644,6 +667,12 @@ class Kernel:
 
     def make_open_file(self, proc, inode, flags):
         """Construct the right open-file type for *inode* (FIFOs block for their peer here)."""
+        maker = getattr(inode.fs, "open_file", None)
+        if maker is not None:
+            # A filesystem that constructs its own open files (procfs's
+            # snapshotting reader); the vfs seam stays one getattr for
+            # every volume that doesn't.
+            return maker(self, proc, inode, flags)
         bits = open_mode_bits(flags)
         if st.S_ISCHR(inode.mode) or st.S_ISBLK(inode.mode):
             device = self.devswitch.lookup(inode.rdev)

@@ -1,0 +1,562 @@
+"""/proc: live kernel state exposed through the system interface.
+
+The paper's thesis is that the system interface is the right place for
+observation; this module applies it to the kernel's *own* state.  A
+:class:`ProcFilesystem` is a mountable, read-only pseudo-filesystem
+whose nodes have no stored data — each ``read`` synthesizes its content
+on the spot from the live :class:`~repro.kernel.kernel.Kernel`,
+:class:`~repro.kernel.proc.Process`, and observability registries.
+Because it plugs into the ordinary ``namei``/``inode``/mount machinery,
+plain ``open``/``read``/``getdirentries`` work, and so — crucially — do
+interposition agents: a union or trace agent stacked over a client sees
+the client's ``/proc`` reads like any other file I/O.
+
+Node catalog::
+
+    /proc/uptime                  seconds of virtual time since boot
+    /proc/kernel/stats            the kernel_stats (trap 207) payload
+    /proc/kernel/metrics          obs metrics registry snapshot
+    /proc/kernel/namecache        name cache counters
+    /proc/kernel/guard            guard-rail policy + counters
+    /proc/kernel/recorder         record/replay counters
+    /proc/kernel/profile          sampling profiler counters
+    /proc/kernel/watch            watchpoint rule counters
+    /proc/<pid>/status            one "key: value" line per field
+    /proc/<pid>/fds               one open descriptor per line
+    /proc/<pid>/vector            the emulation vector, one entry per line
+
+``/proc/kernel/*`` files are JSON documents; ``uptime`` and the per-pid
+files are line-oriented text (the in-world ``ps``/``top``/``vmstat``
+programs in :mod:`repro.programs.procutils` parse both).
+
+Pay-per-use: nothing here runs unless :func:`mount_procfs` is called —
+an unmounted kernel is bit-for-bit the seed.  The volume deliberately
+does **not** join ``kernel._volumes`` (its inodes are synthesized, so
+the chaos harness's volume invariant walk has nothing durable to
+check), and it allocates no inode storage: inode numbers are decoded
+arithmetically and per-pid nodes are built fresh per lookup, vanishing
+with their process (a stale number raises the same "stale inode" ENOENT
+a recycled UFS inode would).
+
+Lock discipline: content renderers run on the trap path with the kernel
+lock already held, so they read ``kernel._procs`` and plain attributes
+directly and never call lock-acquiring kernel methods.
+"""
+
+import json
+
+from repro.kernel import stat as st
+from repro.kernel.errno import EINVAL, ENOENT, EROFS, SyscallError
+from repro.kernel.inode import Dirent, Inode
+from repro.kernel.ofile import InodeFile, SEEK_CUR, SEEK_END, SEEK_SET
+from repro.kernel.sysent import name_of
+from repro.kernel.ufs import ROOT_INO
+
+#: fixed inode numbers (the root must be 2, like every mounted volume,
+#: so namei's ".." mount-crossing recognises it)
+UPTIME_INO = 3
+KERNEL_DIR_INO = 4
+KERNEL_FILE_BASE = 5
+
+#: per-pid inode numbers: ``PID_BASE + pid * PID_STRIDE + slot``
+PID_BASE = 1024
+PID_STRIDE = 8
+SLOT_DIR, SLOT_STATUS, SLOT_FDS, SLOT_VECTOR = 0, 1, 2, 3
+
+PID_FILES = ("status", "fds", "vector")
+
+_READONLY = "/proc is read-only"
+
+
+# ----------------------------------------------------------------------
+# content renderers (kernel lock held; read state, never call back in)
+# ----------------------------------------------------------------------
+
+
+def _render_uptime(kernel):
+    now = kernel.clock._usec
+    up = (now - kernel.boot_usec) / 1e6
+    return "%.6f %d\n" % (up, now)
+
+
+def _render_stats(kernel):
+    from repro.kernel.syscalls.obscalls import kernel_stats_payload
+
+    return json.dumps(kernel_stats_payload(kernel)) + "\n"
+
+
+def _render_metrics(kernel):
+    obs = kernel.obs
+    doc = obs.metrics.snapshot() if obs is not None else {"enabled": False}
+    return json.dumps(doc, sort_keys=True) + "\n"
+
+
+def _render_namecache(kernel):
+    cache = kernel.namecache
+    doc = cache.stats() if cache is not None else {"enabled": False}
+    return json.dumps(doc, sort_keys=True) + "\n"
+
+
+def _render_guard(kernel):
+    rail = kernel.guard
+    if rail is not None:
+        doc = dict(rail.stats.snapshot(), policy=rail.policy.mode)
+    else:
+        doc = {"enabled": False}
+    return json.dumps(doc, sort_keys=True) + "\n"
+
+
+def _render_recorder(kernel):
+    rec = kernel.recorder
+    doc = rec.stats() if rec is not None else {"enabled": False}
+    return json.dumps(doc, sort_keys=True) + "\n"
+
+
+def _render_profile(kernel):
+    prof = kernel.profiler
+    doc = prof.stats() if prof is not None else {"enabled": False}
+    return json.dumps(doc, sort_keys=True) + "\n"
+
+
+def _render_watch(kernel):
+    watches = kernel.watches
+    doc = watches.stats() if watches is not None else {"enabled": False}
+    return json.dumps(doc, sort_keys=True) + "\n"
+
+
+#: name -> renderer for /proc/kernel, in directory order
+KERNEL_FILES = (
+    ("stats", _render_stats),
+    ("metrics", _render_metrics),
+    ("namecache", _render_namecache),
+    ("guard", _render_guard),
+    ("recorder", _render_recorder),
+    ("profile", _render_profile),
+    ("watch", _render_watch),
+)
+
+
+def _render_status(kernel, proc):
+    lines = [
+        ("pid", proc.pid),
+        ("ppid", proc.ppid),
+        ("pgrp", proc.pgrp),
+        ("uid", proc.cred.uid),
+        ("gid", proc.cred.gid),
+        ("state", proc.state),
+        ("comm", proc.comm or "?"),
+        ("nsyscalls", proc.rusage.ru_nsyscalls),
+        ("utime_usec", proc.rusage.ru_utime_usec),
+        ("stime_usec", proc.rusage.ru_stime_usec),
+        ("inblock", proc.rusage.ru_inblock),
+        ("oublock", proc.rusage.ru_oublock),
+        ("vector", len(proc.emulation_vector)),
+        ("ktrace", int(proc.ktrace_on)),
+    ]
+    return "".join("%s: %s\n" % (key, value) for key, value in lines)
+
+
+def _render_fds(kernel, proc):
+    out = []
+    for fd in proc.fdtable.descriptors():
+        ofile = proc.fdtable.get(fd)
+        out.append("%d %s\n" % (fd, ofile.describe()))
+    return "".join(out)
+
+
+def _render_vector(kernel, proc):
+    out = []
+    for number in sorted(proc.emulation_vector):
+        handler = proc.emulation_vector[number]
+        out.append("%d %s %s\n" % (
+            number, name_of(number),
+            getattr(handler, "__qualname__", type(handler).__name__)))
+    return "".join(out)
+
+
+PID_RENDERERS = {
+    "status": _render_status,
+    "fds": _render_fds,
+    "vector": _render_vector,
+}
+
+
+# ----------------------------------------------------------------------
+# synthesized inodes
+# ----------------------------------------------------------------------
+
+
+class ProcNode(Inode):
+    """A synthesized read-only file; content is rendered per read."""
+
+    IFMT = st.S_IFREG
+
+    def __init__(self, fs, ino, name, render):
+        super().__init__(fs, ino, 0o444, 0, 0, fs.clock._usec)
+        self.nlink = 1
+        self.name = name
+        self._render = render
+
+    def is_dir(self):
+        return False
+
+    def is_reg(self):
+        return True
+
+    def is_symlink(self):
+        return False
+
+    def render_bytes(self):
+        """Synthesize this node's current content (and count the read)."""
+        fs = self.fs
+        fs.reads += 1
+        fs.reads_by_node[self.name] = fs.reads_by_node.get(self.name, 0) + 1
+        return self._render(fs.kernel).encode()
+
+    @property
+    def data(self):
+        """Regular-file duck type (host helpers read ``node.data``)."""
+        return self.render_bytes()
+
+    # Raw inode I/O, for any path that bypasses ProcFile: reads render
+    # fresh content, writes refuse.
+    def read_at(self, offset, count):
+        """Serve a read window out of the freshly rendered content."""
+        data = self.render_bytes()
+        return bytes(data[offset:offset + count])
+
+    def write_at(self, offset, data):
+        """Refuse: every /proc node is read-only."""
+        raise SyscallError(EROFS, _READONLY)
+
+    def truncate_to(self, length):
+        """Refuse: every /proc node is read-only."""
+        raise SyscallError(EROFS, _READONLY)
+
+    def touch_atime(self, now_usec):
+        """Pseudo-files have no stored times to maintain."""
+
+    def touch_mtime(self, now_usec):
+        raise SyscallError(EROFS, _READONLY)
+
+
+class ProcDir(Inode):
+    """A synthesized directory; its entries are computed per call."""
+
+    IFMT = st.S_IFDIR
+
+    def __init__(self, fs, ino, lookup_fn, entries_fn):
+        super().__init__(fs, ino, 0o555, 0, 0, fs.clock._usec)
+        self.nlink = 2
+        self._lookup = lookup_fn
+        self._entries = entries_fn
+        self.mounted = None
+
+    def is_dir(self):
+        return True
+
+    def is_reg(self):
+        return False
+
+    def is_symlink(self):
+        return False
+
+    def lookup(self, name):
+        """Resolve *name* to a child inode number (namei's directory duck)."""
+        return self._lookup(name)
+
+    def contains(self, name):
+        """True when *name* resolves in this directory right now."""
+        try:
+            self._lookup(name)
+        except SyscallError:
+            return False
+        return True
+
+    def list_entries(self):
+        """Synthesize the Dirent list afresh (getdirentries' view)."""
+        return self._entries()
+
+
+class ProcFile(InodeFile):
+    """An open /proc file: one content snapshot per open-file object.
+
+    The snapshot materialises on first read (or SEEK_END), so a reader
+    doing short sequential reads sees one coherent document instead of
+    content re-rendered — and possibly resized — between its reads.
+    """
+
+    def __init__(self, inode, mode_bits, flags):
+        super().__init__(inode, mode_bits, flags)
+        self._data = None
+
+    def _snapshot(self):
+        if self._data is None:
+            self._data = self.inode.render_bytes()
+        return self._data
+
+    def read(self, kernel, proc, count):
+        self.require_read()
+        if count < 0:
+            raise SyscallError(EINVAL)
+        data = self._snapshot()
+        chunk = bytes(data[self.offset:self.offset + count])
+        self.offset += len(chunk)
+        return chunk
+
+    def write(self, kernel, proc, data):
+        raise SyscallError(EROFS, _READONLY)
+
+    def truncate(self, kernel, length):
+        raise SyscallError(EROFS, _READONLY)
+
+    def seek(self, kernel, offset, whence):
+        if whence == SEEK_SET:
+            new = offset
+        elif whence == SEEK_CUR:
+            new = self.offset + offset
+        elif whence == SEEK_END:
+            new = len(self._snapshot()) + offset
+        else:
+            raise SyscallError(EINVAL, "bad whence %r" % (whence,))
+        if new < 0:
+            raise SyscallError(EINVAL, "negative offset")
+        self.offset = new
+        return new
+
+
+# ----------------------------------------------------------------------
+# the filesystem
+# ----------------------------------------------------------------------
+
+
+class ProcFilesystem:
+    """Duck-types the :class:`repro.kernel.ufs.Filesystem` read surface.
+
+    Synthesized nodes mean there is nothing to store: ``inode`` decodes
+    numbers arithmetically, reference counting is a no-op, and every
+    write-side method refuses with ``EROFS``.
+    """
+
+    def __init__(self, kernel, dev):
+        self.kernel = kernel
+        self.clock = kernel.clock
+        self.dev = dev
+        self.block_size = 512
+        self.namecache = None
+        self.zero_copy = False
+        self.faultsites = None
+        self.covered = None
+        #: where mount_procfs put us, for umount_procfs and stats
+        self.mounted_at = None
+        #: content materialisations, total and per node name
+        self.reads = 0
+        self.reads_by_node = {}
+        self.root = ProcDir(self, ROOT_INO,
+                            self._root_lookup, self._root_entries)
+        self._kernel_dir = ProcDir(self, KERNEL_DIR_INO,
+                                   self._kernel_lookup, self._kernel_entries)
+
+    # -- the open-file hook (consulted by Kernel.make_open_file) --------
+
+    def open_file(self, kernel, proc, inode, flags):
+        """Synthesized nodes get snapshotting open files; dirs are plain."""
+        from repro.kernel.ofile import open_mode_bits
+
+        bits = open_mode_bits(flags)
+        if inode.is_dir():
+            return InodeFile(inode, bits, flags)
+        return ProcFile(inode, bits, flags)
+
+    # -- inode decode ----------------------------------------------------
+
+    def inode(self, ino):
+        """Decode *ino* arithmetically into a freshly built node.
+
+        Nothing is stored: fixed numbers name the static files, and
+        ``PID_BASE + pid * PID_STRIDE + slot`` names the per-process
+        ones — a number whose process has exited decodes to nothing
+        and raises the stale-inode ``ENOENT``.
+        """
+        if ino == ROOT_INO:
+            return self.root
+        if ino == KERNEL_DIR_INO:
+            return self._kernel_dir
+        if ino == UPTIME_INO:
+            return ProcNode(self, ino, "uptime", _render_uptime)
+        if KERNEL_FILE_BASE <= ino < KERNEL_FILE_BASE + len(KERNEL_FILES):
+            name, render = KERNEL_FILES[ino - KERNEL_FILE_BASE]
+            return ProcNode(self, ino, "kernel/" + name, render)
+        if ino >= PID_BASE:
+            pid, slot = divmod(ino - PID_BASE, PID_STRIDE)
+            proc = self.kernel._procs.get(pid)
+            if proc is not None:
+                if slot == SLOT_DIR:
+                    return self._pid_dir(pid)
+                if 0 < slot <= len(PID_FILES):
+                    name = PID_FILES[slot - 1]
+                    render = PID_RENDERERS[name]
+                    return ProcNode(
+                        self, ino, name,
+                        lambda kernel, pid=pid, name=name,
+                        render=render: self._render_pid(kernel, pid,
+                                                        name, render))
+        raise SyscallError(ENOENT, "stale inode %d" % ino)
+
+    def _render_pid(self, kernel, pid, name, render):
+        proc = kernel._procs.get(pid)
+        if proc is None:
+            raise SyscallError(ENOENT, "stale pid %d" % pid)
+        return render(kernel, proc)
+
+    # -- directory synthesis --------------------------------------------
+
+    def _root_lookup(self, name):
+        if name in (".", ".."):
+            return ROOT_INO
+        if name == "uptime":
+            return UPTIME_INO
+        if name == "kernel":
+            return KERNEL_DIR_INO
+        if name.isdigit():
+            pid = int(name)
+            if pid in self.kernel._procs:
+                return PID_BASE + pid * PID_STRIDE
+        raise SyscallError(ENOENT, name)
+
+    def _root_entries(self):
+        entries = [Dirent(ROOT_INO, "."), Dirent(ROOT_INO, ".."),
+                   Dirent(KERNEL_DIR_INO, "kernel"),
+                   Dirent(UPTIME_INO, "uptime")]
+        for pid in sorted(self.kernel._procs):
+            entries.append(Dirent(PID_BASE + pid * PID_STRIDE, str(pid)))
+        return entries
+
+    def _kernel_lookup(self, name):
+        if name == ".":
+            return KERNEL_DIR_INO
+        if name == "..":
+            return ROOT_INO
+        for index, (fname, _render) in enumerate(KERNEL_FILES):
+            if fname == name:
+                return KERNEL_FILE_BASE + index
+        raise SyscallError(ENOENT, name)
+
+    def _kernel_entries(self):
+        entries = [Dirent(KERNEL_DIR_INO, "."), Dirent(ROOT_INO, "..")]
+        for index, (fname, _render) in enumerate(KERNEL_FILES):
+            entries.append(Dirent(KERNEL_FILE_BASE + index, fname))
+        return entries
+
+    def _pid_dir(self, pid):
+        base = PID_BASE + pid * PID_STRIDE
+
+        def lookup(name, base=base, pid=pid):
+            if name == ".":
+                return base
+            if name == "..":
+                return ROOT_INO
+            if name in PID_FILES:
+                return base + 1 + PID_FILES.index(name)
+            raise SyscallError(ENOENT, name)
+
+        def entries(base=base):
+            out = [Dirent(base, "."), Dirent(ROOT_INO, "..")]
+            for index, name in enumerate(PID_FILES):
+                out.append(Dirent(base + 1 + index, name))
+            return out
+
+        return ProcDir(self, base, lookup, entries)
+
+    # -- reference counting (synthesized nodes need none) ----------------
+
+    def incref(self, inode):
+        """Track opens for symmetry; synthesized nodes need no reclaim."""
+        inode.open_count += 1
+
+    def decref(self, inode):
+        """Drop an open; the node is garbage the moment Python forgets it."""
+        if inode.open_count > 0:
+            inode.open_count -= 1
+
+    # -- the write side: every mutation refuses --------------------------
+
+    def _readonly(self, *args, **kwargs):
+        """Refuse any namespace mutation: the whole volume is read-only."""
+        raise SyscallError(EROFS, _READONLY)
+
+    create_file = _readonly
+    create_symlink = _readonly
+    create_fifo = _readonly
+    create_device = _readonly
+    create_directory = _readonly
+    mkdir_in = _readonly
+    link = _readonly
+    unlink = _readonly
+
+    # -- reporting -------------------------------------------------------
+
+    def stats(self):
+        """Counters for the ``kernel_stats`` payload's procfs section."""
+        return {
+            "enabled": True,
+            "mounted_at": self.mounted_at,
+            "reads": self.reads,
+            "reads_by_node": dict(sorted(self.reads_by_node.items())),
+        }
+
+
+# ----------------------------------------------------------------------
+# mounting
+# ----------------------------------------------------------------------
+
+#: the in-world viewer programs mount_procfs installs (registered in
+#: repro.programs.procutils; they have no boot-time install path so an
+#: unmounted world stays bit-for-bit the seed)
+TOOL_NAMES = ("ps", "top", "vmstat")
+
+
+def mount_procfs(kernel, path="/proc", tools=True):
+    """Mount a fresh /proc at *path*; returns the ProcFilesystem.
+
+    Idempotent: an already-mounted procfs is returned as-is.  With
+    *tools* true (the default) the ``ps``/``top``/``vmstat`` binaries
+    are installed under ``/bin`` — pass ``False`` to leave the root
+    volume untouched (the pay-per-use equivalence tests do).
+    """
+    if kernel.procfs is not None:
+        return kernel.procfs
+    kernel.mkdir_p(path)
+    fs = ProcFilesystem(kernel, dev=kernel._next_dev)
+    kernel._next_dev += 1
+    kernel.mount(fs, path)
+    fs.mounted_at = path
+    kernel.procfs = fs
+    if tools:
+        install_procfs_tools(kernel)
+    return fs
+
+
+def umount_procfs(kernel):
+    """Unmount the kernel's /proc; returns the detached filesystem."""
+    fs = kernel.procfs
+    if fs is None:
+        return None
+    kernel.umount(fs.mounted_at)
+    kernel.procfs = None
+    return fs
+
+
+def install_procfs_tools(kernel):
+    """Register and install the /proc viewer programs (idempotent)."""
+    from repro.programs import procutils  # noqa: F401 -- registration
+    from repro.programs.registry import PROGRAMS
+
+    for name in TOOL_NAMES:
+        if name not in kernel._programs:
+            kernel.register_program(name, PROGRAMS[name])
+        path = "/bin/" + name
+        try:
+            kernel.lookup_host(path)
+        except SyscallError:
+            kernel.install_binary(path, name)

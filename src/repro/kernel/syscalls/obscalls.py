@@ -97,20 +97,35 @@ def sys_ktrace_read(kernel, proc, limit=0):
     return ([event.to_tuple() for event in ring.drain(limit)], dropped)
 
 
-@implements("kernel_stats")
-def sys_kernel_stats(kernel, proc):
-    """Report the kernel's fast-path configuration and counters.
+#: the kernel_stats payload schema.  Version 2 added the field itself,
+#: the pinned section ordering below, and the procfs/profile/watch
+#: sections (the un-versioned seed payload is retroactively version 1).
+KERNEL_STATS_SCHEMA_VERSION = 2
 
-    Extension trap 207.  The in-world route to the numbers the host sees
-    on ``kernel.namecache`` — agents (the monitor in particular) call
-    this instead of reaching around the system interface.  Always
-    available; with a fast path off, its section reports accordingly.
-    The ``spans`` section carries the causal span assembler's counters
-    (``{"enabled": False}`` when span tracing is off), so agents can
-    introspect the trace being built about them.  The ``guard``,
-    ``faultsites``, and ``recorder`` sections do the same for agent
-    fault containment, armed kernel fault sites, and record/replay
-    (``{"enabled": False}`` when off).
+#: the pinned section order of the kernel_stats payload; the golden
+#: test in tests/test_procfs.py holds future PRs to it — append new
+#: sections, never reorder
+KERNEL_STATS_SECTIONS = (
+    "schema_version",
+    "fastpaths",
+    "trap",
+    "namecache",
+    "spans",
+    "guard",
+    "faultsites",
+    "recorder",
+    "procfs",
+    "profile",
+    "watch",
+)
+
+
+def kernel_stats_payload(kernel):
+    """The kernel_stats document, sections in pinned order.
+
+    Shared by the trap below and by ``/proc/kernel/stats`` (see
+    :mod:`repro.kernel.procfs`), so the two views can never drift.
+    Each optional subsystem reports ``{"enabled": False}`` when off.
     """
     cache = kernel.namecache
     obs = kernel.obs
@@ -123,7 +138,11 @@ def sys_kernel_stats(kernel, proc):
         guard = {"enabled": False}
     sites = kernel.faultsites
     rec = kernel.recorder
+    procfs = kernel.procfs
+    prof = kernel.profiler
+    watches = kernel.watches
     return {
+        "schema_version": KERNEL_STATS_SCHEMA_VERSION,
         "fastpaths": kernel.fastpaths.describe(),
         "trap": {
             "total": kernel.trap_total,
@@ -136,4 +155,29 @@ def sys_kernel_stats(kernel, proc):
         "guard": guard,
         "faultsites": sites.stats() if sites is not None else {"enabled": False},
         "recorder": rec.stats() if rec is not None else {"enabled": False},
+        "procfs": procfs.stats() if procfs is not None else {"enabled": False},
+        "profile": prof.stats() if prof is not None else {"enabled": False},
+        "watch": (watches.stats() if watches is not None
+                  else {"enabled": False}),
     }
+
+
+@implements("kernel_stats")
+def sys_kernel_stats(kernel, proc):
+    """Report the kernel's fast-path configuration and counters.
+
+    Extension trap 207.  The in-world route to the numbers the host sees
+    on ``kernel.namecache`` — agents (the monitor in particular) call
+    this instead of reaching around the system interface.  Always
+    available; with a fast path off, its section reports accordingly.
+    The ``spans`` section carries the causal span assembler's counters
+    (``{"enabled": False}`` when span tracing is off), so agents can
+    introspect the trace being built about them.  The ``guard``,
+    ``faultsites``, ``recorder``, ``procfs``, ``profile``, and
+    ``watch`` sections do the same for agent fault containment, armed
+    kernel fault sites, record/replay, the /proc pseudo-filesystem, the
+    sampling profiler, and watchpoints (``{"enabled": False}`` when
+    off).  The payload carries ``schema_version`` and its section
+    ordering is pinned (``KERNEL_STATS_SECTIONS``).
+    """
+    return kernel_stats_payload(kernel)

@@ -195,6 +195,11 @@ class UserContext:
                     kernel.clock.tick()
                     proc.rusage.ru_stime_usec += 100
                     kernel._check_alarm_locked(proc)
+                    if kernel.profiler is not None:
+                        kernel.profiler.sample_tick(
+                            proc, "kernel:" + entry.name)
+                    if kernel.watches is not None:
+                        kernel.watches.maybe_evaluate(kernel, proc)
                     result = impl(kernel, proc, *args)
             except SyscallError:
                 deliver_pending_signals(self)
@@ -229,6 +234,7 @@ class UserContext:
                             build_compiled_dispatch(kernel, proc)
                     crow = ctable.get(number)
                     if (crow is not None and kernel.dfstrace is None
+                            and kernel.profiler is None
                             and not proc.ktrace_on):
                         result = crow[0](self, args)
                     else:
@@ -268,7 +274,8 @@ class UserContext:
                     ctable = proc.compiled_dispatch = \
                         build_compiled_dispatch(kernel, proc)
                 crow = ctable.get(number)
-                if crow is not None and crow[1] is not None:
+                if (crow is not None and crow[1] is not None
+                        and kernel.profiler is None):
                     results = crow[1](self, calls)
                     if results is not NotImplemented:
                         return results
@@ -300,6 +307,7 @@ class UserContext:
         impl, entry = row
         nargs = entry.nargs
         name = entry.name
+        kframe = "kernel:" + name
         rusage = proc.rusage
         results = []
         index = 0
@@ -319,6 +327,10 @@ class UserContext:
                         kernel.clock.tick()
                         rusage.ru_stime_usec += 100
                         kernel._check_alarm_locked(proc)
+                        if kernel.profiler is not None:
+                            kernel.profiler.sample_tick(proc, kframe)
+                        if kernel.watches is not None:
+                            kernel.watches.maybe_evaluate(kernel, proc)
                         results.append(impl(kernel, proc, *args))
                     except SyscallError as exc:
                         error = exc
@@ -439,20 +451,28 @@ class UserContext:
 
     def consume_cpu(self, usec):
         """Charge user-mode CPU time (advances the virtual clock)."""
-        rec = self.kernel.recorder
+        kernel = self.kernel
+        prof = kernel.profiler
+        rec = kernel.recorder
         if rec is not None:
             # The clock advance happens outside any trap, so two
             # processes burning CPU race on it: make it its own turn.
             rec.begin(self.proc, "C", str(usec))
             try:
+                start = kernel.clock._usec
                 self.proc.rusage.ru_utime_usec += usec
-                self.kernel.clock.advance(usec)
+                kernel.clock.advance(usec)
+                if prof is not None:
+                    prof.sample_span(self.proc, None, start)
                 deliver_pending_signals(self)
             finally:
                 rec.end()
             return
+        start = kernel.clock._usec
         self.proc.rusage.ru_utime_usec += usec
-        self.kernel.clock.advance(usec)
+        kernel.clock.advance(usec)
+        if prof is not None:
+            prof.sample_span(self.proc, None, start)
         deliver_pending_signals(self)
 
 

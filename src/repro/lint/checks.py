@@ -559,6 +559,57 @@ def _check_vector_mutation(path, agentish, out):
                         flag(child, "emulation_vector.%s()" % func.attr)
 
 
+# -- L011: no host console writes in handler methods --------------------
+
+
+def _is_host_stream(node):
+    """True for ``sys.stdout`` / ``sys.stderr`` attribute access."""
+    return (isinstance(node, ast.Attribute)
+            and node.attr in ("stdout", "stderr")
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "sys")
+
+
+def _check_host_print(path, agentish, out):
+    """L011: handler methods must not write to the host console.
+
+    Flags ``print(...)`` calls and ``sys.stdout.write()`` /
+    ``sys.stderr.write()`` (and any other method on those streams)
+    inside a ``sys_*``/``handle_syscall``/``handle_signal`` body.  The
+    bytes such a call emits exist only on the host: agents stacked
+    below never see them, the record/replay recorder cannot capture
+    them, and the client's own descriptors are bypassed.  The
+    sanctioned shapes are a ``syscall_down("write", fd, ...)`` to a
+    descriptor the agent opened (the trace agent's high-fd log) or the
+    client's own stdout/stderr descriptors.
+    """
+    for class_name, node in sorted(agentish.items()):
+        for item in node.body:
+            if not (isinstance(item, ast.FunctionDef)
+                    and _HANDLER_METHOD_RE.match(item.name)):
+                continue
+            symbol = "%s.%s" % (class_name, item.name)
+            for child in ast.walk(item):
+                if not isinstance(child, ast.Call):
+                    continue
+                func = child.func
+                if isinstance(func, ast.Name) and func.id == "print":
+                    shown = "print()"
+                elif (isinstance(func, ast.Attribute)
+                        and _is_host_stream(func.value)):
+                    shown = "sys.%s.%s()" % (func.value.attr, func.attr)
+                else:
+                    continue
+                out(_finding(
+                    "L011", path, child, symbol,
+                    "%s writes to the host console (%s) — the bytes "
+                    "bypass the simulated machine entirely, so agents "
+                    "below cannot interpose on them and replay runs "
+                    "lose them; write through a "
+                    "syscall_down('write', fd, ...) downcall instead"
+                    % (symbol, shown)))
+
+
 # -- L006: no kernel internals from agent code --------------------------
 
 
@@ -628,6 +679,7 @@ def check_module(path, tree, model, in_agents_package):
     _check_error_swallowing(path, agentish, out)
     _check_wallclock(path, agentish, out)
     _check_vector_mutation(path, agentish, out)
+    _check_host_print(path, agentish, out)
     if in_agents_package:
         _check_layer_bypass(path, tree, out)
     return findings

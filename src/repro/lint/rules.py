@@ -1,6 +1,6 @@
 """The rule registry: stable ids, severities, and one-line contracts.
 
-Every agentlint rule has a stable id (``L001`` .. ``L010``) used in
+Every agentlint rule has a stable id (``L001`` .. ``L011``) used in
 output, in ``# repro-lint: disable=`` suppressions, and in baseline
 files.  The registry is the single source of truth the CLI, the docs
 test, and ``docs/LINTING.md`` draw on; rule *implementations* live in
@@ -128,6 +128,19 @@ _register(
     "(repro.kernel.compile) and bumps the downcall-chain epoch; a "
     "direct mutation leaves stale flat chains running the *old* stack "
     "for every process the agent serves.",
+)
+_register(
+    "L011", ERROR,
+    "handler methods never write to the host console: no print() or "
+    "sys.stdout/sys.stderr writes — output goes through write "
+    "downcalls",
+    "a sys_*/handle_syscall/handle_signal body that calls print() or "
+    "sys.stdout.write() emits bytes the simulated machine never sees: "
+    "the output bypasses the client's descriptors, so no agent below "
+    "can observe or rewrite it, the record/replay recorder cannot "
+    "capture it, and in-world programs reading the console miss it — "
+    "write through a syscall_down('write', fd, ...) downcall (or the "
+    "trace agent's log descriptor pattern) instead.",
 )
 
 

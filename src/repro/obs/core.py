@@ -170,14 +170,16 @@ def enable_from_spec(kernel, spec):
     buffer), ``"spans"`` (plus causal span assembly), ``"record"``
     (plus a :class:`~repro.obs.recorder.Recorder` in record mode
     installed as ``kernel.recorder`` — read its ``decisions`` after the
-    run to write an ``.rrlog``).  ``True`` means ``"metrics"``;
-    features compose (``"trace,spans"``).  Unknown feature names raise
+    run to write an ``.rrlog``), ``"profile"`` (plus a
+    :class:`~repro.obs.profile.Profiler` installed as
+    ``kernel.profiler``).  ``True`` means ``"metrics"``; features
+    compose (``"trace,spans"``).  Unknown feature names raise
     ``ValueError`` so typos fail loudly at boot.
     """
     if spec is True:
         spec = "metrics"
     features = {part.strip() for part in spec.split(",") if part.strip()}
-    unknown = features - {"metrics", "trace", "spans", "record"}
+    unknown = features - {"metrics", "trace", "spans", "record", "profile"}
     if unknown:
         raise ValueError("unknown obs feature(s): %s"
                          % ", ".join(sorted(unknown)))
@@ -187,6 +189,10 @@ def enable_from_spec(kernel, spec):
         from repro.obs.recorder import Recorder
 
         Recorder().attach(kernel)
+    if "profile" in features and kernel.profiler is None:
+        from repro.obs.profile import Profiler
+
+        Profiler().attach(kernel)
     return obs
 
 

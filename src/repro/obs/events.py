@@ -79,6 +79,7 @@ FAULT_INJECT = "fault.inject"
 RECORD_START = "record.start"
 RECORD_STOP = "record.stop"
 REPLAY_DIVERGE = "replay.diverge"
+WATCH_TRIP = "watch.trip"
 
 #: every event kind the kernel emits, in rough trap-spine order
 KINDS = (
@@ -101,6 +102,7 @@ KINDS = (
     RECORD_START,
     RECORD_STOP,
     REPLAY_DIVERGE,
+    WATCH_TRIP,
 )
 
 

@@ -1,0 +1,300 @@
+"""Declarative watchpoints over the metrics registry.
+
+A :class:`WatchSet` holds rules written in a one-line-per-rule text
+grammar and evaluates them at metric-flush points on the trap spine —
+every ``interval_usec`` of *virtual* time, so evaluation cadence is a
+property of the run, not of the host.  A rule that fires emits a
+``watch.trip`` obs event, bumps the ``("watch.trip", <rule>)`` counter,
+and can optionally post a signal at the offending process.
+
+Rule grammar (``#`` comments and blank lines ignored)::
+
+    counter_rate    <key>  <op> <value> [signal <signum>]
+    histogram_p99   <key>  <op> <value> [signal <signum>]
+    gauge_threshold <key>  <op> <value> [signal <signum>]
+
+* ``<key>`` names a metrics-registry entry with its tuple parts joined
+  by ``|`` (``trap|read``, ``trap.vusec|open``) — the same encoding
+  :meth:`repro.obs.metrics.MetricsRegistry.snapshot` uses.  A ``<pid>``
+  placeholder part (``trap.pid|<pid>|read``) makes the rule per-process:
+  every matching pid is evaluated separately and a trip names the
+  offender (which is who an attached ``signal`` clause targets).
+* ``counter_rate`` compares the counter's increase per virtual second
+  since the previous evaluation; ``gauge_threshold`` compares its
+  current value; ``histogram_p99`` compares the 99th-percentile bucket
+  bound of a histogram.
+* ``<op>`` is ``>`` ``>=`` ``<`` ``<=``; ``<value>`` is a float.
+
+Evaluation is armoured: a rule that raises counts an error and is
+skipped, never panicking the machine — the property the chaos harness
+fuzzes with :meth:`WatchSet.random`.  Pay-per-use as everywhere:
+``kernel.watches`` is ``None`` by default, one ``is None`` test per
+flush point, and rules read the registry without ever calling back
+into lock-acquiring kernel methods (evaluation runs under the kernel
+lock, so trips post signals with ``proc.post`` + ``kernel.wakeup``
+directly).
+"""
+
+import random as _random_mod
+
+from repro.obs import events as ev
+
+#: default virtual-time distance between rule evaluations (µs)
+DEFAULT_INTERVAL_USEC = 10_000
+
+KINDS = ("counter_rate", "histogram_p99", "gauge_threshold")
+
+_OPS = {
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+}
+
+
+class WatchRule:
+    """One parsed rule plus its evaluation state."""
+
+    __slots__ = ("kind", "key", "op", "value", "signum", "line",
+                 "trips", "errors", "_prev")
+
+    def __init__(self, kind, key, op, value, signum=0):
+        if kind not in KINDS:
+            raise ValueError("unknown watch kind %r" % (kind,))
+        if op not in _OPS:
+            raise ValueError("unknown comparator %r" % (op,))
+        self.kind = kind
+        self.key = tuple(key.split("|"))
+        self.op = op
+        self.value = float(value)
+        self.signum = int(signum)
+        self.line = "%s %s %s %g%s" % (
+            kind, key, op, self.value,
+            " signal %d" % self.signum if self.signum else "")
+        self.trips = 0
+        self.errors = 0
+        #: per-instance previous counter values for counter_rate,
+        #: keyed by pid (0 for machine-level rules)
+        self._prev = {}
+
+    @property
+    def per_pid(self):
+        return "<pid>" in self.key
+
+    def _keys_for(self, metrics):
+        """Concrete (pid, tuple-key) pairs this rule reads right now."""
+        if not self.per_pid:
+            return [(0, self.key)]
+        index = self.key.index("<pid>")
+        out = []
+        with metrics._lock:
+            source = (metrics.histograms if self.kind == "histogram_p99"
+                      else metrics.counters)
+            for key in source:
+                if len(key) != len(self.key):
+                    continue
+                if all(a == b for i, (a, b) in enumerate(zip(key, self.key))
+                       if i != index):
+                    try:
+                        pid = int(key[index])
+                    except (TypeError, ValueError):
+                        continue
+                    out.append((pid, key))
+        return out
+
+    def evaluate(self, metrics, dt_usec):
+        """Yield ``(pid, observed)`` for every firing of this rule."""
+        for pid, key in self._keys_for(metrics):
+            if self.kind == "histogram_p99":
+                hist = metrics.histogram(key)
+                if hist is None:
+                    continue
+                observed = _p99(hist)
+            elif self.kind == "gauge_threshold":
+                observed = metrics.counter(key)
+            else:  # counter_rate
+                current = metrics.counter(key)
+                prev = self._prev.get(pid)
+                self._prev[pid] = current
+                if prev is None or dt_usec <= 0:
+                    continue
+                observed = (current - prev) * 1e6 / dt_usec
+            if _OPS[self.op](observed, self.value):
+                yield pid, observed
+
+
+def _p99(hist):
+    """The 99th-percentile bucket upper bound of *hist* (µs)."""
+    from repro.obs.metrics import BUCKET_BOUNDS
+
+    if not hist.count:
+        return 0.0
+    target = hist.count * 0.99
+    seen = 0
+    for bound, count in zip(BUCKET_BOUNDS, hist.counts):
+        seen += count
+        if seen >= target:
+            return float(bound)
+    return float(hist.max if hist.max is not None else BUCKET_BOUNDS[-1])
+
+
+class WatchSet:
+    """A set of watch rules attached to a kernel's flush points."""
+
+    def __init__(self, rules=(), interval_usec=DEFAULT_INTERVAL_USEC):
+        self.rules = list(rules)
+        self.interval_usec = interval_usec
+        self.kernel = None
+        self.evals = 0
+        self.trip_total = 0
+        self.error_total = 0
+        self._next_eval = 0
+        self._last_eval = 0
+        self._busy = False
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def parse(cls, text, interval_usec=DEFAULT_INTERVAL_USEC):
+        """Build a set from the text grammar (see the module docstring)."""
+        rules = []
+        for lineno, raw in enumerate(text.splitlines(), 1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            parts = line.split()
+            signum = 0
+            if len(parts) >= 6 and parts[-2] == "signal":
+                signum = int(parts[-1])
+                parts = parts[:-2]
+            if len(parts) != 4:
+                raise ValueError("watch line %d: expected "
+                                 "'<kind> <key> <op> <value>', got %r"
+                                 % (lineno, raw))
+            kind, key, op, value = parts
+            rules.append(WatchRule(kind, key, op, value, signum))
+        return cls(rules, interval_usec=interval_usec)
+
+    @classmethod
+    def random(cls, seed, count=8, interval_usec=DEFAULT_INTERVAL_USEC):
+        """A seeded fuzz set for the chaos harness.
+
+        Rules are drawn over real and nonsense keys, absurd and
+        plausible thresholds, and occasional signal clauses — the
+        machine must survive all of them (trips included) without a
+        panic.
+        """
+        rng = _random_mod.Random(seed)
+        keys = ["trap|read", "trap|write", "trap|open", "trap|nosuch",
+                "trap.vusec|read", "trap.vusec|stat", "htg|write",
+                "trap.pid|<pid>|read", "trap.pid|<pid>|write",
+                "bogus|key", "trap.error|open|ENOENT"]
+        rules = []
+        for _ in range(count):
+            kind = rng.choice(KINDS)
+            key = rng.choice(keys)
+            op = rng.choice(list(_OPS))
+            value = rng.choice([0, 1, 10, 1e3, 1e6, -5, 0.5])
+            signum = rng.choice([0, 0, 0, 30, 16])  # mostly signal-less
+            rules.append(WatchRule(kind, key, op, value, signum))
+        return cls(rules, interval_usec=interval_usec)
+
+    # -- lifecycle -------------------------------------------------------
+
+    def attach(self, kernel):
+        """Install on *kernel*; first evaluation one interval from now."""
+        self.kernel = kernel
+        now = kernel.clock.usec()
+        self._last_eval = now
+        self._next_eval = now + self.interval_usec
+        kernel.watches = self
+        return self
+
+    def detach(self):
+        """Remove this set from its kernel; evaluation stops immediately."""
+        kernel = self.kernel
+        if kernel is not None and kernel.watches is self:
+            kernel.watches = None
+        return self
+
+    # -- evaluation (kernel lock held) -----------------------------------
+
+    def maybe_evaluate(self, kernel, proc):
+        """The flush-point hook: evaluate if an interval has elapsed."""
+        if kernel.clock._usec < self._next_eval or self._busy:
+            return
+        self._busy = True
+        try:
+            self._evaluate(kernel, proc)
+        finally:
+            self._busy = False
+
+    def _evaluate(self, kernel, proc):
+        now = kernel.clock._usec
+        dt = now - self._last_eval
+        self._last_eval = now
+        self._next_eval = now + self.interval_usec
+        self.evals += 1
+        obs = kernel.obs
+        metrics = obs.metrics if obs is not None else None
+        for rule in self.rules:
+            try:
+                if metrics is None:
+                    continue
+                for pid, observed in rule.evaluate(metrics, dt):
+                    self._trip(kernel, proc, rule, pid, observed)
+            except Exception:
+                # Armour: a malformed rule (fuzzed thresholds, stale
+                # keys, bad pids) must never take the machine down.
+                rule.errors += 1
+                self.error_total += 1
+
+    def _trip(self, kernel, proc, rule, pid, observed):
+        rule.trips += 1
+        self.trip_total += 1
+        target = kernel._procs.get(pid) if pid else None
+        obs = kernel.obs
+        if obs is not None:
+            if obs.metrics_on:
+                obs.metrics.inc(("watch.trip", rule.line))
+            about = target if target is not None else proc
+            if obs.wants(about):
+                obs.emit(ev.WATCH_TRIP, about, rule.line,
+                         "observed %g" % observed, link_pid=pid)
+        if rule.signum and target is not None:
+            # The lock is held: post directly and prod sleepers, never
+            # through post_signal (which would re-acquire the lock).
+            target.post(rule.signum)
+            kernel.wakeup()
+
+    # -- reporting -------------------------------------------------------
+
+    def stats(self):
+        """Counters for the ``kernel_stats`` payload's watch section."""
+        return {
+            "enabled": True,
+            "rules": len(self.rules),
+            "interval_usec": self.interval_usec,
+            "evals": self.evals,
+            "trips": self.trip_total,
+            "errors": self.error_total,
+        }
+
+    def describe(self):
+        """The rule set back as grammar text (round-trips via parse)."""
+        return "\n".join(rule.line for rule in self.rules) + "\n"
+
+
+def enable_watches(kernel, spec, interval_usec=DEFAULT_INTERVAL_USEC):
+    """Parse *spec* (grammar text or a WatchSet) and attach it."""
+    watches = (spec if isinstance(spec, WatchSet)
+               else WatchSet.parse(spec, interval_usec=interval_usec))
+    return watches.attach(kernel)
+
+
+def disable_watches(kernel):
+    """Detach the kernel's watch set; returns it (or None)."""
+    watches = kernel.watches
+    if watches is not None:
+        watches.detach()
+    return watches

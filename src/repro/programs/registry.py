@@ -53,6 +53,7 @@ def install_world(kernel):
         coreutils,
         ktrace_prog,
         make_prog,
+        procutils,
         scribe,
         sh,
         tracedump,

@@ -92,19 +92,32 @@ class Agent:
 
     def _emulation_entry(self, ctx, number, args):
         self._bind(ctx)
-        obs = ctx.kernel.obs
-        if obs is None:
-            return self.handle_syscall(number, args)
-        # Attribute the agent handler's *host* time to this agent's
-        # toolkit layer — the virtual clock cannot see agent Python code,
-        # so wall-clock is the honest measure (it is also what
-        # bench_ablation_layers measures from outside).
-        start = time.perf_counter()
+        kernel = ctx.kernel
+        prof = kernel.profiler
+        if prof is not None:
+            # The sampling profiler's agent frame: any virtual time the
+            # kernel advances while this handler (and its downcalls)
+            # run is attributed under agent:<layer>.  The same prof
+            # reference pops in ``finally`` so push/pop always pair,
+            # even if the profiler detaches mid-handler.
+            prof.push(ctx.proc.pid, "agent:" + self.OBS_LAYER)
         try:
-            return self.handle_syscall(number, args)
+            obs = kernel.obs
+            if obs is None:
+                return self.handle_syscall(number, args)
+            # Attribute the agent handler's *host* time to this agent's
+            # toolkit layer — the virtual clock cannot see agent Python
+            # code, so wall-clock is the honest measure (it is also what
+            # bench_ablation_layers measures from outside).
+            start = time.perf_counter()
+            try:
+                return self.handle_syscall(number, args)
+            finally:
+                usec = (time.perf_counter() - start) * 1e6
+                obs.layer_usec(self.OBS_LAYER, name_of(number), usec)
         finally:
-            usec = (time.perf_counter() - start) * 1e6
-            obs.layer_usec(self.OBS_LAYER, name_of(number), usec)
+            if prof is not None:
+                prof.pop(ctx.proc.pid)
 
     def _signal_entry(self, ctx, signum, action):
         self._bind(ctx)

@@ -1,6 +1,6 @@
 """agentlint (repro.lint): per-rule fixtures and engine behaviour.
 
-Each rule L001..L010 gets a failing fixture (true positive), a clean
+Each rule L001..L011 gets a failing fixture (true positive), a clean
 fixture (true negative), and the suppression mechanism is proven to
 silence exactly the suppressed rule.  The ``--json`` document schema is
 pinned, baseline files round-trip, and — the acceptance criterion — the
@@ -613,6 +613,62 @@ def test_l010_quiet_for_sanctioned_interception_changes(tmp_path,
     assert rules_fired(result) == set()
 
 
+# -- L011: no host console writes in handler methods -----------------------
+
+
+def test_l011_fires_on_print_and_host_stream_writes(tmp_path, proto_root):
+    result = lint_source(tmp_path, proto_root, """
+    import sys
+
+    from repro.toolkit.symbolic import SymbolicSyscall
+
+    class Chatty(SymbolicSyscall):
+        def sys_open(self, path, flags=0, mode=0o666):
+            print("opening", path)
+            return super().sys_open(path, flags, mode)
+
+        def sys_close(self, fd):
+            sys.stdout.write("closing %d\\n" % fd)
+            return super().sys_close(fd)
+
+        def handle_signal(self, signum, action):
+            sys.stderr.write("signal %d\\n" % signum)
+            self.signal_up(signum)
+    """)
+    l011 = [f for f in result.active if f.rule == "L011"]
+    assert len(l011) == 3
+    symbols = {f.symbol for f in l011}
+    assert symbols == {"Chatty.sys_open", "Chatty.sys_close",
+                       "Chatty.handle_signal"}
+    messages = "\n".join(f.message for f in l011)
+    assert "print()" in messages
+    assert "sys.stdout.write()" in messages
+    assert "sys.stderr.write()" in messages
+    assert "syscall_down" in messages
+
+
+def test_l011_quiet_for_downcall_writes_and_helpers(tmp_path, proto_root):
+    # The sanctioned shapes: writing through a downcall to a descriptor
+    # the simulated machine knows about, and host printing in helper
+    # methods outside the handler scope (debug scaffolding that never
+    # runs on the dispatch spine).
+    result = lint_source(tmp_path, proto_root, """
+    import sys
+
+    from repro.toolkit.symbolic import SymbolicSyscall
+
+    class Quiet(SymbolicSyscall):
+        def sys_open(self, path, flags=0, mode=0o666):
+            self.syscall_down("write", 44, b"opening\\n")
+            return super().sys_open(path, flags, mode)
+
+        def _debug(self, text):
+            sys.stderr.write(text)
+            print(text)
+    """)
+    assert rules_fired(result) == set()
+
+
 # -- suppressions ----------------------------------------------------------
 
 
@@ -747,9 +803,9 @@ def test_cli_list_rules_covers_every_registered_rule():
 # -- the registry and the repo itself --------------------------------------
 
 
-def test_registry_defines_l001_through_l010():
+def test_registry_defines_l001_through_l011():
     assert rule_ids() == ["L001", "L002", "L003", "L004", "L005", "L006",
-                          "L007", "L008", "L009", "L010"]
+                          "L007", "L008", "L009", "L010", "L011"]
     for rule in RULES.values():
         assert rule.summary and rule.rationale
         assert rule.severity in ("error", "warning")

@@ -9,10 +9,10 @@ from repro.kernel.proc import WEXITSTATUS
 from repro.toolkit import run_under_agent
 
 #: the pinned key set of the --json report; bump schema_version on change
-MONITOR_JSON_SCHEMA_V3 = frozenset({
+MONITOR_JSON_SCHEMA_V4 = frozenset({
     "schema_version", "calls", "errors", "bytes_read", "bytes_written",
     "forks", "opens_by_path", "signals", "kernel", "spans",
-    "recorder",
+    "recorder", "procfs", "profile", "watch",
 })
 
 
@@ -69,14 +69,18 @@ def test_monitor_json_report_schema_golden(world):
     status = run_under_agent(world, agent, "/bin/sh", ["sh", "-c", "echo hi"])
     assert WEXITSTATUS(status) == 0
     doc = json.loads(world.read_file("/tmp/mon.json").decode())
-    assert set(doc) == MONITOR_JSON_SCHEMA_V3
-    assert doc["schema_version"] == 3
+    assert set(doc) == MONITOR_JSON_SCHEMA_V4
+    assert doc["schema_version"] == 4
     assert doc["calls"]["write"] >= 1
     # Span tracing was off, and the report says so explicitly.
     assert doc["spans"] == {"enabled": False}
     assert doc["kernel"]["spans"] == {"enabled": False}
     # No recorder attached, and the report says so explicitly.
     assert doc["recorder"] == {"enabled": False}
+    # Live introspection was off across the board, likewise explicit.
+    assert doc["procfs"] == {"enabled": False}
+    assert doc["profile"] == {"enabled": False}
+    assert doc["watch"] == {"enabled": False}
 
 
 def test_monitor_json_report_spans_section(world):
@@ -89,7 +93,7 @@ def test_monitor_json_report_spans_section(world):
     status = run_under_agent(world, agent, "/bin/sh", ["sh", "-c", "echo hi"])
     assert WEXITSTATUS(status) == 0
     doc = json.loads(world.read_file("/tmp/mon_spans.json").decode())
-    assert set(doc) == MONITOR_JSON_SCHEMA_V3
+    assert set(doc) == MONITOR_JSON_SCHEMA_V4
     assert doc["spans"]["enabled"] is True
     assert doc["spans"]["spans"] > 0
     assert set(doc["spans"]["edges_by_kind"]) <= {"fork", "exec", "pipe",
@@ -103,7 +107,7 @@ def test_loader_monitor_json_flag(world):
         ["sh", "-c", "agentrun monitor /tmp/m4.json --json -- echo hi"])
     assert WEXITSTATUS(status) == 0
     doc = json.loads(world.read_file("/tmp/m4.json").decode())
-    assert doc["schema_version"] == 3 and "spans" in doc
+    assert doc["schema_version"] == 4 and "spans" in doc
 
 
 # -- the agent loader program --------------------------------------------

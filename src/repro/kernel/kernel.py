@@ -251,7 +251,12 @@ class Kernel:
         result = namei(self._host, path, want_parent=True)
         fs = result.parent.fs
         node = fs.create_device(0o666, self._host.cred, kind, rdev)
-        fs.link(result.parent, result.name, node)
+        try:
+            fs.link(result.parent, result.name, node)
+        except SyscallError:
+            # Unwind: never leak the fresh device node in the table.
+            fs.maybe_reclaim(node)
+            raise
         return node
 
     def write_file(self, path, data, mode=0o644):
@@ -262,7 +267,13 @@ class Kernel:
         if result.inode is None:
             fs = result.parent.fs
             node = fs.create_file(mode, self._host.cred)
-            fs.link(result.parent, result.name, node)
+            try:
+                fs.link(result.parent, result.name, node)
+            except SyscallError:
+                # Unwind: same shape as creat — the fresh inode must
+                # not survive a failed link.
+                fs.maybe_reclaim(node)
+                raise
         else:
             node = result.inode
         node.data[:] = data

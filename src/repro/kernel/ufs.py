@@ -151,12 +151,28 @@ class Filesystem:
         if inode.nlink <= 0 and inode.open_count == 0:
             self._inodes.pop(inode.ino, None)
 
+    def discard_inode(self, inode):
+        """Unwind an allocation: drop a never-linked inode from the table.
+
+        For fresh files ``maybe_reclaim`` suffices (nlink 0), but a
+        fresh directory already counts its own ``.`` entry, so a
+        failed link would strand it forever — this is the release
+        path for any inode the caller allocated but never published.
+        """
+        self._inodes.pop(inode.ino, None)
+
     # -- convenience used by tests and mkfs-style setup ---------------------
 
     def mkdir_in(self, parent, name, mode, cred):
         """Create and link a directory under *parent* (host/mkfs helper)."""
         node = self.create_directory(mode, cred, parent)
-        parent.enter(name, node.ino)
+        try:
+            parent.enter(name, node.ino)
+        except SyscallError:
+            # Unwind: the fresh directory was never entered in the
+            # parent, so it must not survive in the inode table.
+            self.discard_inode(node)
+            raise
         parent.nlink += 1
         node.touch_ctime(self.clock.usec())
         parent.touch_mtime(self.clock.usec())

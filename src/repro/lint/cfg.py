@@ -1,0 +1,376 @@
+"""Per-function control-flow graphs for the flow rules.
+
+:func:`build_cfg` turns one ``ast.FunctionDef`` into a small CFG whose
+nodes wrap the function's *statements* (compound statements contribute
+a header node holding just their test/iterator/context expression, so
+an analysis scanning "the calls in this node" never sees into a loop
+body through its header).  Three synthetic exits distinguish how a
+path leaves the function:
+
+* ``exit_return`` — an explicit ``return`` statement;
+* ``exit_implicit`` — falling off the end of the body (the implicit
+  ``return None`` the errno discipline rule F003 cares about);
+* ``exit_raise`` — an exception propagating out of the function.
+
+Edges are labelled ``"normal"`` or ``"exc"``.  Every statement that
+contains a call, a ``raise``, or an ``assert`` gets an ``"exc"`` edge
+to the innermost enclosing handler set (or ``exit_raise``); whether a
+given analysis *believes* that edge is its own decision — the leak
+rule F001, for example, only treats an exception edge as leak-bearing
+when the raising statement actually mentions the tracked resource.
+
+``try``/``finally`` is modelled by *inlining*: the ``finally`` body is
+rebuilt once per distinct way of reaching it (normal completion,
+exception propagation, ``return``, ``break``, ``continue``), so a
+dataflow fact that enters the ``finally`` because of a ``return``
+exits toward ``exit_return`` and never bleeds onto the exception
+route.  The same AST statement may therefore be wrapped by several
+nodes; analyses that anchor findings on AST nodes deduplicate by the
+statement, not the CFG node.
+
+``except`` handlers are assumed to catch whatever the body raises
+(the tracked exceptions in this codebase are ``SyscallError``-shaped
+and the clauses either name them or are broad); handler bodies
+re-raise through the normal ``raise`` machinery.  ``with`` suppression
+via ``__exit__`` is ignored.
+"""
+
+import ast
+
+#: edge labels
+NORMAL = "normal"
+EXC = "exc"
+
+
+class Node:
+    """One CFG node: a statement (or synthetic entry/exit)."""
+
+    __slots__ = ("stmt", "kind", "expr", "succs")
+
+    def __init__(self, stmt, kind, expr=None):
+        #: the wrapped AST statement (None for synthetic nodes)
+        self.stmt = stmt
+        #: "stmt", "except", "entry", "exit_return", "exit_implicit",
+        #: "exit_raise"
+        self.kind = kind
+        #: for compound-statement headers: the header expression only
+        #: (If/While test, For iter, With context expressions)
+        self.expr = expr
+        #: outgoing edges: list of (Node, label)
+        self.succs = []
+
+    def __repr__(self):
+        if self.stmt is None:
+            return "<Node %s>" % self.kind
+        return "<Node %s line %d>" % (type(self.stmt).__name__,
+                                      self.stmt.lineno)
+
+    def scan_target(self):
+        """What an analysis should walk for this node's own effects."""
+        if self.expr is not None:
+            return self.expr
+        return self.stmt
+
+
+class CFG:
+    """The graph for one function: entry, nodes, and the three exits."""
+
+    def __init__(self, func):
+        self.func = func
+        self.entry = Node(None, "entry")
+        self.exit_return = Node(None, "exit_return")
+        self.exit_implicit = Node(None, "exit_implicit")
+        self.exit_raise = Node(None, "exit_raise")
+        self.nodes = [self.entry, self.exit_return, self.exit_implicit,
+                      self.exit_raise]
+
+    def exits(self):
+        """The three synthetic exit nodes."""
+        return (self.exit_return, self.exit_implicit, self.exit_raise)
+
+    def reachable(self):
+        """Every node reachable from entry (exits included if reached)."""
+        seen = set()
+        work = [self.entry]
+        while work:
+            node = work.pop()
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            yield node
+            for succ, _label in node.succs:
+                if id(succ) not in seen:
+                    work.append(succ)
+
+    def implicit_exit_reachable(self):
+        """True when some path falls off the end of the function."""
+        return any(node is self.exit_implicit for node in self.reachable())
+
+    def nodes_for(self, stmt):
+        """Every node wrapping *stmt* (finally inlining may duplicate)."""
+        return [node for node in self.nodes if node.stmt is stmt]
+
+
+def may_raise(tree):
+    """True when evaluating *tree* can plausibly raise.
+
+    Calls, ``raise``, and ``assert`` qualify.  Nested function/class
+    bodies do not (defining them cannot raise on their behalf).
+    """
+    for child in walk_own(tree):
+        if isinstance(child, (ast.Call, ast.Raise, ast.Assert)):
+            return True
+    return False
+
+
+def walk_own(tree):
+    """Walk *tree* without descending into nested def/class bodies."""
+    work = [tree]
+    while work:
+        node = work.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.Lambda, ast.ClassDef)):
+                continue
+            work.append(child)
+
+
+class _Route:
+    """A lazily-wired jump target (return/break/continue/exception).
+
+    ``target()`` builds the route's landing node on first use — for a
+    ``finally``, that is a fresh copy of the finally body wired to the
+    outer route, so each way of leaving the ``try`` gets its own copy.
+    """
+
+    def __init__(self, build):
+        self._build = build
+        self._target = None
+
+    def target(self):
+        if self._target is None:
+            self._target = self._build()
+        return self._target
+
+
+class _Builder:
+    def __init__(self, cfg):
+        self.cfg = cfg
+
+    def _node(self, stmt, kind="stmt", expr=None):
+        node = Node(stmt, kind, expr)
+        self.cfg.nodes.append(node)
+        return node
+
+    def _connect(self, frontier, node):
+        for source, label in frontier:
+            source.succs.append((node, label))
+
+    def build_body(self, stmts, frontier, routes):
+        """Wire *stmts* after *frontier*; returns the new frontier.
+
+        *routes* is a dict with "ret", "exc", and optionally "brk" and
+        "cont" :class:`_Route` values.  The returned frontier is the
+        set of (node, label) pairs that fall through to whatever comes
+        next; it is empty when no path completes the body normally.
+        """
+        for stmt in stmts:
+            if not frontier:
+                break  # unreachable code after return/raise/break
+            frontier = self._build_stmt(stmt, frontier, routes)
+        return frontier
+
+    def _exc_edge(self, node, routes):
+        node.succs.append((routes["exc"].target(), EXC))
+
+    def _build_stmt(self, stmt, frontier, routes):
+        if isinstance(stmt, ast.Return):
+            node = self._node(stmt)
+            self._connect(frontier, node)
+            if may_raise(stmt):
+                self._exc_edge(node, routes)
+            node.succs.append((routes["ret"].target(), NORMAL))
+            return []
+        if isinstance(stmt, ast.Raise):
+            node = self._node(stmt)
+            self._connect(frontier, node)
+            self._exc_edge(node, routes)
+            return []
+        if isinstance(stmt, ast.Break):
+            node = self._node(stmt)
+            self._connect(frontier, node)
+            node.succs.append((routes["brk"].target(), NORMAL))
+            return []
+        if isinstance(stmt, ast.Continue):
+            node = self._node(stmt)
+            self._connect(frontier, node)
+            node.succs.append((routes["cont"].target(), NORMAL))
+            return []
+        if isinstance(stmt, ast.If):
+            return self._build_if(stmt, frontier, routes)
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._build_loop(stmt, frontier, routes)
+        if isinstance(stmt, ast.Try):
+            return self._build_try(stmt, frontier, routes)
+        if hasattr(ast, "TryStar") and isinstance(stmt, ast.TryStar):
+            return self._build_try(stmt, frontier, routes)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._build_with(stmt, frontier, routes)
+        # Simple statement (Expr, Assign, AugAssign, AnnAssign, Assert,
+        # Delete, Pass, Import, Global, Nonlocal, nested def/class, ...).
+        node = self._node(stmt)
+        self._connect(frontier, node)
+        if may_raise(stmt):
+            self._exc_edge(node, routes)
+        return [(node, NORMAL)]
+
+    def _build_if(self, stmt, frontier, routes):
+        header = self._node(stmt, expr=stmt.test)
+        self._connect(frontier, header)
+        if may_raise(stmt.test):
+            self._exc_edge(header, routes)
+        then_out = self.build_body(stmt.body, [(header, NORMAL)], routes)
+        if stmt.orelse:
+            else_out = self.build_body(stmt.orelse, [(header, NORMAL)],
+                                       routes)
+        else:
+            else_out = [(header, NORMAL)]
+        return then_out + else_out
+
+    def _loop_test_constant(self, stmt):
+        """The truthiness of a constant While test, else None."""
+        if (isinstance(stmt, ast.While)
+                and isinstance(stmt.test, ast.Constant)):
+            return bool(stmt.test.value)
+        return None
+
+    def _build_loop(self, stmt, frontier, routes):
+        test_expr = stmt.test if isinstance(stmt, ast.While) else stmt.iter
+        header = self._node(stmt, expr=test_expr)
+        self._connect(frontier, header)
+        if may_raise(test_expr):
+            self._exc_edge(header, routes)
+
+        # break exits past any else clause; continue re-tests.  The
+        # break join node collects break edges (it stays unreachable,
+        # harmlessly, when the loop has none).
+        break_node = self._node(None, kind="stmt")
+        loop_routes = dict(routes)
+        loop_routes["brk"] = _Route(lambda: break_node)
+        loop_routes["cont"] = _Route(lambda: header)
+        body_out = self.build_body(stmt.body, [(header, NORMAL)],
+                                   loop_routes)
+        self._connect(body_out, header)  # loop back and re-test
+
+        after = [(break_node, NORMAL)]
+        if self._loop_test_constant(stmt) is not True:
+            # The test can be false: normal loop exit runs the else
+            # clause (if any), then continues after the loop.
+            if stmt.orelse:
+                after.extend(self.build_body(
+                    stmt.orelse, [(header, NORMAL)], routes))
+            else:
+                after.append((header, NORMAL))
+        return after
+
+    def _build_with(self, stmt, frontier, routes):
+        for item in stmt.items:
+            header = self._node(stmt, expr=item.context_expr)
+            self._connect(frontier, header)
+            if may_raise(item.context_expr):
+                self._exc_edge(header, routes)
+            frontier = [(header, NORMAL)]
+        return self.build_body(stmt.body, frontier, routes)
+
+    def _build_try(self, stmt, frontier, routes):
+        if stmt.finalbody:
+            return self._build_try_finally(stmt, frontier, routes)
+        return self._build_try_handlers(stmt, frontier, routes)
+
+    def _build_try_handlers(self, stmt, frontier, routes):
+        """A try with handlers (no finally at this level)."""
+        handler_entries = []
+        out = []
+        for handler in stmt.handlers:
+            entry = self._node(handler, kind="except")
+            handler_entries.append(entry)
+        # Exceptions in the body land on every handler (any may match).
+        body_routes = dict(routes)
+        if handler_entries:
+            first = handler_entries[0]
+            if len(handler_entries) == 1:
+                body_routes["exc"] = _Route(lambda: first)
+            else:
+                # A tiny dispatch node fanning out to each handler.
+                fan = self._node(None, kind="stmt")
+                for entry in handler_entries:
+                    fan.succs.append((entry, NORMAL))
+                body_routes["exc"] = _Route(lambda: fan)
+        body_out = self.build_body(stmt.body, frontier, body_routes)
+        if stmt.orelse:
+            body_out = self.build_body(stmt.orelse, body_out, routes)
+        out.extend(body_out)
+        for handler, entry in zip(stmt.handlers, handler_entries):
+            handler_out = self.build_body(handler.body, [(entry, NORMAL)],
+                                          routes)
+            out.extend(handler_out)
+        return out
+
+    def _build_try_finally(self, stmt, frontier, routes):
+        """A try with a finally: inline one copy per way of reaching it."""
+        outer = routes
+
+        def through_finally(outer_route):
+            """A route that runs a fresh copy of the finally first."""
+
+            def build():
+                entry = self._node(None, kind="stmt")
+                fin_routes = dict(outer)
+                fin_out = self.build_body(stmt.finalbody,
+                                          [(entry, NORMAL)], fin_routes)
+                self._connect(fin_out, outer_route.target())
+                return entry
+
+            return _Route(build)
+
+        inner = dict(routes)
+        inner["ret"] = through_finally(routes["ret"])
+        inner["exc"] = through_finally(routes["exc"])
+        if "brk" in routes and routes["brk"] is not None:
+            inner["brk"] = through_finally(routes["brk"])
+        if "cont" in routes and routes["cont"] is not None:
+            inner["cont"] = through_finally(routes["cont"])
+
+        # The handlers/else of this try run inside the finally scope.
+        shell = ast.Try(body=stmt.body, handlers=stmt.handlers,
+                        orelse=stmt.orelse, finalbody=[])
+        ast.copy_location(shell, stmt)
+        if stmt.handlers or stmt.orelse:
+            body_out = self._build_try_handlers(shell, frontier, inner)
+        else:
+            body_out = self.build_body(stmt.body, frontier, inner)
+
+        # Normal completion runs its own finally copy, then continues.
+        if not body_out:
+            return []
+        fin_entry = self._node(None, kind="stmt")
+        self._connect(body_out, fin_entry)
+        fin_out = self.build_body(stmt.finalbody, [(fin_entry, NORMAL)],
+                                  dict(outer))
+        return fin_out
+
+
+def build_cfg(func):
+    """Build the :class:`CFG` for one ``ast.FunctionDef``."""
+    cfg = CFG(func)
+    builder = _Builder(cfg)
+    routes = {
+        "ret": _Route(lambda: cfg.exit_return),
+        "exc": _Route(lambda: cfg.exit_raise),
+        "brk": None,
+        "cont": None,
+    }
+    frontier = builder.build_body(func.body, [(cfg.entry, NORMAL)], routes)
+    builder._connect(frontier, cfg.exit_implicit)
+    return cfg

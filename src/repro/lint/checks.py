@@ -238,41 +238,11 @@ class _FunctionCollector(ast.NodeVisitor):
         self._visit_function(node)
 
 
-def _own_calls(func):
-    """Calls lexically inside *func* but not inside a nested def."""
-    calls = []
-
-    def walk(node):
-        for child in ast.iter_child_nodes(node):
-            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                continue
-            if isinstance(child, ast.Call):
-                calls.append(child)
-            walk(child)
-
-    walk(func)
-    return calls
-
-
-def _check_refcount_pairing(path, tree, out):
-    collector = _FunctionCollector()
-    collector.visit(tree)
-    for symbol, func in collector.functions:
-        if func.name in ("incref", "decref"):
-            continue  # the counters' own definitions
-        increfs = decrefs = 0
-        for call in _own_calls(func):
-            if isinstance(call.func, ast.Attribute):
-                if call.func.attr == "incref":
-                    increfs += 1
-                elif call.func.attr == "decref":
-                    decrefs += 1
-        if increfs != decrefs and (increfs or decrefs):
-            out(_finding(
-                "L003", path, func, symbol,
-                "%s takes %d open-object reference(s) (incref) but "
-                "releases %d (decref); references must pair on every "
-                "path through an override" % (symbol, increfs, decrefs)))
+# L003 (count incref/decref per method) lived here until the flow
+# rules landed: the per-method counter could not see try/finally or
+# early returns, so it is superseded by the path-sensitive F002 in
+# :mod:`repro.lint.flow`.  The id stays registered as a deprecated
+# alias — ``disable=L003`` suppressions silence F002.
 
 
 # -- L004: errno discipline ---------------------------------------------
@@ -672,7 +642,6 @@ def check_module(path, tree, model, in_agents_package):
     agentish = agent_like_classes(tree)
     _check_sys_names(path, agentish, model, out)
     _check_init_overrides(path, agentish, out)
-    _check_refcount_pairing(path, tree, out)
     _check_error_returns(path, agentish, out)
     _check_syscallerror_args(path, tree, model, out)
     _check_signal_forwarding(path, agentish, out)

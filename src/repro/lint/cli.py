@@ -2,21 +2,24 @@
 
 Usage::
 
-    repro-lint [--json] [--baseline FILE] [--write-baseline FILE]
-               [--rules L001,L006] [--show-suppressed]
+    repro-lint [--json] [--sarif FILE] [--baseline FILE]
+               [--write-baseline FILE] [--rules L001,F001]
+               [--diff REF] [--show-suppressed]
                [--protocol-root DIR] [--no-parity] PATH [PATH ...]
 
 Exit codes: 0 — no active error findings; 1 — at least one; 2 — the
-run itself failed (bad path, unparseable file).  Suppressed and
-baselined findings never affect the exit code.  The same checks are
-importable as :func:`repro.lint.engine.run_lint`.
+run itself failed (bad path) or could not analyze every file it was
+pointed at (per-file L000 findings; the sweep still completes and
+reports the rest).  Suppressed and baselined findings never affect
+the exit code.  The same checks are importable as
+:func:`repro.lint.engine.run_lint`.
 """
 
 import argparse
 import json
 import sys
 
-from repro.lint import engine
+from repro.lint import engine, sarif
 from repro.lint.rules import RULES, rule_ids
 
 #: exit code when the lint run completed and found nothing actionable
@@ -32,12 +35,19 @@ def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro-lint",
         description="Statically check interposition agents against the "
-                    "toolkit protocol (rules L001-L009; see "
+                    "toolkit protocol: syntactic rules L001-L011 plus "
+                    "the path-sensitive flow rules F001-F005 (see "
                     "docs/LINTING.md).")
     parser.add_argument("paths", nargs="*", metavar="PATH",
                         help="files or directories to lint")
     parser.add_argument("--json", action="store_true", dest="as_json",
                         help="emit the findings document as JSON")
+    parser.add_argument("--sarif", metavar="FILE",
+                        help="also write the findings as SARIF 2.1.0 "
+                             "to FILE (GitHub code-scanning upload)")
+    parser.add_argument("--diff", metavar="REF", dest="diff_ref",
+                        help="lint only files changed relative to git "
+                             "REF (fast PR mode)")
     parser.add_argument("--rules", metavar="IDS",
                         help="comma-separated rule ids to run "
                              "(default: all of %s)" % ",".join(rule_ids()))
@@ -91,10 +101,14 @@ def main(argv=None):
             protocol_root=args.protocol_root,
             check_parity=not args.no_parity,
             baseline=baseline,
-            only_rules=only_rules)
+            only_rules=only_rules,
+            diff_ref=args.diff_ref)
     except engine.LintError as err:
         sys.stderr.write("repro-lint: %s\n" % err)
         return EXIT_USAGE
+
+    if args.sarif:
+        sarif.write_sarif(args.sarif, result)
 
     if args.write_baseline:
         fingerprints = engine.write_baseline(args.write_baseline, result)
@@ -115,6 +129,13 @@ def main(argv=None):
                   "%d baselined\n"
                   % (len(result.files), len(result.active),
                      len(result.suppressed), len(result.baselined)))
+    if result.internal_errors:
+        # The sweep completed but some file was never analyzed —
+        # distinct from "findings" so CI can tell the cases apart.
+        sys.stderr.write(
+            "repro-lint: %d file(s) could not be analyzed (L000)\n"
+            % len(result.internal_errors))
+        return EXIT_USAGE
     return EXIT_FINDINGS if result.active else EXIT_CLEAN
 
 

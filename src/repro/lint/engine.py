@@ -15,18 +15,28 @@ line directly above it, and should carry a one-line justification::
         ...
 
 A baseline file (``--baseline``) is a JSON list of finding
-fingerprints (rule:path:symbol, no line numbers); matching findings
-are reported but do not affect the exit code — the adoption path for
-linting a codebase with known debt.
+fingerprints (``rule:path:symbol``, no line numbers, with a ``#N``
+occurrence suffix when one symbol holds several same-rule findings);
+matching findings are reported but do not affect the exit code — the
+adoption path for linting a codebase with known debt.  Entries may
+also be objects ``{"fingerprint": ..., "reason": ...}`` so the debt
+carries its justification in the file itself.
+
+The sweep is crash-proof: a file the engine cannot parse or analyze
+yields a per-file ``L000`` internal-error finding and the sweep
+continues; the CLI turns any L000 into exit code 2 so CI can tell
+"the code is dirty" from "the linter never looked".
 """
 
 import ast
 import json
 import os
+import subprocess
 
-from repro.lint import checks
-from repro.lint.findings import sort_findings
+from repro.lint import checks, flow
+from repro.lint.findings import Finding, sort_findings
 from repro.lint.protocol import load_protocol
+from repro.lint.rules import RULES, severity_of
 
 
 class LintError(Exception):
@@ -71,10 +81,15 @@ class LintResult:
             table[finding.rule] = table.get(finding.rule, 0) + 1
         return table
 
+    @property
+    def internal_errors(self):
+        """L000 findings: files the engine could not analyze."""
+        return [f for f in self.findings if f.rule == "L000"]
+
     def to_dict(self):
         """The ``--json`` document (schema pinned by tests/test_lint.py)."""
         return {
-            "version": 1,
+            "version": 2,
             "files": len(self.files),
             "findings": [f.to_dict() for f in self.findings],
             "summary": {
@@ -142,19 +157,109 @@ def suppressions_for(source):
     return table
 
 
+def _alias_table():
+    """``{successor_id: {deprecated ids it absorbs}}`` from the registry."""
+    table = {}
+    for rule in RULES.values():
+        if rule.superseded_by is not None:
+            table.setdefault(rule.superseded_by, set()).add(rule.rule_id)
+    return table
+
+
 def _apply_suppressions(findings, table):
+    aliases = _alias_table()
     for finding in findings:
-        if finding.rule in table.get(finding.line, ()):
+        disabled = table.get(finding.line, ())
+        if finding.rule in disabled:
+            finding.suppressed = True
+        elif aliases.get(finding.rule, set()) & set(disabled):
+            # A disable= naming the deprecated predecessor (e.g. L003)
+            # silences the successor's finding too.
             finding.suppressed = True
 
 
+def expand_rule_ids(rule_ids_wanted):
+    """Translate deprecated ids in a ``--rules`` selection.
+
+    Selecting a deprecated rule selects its successor (``--rules
+    L003`` runs F002); the deprecated id itself is kept so baselines
+    naming it still parse.
+    """
+    expanded = set(rule_ids_wanted)
+    for rule_id in rule_ids_wanted:
+        rule = RULES.get(rule_id)
+        if rule is not None and rule.superseded_by is not None:
+            expanded.add(rule.superseded_by)
+    return expanded
+
+
 def load_baseline(path):
-    """Read a baseline file: a JSON list of finding fingerprints."""
+    """Read a baseline file into ``{fingerprint: reason}``.
+
+    Entries are plain fingerprint strings (reason ``""``) or objects
+    ``{"fingerprint": ..., "reason": ...}`` carrying a justification.
+    """
     with open(path) as handle:
         data = json.load(handle)
     if not isinstance(data, list):
         raise LintError("baseline %s is not a JSON list" % path)
-    return set(data)
+    table = {}
+    for entry in data:
+        if isinstance(entry, str):
+            table[entry] = ""
+        elif isinstance(entry, dict) and "fingerprint" in entry:
+            table[entry["fingerprint"]] = entry.get("reason", "")
+        else:
+            raise LintError(
+                "baseline %s: entries must be fingerprint strings or "
+                "{fingerprint, reason} objects (got %r)" % (path, entry))
+    return table
+
+
+def changed_files(ref, cwd=None):
+    """Absolute paths of files changed relative to git *ref*.
+
+    Includes working-tree modifications and untracked files, so
+    ``--diff`` sees exactly what a PR (or a dirty checkout) touches.
+    """
+    try:
+        diff = subprocess.run(
+            ["git", "diff", "--name-only", "-z", ref, "--"],
+            cwd=cwd, capture_output=True, text=True, check=True)
+        untracked = subprocess.run(
+            ["git", "ls-files", "--others", "--exclude-standard", "-z"],
+            cwd=cwd, capture_output=True, text=True, check=True)
+        top = subprocess.run(
+            ["git", "rev-parse", "--show-toplevel"],
+            cwd=cwd, capture_output=True, text=True, check=True)
+    except FileNotFoundError:
+        raise LintError("--diff requires git on PATH") from None
+    except subprocess.CalledProcessError as err:
+        raise LintError("git diff against %r failed: %s"
+                        % (ref, err.stderr.strip())) from None
+    root = top.stdout.strip()
+    names = [name for name in
+             (diff.stdout.split("\0") + untracked.stdout.split("\0"))
+             if name]
+    return {os.path.abspath(os.path.join(root, name)) for name in names}
+
+
+def _assign_occurrences(findings):
+    """Number same-(rule, path, symbol) findings in source order.
+
+    Gives the second leak in a function fingerprint ``...#1`` so a
+    baseline entry can only ever absorb one finding — fixing one of
+    two baselined leaks resurfaces the other instead of silently
+    re-keying it onto the freed entry.
+    """
+    groups = {}
+    for finding in findings:
+        key = (finding.rule, finding.path, finding.symbol)
+        groups.setdefault(key, []).append(finding)
+    for members in groups.values():
+        members.sort(key=lambda f: (f.line, f.col, f.message))
+        for index, finding in enumerate(members):
+            finding.occurrence = index
 
 
 def write_baseline(path, result):
@@ -166,36 +271,73 @@ def write_baseline(path, result):
     return fingerprints
 
 
-def _in_agents_package(path):
+def _package_membership(path):
     parts = os.path.normpath(os.path.abspath(path)).split(os.sep)
-    return "agents" in parts
+    return "agents" in parts, "toolkit" in parts
+
+
+def _internal_error(path, line, message):
+    return Finding("L000", severity_of("L000"), path, max(line, 1), 0,
+                   "<file>", message)
+
+
+def _lint_one_file(path, model, run_flow):
+    """All findings for one file — never raises.
+
+    A parse or analysis failure becomes a per-file L000 finding so one
+    broken file cannot abort the sweep of the rest.
+    """
+    display = _display_path(path)
+    try:
+        with open(path) as handle:
+            source = handle.read()
+    except OSError as err:
+        return [_internal_error(display, 1,
+                                "cannot read file: %s" % err)]
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as err:
+        return [_internal_error(
+            display, err.lineno or 1,
+            "cannot parse file: %s" % (err.msg or err))]
+    in_agents, in_toolkit = _package_membership(path)
+    try:
+        file_findings = checks.check_module(display, tree, model,
+                                            in_agents)
+        if run_flow:
+            file_findings.extend(flow.check_module_flow(
+                display, tree, model, in_agents, in_toolkit))
+    except RecursionError:
+        return [_internal_error(display, 1,
+                                "analysis overflowed on this file")]
+    except Exception as err:  # crash-proof sweep: report, keep going
+        return [_internal_error(
+            display, 1, "internal error while analyzing: %r" % err)]
+    _apply_suppressions(file_findings, suppressions_for(source))
+    return file_findings
 
 
 def run_lint(paths, protocol_root=None, check_parity=True, baseline=None,
-             only_rules=None):
+             only_rules=None, diff_ref=None):
     """Lint *paths* and return a :class:`LintResult`.
 
     *protocol_root* overrides where the sysent/symbolic/errno sources
     are read from (tests point it at fixture trees); *check_parity*
-    gates the project-wide L007 pass; *baseline* is a set of
-    fingerprints to tolerate; *only_rules* restricts reporting to the
-    given rule ids.
+    gates the project-wide L007 pass; *baseline* maps tolerated
+    fingerprints to their justifications; *only_rules* restricts
+    reporting to the given rule ids (deprecated ids select their
+    successors); *diff_ref* restricts the sweep to files changed
+    relative to that git ref.
     """
     model = load_protocol(protocol_root)
     files = discover_files(paths)
+    if diff_ref is not None:
+        changed = changed_files(diff_ref)
+        files = [path for path in files
+                 if os.path.abspath(path) in changed]
     findings = []
     for path in files:
-        with open(path) as handle:
-            source = handle.read()
-        try:
-            tree = ast.parse(source, filename=path)
-        except SyntaxError as err:
-            raise LintError("cannot parse %s: %s" % (path, err)) from None
-        display = _display_path(path)
-        file_findings = checks.check_module(
-            display, tree, model, _in_agents_package(path))
-        _apply_suppressions(file_findings, suppressions_for(source))
-        findings.extend(file_findings)
+        findings.extend(_lint_one_file(path, model, run_flow=True))
     if check_parity:
         parity = checks.check_protocol(
             model,
@@ -209,7 +351,9 @@ def run_lint(paths, protocol_root=None, check_parity=True, baseline=None,
             _apply_suppressions(matching, table)
         findings.extend(parity)
     if only_rules is not None:
-        findings = [f for f in findings if f.rule in only_rules]
+        expanded = expand_rule_ids(only_rules)
+        findings = [f for f in findings if f.rule in expanded]
+    _assign_occurrences(findings)
     if baseline:
         for finding in findings:
             if finding.fingerprint() in baseline:

@@ -20,10 +20,10 @@ class Finding:
     """One diagnostic produced by a lint rule."""
 
     __slots__ = ("rule", "severity", "path", "line", "col", "symbol",
-                 "message", "suppressed", "baselined")
+                 "message", "suppressed", "baselined", "occurrence")
 
     def __init__(self, rule, severity, path, line, col, symbol, message,
-                 suppressed=False, baselined=False):
+                 suppressed=False, baselined=False, occurrence=0):
         self.rule = rule
         self.severity = severity
         self.path = path
@@ -33,6 +33,10 @@ class Finding:
         self.message = message
         self.suppressed = suppressed
         self.baselined = baselined
+        #: index among same-(rule, path, symbol) findings, in line
+        #: order — assigned by the engine so two leaks in one function
+        #: get distinct fingerprints (fixing one resurfaces the other)
+        self.occurrence = occurrence
 
     def __repr__(self):
         return "<Finding %s %s:%d %s>" % (
@@ -45,8 +49,17 @@ class Finding:
                 and self.severity == ERROR)
 
     def fingerprint(self):
-        """The line-number-free identity used by baseline files."""
-        return "%s:%s:%s" % (self.rule, self.path, self.symbol)
+        """The line-number-free identity used by baseline files.
+
+        The first finding of a (rule, path, symbol) keeps the bare
+        ``rule:path:symbol`` form every existing baseline recorded;
+        further same-key findings get a ``#N`` occurrence suffix so
+        they never collapse onto one baseline entry.
+        """
+        base = "%s:%s:%s" % (self.rule, self.path, self.symbol)
+        if self.occurrence:
+            return "%s#%d" % (base, self.occurrence)
+        return base
 
     def to_dict(self):
         """The JSON-ready form (the ``--json`` output schema)."""
@@ -60,6 +73,7 @@ class Finding:
             "message": self.message,
             "suppressed": self.suppressed,
             "baselined": self.baselined,
+            "occurrence": self.occurrence,
         }
 
     def render(self):

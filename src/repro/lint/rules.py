@@ -13,13 +13,23 @@ from repro.lint.findings import ERROR
 class Rule:
     """One registered rule: id, severity, and its contract in one line."""
 
-    __slots__ = ("rule_id", "severity", "summary", "rationale")
+    __slots__ = ("rule_id", "severity", "summary", "rationale",
+                 "superseded_by")
 
-    def __init__(self, rule_id, severity, summary, rationale):
+    def __init__(self, rule_id, severity, summary, rationale,
+                 superseded_by=None):
         self.rule_id = rule_id
         self.severity = severity
         self.summary = summary
         self.rationale = rationale
+        #: for deprecated rules: the id of the rule that replaced it
+        #: (``--rules`` and ``disable=`` directives naming this rule
+        #: are translated to the successor)
+        self.superseded_by = superseded_by
+
+    @property
+    def deprecated(self):
+        return self.superseded_by is not None
 
     def __repr__(self):
         return "<Rule %s %s>" % (self.rule_id, self.severity)
@@ -29,8 +39,9 @@ class Rule:
 RULES = {}
 
 
-def _register(rule_id, severity, summary, rationale):
-    RULES[rule_id] = Rule(rule_id, severity, summary, rationale)
+def _register(rule_id, severity, summary, rationale, superseded_by=None):
+    RULES[rule_id] = Rule(rule_id, severity, summary, rationale,
+                          superseded_by=superseded_by)
 
 
 _register(
@@ -51,11 +62,13 @@ _register(
 )
 _register(
     "L003", ERROR,
-    "OpenObject references taken and released in balanced pairs per "
-    "method",
-    "an incref without a matching decref (or vice versa) leaks or "
-    "over-frees the shared open object; the paper names refcount "
-    "mistakes as its hardest agent bugs (Section 4.2).",
+    "[deprecated, superseded by F002] OpenObject references taken and "
+    "released in balanced pairs per method",
+    "the per-method incref/decref counter could not see try/finally "
+    "or early returns; F002 checks the same balance path-sensitively. "
+    "``disable=L003`` suppressions and ``--rules L003`` selections "
+    "are translated to F002.",
+    superseded_by="F002",
 )
 _register(
     "L004", ERROR,
@@ -141,6 +154,65 @@ _register(
     "capture it, and in-world programs reading the console miss it — "
     "write through a syscall_down('write', fd, ...) downcall (or the "
     "trace agent's log descriptor pattern) instead.",
+)
+
+
+_register(
+    "L000", ERROR,
+    "the linter itself analyzed every file it was pointed at",
+    "an unparseable or pathological file must not silently vanish "
+    "from the sweep: the engine reports it as a per-file finding and "
+    "the CLI exits 2, so CI distinguishes 'the code is dirty' from "
+    "'the linter never looked'.",
+)
+_register(
+    "F001", ERROR,
+    "a fresh resource (make_inode/create_* result) is released, "
+    "committed, or returned on every path — exception edges included",
+    "PR 5's fault injection found creat/mknod/symlink leaking the "
+    "fresh inode when the link step faulted: no single statement is "
+    "wrong, the bug *is* the exception edge.  The flow analysis walks "
+    "each path out of the allocation and requires a maybe_reclaim, a "
+    "committing call, or an escape before the function unwinds.",
+)
+_register(
+    "F002", ERROR,
+    "incref/decref balance on every path out of a method (early "
+    "returns, finally, handlers), unless the reference escapes",
+    "the per-method counter L003 missed try/finally and early "
+    "returns; the typestate analysis tracks the net reference delta "
+    "along each path and flags the exits where it is non-zero — the "
+    "paper names refcount mistakes as its hardest agent bugs "
+    "(Section 4.2).",
+)
+_register(
+    "F003", ERROR,
+    "every path out of a sys_* body returns a value or raises "
+    "SyscallError — no falling off the end, no bare return",
+    "the implicit None of a forgotten branch is marshalled to the "
+    "client as a *successful* result (the path-aware face of L004); "
+    "reachability of the implicit exit is a pure CFG question the "
+    "syntactic rule could never answer.",
+)
+_register(
+    "F004", ERROR,
+    "no unbounded blocking call (.get/.join/.acquire/.wait without "
+    "timeout) reachable from a handler method",
+    "a handler that blocks forever hangs the client's syscall, and "
+    "every agent stacked below it — the SeparateSpaceAgent hang class "
+    "PR 5 fixed dynamically with watchdogs; pass a timeout and "
+    "convert expiry to SyscallError (repro.toolkit.remote shows the "
+    "shape).",
+)
+_register(
+    "F005", ERROR,
+    "every interposed syscall path delegates (syscall_down/sys_*), "
+    "raises SyscallError, or carries an explicit absorb suppression",
+    "a path that returns without ever reaching the layer below has "
+    "silently absorbed the call — indistinguishable from success to "
+    "the client and invisible to agents stacked underneath; if "
+    "absorption is the agent's contract (an in-agent cache hit, a "
+    "synthesized result), say so with a suppression justification.",
 )
 
 

@@ -268,6 +268,9 @@ class SeparateSpaceAgent(Agent):
         self._rpc("init", list(agentargv))
 
     def handle_syscall(self, number, args):
+        # repro-lint: disable=F005 -- delegates by IPC: _rpc ships the
+        # call to the inner agent's task in the other address space,
+        # which does the real downcall (or raises) over there.
         return self._rpc("syscall", (number, args))
 
     # repro-lint: disable=L005 -- forwards by IPC: the inner agent's

@@ -1,0 +1,37 @@
+"""Post-fix PR 5 creat/symlink shapes: the F001 true-negative pair.
+
+The same syscalls as ``prefix_pathcalls.py`` with the PR 5 fix
+applied: the ``fs.link`` commit is guarded, and the failure path
+releases the fresh inode before re-raising.  tests/test_lint_flow.py
+asserts F001 stays quiet here — the analysis must see the release in
+the handler, not just the guarded call.
+
+This module is a lint fixture: it is never imported or executed.
+"""
+
+from repro.kernel.errno import SyscallError
+
+
+def sys_open(proc, fs, path, flags, mode):
+    result = proc.lookup_parent(path)
+    if result.inode is None:
+        inode = fs.create_file(mode, proc.cred)
+        try:
+            fs.link(result.parent, result.name, inode)
+        except SyscallError:
+            fs.maybe_reclaim(inode)
+            raise
+    else:
+        inode = result.inode
+    return proc.install_descriptor(inode, flags)
+
+
+def sys_symlink(proc, fs, target, linkpath):
+    result = proc.lookup_parent(linkpath)
+    inode = fs.create_symlink(target, proc.cred)
+    try:
+        fs.link(result.parent, result.name, inode)
+    except SyscallError:
+        fs.maybe_reclaim(inode)
+        raise
+    return 0

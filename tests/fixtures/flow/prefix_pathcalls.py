@@ -1,0 +1,32 @@
+"""Pre-fix PR 5 creat/symlink shapes: the F001 regression fixtures.
+
+These are the two inode-leak bugs that fault injection caught
+*dynamically* in PR 5 (docs/ROBUSTNESS.md): the syscall allocates a
+fresh inode and then calls ``fs.link``; when ``link`` raises — EMLINK,
+or the armed ``ufs.link`` fault site — the inode is stranded in the
+volume's table forever.  No single statement is wrong; the bug is the
+exception edge.  tests/test_lint_flow.py asserts F001 flags both,
+statically.  The fixed shapes live in ``postfix_pathcalls.py``; the
+real (fixed) code is ``src/repro/kernel/syscalls/pathcalls.py``.
+
+This module is a lint fixture: it is never imported or executed.
+"""
+
+
+def sys_open(proc, fs, path, flags, mode):
+    result = proc.lookup_parent(path)
+    if result.inode is None:
+        inode = fs.create_file(mode, proc.cred)
+        # BUG (pre-fix): if link raises, the fresh inode leaks.
+        fs.link(result.parent, result.name, inode)
+    else:
+        inode = result.inode
+    return proc.install_descriptor(inode, flags)
+
+
+def sys_symlink(proc, fs, target, linkpath):
+    result = proc.lookup_parent(linkpath)
+    inode = fs.create_symlink(target, proc.cred)
+    # BUG (pre-fix): same shape — the symlink inode leaks on failure.
+    fs.link(result.parent, result.name, inode)
+    return 0

@@ -1,0 +1,116 @@
+"""The write-ahead journal's pay-per-use claim, measured.
+
+Crash consistency follows the repo's standing discipline: with
+``journal=False`` (the default) every journal seam in the UFS mutation
+paths is one ``is None`` attribute test, and the volume runs exactly
+the seed instructions — ``tests/test_journal.py`` pins the bit-for-bit
+event-stream equality; this benchmark holds the *time* side of the
+claim:
+
+* **Micro**: one link+unlink metadata pair straight at the filesystem
+  layer, journal off versus on — the raw per-operation price of intent
+  records and the commit mark, paid only where bought.
+* **Macro**: the format-dissertation workload on a journaled versus a
+  seed machine, interleaved rounds and paired slowdowns; "disabled"
+  is the seed baseline by construction, and "journaled" must stay a
+  modest constant factor away on a real (metadata-light) workload.
+"""
+
+from repro.bench.timing import paired_slowdowns, time_matrix, usec_per_call
+from repro.kernel import Kernel
+from repro.kernel.proc import WEXITSTATUS
+from repro.workloads import boot_world, format_dissertation
+
+#: the journal configurations under test, cheapest first
+CONFIGS = ("disabled", "journaled")
+
+
+def _make_kernel(config):
+    return boot_world(journal=(config == "journaled"))
+
+
+def micro_metadata_rows(calls=2000):
+    """(config, usec) for one link+unlink pair at the filesystem layer."""
+    rows = []
+    for config in CONFIGS:
+        kernel = Kernel(journal=(config == "journaled"))
+        fs = kernel.rootfs
+        node = fs.create_file(0o644, kernel._host.cred)
+        fs.link(fs.root, "pin", node)  # keep the inode alive throughout
+
+        def pair(fs=fs, node=node):
+            fs.link(fs.root, "bench", node)
+            fs.unlink(fs.root, "bench", node)
+
+        rows.append((config, usec_per_call(pair, calls)))
+    return rows
+
+
+def _prepare(config):
+    """One prepared format-dissertation run under *config*."""
+    kernel = _make_kernel(config)
+    format_dissertation.setup(kernel)
+
+    def run():
+        status = format_dissertation.run(kernel)
+        assert WEXITSTATUS(status) == 0, "workload failed (%r)" % status
+        return kernel
+
+    return run
+
+
+def macro_rows(runs=9):
+    """(config, seconds, slowdown%) for the format workload."""
+    prepares = {
+        config: (lambda config=config: _prepare(config))
+        for config in CONFIGS
+    }
+    results = time_matrix(prepares, runs=runs)
+    slowdowns = paired_slowdowns(results, base_name="disabled")
+    return [(config, results[config][0], slowdowns[config])
+            for config in CONFIGS]
+
+
+# -- pytest entry points (the CI gate) -----------------------------------
+
+
+def test_journal_costs_only_where_bought(benchmark):
+    """The pay-per-use gate: the journaled micro path may pay (intent
+    records are real work), but the disabled path must stay at seed
+    cost — cheaper than the journaled one, within generous noise."""
+    rows = dict(benchmark.pedantic(micro_metadata_rows,
+                                   rounds=1, iterations=1))
+    assert rows["disabled"] <= rows["journaled"] * 1.25
+    # And the journal must stay a bounded constant factor, not a cliff.
+    assert rows["journaled"] <= rows["disabled"] * 5.0
+    for config, usec in rows.items():
+        benchmark.extra_info[config] = round(usec, 3)
+
+
+def test_macro_workload_overhead_is_modest(benchmark):
+    """A metadata-light real workload must barely notice the journal."""
+    rows = benchmark.pedantic(lambda: macro_rows(runs=3),
+                              rounds=1, iterations=1)
+    table = {config: (seconds, pct) for config, seconds, pct in rows}
+    # Paired slowdown of the journaled run over the seed baseline.
+    assert table["journaled"][1] < 50.0
+    for config, (seconds, pct) in table.items():
+        benchmark.extra_info[config] = {"seconds": round(seconds, 3),
+                                        "slowdown_pct": round(pct, 1)}
+
+
+def print_tables(runs=9):
+    """Render every table of this benchmark to stdout."""
+    print("Journal overhead: format-dissertation workload")
+    print("%-16s %10s %10s" % ("config", "seconds", "slowdown"))
+    for config, seconds, pct in macro_rows(runs=runs):
+        print("%-16s %10.3f %9.1f%%" % (config, seconds, pct))
+    print()
+    print("Micro: one link+unlink pair at the filesystem layer")
+    for config, usec in micro_metadata_rows():
+        print("%-16s %10.3f usec" % (config, usec))
+
+
+if __name__ == "__main__":
+    import sys as _host_sys
+    print_tables(runs=3 if "--quick" in _host_sys.argv else 9)

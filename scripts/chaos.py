@@ -26,9 +26,12 @@ sys.path.insert(0, os.path.join(
     os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
 
 from repro.workloads.chaos import (  # noqa: E402
+    CRASH_TAGS,
     MECHANISMS,
     POLICIES,
     WORKLOADS,
+    run_crash_scenario,
+    run_crash_suite,
     run_scenario,
     run_suite,
 )
@@ -58,6 +61,16 @@ def _parse_args(argv):
                         help="per-check kernel fault-site probability")
     parser.add_argument("--json", action="store_true",
                         help="emit one JSON report per line")
+    parser.add_argument("--crash", action="store_true",
+                        help="kill-and-remount mode: halt the machine at "
+                             "fault sites, run recovery, walk the invariants")
+    parser.add_argument("--tag", choices=CRASH_TAGS, default="ufs.link.torn",
+                        help="crash site for --crash --seed replay")
+    parser.add_argument("--nth", type=int, default=1,
+                        help="which site consultation crashes (--crash replay)")
+    parser.add_argument("--no-journal", action="store_true",
+                        help="with --crash: boot unjournaled (the control "
+                             "arm; exits 0 only when corruption IS observed)")
     return parser.parse_args(argv)
 
 
@@ -85,9 +98,44 @@ def _show(report, as_json):
             print("   ", violation)
 
 
+def _main_crash(args):
+    """Kill-and-remount mode: every scenario must recover cleanly.
+
+    With ``--no-journal`` the gate inverts: the unjournaled control arm
+    exists to prove torn metadata corrupts a volume, so it *fails* when
+    no corruption shows up.
+    """
+    journal = not args.no_journal
+    if args.seed is not None:
+        reports = [run_crash_scenario(
+            args.seed, workload=args.workload, tag=args.tag,
+            nth=args.nth, journal=journal)]
+    else:
+        reports = run_crash_suite(
+            count=args.count, base_seed=args.base_seed, journal=journal)
+    failed = 0
+    for report in reports:
+        _show(report, args.json)
+        if not report.passed:
+            failed += 1
+    crashed = sum(1 for r in reports if r.outcome == "crashed")
+    if not args.json:
+        print("%d scenario(s), %d crash(es), %d violation(s), journal %s"
+              % (len(reports), crashed, failed, "on" if journal else "off"))
+    if not journal:
+        if failed == 0:
+            print("chaos: control arm saw no corruption — the crash sites "
+                  "are not biting", file=sys.stderr)
+            return 1
+        return 0
+    return 1 if failed else 0
+
+
 def main(argv=None):
     """Run the suite (or one replay); exit 1 on any invariant violation."""
     args = _parse_args(argv)
+    if args.crash:
+        return _main_crash(args)
     if args.seed is not None:
         reports = [run_scenario(
             args.seed, policy=args.policy, mechanism=args.mechanism,

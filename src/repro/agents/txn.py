@@ -19,7 +19,14 @@ agent: nested transactions fall out of the toolkit's downcall chaining.
 """
 
 from repro.agents import agent
-from repro.kernel.errno import EEXIST, ENOENT, SyscallError
+from repro.kernel.errno import (
+    EDEADLK,
+    EEXIST,
+    EINVAL,
+    ENOENT,
+    ENOTDIR,
+    SyscallError,
+)
 from repro.kernel.ofile import (
     FWRITE,
     O_APPEND,
@@ -94,9 +101,7 @@ class TxnPathname(Pathname):
 
     def rename(self, newpn):
         self._check_visible()
-        data = self.pset.slurp_logical(self.logical)
-        self.pset.spill_logical(newpn.logical, data)
-        self.pset.record_unlink(self.logical)
+        self.pset.record_rename(self.logical, newpn.logical)
         return 0
 
     def chmod(self, mode):
@@ -171,6 +176,14 @@ class TxnPathnameSet(PathnameSet):
         self.commit_failures = []
         self._serial = 0
         self._scratch_ready = False
+        #: savepoint frames: {"name", "mark" (undo-list length), "cowed"}
+        self._sp_stack = []
+        #: undo closures, appended only while savepoints are active
+        self._undo = []
+        #: shadow files kept alive for possible rollback; unlinked when the
+        #: savepoint stack drains or the transaction ends
+        self._trash = []
+        self._sp_serial = 0
 
     # -- resolution ---------------------------------------------------
 
@@ -230,6 +243,8 @@ class TxnPathnameSet(PathnameSet):
 
     def clear_whiteout(self, logical):
         """Forget a removal (the name was recreated)."""
+        if self._sp_stack and logical in self.whiteouts:
+            self._note_undo(lambda logical=logical: self.whiteouts.add(logical))
         self.whiteouts.discard(logical)
 
     def exists_logically(self, logical):
@@ -243,10 +258,29 @@ class TxnPathnameSet(PathnameSet):
             return False
 
     def shadow_for(self, logical, seed):
-        """The shadow file backing writes to *logical* (created on first use)."""
+        """The shadow file backing writes to *logical* (created on first use).
+
+        While savepoints are active an existing shadow is copied on first
+        write per frame, so ``rollback_to`` can restore the pre-savepoint
+        contents by pointing the mapping back at the old shadow file.
+        """
         shadow = self.shadows.get(logical)
         if shadow is not None:
-            return shadow
+            if self._sp_stack and logical not in self._sp_stack[-1]["cowed"]:
+                self._sp_stack[-1]["cowed"].add(logical)
+                fresh = self._new_shadow()
+                self._spill(fresh, self._slurp(shadow))
+                self._trash.append(shadow)
+
+                def undo(logical=logical, old=shadow, fresh=fresh):
+                    self.shadows[logical] = old
+                    if old in self._trash:
+                        self._trash.remove(old)
+                    self._unlink_quiet(fresh)
+
+                self._note_undo(undo)
+                self.shadows[logical] = fresh
+            return self.shadows[logical]
         shadow = self._new_shadow()
         if seed:
             try:
@@ -255,33 +289,107 @@ class TxnPathnameSet(PathnameSet):
                 data = None
             if data is not None:
                 self._spill(shadow, data)
+        if self._sp_stack:
+            self._sp_stack[-1]["cowed"].add(logical)
+
+            def undo(logical=logical, shadow=shadow):
+                if self.shadows.get(logical) == shadow:
+                    del self.shadows[logical]
+                self._unlink_quiet(shadow)
+
+            self._note_undo(undo)
         self.shadows[logical] = shadow
         return shadow
 
     def record_unlink(self, logical):
         """Remember a removal as a whiteout."""
         shadow = self.shadows.pop(logical, None)
-        if shadow is not None:
-            try:
-                self.syscall_down("unlink", shadow)
-            except SyscallError:
-                pass
+        if self._sp_stack:
+            # Keep the shadow file around: a rollback may resurrect it.
+            was_white = logical in self.whiteouts
+            if shadow is not None:
+                self._trash.append(shadow)
+
+            def undo(logical=logical, shadow=shadow, was_white=was_white):
+                if shadow is not None:
+                    self.shadows[logical] = shadow
+                    if shadow in self._trash:
+                        self._trash.remove(shadow)
+                if not was_white:
+                    self.whiteouts.discard(logical)
+
+            self._note_undo(undo)
+        elif shadow is not None:
+            self._unlink_quiet(shadow)
         self.whiteouts.add(logical)
 
     def record_mkdir(self, logical):
         """Remember a directory creation."""
         self.made_dirs.append(logical)
+        if self._sp_stack:
+            def undo(logical=logical):
+                if logical in self.made_dirs:
+                    self.made_dirs.remove(logical)
+
+            self._note_undo(undo)
         self._dir_shadow(logical)
 
     def record_rmdir(self, logical):
         """Remember a directory removal."""
-        if logical in self.made_dirs:
-            self.made_dirs.remove(logical)
+        made_at = self.made_dirs.index(logical) if logical in self.made_dirs else None
+        was_white = logical in self.whiteouts
+        if made_at is not None:
+            del self.made_dirs[made_at]
+        if self._sp_stack:
+            def undo(logical=logical, made_at=made_at, was_white=was_white):
+                if made_at is not None and logical not in self.made_dirs:
+                    self.made_dirs.insert(made_at, logical)
+                if not was_white:
+                    self.whiteouts.discard(logical)
+
+            self._note_undo(undo)
         self.whiteouts.add(logical)
 
     def record_chmod(self, logical, mode):
         """Remember a mode change for commit time."""
+        if self._sp_stack:
+            had, old = logical in self.modes, self.modes.get(logical)
+
+            def undo(logical=logical, had=had, old=old):
+                if had:
+                    self.modes[logical] = old
+                else:
+                    self.modes.pop(logical, None)
+
+            self._note_undo(undo)
         self.modes[logical] = mode
+
+    def _forget_chmod(self, logical):
+        """Drop a remembered mode change (the name went away)."""
+        if logical not in self.modes:
+            return
+        if self._sp_stack:
+            old = self.modes[logical]
+            self._note_undo(
+                lambda logical=logical, old=old: self.modes.__setitem__(logical, old)
+            )
+        del self.modes[logical]
+
+    def record_rename(self, old, new):
+        """Remember a rename: contents and mode move to *new*, *old* goes away.
+
+        The destination may have been unlinked earlier in the transaction;
+        recreating the name must clear that whiteout or the renamed file
+        would be invisible (and the commit-time unlink would destroy it).
+        """
+        data = self.slurp_logical(old)
+        self.clear_whiteout(new)
+        self.spill_logical(new, data)
+        mode = self.modes.get(old)
+        if mode is not None:
+            self.record_chmod(new, mode)
+            self._forget_chmod(old)
+        self.record_unlink(old)
 
     def overlay_names_in(self, logical_dir):
         """Names created by the transaction that belong in *logical_dir*."""
@@ -293,6 +401,59 @@ class TxnPathnameSet(PathnameSet):
                 if "/" not in rest and rest not in names:
                     names.append(rest)
         return sorted(names)
+
+    # -- savepoints ---------------------------------------------------
+
+    def _note_undo(self, fn):
+        self._undo.append(fn)
+
+    def _unlink_quiet(self, path):
+        try:
+            self.syscall_down("unlink", path)
+        except SyscallError:
+            pass
+
+    def _drain_trash(self):
+        for shadow in self._trash:
+            self._unlink_quiet(shadow)
+        self._trash = []
+
+    def _frame_index(self, name):
+        for index in range(len(self._sp_stack) - 1, -1, -1):
+            if self._sp_stack[index]["name"] == name:
+                return index
+        raise SyscallError(EINVAL, "no savepoint %r" % name)
+
+    def savepoint(self, name=None):
+        """Mark a point the overlay can be rolled back to.  Returns the name."""
+        if name is None:
+            self._sp_serial += 1
+            name = "sp.%d" % self._sp_serial
+        self._sp_stack.append(
+            {"name": name, "mark": len(self._undo), "cowed": set()}
+        )
+        return name
+
+    def release(self, name):
+        """Drop savepoint *name* (and any nested inside it), keeping changes."""
+        index = self._frame_index(name)
+        del self._sp_stack[index:]
+        if not self._sp_stack:
+            self._undo = []
+            self._drain_trash()
+
+    def rollback_to(self, name):
+        """Restore the overlay to its state at savepoint *name*.
+
+        SQL semantics: savepoints nested inside *name* are destroyed, but
+        *name* itself survives and can be rolled back to again.
+        """
+        index = self._frame_index(name)
+        frame = self._sp_stack[index]
+        while len(self._undo) > frame["mark"]:
+            self._undo.pop()()
+        del self._sp_stack[index + 1:]
+        frame["cowed"] = set()
 
     # -- data movement helpers -------------------------------------------------
 
@@ -327,39 +488,76 @@ class TxnPathnameSet(PathnameSet):
 
     # -- transaction outcome ----------------------------------------------------------
 
-    def commit(self):
+    def commit(self, deadline_usec=None):
         """Apply every remembered effect to the next-level interface.
 
         Effects the next level refuses (a sandbox interposed below, say)
         are recorded in :attr:`commit_failures` rather than crashing the
         exiting client; the rest of the transaction still applies.
+
+        When *deadline_usec* is given and virtual time passes it mid-way
+        (another transaction holding what we need, a slow interface
+        below), the remaining effects are abandoned and recorded with
+        ``EDEADLK`` instead of blocking forever.
         """
         self.commit_failures = []
+        expired = SyscallError(EDEADLK, "commit deadline passed")
+        effects = []
         for made in self.made_dirs:
+            effects.append(("mkdir", made))
+        for logical, shadow in sorted(self.shadows.items()):
+            effects.append(("spill", logical, shadow))
+        for logical in sorted(self.whiteouts, key=len, reverse=True):
+            effects.append(("whiteout", logical))
+        for logical, mode in sorted(self.modes.items()):
+            effects.append(("chmod", logical, mode))
+        for index, effect in enumerate(effects):
+            if deadline_usec is not None and self._now_usec() > deadline_usec:
+                for late in effects[index:]:
+                    self.commit_failures.append((late[1], expired))
+                break
+            self._apply_effect(effect)
+        self._discard()
+
+    def _now_usec(self):
+        return self.syscall_down("gettimeofday").to_usec()
+
+    def _apply_effect(self, effect):
+        kind, logical = effect[0], effect[1]
+        if kind == "mkdir":
             try:
-                self.syscall_down("mkdir", made, 0o755)
+                self.syscall_down("mkdir", logical, 0o755)
             except SyscallError as err:
                 if err.errno != EEXIST:
-                    self.commit_failures.append((made, err))
-        for logical, shadow in sorted(self.shadows.items()):
+                    self.commit_failures.append((logical, err))
+        elif kind == "spill":
             try:
-                self._spill(logical, self._slurp(shadow))
+                self._spill(logical, self._slurp(effect[2]))
             except SyscallError as err:
                 self.commit_failures.append((logical, err))
-        for logical in sorted(self.whiteouts, key=len, reverse=True):
+        elif kind == "whiteout":
             try:
                 self.syscall_down("unlink", logical)
-            except SyscallError:
+            except SyscallError as err:
                 try:
                     self.syscall_down("rmdir", logical)
-                except SyscallError:
-                    pass
-        for logical, mode in self.modes.items():
+                except SyscallError as dir_err:
+                    if dir_err.errno == ENOENT and err.errno == ENOENT:
+                        # Created and destroyed within the transaction:
+                        # nothing below to remove, nothing went wrong.
+                        return
+                    if dir_err.errno in (ENOENT, ENOTDIR):
+                        # Not a directory, so the unlink error is the
+                        # meaningful one.
+                        self.commit_failures.append((logical, err))
+                    else:
+                        self.commit_failures.append((logical, dir_err))
+        else:
             try:
-                self.syscall_down("chmod", logical, mode)
-            except SyscallError:
-                pass
-        self._discard()
+                self.syscall_down("chmod", logical, effect[2])
+            except SyscallError as err:
+                if err.errno != ENOENT:
+                    self.commit_failures.append((logical, err))
 
     def abort(self):
         """Forget every remembered effect."""
@@ -367,14 +565,14 @@ class TxnPathnameSet(PathnameSet):
 
     def _discard(self):
         for shadow in self.shadows.values():
-            try:
-                self.syscall_down("unlink", shadow)
-            except SyscallError:
-                pass
+            self._unlink_quiet(shadow)
         self.shadows = {}
         self.whiteouts = set()
         self.made_dirs = []
         self.modes = {}
+        self._sp_stack = []
+        self._undo = []
+        self._drain_trash()
 
 
 @agent("txn")
@@ -394,6 +592,13 @@ class TxnAgent(PathSymbolicSyscall):
         self.outcome = outcome
         self.decided = None
         self._client_pid = None
+        #: virtual-time budget for commit(); ``None`` means unbounded
+        self.commit_timeout_usec = None
+        self._commit_hooks = []
+        self._abort_hooks = []
+        #: (fn, exception) pairs from hooks that raised at decision time
+        self.hook_failures = []
+        self._nested = []
 
     def init(self, agentargv):
         if agentargv:
@@ -403,15 +608,75 @@ class TxnAgent(PathSymbolicSyscall):
         super().init(agentargv)
         self._client_pid = self.syscall_down("getpid")
 
-    def commit(self):
-        """Apply the session's remembered effects now."""
+    def commit(self, timeout_usec=None):
+        """Apply the session's remembered effects now.
+
+        *timeout_usec* (or :attr:`commit_timeout_usec`) bounds the apply
+        phase in virtual time; effects past the deadline land in
+        ``pset.commit_failures`` with ``EDEADLK`` — the deadlock-avoidance
+        shape: give up and report rather than hold the interface forever.
+        """
         self.decided = "commit"
-        self.pset.commit()
+        if timeout_usec is None:
+            timeout_usec = self.commit_timeout_usec
+        deadline = None
+        if timeout_usec is not None:
+            deadline = self.pset._now_usec() + timeout_usec
+        self.pset.commit(deadline_usec=deadline)
+        self._run_hooks(self._commit_hooks)
 
     def abort(self):
         """Discard the session's remembered effects now."""
         self.decided = "abort"
         self.pset.abort()
+        self._run_hooks(self._abort_hooks)
+
+    # -- hooks and nesting --------------------------------------------
+
+    def on_commit(self, fn):
+        """Call *fn()* after a successful commit decision."""
+        self._commit_hooks.append(fn)
+
+    def on_abort(self, fn):
+        """Call *fn()* after an abort decision."""
+        self._abort_hooks.append(fn)
+
+    def _run_hooks(self, hooks):
+        for fn in hooks:
+            try:
+                fn()
+            except Exception as err:  # a hook must not undo the decision
+                self.hook_failures.append((fn, err))
+
+    def savepoint(self, name=None):
+        """Mark a rollback point in the live overlay."""
+        return self.pset.savepoint(name)
+
+    def release(self, name):
+        """Drop savepoint *name*, keeping the changes made since."""
+        self.pset.release(name)
+
+    def rollback_to(self, name):
+        """Restore the overlay to its state at savepoint *name*."""
+        self.pset.rollback_to(name)
+
+    def begin_nested(self):
+        """Start a nested transaction (§1.4: "one such transactional
+        program invocation could occur within another").  Nested
+        transactions map onto savepoints in this agent's overlay."""
+        name = self.pset.savepoint()
+        self._nested.append(name)
+        return name
+
+    def commit_nested(self):
+        """Commit the innermost nested transaction into its parent."""
+        self.pset.release(self._nested.pop())
+
+    def abort_nested(self):
+        """Abort the innermost nested transaction."""
+        name = self._nested.pop()
+        self.pset.rollback_to(name)
+        self.pset.release(name)
 
     def sys_exit(self, status=0):
         if self.syscall_down("getpid") == self._client_pid and self.decided is None:

@@ -42,6 +42,37 @@ SITES = {
     "namei.lookup": EIO,    # pathname resolution, before any walking
 }
 
+#: *torn* crash sites: consulted **between** the mutation steps of a
+#: multi-step UFS metadata operation, where halting the machine leaves
+#: state half-applied.  Only explicit ``crash`` rules may arm them —
+#: an error injected mid-mutation would corrupt the volume in a way no
+#: unwind could repair, so error rules and random mode never fire here.
+#: These are what the write-ahead journal (repro.kernel.journal) exists
+#: to survive: tag -> which half-state a crash there exposes.
+CRASH_SITES = {
+    "ufs.alloc.torn": "inode inserted, operation not yet published",
+    "ufs.link.torn": "entry entered, nlink not yet bumped",
+    "ufs.unlink.torn": "entry removed, nlink not yet dropped",
+    "ufs.mkdir.torn": "child entered, parent nlink not yet bumped",
+    "ufs.rmdir.torn": "dots removed, entry/nlinks not yet dropped",
+    "ufs.rename.torn": "source removed, destination not yet entered",
+}
+
+
+class MachineCrash(BaseException):
+    """The machine halted abruptly at a crash-armed fault site.
+
+    Deliberately a ``BaseException``: agent error handlers catch
+    :class:`SyscallError`, the guard rail contains ``Exception`` — a
+    crash must sail past both, exactly like pulling the power cord.
+    Volume state (including each journal) is preserved as-is;
+    :meth:`Kernel.remount` runs recovery.
+    """
+
+    def __init__(self, tag):
+        super(MachineCrash, self).__init__("machine crashed at %s" % tag)
+        self.tag = tag
+
 
 class FaultRule:
     """When one tagged site fires: a schedule plus an errno override.
@@ -56,30 +87,46 @@ class FaultRule:
         every consultation from the *n*-th on (1-based)
     ``("every", n)``
         every *n*-th consultation
+
+    The *action* is ``"error"`` (raise the site's errno — the seed
+    behaviour) or ``"crash"`` (halt the machine: see
+    :class:`MachineCrash`).  Crash rules are the only way to arm the
+    torn :data:`CRASH_SITES`; spec text spells them ``crash``,
+    ``crash-once``, ``crash-after-3``, ``crash-every-2``.
     """
 
-    __slots__ = ("schedule", "errno", "hits")
+    __slots__ = ("schedule", "errno", "hits", "action")
 
-    def __init__(self, schedule="always", errno=None):
+    def __init__(self, schedule="always", errno=None, action="error"):
         if isinstance(schedule, str) and schedule not in ("always", "once"):
             raise ValueError("bad fault schedule %r" % (schedule,))
+        if action not in ("error", "crash"):
+            raise ValueError("bad fault action %r" % (action,))
         self.schedule = schedule
         self.errno = errno
         self.hits = 0
+        self.action = action
 
     @classmethod
     def parse(cls, text):
         """A rule from spec text: ``always``, ``once``, ``after-3``,
-        ``every-2`` (already-built rules pass through)."""
+        ``every-2``, or the ``crash``/``crash-…`` forms of each
+        (already-built rules pass through)."""
         if isinstance(text, cls):
             return text
         text = text.strip().lower()
+        action = "error"
+        if text == "crash":
+            return cls("always", action="crash")
+        if text.startswith("crash-"):
+            action = "crash"
+            text = text[len("crash-"):]
         if text in ("always", "once"):
-            return cls(text)
+            return cls(text, action=action)
         for word in ("after", "every"):
             prefix = word + "-"
             if text.startswith(prefix):
-                return cls((word, int(text[len(prefix):])))
+                return cls((word, int(text[len(prefix):])), action=action)
         raise ValueError("bad fault schedule %r" % (text,))
 
     def should_fire(self):
@@ -109,13 +156,23 @@ class FaultSet:
     def __init__(self, rules=None, seed=None, rate=0.0, tags=None):
         self.rules = {}
         for tag, rule in (rules or {}).items():
-            if tag not in SITES:
-                raise ValueError("unknown fault site %r (know %s)"
-                                 % (tag, ", ".join(sorted(SITES))))
-            self.rules[tag] = FaultRule.parse(rule)
+            rule = FaultRule.parse(rule)
+            if tag in CRASH_SITES:
+                if rule.action != "crash":
+                    raise ValueError(
+                        "site %r is a torn crash site: only crash rules "
+                        "may arm it (an error mid-mutation is "
+                        "unrecoverable)" % (tag,))
+            elif tag not in SITES:
+                raise ValueError(
+                    "unknown fault site %r (know %s)"
+                    % (tag, ", ".join(sorted(SITES) + sorted(CRASH_SITES))))
+            self.rules[tag] = rule
         self.seed = seed
         self.rate = rate
-        #: restrict random-mode firing to these tags (None = all sites)
+        #: restrict random-mode firing to these tags (None = all sites).
+        #: Random mode only injects *errors*, so torn crash sites are
+        #: not acceptable here either.
         if tags is not None:
             for tag in tags:
                 if tag not in SITES:
@@ -131,6 +188,10 @@ class FaultSet:
         #: ``Kernel.arm_faults``/``Recorder.attach``, None otherwise —
         #: the standing one-``is None``-test discipline
         self.recorder = None
+        #: the kernel to halt when a crash rule fires; wired by
+        #: ``Kernel.arm_faults`` (None for hand-built sets, whose crash
+        #: rules then just raise :class:`MachineCrash`)
+        self.kernel = None
 
     @classmethod
     def parse(cls, spec):
@@ -174,6 +235,9 @@ class FaultSet:
         rule = self.rules.get(tag)
         if rule is not None:
             fire = rule.should_fire()
+            if fire and rule.action == "crash":
+                self._fire_crash(tag, proc)
+                return  # recorder flip suppressed the crash
             if fire and rule.errno is not None:
                 errno = rule.errno
         elif self._rng is not None and (self.tags is None or tag in self.tags):
@@ -199,6 +263,41 @@ class FaultSet:
                     obs.emit(ev.FAULT_INJECT, proc, tag,
                              "injected %s" % errno_name(errno))
         raise SyscallError(errno, "injected fault at %s" % tag)
+
+    def check_crash(self, tag, proc=None):
+        """One *torn-site* consultation: halt the machine if armed.
+
+        Unlike :meth:`check`, this never touches the random stream (a
+        torn site must not perturb the seed-deterministic error
+        sequence of runs that don't arm it) and only explicit crash
+        rules can fire.  The consultation is counted only when a rule
+        exists, for the same reason: torn sites are invisible to
+        unarmed runs.
+        """
+        rule = self.rules.get(tag)
+        if rule is None:
+            return
+        self.checked[tag] = self.checked.get(tag, 0) + 1
+        if rule.should_fire():
+            self._fire_crash(tag, proc)
+
+    def _fire_crash(self, tag, proc):
+        """Halt the machine at *tag*: the power-cord pull.
+
+        The recorder logs the crash as the run's final F decision (a
+        bisect probe may flip it off, in which case the machine
+        survives); the kernel, when wired, marks itself crashed and
+        frees every sleeper; then :class:`MachineCrash` unwinds the
+        firing thread past agents and guards.
+        """
+        if self.recorder is not None:
+            if not self.recorder.on_fault(tag, "CRASH", proc):
+                return
+        self.fired[tag] = self.fired.get(tag, 0) + 1
+        kernel = self.kernel
+        if kernel is not None:
+            kernel._crash_locked(tag, proc)
+        raise MachineCrash(tag)
 
     def stats(self):
         """Per-tag consultation and injection counts (plain dicts)."""

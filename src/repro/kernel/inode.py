@@ -85,6 +85,24 @@ class Inode:
         """Record a status change."""
         self.ctime = now_usec
 
+    def describe_meta(self):
+        """A comparable metadata tuple for freeze-time snapshots.
+
+        Two volumes (or one volume before a crash and after recovery)
+        agree exactly when their ``snapshot_meta`` maps of these agree.
+        Timestamps are deliberately excluded: recovery restores
+        *structure*, not mtimes.
+        """
+        return {
+            "type": type(self).__name__,
+            "mode": self.mode,
+            "uid": self.uid,
+            "gid": self.gid,
+            "nlink": self.nlink,
+            "rdev": self.rdev,
+            "size": self.size,
+        }
+
     def stat_record(self):
         """Build the ``struct stat`` for this inode."""
         size = self.size
@@ -197,6 +215,12 @@ class Directory(Inode):
         # Rough UFS-flavoured accounting: a fixed cost per entry.
         return 16 * max(2, len(self.entries))
 
+    def describe_meta(self):
+        """Directory metadata plus its entry map (see :class:`Inode`)."""
+        meta = super().describe_meta()
+        meta["entries"] = dict(self.entries)
+        return meta
+
     def lookup(self, name):
         """The inode number entered under *name* (ENOENT)."""
         try:
@@ -282,6 +306,12 @@ class Symlink(Inode):
     def is_symlink(self):
         """True: this is a symbolic link."""
         return True
+
+    def describe_meta(self):
+        """Symlink metadata plus its target (see :class:`Inode`)."""
+        meta = super().describe_meta()
+        meta["target"] = self.target
+        return meta
 
     @property
     def size(self):

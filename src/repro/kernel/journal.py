@@ -1,0 +1,252 @@
+"""A write-ahead intent journal for UFS metadata operations.
+
+The design is the classic BSD metadata-journal shape ("The Design of
+the NetBSD I/O Subsystems" is the reference): every multi-step metadata
+operation — link, unlink, mkdir, rmdir, rename, inode alloc/reclaim —
+opens a transaction, appends *intent* records describing each step with
+absolute before/after values, performs the mutation, and finally
+appends a commit mark.  A crash (see :class:`repro.kernel.faultsite.
+MachineCrash`) can therefore land between any two mutation steps; on
+remount :meth:`Journal.replay` restores consistency by **redoing**
+committed transactions (idempotently — every record carries absolute
+values, so replaying an already-applied step is a no-op) and
+**undoing** uncommitted ones in reverse record order.
+
+The journal is pay-per-use in the repo's standing discipline: a
+``Filesystem`` holds ``journal = None`` by default and every hook in
+``ufs.py`` is one ``is None`` test, so unjournaled worlds stay
+bit-for-bit the seed.
+
+Record kinds (the ``intents`` payloads):
+
+``("alloc", ino)``
+    inode *ino* was inserted in the table.  Undo pops it; redo is a
+    no-op (a committed alloc's inode is re-created by the operation's
+    other records or was already present).
+``("enter", dir_ino, name, ino)``
+    directory entry *name* → *ino* added under *dir_ino*.
+``("remove", dir_ino, name, old_ino)``
+    entry *name* (which mapped to *old_ino*) removed from *dir_ino*.
+``("replace", dir_ino, name, old_ino, new_ino)``
+    entry *name* under *dir_ino* retargeted from *old_ino* (``None``
+    when it did not exist) to *new_ino*.
+``("nlink", ino, old, new)``
+    *ino*'s link count moved from *old* to *new* (absolute values).
+``("reclaim", ino)``
+    inode *ino* left the table (nlink and open_count both zero).
+    Logged redo-only: the reclaim txn commits *before* the pop, so a
+    crash between the two is redone, never undone.
+"""
+
+
+class JournalTxn:
+    """One open transaction: a begin mark plus pending intents."""
+
+    __slots__ = ("journal", "txid", "op", "done")
+
+    def __init__(self, journal, txid, op):
+        self.journal = journal
+        self.txid = txid
+        self.op = op
+        #: resolved (committed or aborted); a txn must end exactly once
+        self.done = False
+
+    def intent(self, kind, *args):
+        """Append one intent record (absolute values, see module doc)."""
+        self.journal.records.append(("intent", self.txid, (kind,) + args))
+
+
+class Journal:
+    """The write-ahead log one :class:`Filesystem` owns."""
+
+    def __init__(self):
+        #: the log proper: ("begin", txid, op) / ("intent", txid, intent)
+        #: / ("commit", txid) / ("abort", txid), in append order
+        self.records = []
+        self._next_txid = 1
+        #: open (unresolved) transactions by txid
+        self.live = {}
+        # counters surfaced through kernel_stats' "journal" section
+        self.begun = 0
+        self.committed = 0
+        self.aborted = 0
+        self.replays = 0
+        self.redone = 0
+        self.undone = 0
+
+    # -- writing -----------------------------------------------------------
+
+    def begin(self, op):
+        """Open a transaction for operation *op* (e.g. ``"link"``).
+
+        Fully-resolved records are trimmed lazily here — *before* the
+        new begin mark lands — so the log stays bounded across a long
+        run while still holding every record a crash after the most
+        recent commit would need for redo.
+        """
+        if not self.live and len(self.records) > 64:
+            self.records = []
+        txid = self._next_txid
+        self._next_txid += 1
+        self.records.append(("begin", txid, op))
+        txn = JournalTxn(self, txid, op)
+        self.live[txid] = txn
+        self.begun += 1
+        return txn
+
+    def commit(self, txn):
+        """Append *txn*'s commit mark: its intents are now durable."""
+        assert not txn.done, "journal txn resolved twice"
+        txn.done = True
+        del self.live[txn.txid]
+        self.records.append(("commit", txn.txid))
+        self.committed += 1
+
+    def abort(self, txn):
+        """Append an abort mark: *txn*'s intents must be undone.
+
+        Used by the error-unwind paths (a faultsite injection inside an
+        operation): the caller has already unwound its own state, so
+        replay treats an aborted txn exactly like a committed one whose
+        effects were reversed — nothing to do.
+        """
+        assert not txn.done, "journal txn resolved twice"
+        txn.done = True
+        del self.live[txn.txid]
+        self.records.append(("abort", txn.txid))
+        self.aborted += 1
+
+    # -- recovery ----------------------------------------------------------
+
+    def replay(self, fs):
+        """Mount-time recovery over volume *fs*.
+
+        Committed transactions are *redone* in log order (idempotent:
+        absolute values make re-applying an applied step a no-op);
+        transactions with neither commit nor abort mark — exactly the
+        ones a crash interrupted — are *undone* in reverse record
+        order.  Returns a report dict for the remount log.
+        """
+        self.replays += 1
+        resolved = set()
+        aborted = set()
+        for rec in self.records:
+            if rec[0] == "commit":
+                resolved.add(rec[1])
+            elif rec[0] == "abort":
+                resolved.add(rec[1])
+                aborted.add(rec[1])
+        redone = undone = 0
+        torn = []
+        for rec in self.records:
+            if rec[0] == "intent" and rec[1] in resolved \
+                    and rec[1] not in aborted:
+                if self._redo(fs, rec[2]):
+                    redone += 1
+        for rec in reversed(self.records):
+            if rec[0] == "intent" and rec[1] not in resolved:
+                if self._undo(fs, rec[2]):
+                    undone += 1
+                if rec[1] not in torn:
+                    torn.append(rec[1])
+            elif rec[0] == "begin" and rec[1] not in resolved:
+                if rec[1] not in torn:
+                    torn.append(rec[1])
+        self.redone += redone
+        self.undone += undone
+        # Recovery resolved everything: the log restarts empty, and any
+        # transaction a crash left open is gone with it.
+        self.records = []
+        self.live = {}
+        return {"redone": redone, "undone": undone, "torn_txns": len(torn)}
+
+    def _redo(self, fs, intent):
+        """Re-apply one committed *intent* if its effect is missing."""
+        kind = intent[0]
+        inodes = fs._inodes
+        if kind == "enter":
+            _, dir_ino, name, ino = intent
+            node = inodes.get(dir_ino)
+            if node is not None and ino in inodes \
+                    and node.entries.get(name) != ino:
+                node.enter(name, ino)
+                return True
+        elif kind == "remove":
+            _, dir_ino, name, old_ino = intent
+            node = inodes.get(dir_ino)
+            if node is not None and node.entries.get(name) == old_ino:
+                node.remove(name)
+                return True
+        elif kind == "replace":
+            _, dir_ino, name, _old, new_ino = intent
+            node = inodes.get(dir_ino)
+            if node is not None and new_ino in inodes \
+                    and node.entries.get(name) != new_ino:
+                node.replace(name, new_ino)
+                return True
+        elif kind == "nlink":
+            _, ino, _old, new = intent
+            node = inodes.get(ino)
+            if node is not None and node.nlink != new:
+                node.nlink = new
+                return True
+        elif kind == "reclaim":
+            if intent[1] in inodes:
+                inodes.pop(intent[1], None)
+                return True
+        # "alloc": a committed alloc needs no redo — the inode either
+        # survived the crash in the table or belongs to intents above.
+        return False
+
+    def _undo(self, fs, intent):
+        """Reverse one uncommitted *intent* if its effect is present."""
+        kind = intent[0]
+        inodes = fs._inodes
+        if kind == "alloc":
+            if intent[1] in inodes:
+                inodes.pop(intent[1], None)
+                return True
+        elif kind == "enter":
+            _, dir_ino, name, ino = intent
+            node = inodes.get(dir_ino)
+            if node is not None and node.entries.get(name) == ino:
+                node.remove(name)
+                return True
+        elif kind == "remove":
+            _, dir_ino, name, old_ino = intent
+            node = inodes.get(dir_ino)
+            if node is not None and old_ino in inodes \
+                    and node.entries.get(name) != old_ino:
+                node.enter(name, old_ino)
+                return True
+        elif kind == "replace":
+            _, dir_ino, name, old_ino, new_ino = intent
+            node = inodes.get(dir_ino)
+            if node is not None and node.entries.get(name) == new_ino:
+                if old_ino is not None and old_ino in inodes:
+                    node.replace(name, old_ino)
+                else:
+                    node.remove(name)
+                return True
+        elif kind == "nlink":
+            _, ino, old, _new = intent
+            node = inodes.get(ino)
+            if node is not None and node.nlink != old:
+                node.nlink = old
+                return True
+        # "reclaim" is redo-only (committed before the pop): an
+        # uncommitted reclaim record cannot exist.
+        return False
+
+    def stats(self):
+        """Counters for the kernel_stats ``journal`` section."""
+        return {
+            "begun": self.begun,
+            "committed": self.committed,
+            "aborted": self.aborted,
+            "live": len(self.live),
+            "records": len(self.records),
+            "replays": self.replays,
+            "redone": self.redone,
+            "undone": self.undone,
+        }

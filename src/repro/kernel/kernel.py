@@ -27,6 +27,7 @@ from repro.kernel.errno import (
     SyscallError,
 )
 from repro.kernel.fastpath import FastPathConfig
+from repro.kernel.faultsite import MachineCrash
 from repro.kernel.namecache import NameCache
 from repro.kernel.namei import namei
 from repro.kernel.ofile import (
@@ -82,10 +83,19 @@ class Kernel:
     """A booted simulated machine."""
 
     def __init__(self, hostname="mach25.repro", page_size=4096,
-                 fastpaths=None, obs=None, guard=None):
+                 fastpaths=None, obs=None, guard=None, journal=False):
         self.hostname = hostname
         self.page_size = page_size
         self.clock = Clock()
+        #: crash tag once the machine has halted (see :meth:`crash` and
+        #: :mod:`repro.kernel.faultsite`); None while the machine runs.
+        #: Every kernel-world entry checks it, so surviving threads die
+        #: silently instead of mutating a halted machine's state.
+        self.crashed = None
+        #: whether volumes this kernel creates get a write-ahead journal
+        #: (see :mod:`repro.kernel.journal`); False — the default —
+        #: keeps every metadata path bit-for-bit the seed
+        self.journal_on = bool(journal)
         #: flag word for the kernel fast paths (see repro.kernel.fastpath);
         #: accepts a FastPathConfig, a spec string ("none", "namecache,..."),
         #: or None for the $REPRO_FASTPATH / all-on default
@@ -97,6 +107,8 @@ class Kernel:
         self.rootfs = Filesystem(self.clock, dev=1,
                                  namecache=self.namecache,
                                  zero_copy=self.fastpaths.zero_copy)
+        if self.journal_on:
+            self.rootfs.attach_journal()
         self._next_dev = 2
         #: every volume this kernel created, for machine-wide toggles
         #: (fault-site arming); umount does not remove entries — a
@@ -347,6 +359,8 @@ class Kernel:
         if len(args) > entry.nargs:
             raise SyscallError(EINVAL, "%s takes %d args" % (entry.name, entry.nargs))
         with self._sleepq:
+            if self.crashed is not None:
+                raise MachineCrash(self.crashed)
             self.clock.tick()
             proc.rusage.ru_stime_usec += 100
             self._check_alarm_locked(proc)
@@ -390,7 +404,12 @@ class Kernel:
         proc.state = "sleeping:" + wchan
         waited = 0.0
         try:
-            while not predicate():
+            while True:
+                if self.crashed is not None:
+                    # The machine halted while we slept: die in place.
+                    raise MachineCrash(self.crashed)
+                if predicate():
+                    break
                 self._check_alarm_locked(proc)
                 if interruptible and proc.has_deliverable_signal():
                     raise SyscallError(EINTR, wchan)
@@ -438,6 +457,10 @@ class Kernel:
         try:
             while True:
                 if granted:
+                    if self.crashed is not None:
+                        # Halted while we slept (the passive transition
+                        # frees blocked sleepers): die without logging.
+                        raise MachineCrash(self.crashed)
                     dirty = False
                     exit_kind = None
                     while True:
@@ -731,6 +754,8 @@ class Kernel:
         fs = Filesystem(self.clock, dev=self._next_dev,
                         namecache=self.namecache,
                         zero_copy=self.fastpaths.zero_copy)
+        if self.journal_on:
+            fs.attach_journal()
         fs.faultsites = self.faultsites
         self._next_dev += 1
         self._volumes.append(fs)
@@ -747,6 +772,7 @@ class Kernel:
         from repro.kernel.faultsite import FaultSet
         sites = FaultSet.parse(sites)
         sites.recorder = self.recorder
+        sites.kernel = self
         self.faultsites = sites
         for fs in self._volumes:
             fs.faultsites = sites
@@ -759,6 +785,74 @@ class Kernel:
         for fs in self._volumes:
             fs.faultsites = None
         return sites
+
+    # ------------------------------------------------------------------
+    # crash and recovery
+    # ------------------------------------------------------------------
+
+    def crash(self, tag="host.crash"):
+        """Halt the machine abruptly — the host pulling the power cord.
+
+        Volume state (including each write-ahead journal) is preserved
+        exactly as it stands; every simulated process dies silently, no
+        exit bookkeeping runs.  :meth:`remount` reboots the machine and
+        runs recovery.  Crash-armed fault sites reach the same state
+        through :meth:`_crash_locked` mid-operation.
+        """
+        with self._sleepq:
+            self._crash_locked(tag)
+
+    def _crash_locked(self, tag, proc=None):
+        """Mark the machine crashed (kernel lock held); idempotent.
+
+        Order matters for record/replay bit-identity: ``crashed`` is
+        set *before* the recorder goes passive, so any thread the
+        passive transition frees from the turn queue is guaranteed to
+        see the flag and die without emitting events.  The only
+        post-crash log/obs activity is the crashing thread's own fault
+        decision, strictly ordered under its turn.
+        """
+        if self.crashed is not None:
+            return
+        self.crashed = tag
+        obs = self.obs
+        if obs is not None:
+            if obs.metrics_on:
+                obs.metrics.inc((obs_events.KERNEL_CRASH, tag))
+            if proc is not None and obs.wants(proc):
+                obs.emit(obs_events.KERNEL_CRASH, proc, tag,
+                         "machine halted")
+        if self.recorder is not None:
+            self.recorder.machine_crashed(tag)
+        self.wakeup()
+
+    def remount(self):
+        """Reboot a crashed machine: recover every volume, clear procs.
+
+        Returns ``{dev: report}`` from each volume's
+        :meth:`~repro.kernel.ufs.Filesystem.recover` — journal replay
+        counts plus the fsck-style sweep.  The process table, sleep
+        queue, and panic list restart empty (nothing survives a power
+        cut); inode tables and journals carry over, which is the whole
+        point.
+        """
+        with self._sleepq:
+            reports = {}
+            for fs in self._volumes:
+                reports[fs.dev] = fs.recover()
+            obs = self.obs
+            if obs is not None and obs.metrics_on:
+                for report in reports.values():
+                    obs.metrics.inc((obs_events.JOURNAL_REPLAY,),
+                                    report["redone"] + report["undone"] + 1)
+            self._procs = {}
+            self._threads = []
+            self._sleepers = 0
+            self._next_pid = 1
+            self.panics = []
+            self.crashed = None
+            self.boot_usec = self.clock.usec()
+            return reports
 
     def mount(self, fs, path):
         """Mount *fs* on the directory at *path* (host-side operation)."""
@@ -843,6 +937,10 @@ class Kernel:
             except ExecImage as image:
                 current = ("image", image.program_factory, image.argv, image.envp)
             except ProcessExit:
+                return
+            except MachineCrash:
+                # The machine halted: the process dies silently — no
+                # exit bookkeeping, no panic, exactly like a power cut.
                 return
             except BaseException as exc:  # a bug in a simulated program
                 self._record_panic(proc, exc)

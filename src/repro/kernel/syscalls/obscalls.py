@@ -100,7 +100,9 @@ def sys_ktrace_read(kernel, proc, limit=0):
 #: the kernel_stats payload schema.  Version 2 added the field itself,
 #: the pinned section ordering below, and the procfs/profile/watch
 #: sections (the un-versioned seed payload is retroactively version 1).
-KERNEL_STATS_SCHEMA_VERSION = 2
+#: Version 3 appended the ``journal`` section (the write-ahead journal's
+#: machine-wide counters; see :mod:`repro.kernel.journal`).
+KERNEL_STATS_SCHEMA_VERSION = 3
 
 #: the pinned section order of the kernel_stats payload; the golden
 #: test in tests/test_procfs.py holds future PRs to it — append new
@@ -117,6 +119,7 @@ KERNEL_STATS_SECTIONS = (
     "procfs",
     "profile",
     "watch",
+    "journal",
 )
 
 
@@ -141,6 +144,19 @@ def kernel_stats_payload(kernel):
     procfs = kernel.procfs
     prof = kernel.profiler
     watches = kernel.watches
+    if kernel.journal_on:
+        journal = {"enabled": True}
+        totals = {}
+        for fs in kernel._volumes:
+            if fs.journal is None:
+                continue
+            for key, value in fs.journal.stats().items():
+                totals[key] = totals.get(key, 0) + value
+        journal.update(totals)
+        journal["volumes"] = sum(
+            1 for fs in kernel._volumes if fs.journal is not None)
+    else:
+        journal = {"enabled": False}
     return {
         "schema_version": KERNEL_STATS_SCHEMA_VERSION,
         "fastpaths": kernel.fastpaths.describe(),
@@ -159,6 +175,7 @@ def kernel_stats_payload(kernel):
         "profile": prof.stats() if prof is not None else {"enabled": False},
         "watch": (watches.stats() if watches is not None
                   else {"enabled": False}),
+        "journal": journal,
     }
 
 

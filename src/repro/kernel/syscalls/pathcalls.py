@@ -275,12 +275,9 @@ def sys_rmdir(kernel, proc, path):
     inode.check_empty()
     credmod.check_access(result.parent, proc.cred, credmod.W_OK)
     fs = inode.fs
-    # Drop "." and ".." so the nlink accounting comes out right.
-    inode.remove(".")
-    inode.remove("..")
-    inode.nlink -= 1  # the "." self-link
-    result.parent.nlink -= 1  # our ".." link into the parent
-    fs.unlink(result.parent, result.name, inode)
+    # The whole teardown (dots, nlinks, parent entry) is one journaled
+    # filesystem operation so a mid-rmdir crash is recoverable.
+    fs.rmdir_in(result.parent, result.name, inode)
     # Entry-level invalidation through remove() above already covered
     # "." and ".." (an empty directory can have cached nothing else);
     # the whole-directory purge is the backstop that keeps a future
@@ -335,27 +332,14 @@ def sys_rename(kernel, proc, path, newpath):
             if not inode.is_dir():
                 raise SyscallError(EISDIR, newpath)
             target.check_empty()
-            target.remove(".")
-            target.remove("..")
-            target.nlink -= 1
-            dst.parent.nlink -= 1
-            fs.unlink(dst.parent, dst.name, target)
+            # Same journaled teardown as rmdir(2).
+            fs.rmdir_in(dst.parent, dst.name, target)
         else:
             if inode.is_dir():
                 raise SyscallError(ENOTDIR, newpath)
             fs.unlink(dst.parent, dst.name, target)
-    # Move the entry.
-    src.parent.remove(src.name)
-    dst.parent.replace(dst.name, inode.ino)
-    now = kernel.clock.usec()
-    src.parent.touch_mtime(now)
-    dst.parent.touch_mtime(now)
-    inode.touch_ctime(now)
-    if inode.is_dir() and src.parent is not dst.parent:
-        # Rewire "..": the moved directory changes parents.
-        inode.replace("..", dst.parent.ino)
-        src.parent.nlink -= 1
-        dst.parent.nlink += 1
+    # Move the entry (journaled: remove + replace + ".." rewiring).
+    fs.rename(src.parent, src.name, dst.parent, dst.name, inode)
     return 0
 
 

@@ -38,6 +38,7 @@ from repro.kernel import signals as sig
 from repro.kernel import sysent
 from repro.kernel.compile import build_compiled_dispatch
 from repro.kernel.errno import EINVAL, SyscallError, errno_name
+from repro.kernel.faultsite import MachineCrash
 from repro.kernel.proc import ExecImage, ProcessExit
 from repro.obs import events as ev
 
@@ -163,8 +164,12 @@ class UserContext:
         """Issue system call *number*; the application's entry into the
         system interface, whether that interface is the kernel or an agent."""
         proc = self.proc
-        proc.rusage.ru_nsyscalls += 1
         kernel = self.kernel
+        if kernel.crashed is not None:
+            # The machine halted: every surviving thread dies at its
+            # next kernel-world entry, silently (no counters, no events).
+            raise MachineCrash(kernel.crashed)
+        proc.rusage.ru_nsyscalls += 1
         kernel.trap_total += 1
         if kernel.recorder is not None:
             return self._trap_recorded(kernel.recorder, number, args)
@@ -192,6 +197,8 @@ class UserContext:
                         EINVAL, "%s takes %d args" % (entry.name, entry.nargs)
                     )
                 with kernel._sleepq:
+                    if kernel.crashed is not None:
+                        raise MachineCrash(kernel.crashed)
                     kernel.clock.tick()
                     proc.rusage.ru_stime_usec += 100
                     kernel._check_alarm_locked(proc)
@@ -316,6 +323,8 @@ class UserContext:
             error = None
             with kernel._sleepq:
                 while index < total:
+                    if kernel.crashed is not None:
+                        raise MachineCrash(kernel.crashed)
                     args = calls[index]
                     rusage.ru_nsyscalls += 1
                     kernel.trap_total += 1
@@ -361,6 +370,11 @@ class UserContext:
         kernel = self.kernel
         rec.begin(proc, "T", sysent.name_of(number))
         try:
+            # After begin (a passive-freed thread lands here) but before
+            # the observed path: a post-crash trap must emit nothing, or
+            # host scheduling would leak into the recorded event stream.
+            if kernel.crashed is not None:
+                raise MachineCrash(kernel.crashed)
             obs = kernel.obs
             if obs is not None:
                 return self._trap_observed(obs, number, args)
@@ -452,6 +466,8 @@ class UserContext:
     def consume_cpu(self, usec):
         """Charge user-mode CPU time (advances the virtual clock)."""
         kernel = self.kernel
+        if kernel.crashed is not None:
+            raise MachineCrash(kernel.crashed)
         prof = kernel.profiler
         rec = kernel.recorder
         if rec is not None:

@@ -8,7 +8,7 @@ open-file reference count reach zero — the classic UFS rule that makes
 """
 
 from repro.kernel import stat as st
-from repro.kernel.errno import EMLINK, ENOENT, ENOSPC, SyscallError
+from repro.kernel.errno import EBUSY, EMLINK, ENOENT, ENOSPC, SyscallError
 from repro.kernel.inode import (
     DeviceNode,
     Directory,
@@ -46,6 +46,14 @@ class Filesystem:
         #: Kernel.arm_faults; ``None`` — always the case during volume
         #: construction — keeps every site to one ``is None`` test
         self.faultsites = None
+        #: the write-ahead intent journal (see repro.kernel.journal);
+        #: ``None`` — the default — keeps every metadata operation to
+        #: one ``is None`` test, so unjournaled volumes are bit-for-bit
+        #: the seed.  Attach with :meth:`attach_journal`.
+        self.journal = None
+        #: frozen for snapshotting (see :meth:`freeze`): metadata
+        #: mutations refuse with EBUSY until :meth:`thaw`
+        self.frozen = False
         #: directory inode (in another fs) this volume is mounted on
         self.covered = None
         self.root = self._make(Directory, mode=0o755, uid=0, gid=0)
@@ -54,20 +62,117 @@ class Filesystem:
         self.root.enter("..", self.root.ino)
         self.root.nlink = 2
 
+    # -- the write-ahead journal ------------------------------------------
+
+    def attach_journal(self):
+        """Install a fresh write-ahead journal on this volume."""
+        from repro.kernel.journal import Journal
+        self.journal = Journal()
+        return self.journal
+
+    def journal_begin(self, op):
+        """Open a journal transaction, or ``None`` when unjournaled."""
+        journal = self.journal
+        if journal is None:
+            return None
+        return journal.begin(op)
+
+    def journal_commit(self, txn):
+        """Commit *txn* (tolerates the unjournaled ``None``)."""
+        if txn is not None:
+            self.journal.commit(txn)
+
+    def journal_abort(self, txn):
+        """Abort *txn* (tolerates the unjournaled ``None``)."""
+        if txn is not None:
+            self.journal.abort(txn)
+
+    def _check_frozen(self):
+        if self.frozen:
+            raise SyscallError(EBUSY, "volume is frozen")
+
+    def freeze(self):
+        """Refuse metadata mutations until :meth:`thaw` (for snapshots)."""
+        self.frozen = True
+
+    def thaw(self):
+        """Allow metadata mutations again."""
+        self.frozen = False
+
+    def snapshot_meta(self):
+        """A point-in-time metadata snapshot: ino -> ``describe_meta``.
+
+        Meant to be taken between :meth:`freeze` and :meth:`thaw`; the
+        crash tests diff two of these to prove recovery restored the
+        exact pre-crash state.
+        """
+        return {ino: node.describe_meta()
+                for ino, node in sorted(self._inodes.items())}
+
+    def recover(self):
+        """Mount-time recovery: journal replay plus an fsck-style sweep.
+
+        The journal (when attached) redoes committed transactions and
+        undoes torn ones — that is what repairs metadata.  The sweep
+        that follows runs on *every* volume, journaled or not, and only
+        clears state that a power cut genuinely destroys: open-file
+        references (no process survived the crash) and in-flight FIFO
+        pipes, then reclaims non-directory inodes those releases
+        orphaned.  Deliberately **not** repaired here: nlink-vs-entry
+        disagreement — without a journal a torn operation stays torn,
+        which is what the unjournaled chaos control demonstrates.
+        """
+        journal = self.journal
+        report = {"redone": 0, "undone": 0, "torn_txns": 0}
+        if journal is not None:
+            report = journal.replay(self)
+        swept = 0
+        for node in list(self._inodes.values()):
+            node.open_count = 0
+            if isinstance(node, Fifo):
+                node.pipe = None
+            if node.nlink <= 0 and not isinstance(node, Directory):
+                self._inodes.pop(node.ino, None)
+                swept += 1
+        report["swept"] = swept
+        self.frozen = False
+        if self.namecache is not None:
+            self.namecache.purge()
+        return report
+
     # -- inode table ------------------------------------------------------
 
     def _make(self, cls, mode, uid, gid, **extra):
+        """Allocate an inode under a journal transaction of its own."""
+        txn = self.journal_begin("alloc")
+        try:
+            node = self._alloc_inode(txn, cls, mode, uid, gid, **extra)
+        except SyscallError:
+            self.journal_abort(txn)
+            raise
+        self.journal_commit(txn)
+        return node
+
+    def _alloc_inode(self, txn, cls, mode, uid, gid, **extra):
+        """The allocation proper, inside the caller's transaction *txn*."""
         sites = self.faultsites
         if sites is not None:
             # Before the inode exists: a fault here must leave the table
             # exactly as it was.
             sites.check("ufs.make")
+        self._check_frozen()
         if len(self._inodes) >= self.max_inodes:
             raise SyscallError(ENOSPC, "out of inodes")
         ino = self._next_ino
         self._next_ino += 1
         node = cls(self, ino, mode, uid, gid, self.clock.usec(), **extra)
+        if txn is not None:
+            txn.intent("alloc", ino)
         self._inodes[ino] = node
+        if sites is not None:
+            # Torn: the inode is in the table but the operation that
+            # wanted it has published nothing yet.
+            sites.check_crash("ufs.alloc.torn")
         return node
 
     def inode(self, ino):
@@ -117,12 +222,25 @@ class Filesystem:
         if sites is not None:
             # Before the entry and the nlink bump, so neither happens.
             sites.check("ufs.link")
+        self._check_frozen()
         if inode.nlink >= LINK_MAX:
             raise SyscallError(EMLINK)
-        dirnode.enter(name, inode.ino)
-        inode.nlink += 1
-        inode.touch_ctime(self.clock.usec())
-        dirnode.touch_mtime(self.clock.usec())
+        txn = self.journal_begin("link")
+        try:
+            if txn is not None:
+                txn.intent("enter", dirnode.ino, name, inode.ino)
+                txn.intent("nlink", inode.ino, inode.nlink, inode.nlink + 1)
+            dirnode.enter(name, inode.ino)
+            if sites is not None:
+                # Torn: entry in, nlink not yet bumped.
+                sites.check_crash("ufs.link.torn")
+            inode.nlink += 1
+            inode.touch_ctime(self.clock.usec())
+            dirnode.touch_mtime(self.clock.usec())
+        except SyscallError:
+            self.journal_abort(txn)
+            raise
+        self.journal_commit(txn)
 
     def unlink(self, dirnode, name, inode):
         """Remove *name* from *dirnode* and drop the inode's link count."""
@@ -130,11 +248,106 @@ class Filesystem:
         if sites is not None:
             # Before the removal, so entry and nlink stay consistent.
             sites.check("ufs.unlink")
-        dirnode.remove(name)
-        inode.nlink -= 1
-        inode.touch_ctime(self.clock.usec())
-        dirnode.touch_mtime(self.clock.usec())
+        self._check_frozen()
+        txn = self.journal_begin("unlink")
+        try:
+            if txn is not None:
+                txn.intent("remove", dirnode.ino, name, inode.ino)
+                txn.intent("nlink", inode.ino, inode.nlink, inode.nlink - 1)
+            dirnode.remove(name)
+            if sites is not None:
+                # Torn: entry out, nlink not yet dropped.
+                sites.check_crash("ufs.unlink.torn")
+            inode.nlink -= 1
+            inode.touch_ctime(self.clock.usec())
+            dirnode.touch_mtime(self.clock.usec())
+        except SyscallError:
+            self.journal_abort(txn)
+            raise
+        self.journal_commit(txn)
         self.maybe_reclaim(inode)
+
+    def rmdir_in(self, parent, name, inode):
+        """Remove the empty directory *inode*, entered as *name* in *parent*.
+
+        One journal transaction covers the whole multi-step teardown
+        the seed spread across ``sys_rmdir`` and :meth:`unlink` — dot
+        removal, both nlink drops, and the parent entry — so a crash
+        between any two steps is undone on remount.  The fault site is
+        consulted *before any mutation* (the seed checked it inside
+        ``unlink``, after the dots were already gone).
+        """
+        sites = self.faultsites
+        if sites is not None:
+            sites.check("ufs.unlink")
+        self._check_frozen()
+        txn = self.journal_begin("rmdir")
+        try:
+            if txn is not None:
+                txn.intent("remove", inode.ino, ".", inode.ino)
+                txn.intent("remove", inode.ino, "..", parent.ino)
+                txn.intent("nlink", inode.ino, inode.nlink, inode.nlink - 2)
+                txn.intent("nlink", parent.ino, parent.nlink,
+                           parent.nlink - 1)
+                txn.intent("remove", parent.ino, name, inode.ino)
+            inode.remove(".")
+            inode.remove("..")
+            inode.nlink -= 1  # the "." self-link
+            if sites is not None:
+                # Torn: dots gone, the parent still links the husk.
+                sites.check_crash("ufs.rmdir.torn")
+            parent.nlink -= 1  # the ".." link into the parent
+            parent.remove(name)
+            inode.nlink -= 1
+            inode.touch_ctime(self.clock.usec())
+            parent.touch_mtime(self.clock.usec())
+        except SyscallError:
+            self.journal_abort(txn)
+            raise
+        self.journal_commit(txn)
+        self.maybe_reclaim(inode)
+
+    def rename(self, src_parent, src_name, dst_parent, dst_name, inode):
+        """Switch *inode*'s entry between directories (the move core).
+
+        The caller (``sys_rename``) has already done every check and
+        removed any replaced target; this performs the entry switch and
+        the ``..`` rewiring under one journal transaction.
+        """
+        self._check_frozen()
+        sites = self.faultsites
+        rewire = inode.is_dir() and src_parent is not dst_parent
+        txn = self.journal_begin("rename")
+        try:
+            if txn is not None:
+                txn.intent("remove", src_parent.ino, src_name, inode.ino)
+                txn.intent("replace", dst_parent.ino, dst_name,
+                           dst_parent.entries.get(dst_name), inode.ino)
+                if rewire:
+                    txn.intent("replace", inode.ino, "..",
+                               src_parent.ino, dst_parent.ino)
+                    txn.intent("nlink", src_parent.ino, src_parent.nlink,
+                               src_parent.nlink - 1)
+                    txn.intent("nlink", dst_parent.ino, dst_parent.nlink,
+                               dst_parent.nlink + 1)
+            src_parent.remove(src_name)
+            if sites is not None:
+                # Torn: the name exists nowhere — the classic lost file.
+                sites.check_crash("ufs.rename.torn")
+            dst_parent.replace(dst_name, inode.ino)
+            now = self.clock.usec()
+            src_parent.touch_mtime(now)
+            dst_parent.touch_mtime(now)
+            inode.touch_ctime(now)
+            if rewire:
+                # Rewire "..": the moved directory changes parents.
+                inode.replace("..", dst_parent.ino)
+                src_parent.nlink -= 1
+                dst_parent.nlink += 1
+        except SyscallError:
+            self.journal_abort(txn)
+            raise
+        self.journal_commit(txn)
 
     def incref(self, inode):
         """An open file now references *inode*."""
@@ -147,8 +360,17 @@ class Filesystem:
         self.maybe_reclaim(inode)
 
     def maybe_reclaim(self, inode):
-        """Free the inode once unreferenced and unlinked."""
+        """Free the inode once unreferenced and unlinked.
+
+        The reclaim is journaled *redo-only*: the record commits before
+        the pop, so a crash between the two replays forward — an undo
+        could never resurrect the inode's contents anyway.
+        """
         if inode.nlink <= 0 and inode.open_count == 0:
+            txn = self.journal_begin("reclaim")
+            if txn is not None:
+                txn.intent("reclaim", inode.ino)
+            self.journal_commit(txn)
             self._inodes.pop(inode.ino, None)
 
     def discard_inode(self, inode):
@@ -164,18 +386,43 @@ class Filesystem:
     # -- convenience used by tests and mkfs-style setup ---------------------
 
     def mkdir_in(self, parent, name, mode, cred):
-        """Create and link a directory under *parent* (host/mkfs helper)."""
-        node = self.create_directory(mode, cred, parent)
+        """Create and link a directory under *parent*.
+
+        One journal transaction covers the allocation, the parent
+        entry, and the parent nlink bump — the three-step shape whose
+        torn middle (an entered child before the bump) is the textbook
+        journal-replay case.
+        """
+        txn = self.journal_begin("mkdir")
         try:
-            parent.enter(name, node.ino)
+            node = self._alloc_inode(txn, Directory, mode,
+                                     cred.euid, cred.egid)
+            node.enter(".", node.ino)
+            node.enter("..", parent.ino)
+            node.nlink = 2
+            try:
+                if txn is not None:
+                    txn.intent("enter", parent.ino, name, node.ino)
+                parent.enter(name, node.ino)
+            except SyscallError:
+                # Unwind: the fresh directory was never entered in the
+                # parent, so it must not survive in the inode table.
+                self.discard_inode(node)
+                raise
+            sites = self.faultsites
+            if sites is not None:
+                # Torn: child entered, parent nlink not yet bumped.
+                sites.check_crash("ufs.mkdir.torn")
+            if txn is not None:
+                txn.intent("nlink", parent.ino, parent.nlink,
+                           parent.nlink + 1)
+            parent.nlink += 1
+            node.touch_ctime(self.clock.usec())
+            parent.touch_mtime(self.clock.usec())
         except SyscallError:
-            # Unwind: the fresh directory was never entered in the
-            # parent, so it must not survive in the inode table.
-            self.discard_inode(node)
+            self.journal_abort(txn)
             raise
-        parent.nlink += 1
-        node.touch_ctime(self.clock.usec())
-        parent.touch_mtime(self.clock.usec())
+        self.journal_commit(txn)
         return node
 
 

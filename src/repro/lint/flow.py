@@ -1,7 +1,7 @@
 """The flow rules: typestate analyses over per-function CFGs.
 
 Where :mod:`repro.lint.checks` pattern-matches statements, the rules
-here (F001..F005) run small abstract interpretations over the control
+here (F001..F006) run small abstract interpretations over the control
 flow graphs built by :mod:`repro.lint.cfg`, so they can prove (or
 refute) properties of *every path* through a handler or kernel method
 — including the exception edges that PR 5's fault injection exercised
@@ -46,6 +46,13 @@ Scope decisions, per rule:
   interposed ``sys_*``/``handle_syscall`` body to reach a downcall or
   delegation, end in a raise, or carry an explicit suppression — a
   silently absorbed call is indistinguishable from a successful one.
+* **F006** (unresolved journal transaction) is F001's machinery
+  retargeted at the write-ahead journal protocol
+  (:mod:`repro.kernel.journal`): a transaction begun by
+  ``journal_begin`` must reach ``journal_commit`` or ``journal_abort``
+  (or be handed off) on every path — an abandoned transaction replays
+  as *torn* at the next mount and its intents are undone.  Runs over
+  every linted file, like F001.
 """
 
 import ast
@@ -67,6 +74,13 @@ ALLOC_NAMES = frozenset({
 RELEASE_NAMES = frozenset({
     "maybe_reclaim", "reclaim", "release", "discard_inode",
 })
+
+#: F006's allocation sites: a live write-ahead journal transaction
+#: (repro.kernel.journal) begun and not yet resolved
+JOURNAL_ALLOC_NAMES = frozenset({"journal_begin"})
+
+#: F006's resolution calls: the only ways a journal transaction ends
+JOURNAL_RELEASE_NAMES = frozenset({"journal_commit", "journal_abort"})
 
 #: handler methods — where the agent protocol obligations live
 HANDLER_RE = re.compile(r"^(sys_\w+|handle_syscall|handle_signal|"
@@ -165,7 +179,7 @@ _PENDING = "pending"
 _DONE = "done"          # committed, released, or escaped
 
 
-def _alloc_sites(func):
+def _alloc_sites(func, alloc_names=ALLOC_NAMES):
     """``[(stmt, target_name, call, callee)]`` for each tracked alloc."""
     sites = []
     for stmt in walk_own(func):
@@ -173,7 +187,7 @@ def _alloc_sites(func):
             continue
         value = stmt.value
         if not (isinstance(value, ast.Call)
-                and _callee_name(value) in ALLOC_NAMES):
+                and _callee_name(value) in alloc_names):
             continue
         if isinstance(stmt, ast.Assign):
             targets = stmt.targets
@@ -204,11 +218,14 @@ class _LeakAnalysis:
     stays sound-for-leaks on pathological functions.
     """
 
-    def __init__(self, sites):
+    def __init__(self, sites, alloc_names=ALLOC_NAMES,
+                 release_names=RELEASE_NAMES):
         #: rid -> (alloc stmt, name, call, callee)
         self.sites = dict(enumerate(sites))
         self.by_stmt = {id(site[0]): rid
                         for rid, site in self.sites.items()}
+        self.alloc_names = alloc_names
+        self.release_names = release_names
 
     def initial(self):
         return frozenset({(frozenset(), frozenset())})
@@ -286,9 +303,9 @@ class _LeakAnalysis:
                 # x.meth(..., x.ino, ...): operating on the resource
                 # itself is a use, not a transfer.
                 hit.discard(live[receiver])
-            if callee in RELEASE_NAMES:
+            if callee in self.release_names:
                 released |= hit
-            elif callee in ALLOC_NAMES and id(stmt) in self.by_stmt:
+            elif callee in self.alloc_names and id(stmt) in self.by_stmt:
                 pass  # the allocation itself
             else:
                 mentioned |= hit
@@ -350,11 +367,8 @@ class _LeakAnalysis:
         return (frozenset(res.items()), frozenset(env.items()))
 
 
-def _check_f001(path, symbol, func, out):
-    sites = _alloc_sites(func)
-    if not sites:
-        return
-    analysis = _LeakAnalysis(sites)
+def _leaked_sites(func, analysis):
+    """``{rid: blame_line_or_None}`` of resources some path abandons."""
     cfg = build_cfg(func)
     states = dataflow(cfg, analysis.initial(), analysis.transfer,
                       analysis.join)
@@ -377,7 +391,15 @@ def _check_f001(path, symbol, func, out):
                 if rid in reported and reported[rid] is not None:
                     continue
                 reported[rid] = blame
-    for rid, blame in sorted(reported.items()):
+    return reported
+
+
+def _check_f001(path, symbol, func, out):
+    sites = _alloc_sites(func)
+    if not sites:
+        return
+    analysis = _LeakAnalysis(sites)
+    for rid, blame in sorted(_leaked_sites(func, analysis).items()):
         stmt, name, call, callee = analysis.sites[rid]
         if blame is not None:
             detail = ("leaks when the call at line %d fails before "
@@ -392,6 +414,37 @@ def _check_f001(path, symbol, func, out):
             "the fresh resource"
             % (symbol, name, callee, detail,
                "/".join(sorted(RELEASE_NAMES)))))
+
+
+def _check_f006(path, symbol, func, out):
+    """F006: a begun journal transaction commits or aborts on every path.
+
+    Same typestate machinery as F001, retargeted at the write-ahead
+    journal's begin/commit/abort protocol (repro.kernel.journal): a
+    transaction begun by ``journal_begin`` that some path abandons —
+    early return, explicit raise, an exception edge nobody aborts on —
+    replays as *torn* at the next mount and its intents are undone,
+    silently discarding a mutation the caller believed durable.
+    """
+    sites = _alloc_sites(func, JOURNAL_ALLOC_NAMES)
+    if not sites:
+        return
+    analysis = _LeakAnalysis(sites, JOURNAL_ALLOC_NAMES,
+                             JOURNAL_RELEASE_NAMES)
+    for rid, blame in sorted(_leaked_sites(func, analysis).items()):
+        stmt, name, call, callee = analysis.sites[rid]
+        if blame is not None:
+            detail = ("is abandoned when the call at line %d raises"
+                      % blame)
+        else:
+            detail = "never reaches journal_commit or journal_abort"
+        out(_finding(
+            "F006", path, call.lineno, call.col_offset, symbol,
+            "%s: journal transaction %r begun by %s() %s on some path — "
+            "an unresolved transaction replays as torn at the next "
+            "mount and its intents are undone; every path must "
+            "journal_commit, journal_abort, or hand the transaction off"
+            % (symbol, name, callee, detail)))
 
 
 # -- F002: path-sensitive refcount balance ------------------------------
@@ -691,8 +744,9 @@ def check_module_flow(path, tree, model, in_agents, in_toolkit):
     """Run the flow rules over one parsed module.
 
     *in_agents*/*in_toolkit* select the agent-protocol rules (F002,
-    F004, F005); F001 and F003 run everywhere the sweep goes —
-    including ``repro.kernel``, where the PR 5 unwind bugs lived.
+    F004, F005); F001, F003, and F006 run everywhere the sweep goes —
+    including ``repro.kernel``, where the PR 5 unwind bugs lived and
+    where the journal's begin/commit/abort protocol is implemented.
     """
     findings = []
     out = findings.append
@@ -704,6 +758,7 @@ def check_module_flow(path, tree, model, in_agents, in_toolkit):
         if isinstance(func, ast.AsyncFunctionDef):
             continue
         _check_f001(path, symbol, func, out)
+        _check_f006(path, symbol, func, out)
         if protocol_scope:
             _check_f002(path, symbol, func, out)
         if "." not in symbol and func.name.startswith("sys_"):

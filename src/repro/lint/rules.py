@@ -216,6 +216,20 @@ _register(
 )
 
 
+_register(
+    "F006", ERROR,
+    "every journal transaction begun by journal_begin reaches "
+    "journal_commit or journal_abort (or is handed off) on every path "
+    "— exception edges included",
+    "the write-ahead journal's kill-anywhere guarantee rests on the "
+    "commit mark: a transaction a path abandons (early return, raise "
+    "nobody aborts on) is still *live* in the log, so the next mount "
+    "replays it as torn and undoes its intents — silently discarding "
+    "a mutation the caller believed durable.  F001's typestate walk, "
+    "retargeted at the journal protocol (repro.kernel.journal).",
+)
+
+
 def rule_ids():
     """All registered rule ids in sorted order."""
     return sorted(RULES)

@@ -80,6 +80,8 @@ RECORD_START = "record.start"
 RECORD_STOP = "record.stop"
 REPLAY_DIVERGE = "replay.diverge"
 WATCH_TRIP = "watch.trip"
+KERNEL_CRASH = "kernel.crash"
+JOURNAL_REPLAY = "journal.replay"
 
 #: every event kind the kernel emits, in rough trap-spine order
 KINDS = (
@@ -103,6 +105,8 @@ KINDS = (
     RECORD_STOP,
     REPLAY_DIVERGE,
     WATCH_TRIP,
+    KERNEL_CRASH,
+    JOURNAL_REPLAY,
 )
 
 

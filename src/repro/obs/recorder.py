@@ -350,6 +350,22 @@ class Recorder:
         self.note("F", pid, value)
         return True
 
+    def machine_crashed(self, tag):
+        """The machine halted at *tag*: stop recording, free everyone.
+
+        Called by ``Kernel._crash_locked`` with the kernel lock held,
+        *after* ``kernel.crashed`` is set and after the crash's own
+        ``F`` note — which is therefore the log's last decision in both
+        record and replay.  Going passive releases every thread blocked
+        on the turn token (and makes all further begin/end/note calls
+        no-ops); each freed thread then sees ``kernel.crashed`` at its
+        crash check and dies without logging, so the log tail is
+        bit-identical regardless of host scheduling.
+        """
+        with self._cv:
+            if not self.passive:
+                self._go_passive_locked("crash")
+
     # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------

@@ -54,6 +54,7 @@ observability bus when it is enabled (see :mod:`repro.obs.events`).
 
 from repro.kernel import signals as sig
 from repro.kernel.errno import SyscallError
+from repro.kernel.faultsite import MachineCrash
 from repro.kernel.proc import ExecImage, ProcessExit
 from repro.kernel.sysent import name_of, number_of
 from repro.obs import events as ev
@@ -71,8 +72,10 @@ DEFAULT_MAX_FAULTS = 3
 
 _NR_EXECVE = number_of("execve")
 
-#: exceptions that are protocol, not faults: they always pass through
-PASS_THROUGH = (SyscallError, ExecImage, ProcessExit)
+#: exceptions that are protocol, not faults: they always pass through.
+#: MachineCrash is the power cord being pulled — containment must never
+#: swallow it, or a "contained" agent would outlive the machine.
+PASS_THROUGH = (SyscallError, ExecImage, ProcessExit, MachineCrash)
 
 
 class GuardPolicy:

@@ -26,7 +26,7 @@ runs a suite of seeds in CI and fails loudly on the first violation.
 from repro.agents.chaos import ChaosAgent
 from repro.kernel import stat as st
 from repro.kernel.errno import SyscallError
-from repro.kernel.faultsite import FaultSet
+from repro.kernel.faultsite import CRASH_SITES, SITES, FaultSet, MachineCrash
 from repro.kernel.kernel import ProgramCrash
 from repro.kernel.proc import RUNNING, STOPPED, WEXITSTATUS, WIFSIGNALED
 from repro.toolkit.boilerplate import run_under_agent
@@ -63,6 +63,15 @@ def _script_procs(kernel):
             "rm /tmp/q.txt || echo missed"])
 
 
+def _script_moves(kernel):
+    """Rename churn: move, move onto an existing name, then clean up —
+    the only workload that reaches the rename sites."""
+    return ("/bin/sh", ["sh", "-c",
+            "mkdir /tmp/mv; echo one > /tmp/mv/a; echo two > /tmp/mv/b; "
+            "mv /tmp/mv/a /tmp/mv/c; mv /tmp/mv/b /tmp/mv/c; "
+            "rm /tmp/mv/c; rmdir /tmp/mv"])
+
+
 def _format_workload(kernel):
     """The paper's dissertation-formatting workload, under chaos."""
     from repro.workloads import format_dissertation
@@ -77,6 +86,7 @@ WORKLOADS = {
     "files": _script_files,
     "pipes": _script_pipes,
     "procs": _script_procs,
+    "moves": _script_moves,
     "format": _format_workload,
 }
 
@@ -258,6 +268,141 @@ def run_scenario(seed, policy="fail-open", mechanism="wrapper",
     report.site_stats = sites.stats()
     report.violations = check_invariants(kernel)
     return report
+
+
+#: every place a crash scenario can pull the power cord: the torn
+#: mid-mutation sites first (the journal's reason to exist), then the
+#: pre-mutation error sites armed with crash rules (kill-at-entry)
+CRASH_TAGS = tuple(sorted(CRASH_SITES)) + tuple(sorted(SITES))
+
+
+class CrashReport:
+    """Outcome of one kill-and-remount scenario."""
+
+    def __init__(self, seed, workload, tag, nth, journal):
+        self.seed = seed
+        self.workload = workload
+        self.tag = tag
+        self.nth = nth
+        self.journal = journal
+        #: "crashed" (the site fired and halted the machine), "exit"
+        #: (the workload finished before reaching the site), "error",
+        #: or "panic"
+        self.outcome = None
+        self.status = None
+        #: the tag the machine actually halted at, None if it survived
+        self.crashed = None
+        #: dev -> recovery report from :meth:`Kernel.remount`
+        self.recovery = {}
+        self.site_stats = {}
+        self.violations = []
+
+    @property
+    def passed(self):
+        """True when every invariant held after recovery."""
+        return not self.violations
+
+    def to_dict(self):
+        """A JSON-ready rendering for reports and the CLI."""
+        return {
+            "seed": self.seed,
+            "workload": self.workload,
+            "tag": self.tag,
+            "nth": self.nth,
+            "journal": self.journal,
+            "outcome": self.outcome,
+            "status": self.status,
+            "crashed": self.crashed,
+            "recovery": {str(dev): dict(rep)
+                         for dev, rep in self.recovery.items()},
+            "faultsites": self.site_stats,
+            "violations": list(self.violations),
+            "passed": self.passed,
+        }
+
+    def __repr__(self):
+        verdict = "ok" if self.passed else "VIOLATED"
+        return ("<CrashReport seed=%d %s@%s nth=%d journal=%s %s %s>"
+                % (self.seed, self.workload, self.tag, self.nth,
+                   "on" if self.journal else "off", self.outcome, verdict))
+
+
+def run_crash_scenario(seed, workload="files", tag="ufs.link.torn", nth=1,
+                       journal=True, timeout=60.0, obs=None, on_boot=None):
+    """Kill the machine at a fault site, remount, walk the invariants.
+
+    Arms *tag* with a ``crash``/``crash-after-nth`` rule, runs the
+    workload until the machine halts (or the workload finishes without
+    reaching the site), then — if it crashed — runs
+    :meth:`Kernel.remount` recovery and asserts the same machine
+    invariants as an error scenario.  With *journal* False the world
+    boots unjournaled: the control arm that demonstrates torn metadata
+    really does corrupt a volume without the write-ahead journal.
+
+    Deterministic in its parameters (the workloads are scripted and
+    crash rules never touch the random stream), so any failing report
+    line replays exactly; *obs*/*on_boot* serve the record/replay
+    drivers as in :func:`run_scenario`.
+    """
+    if workload not in WORKLOADS:
+        raise ValueError("unknown workload %r (know %s)"
+                         % (workload, ", ".join(sorted(WORKLOADS))))
+    report = CrashReport(seed, workload, tag, nth, journal)
+    boot_kwargs = {"journal": journal}
+    if obs is not None:
+        boot_kwargs["obs"] = obs
+    kernel = boot_world(**boot_kwargs)
+    path, argv = WORKLOADS[workload](kernel)
+    if on_boot is not None:
+        on_boot(kernel)
+    rule = "crash" if nth <= 1 else "crash-after-%d" % nth
+    sites = kernel.arm_faults(FaultSet({tag: rule}))
+    try:
+        report.status = kernel.run(path, argv, timeout=timeout)
+    except MachineCrash:
+        # The site fired on the driving thread itself (process setup
+        # resolves paths too); the machine is down either way.
+        pass
+    except ProgramCrash:
+        report.outcome = "panic"
+    except SyscallError as err:
+        report.outcome = "error"
+        report.status = -err.errno
+    finally:
+        kernel.disarm_faults()
+    report.crashed = kernel.crashed
+    if report.outcome is None:
+        report.outcome = "crashed" if kernel.crashed else "exit"
+    report.site_stats = sites.stats()
+    if kernel.crashed is not None:
+        report.recovery = kernel.remount()
+    report.violations = check_invariants(kernel)
+    return report
+
+
+def run_crash_suite(count=25, base_seed=0, tags=CRASH_TAGS,
+                    workloads=("files", "moves", "procs", "format", "pipes"),
+                    depths=(1, 2, 3), journal=True):
+    """Run *count* kill-and-remount scenarios cycling tags, workloads,
+    and crash depths (which consultation of the site pulls the cord);
+    returns the list of reports.
+
+    Scenario *i* uses seed ``base_seed + i``, the ``i``-th tag and
+    workload (mod length), and a depth that advances once per full tag
+    cycle; the tag and workload cycle lengths are coprime, so a long
+    enough suite kills the machine at every armed site at several
+    different points in every workload.
+    """
+    reports = []
+    for i in range(count):
+        reports.append(run_crash_scenario(
+            seed=base_seed + i,
+            workload=workloads[i % len(workloads)],
+            tag=tags[i % len(tags)],
+            nth=depths[(i // len(tags)) % len(depths)],
+            journal=journal,
+        ))
+    return reports
 
 
 def run_suite(count=25, base_seed=0, policies=POLICIES,

@@ -865,7 +865,7 @@ def test_cli_list_rules_covers_every_registered_rule():
 
 
 def test_registry_defines_every_rule():
-    assert rule_ids() == ["F001", "F002", "F003", "F004", "F005",
+    assert rule_ids() == ["F001", "F002", "F003", "F004", "F005", "F006",
                           "L000", "L001", "L002", "L003", "L004",
                           "L005", "L006", "L007", "L008", "L009",
                           "L010", "L011"]

@@ -422,6 +422,81 @@ def test_f005_quiet_for_raising_and_delegating_paths(tmp_path, proto_root):
     assert rules_fired(result) == set()
 
 
+# -- F006: unresolved journal transaction ------------------------------------
+
+
+def test_f006_fires_when_no_path_resolves_the_txn(tmp_path, proto_root):
+    result = lint_source(tmp_path, proto_root, """
+    def torn_link(self, dirnode, name, inode):
+        txn = self.journal_begin("link")
+        if txn is None:
+            return 0
+        txn.intent("enter", dirnode.ino, name, inode.ino)
+        dirnode.enter(name, inode)
+        return 0
+    """, in_agents=False)
+    assert rules_fired(result) == {"F006"}
+    (finding,) = result.active
+    assert finding.symbol == "torn_link"
+    assert "journal transaction 'txn'" in finding.message
+    assert "replays as torn" in finding.message
+
+
+def test_f006_fires_on_explicit_raise_before_commit(tmp_path, proto_root):
+    result = lint_source(tmp_path, proto_root, """
+    def raise_path(self, op, ok):
+        txn = self.journal_begin(op)
+        if not ok:
+            raise ValueError("rejected after begin")
+        self.journal_commit(txn)
+        return 0
+    """, in_agents=False)
+    assert rules_fired(result) == {"F006"}
+
+
+def test_f006_quiet_on_the_ufs_abort_on_unwind_shape(tmp_path, proto_root):
+    # The in-tree shape: mutate under try, abort on SyscallError and
+    # re-raise, commit on the normal path (repro.kernel.ufs.link).
+    result = lint_source(tmp_path, proto_root, """
+    def good_link(self, dirnode, name, inode):
+        txn = self.journal_begin("link")
+        try:
+            dirnode.enter(name, inode)
+            inode.nlink += 1
+        except Exception:
+            self.journal_abort(txn)
+            raise
+        self.journal_commit(txn)
+        return 0
+    """, in_agents=False)
+    assert rules_fired(result) == set()
+
+
+def test_f006_quiet_when_the_txn_escapes_or_is_handed_off(tmp_path,
+                                                          proto_root):
+    # Storing the live transaction transfers the resolution obligation;
+    # so does handing it to a helper, provided the exception edge still
+    # aborts (the _make/_alloc_inode split in repro.kernel.ufs).
+    result = lint_source(tmp_path, proto_root, """
+    from repro.kernel.errno import SyscallError
+
+    def stashed(self, op):
+        self.pending = self.journal_begin(op)
+        return 0
+
+    def delegating(self, cls, mode):
+        txn = self.journal_begin("alloc")
+        try:
+            inode = self._alloc_inode(txn, cls, mode)
+        except SyscallError:
+            self.journal_abort(txn)
+            raise
+        self.journal_commit(txn)
+        return inode
+    """, in_agents=False)
+    assert rules_fired(result) == set()
+
+
 # -- L000: the crash-proof sweep --------------------------------------------
 
 

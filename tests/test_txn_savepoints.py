@@ -1,0 +1,490 @@
+"""Savepoints, nested transactions, and the commit protocol's hardening
+(docs/ROBUSTNESS.md; paper §1.4, "one such transactional program
+invocation could occur within another").
+
+Covers:
+
+* ``savepoint``/``rollback_to``/``release`` restoring or keeping the
+  overlay exactly — including under an armed kernel fault mid-write;
+* the ``begin_nested``/``commit_nested``/``abort_nested`` mapping of
+  nested transactions onto savepoints;
+* commit/abort hooks and ``hook_failures``;
+* the commit deadline: an expired ``timeout_usec`` records every
+  remaining effect as ``EDEADLK`` and leaves the level below untouched;
+* satellite fixes: ``rename`` through the overlay (whiteout clearing,
+  mode carry) and ``commit_failures`` recording refused effects;
+* a hypothesis round-trip: savepoint + random ops + rollback_to is
+  observationally a no-op.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.agents.txn import TxnAgent
+from repro.kernel.errno import EDEADLK, ENOTEMPTY, SyscallError
+from repro.kernel.faultsite import FaultSet
+from repro.kernel.proc import WEXITSTATUS
+from repro.programs.libc import Sys
+from repro.toolkit import run_under_agent
+from repro.workloads import boot_world
+
+BASE = "/home/mbj/spwork"
+
+
+def _seed_world():
+    kernel = boot_world()
+    kernel.mkdir_p(BASE)
+    kernel.write_file(BASE + "/a", "initial-a")
+    kernel.write_file(BASE + "/b", "initial-b")
+    return kernel
+
+
+def _agent():
+    return TxnAgent(scratch_dir="/tmp/sp.scratch", outcome="commit")
+
+
+def _view(sys):
+    """The client's view of BASE: name -> contents."""
+    state = {}
+    for name in sys.listdir(BASE):
+        try:
+            state[name] = sys.read_whole(BASE + "/" + name)
+        except SyscallError:
+            state[name] = "<dir>"
+    return state
+
+
+def _below(kernel):
+    """The committed state of BASE as the level below sees it."""
+    state = {}
+    try:
+        node = kernel.lookup_host(BASE)
+    except SyscallError:
+        return state
+    for name in node.entries:
+        if name in (".", ".."):
+            continue
+        try:
+            state[name] = kernel.read_file(BASE + "/" + name)
+        except SyscallError:
+            state[name] = "<dir>"
+    return state
+
+
+def _run(kernel, agent, body):
+    """Attach *agent*, run *body(sys)* in-world, return the exit status."""
+
+    def loader(ctx):
+        agent.attach(ctx)
+        return body(Sys(ctx))
+
+    status = kernel.run_entry(loader)
+    assert WEXITSTATUS(status) == 0
+    return status
+
+
+# -- rollback exactness --------------------------------------------------
+
+
+def test_rollback_restores_the_exact_outer_overlay():
+    kernel = _seed_world()
+    agent = _agent()
+    seen = {}
+
+    def body(sys):
+        sys.write_whole(BASE + "/a", b"outer-a")
+        sys.unlink(BASE + "/b")
+        sys.mkdir(BASE + "/d")
+        seen["outer"] = _view(sys)
+        sp = agent.savepoint()
+        sys.write_whole(BASE + "/a", b"inner-a")  # COW of the outer shadow
+        sys.write_whole(BASE + "/new", b"inner-new")
+        sys.unlink(BASE + "/a")
+        sys.rmdir(BASE + "/d")
+        sys.write_whole(BASE + "/b", b"inner-b")  # un-whiteout + fresh shadow
+        seen["inner"] = _view(sys)
+        agent.rollback_to(sp)
+        seen["rolled"] = _view(sys)
+        return 0
+
+    _run(kernel, agent, body)
+    assert seen["inner"] != seen["outer"]
+    assert seen["rolled"] == seen["outer"]
+    # The commit applied the *outer* overlay only.
+    below = _below(kernel)
+    assert below["a"] == b"outer-a"
+    assert "b" not in below
+    assert below["d"] == "<dir>"
+    assert "new" not in below
+
+
+def test_rollback_under_an_armed_fault_mid_write():
+    """A kernel fault tearing an inner write must not damage rollback:
+    the undo log restores the outer overlay exactly."""
+    kernel = _seed_world()
+    agent = _agent()
+    seen = {}
+
+    def body(sys):
+        sys.write_whole(BASE + "/a", b"outer-a")
+        seen["outer"] = _view(sys)
+        sp = agent.savepoint()
+        # The next fresh shadow allocation below fails ENOSPC.
+        kernel.arm_faults(FaultSet({"ufs.make": "once"}))
+        try:
+            sys.write_whole(BASE + "/burst", b"doomed")
+        except SyscallError:
+            pass
+        finally:
+            kernel.disarm_faults()
+        agent.rollback_to(sp)
+        seen["rolled"] = _view(sys)
+        return 0
+
+    _run(kernel, agent, body)
+    assert seen["rolled"] == seen["outer"]
+    below = _below(kernel)
+    assert below["a"] == b"outer-a"
+    assert "burst" not in below
+
+
+def test_release_keeps_the_inner_changes():
+    kernel = _seed_world()
+    agent = _agent()
+
+    def body(sys):
+        sp = agent.savepoint()
+        sys.write_whole(BASE + "/a", b"kept")
+        sys.unlink(BASE + "/b")
+        agent.release(sp)
+        return 0
+
+    _run(kernel, agent, body)
+    below = _below(kernel)
+    assert below["a"] == b"kept"
+    assert "b" not in below
+
+
+def test_savepoints_nest_and_rollback_is_selective():
+    kernel = _seed_world()
+    agent = _agent()
+    seen = {}
+
+    def body(sys):
+        sys.write_whole(BASE + "/a", b"level-0")
+        outer = agent.savepoint("outer")
+        sys.write_whole(BASE + "/a", b"level-1")
+        agent.savepoint("inner")
+        sys.write_whole(BASE + "/a", b"level-2")
+        agent.rollback_to("inner")  # undoes level-2 only
+        seen["after_inner"] = sys.read_whole(BASE + "/a")
+        agent.rollback_to(outer)  # undoes level-1, destroys "inner"
+        seen["after_outer"] = sys.read_whole(BASE + "/a")
+        with pytest.raises(SyscallError):
+            agent.rollback_to("inner")
+        # SQL semantics: "outer" itself survives its own rollback.
+        sys.write_whole(BASE + "/a", b"again")
+        agent.rollback_to(outer)
+        seen["again"] = sys.read_whole(BASE + "/a")
+        return 0
+
+    _run(kernel, agent, body)
+    assert seen["after_inner"] == b"level-1"
+    assert seen["after_outer"] == b"level-0"
+    assert seen["again"] == b"level-0"
+    assert _below(kernel)["a"] == b"level-0"
+
+
+def test_rollback_to_unknown_savepoint_raises():
+    kernel = _seed_world()
+    agent = _agent()
+
+    def body(sys):
+        with pytest.raises(SyscallError):
+            agent.rollback_to("nope")
+        return 0
+
+    _run(kernel, agent, body)
+
+
+# -- nested transactions (§1.4) ------------------------------------------
+
+
+def test_nested_txn_abort_inside_commit():
+    kernel = _seed_world()
+    agent = _agent()
+
+    def body(sys):
+        sys.write_whole(BASE + "/a", b"outer")
+        agent.begin_nested()
+        sys.write_whole(BASE + "/a", b"inner")
+        sys.write_whole(BASE + "/x", b"inner-only")
+        agent.abort_nested()
+        return 0
+
+    _run(kernel, agent, body)
+    below = _below(kernel)
+    assert below["a"] == b"outer"
+    assert "x" not in below
+
+
+def test_nested_txn_commit_folds_into_parent():
+    kernel = _seed_world()
+    agent = _agent()
+
+    def body(sys):
+        agent.begin_nested()
+        sys.write_whole(BASE + "/x", b"folded")
+        agent.commit_nested()
+        return 0
+
+    _run(kernel, agent, body)
+    assert _below(kernel)["x"] == b"folded"
+
+
+def test_nested_txn_commit_then_outer_abort_discards_all():
+    kernel = _seed_world()
+    before = _below(kernel)
+    agent = TxnAgent(scratch_dir="/tmp/sp.scratch", outcome="abort")
+
+    def body(sys):
+        agent.begin_nested()
+        sys.write_whole(BASE + "/x", b"folded")
+        agent.commit_nested()
+        return 0
+
+    _run(kernel, agent, body)
+    assert _below(kernel) == before
+
+
+# -- hooks ---------------------------------------------------------------
+
+
+def test_commit_and_abort_hooks_fire_on_the_decision():
+    calls = []
+    kernel = _seed_world()
+    agent = _agent()
+    agent.on_commit(lambda: calls.append("commit"))
+    agent.on_abort(lambda: calls.append("abort"))
+    _run(kernel, agent, lambda sys: 0)
+    assert calls == ["commit"]
+
+    calls[:] = []
+    kernel2 = _seed_world()
+    agent2 = TxnAgent(scratch_dir="/tmp/sp.scratch", outcome="abort")
+    agent2.on_commit(lambda: calls.append("commit"))
+    agent2.on_abort(lambda: calls.append("abort"))
+    _run(kernel2, agent2, lambda sys: 0)
+    assert calls == ["abort"]
+
+
+def test_hook_exception_is_contained_not_fatal():
+    kernel = _seed_world()
+    agent = _agent()
+
+    def bad_hook():
+        raise RuntimeError("hook bug")
+
+    agent.on_commit(bad_hook)
+
+    def body(sys):
+        sys.write_whole(BASE + "/a", b"still-lands")
+        return 0
+
+    _run(kernel, agent, body)  # the client exits 0 despite the bad hook
+    assert _below(kernel)["a"] == b"still-lands"
+    assert len(agent.hook_failures) == 1
+    fn, err = agent.hook_failures[0]
+    assert fn is bad_hook
+    assert isinstance(err, RuntimeError)
+
+
+# -- the commit deadline -------------------------------------------------
+
+
+def test_commit_deadline_expired_records_edeadlk_and_applies_nothing():
+    kernel = _seed_world()
+    before = _below(kernel)
+    agent = _agent()
+
+    def body(sys):
+        sys.write_whole(BASE + "/a", b"too-late")
+        sys.unlink(BASE + "/b")
+        agent.commit(timeout_usec=0)  # the clock has moved by apply time
+        return 0
+
+    _run(kernel, agent, body)
+    assert _below(kernel) == before  # nothing landed below
+    assert len(agent.pset.commit_failures) == 2
+    for _logical, err in agent.pset.commit_failures:
+        assert err.errno == EDEADLK
+
+
+def test_commit_with_generous_deadline_applies_fully():
+    kernel = _seed_world()
+    agent = _agent()
+    agent.commit_timeout_usec = 10 ** 12
+
+    def body(sys):
+        sys.write_whole(BASE + "/a", b"in-time")
+        return 0
+
+    _run(kernel, agent, body)
+    assert _below(kernel)["a"] == b"in-time"
+    assert agent.pset.commit_failures == []
+
+
+# -- satellite: rename through the overlay -------------------------------
+
+
+def test_rename_onto_whiteout_survives_commit():
+    """``rm b; mv a b`` inside the transaction: b must exist below with
+    a's content after commit (the whiteout on b is cleared by the
+    rename, not applied over it)."""
+    kernel = _seed_world()
+    agent = _agent()
+
+    def body(sys):
+        sys.unlink(BASE + "/b")
+        sys.rename(BASE + "/a", BASE + "/b")
+        return 0
+
+    _run(kernel, agent, body)
+    below = _below(kernel)
+    assert below == {"b": b"initial-a"}
+
+
+def test_rename_carries_the_in_txn_chmod():
+    kernel = _seed_world()
+    agent = _agent()
+
+    def body(sys):
+        sys.chmod(BASE + "/a", 0o700)
+        sys.rename(BASE + "/a", BASE + "/c")
+        return 0
+
+    _run(kernel, agent, body)
+    assert _below(kernel)["c"] == b"initial-a"
+    assert kernel.lookup_host(BASE + "/c").mode & 0o777 == 0o700
+
+
+def test_rename_under_shell_mv():
+    kernel = _seed_world()
+    agent = _agent()
+    status = run_under_agent(
+        kernel, agent, "/bin/sh",
+        ["sh", "-c", "rm %s/b; mv %s/a %s/b" % (BASE, BASE, BASE)],
+    )
+    assert WEXITSTATUS(status) == 0
+    assert _below(kernel) == {"b": b"initial-a"}
+
+
+# -- satellite: commit_failures records refused effects ------------------
+
+
+def test_commit_records_rmdir_refused_below():
+    """An in-transaction rmdir of a directory that is non-empty below
+    surfaces at commit as a recorded ENOTEMPTY, not a crash and not
+    silence."""
+    kernel = _seed_world()
+    kernel.mkdir_p(BASE + "/full")
+    kernel.write_file(BASE + "/full/keep", "kept")
+    agent = _agent()
+
+    def body(sys):
+        sys.rmdir(BASE + "/full")
+        return 0
+
+    _run(kernel, agent, body)
+    assert len(agent.pset.commit_failures) == 1
+    logical, err = agent.pset.commit_failures[0]
+    assert logical == BASE + "/full"
+    assert err.errno == ENOTEMPTY
+    # The refused directory (and its contents) survive below.
+    assert _below(kernel)["full"] == "<dir>"
+    assert kernel.read_file(BASE + "/full/keep") == b"kept"
+
+
+def test_commit_skips_chmod_of_a_name_unlinked_in_txn():
+    kernel = _seed_world()
+    agent = _agent()
+
+    def body(sys):
+        sys.chmod(BASE + "/a", 0o600)
+        sys.unlink(BASE + "/a")
+        return 0
+
+    _run(kernel, agent, body)
+    assert "a" not in _below(kernel)
+    # The post-unlink chmod's ENOENT is benign, not a recorded failure.
+    assert agent.pset.commit_failures == []
+
+
+# -- hypothesis: savepoint round-trip is a no-op -------------------------
+
+_settings = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+_names = st.sampled_from(["a", "b", "c", "d"])
+
+_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("write"), _names,
+                  st.binary(min_size=1, max_size=30)),
+        st.tuples(st.just("append"), _names,
+                  st.binary(min_size=1, max_size=20)),
+        st.tuples(st.just("unlink"), _names, st.just(b"")),
+        st.tuples(st.just("chmod"), _names, st.just(b"")),
+    ),
+    min_size=1,
+    max_size=10,
+)
+
+
+def _apply(sys, ops):
+    for op, name, payload in ops:
+        path = BASE + "/" + name
+        try:
+            if op == "write":
+                sys.write_whole(path, payload)
+            elif op == "append":
+                sys.append_whole(path, payload)
+            elif op == "unlink":
+                sys.unlink(path)
+            elif op == "chmod":
+                sys.chmod(path, 0o711)
+        except SyscallError:
+            pass
+
+
+@given(outer=_ops, inner=_ops)
+@_settings
+def test_savepoint_rollback_round_trip_is_a_noop(outer, inner):
+    """outer ops + (savepoint; inner ops; rollback) commits exactly what
+    outer ops alone would have."""
+    plain = _seed_world()
+    agent_plain = _agent()
+
+    def body_plain(sys):
+        _apply(sys, outer)
+        return 0
+
+    _run(plain, agent_plain, body_plain)
+    expected = _below(plain)
+
+    wrapped = _seed_world()
+    agent_wrapped = _agent()
+
+    def body_wrapped(sys):
+        _apply(sys, outer)
+        sp = agent_wrapped.savepoint()
+        _apply(sys, inner)
+        agent_wrapped.rollback_to(sp)
+        return 0
+
+    _run(wrapped, agent_wrapped, body_wrapped)
+    assert _below(wrapped) == expected
